@@ -1,0 +1,62 @@
+//! Substrate benchmarks: XML text parsing/serialisation and document
+//! construction at the paper's corpus scale, plus keyword search.
+
+use bench::paper_corpus;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use keyword::KeywordEngine;
+use xmldb::Document;
+
+fn bench_xml_roundtrip(c: &mut Criterion) {
+    let doc = paper_corpus();
+    let xml = doc.to_xml(doc.root());
+    let mut g = c.benchmark_group("xml");
+    g.sample_size(10);
+    g.bench_function("serialize-73k-nodes", |b| {
+        b.iter(|| black_box(doc.to_xml(doc.root()).len()))
+    });
+    g.bench_function("parse-73k-nodes", |b| {
+        b.iter(|| {
+            let d = Document::parse_str(black_box(&xml)).expect("parses");
+            black_box(d.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml");
+    g.sample_size(10);
+    g.bench_function("generate-dblp-paper-scale", |b| {
+        b.iter(|| black_box(paper_corpus().len()))
+    });
+    g.finish();
+}
+
+fn bench_keyword_search(c: &mut Criterion) {
+    let doc = paper_corpus();
+    let engine = KeywordEngine::new(&doc);
+    let queries = [
+        "Suciu title",
+        "book title author",
+        "Addison-Wesley 1991 year title",
+    ];
+    let mut g = c.benchmark_group("keyword");
+    g.sample_size(10);
+    for q in queries {
+        g.bench_function(q.replace(' ', "-"), |b| {
+            b.iter(|| {
+                let hits = engine.search(black_box(q));
+                black_box(hits.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xml_roundtrip,
+    bench_corpus_generation,
+    bench_keyword_search
+);
+criterion_main!(benches);

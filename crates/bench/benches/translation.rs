@@ -1,0 +1,70 @@
+//! Translation-path micro-benchmarks: English sentence → Schema-Free
+//! XQuery, per pipeline stage.
+//!
+//! The paper reports that "the time NaLIX took for query translation …
+//! was consistently very small (less than one second)"; these benches
+//! quantify that claim for this implementation (expect microseconds to
+//! low milliseconds per query).
+
+use bench::{corpus, BENCH_QUERIES};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nalix::{classify::classify, validate::validate, Nalix};
+
+fn bench_dependency_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation/parse");
+    for (i, q) in BENCH_QUERIES.iter().enumerate() {
+        g.bench_function(format!("q{i}"), |b| {
+            b.iter(|| nlparser::parse(black_box(q)).expect("parses"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_classify_validate(c: &mut Criterion) {
+    let doc = corpus(1);
+    let catalog = nalix::catalog::Catalog::build(&doc);
+    let trees: Vec<_> = BENCH_QUERIES
+        .iter()
+        .map(|q| nlparser::parse(q).expect("parses"))
+        .collect();
+    c.bench_function("translation/classify+validate", |b| {
+        b.iter(|| {
+            for t in &trees {
+                let v = validate(classify(black_box(t)), &catalog);
+                black_box(v.is_valid());
+            }
+        })
+    });
+}
+
+fn bench_full_translation(c: &mut Criterion) {
+    let doc = corpus(1);
+    let nalix = Nalix::new(&doc);
+    let mut g = c.benchmark_group("translation/full");
+    for (i, q) in BENCH_QUERIES.iter().enumerate() {
+        g.bench_function(format!("q{i}"), |b| {
+            b.iter(|| {
+                let out = nalix.query(black_box(q));
+                assert!(out.is_translated());
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_catalog_build(c: &mut Criterion) {
+    let doc = bench::paper_corpus();
+    c.bench_function("translation/catalog-build-73k-nodes", |b| {
+        b.iter(|| nalix::catalog::Catalog::build(black_box(&doc)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dependency_parse,
+    bench_classify_validate,
+    bench_full_translation,
+    bench_catalog_build
+);
+criterion_main!(benches);

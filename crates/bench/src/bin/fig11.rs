@@ -1,0 +1,95 @@
+//! Regenerates **Figure 11** of the paper: average time (seconds) and
+//! average number of iterations needed per XMP search task for a
+//! participant to formulate a NaLIX-acceptable query with the best
+//! results.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin fig11 [--quick]
+//! ```
+//!
+//! Paper reference values: per-task mean time mostly < 90 s with a
+//! ≈ 50 s floor; mean iterations < 2 with 3.8 for the worst task; at
+//! least one participant succeeded on the first attempt for every task.
+
+use userstudy::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    eprintln!(
+        "running the user study: {} participants × 9 tasks × 2 interfaces …",
+        cfg.participants
+    );
+    let results = run_experiment(&cfg);
+
+    if csv {
+        // Machine-readable series for replotting the figure.
+        println!("task,avg_time_s,se_time_s,avg_iterations,se_iterations,max_iterations,min_iterations");
+        for r in &results.fig11 {
+            println!(
+                "{},{:.2},{:.2},{:.3},{:.3},{},{}",
+                r.task.label(),
+                r.avg_time_s,
+                r.se_time_s,
+                r.avg_iterations,
+                r.se_iterations,
+                r.max_iterations,
+                r.min_iterations
+            );
+        }
+        return;
+    }
+
+    println!(
+        "Figure 11 — average time and iterations per search task \
+         ({} simulated participants, seed {})",
+        cfg.participants, cfg.seed
+    );
+    println!(
+        "{:<5} {:>10} {:>8} {:>10} {:>8} {:>5} {:>5}",
+        "task", "avg time", "±se", "avg iter", "±se", "max", "min"
+    );
+    for r in &results.fig11 {
+        println!(
+            "{:<5} {:>9.1}s {:>8.1} {:>10.2} {:>8.2} {:>5} {:>5}",
+            r.task.label(),
+            r.avg_time_s,
+            r.se_time_s,
+            r.avg_iterations,
+            r.se_iterations,
+            r.max_iterations,
+            r.min_iterations
+        );
+    }
+    let overall_it = results.overall_iterations();
+    let worst = results
+        .fig11
+        .iter()
+        .map(|r| r.avg_iterations)
+        .fold(0.0f64, f64::max);
+    let first_try_tasks = results
+        .fig11
+        .iter()
+        .filter(|r| r.max_iterations == 0)
+        .count();
+    println!();
+    println!("overall mean iterations: {overall_it:.2}   (paper: < 2)");
+    println!("worst-task mean iterations: {worst:.2}   (paper: 3.8)");
+    println!(
+        "tasks where every participant succeeded on the first attempt: {first_try_tasks}/9 \
+         (paper: about half)"
+    );
+    println!(
+        "tasks where some participant succeeded on the first attempt: {}/9 (paper: 9/9)",
+        results.fig11.iter().filter(|r| r.min_iterations == 0).count()
+    );
+    println!(
+        "simulated satisfaction: {:.2}/5   (paper questionnaire: 4.11/5)",
+        results.satisfaction()
+    );
+}

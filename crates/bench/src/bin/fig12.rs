@@ -1,0 +1,96 @@
+//! Regenerates **Figure 12** of the paper: average precision and recall
+//! per search task, NaLIX versus the Meet-based keyword-search
+//! interface.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin fig12 [--quick]
+//! ```
+//!
+//! Paper reference values: NaLIX average precision 83.0 % (worst-task
+//! 70.9 %), average recall 90.1 % (worst-task 79.4 %), perfect recall
+//! on 2 of 9 tasks; keyword search consistently worse, collapsing on
+//! the aggregation/sorting tasks Q7 and Q10.
+
+use userstudy::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let cfg = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    eprintln!(
+        "running the user study: {} participants × 9 tasks × 2 interfaces …",
+        cfg.participants
+    );
+    let results = run_experiment(&cfg);
+
+    if csv {
+        // Machine-readable series for replotting the figure.
+        println!("task,nalix_precision,nalix_recall,keyword_precision,keyword_recall");
+        for r in &results.fig12 {
+            println!(
+                "{},{:.4},{:.4},{:.4},{:.4}",
+                r.task.label(),
+                r.nalix_p,
+                r.nalix_r,
+                r.keyword_p,
+                r.keyword_r
+            );
+        }
+        return;
+    }
+
+    println!(
+        "Figure 12 — average precision and recall per search task \
+         ({} simulated participants, seed {})",
+        cfg.participants, cfg.seed
+    );
+    println!(
+        "{:<5} {:>9} {:>9}   {:>9} {:>9}",
+        "task", "NaLIX P", "NaLIX R", "keyword P", "keyword R"
+    );
+    for r in &results.fig12 {
+        println!(
+            "{:<5} {:>8.1}% {:>8.1}%   {:>8.1}% {:>8.1}%",
+            r.task.label(),
+            100.0 * r.nalix_p,
+            100.0 * r.nalix_r,
+            100.0 * r.keyword_p,
+            100.0 * r.keyword_r
+        );
+    }
+
+    let avg = |xs: Vec<f64>| xs.iter().sum::<f64>() / xs.len() as f64;
+    let np = avg(results.fig12.iter().map(|r| r.nalix_p).collect());
+    let nr = avg(results.fig12.iter().map(|r| r.nalix_r).collect());
+    let kp = avg(results.fig12.iter().map(|r| r.keyword_p).collect());
+    let kr = avg(results.fig12.iter().map(|r| r.keyword_r).collect());
+    let worst_p = results.fig12.iter().map(|r| r.nalix_p).fold(1.0f64, f64::min);
+    let worst_r = results.fig12.iter().map(|r| r.nalix_r).fold(1.0f64, f64::min);
+    let perfect_recall = results.fig12.iter().filter(|r| r.nalix_r > 0.999).count();
+
+    println!();
+    println!(
+        "NaLIX   : avg P {:>5.1}% (paper 83.0%), avg R {:>5.1}% (paper 90.1%)",
+        100.0 * np,
+        100.0 * nr
+    );
+    println!(
+        "          worst-task P {:>5.1}% (paper 70.9%), worst-task R {:>5.1}% (paper 79.4%)",
+        100.0 * worst_p,
+        100.0 * worst_r
+    );
+    println!("          tasks with perfect recall: {perfect_recall} (paper: 2)");
+    println!(
+        "keyword : avg P {:>5.1}%, avg R {:>5.1}% — NaLIX wins every task: {}",
+        100.0 * kp,
+        100.0 * kr,
+        results
+            .fig12
+            .iter()
+            .all(|r| r.nalix_p + r.nalix_r > r.keyword_p + r.keyword_r)
+    );
+}

@@ -1,0 +1,53 @@
+//! Per-query latency report at the paper's corpus scale.
+//!
+//! The paper (Sec. 5.1): "we measured the time NaLIX took for query
+//! translation and the time Timber took for query evaluation … Both
+//! numbers were consistently very small (less than one second)". This
+//! binary prints both for one representative query per feature class.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin latency
+//! ```
+
+use bench::{paper_corpus, BENCH_QUERIES};
+use nalix::{Nalix, Outcome};
+
+fn main() {
+    let doc = paper_corpus();
+    eprintln!(
+        "corpus: {} nodes ({} books, {} articles)",
+        doc.stats().total_nodes(),
+        doc.nodes_labeled("book").len(),
+        doc.nodes_labeled("article").len()
+    );
+    let nalix = Nalix::new(&doc);
+    println!(
+        "{:>12} {:>12} {:>8}   query",
+        "translate", "evaluate", "results"
+    );
+    for q in BENCH_QUERIES {
+        let t0 = std::time::Instant::now();
+        match nalix.query(q) {
+            Outcome::Translated(t) => {
+                let translate = t0.elapsed();
+                let t1 = std::time::Instant::now();
+                match nalix.execute(&t) {
+                    Ok(out) => println!(
+                        "{:>12.3?} {:>12.3?} {:>8}   {q}",
+                        translate,
+                        t1.elapsed(),
+                        out.len()
+                    ),
+                    Err(e) => println!("evaluation error: {e}   {q}"),
+                }
+            }
+            Outcome::Rejected(r) => {
+                println!("rejected ({} error(s))   {q}", r.errors.len())
+            }
+        }
+    }
+    println!(
+        "\n(paper claim: both translation and evaluation \"consistently very \
+         small (less than one second)\")"
+    );
+}

@@ -1,0 +1,251 @@
+//! The Meet engine: minimal-window sweep + deepest-LCA ranking.
+
+use crate::matching::{match_nodes, parse_query, Term};
+use xmldb::{Document, NodeId, NodeKind};
+
+/// One ranked answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    /// The answer subtree root (the "nearest concept").
+    pub root: NodeId,
+    /// Depth of the root — the ranking key (deeper is better).
+    pub depth: u32,
+}
+
+/// Default result-page size: like any ranked-retrieval interface, the
+/// engine returns the best `limit` answers, not every match in the
+/// corpus. (This is also what makes the baseline's recall honest on
+/// broad queries — a user cannot consume thousands of subtrees.)
+pub const DEFAULT_LIMIT: usize = 50;
+
+/// The keyword-search interface over one document.
+pub struct KeywordEngine<'d> {
+    doc: &'d Document,
+    limit: usize,
+}
+
+impl<'d> KeywordEngine<'d> {
+    /// Create an engine over a finalized document with the default
+    /// result limit.
+    pub fn new(doc: &'d Document) -> Self {
+        Self::with_limit(doc, DEFAULT_LIMIT)
+    }
+
+    /// Create an engine with a custom result limit (0 = unlimited).
+    pub fn with_limit(doc: &'d Document, limit: usize) -> Self {
+        assert!(doc.is_finalized());
+        KeywordEngine {
+            doc,
+            limit: if limit == 0 { usize::MAX } else { limit },
+        }
+    }
+
+    /// Search with a raw query string.
+    pub fn search(&self, query: &str) -> Vec<SearchHit> {
+        self.search_terms(&parse_query(query))
+    }
+
+    /// Search with pre-parsed terms.
+    ///
+    /// Returns the hits at the best (deepest) Meet depth, in document
+    /// order. An empty term list, or any term with no matches, yields no
+    /// hits.
+    pub fn search_terms(&self, terms: &[Term]) -> Vec<SearchHit> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let doc = self.doc;
+        // Per-term match lists.
+        let matches: Vec<Vec<NodeId>> = terms.iter().map(|t| match_nodes(doc, t)).collect();
+        if matches.iter().any(Vec::is_empty) {
+            return Vec::new();
+        }
+        if terms.len() == 1 {
+            // Single keyword: every match is its own nearest concept.
+            return matches[0]
+                .iter()
+                .take(self.limit)
+                .map(|&n| SearchHit {
+                    root: n,
+                    depth: doc.node(n).depth,
+                })
+                .collect();
+        }
+
+        // Merge all matches into one document-ordered list tagged by
+        // term, then sweep minimal windows covering all terms.
+        let mut merged: Vec<(u32, usize, NodeId)> = Vec::new(); // (pre, term, node)
+        for (ti, ms) in matches.iter().enumerate() {
+            for &m in ms {
+                merged.push((doc.node(m).pre, ti, m));
+            }
+        }
+        merged.sort();
+
+        let k = terms.len();
+        let mut counts = vec![0usize; k];
+        let mut covered = 0usize;
+        let mut lo = 0usize;
+        let mut candidates: Vec<NodeId> = Vec::new();
+        for hi in 0..merged.len() {
+            let (_, t, _) = merged[hi];
+            if counts[t] == 0 {
+                covered += 1;
+            }
+            counts[t] += 1;
+            // Shrink from the left while still covering everything
+            // (`covered` cannot change here: we only drop surplus
+            // occurrences).
+            if covered == k {
+                while counts[merged[lo].1] > 1 {
+                    counts[merged[lo].1] -= 1;
+                    lo += 1;
+                }
+                let window: Vec<NodeId> =
+                    merged[lo..=hi].iter().map(|&(_, _, n)| n).collect();
+                candidates.push(doc.lca_all(&window));
+            }
+        }
+
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        // Meet semantics: answers are the *deepest* (nearest-concept)
+        // meets, in document order, capped at the result-page limit.
+        let best_depth = candidates
+            .iter()
+            .map(|&c| doc.node(c).depth)
+            .max()
+            .expect("non-empty candidates");
+        let mut best: Vec<NodeId> = candidates
+            .into_iter()
+            .filter(|&c| doc.node(c).depth == best_depth)
+            .collect();
+        best.sort_by_key(|&c| doc.node(c).pre);
+        best.dedup();
+        best.into_iter()
+            .take(self.limit)
+            .map(|root| SearchHit {
+                root,
+                depth: best_depth,
+            })
+            .collect()
+    }
+
+    /// The flat element/attribute values of the answer subtrees — the
+    /// unit the user-study precision/recall metric counts.
+    pub fn answer_values(&self, hits: &[SearchHit]) -> Vec<String> {
+        let mut out = Vec::new();
+        for h in hits {
+            self.collect_leaf_values(h.root, &mut out);
+        }
+        out
+    }
+
+    fn collect_leaf_values(&self, id: NodeId, out: &mut Vec<String>) {
+        let doc = self.doc;
+        let mut has_inner = false;
+        for c in doc.children(id) {
+            match doc.node(c).kind {
+                NodeKind::Element | NodeKind::Attribute => {
+                    has_inner = true;
+                    self.collect_leaf_values(c, out);
+                }
+                NodeKind::Text => {}
+            }
+        }
+        if !has_inner {
+            out.push(doc.string_value(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::datasets::bib::bib;
+    use xmldb::datasets::movies::movies;
+
+    #[test]
+    fn two_keywords_meet_at_movie() {
+        let d = movies();
+        let e = KeywordEngine::new(&d);
+        let hits = e.search("director \"Traffic\"");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.label(hits[0].root), "movie");
+        let values = e.answer_values(&hits);
+        assert!(values.contains(&"Steven Soderbergh".to_owned()));
+    }
+
+    #[test]
+    fn label_pair_meets_at_each_movie() {
+        let d = movies();
+        let e = KeywordEngine::new(&d);
+        let hits = e.search("title director");
+        // deepest meets: each movie pairs its own title+director
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| d.label(h.root) == "movie"));
+    }
+
+    #[test]
+    fn single_keyword_returns_all_matches() {
+        let d = movies();
+        let e = KeywordEngine::new(&d);
+        let hits = e.search("director");
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn value_keyword_finds_value_context() {
+        let d = movies();
+        let e = KeywordEngine::new(&d);
+        let hits = e.search("\"Ron Howard\" title");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| d.label(h.root) == "movie"));
+    }
+
+    #[test]
+    fn no_match_means_no_hits() {
+        let d = movies();
+        let e = KeywordEngine::new(&d);
+        assert!(e.search("zeppelin").is_empty());
+        assert!(e.search("").is_empty());
+        assert!(e.search("director zeppelin").is_empty());
+    }
+
+    #[test]
+    fn answer_values_flatten_subtree() {
+        let d = bib();
+        let e = KeywordEngine::new(&d);
+        let hits = e.search("\"Suciu\" title");
+        assert_eq!(hits.len(), 1);
+        let values = e.answer_values(&hits);
+        // whole book subtree values: title + 3 authors (last/first) +
+        // publisher + price + year attribute
+        assert!(values.contains(&"Data on the Web".to_owned()));
+        assert!(values.len() > 5, "{values:?}");
+    }
+
+    #[test]
+    fn keyword_search_cannot_aggregate() {
+        // There is no way to express "the lowest price" — searching the
+        // words returns nothing or shallow meets; this is the baseline's
+        // inherent weakness on XMP Q10 (paper Fig. 12).
+        let d = bib();
+        let e = KeywordEngine::new(&d);
+        let hits = e.search("lowest price");
+        assert!(e.answer_values(&hits).is_empty());
+    }
+
+    #[test]
+    fn deeper_meet_beats_shallower() {
+        let d = xmldb::Document::parse_str(
+            "<r><a><x>k1</x></a><b><x>k1</x><y>k2</y></b><y>k2</y></r>",
+        )
+        .unwrap();
+        let e = KeywordEngine::new(&d);
+        let hits = e.search("k1 k2");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.label(hits[0].root), "b");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # keyword — a Meet-based keyword-search baseline over XML
+//!
+//! The comparison interface of the paper's user study: "we
+//! experimentally compared it with a keyword search interface that
+//! supports search over XML documents based on Meet \[26\]" (Schmidt,
+//! Kersten & Windhouwer, *Querying XML documents made easy: Nearest
+//! concept queries*, ICDE 2001).
+//!
+//! The Meet idea: the answer to a set of keywords is the **deepest
+//! lowest common ancestor** over nodes matching the keywords — the
+//! "nearest concept" containing all of them. A keyword matches a node
+//! by *label* ("title", "director") or by *content* ("Ron Howard",
+//! "1991").
+//!
+//! Implementation: all matches are merged in document order and scanned
+//! with a minimal-window sweep (every window that covers all keywords
+//! yields a candidate LCA); candidates are ranked by LCA depth, deepest
+//! first, and the answer is every subtree at the best depth. Returning
+//! whole subtrees is what makes the baseline blunt — exactly the paper's
+//! point: it cannot project ("only the title"), aggregate, or sort,
+//! which is why its precision/recall collapses on tasks like XMP Q7 and
+//! Q10 (Fig. 12).
+
+pub mod engine;
+pub mod matching;
+
+pub use engine::{KeywordEngine, SearchHit};
+pub use matching::{match_nodes, parse_query, Term};

@@ -1,0 +1,204 @@
+//! Keyword → node matching.
+
+use xmldb::{Document, NodeId, NodeKind};
+
+/// One search term: a word, or a quoted phrase kept intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// Lower-cased text.
+    pub text: String,
+    /// Was the term quoted (phrase match only against content)?
+    pub quoted: bool,
+}
+
+/// Split a query string into terms. Quoted spans become single terms.
+pub fn parse_query(query: &str) -> Vec<Term> {
+    let mut terms = Vec::new();
+    let mut chars = query.chars().peekable();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, terms: &mut Vec<Term>| {
+        if !cur.is_empty() {
+            terms.push(Term {
+                text: cur.to_lowercase(),
+                quoted: false,
+            });
+            cur.clear();
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                flush(&mut cur, &mut terms);
+                let mut phrase = String::new();
+                for q in chars.by_ref() {
+                    if q == '"' {
+                        break;
+                    }
+                    phrase.push(q);
+                }
+                if !phrase.is_empty() {
+                    terms.push(Term {
+                        text: phrase.to_lowercase(),
+                        quoted: true,
+                    });
+                }
+            }
+            c if c.is_whitespace() || c == ',' => flush(&mut cur, &mut terms),
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut terms);
+    terms
+}
+
+/// Singular candidates for label matching ("movies" → {"movie",
+/// "movy"}), mirroring what a keyword interface's stemmer would do.
+/// Both the plain `-s` strip and the `-ies → -y` rewrite are offered,
+/// since either may be the real singular.
+fn singular_candidates(w: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if w.ends_with('s') && !w.ends_with("ss") && w.len() > 2 {
+        out.push(w[..w.len() - 1].to_owned());
+    }
+    if let Some(stem) = w.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            out.push(format!("{stem}y"));
+        }
+    }
+    out
+}
+
+/// All nodes matching `term`, in document order.
+///
+/// - label match: element/attribute whose label equals the term (or its
+///   singular form) — unless the term was quoted;
+/// - content match: text/attribute value containing the term
+///   case-insensitively (the *owning element* is the match).
+pub fn match_nodes(doc: &Document, term: &Term) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+
+    if !term.quoted {
+        let mut cands = vec![term.text.clone()];
+        cands.extend(singular_candidates(&term.text));
+        for cand in cands {
+            for label in doc.labels() {
+                if label.to_lowercase() == cand {
+                    out.extend_from_slice(doc.nodes_labeled(label));
+                }
+            }
+        }
+    }
+
+    // Content matches.
+    let needle = &term.text;
+    for i in 0..doc.len() {
+        let id = NodeId::from_index(i);
+        let n = doc.node(id);
+        match n.kind {
+            NodeKind::Text => {
+                if let (Some(v), Some(p)) = (&n.value, n.parent) {
+                    if v.to_lowercase().contains(needle) {
+                        out.push(p);
+                    }
+                }
+            }
+            NodeKind::Attribute => {
+                if let Some(v) = &n.value {
+                    if v.to_lowercase().contains(needle) {
+                        out.push(id);
+                    }
+                }
+            }
+            NodeKind::Element => {}
+        }
+    }
+
+    out.sort_by_key(|&id| doc.node(id).pre);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::datasets::movies::movies;
+
+    #[test]
+    fn parse_query_splits_words() {
+        let t = parse_query("director movie title");
+        assert_eq!(t.len(), 3);
+        assert!(!t[0].quoted);
+    }
+
+    #[test]
+    fn parse_query_keeps_phrases() {
+        let t = parse_query("director \"Ron Howard\"");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].text, "ron howard");
+        assert!(t[1].quoted);
+    }
+
+    #[test]
+    fn parse_query_handles_commas() {
+        let t = parse_query("title, year");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn label_match() {
+        let d = movies();
+        let t = Term {
+            text: "director".into(),
+            quoted: false,
+        };
+        let m = match_nodes(&d, &t);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn plural_label_match() {
+        let d = movies();
+        let t = Term {
+            text: "movies".into(),
+            quoted: false,
+        };
+        let m = match_nodes(&d, &t);
+        // the movies root (label "movies") and the five movie elements
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn content_match_returns_owning_element() {
+        let d = movies();
+        let t = Term {
+            text: "ron howard".into(),
+            quoted: true,
+        };
+        let m = match_nodes(&d, &t);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|&n| d.label(n) == "director"));
+    }
+
+    #[test]
+    fn quoted_term_skips_labels() {
+        let d = movies();
+        let t = Term {
+            text: "director".into(),
+            quoted: true,
+        };
+        // no content contains the word "director"
+        assert!(match_nodes(&d, &t).is_empty());
+    }
+
+    #[test]
+    fn substring_content_match() {
+        let d = movies();
+        let t = Term {
+            text: "grinch".into(),
+            quoted: false,
+        };
+        let m = match_nodes(&d, &t);
+        assert_eq!(m.len(), 1);
+        assert_eq!(d.label(m[0]), "title");
+    }
+}

@@ -1,0 +1,343 @@
+//! Variable binding (Sec. 3.2.2, Defs. 8–10): grouping name tokens into
+//! basic variables and variables into related sets.
+
+use crate::semantics::{self, Semantics};
+use crate::token::{ClassifiedTree, NodeClass, TokenType};
+use std::collections::HashMap;
+
+/// Identifier of a basic variable.
+pub type VarId = usize;
+
+/// One basic variable.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// The NT nodes bound to this variable.
+    pub nodes: Vec<usize>,
+    /// Canonical display lemma (e.g. "director").
+    pub display: String,
+    /// Database names for the `for` clause (`doc()//(a|b)` when > 1).
+    pub names: Vec<String>,
+    /// Is this variable a core token (paper marks these `$v*`)?
+    pub core: bool,
+    /// Does it bind an implicit NT?
+    pub implicit: bool,
+}
+
+/// The variable-binding result.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// All variables, in creation (tree) order.
+    pub vars: Vec<VarInfo>,
+    /// NT node → its variable.
+    pub var_of: HashMap<usize, VarId>,
+    /// Related variable sets (Def. 10): the groups that each map to one
+    /// `mqf()` clause. When the query has no core token, all variables
+    /// form a single set.
+    pub groups: Vec<Vec<VarId>>,
+    /// The underlying token semantics (kept for the translator).
+    pub semantics: Semantics,
+}
+
+/// Is an FT or QT attached to this NT (a Def. 8 condition — such NTs
+/// are never merged as "identical")?
+fn ft_or_qt_attached(tree: &ClassifiedTree, nt: usize) -> bool {
+    // An FT/QT child of the NT…
+    let child_hit = tree.node(nt).children.iter().any(|&c| {
+        matches!(
+            tree.node(c).class,
+            NodeClass::Token(TokenType::Ft(_)) | NodeClass::Token(TokenType::Qt(_))
+        )
+    });
+    if child_hit {
+        return true;
+    }
+    // …or an FT parent ("the number of movies").
+    tree.node(nt)
+        .parent
+        .map(|p| matches!(tree.node(p).class, NodeClass::Token(TokenType::Ft(_))))
+        .unwrap_or(false)
+}
+
+/// Identical name tokens (Def. 8): equivalent, (indirectly) related,
+/// and free of attached FT/QT.
+fn identical(
+    tree: &ClassifiedTree,
+    sem: &Semantics,
+    a: usize,
+    b: usize,
+) -> bool {
+    if a == b || !semantics::equivalent(tree, a, b) {
+        return false;
+    }
+    // Must be related (share a related set)…
+    let related = sem
+        .related_sets
+        .iter()
+        .any(|s| s.contains(&a) && s.contains(&b));
+    if !related {
+        return false;
+    }
+    // …but only *indirectly* (directly-related equivalent NTs keep
+    // separate variables).
+    if semantics::directly_related(tree, a, b) {
+        return false;
+    }
+    // No FT or QT attaching to either (Def. 8 iii).
+    !ft_or_qt_attached(tree, a) && !ft_or_qt_attached(tree, b)
+}
+
+/// Compute the variable binding for a validated tree.
+pub fn bind(tree: &ClassifiedTree) -> Binding {
+    let sem = semantics::analyze(tree);
+
+    // Union-find over NTs: merge equivalent core tokens ("the same core
+    // token") and identical NTs (Def. 8).
+    let mut uf: HashMap<usize, usize> = sem.nts.iter().map(|&n| (n, n)).collect();
+    fn find(uf: &mut HashMap<usize, usize>, mut x: usize) -> usize {
+        while uf[&x] != x {
+            let next = uf[&uf[&x]];
+            uf.insert(x, next);
+            x = next;
+        }
+        x
+    }
+    for (i, &a) in sem.nts.iter().enumerate() {
+        for &b in &sem.nts[i + 1..] {
+            let same_core =
+                sem.core[&a] && sem.core[&b] && semantics::equivalent(tree, a, b);
+            // Disjunctive noun phrases ("every book or article") bind to
+            // one variable over the union of names.
+            let disjunct = tree.node(b).rel == nlparser::DepRel::ConjOr
+                && tree.node(b).parent == Some(a);
+            if same_core || disjunct || identical(tree, &sem, a, b) {
+                let ra = find(&mut uf, a);
+                let rb = find(&mut uf, b);
+                if ra != rb {
+                    uf.insert(ra, rb);
+                }
+            }
+        }
+    }
+
+    // Materialise variables in first-occurrence order.
+    let mut var_of: HashMap<usize, VarId> = HashMap::new();
+    let mut vars: Vec<VarInfo> = Vec::new();
+    let mut root_to_var: HashMap<usize, VarId> = HashMap::new();
+    for &n in &sem.nts {
+        let root = find(&mut uf, n);
+        let id = *root_to_var.entry(root).or_insert_with(|| {
+            vars.push(VarInfo {
+                nodes: Vec::new(),
+                display: tree.node(n).lemma.clone(),
+                names: if tree.node(n).expansion.is_empty() {
+                    vec![tree.node(n).lemma.clone()]
+                } else {
+                    tree.node(n).expansion.clone()
+                },
+                core: false,
+                implicit: tree.node(n).implicit,
+            });
+            vars.len() - 1
+        });
+        vars[id].nodes.push(n);
+        var_of.insert(n, id);
+        if sem.core[&n] {
+            vars[id].core = true;
+        }
+        // Disjunctive members widen the variable's name test.
+        let extra = if tree.node(n).expansion.is_empty() {
+            vec![tree.node(n).lemma.clone()]
+        } else {
+            tree.node(n).expansion.clone()
+        };
+        for name in extra {
+            if !vars[id].names.contains(&name) {
+                vars[id].names.push(name);
+            }
+        }
+    }
+
+    // Variable groups (Def. 10): project the NT related-sets onto
+    // variables; with no core token everything is one group.
+    let mut groups: Vec<Vec<VarId>> = Vec::new();
+    if sem.has_core {
+        for set in &sem.related_sets {
+            let mut g: Vec<VarId> = set.iter().map(|n| var_of[n]).collect();
+            g.sort();
+            g.dedup();
+            // A variable may span several NT sets (same core token used
+            // in two sets merges them).
+            if let Some(existing) = groups
+                .iter()
+                .position(|eg| eg.iter().any(|v| g.contains(v)))
+            {
+                let mut merged = groups.remove(existing);
+                merged.extend(g);
+                merged.sort();
+                merged.dedup();
+                groups.push(merged);
+            } else {
+                groups.push(g);
+            }
+        }
+    } else {
+        let mut g: Vec<VarId> = (0..vars.len()).collect();
+        g.sort();
+        groups.push(g);
+    }
+    groups.sort();
+
+    Binding {
+        vars,
+        var_of,
+        groups,
+        semantics: sem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::classify::classify;
+    use crate::validate::validate;
+    use nlparser::parse;
+    use xmldb::datasets::movies::{movies, movies_and_books};
+    use xmldb::Document;
+
+    fn bind_on(doc: &Document, q: &str) -> (ClassifiedTree, Binding) {
+        let catalog = Catalog::build(doc);
+        let v = validate(classify(&parse(q).unwrap()), &catalog);
+        assert!(v.is_valid(), "{q}: {:?}", v.feedback);
+        let b = bind(&v.tree);
+        (v.tree, b)
+    }
+
+    #[test]
+    fn query2_bindings_match_table3() {
+        // Paper Table 3: $v1* director (nodes 2,7), $v2 movie, $v3
+        // movie, $v4* director (node 11) — four variables, the two
+        // explicit directors share one.
+        let doc = movies();
+        let (t, b) = bind_on(
+            &doc,
+            "Return every director, where the number of movies directed by the \
+             director is the same as the number of movies directed by Ron Howard.",
+        );
+        let director_vars: Vec<VarId> = b
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.display == "director")
+            .map(|(i, _)| i)
+            .collect();
+        let movie_vars: Vec<VarId> = b
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.display == "director" || v.display == "movie")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(director_vars.len(), 2, "{}\n{:?}", t.outline(), b.vars);
+        assert_eq!(movie_vars.len(), 4); // 2 director + 2 movie
+        // the explicit-director variable binds two NT nodes
+        let explicit = director_vars
+            .iter()
+            .find(|&&v| !b.vars[v].implicit)
+            .unwrap();
+        assert_eq!(b.vars[*explicit].nodes.len(), 2);
+        assert!(b.vars[*explicit].core);
+        let implicit = director_vars
+            .iter()
+            .find(|&&v| b.vars[v].implicit)
+            .unwrap();
+        assert!(b.vars[*implicit].core);
+        // groups: {explicit-director, movie1} and {implicit-director, movie2}
+        assert_eq!(b.groups.len(), 2);
+        for g in &b.groups {
+            assert_eq!(g.len(), 2);
+        }
+    }
+
+    #[test]
+    fn query3_bindings() {
+        let doc = movies_and_books();
+        let (_t, b) = bind_on(
+            &doc,
+            "Return the directors of movies, where the title of each movie is \
+             the same as the title of a book.",
+        );
+        // variables: director, movie (merged core), title, title, book
+        assert_eq!(b.vars.len(), 5, "{:?}", b.vars);
+        let movie_var = b
+            .vars
+            .iter()
+            .find(|v| v.display == "movie")
+            .unwrap();
+        assert_eq!(movie_var.nodes.len(), 2); // movie(4) ≡ movie(8): same core
+        let title_vars = b.vars.iter().filter(|v| v.display == "title").count();
+        assert_eq!(title_vars, 2); // equivalent but unrelated → separate
+        assert_eq!(b.groups.len(), 2);
+    }
+
+    #[test]
+    fn identical_nts_share_a_variable() {
+        // "the author and the titles of all books of the author" — the
+        // two author NTs are equivalent, indirectly related, FT/QT-free
+        // → one variable (Def. 8).
+        let doc = Document::parse_str(
+            "<bib><book><title>T</title><author>A</author></book></bib>",
+        )
+        .unwrap();
+        let (_t, b) = bind_on(
+            &doc,
+            "Return the author and the titles of all books of the author.",
+        );
+        let author_vars = b.vars.iter().filter(|v| v.display == "author").count();
+        assert_eq!(author_vars, 1, "{:?}", b.vars);
+        assert_eq!(
+            b.vars
+                .iter()
+                .find(|v| v.display == "author")
+                .unwrap()
+                .nodes
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn ft_blocks_identity() {
+        // Two "authors" NTs, one under a count FT → separate variables
+        // (Def. 8 iii), but one variable group via the shared book core.
+        let doc = Document::parse_str(
+            "<bib><book><title>T</title><author>A</author></book></bib>",
+        )
+        .unwrap();
+        let (_t, b) = bind_on(
+            &doc,
+            "Return the title and the authors of every book, where the number of \
+             authors of the book is at least 1.",
+        );
+        let author_vars = b.vars.iter().filter(|v| v.display == "author").count();
+        assert_eq!(author_vars, 2, "{:?}", b.vars);
+        let book_vars = b.vars.iter().filter(|v| v.display == "book").count();
+        assert_eq!(book_vars, 1, "book NTs merge through the core");
+    }
+
+    #[test]
+    fn no_core_means_single_group() {
+        let doc = movies();
+        let (_t, b) = bind_on(&doc, "Return the director of each movie.");
+        assert_eq!(b.groups.len(), 1);
+        assert_eq!(b.groups[0].len(), b.vars.len());
+    }
+
+    #[test]
+    fn names_carry_term_expansion() {
+        let doc = movies();
+        let (_t, b) = bind_on(&doc, "Return the director of each film.");
+        let film = b.vars.iter().find(|v| v.display == "film").unwrap();
+        assert_eq!(film.names, vec!["movie".to_owned()]);
+    }
+}

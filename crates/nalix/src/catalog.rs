@@ -1,0 +1,200 @@
+//! Database catalog: the label and value indexes validation consults.
+//!
+//! Built once per document, the catalog answers the two questions
+//! NaLIX's validation asks of the database:
+//!
+//! 1. *Which element/attribute names exist?* — for term expansion of
+//!    name tokens (paper Sec. 4, "Term Expansion").
+//! 2. *Which names carry a given value?* — for implicit name-token
+//!    resolution (Def. 11: "An implicit NT related to a VT is the
+//!    name(s) of element or attribute with the value of VT in the
+//!    database").
+
+use std::collections::{HashMap, HashSet};
+use xmldb::{Document, NodeKind};
+
+/// Precomputed database metadata.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    labels: Vec<String>,
+    /// normalised value → labels of elements/attributes holding it
+    value_index: HashMap<String, Vec<String>>,
+    /// labels whose values are (almost) always numeric — the fallback
+    /// for numeric VTs whose exact value is absent ("after 2030")
+    numeric_labels: Vec<String>,
+    /// per-label numeric value range, for range-aware fallback
+    numeric_ranges: HashMap<String, (f64, f64)>,
+}
+
+fn norm(v: &str) -> String {
+    v.trim().to_lowercase()
+}
+
+impl Catalog {
+    /// Scan `doc` and build the catalog.
+    pub fn build(doc: &Document) -> Self {
+        let mut labels: Vec<String> = Vec::new();
+        let mut seen = HashSet::new();
+        for l in doc.labels() {
+            if seen.insert(l.to_owned()) {
+                labels.push(l.to_owned());
+            }
+        }
+
+        let mut value_index: HashMap<String, Vec<String>> = HashMap::new();
+        let mut numeric: HashMap<String, (usize, usize)> = HashMap::new(); // label -> (numeric, total)
+        let mut ranges: HashMap<String, (f64, f64)> = HashMap::new();
+        let mut record = |label: &str, value: &str| {
+            let key = norm(value);
+            if key.is_empty() {
+                return;
+            }
+            let entry = value_index.entry(key).or_default();
+            if !entry.iter().any(|l| l == label) {
+                entry.push(label.to_owned());
+            }
+            let c = numeric.entry(label.to_owned()).or_insert((0, 0));
+            c.1 += 1;
+            if let Ok(v) = value.trim().parse::<f64>() {
+                c.0 += 1;
+                ranges
+                    .entry(label.to_owned())
+                    .and_modify(|(lo, hi)| {
+                        *lo = lo.min(v);
+                        *hi = hi.max(v);
+                    })
+                    .or_insert((v, v));
+            }
+        };
+
+        for r in 0..doc.len() {
+            let id = xmldb::NodeId::from_index(r);
+            let n = doc.node(id);
+            match n.kind {
+                NodeKind::Attribute => {
+                    record(doc.label(id), n.value.as_deref().unwrap_or(""));
+                }
+                NodeKind::Text => {
+                    // Value is recorded under the owning element's label.
+                    if let Some(p) = n.parent {
+                        record(doc.label(p), n.value.as_deref().unwrap_or(""));
+                    }
+                }
+                NodeKind::Element => {}
+            }
+        }
+
+        let numeric_labels = numeric
+            .into_iter()
+            .filter(|(_, (num, total))| *total > 0 && *num * 10 >= *total * 9)
+            .map(|(l, _)| l)
+            .collect();
+
+        Catalog {
+            labels,
+            value_index,
+            numeric_labels,
+            numeric_ranges: ranges,
+        }
+    }
+
+    /// All element/attribute names in the database.
+    pub fn labels(&self) -> Vec<&str> {
+        self.labels.iter().map(String::as_str).collect()
+    }
+
+    /// Names of elements/attributes holding exactly `value`
+    /// (case-insensitive).
+    pub fn labels_for_value(&self, value: &str) -> Vec<String> {
+        self.value_index
+            .get(&norm(value))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Names whose values are numeric — the implicit-NT fallback for a
+    /// numeric value token that does not literally occur.
+    pub fn numeric_labels(&self) -> Vec<String> {
+        let mut v = self.numeric_labels.clone();
+        v.sort();
+        v
+    }
+
+    /// Range-aware fallback: numeric labels whose observed value range
+    /// covers `value` (so "before 1993" resolves to `year`, whose values
+    /// span 1992–2000, and not to `price`, whose values span 39–130).
+    /// Falls back to all numeric labels when none covers the value.
+    pub fn numeric_labels_for(&self, value: f64) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .numeric_labels
+            .iter()
+            .filter(|l| {
+                self.numeric_ranges
+                    .get(*l)
+                    .is_some_and(|(lo, hi)| *lo <= value && value <= *hi)
+            })
+            .cloned()
+            .collect();
+        if v.is_empty() {
+            return self.numeric_labels();
+        }
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::datasets::bib::bib;
+    use xmldb::datasets::movies::movies;
+
+    #[test]
+    fn labels_enumerated() {
+        let c = Catalog::build(&movies());
+        let labels = c.labels();
+        assert!(labels.contains(&"movie"));
+        assert!(labels.contains(&"director"));
+        assert!(!labels.contains(&"#text"));
+    }
+
+    #[test]
+    fn value_lookup_finds_director() {
+        let c = Catalog::build(&movies());
+        assert_eq!(c.labels_for_value("Ron Howard"), vec!["director"]);
+        assert_eq!(c.labels_for_value("ron howard"), vec!["director"]);
+    }
+
+    #[test]
+    fn value_lookup_multiple_labels() {
+        let d = xmldb::Document::parse_str(
+            "<r><a>shared</a><b>shared</b><a>other</a></r>",
+        )
+        .unwrap();
+        let c = Catalog::build(&d);
+        let mut hits = c.labels_for_value("shared");
+        hits.sort();
+        assert_eq!(hits, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn missing_value_is_empty() {
+        let c = Catalog::build(&movies());
+        assert!(c.labels_for_value("Stanley Kubrick").is_empty());
+    }
+
+    #[test]
+    fn numeric_labels_detected() {
+        let c = Catalog::build(&bib());
+        let numeric = c.numeric_labels();
+        assert!(numeric.contains(&"price".to_owned()), "{numeric:?}");
+        assert!(numeric.contains(&"year".to_owned()), "{numeric:?}");
+        assert!(!numeric.contains(&"title".to_owned()));
+    }
+
+    #[test]
+    fn attribute_values_indexed() {
+        let c = Catalog::build(&bib());
+        assert_eq!(c.labels_for_value("1994"), vec!["year"]);
+    }
+}

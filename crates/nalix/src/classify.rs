@@ -1,0 +1,296 @@
+//! Token classification (paper Sec. 3.1): mapping each dependency-tree
+//! node to a token or marker type via the vocabulary enum sets.
+
+use crate::token::{CNode, ClassifiedTree, MarkerType, NodeClass, TokenType};
+use crate::vocab;
+use nlparser::{DepRel, DepTree, Pos};
+
+/// Classify a dependency tree. The output tree has the same shape; each
+/// node carries its [`NodeClass`].
+pub fn classify(dep: &DepTree) -> ClassifiedTree {
+    let mut nodes = Vec::with_capacity(dep.len());
+    for r in dep.refs() {
+        let d = dep.node(r);
+        let class = classify_node(dep, r);
+        nodes.push(CNode {
+            words: d.word.clone(),
+            lemma: d.lemma.clone(),
+            class,
+            parent: d.head,
+            children: d.children.clone(),
+            rel: d.rel,
+            order: d.order,
+            implicit: false,
+            expansion: Vec::new(),
+        });
+    }
+    ClassifiedTree {
+        nodes,
+        root: dep.root(),
+    }
+}
+
+fn classify_node(dep: &DepTree, r: usize) -> NodeClass {
+    let n = dep.node(r);
+    let lemma = n.lemma.as_str();
+    let is_root = dep.root() == r;
+    match n.pos {
+        Pos::Verb | Pos::Wh if is_root => {
+            if vocab::command_token(lemma) {
+                NodeClass::Token(TokenType::Cmt)
+            } else {
+                NodeClass::Unknown
+            }
+        }
+        // A wh-word that is not the root cannot be integrated.
+        Pos::Wh => NodeClass::Unknown,
+        Pos::Verb => {
+            // Clause verbs: comparison verbs become operator tokens;
+            // anything else is a "non-token main verb" → CM.
+            match vocab::operator_token(lemma) {
+                Some(op) => NodeClass::Token(TokenType::Ot(op)),
+                None => NodeClass::Marker(MarkerType::Cm),
+            }
+        }
+        Pos::Participle => NodeClass::Marker(MarkerType::Cm),
+        Pos::Aux => {
+            // A copula heading a clause (it has subject/predicate
+            // children) is the operator "be"; helper auxiliaries are
+            // general markers.
+            let heads_clause = n
+                .children
+                .iter()
+                .any(|&c| matches!(dep.node(c).rel, DepRel::Subj | DepRel::Pred | DepRel::Obj));
+            if heads_clause {
+                match vocab::operator_token(lemma) {
+                    Some(op) => NodeClass::Token(TokenType::Ot(op)),
+                    None => NodeClass::Marker(MarkerType::Cm),
+                }
+            } else {
+                NodeClass::Marker(MarkerType::Gm)
+            }
+        }
+        Pos::OpPhrase => match vocab::operator_token(lemma) {
+            Some(op) => NodeClass::Token(TokenType::Ot(op)),
+            None => NodeClass::Unknown,
+        },
+        Pos::FuncPhrase => match vocab::function_token(lemma) {
+            Some(f) => NodeClass::Token(TokenType::Ft(f)),
+            None => NodeClass::Unknown,
+        },
+        Pos::OrderPhrase => match vocab::order_by_token(lemma) {
+            Some(d) => NodeClass::Token(TokenType::Obt(d)),
+            None => NodeClass::Unknown,
+        },
+        Pos::Adj => match vocab::function_token(lemma) {
+            Some(f) => NodeClass::Token(TokenType::Ft(f)),
+            None => NodeClass::Marker(MarkerType::Mm),
+        },
+        Pos::Det => NodeClass::Marker(MarkerType::Gm),
+        Pos::Quant => match vocab::quantifier_token(lemma) {
+            Some(q) => NodeClass::Token(TokenType::Qt(q)),
+            None => NodeClass::Marker(MarkerType::Gm),
+        },
+        Pos::Neg => NodeClass::Token(TokenType::Neg),
+        Pos::Prep => match vocab::operator_token(lemma) {
+            // "after 1991", "before 2000" — comparison prepositions.
+            Some(op) => NodeClass::Token(TokenType::Ot(op)),
+            None => {
+                if vocab::connection_marker(lemma) {
+                    NodeClass::Marker(MarkerType::Cm)
+                } else {
+                    // e.g. "as", "than" outside a known phrase
+                    NodeClass::Unknown
+                }
+            }
+        },
+        // First-person objects of the command ("show ME") carry no
+        // semantics and need no anaphora warning.
+        Pos::Pronoun if matches!(lemma, "me" | "us") => NodeClass::Marker(MarkerType::Gm),
+        Pos::Pronoun => NodeClass::Marker(MarkerType::Pm),
+        Pos::Noun => NodeClass::Token(TokenType::Nt),
+        Pos::Proper | Pos::Quoted | Pos::Number => NodeClass::Token(TokenType::Vt),
+        Pos::Conj => NodeClass::Marker(MarkerType::Gm),
+        Pos::Subord | Pos::Unknown => NodeClass::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{OpSem, QtKind};
+    use nlparser::parse;
+    use xquery::AggFunc;
+
+    fn classify_str(s: &str) -> ClassifiedTree {
+        classify(&parse(s).unwrap())
+    }
+
+    fn find(t: &ClassifiedTree, lemma: &str) -> usize {
+        t.refs()
+            .find(|&r| t.node(r).lemma == lemma)
+            .unwrap_or_else(|| panic!("no node `{lemma}` in\n{}", t.outline()))
+    }
+
+    #[test]
+    fn figure2_classification() {
+        // Paper Figure 2: the classified parse tree for Query 2.
+        let t = classify_str(
+            "Return every director, where the number of movies directed by the \
+             director is the same as the number of movies directed by Ron Howard.",
+        );
+        assert_eq!(
+            t.node(t.root).class,
+            NodeClass::Token(TokenType::Cmt),
+            "{}",
+            t.outline()
+        );
+        let every = find(&t, "every");
+        assert_eq!(
+            t.node(every).class,
+            NodeClass::Token(TokenType::Qt(QtKind::Every))
+        );
+        let ot = find(&t, "be the same as");
+        assert_eq!(t.node(ot).class, NodeClass::Token(TokenType::Ot(OpSem::Eq)));
+        // two FT count nodes
+        let fts = t
+            .refs()
+            .filter(|&r| t.node(r).class == NodeClass::Token(TokenType::Ft(AggFunc::Count)))
+            .count();
+        assert_eq!(fts, 2);
+        // "directed" and "by" are connection markers
+        let directed = t
+            .refs()
+            .filter(|&r| t.node(r).lemma == "directed")
+            .collect::<Vec<_>>();
+        assert_eq!(directed.len(), 2);
+        for d in directed {
+            assert_eq!(t.node(d).class, NodeClass::Marker(MarkerType::Cm));
+        }
+        // "Ron Howard" is a VT
+        let rh = find(&t, "Ron Howard");
+        assert_eq!(t.node(rh).class, NodeClass::Token(TokenType::Vt));
+    }
+
+    #[test]
+    fn figure10_unknown_as() {
+        // Paper Figure 10 / Query 1: "as" is an unknown term.
+        let t = classify_str(
+            "Return every director who has directed as many movies as has Ron Howard.",
+        );
+        let unknowns: Vec<_> = t
+            .refs()
+            .filter(|&r| t.node(r).class == NodeClass::Unknown)
+            .map(|r| t.node(r).lemma.clone())
+            .collect();
+        assert!(unknowns.contains(&"as".to_owned()), "{}", t.outline());
+    }
+
+    #[test]
+    fn copula_value_predicate_is_ot_eq() {
+        let t = classify_str(
+            "Return the total number of movies, where the director of each movie is Ron Howard.",
+        );
+        let be = find(&t, "be");
+        assert_eq!(t.node(be).class, NodeClass::Token(TokenType::Ot(OpSem::Eq)));
+        let ft = find(&t, "the total number of");
+        assert_eq!(
+            t.node(ft).class,
+            NodeClass::Token(TokenType::Ft(AggFunc::Count))
+        );
+    }
+
+    #[test]
+    fn superlative_adjective_is_ft() {
+        let t = classify_str("Return the lowest price for each book.");
+        let lowest = find(&t, "lowest");
+        assert_eq!(
+            t.node(lowest).class,
+            NodeClass::Token(TokenType::Ft(AggFunc::Min))
+        );
+        let for_ = find(&t, "for");
+        assert_eq!(t.node(for_).class, NodeClass::Marker(MarkerType::Cm));
+    }
+
+    #[test]
+    fn after_preposition_is_ot_gt() {
+        let t = classify_str(
+            "Return the title of every book published by Addison-Wesley after 1991.",
+        );
+        let after = find(&t, "after");
+        assert_eq!(
+            t.node(after).class,
+            NodeClass::Token(TokenType::Ot(OpSem::Gt))
+        );
+        let published = find(&t, "published");
+        assert_eq!(t.node(published).class, NodeClass::Marker(MarkerType::Cm));
+        let year = find(&t, "1991");
+        assert_eq!(t.node(year).class, NodeClass::Token(TokenType::Vt));
+    }
+
+    #[test]
+    fn contain_is_ot() {
+        let t = classify_str("Find all titles that contain \"XML\".");
+        let contain = find(&t, "contain");
+        assert_eq!(
+            t.node(contain).class,
+            NodeClass::Token(TokenType::Ot(OpSem::Contains))
+        );
+    }
+
+    #[test]
+    fn have_main_verb_is_cm() {
+        let t = classify_str("Return the title of each book that has an author.");
+        let have = find(&t, "have");
+        assert_eq!(t.node(have).class, NodeClass::Marker(MarkerType::Cm));
+    }
+
+    #[test]
+    fn sorted_by_is_obt() {
+        let t = classify_str("Return the title of every book, sorted by title.");
+        let ob = t
+            .refs()
+            .find(|&r| matches!(t.node(r).class, NodeClass::Token(TokenType::Obt(_))))
+            .unwrap();
+        assert_eq!(t.node(ob).lemma, "sorted by");
+    }
+
+    #[test]
+    fn pronoun_is_pm() {
+        let t = classify_str("Return all books and their titles.");
+        let their = find(&t, "their");
+        assert_eq!(t.node(their).class, NodeClass::Marker(MarkerType::Pm));
+    }
+
+    #[test]
+    fn negation_token() {
+        let t = classify_str(
+            "Return the title of each book, where the publisher of the book is not \"Springer\".",
+        );
+        let neg = t
+            .refs()
+            .find(|&r| t.node(r).class == NodeClass::Token(TokenType::Neg))
+            .unwrap();
+        assert_eq!(t.node(neg).lemma, "not");
+    }
+
+    #[test]
+    fn numbers_are_vts() {
+        let t = classify_str(
+            "Return every book, where the number of authors of the book is at least 1.",
+        );
+        let one = find(&t, "1");
+        assert_eq!(t.node(one).class, NodeClass::Token(TokenType::Vt));
+        let atleast = find(&t, "be at least");
+        assert_eq!(
+            t.node(atleast).class,
+            NodeClass::Token(TokenType::Ot(OpSem::Ge))
+        );
+    }
+
+    #[test]
+    fn wh_root_is_cmt() {
+        let t = classify_str("What is the title of each book?");
+        assert_eq!(t.node(t.root).class, NodeClass::Token(TokenType::Cmt));
+    }
+}

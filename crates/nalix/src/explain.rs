@@ -1,0 +1,160 @@
+//! Translation introspection: renders the intermediate artifacts the
+//! paper presents as Tables 3–5 — the variable-binding table and the
+//! direct token-pattern mappings — for any translated query.
+//!
+//! Used by the examples' `--explain` output and by golden tests that
+//! compare against the published tables.
+
+use crate::binding::{bind, Binding};
+use crate::token::ClassifiedTree;
+use std::fmt::Write;
+
+/// One row of the variable-binding table (paper Table 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariableRow {
+    /// `$v1`, `$v2`, … — `*` appended for core-token variables, as in
+    /// the paper.
+    pub variable: String,
+    /// The element/attribute content the variable ranges over.
+    pub content: String,
+    /// The parse-tree nodes bound to it (tree indices).
+    pub nodes: Vec<usize>,
+    /// Variables related to this one (same `mqf` group).
+    pub related_to: Vec<String>,
+}
+
+/// The rendered explanation.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Table 3: variable bindings.
+    pub variables: Vec<VariableRow>,
+    /// Related variable sets, each becoming one `mqf()` clause.
+    pub groups: Vec<Vec<String>>,
+}
+
+/// Build the explanation for a validated parse tree.
+pub fn explain(tree: &ClassifiedTree) -> Explanation {
+    let binding: Binding = bind(tree);
+    let name = |v: usize| -> String {
+        let star = if binding.vars[v].core { "*" } else { "" };
+        format!("$v{}{}", v + 1, star)
+    };
+    let mut variables = Vec::new();
+    for (i, var) in binding.vars.iter().enumerate() {
+        let related: Vec<String> = binding
+            .groups
+            .iter()
+            .filter(|g| g.contains(&i))
+            .flat_map(|g| g.iter().copied())
+            .filter(|&j| j != i)
+            .map(name)
+            .collect();
+        variables.push(VariableRow {
+            variable: name(i),
+            content: var.names.join("|"),
+            nodes: var.nodes.clone(),
+            related_to: related,
+        });
+    }
+    let groups = binding
+        .groups
+        .iter()
+        .map(|g| g.iter().map(|&v| name(v)).collect())
+        .collect();
+    Explanation { variables, groups }
+}
+
+impl Explanation {
+    /// Render in the paper's Table 3 style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<24} {:<14} {}",
+            "Variable", "Associated Content", "Nodes", "Related To"
+        );
+        for row in &self.variables {
+            let nodes = row
+                .nodes
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let related = if row.related_to.is_empty() {
+                "null".to_owned()
+            } else {
+                row.related_to.join(",")
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:<24} {:<14} {}",
+                row.variable, row.content, nodes, related
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::classify::classify;
+    use crate::validate::validate;
+    use nlparser::parse;
+    use xmldb::datasets::movies::movies;
+
+    fn explain_query(q: &str) -> Explanation {
+        let doc = movies();
+        let catalog = Catalog::build(&doc);
+        let v = validate(classify(&parse(q).unwrap()), &catalog);
+        assert!(v.is_valid(), "{:?}", v.feedback);
+        explain(&v.tree)
+    }
+
+    #[test]
+    fn table3_shape_for_query2() {
+        // Paper Table 3: $v1* director, $v2 movie, $v3 movie, $v4*
+        // director; $v1↔$v2, $v3↔$v4.
+        let e = explain_query(
+            "Return every director, where the number of movies directed by the \
+             director is the same as the number of movies directed by Ron Howard.",
+        );
+        assert_eq!(e.variables.len(), 4);
+        let stars = e
+            .variables
+            .iter()
+            .filter(|r| r.variable.ends_with('*'))
+            .count();
+        assert_eq!(stars, 2, "{e:?}"); // the two director variables
+        let contents: Vec<&str> =
+            e.variables.iter().map(|r| r.content.as_str()).collect();
+        assert_eq!(
+            contents
+                .iter()
+                .filter(|c| c.contains("director"))
+                .count(),
+            2
+        );
+        assert_eq!(contents.iter().filter(|c| c.contains("movie")).count(), 2);
+        // two groups of two
+        assert_eq!(e.groups.len(), 2);
+        assert!(e.groups.iter().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn render_is_tabular() {
+        let e = explain_query("Return the director of each movie.");
+        let text = e.render();
+        assert!(text.starts_with("Variable"));
+        assert!(text.contains("$v1"));
+        assert!(text.contains("director"));
+    }
+
+    #[test]
+    fn no_core_query_has_single_group_and_no_stars() {
+        let e = explain_query("Return the director of each movie.");
+        assert_eq!(e.groups.len(), 1);
+        assert!(e.variables.iter().all(|r| !r.variable.ends_with('*')));
+    }
+}

@@ -1,0 +1,208 @@
+//! User feedback: dynamically generated error and warning messages
+//! (paper Sec. 4).
+//!
+//! "Each error message is dynamically generated, tailored to the actual
+//! query causing the error. Inside each message, possible ways to revise
+//! the query are also suggested."
+
+use std::fmt;
+
+/// The kind of a feedback item — used by the simulated participants to
+/// decide how to revise, and by tests to assert on behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedbackKind {
+    /// A term outside the system vocabulary (paper's example: "as").
+    UnknownTerm {
+        /// The offending term.
+        term: String,
+        /// A suggested replacement, when the system knows one.
+        suggestion: Option<String>,
+    },
+    /// A name token with no matching element/attribute in the database.
+    NoSuchName {
+        /// The user's word.
+        term: String,
+        /// Near-miss labels offered to the user.
+        candidates: Vec<String>,
+    },
+    /// A value token whose value occurs nowhere in the database (used
+    /// for implicit name-token resolution failures).
+    NoSuchValue {
+        /// The value.
+        value: String,
+    },
+    /// The parse tree violates the supported grammar (Table 6).
+    GrammarViolation {
+        /// What was wrong, in user terms.
+        detail: String,
+    },
+    /// A comparison is missing one of its operands.
+    IncompleteComparison {
+        /// The operator's surface words.
+        operator: String,
+    },
+    /// The query contains a pronoun — anaphora resolution is unreliable,
+    /// so the system warns (paper Sec. 4).
+    PronounWarning {
+        /// The pronoun.
+        pronoun: String,
+    },
+    /// Multiple database names matched a single word; the disjunction of
+    /// all of them is used unless the user picks one.
+    AmbiguousName {
+        /// The user's word.
+        term: String,
+        /// All matching labels.
+        matches: Vec<String>,
+    },
+}
+
+/// Severity: errors block translation, warnings do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The query is rejected; the user must rephrase.
+    Error,
+    /// The query is accepted, but the user should double-check.
+    Warning,
+}
+
+/// One feedback item shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feedback {
+    /// Error or warning.
+    pub severity: Severity,
+    /// The structured kind (drives simulated-user revision).
+    pub kind: FeedbackKind,
+}
+
+impl Feedback {
+    /// Build an error.
+    pub fn error(kind: FeedbackKind) -> Self {
+        Feedback {
+            severity: Severity::Error,
+            kind,
+        }
+    }
+
+    /// Build a warning.
+    pub fn warning(kind: FeedbackKind) -> Self {
+        Feedback {
+            severity: Severity::Warning,
+            kind,
+        }
+    }
+
+    /// The rendered message, in the paper's style.
+    pub fn message(&self) -> String {
+        match &self.kind {
+            FeedbackKind::UnknownTerm { term, suggestion } => match suggestion {
+                Some(s) => format!(
+                    "The term \"{term}\" is not understood by the system. \
+                     Please consider replacing it with \"{s}\"."
+                ),
+                None => format!(
+                    "The term \"{term}\" is not understood by the system. \
+                     Please rephrase your query without it."
+                ),
+            },
+            FeedbackKind::NoSuchName { term, candidates } => {
+                if candidates.is_empty() {
+                    format!(
+                        "No element or attribute named \"{term}\" was found in the database. \
+                         Please use a different word for it."
+                    )
+                } else {
+                    format!(
+                        "No element or attribute named \"{term}\" was found in the database. \
+                         Did you mean one of: {}?",
+                        candidates.join(", ")
+                    )
+                }
+            }
+            FeedbackKind::NoSuchValue { value } => format!(
+                "The value \"{value}\" does not occur in the database, so the system \
+                 cannot determine what kind of item it identifies. Please name the \
+                 item explicitly (for example \"author {value}\")."
+            ),
+            FeedbackKind::GrammarViolation { detail } => format!(
+                "The system could not understand the structure of your query: {detail}"
+            ),
+            FeedbackKind::IncompleteComparison { operator } => format!(
+                "The comparison \"{operator}\" seems to be missing a value or item to \
+                 compare against. Please complete it (for example \"... {operator} 1991\")."
+            ),
+            FeedbackKind::PronounWarning { pronoun } => format!(
+                "The query contains the pronoun \"{pronoun}\". The system may \
+                 misunderstand what it refers to; consider repeating the item's name \
+                 instead."
+            ),
+            FeedbackKind::AmbiguousName { term, matches } => format!(
+                "The word \"{term}\" matches several items in the database ({}); all of \
+                 them will be searched. Rephrase with one of the exact names to narrow \
+                 the query.",
+                matches.join(", ")
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Feedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "[{tag}] {}", self.message())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_term_with_suggestion_matches_paper_example() {
+        let f = Feedback::error(FeedbackKind::UnknownTerm {
+            term: "as".into(),
+            suggestion: Some("the same as".into()),
+        });
+        let m = f.message();
+        assert!(m.contains("\"as\""));
+        assert!(m.contains("\"the same as\""));
+    }
+
+    #[test]
+    fn unknown_term_without_suggestion() {
+        let f = Feedback::error(FeedbackKind::UnknownTerm {
+            term: "blargh".into(),
+            suggestion: None,
+        });
+        assert!(f.message().contains("rephrase"));
+    }
+
+    #[test]
+    fn no_such_name_lists_candidates() {
+        let f = Feedback::error(FeedbackKind::NoSuchName {
+            term: "cost".into(),
+            candidates: vec!["price".into()],
+        });
+        assert!(f.message().contains("price"));
+    }
+
+    #[test]
+    fn pronoun_is_warning() {
+        let f = Feedback::warning(FeedbackKind::PronounWarning {
+            pronoun: "their".into(),
+        });
+        assert_eq!(f.severity, Severity::Warning);
+        assert!(f.to_string().starts_with("[warning]"));
+    }
+
+    #[test]
+    fn display_includes_severity() {
+        let f = Feedback::error(FeedbackKind::NoSuchValue {
+            value: "Atlantis".into(),
+        });
+        assert!(f.to_string().starts_with("[error]"));
+    }
+}

@@ -1,0 +1,318 @@
+#![warn(missing_docs)]
+
+//! # nalix — a generic natural language interface for an XML database
+//!
+//! Reproduction of *Li, Yang & Jagadish, "Constructing a Generic Natural
+//! Language Interface for an XML Database", EDBT 2006*: an arbitrary
+//! English query is parsed (crate [`nlparser`]), classified into tokens
+//! and markers (Tables 1–2), validated against the supported grammar
+//! (Table 6) with dynamically generated feedback, and translated into a
+//! Schema-Free XQuery expression (crate [`xquery`]) evaluated against an
+//! XML database (crate [`xmldb`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nalix::Nalix;
+//! use xmldb::datasets::movies::movies;
+//!
+//! let doc = movies();
+//! let nalix = Nalix::new(&doc);
+//! match nalix.query("Find all the movies directed by Ron Howard.") {
+//!     nalix::Outcome::Translated(t) => {
+//!         let results = nalix.execute(&t).unwrap();
+//!         assert_eq!(results.len(), 2);
+//!     }
+//!     nalix::Outcome::Rejected(r) => panic!("{:?}", r.errors),
+//! }
+//! ```
+//!
+//! ## The interactive loop
+//!
+//! When a query cannot be understood, [`Nalix::query`] returns
+//! [`Outcome::Rejected`] carrying error messages with rephrasing
+//! suggestions — the paper's interactive query-formulation mechanism
+//! (Sec. 4). The paper's running example works verbatim:
+//!
+//! ```
+//! use nalix::{Nalix, Outcome};
+//! use xmldb::datasets::movies::movies;
+//!
+//! let doc = movies();
+//! let nalix = Nalix::new(&doc);
+//! // Query 1 is invalid — "as" is outside the vocabulary…
+//! let out = nalix.query(
+//!     "Return every director who has directed as many movies as has Ron Howard.");
+//! let rejection = match out {
+//!     Outcome::Rejected(r) => r,
+//!     _ => panic!("expected rejection"),
+//! };
+//! assert!(rejection.errors[0].message().contains("the same as"));
+//! // …and Query 2, the suggested rephrasing, translates and runs.
+//! let out = nalix.query(
+//!     "Return every director, where the number of movies directed by the \
+//!      director is the same as the number of movies directed by Ron Howard.");
+//! assert!(matches!(out, Outcome::Translated(_)));
+//! ```
+
+pub mod binding;
+pub mod catalog;
+pub mod classify;
+pub mod explain;
+pub mod feedback;
+pub mod semantics;
+pub mod thesaurus;
+pub mod token;
+pub mod translate;
+pub mod validate;
+pub mod vocab;
+
+pub use feedback::{Feedback, FeedbackKind, Severity};
+pub use token::{ClassifiedTree, NodeClass, OpSem, QtKind, TokenType};
+pub use translate::{TranslateError, Translation};
+
+use catalog::Catalog;
+use xmldb::Document;
+use xquery::{Engine, EvalError, Item, Sequence};
+
+/// A successfully translated query.
+#[derive(Debug, Clone)]
+pub struct Translated {
+    /// The Schema-Free XQuery expression.
+    pub translation: Translation,
+    /// Non-blocking warnings (pronouns, ambiguous names).
+    pub warnings: Vec<Feedback>,
+    /// The classified, validated parse tree (for explain output).
+    pub tree: ClassifiedTree,
+}
+
+/// A rejected query, with the feedback the user sees.
+#[derive(Debug, Clone)]
+pub struct Rejected {
+    /// The errors (at least one).
+    pub errors: Vec<Feedback>,
+    /// Warnings gathered before rejection.
+    pub warnings: Vec<Feedback>,
+}
+
+/// The outcome of submitting one natural language query.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The query was understood; evaluate with [`Nalix::execute`].
+    Translated(Box<Translated>),
+    /// The query was rejected; revise using the error messages.
+    Rejected(Rejected),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Translated`].
+    pub fn is_translated(&self) -> bool {
+        matches!(self, Outcome::Translated(_))
+    }
+}
+
+/// The NaLIX system: a natural language query interface over one XML
+/// document.
+pub struct Nalix<'d> {
+    doc: &'d Document,
+    catalog: Catalog,
+}
+
+impl<'d> Nalix<'d> {
+    /// Build the interface for a (finalized) document. Catalog
+    /// construction scans the document once.
+    pub fn new(doc: &'d Document) -> Self {
+        Nalix {
+            doc,
+            catalog: Catalog::build(doc),
+        }
+    }
+
+    /// The underlying document.
+    pub fn doc(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// The database catalog (labels and value index).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Submit a natural language query: parse → classify → validate →
+    /// translate.
+    pub fn query(&self, sentence: &str) -> Outcome {
+        let dep = match nlparser::parse(sentence) {
+            Ok(t) => t,
+            Err(e) => {
+                return Outcome::Rejected(Rejected {
+                    errors: vec![Feedback::error(FeedbackKind::GrammarViolation {
+                        detail: e.message,
+                    })],
+                    warnings: vec![],
+                })
+            }
+        };
+        self.query_tree(&dep)
+    }
+
+    /// Submit an already-parsed dependency tree (the user-study harness
+    /// uses this entry point to inject parse noise upstream).
+    pub fn query_tree(&self, dep: &nlparser::DepTree) -> Outcome {
+        let classified = classify::classify(dep);
+        let validation = validate::validate(classified, &self.catalog);
+        let warnings: Vec<Feedback> = validation
+            .warnings()
+            .into_iter()
+            .cloned()
+            .collect();
+        if !validation.is_valid() {
+            return Outcome::Rejected(Rejected {
+                errors: validation.errors().into_iter().cloned().collect(),
+                warnings,
+            });
+        }
+        match translate::translate(&validation.tree) {
+            Ok(translation) => Outcome::Translated(Box::new(Translated {
+                translation,
+                warnings,
+                tree: validation.tree,
+            })),
+            Err(e) => Outcome::Rejected(Rejected {
+                errors: vec![Feedback::error(FeedbackKind::GrammarViolation {
+                    detail: e.message,
+                })],
+                warnings,
+            }),
+        }
+    }
+
+    /// Evaluate a translated query against the database.
+    pub fn execute(&self, t: &Translated) -> Result<Sequence, EvalError> {
+        Engine::new(self.doc).eval_expr(&t.translation.query)
+    }
+
+    /// Convenience: query + execute, returning flat string values.
+    pub fn ask(&self, sentence: &str) -> Result<Vec<String>, Rejected> {
+        match self.query(sentence) {
+            Outcome::Translated(t) => {
+                let engine = Engine::new(self.doc);
+                match engine.eval_expr(&t.translation.query) {
+                    Ok(seq) => Ok(engine.strings(&seq)),
+                    Err(e) => Err(Rejected {
+                        errors: vec![Feedback::error(FeedbackKind::GrammarViolation {
+                            detail: format!("evaluation failed: {e}"),
+                        })],
+                        warnings: t.warnings.clone(),
+                    }),
+                }
+            }
+            Outcome::Rejected(r) => Err(r),
+        }
+    }
+
+    /// Flatten a result sequence into the independent element/attribute
+    /// values the paper's precision/recall metric counts ("we considered
+    /// each element and attribute value as an independent value").
+    pub fn flatten_values(&self, seq: &Sequence) -> Vec<String> {
+        let mut out = Vec::new();
+        for item in seq {
+            self.flatten_item(item, &mut out);
+        }
+        out
+    }
+
+    fn flatten_item(&self, item: &Item, out: &mut Vec<String>) {
+        match item {
+            Item::Elem(e) => {
+                for c in &e.children {
+                    self.flatten_item(c, out);
+                }
+            }
+            Item::Node(id) => {
+                // Leaf values of the subtree: one entry per element or
+                // attribute value.
+                let doc = self.doc;
+                let mut found_child = false;
+                for c in doc.children(*id) {
+                    match doc.node(c).kind {
+                        xmldb::NodeKind::Element | xmldb::NodeKind::Attribute => {
+                            found_child = true;
+                            self.flatten_item(&Item::Node(c), out);
+                        }
+                        xmldb::NodeKind::Text => {}
+                    }
+                }
+                if !found_child {
+                    out.push(doc.string_value(*id));
+                }
+            }
+            other => out.push(other.string_value(self.doc)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::datasets::movies::movies;
+
+    #[test]
+    fn end_to_end_accept() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let out = nalix
+            .ask("Return the director of the movie, where the title of the movie is \"Traffic\".")
+            .unwrap();
+        assert_eq!(out, vec!["Steven Soderbergh"]);
+    }
+
+    #[test]
+    fn end_to_end_reject_and_suggest() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let err = nalix
+            .ask("Return every director who has directed as many movies as has Ron Howard.")
+            .unwrap_err();
+        assert!(err
+            .errors
+            .iter()
+            .any(|f| f.message().contains("the same as")));
+    }
+
+    #[test]
+    fn warnings_do_not_block() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        match nalix.query("Return all movies and their titles.") {
+            Outcome::Translated(t) => {
+                assert!(!t.warnings.is_empty());
+            }
+            Outcome::Rejected(r) => panic!("{:?}", r.errors),
+        }
+    }
+
+    #[test]
+    fn flatten_values_expands_subtrees() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        match nalix.query("Find all the movies directed by Ron Howard.") {
+            Outcome::Translated(t) => {
+                let seq = nalix.execute(&t).unwrap();
+                let values = nalix.flatten_values(&seq);
+                // each movie contributes its title and director values
+                assert_eq!(values.len(), 4);
+                assert!(values.contains(&"Ron Howard".to_owned()));
+                assert!(values.contains(&"A Beautiful Mind".to_owned()));
+            }
+            Outcome::Rejected(r) => panic!("{:?}", r.errors),
+        }
+    }
+
+    #[test]
+    fn unparseable_sentence_is_rejected_gracefully() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let out = nalix.query("The weather is nice today.");
+        assert!(!out.is_translated());
+    }
+}

@@ -1,0 +1,445 @@
+//! The token-relationship semantics of Sec. 3.2.1: name-token
+//! equivalence (Def. 1), sub-parse trees (Def. 2), core tokens
+//! (Def. 3), direct relatedness (Def. 4), relatedness by core token
+//! (Def. 5), the related-NT closure (Def. 6), and attachment (Def. 7).
+
+use crate::token::{ClassifiedTree, NodeClass, TokenType};
+use std::collections::HashMap;
+
+/// Computed relationship structure over a validated parse tree.
+#[derive(Debug, Clone)]
+pub struct Semantics {
+    /// All NT node indices, in tree order.
+    pub nts: Vec<usize>,
+    /// Per NT (indexed like `nts`): is it a core token?
+    pub core: HashMap<usize, bool>,
+    /// Pairs of directly related NTs (Def. 4), symmetric.
+    pub directly_related: Vec<(usize, usize)>,
+    /// Partition of NT nodes into related sets (Def. 6).
+    pub related_sets: Vec<Vec<usize>>,
+    /// Whether the query has any core token at all (drives Def. 10).
+    pub has_core: bool,
+}
+
+/// Modifier fingerprint of an NT: the lemmas of its modifier-marker
+/// children, sorted. Two NTs with the same noun but different modifiers
+/// ("first book" vs "second book") are not equivalent (Def. 1).
+fn modifiers(tree: &ClassifiedTree, nt: usize) -> Vec<String> {
+    let mut mods: Vec<String> = tree.node(nt)
+        .children
+        .iter()
+        .filter(|&&c| {
+            matches!(
+                tree.node(c).class,
+                NodeClass::Marker(crate::token::MarkerType::Mm)
+            )
+        })
+        .map(|&c| tree.node(c).lemma.clone())
+        .collect();
+    mods.sort();
+    mods
+}
+
+/// Name-token equivalence (Def. 1).
+pub fn equivalent(tree: &ClassifiedTree, a: usize, b: usize) -> bool {
+    let na = tree.node(a);
+    let nb = tree.node(b);
+    if !na.class.is_nt() || !nb.class.is_nt() {
+        return false;
+    }
+    match (na.implicit, nb.implicit) {
+        (false, false) => {
+            let same_name = na.lemma == nb.lemma
+                || (!na.expansion.is_empty() && na.expansion == nb.expansion);
+            same_name && modifiers(tree, a) == modifiers(tree, b)
+        }
+        (true, true) => {
+            // Implicit NTs are equivalent when their VTs hold the same
+            // value.
+            let va = vt_value(tree, a);
+            let vb = vt_value(tree, b);
+            va.is_some() && va == vb
+        }
+        _ => false,
+    }
+}
+
+/// The value of the VT directly under an (implicit) NT, if any.
+pub fn vt_value(tree: &ClassifiedTree, nt: usize) -> Option<String> {
+    tree.node(nt)
+        .children
+        .iter()
+        .find(|&&c| tree.node(c).class.is_vt())
+        .map(|&c| tree.node(c).words.clone())
+}
+
+/// The "effective parent" of Def. 4: the nearest ancestor that is not a
+/// marker and not an FT/OT node with a single (non-marker) child.
+pub fn effective_parent(tree: &ClassifiedTree, node: usize) -> Option<usize> {
+    let mut cur = tree.node(node).parent?;
+    loop {
+        let n = tree.node(cur);
+        let skip = match n.class {
+            NodeClass::Marker(_) => true,
+            NodeClass::Token(TokenType::Ft(_)) | NodeClass::Token(TokenType::Ot(_)) => {
+                let token_children = n
+                    .children
+                    .iter()
+                    .filter(|&&c| !tree.node(c).class.is_marker())
+                    .count();
+                token_children <= 1
+            }
+            _ => false,
+        };
+        if skip {
+            cur = tree.node(cur).parent?;
+        } else {
+            return Some(cur);
+        }
+    }
+}
+
+/// Directly related name tokens (Def. 4).
+pub fn directly_related(tree: &ClassifiedTree, a: usize, b: usize) -> bool {
+    if !tree.node(a).class.is_nt() || !tree.node(b).class.is_nt() || a == b {
+        return false;
+    }
+    effective_parent(tree, a) == Some(b) || effective_parent(tree, b) == Some(a)
+}
+
+/// The token (if any) that a token node *attaches to* (Def. 7): its
+/// parent/child token partner, with the direction fixed by sentence
+/// order. Used for FT and QT scope decisions ("the basic variable that
+/// the function directly attaches to").
+pub fn attaches_to(tree: &ClassifiedTree, node: usize) -> Option<usize> {
+    // Prefer a single non-marker child; else the effective parent.
+    let token_children: Vec<usize> = tree.node(node)
+        .children
+        .iter()
+        .copied()
+        .filter(|&c| !tree.node(c).class.is_marker())
+        .collect();
+    if token_children.len() == 1 {
+        return Some(token_children[0]);
+    }
+    effective_parent(tree, node)
+}
+
+/// Analyze the tree (all of Defs. 1–6 combined).
+pub fn analyze(tree: &ClassifiedTree) -> Semantics {
+    let nts: Vec<usize> = tree
+        .refs()
+        .filter(|&r| tree.node(r).class.is_nt())
+        .collect();
+
+    // --- Sub-parse trees (Def. 2): OT nodes with ≥2 non-marker children.
+    let sub_roots: Vec<usize> = tree
+        .refs()
+        .filter(|&r| {
+            tree.node(r).class.ot().is_some()
+                && tree.node(r)
+                    .children
+                    .iter()
+                    .filter(|&&c| !tree.node(c).class.is_marker())
+                    .count()
+                    >= 2
+        })
+        .collect();
+
+    let in_subtree = |node: usize, root: usize| -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == root {
+                return true;
+            }
+            cur = tree.node(c).parent;
+        }
+        false
+    };
+
+    // --- Core tokens (Def. 3i): NT in a sub-parse tree with no
+    // descendant NTs.
+    let has_descendant_nt = |nt: usize| -> bool {
+        // BFS below nt
+        let mut stack: Vec<usize> = tree.node(nt).children.clone();
+        while let Some(c) = stack.pop() {
+            if tree.node(c).class.is_nt() {
+                return true;
+            }
+            stack.extend(tree.node(c).children.iter().copied());
+        }
+        false
+    };
+    let mut core: HashMap<usize, bool> = nts.iter().map(|&n| (n, false)).collect();
+    for &nt in &nts {
+        let in_sub = sub_roots.iter().any(|&r| in_subtree(nt, r));
+        if in_sub && !has_descendant_nt(nt) {
+            core.insert(nt, true);
+        }
+    }
+    // Def. 3(ii): equivalent to a core token — iterate to fixpoint.
+    loop {
+        let mut changed = false;
+        for &a in &nts {
+            if core[&a] {
+                continue;
+            }
+            if nts.iter().any(|&b| core[&b] && equivalent(tree, a, b)) {
+                core.insert(a, true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- Directly related pairs (Def. 4).
+    let mut directly: Vec<(usize, usize)> = Vec::new();
+    for (i, &a) in nts.iter().enumerate() {
+        for &b in &nts[i + 1..] {
+            if directly_related(tree, a, b) {
+                directly.push((a, b));
+            }
+        }
+    }
+
+    // --- Related closure (Def. 6) via union-find: union direct pairs
+    // and equivalent *core* pairs (Def. 5 reaches across equivalent core
+    // tokens).
+    let mut uf: HashMap<usize, usize> = nts.iter().map(|&n| (n, n)).collect();
+    fn find(uf: &mut HashMap<usize, usize>, mut x: usize) -> usize {
+        while uf[&x] != x {
+            let next = uf[&uf[&x]];
+            uf.insert(x, next);
+            x = next;
+        }
+        x
+    }
+    let union = |uf: &mut HashMap<usize, usize>, a: usize, b: usize| {
+        let ra = find(uf, a);
+        let rb = find(uf, b);
+        if ra != rb {
+            uf.insert(ra, rb);
+        }
+    };
+    for &(a, b) in &directly {
+        union(&mut uf, a, b);
+    }
+    for (i, &a) in nts.iter().enumerate() {
+        for &b in &nts[i + 1..] {
+            if core[&a] && core[&b] && equivalent(tree, a, b) {
+                union(&mut uf, a, b);
+            }
+        }
+    }
+
+    let mut sets: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &n in &nts {
+        let r = find(&mut uf, n);
+        sets.entry(r).or_default().push(n);
+    }
+    let mut related_sets: Vec<Vec<usize>> = sets.into_values().collect();
+    for s in &mut related_sets {
+        s.sort();
+    }
+    related_sets.sort();
+
+    let has_core = core.values().any(|&c| c);
+    Semantics {
+        nts,
+        core,
+        directly_related: directly,
+        related_sets,
+        has_core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::classify::classify;
+    use crate::validate::validate;
+    use nlparser::parse;
+    use xmldb::datasets::movies::{movies, movies_and_books};
+    use xmldb::Document;
+
+    fn prepared(doc: &Document, q: &str) -> ClassifiedTree {
+        let catalog = Catalog::build(doc);
+        let v = validate(classify(&parse(q).unwrap()), &catalog);
+        assert!(v.is_valid(), "{q}: {:?}", v.feedback);
+        v.tree
+    }
+
+    fn nts_by_lemma<'a>(tree: &'a ClassifiedTree, lemma: &str) -> Vec<usize> {
+        tree.refs()
+            .filter(|&r| tree.node(r).class.is_nt() && tree.node(r).lemma == lemma)
+            .collect()
+    }
+
+    #[test]
+    fn query2_core_tokens_match_paper() {
+        // Paper Sec. 3.2.2: "Two different core tokens can be found in
+        // Query 2. One is director, represented by nodes 2 and 7. The
+        // other is a different director, represented by node 11 [the
+        // implicit one]."
+        let doc = movies();
+        let t = prepared(
+            &doc,
+            "Return every director, where the number of movies directed by the \
+             director is the same as the number of movies directed by Ron Howard.",
+        );
+        let s = analyze(&t);
+        let directors = nts_by_lemma(&t, "director");
+        assert_eq!(directors.len(), 3); // two explicit + one implicit
+        for d in &directors {
+            assert!(s.core[d], "director node {d} should be core\n{}", t.outline());
+        }
+        let movies_ = nts_by_lemma(&t, "movie");
+        for m in &movies_ {
+            assert!(!s.core[m], "movie must not be core");
+        }
+        // The explicit pair is equivalent; the implicit one is not
+        // equivalent to them.
+        let implicit: Vec<_> = directors
+            .iter()
+            .copied()
+            .filter(|&d| t.node(d).implicit)
+            .collect();
+        let explicit: Vec<_> = directors
+            .iter()
+            .copied()
+            .filter(|&d| !t.node(d).implicit)
+            .collect();
+        assert_eq!(implicit.len(), 1);
+        assert_eq!(explicit.len(), 2);
+        assert!(equivalent(&t, explicit[0], explicit[1]));
+        assert!(!equivalent(&t, explicit[0], implicit[0]));
+    }
+
+    #[test]
+    fn query3_related_sets_match_paper() {
+        // Paper Sec. 3.2.1: "two sets of related nodes {2, 4, 6, 8} and
+        // {9, 11}" — i.e. {director, movie, title, movie} and
+        // {title, book}.
+        let doc = movies_and_books();
+        let t = prepared(
+            &doc,
+            "Return the directors of movies, where the title of each movie is \
+             the same as the title of a book.",
+        );
+        let s = analyze(&t);
+        assert_eq!(s.related_sets.len(), 2, "{}", t.outline());
+        let lemma_sets: Vec<Vec<String>> = s
+            .related_sets
+            .iter()
+            .map(|set| {
+                let mut v: Vec<String> =
+                    set.iter().map(|&n| t.node(n).lemma.clone()).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        assert!(lemma_sets.contains(&vec![
+            "director".to_owned(),
+            "movie".to_owned(),
+            "movie".to_owned(),
+            "title".to_owned()
+        ]));
+        assert!(lemma_sets.contains(&vec!["book".to_owned(), "title".to_owned()]));
+        // movie and book are the primitive cores
+        let books = nts_by_lemma(&t, "book");
+        assert!(s.core[&books[0]]);
+        let movies_ = nts_by_lemma(&t, "movie");
+        assert!(movies_.iter().all(|m| s.core[m]));
+        // the two titles are equivalent but not related
+        let titles = nts_by_lemma(&t, "title");
+        assert_eq!(titles.len(), 2);
+        assert!(equivalent(&t, titles[0], titles[1]));
+    }
+
+    #[test]
+    fn no_core_without_operators() {
+        let doc = movies();
+        let t = prepared(&doc, "Return the director of each movie.");
+        let s = analyze(&t);
+        assert!(!s.has_core);
+        assert_eq!(s.related_sets.len(), 1);
+    }
+
+    #[test]
+    fn directly_related_ignores_markers() {
+        let doc = movies();
+        let t = prepared(&doc, "Return the director of each movie.");
+        let d = nts_by_lemma(&t, "director")[0];
+        let m = nts_by_lemma(&t, "movie")[0];
+        assert!(directly_related(&t, d, m));
+    }
+
+    #[test]
+    fn effective_parent_skips_single_child_ft() {
+        let doc = movies();
+        let t = prepared(
+            &doc,
+            "Return every director, where the number of movies directed by the \
+             director is the same as the number of movies directed by Ron Howard.",
+        );
+        // movie's effective parent skips the FT (single child) and lands
+        // on the OT (two children).
+        let movies_ = nts_by_lemma(&t, "movie");
+        let ep = effective_parent(&t, movies_[0]).unwrap();
+        assert!(t.node(ep).class.ot().is_some(), "{}", t.outline());
+    }
+
+    #[test]
+    fn attachment_of_superlative_ft() {
+        let doc = xmldb::datasets::bib::bib();
+        let t = prepared(&doc, "Return the lowest price for each book.");
+        let ft = t
+            .refs()
+            .find(|&r| t.node(r).class.ft().is_some())
+            .unwrap();
+        let target = attaches_to(&t, ft).unwrap();
+        assert_eq!(t.node(target).lemma, "price");
+    }
+
+    #[test]
+    fn attachment_of_count_phrase_ft() {
+        let doc = movies();
+        let t = prepared(
+            &doc,
+            "Return the total number of movies, where the director of each movie \
+             is Ron Howard.",
+        );
+        let ft = t
+            .refs()
+            .find(|&r| t.node(r).class.ft().is_some())
+            .unwrap();
+        let target = attaches_to(&t, ft).unwrap();
+        assert_eq!(t.node(target).lemma, "movie");
+    }
+
+    #[test]
+    fn modifier_difference_breaks_equivalence() {
+        // "first book" vs "second book" (paper Sec. 3.2.1).
+        let doc = xmldb::Document::parse_str(
+            "<bib><book><title>A</title></book><book><title>B</title></book></bib>",
+        )
+        .unwrap();
+        let catalog = Catalog::build(&doc);
+        let v = validate(
+            classify(
+                &parse("Return the first book and the second book.").unwrap(),
+            ),
+            &catalog,
+        );
+        let t = v.tree;
+        let books: Vec<usize> = t
+            .refs()
+            .filter(|&r| t.node(r).class.is_nt() && t.node(r).lemma == "book")
+            .collect();
+        assert_eq!(books.len(), 2);
+        assert!(!equivalent(&t, books[0], books[1]));
+    }
+}

@@ -1,0 +1,155 @@
+//! Ontology-based term expansion (paper Sec. 4, "Term Expansion").
+//!
+//! The paper resolves user vocabulary to database element/attribute
+//! names "by ontology-based term expansion using generic thesaurus
+//! WordNet and domain-specific ontology whenever one is available".
+//! WordNet itself is a 150k-entry lexical database we cannot embed; what
+//! NaLIX needs from it is only the synonym/hypernym neighbourhood of the
+//! words users actually type against a bibliographic/movie database, so
+//! we embed that neighbourhood as a static table and expose the same
+//! operation: *given a user noun, which database labels could it mean?*
+//!
+//! The table is intentionally generic English (film → movie, writer →
+//! author, cost → price …), not fitted to a specific document: the same
+//! pairs appear in WordNet's synsets.
+
+/// Synonym table: `(user word, equivalent word)`. Symmetric closure is
+/// applied at lookup time.
+const SYNONYMS: [(&str, &str); 30] = [
+    ("film", "movie"),
+    ("picture", "movie"),
+    ("flick", "movie"),
+    ("writer", "author"),
+    ("novelist", "author"),
+    ("creator", "author"),
+    ("cost", "price"),
+    ("fee", "price"),
+    ("name", "title"),
+    ("heading", "title"),
+    ("filmmaker", "director"),
+    ("publisher", "press"),
+    ("company", "publisher"),
+    ("firm", "publisher"),
+    ("date", "year"),
+    ("time", "year"),
+    ("paper", "article"),
+    ("publication", "article"),
+    ("essay", "article"),
+    ("work", "book"),
+    ("volume", "book"),
+    ("text", "book"),
+    ("journal", "magazine"),
+    ("periodical", "journal"),
+    ("organization", "affiliation"),
+    ("institution", "affiliation"),
+    ("employer", "affiliation"),
+    ("redactor", "editor"),
+    ("segment", "section"),
+    ("part", "chapter"),
+];
+
+/// All words the thesaurus considers equivalent to `word` (including
+/// `word` itself), lower-case.
+pub fn expansions(word: &str) -> Vec<String> {
+    let w = word.to_lowercase();
+    let mut out = vec![w.clone()];
+    for (a, b) in SYNONYMS {
+        if w == a && !out.iter().any(|x| x == b) {
+            out.push(b.to_owned());
+        }
+        if w == b && !out.iter().any(|x| x == a) {
+            out.push(a.to_owned());
+        }
+    }
+    // One transitive hop (film → movie covers flick → movie → film).
+    let first_hop: Vec<String> = out[1..].to_vec();
+    for hop in first_hop {
+        for (a, b) in SYNONYMS {
+            if hop == a && !out.iter().any(|x| x == b) {
+                out.push(b.to_owned());
+            }
+            if hop == b && !out.iter().any(|x| x == a) {
+                out.push(a.to_owned());
+            }
+        }
+    }
+    out
+}
+
+/// Resolve a user word against the set of database labels: exact match
+/// first, then thesaurus expansion. Returns the matching labels (there
+/// may be several — the caller builds a disjunctive name test).
+pub fn resolve<'a>(word: &str, labels: &[&'a str]) -> Vec<&'a str> {
+    let w = word.to_lowercase();
+    // Exact match wins outright.
+    let exact: Vec<&str> = labels
+        .iter()
+        .copied()
+        .filter(|l| l.to_lowercase() == w)
+        .collect();
+    if !exact.is_empty() {
+        return exact;
+    }
+    let expanded = expansions(&w);
+    labels
+        .iter()
+        .copied()
+        .filter(|l| expanded.iter().any(|e| e == &l.to_lowercase()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_always_included() {
+        assert!(expansions("movie").contains(&"movie".to_owned()));
+    }
+
+    #[test]
+    fn symmetric_lookup() {
+        assert!(expansions("film").contains(&"movie".to_owned()));
+        assert!(expansions("movie").contains(&"film".to_owned()));
+    }
+
+    #[test]
+    fn transitive_hop() {
+        // flick → movie, film → movie ⇒ flick expands to film too.
+        let e = expansions("flick");
+        assert!(e.contains(&"movie".to_owned()));
+        assert!(e.contains(&"film".to_owned()));
+    }
+
+    #[test]
+    fn resolve_prefers_exact() {
+        let labels = ["movie", "film"];
+        assert_eq!(resolve("movie", &labels), vec!["movie"]);
+    }
+
+    #[test]
+    fn resolve_uses_synonyms() {
+        let labels = ["movie", "director", "title"];
+        assert_eq!(resolve("film", &labels), vec!["movie"]);
+        assert_eq!(resolve("name", &labels), vec!["title"]);
+    }
+
+    #[test]
+    fn resolve_can_return_multiple() {
+        let labels = ["book", "volume"];
+        let hits = resolve("work", &labels);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn resolve_misses_cleanly() {
+        let labels = ["movie"];
+        assert!(resolve("spaceship", &labels).is_empty());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let labels = ["Movie"];
+        assert_eq!(resolve("MOVIE", &labels), vec!["Movie"]);
+    }
+}

@@ -1,0 +1,356 @@
+//! Token and marker types (paper Tables 1 and 2) and the classified
+//! parse tree they live in.
+
+use nlparser::DepRel;
+use std::fmt;
+use xquery::AggFunc;
+
+/// Comparison semantics of an operator token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpSem {
+    /// Equality ("is", "the same as", "equal to").
+    Eq,
+    /// Inequality (negated equality).
+    Ne,
+    /// Less-than ("less than", "fewer than", "before", "earlier than").
+    Lt,
+    /// At-most ("at most").
+    Le,
+    /// Greater-than ("greater than", "more than", "after", "later than").
+    Gt,
+    /// At-least ("at least").
+    Ge,
+    /// Substring containment ("contain").
+    Contains,
+    /// Prefix match ("start with").
+    StartsWith,
+    /// Suffix match ("end with").
+    EndsWith,
+}
+
+impl OpSem {
+    /// The corresponding XQuery comparison operator, when one exists
+    /// (the string predicates map to function calls instead).
+    pub fn cmp_op(self) -> Option<xquery::CmpOp> {
+        match self {
+            OpSem::Eq => Some(xquery::CmpOp::Eq),
+            OpSem::Ne => Some(xquery::CmpOp::Ne),
+            OpSem::Lt => Some(xquery::CmpOp::Lt),
+            OpSem::Le => Some(xquery::CmpOp::Le),
+            OpSem::Gt => Some(xquery::CmpOp::Gt),
+            OpSem::Ge => Some(xquery::CmpOp::Ge),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpSem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpSem::Eq => "=",
+            OpSem::Ne => "!=",
+            OpSem::Lt => "<",
+            OpSem::Le => "<=",
+            OpSem::Gt => ">",
+            OpSem::Ge => ">=",
+            OpSem::Contains => "contains",
+            OpSem::StartsWith => "starts-with",
+            OpSem::EndsWith => "ends-with",
+        })
+    }
+}
+
+/// Quantifier kinds for QT tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QtKind {
+    /// "every", "each", "all".
+    Every,
+    /// "any", "some".
+    Some,
+}
+
+/// Sort direction carried by an order-by token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortDir {
+    /// Ascending (default; "sorted by", "in alphabetical order").
+    #[default]
+    Asc,
+    /// Descending ("in descending order").
+    Desc,
+}
+
+/// Token types (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenType {
+    /// Command token → RETURN clause.
+    Cmt,
+    /// Order-by token → ORDER BY clause.
+    Obt(SortDir),
+    /// Function token → aggregate function.
+    Ft(AggFunc),
+    /// Operator token → comparison operator.
+    Ot(OpSem),
+    /// Value token → a constant.
+    Vt,
+    /// Name token → a basic variable.
+    Nt,
+    /// Negation → `not()`.
+    Neg,
+    /// Quantifier token.
+    Qt(QtKind),
+}
+
+/// Marker types (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkerType {
+    /// Connection marker: relates two tokens (prepositions, non-token
+    /// main verbs like "directed by").
+    Cm,
+    /// Modifier marker: distinguishes two NTs ("first", numerals).
+    Mm,
+    /// Pronoun marker (no contribution; triggers a warning).
+    Pm,
+    /// General marker (auxiliaries, articles; no contribution).
+    Gm,
+}
+
+/// Classification of one parse-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// A token that maps to a query component.
+    Token(TokenType),
+    /// A marker.
+    Marker(MarkerType),
+    /// A term outside the system's vocabulary (reported to the user).
+    Unknown,
+}
+
+impl NodeClass {
+    /// Is this a marker (of any kind)?
+    pub fn is_marker(&self) -> bool {
+        matches!(self, NodeClass::Marker(_))
+    }
+
+    /// Is this a name token?
+    pub fn is_nt(&self) -> bool {
+        matches!(self, NodeClass::Token(TokenType::Nt))
+    }
+
+    /// Is this a value token?
+    pub fn is_vt(&self) -> bool {
+        matches!(self, NodeClass::Token(TokenType::Vt))
+    }
+
+    /// The aggregate function, for FT nodes.
+    pub fn ft(&self) -> Option<AggFunc> {
+        match self {
+            NodeClass::Token(TokenType::Ft(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The operator semantics, for OT nodes.
+    pub fn ot(&self) -> Option<OpSem> {
+        match self {
+            NodeClass::Token(TokenType::Ot(o)) => Some(*o),
+            _ => None,
+        }
+    }
+}
+
+/// A node of the classified parse tree.
+#[derive(Debug, Clone)]
+pub struct CNode {
+    /// Surface words.
+    pub words: String,
+    /// Normalised lemma (the key used for vocabulary lookups, name-token
+    /// equivalence, and database name matching).
+    pub lemma: String,
+    /// The classification.
+    pub class: NodeClass,
+    /// Parent (None for the root).
+    pub parent: Option<usize>,
+    /// Children, in sentence order.
+    pub children: Vec<usize>,
+    /// Grammatical relation carried over from the dependency parse.
+    pub rel: DepRel,
+    /// Sentence position of the node's first word.
+    pub order: usize,
+    /// True for implicit name tokens inserted by validation (Def. 11).
+    pub implicit: bool,
+    /// Database element/attribute names this NT resolves to after term
+    /// expansion (single element for exact matches; several yield a
+    /// disjunctive name test).
+    pub expansion: Vec<String>,
+}
+
+/// The classified parse tree (same shape as the dependency tree, plus
+/// implicit nodes inserted during validation).
+#[derive(Debug, Clone)]
+pub struct ClassifiedTree {
+    /// Node arena.
+    pub nodes: Vec<CNode>,
+    /// Root reference (always the CMT).
+    pub root: usize,
+}
+
+impl ClassifiedTree {
+    /// Borrow a node.
+    pub fn node(&self, i: usize) -> &CNode {
+        &self.nodes[i]
+    }
+
+    /// All node indices.
+    pub fn refs(&self) -> impl Iterator<Item = usize> {
+        0..self.nodes.len()
+    }
+
+    /// The parent of `i`, skipping marker nodes — the traversal used by
+    /// Def. 4 (directly related) and Def. 7 (attachment).
+    pub fn parent_skipping_markers(&self, i: usize) -> Option<usize> {
+        let mut cur = self.nodes[i].parent?;
+        loop {
+            if self.nodes[cur].class.is_marker() {
+                cur = self.nodes[cur].parent?;
+            } else {
+                return Some(cur);
+            }
+        }
+    }
+
+    /// Insert a new node between `parent_of` and its existing child
+    /// `child`: the new node takes `child`'s place and adopts it.
+    /// Used for implicit name-token insertion (Def. 11).
+    pub fn insert_above(&mut self, child: usize, node: CNode) -> usize {
+        let id = self.nodes.len();
+        let parent = self.nodes[child].parent;
+        let mut node = node;
+        node.parent = parent;
+        node.children = vec![child];
+        self.nodes.push(node);
+        if let Some(p) = parent {
+            let slot = self.nodes[p]
+                .children
+                .iter()
+                .position(|&c| c == child)
+                .expect("child must be listed under its parent");
+            self.nodes[p].children[slot] = id;
+        } else {
+            self.root = id;
+        }
+        self.nodes[child].parent = Some(id);
+        id
+    }
+
+    /// Render an indented outline with classifications (used by golden
+    /// tests that compare against the paper's figures).
+    pub fn outline(&self) -> String {
+        let mut out = String::new();
+        self.outline_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn outline_node(&self, i: usize, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let n = &self.nodes[i];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let class = match n.class {
+            NodeClass::Token(TokenType::Cmt) => "CMT".to_owned(),
+            NodeClass::Token(TokenType::Obt(_)) => "OBT".to_owned(),
+            NodeClass::Token(TokenType::Ft(f)) => format!("FT:{f}"),
+            NodeClass::Token(TokenType::Ot(o)) => format!("OT:{o}"),
+            NodeClass::Token(TokenType::Vt) => "VT".to_owned(),
+            NodeClass::Token(TokenType::Nt) => {
+                if n.implicit {
+                    "NT(implicit)".to_owned()
+                } else {
+                    "NT".to_owned()
+                }
+            }
+            NodeClass::Token(TokenType::Neg) => "NEG".to_owned(),
+            NodeClass::Token(TokenType::Qt(_)) => "QT".to_owned(),
+            NodeClass::Marker(MarkerType::Cm) => "CM".to_owned(),
+            NodeClass::Marker(MarkerType::Mm) => "MM".to_owned(),
+            NodeClass::Marker(MarkerType::Pm) => "PM".to_owned(),
+            NodeClass::Marker(MarkerType::Gm) => "GM".to_owned(),
+            NodeClass::Unknown => "UNKNOWN".to_owned(),
+        };
+        let _ = writeln!(out, "{} [{}]", n.words, class);
+        for &c in &n.children {
+            self.outline_node(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(lemma: &str, class: NodeClass, order: usize) -> CNode {
+        CNode {
+            words: lemma.to_owned(),
+            lemma: lemma.to_owned(),
+            class,
+            parent: None,
+            children: vec![],
+            rel: DepRel::Obj,
+            order,
+            implicit: false,
+            expansion: vec![],
+        }
+    }
+
+    fn small_tree() -> ClassifiedTree {
+        // return -> director -> of(CM) -> movie
+        let mut nodes = vec![
+            leaf("return", NodeClass::Token(TokenType::Cmt), 0),
+            leaf("director", NodeClass::Token(TokenType::Nt), 1),
+            leaf("of", NodeClass::Marker(MarkerType::Cm), 2),
+            leaf("movie", NodeClass::Token(TokenType::Nt), 3),
+        ];
+        nodes[0].children = vec![1];
+        nodes[1].parent = Some(0);
+        nodes[1].children = vec![2];
+        nodes[2].parent = Some(1);
+        nodes[2].children = vec![3];
+        nodes[3].parent = Some(2);
+        ClassifiedTree { nodes, root: 0 }
+    }
+
+    #[test]
+    fn parent_skipping_markers_sees_through_cm() {
+        let t = small_tree();
+        assert_eq!(t.parent_skipping_markers(3), Some(1));
+        assert_eq!(t.parent_skipping_markers(1), Some(0));
+        assert_eq!(t.parent_skipping_markers(0), None);
+    }
+
+    #[test]
+    fn insert_above_rewires() {
+        let mut t = small_tree();
+        let implicit = CNode {
+            implicit: true,
+            ..leaf("year", NodeClass::Token(TokenType::Nt), 3)
+        };
+        let id = t.insert_above(3, implicit);
+        assert_eq!(t.node(3).parent, Some(id));
+        assert_eq!(t.node(id).parent, Some(2));
+        assert!(t.node(2).children.contains(&id));
+        assert!(!t.node(2).children.contains(&3));
+    }
+
+    #[test]
+    fn outline_marks_classes() {
+        let o = small_tree().outline();
+        assert!(o.contains("return [CMT]"));
+        assert!(o.contains("of [CM]"));
+    }
+
+    #[test]
+    fn op_sem_cmp_mapping() {
+        assert_eq!(OpSem::Gt.cmp_op(), Some(xquery::CmpOp::Gt));
+        assert_eq!(OpSem::Contains.cmp_op(), None);
+    }
+}

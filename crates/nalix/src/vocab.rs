@@ -1,0 +1,267 @@
+//! The enumerated vocabulary sets (paper Tables 1–2).
+//!
+//! "Enumerated sets of phrases (enum sets) are the real-world 'knowledge
+//! base' for the system. In NaLIX, we have kept these small — each set
+//! has about a dozen elements." The lookups here map a parse-tree node's
+//! lemma to its token or marker classification.
+
+use crate::token::{OpSem, QtKind, SortDir};
+use xquery::AggFunc;
+
+/// Command tokens (CMT): "Top main verb or wh-phrase of parse tree,
+/// from an enum set of words and phrases."
+pub const COMMAND_TOKENS: [&str; 12] = [
+    "return", "find", "list", "show", "display", "give", "get", "retrieve", "tell", "what",
+    "which", "who",
+];
+
+/// Is this lemma a command token?
+pub fn command_token(lemma: &str) -> bool {
+    COMMAND_TOKENS.contains(&lemma)
+}
+
+/// Order-by tokens (OBT) with their sort direction.
+pub fn order_by_token(lemma: &str) -> Option<SortDir> {
+    match lemma {
+        "sorted by" | "in alphabetical order" | "in order of" => Some(SortDir::Asc),
+        "in descending order" => Some(SortDir::Desc),
+        _ => None,
+    }
+}
+
+/// Function tokens (FT): "A word or phrase from an enum set of
+/// adjectives and noun phrases", mapped to their aggregate function.
+pub fn function_token(lemma: &str) -> Option<AggFunc> {
+    match lemma {
+        "the number of" | "the total number of" => Some(AggFunc::Count),
+        "lowest" | "smallest" | "least" | "minimum" | "earliest" | "cheapest" | "fewest" => {
+            Some(AggFunc::Min)
+        }
+        "highest" | "largest" | "greatest" | "maximum" | "latest" | "most" => Some(AggFunc::Max),
+        "total" => Some(AggFunc::Sum),
+        "average" => Some(AggFunc::Avg),
+        _ => None,
+    }
+}
+
+/// Operator tokens (OT): "A phrase from an enum set of preposition
+/// phrases" (plus copulas and comparison verbs), mapped to semantics.
+pub fn operator_token(lemma: &str) -> Option<OpSem> {
+    match lemma {
+        "be" | "the same as" | "be the same as" | "equal to" | "be equal to" => Some(OpSem::Eq),
+        "greater than" | "more than" | "larger than" | "be greater than" | "be more than"
+        | "be larger than" => Some(OpSem::Gt),
+        "less than" | "fewer than" | "smaller than" | "be less than" | "be fewer than"
+        | "be smaller than" => Some(OpSem::Lt),
+        "at least" | "be at least" => Some(OpSem::Ge),
+        "at most" | "be at most" => Some(OpSem::Le),
+        "after" | "later than" | "be later than" | "be after" => Some(OpSem::Gt),
+        "before" | "earlier than" | "be earlier than" | "be before" => Some(OpSem::Lt),
+        "contain" | "include" => Some(OpSem::Contains),
+        "start with" => Some(OpSem::StartsWith),
+        "end with" => Some(OpSem::EndsWith),
+        _ => None,
+    }
+}
+
+/// Quantifier tokens (QT): "A word from an enum set of adjectives
+/// serving as determiners."
+pub fn quantifier_token(lemma: &str) -> Option<QtKind> {
+    match lemma {
+        "every" | "each" | "all" => Some(QtKind::Every),
+        "any" | "some" => Some(QtKind::Some),
+        _ => None,
+    }
+}
+
+/// Connection markers (CM): "A preposition from an enumerated set, or
+/// non-token main verb." The participles/verbs the parser produces
+/// ("directed", "published", "have") are accepted via the caller (any
+/// verb lemma that is not an operator token is a CM).
+pub fn connection_marker(lemma: &str) -> bool {
+    matches!(
+        lemma,
+        "of" | "by" | "with" | "in" | "on" | "for" | "from" | "about" | "at" | "to"
+    )
+}
+
+/// Modifier markers (MM): "An adjective as determiner or a numeral as
+/// predeterminer or postdeterminer."
+pub fn modifier_marker(lemma: &str) -> bool {
+    matches!(
+        lemma,
+        "first" | "second" | "third" | "last" | "new" | "same" | "different" | "alphabetical"
+    )
+}
+
+/// General markers (GM): "Auxiliary verbs, articles."
+pub fn general_marker(lemma: &str) -> bool {
+    matches!(
+        lemma,
+        "the" | "a" | "an" | "do" | "have" | "be" | "can" | "will" | "me"
+    )
+}
+
+/// Suggested rephrasings for known-problematic terms, used in error
+/// feedback (the paper's example: "as" → "the same as").
+pub fn suggestion_for(lemma: &str) -> Option<&'static str> {
+    match lemma {
+        "as" => Some("the same as"),
+        "than" => Some("greater than\" or \"less than"),
+        "like" => Some("contain"),
+        "over" => Some("greater than"),
+        "under" => Some("less than"),
+        "between" => Some("greater than\" combined with \"less than"),
+        "without" => Some("not"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_tokens_cover_imperatives_and_wh() {
+        assert!(command_token("return"));
+        assert!(command_token("what"));
+        assert!(!command_token("movie"));
+    }
+
+    #[test]
+    fn function_tokens_map_to_aggregates() {
+        assert_eq!(function_token("the number of"), Some(AggFunc::Count));
+        assert_eq!(function_token("lowest"), Some(AggFunc::Min));
+        assert_eq!(function_token("latest"), Some(AggFunc::Max));
+        assert_eq!(function_token("total"), Some(AggFunc::Sum));
+        assert_eq!(function_token("average"), Some(AggFunc::Avg));
+        assert_eq!(function_token("big"), None);
+    }
+
+    #[test]
+    fn operator_tokens_map_to_semantics() {
+        assert_eq!(operator_token("be the same as"), Some(OpSem::Eq));
+        assert_eq!(operator_token("after"), Some(OpSem::Gt));
+        assert_eq!(operator_token("be at least"), Some(OpSem::Ge));
+        assert_eq!(operator_token("contain"), Some(OpSem::Contains));
+        assert_eq!(operator_token("as"), None);
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(quantifier_token("every"), Some(QtKind::Every));
+        assert_eq!(quantifier_token("some"), Some(QtKind::Some));
+        assert_eq!(quantifier_token("the"), None);
+    }
+
+    #[test]
+    fn markers() {
+        assert!(connection_marker("of"));
+        assert!(!connection_marker("as"));
+        assert!(modifier_marker("first"));
+        assert!(general_marker("the"));
+    }
+
+    #[test]
+    fn suggestions_cover_the_papers_example() {
+        assert_eq!(suggestion_for("as"), Some("the same as"));
+        assert!(suggestion_for("of").is_none());
+    }
+
+    #[test]
+    fn every_function_token_synonym_classifies() {
+        for (word, func) in [
+            ("the number of", AggFunc::Count),
+            ("the total number of", AggFunc::Count),
+            ("lowest", AggFunc::Min),
+            ("smallest", AggFunc::Min),
+            ("least", AggFunc::Min),
+            ("minimum", AggFunc::Min),
+            ("earliest", AggFunc::Min),
+            ("cheapest", AggFunc::Min),
+            ("fewest", AggFunc::Min),
+            ("highest", AggFunc::Max),
+            ("largest", AggFunc::Max),
+            ("greatest", AggFunc::Max),
+            ("maximum", AggFunc::Max),
+            ("latest", AggFunc::Max),
+            ("most", AggFunc::Max),
+            ("total", AggFunc::Sum),
+            ("average", AggFunc::Avg),
+        ] {
+            assert_eq!(function_token(word), Some(func), "{word}");
+        }
+    }
+
+    #[test]
+    fn every_operator_token_synonym_classifies() {
+        use crate::token::OpSem::*;
+        for (word, sem) in [
+            ("be", Eq),
+            ("the same as", Eq),
+            ("be the same as", Eq),
+            ("equal to", Eq),
+            ("greater than", Gt),
+            ("more than", Gt),
+            ("larger than", Gt),
+            ("less than", Lt),
+            ("fewer than", Lt),
+            ("smaller than", Lt),
+            ("at least", Ge),
+            ("at most", Le),
+            ("after", Gt),
+            ("before", Lt),
+            ("later than", Gt),
+            ("earlier than", Lt),
+            ("contain", Contains),
+            ("include", Contains),
+            ("start with", StartsWith),
+            ("end with", EndsWith),
+        ] {
+            assert_eq!(operator_token(word), Some(sem), "{word}");
+        }
+    }
+
+    #[test]
+    fn copula_fused_variants_classify_like_their_base() {
+        for base in [
+            "the same as",
+            "equal to",
+            "greater than",
+            "more than",
+            "larger than",
+            "less than",
+            "fewer than",
+            "smaller than",
+            "at least",
+            "at most",
+            "after",
+            "before",
+            "later than",
+            "earlier than",
+        ] {
+            let fused = format!("be {base}");
+            assert_eq!(
+                operator_token(&fused),
+                operator_token(base),
+                "be-fusion must not change semantics: {fused}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_by_directions() {
+        use crate::token::SortDir;
+        assert_eq!(order_by_token("sorted by"), Some(SortDir::Asc));
+        assert_eq!(order_by_token("ordered by"), None); // normalised earlier
+        assert_eq!(order_by_token("in alphabetical order"), Some(SortDir::Asc));
+        assert_eq!(order_by_token("in descending order"), Some(SortDir::Desc));
+    }
+
+    #[test]
+    fn enum_sets_stay_small() {
+        // The paper: "we have kept these small - each set has about a
+        // dozen elements."
+        assert!(COMMAND_TOKENS.len() <= 15);
+    }
+}

@@ -1,0 +1,306 @@
+//! Word lists, phrase tables, and a light lemmatiser.
+//!
+//! These are the *parser's* linguistic tables — which words are verbs,
+//! prepositions, determiners, and which word sequences form a single
+//! phrase node. They are distinct from NaLIX's token-classification enum
+//! sets (crate `nalix`, module `vocab`), which decide what a node *means
+//! for translation*; this module only decides tree shape.
+
+/// Imperative command verbs that can root a query sentence.
+pub const COMMAND_VERBS: [&str; 9] = [
+    "return", "find", "list", "show", "display", "give", "get", "retrieve", "tell",
+];
+
+/// Wh-words that can root a question.
+pub const WH_WORDS: [&str; 4] = ["what", "which", "who", "how"];
+
+/// Copular verb forms.
+pub const COPULAS: [&str; 5] = ["is", "are", "was", "were", "be"];
+
+/// Auxiliary verbs (when followed by another verb).
+pub const AUXILIARIES: [&str; 7] = ["has", "have", "had", "does", "do", "did", "can"];
+
+/// Clause verbs we recognise beyond the copulas: content verbs that can
+/// head a relative or subordinate clause.
+pub const CLAUSE_VERBS: [&str; 10] = [
+    "contain", "contains", "contained", "include", "includes", "included", "has", "have",
+    "start", "end",
+];
+
+/// Past participles that post-modify nouns ("movies directed by X").
+/// Open class — any -ed form is accepted too; these are the irregular
+/// and domain-frequent ones.
+pub const PARTICIPLES: [&str; 10] = [
+    "directed",
+    "written",
+    "published",
+    "edited",
+    "authored",
+    "made",
+    "produced",
+    "released",
+    "sold",
+    "printed",
+];
+
+/// Determiners / articles.
+pub const ARTICLES: [&str; 3] = ["the", "a", "an"];
+
+/// Quantifiers.
+pub const QUANTIFIERS: [&str; 5] = ["every", "each", "all", "any", "some"];
+
+/// Prepositions the grammar attaches.
+pub const PREPOSITIONS: [&str; 14] = [
+    "of", "by", "in", "on", "for", "with", "from", "at", "to", "about", "after", "before",
+    "as", "than",
+];
+
+/// Pronouns (classified PM by NaLIX, warned about — except the
+/// first-person "me"/"us" of "show me …", which is vacuous).
+pub const PRONOUNS: [&str; 14] = [
+    "it", "its", "they", "them", "their", "he", "she", "his", "her", "this", "these", "those",
+    "me", "us",
+];
+
+/// Relativizers / subordinators that open a clause.
+pub const SUBORDINATORS: [&str; 5] = ["that", "which", "who", "where", "whose"];
+
+/// Adjectives the grammar knows (superlatives that become NaLIX FTs,
+/// plus ordinary ones).
+pub const ADJECTIVES: [&str; 22] = [
+    "lowest", "highest", "smallest", "largest", "greatest", "least", "cheapest",
+    "most", "fewest", "earliest", "latest", "minimum", "maximum", "total", "average",
+    "same", "first", "second", "last", "new", "alphabetical", "different",
+];
+
+/// Multi-word phrases merged into a single node before parsing, with the
+/// canonical lemma of the merged node. Longest match wins. All phrases
+/// are matched case-insensitively.
+pub const PHRASES: [(&str, &str, PhraseKind); 24] = [
+    ("the number of", "the number of", PhraseKind::Func),
+    ("the total number of", "the total number of", PhraseKind::Func),
+    ("the same as", "the same as", PhraseKind::Op),
+    ("equal to", "equal to", PhraseKind::Op),
+    ("greater than", "greater than", PhraseKind::Op),
+    ("more than", "more than", PhraseKind::Op),
+    ("larger than", "larger than", PhraseKind::Op),
+    ("less than", "less than", PhraseKind::Op),
+    ("fewer than", "fewer than", PhraseKind::Op),
+    ("smaller than", "smaller than", PhraseKind::Op),
+    ("at least", "at least", PhraseKind::Op),
+    ("at most", "at most", PhraseKind::Op),
+    ("later than", "later than", PhraseKind::Op),
+    ("earlier than", "earlier than", PhraseKind::Op),
+    ("starts with", "start with", PhraseKind::Op),
+    ("start with", "start with", PhraseKind::Op),
+    ("ends with", "end with", PhraseKind::Op),
+    ("end with", "end with", PhraseKind::Op),
+    ("sorted by", "sorted by", PhraseKind::Order),
+    ("ordered by", "sorted by", PhraseKind::Order),
+    ("in alphabetical order", "in alphabetical order", PhraseKind::Order),
+    ("in order of", "sorted by", PhraseKind::Order),
+    ("in ascending order", "in alphabetical order", PhraseKind::Order),
+    ("in descending order", "in descending order", PhraseKind::Order),
+];
+
+/// Kind of a merged phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhraseKind {
+    /// Comparison operator phrase.
+    Op,
+    /// Aggregate function phrase.
+    Func,
+    /// Ordering phrase.
+    Order,
+}
+
+/// Irregular plural → singular map; regular plurals are handled by
+/// suffix stripping in [`lemmatize_noun`].
+pub const IRREGULAR_PLURALS: [(&str, &str); 10] = [
+    ("children", "child"),
+    ("people", "person"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("indices", "index"),
+    ("series", "series"),
+    // -ie nouns the "ies → y" rule would mangle
+    ("movies", "movie"),
+    ("cookies", "cookie"),
+    ("calories", "calorie"),
+    ("prices", "price"),
+];
+
+/// Singularise a noun.
+pub fn lemmatize_noun(word: &str) -> String {
+    let w = word.to_lowercase();
+    for (pl, sg) in IRREGULAR_PLURALS {
+        if w == pl {
+            return sg.to_owned();
+        }
+    }
+    if let Some(stem) = w.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    for suffix in ["ses", "xes", "zes", "ches", "shes"] {
+        if let Some(stem) = w.strip_suffix("es") {
+            if w.ends_with(suffix) {
+                return stem.to_owned();
+            }
+        }
+    }
+    if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && w.len() > 2 {
+        return w[..w.len() - 1].to_owned();
+    }
+    w
+}
+
+/// Base form of a verb (covers the forms the grammar meets).
+pub fn lemmatize_verb(word: &str) -> String {
+    let w = word.to_lowercase();
+    match w.as_str() {
+        "is" | "are" | "was" | "were" | "been" | "being" => return "be".to_owned(),
+        "has" | "had" => return "have".to_owned(),
+        "does" | "did" => return "do".to_owned(),
+        "contains" | "contained" | "containing" => return "contain".to_owned(),
+        "includes" | "included" | "including" => return "include".to_owned(),
+        _ => {}
+    }
+    if let Some(stem) = w.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    if let Some(stem) = w.strip_suffix("es") {
+        if stem.ends_with('h') || stem.ends_with('s') || stem.ends_with('x') {
+            return stem.to_owned();
+        }
+    }
+    if w.ends_with('s') && !w.ends_with("ss") && w.len() > 2 {
+        return w[..w.len() - 1].to_owned();
+    }
+    w
+}
+
+fn contains(set: &[&str], w: &str) -> bool {
+    set.contains(&w)
+}
+
+/// Is `w` (lower-case) a command verb?
+pub fn is_command_verb(w: &str) -> bool {
+    contains(&COMMAND_VERBS, w)
+}
+
+/// Is `w` a copula form?
+pub fn is_copula(w: &str) -> bool {
+    contains(&COPULAS, w)
+}
+
+/// Is `w` an auxiliary?
+pub fn is_auxiliary(w: &str) -> bool {
+    contains(&AUXILIARIES, w)
+}
+
+/// Is `w` an article?
+pub fn is_article(w: &str) -> bool {
+    contains(&ARTICLES, w)
+}
+
+/// Is `w` a quantifier?
+pub fn is_quantifier(w: &str) -> bool {
+    contains(&QUANTIFIERS, w)
+}
+
+/// Is `w` a preposition?
+pub fn is_preposition(w: &str) -> bool {
+    contains(&PREPOSITIONS, w)
+}
+
+/// Is `w` a pronoun?
+pub fn is_pronoun(w: &str) -> bool {
+    contains(&PRONOUNS, w)
+}
+
+/// Is `w` a subordinator?
+pub fn is_subordinator(w: &str) -> bool {
+    contains(&SUBORDINATORS, w)
+}
+
+/// Is `w` a known adjective?
+pub fn is_adjective(w: &str) -> bool {
+    contains(&ADJECTIVES, w)
+}
+
+/// Is `w` a wh-word?
+pub fn is_wh_word(w: &str) -> bool {
+    contains(&WH_WORDS, w)
+}
+
+/// Is `w` a known participle, or shaped like one (-ed form of length ≥ 4)?
+pub fn is_participle(w: &str) -> bool {
+    contains(&PARTICIPLES, w) || (w.ends_with("ed") && w.len() >= 4)
+}
+
+/// Is `w` a clause verb (can head a relative / subordinate clause)?
+pub fn is_clause_verb(w: &str) -> bool {
+    contains(&CLAUSE_VERBS, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noun_lemmas() {
+        assert_eq!(lemmatize_noun("movies"), "movie");
+        assert_eq!(lemmatize_noun("titles"), "title");
+        assert_eq!(lemmatize_noun("libraries"), "library");
+        assert_eq!(lemmatize_noun("boxes"), "box");
+        assert_eq!(lemmatize_noun("children"), "child");
+        assert_eq!(lemmatize_noun("class"), "class");
+        assert_eq!(lemmatize_noun("book"), "book");
+        assert_eq!(lemmatize_noun("Movies"), "movie");
+        assert_eq!(lemmatize_noun("prices"), "price");
+    }
+
+    #[test]
+    fn verb_lemmas() {
+        assert_eq!(lemmatize_verb("is"), "be");
+        assert_eq!(lemmatize_verb("are"), "be");
+        assert_eq!(lemmatize_verb("has"), "have");
+        assert_eq!(lemmatize_verb("contains"), "contain");
+        assert_eq!(lemmatize_verb("directs"), "direct");
+        assert_eq!(lemmatize_verb("return"), "return");
+    }
+
+    #[test]
+    fn membership_predicates() {
+        assert!(is_command_verb("return"));
+        assert!(!is_command_verb("movie"));
+        assert!(is_copula("is"));
+        assert!(is_quantifier("every"));
+        assert!(is_article("the"));
+        assert!(is_preposition("of"));
+        assert!(is_pronoun("their"));
+        assert!(is_subordinator("where"));
+        assert!(is_adjective("lowest"));
+        assert!(is_wh_word("what"));
+    }
+
+    #[test]
+    fn participle_shape_heuristic() {
+        assert!(is_participle("directed"));
+        assert!(is_participle("written"));
+        assert!(is_participle("composed")); // via -ed heuristic
+        assert!(!is_participle("red")); // too short
+    }
+
+    #[test]
+    fn phrase_table_has_no_duplicate_surfaces() {
+        let mut seen = std::collections::HashSet::new();
+        for (surface, _, _) in PHRASES {
+            assert!(seen.insert(surface), "duplicate phrase `{surface}`");
+        }
+    }
+}

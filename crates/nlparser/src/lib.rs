@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # nlparser — a dependency parser for database-query English
+//!
+//! This crate is the **Minipar substitute** of the NaLIX reproduction.
+//! The paper feeds every user query through the Minipar dependency
+//! parser and consumes only the resulting *dependency tree*; NaLIX's own
+//! contribution begins at token classification. Minipar is closed-source
+//! and unavailable, so we implement a rule-based dependency parser
+//! specialised to the query-English the paper's evaluation exercises:
+//!
+//! - imperatives ("Return …", "Find …", "List …") and wh-questions;
+//! - noun phrases with determiners, quantifiers, pre-modifiers,
+//!   appositions ("director Ron Howard"), and quoted or proper-noun
+//!   values;
+//! - prepositional attachment ("the title **of** each movie");
+//! - participial post-modifiers ("movies **directed by** Ron Howard",
+//!   "books **published by** Addison-Wesley **after** 1991");
+//! - relative clauses ("titles **that contain** 'XML'", "books **that
+//!   have** an author");
+//! - subordinate *where*-clauses with copular and comparative predicates
+//!   ("…, where the number of movies directed by the director **is the
+//!   same as** the number of movies directed by Ron Howard");
+//! - coordination ("the title **and** the authors");
+//! - sorting phrases ("**sorted by** title", "**in alphabetical
+//!   order**").
+//!
+//! Multi-word operator and function phrases ("the same as", "the number
+//! of", "greater than", "at least") are merged into single tree nodes up
+//! front — Minipar leaves them as separate word nodes and NaLIX's
+//! classifier re-assembles them; merging earlier is equivalent and far
+//! simpler, and the classified trees come out identical to the paper's
+//! Figures 2, 3 and 10 (asserted by golden tests in crate `nalix`).
+//!
+//! The [`noise`] module injects seeded attachment errors to reproduce
+//! Minipar's imperfect accuracy (~88% precision / ~80% recall on
+//! dependencies, paper footnote 9) for the Table 7 experiment.
+//!
+//! ```
+//! use nlparser::parse;
+//!
+//! let tree = parse("Return the title of each movie.").unwrap();
+//! let root = tree.root();
+//! assert_eq!(tree.node(root).lemma, "return");
+//! ```
+
+pub mod lexicon;
+pub mod noise;
+pub mod parse;
+pub mod tag;
+pub mod tokenize;
+pub mod tree;
+
+pub use parse::{parse, ParseFailure};
+pub use tree::{DepNode, DepRel, DepTree, NodeRef, Pos};

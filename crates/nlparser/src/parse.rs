@@ -1,0 +1,1113 @@
+//! The dependency grammar: a cursor-based recursive-descent parser over
+//! the tagged token stream.
+//!
+//! The grammar is specialised to query English (see the crate docs). Its
+//! output conventions — what attaches to what — were chosen so that the
+//! NaLIX classifier reproduces the paper's published parse trees
+//! (Figures 2, 3 and 10) exactly:
+//!
+//! - the imperative verb (or wh-word) is the root;
+//! - object noun phrases attach to the root; conjuncts chain off the
+//!   first conjunct;
+//! - `of`/`by`/`with`/… prepositions attach to the nearest preceding
+//!   noun head, their complement NP below them;
+//! - participial post-modifiers ("directed") attach to the noun, the
+//!   `by`-phrase and any trailing comparative preposition ("after
+//!   1991") attach to the participle;
+//! - a *where*-clause attaches to the **most recent noun-phrase head**
+//!   (this is visible in the paper's Figure 3, where the operator token
+//!   hangs under `movie`);
+//! - a copular predicate becomes a single operator node ("is the same
+//!   as" → lemma `be the same as`) whose children are the subject and
+//!   object heads.
+//!
+//! Unintegrable tokens are attached with [`DepRel::Dangling`] rather
+//! than dropped, so NaLIX validation can point at them in its feedback.
+
+use crate::tag::{tag, Tagged, Word};
+use crate::tokenize::{tokenize, TokenizeError};
+use crate::tree::{DepNode, DepRel, DepTree, NodeRef, Pos};
+use std::fmt;
+
+/// A parse failure (the sentence is outside the grammar entirely; most
+/// problematic sentences still parse, with `Dangling` nodes, so that
+/// NaLIX can produce targeted feedback).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFailure {
+    /// Description.
+    pub message: String,
+    /// Word position where parsing stopped making progress.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse query (near word {}): {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseFailure {}
+
+impl From<TokenizeError> for ParseFailure {
+    fn from(e: TokenizeError) -> Self {
+        ParseFailure {
+            message: e.message,
+            position: 0,
+        }
+    }
+}
+
+/// Fuse a multi-sentence query into one sentence by turning follow-up
+/// statements into *where*-clauses: "Return all books. The publisher of
+/// the book is Springer." becomes "Return all books, where the
+/// publisher of the book is Springer." — the paper lists multi-sentence
+/// queries as future work; this normalisation implements the common
+/// statement-after-command form.
+///
+/// A period only splits when followed by a capitalised determiner or
+/// quantifier ("The", "Each", …), so abbreviations ("W. Richard
+/// Stevens") survive.
+pub fn normalize_multi_sentence(text: &str) -> String {
+    const CONTINUERS: [&str; 6] = ["The", "Each", "Every", "All", "Its", "Their"];
+    let mut out = String::with_capacity(text.len());
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '.' {
+            // Look ahead: whitespace then a continuer word.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            let word: String = chars[j..]
+                .iter()
+                .take_while(|c| c.is_alphabetic())
+                .collect();
+            if j > i + 1 && CONTINUERS.contains(&word.as_str()) {
+                out.push_str(", where ");
+                // lower-case the continuer so it reads as one sentence
+                out.push_str(&word.to_lowercase());
+                i = j + word.len();
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Parse a sentence (or a multi-sentence query — see
+/// [`normalize_multi_sentence`]) into a dependency tree.
+pub fn parse(sentence: &str) -> Result<DepTree, ParseFailure> {
+    let sentence = normalize_multi_sentence(sentence);
+    let raw = tokenize(&sentence)?;
+    if raw.is_empty() {
+        return Err(ParseFailure {
+            message: "empty query".into(),
+            position: 0,
+        });
+    }
+    let tagged = tag(&raw);
+    Parser::new(tagged).parse()
+}
+
+struct Parser {
+    toks: Vec<Tagged>,
+    i: usize,
+    nodes: Vec<DepNode>,
+    /// Most recently completed noun-phrase head (attachment site for
+    /// where-clauses).
+    last_np_head: Option<NodeRef>,
+}
+
+impl Parser {
+    fn new(toks: Vec<Tagged>) -> Self {
+        Parser {
+            toks,
+            i: 0,
+            nodes: Vec::new(),
+            last_np_head: None,
+        }
+    }
+
+    // -- cursor helpers ---------------------------------------------------
+
+    fn peek_word(&self) -> Option<&Word> {
+        match self.toks.get(self.i) {
+            Some(Tagged::Word(w)) => Some(w),
+            _ => None,
+        }
+    }
+
+    fn peek_word_at(&self, k: usize) -> Option<&Word> {
+        match self.toks.get(self.i + k) {
+            Some(Tagged::Word(w)) => Some(w),
+            _ => None,
+        }
+    }
+
+    fn at_comma(&self) -> bool {
+        matches!(self.toks.get(self.i), Some(Tagged::Comma(_)))
+    }
+
+    fn eat_comma(&mut self) -> bool {
+        if self.at_comma() {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn bump(&mut self) -> Word {
+        let w = match &self.toks[self.i] {
+            Tagged::Word(w) => w.clone(),
+            Tagged::Comma(_) => unreachable!("bump on comma"),
+        };
+        self.i += 1;
+        w
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn position(&self) -> usize {
+        match self.toks.get(self.i) {
+            Some(Tagged::Word(w)) => w.position,
+            Some(Tagged::Comma(p)) => *p,
+            None => usize::MAX,
+        }
+    }
+
+    // -- node construction -------------------------------------------------
+
+    fn add(&mut self, w: &Word, head: Option<NodeRef>, rel: DepRel) -> NodeRef {
+        let id = self.nodes.len();
+        self.nodes.push(DepNode {
+            word: w.text.clone(),
+            lemma: w.lemma.clone(),
+            pos: w.pos,
+            head,
+            rel,
+            children: Vec::new(),
+            order: w.position,
+        });
+        if let Some(h) = head {
+            self.nodes[h].children.push(id);
+        }
+        id
+    }
+
+    fn attach(&mut self, child: NodeRef, head: NodeRef, rel: DepRel) {
+        self.nodes[child].head = Some(head);
+        self.nodes[child].rel = rel;
+        self.nodes[head].children.push(child);
+    }
+
+    // -- grammar ------------------------------------------------------------
+
+    fn parse(mut self) -> Result<DepTree, ParseFailure> {
+        // Optional "For each X," prefix.
+        let mut prefix_np: Option<NodeRef> = None;
+        if let Some(w) = self.peek_word() {
+            if w.pos == Pos::Prep && w.lemma == "for" && self.peek_word_at(1).is_some() {
+                self.i += 1;
+                prefix_np = Some(self.parse_np()?);
+                self.eat_comma();
+            }
+        }
+
+        let root = match self.peek_word() {
+            Some(w) if w.pos == Pos::Verb => {
+                let w = self.bump();
+                self.add(&w, None, DepRel::Root)
+            }
+            Some(w) if w.pos == Pos::Wh => {
+                let w = self.bump();
+                let root = self.add(&w, None, DepRel::Root);
+                // Copula after the wh-word is a helper ("What is …").
+                if self.peek_word().is_some_and(|w| w.pos == Pos::Aux) {
+                    let aux = self.bump();
+                    self.add(&aux, Some(root), DepRel::Dangling);
+                }
+                root
+            }
+            Some(w) => {
+                return Err(ParseFailure {
+                    message: format!(
+                        "a query must begin with a command verb (e.g. \"Return\", \"Find\") \
+                         or a wh-word; found `{}`",
+                        w.text
+                    ),
+                    position: w.position,
+                })
+            }
+            None => {
+                return Err(ParseFailure {
+                    message: "a query must begin with a command verb or a wh-word".into(),
+                    position: self.position(),
+                })
+            }
+        };
+
+        if let Some(p) = prefix_np {
+            self.attach(p, root, DepRel::Obj);
+        }
+
+        // "Show me ..." — discard-level pronoun.
+        if self
+            .peek_word()
+            .is_some_and(|w| w.pos == Pos::Pronoun && w.lemma == "me")
+        {
+            let w = self.bump();
+            self.add(&w, Some(root), DepRel::Dangling);
+        }
+
+        // Object noun-phrase list.
+        if self.at_np_start() {
+            self.parse_np_list(root, DepRel::Obj)?;
+        }
+
+        // Trailing clauses.
+        loop {
+            let had_comma = self.eat_comma();
+            if self.done() {
+                break;
+            }
+            let Some(w) = self.peek_word() else {
+                continue; // another comma
+            };
+            match w.pos {
+                Pos::Subord if w.lemma == "where" => {
+                    self.i += 1;
+                    let site = self.last_np_head.unwrap_or(root);
+                    let clause = self.parse_clause()?;
+                    self.attach(clause, site, DepRel::Rel);
+                }
+                Pos::OrderPhrase => {
+                    let w = self.bump();
+                    let ob = self.add(&w, Some(root), DepRel::Order);
+                    if self.at_np_start() {
+                        let np = self.parse_np()?;
+                        self.attach(np, ob, DepRel::PComp);
+                    }
+                }
+                Pos::Conj if had_comma => {
+                    // ", and NP" continuation of the object list.
+                    self.i += 1;
+                    if self.at_np_start() {
+                        let np = self.parse_np()?;
+                        self.attach(np, root, DepRel::Obj);
+                        continue;
+                    }
+                    break;
+                }
+                _ if had_comma && self.at_np_start() => {
+                    // ", NP" — a further object conjunct.
+                    let np = self.parse_np()?;
+                    self.attach(np, root, DepRel::Obj);
+                }
+                _ => break,
+            }
+        }
+
+        // Whatever could not be integrated dangles under the root so the
+        // NaLIX validator can name it in feedback.
+        while !self.done() {
+            if self.eat_comma() {
+                continue;
+            }
+            let w = self.bump();
+            self.add(&w, Some(root), DepRel::Dangling);
+        }
+
+        let tree = DepTree::new(self.nodes, root);
+        debug_assert!(tree.check_invariants().is_ok());
+        Ok(tree)
+    }
+
+    fn at_np_start(&self) -> bool {
+        matches!(
+            self.peek_word().map(|w| w.pos),
+            Some(
+                Pos::Det
+                    | Pos::Quant
+                    | Pos::Adj
+                    | Pos::Noun
+                    | Pos::Proper
+                    | Pos::Quoted
+                    | Pos::Number
+                    | Pos::FuncPhrase
+                    | Pos::Pronoun
+            )
+        )
+    }
+
+    /// Parse `NP (("and"|"or"|",") NP)*`, attaching the first conjunct to
+    /// `site` with `rel` and later conjuncts to the first conjunct.
+    fn parse_np_list(&mut self, site: NodeRef, rel: DepRel) -> Result<NodeRef, ParseFailure> {
+        let first = self.parse_np()?;
+        self.attach(first, site, rel);
+        loop {
+            // "and NP" / "or NP"
+            if self.peek_word().is_some_and(|w| w.pos == Pos::Conj) {
+                let conj_word = self.bump();
+                if !self.at_np_start() {
+                    // dangling conjunction
+                    self.add(&conj_word, Some(first), DepRel::Dangling);
+                    break;
+                }
+                // Coordination attachment: "and" coordinates the list
+                // heads ("the title AND the authors of every book"),
+                // while "or" offers an alternative for the *nearest*
+                // noun phrase ("every book OR article", "by \"A\" or
+                // \"B\"").
+                if conj_word.lemma == "or" {
+                    let site = self.last_np_head.unwrap_or(first);
+                    let next = self.parse_np()?;
+                    self.attach(next, site, DepRel::ConjOr);
+                } else {
+                    let next = self.parse_np()?;
+                    self.attach(next, first, DepRel::Conj);
+                }
+                continue;
+            }
+            // ", NP" only when clearly a list continuation (comma followed
+            // by an NP and then by "and"/"or" or another comma).
+            if self.at_comma() {
+                if let Some(w) = self.peek_word_at(1) {
+                    if matches!(
+                        w.pos,
+                        Pos::Det | Pos::Noun | Pos::Adj | Pos::FuncPhrase | Pos::Quant
+                    ) && w.lemma != "where"
+                    {
+                        // Lookahead: avoid swallowing a where-clause or
+                        // order phrase.
+                        let save = self.i;
+                        self.i += 1;
+                        if self.at_np_start() {
+                            let next = self.parse_np()?;
+                            self.attach(next, first, DepRel::Conj);
+                            continue;
+                        }
+                        self.i = save;
+                    }
+                }
+            }
+            break;
+        }
+        Ok(first)
+    }
+
+    /// Parse one noun phrase; returns its head node (unattached — the
+    /// caller attaches it).
+    fn parse_np(&mut self) -> Result<NodeRef, ParseFailure> {
+        // Leading markers.
+        let mut pending: Vec<(Word, DepRel)> = Vec::new();
+        loop {
+            match self.peek_word().map(|w| (w.pos, w.lemma.clone())) {
+                Some((Pos::Det, _)) => {
+                    let w = self.bump();
+                    pending.push((w, DepRel::Det));
+                }
+                Some((Pos::Quant, _)) => {
+                    let w = self.bump();
+                    pending.push((w, DepRel::Det));
+                }
+                Some((Pos::Pronoun, _)) => {
+                    let w = self.bump();
+                    pending.push((w, DepRel::Det));
+                }
+                _ => break,
+            }
+        }
+
+        // Function phrase head: "the number of" + NP.
+        if self.peek_word().is_some_and(|w| w.pos == Pos::FuncPhrase) {
+            let w = self.bump();
+            let fp = self.add(&w, None, DepRel::Dangling);
+            for (m, rel) in pending {
+                let mref = self.add(&m, None, DepRel::Dangling);
+                self.attach(mref, fp, rel);
+            }
+            let inner = self.parse_np()?;
+            self.attach(inner, fp, DepRel::FArg);
+            return Ok(fp);
+        }
+
+        // Pre-modifier run ending in the head.
+        let mut run: Vec<Word> = Vec::new();
+        loop {
+            match self.peek_word().map(|w| w.pos) {
+                Some(Pos::Adj | Pos::Noun | Pos::Number) => run.push(self.bump()),
+                Some(Pos::Proper | Pos::Quoted) => {
+                    run.push(self.bump());
+                    break; // values end a run
+                }
+                _ => break,
+            }
+        }
+        if run.is_empty() {
+            return Err(ParseFailure {
+                message: "expected a noun phrase".into(),
+                position: self.position(),
+            });
+        }
+
+        // Head selection: last noun if present; a trailing value after a
+        // noun is an apposition ("director Ron Howard").
+        let (head_idx, appos_idx) = {
+            let last = run.len() - 1;
+            let last_is_value = matches!(run[last].pos, Pos::Proper | Pos::Quoted);
+            if last_is_value && run.len() >= 2 && run[last - 1].pos == Pos::Noun {
+                (last - 1, Some(last))
+            } else if last_is_value {
+                (last, None)
+            } else {
+                // last noun-ish in the run
+                let idx = run
+                    .iter()
+                    .rposition(|w| w.pos == Pos::Noun)
+                    .unwrap_or(last);
+                (idx, None)
+            }
+        };
+        let mut head_word = run[head_idx].clone();
+        // A noun phrase with no noun: the trailing adjective is being
+        // used nominally ("the last of the author" — `last` is an
+        // element name in bib.xml). Promote it.
+        if head_word.pos == Pos::Adj {
+            head_word.pos = Pos::Noun;
+            head_word.lemma = crate::lexicon::lemmatize_noun(&head_word.text);
+        }
+        let head = self.add(&head_word, None, DepRel::Dangling);
+        for (m, rel) in pending {
+            let mref = self.add(&m, None, DepRel::Dangling);
+            self.attach(mref, head, rel);
+        }
+        for (k, w) in run.iter().enumerate() {
+            if k == head_idx {
+                continue;
+            }
+            if Some(k) == appos_idx {
+                let a = self.add(w, None, DepRel::Dangling);
+                self.attach(a, head, DepRel::Appos);
+            } else {
+                let m = self.add(w, None, DepRel::Dangling);
+                self.attach(m, head, DepRel::Mod);
+            }
+        }
+
+        // Post-modifiers — but not on value heads: a proper noun, quoted
+        // string or number is terminal ("published by Addison-Wesley
+        // after 1991" must attach "after" to the participle, not to the
+        // publisher value).
+        if !matches!(head_word.pos, Pos::Proper | Pos::Quoted | Pos::Number) {
+            self.parse_postmods(head)?;
+        }
+        // The where-clause attachment site is the NP head most recent in
+        // *sentence order* (paper Figure 3: the operator hangs under
+        // `movie`, the innermost NP) — so an outer NP must not overwrite
+        // a later inner one.
+        let later = self
+            .last_np_head
+            .is_none_or(|prev| self.nodes[prev].order < self.nodes[head].order);
+        if later {
+            self.last_np_head = Some(head);
+        }
+        Ok(head)
+    }
+
+    #[allow(clippy::while_let_loop)] // `while let` would hold the peek borrow across mutations
+    fn parse_postmods(&mut self, head: NodeRef) -> Result<(), ParseFailure> {
+        loop {
+            let Some(w) = self.peek_word() else { break };
+            match w.pos {
+                Pos::Prep => {
+                    // Attach preposition to the head; complement below.
+                    let w = self.bump();
+                    let p = self.add(&w, None, DepRel::Dangling);
+                    self.attach(p, head, DepRel::Prep);
+                    // "as has Ron Howard" — auxiliary inside a stranded
+                    // comparative; consume it as a dangling helper.
+                    if self.peek_word().is_some_and(|x| x.pos == Pos::Aux) {
+                        let aux = self.bump();
+                        self.add(&aux, Some(p), DepRel::Dangling);
+                    }
+                    if self.at_np_start() {
+                        let inner = self.parse_np()?;
+                        self.attach(inner, p, DepRel::PComp);
+                    }
+                }
+                Pos::OpPhrase => {
+                    // "year greater than 1991" directly on a noun.
+                    let w = self.bump();
+                    let op = self.add(&w, None, DepRel::Dangling);
+                    self.attach(op, head, DepRel::Prep);
+                    if self.at_np_start() {
+                        let inner = self.parse_np()?;
+                        self.attach(inner, op, DepRel::PComp);
+                    }
+                }
+                Pos::Participle => {
+                    let w = self.bump();
+                    let part = self.add(&w, None, DepRel::Dangling);
+                    self.attach(part, head, DepRel::Part);
+                    // The by-phrase and trailing comparatives hang off
+                    // the participle.
+                    loop {
+                        let Some(x) = self.peek_word() else { break };
+                        if x.pos == Pos::Prep || x.pos == Pos::OpPhrase {
+                            let xw = self.bump();
+                            let p = self.add(&xw, None, DepRel::Dangling);
+                            self.attach(p, part, DepRel::Prep);
+                            if self.at_np_start() {
+                                let inner = self.parse_np()?;
+                                self.attach(inner, p, DepRel::PComp);
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Pos::Subord if w.lemma != "where" => {
+                    // Relative clause.
+                    let sub = self.bump();
+                    let clause = self.parse_rel_clause(head, &sub)?;
+                    if let Some(c) = clause {
+                        self.attach(c, head, DepRel::Rel);
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Relative clause after `that`/`who`/`which`/`whose`. Returns the
+    /// clause root (unattached), or `None` when the relativizer had no
+    /// parseable clause (the relativizer then dangles).
+    fn parse_rel_clause(
+        &mut self,
+        head: NodeRef,
+        sub: &Word,
+    ) -> Result<Option<NodeRef>, ParseFailure> {
+        if sub.lemma == "whose" {
+            // "whose name contains X" — full clause with its own subject.
+            let clause = self.parse_clause()?;
+            return Ok(Some(clause));
+        }
+        // "that/who (aux) (not) VERB …" — subject is the modified head.
+        let mut aux: Option<Word> = None;
+        if self.peek_word().is_some_and(|w| w.pos == Pos::Aux) {
+            aux = Some(self.bump());
+        }
+        // Negation precedes the verb: "that does NOT contain …".
+        let mut neg: Option<Word> = None;
+        if self.peek_word().is_some_and(|w| w.pos == Pos::Neg) {
+            neg = Some(self.bump());
+        }
+        match self.peek_word().map(|w| w.pos) {
+            Some(Pos::Verb | Pos::Participle | Pos::OpPhrase) => {
+                let v = self.bump();
+                let vref = self.add(&v, None, DepRel::Dangling);
+                if let Some(a) = aux {
+                    let aref = self.add(&a, None, DepRel::Dangling);
+                    self.attach(aref, vref, DepRel::Dangling);
+                }
+                if let Some(n) = neg {
+                    let nref = self.add(&n, None, DepRel::Dangling);
+                    self.attach(nref, vref, DepRel::Neg);
+                }
+                // Object.
+                if self.at_np_start() {
+                    let obj = self.parse_np()?;
+                    self.attach(obj, vref, DepRel::Obj);
+                } else if self.peek_word().is_some_and(|w| w.pos == Pos::Prep) {
+                    // "who has directed as many movies as …"
+                    self.parse_postmods(vref)?;
+                }
+                Ok(Some(vref))
+            }
+            _ => {
+                if let Some(a) = aux {
+                    // The auxiliary is the main verb: "book that has an
+                    // author".
+                    let vref = self.add(&a, None, DepRel::Dangling);
+                    if let Some(n) = neg {
+                        let nref = self.add(&n, None, DepRel::Dangling);
+                        self.attach(nref, vref, DepRel::Neg);
+                    }
+                    if self.at_np_start() {
+                        let obj = self.parse_np()?;
+                        self.attach(obj, vref, DepRel::Obj);
+                    }
+                    return Ok(Some(vref));
+                }
+                // No clause verb: the relativizer (and any stray
+                // negation) dangles for feedback.
+                let s = self.add(sub, None, DepRel::Dangling);
+                self.attach(s, head, DepRel::Dangling);
+                if let Some(n) = neg {
+                    let nref = self.add(&n, None, DepRel::Dangling);
+                    self.attach(nref, head, DepRel::Dangling);
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// A full clause with explicit subject: `NP (copula|verb) …`.
+    /// Returns the clause root: an operator/verb node whose children are
+    /// the subject head and the predicate head.
+    fn parse_clause(&mut self) -> Result<NodeRef, ParseFailure> {
+        let subj = self.parse_np()?;
+        // The verb group.
+        let mut aux: Option<Word> = None;
+        let mut neg = false;
+        if self.peek_word().is_some_and(|w| w.pos == Pos::Aux) {
+            aux = Some(self.bump());
+        }
+        if self.peek_word().is_some_and(|w| w.pos == Pos::Neg) {
+            self.i += 1;
+            neg = true;
+        }
+        let op: NodeRef = match self.peek_word().map(|w| w.pos) {
+            Some(Pos::OpPhrase) => {
+                let mut w = self.bump();
+                if let Some(a) = &aux {
+                    // Fold the copula in: "is the same as" → OT
+                    // "be the same as" (paper Figure 2, node 6).
+                    if a.lemma == "be" {
+                        w.text = format!("{} {}", a.text, w.text);
+                        w.lemma = format!("be {}", w.lemma);
+                        w.position = a.position;
+                    }
+                }
+                self.add(&w, None, DepRel::Dangling)
+            }
+            Some(Pos::Verb | Pos::Participle) => {
+                let w = self.bump();
+                let vref = self.add(&w, None, DepRel::Dangling);
+                if let Some(a) = aux {
+                    let aref = self.add(&a, None, DepRel::Dangling);
+                    self.attach(aref, vref, DepRel::Dangling);
+                }
+                vref
+            }
+            _ => match aux {
+                // Bare copula or main-verb "have": "the director … is Ron
+                // Howard", "each book has an author".
+                Some(a) => self.add(&a, None, DepRel::Dangling),
+                None => {
+                    return Err(ParseFailure {
+                        message: "expected a verb in the clause".into(),
+                        position: self.position(),
+                    })
+                }
+            },
+        };
+        self.attach(subj, op, DepRel::Subj);
+        if neg {
+            let w = Word {
+                text: "not".into(),
+                lemma: "not".into(),
+                pos: Pos::Neg,
+                position: self.nodes[op].order,
+            };
+            let nref = self.add(&w, None, DepRel::Dangling);
+            self.attach(nref, op, DepRel::Neg);
+        }
+        // Predicate, possibly coordinated: "… is \"A\" or \"B\"".
+        if self.at_np_start() {
+            let pred = self.parse_np()?;
+            self.attach(pred, op, DepRel::Pred);
+            while self.peek_word().is_some_and(|w| w.pos == Pos::Conj) {
+                let conj_word = self.bump();
+                if !self.at_np_start() {
+                    self.add(&conj_word, Some(op), DepRel::Dangling);
+                    break;
+                }
+                let rel = if conj_word.lemma == "or" {
+                    DepRel::ConjOr
+                } else {
+                    DepRel::Conj
+                };
+                let next = self.parse_np()?;
+                self.attach(next, pred, rel);
+            }
+        } else if self.peek_word().is_some_and(|w| w.pos == Pos::Prep) {
+            self.parse_postmods(op)?;
+        }
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Find the unique node with the given lemma.
+    fn by_lemma(t: &DepTree, lemma: &str) -> NodeRef {
+        let hits: Vec<_> = t
+            .refs()
+            .filter(|&r| t.node(r).lemma == lemma)
+            .collect();
+        assert_eq!(hits.len(), 1, "lemma `{lemma}` not unique: {}", t.outline());
+        hits[0]
+    }
+
+    fn head_lemma(t: &DepTree, r: NodeRef) -> String {
+        t.node(t.node(r).head.expect("has head")).lemma.clone()
+    }
+
+    #[test]
+    fn simple_imperative() {
+        let t = parse("Return the title of each movie.").unwrap();
+        assert_eq!(t.node(t.root()).lemma, "return");
+        let title = by_lemma(&t, "title");
+        assert_eq!(head_lemma(&t, title), "return");
+        let of = by_lemma(&t, "of");
+        assert_eq!(head_lemma(&t, of), "title");
+        let movie = by_lemma(&t, "movie");
+        assert_eq!(head_lemma(&t, movie), "of");
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn quantifier_attaches_to_noun() {
+        let t = parse("Return every director.").unwrap();
+        let every = by_lemma(&t, "every");
+        assert_eq!(head_lemma(&t, every), "director");
+        assert_eq!(t.node(every).rel, DepRel::Det);
+    }
+
+    #[test]
+    fn participial_postmodifier() {
+        let t = parse("Find all the movies directed by Ron Howard.").unwrap();
+        let directed = by_lemma(&t, "directed");
+        assert_eq!(head_lemma(&t, directed), "movie");
+        let by = by_lemma(&t, "by");
+        assert_eq!(head_lemma(&t, by), "directed");
+        let rh = by_lemma(&t, "Ron Howard");
+        assert_eq!(head_lemma(&t, rh), "by");
+        assert_eq!(t.node(rh).pos, Pos::Proper);
+    }
+
+    #[test]
+    fn apposition() {
+        let t = parse("Find all the movies directed by director Ron Howard.").unwrap();
+        let rh = by_lemma(&t, "Ron Howard");
+        assert_eq!(head_lemma(&t, rh), "director");
+        assert_eq!(t.node(rh).rel, DepRel::Appos);
+    }
+
+    #[test]
+    fn where_clause_attaches_to_last_np_head() {
+        // Paper Figure 3: the operator hangs under `movie`.
+        let t = parse(
+            "Return the directors of movies, where the title of each movie \
+             is the same as the title of a book.",
+        )
+        .unwrap();
+        let op = by_lemma(&t, "be the same as");
+        // site = "movies" (the most recent NP head of the main clause)
+        let site = t.node(op).head.unwrap();
+        assert_eq!(t.node(site).lemma, "movie");
+        // operator has subject and predicate children (two titles)
+        let kids = t.children(op);
+        let titles: Vec<_> = kids
+            .iter()
+            .filter(|&&k| t.node(k).lemma == "title")
+            .collect();
+        assert_eq!(titles.len(), 2, "{}", t.outline());
+    }
+
+    #[test]
+    fn query2_shape_matches_figure2() {
+        let t = parse(
+            "Return every director, where the number of movies directed by the \
+             director is the same as the number of movies directed by Ron Howard.",
+        )
+        .unwrap();
+        let op = by_lemma(&t, "be the same as");
+        // OT under the object "director"
+        let site = t.node(op).head.unwrap();
+        assert_eq!(t.node(site).lemma, "director");
+        assert_eq!(head_lemma(&t, site), "return");
+        // OT has two FuncPhrase children
+        let fps: Vec<_> = t
+            .children(op)
+            .iter()
+            .filter(|&&k| t.node(k).pos == Pos::FuncPhrase)
+            .copied()
+            .collect();
+        assert_eq!(fps.len(), 2, "{}", t.outline());
+        // each FuncPhrase dominates a movie
+        for fp in fps {
+            let kids = t.children(fp);
+            assert!(
+                kids.iter().any(|&k| t.node(k).lemma == "movie"),
+                "{}",
+                t.outline()
+            );
+        }
+        // "Ron Howard" sits under the second by-phrase
+        let rh = by_lemma(&t, "Ron Howard");
+        assert_eq!(head_lemma(&t, rh), "by");
+    }
+
+    #[test]
+    fn copula_value_predicate() {
+        let t = parse(
+            "Return the total number of movies, where the director of each movie \
+             is Ron Howard.",
+        )
+        .unwrap();
+        let be = by_lemma(&t, "be");
+        let kids = t.children(be);
+        assert!(kids.iter().any(|&k| t.node(k).lemma == "director"));
+        assert!(kids.iter().any(|&k| t.node(k).lemma == "Ron Howard"));
+        let fp = by_lemma(&t, "the total number of");
+        assert_eq!(head_lemma(&t, fp), "return");
+    }
+
+    #[test]
+    fn conjoined_objects() {
+        let t = parse("Return the title and the authors of each book.").unwrap();
+        let title = by_lemma(&t, "title");
+        let author = by_lemma(&t, "author");
+        assert_eq!(head_lemma(&t, title), "return");
+        assert_eq!(head_lemma(&t, author), "title");
+        assert_eq!(t.node(author).rel, DepRel::Conj);
+        // "of each book" attaches to the nearest head: authors
+        let of = by_lemma(&t, "of");
+        assert_eq!(head_lemma(&t, of), "author");
+    }
+
+    #[test]
+    fn published_after_year() {
+        let t =
+            parse("Return the title of every book published by Addison-Wesley after 1991.")
+                .unwrap();
+        let published = by_lemma(&t, "published");
+        assert_eq!(head_lemma(&t, published), "book");
+        let after = by_lemma(&t, "after");
+        assert_eq!(head_lemma(&t, after), "published");
+        let year = by_lemma(&t, "1991");
+        assert_eq!(head_lemma(&t, year), "after");
+        let aw = by_lemma(&t, "Addison-Wesley");
+        assert_eq!(head_lemma(&t, aw), "by");
+    }
+
+    #[test]
+    fn sorted_by_attaches_to_root() {
+        let t = parse("Return the title of every book, sorted by title.").unwrap();
+        let ob = t
+            .refs()
+            .find(|&r| t.node(r).pos == Pos::OrderPhrase)
+            .unwrap();
+        assert_eq!(head_lemma(&t, ob), "return");
+        let kids = t.children(ob);
+        assert_eq!(kids.len(), 1);
+        assert_eq!(t.node(kids[0]).lemma, "title");
+    }
+
+    #[test]
+    fn relative_clause_contain() {
+        let t = parse("Find all titles that contain \"XML\".").unwrap();
+        let contain = by_lemma(&t, "contain");
+        assert_eq!(head_lemma(&t, contain), "title");
+        let v = by_lemma(&t, "XML");
+        assert_eq!(head_lemma(&t, v), "contain");
+        assert_eq!(t.node(v).pos, Pos::Quoted);
+    }
+
+    #[test]
+    fn relative_clause_have() {
+        let t = parse("Return the title of each book that has an author.").unwrap();
+        let have = by_lemma(&t, "have");
+        assert_eq!(head_lemma(&t, have), "book");
+        let author = by_lemma(&t, "author");
+        assert_eq!(head_lemma(&t, author), "have");
+    }
+
+    #[test]
+    fn with_postmodifier() {
+        let t = parse("Return the book with the lowest price.").unwrap();
+        let with = by_lemma(&t, "with");
+        assert_eq!(head_lemma(&t, with), "book");
+        let price = by_lemma(&t, "price");
+        assert_eq!(head_lemma(&t, price), "with");
+        let lowest = by_lemma(&t, "lowest");
+        assert_eq!(head_lemma(&t, lowest), "price");
+    }
+
+    #[test]
+    fn lowest_price_for_each_book() {
+        let t = parse("Return the lowest price for each book.").unwrap();
+        let price = by_lemma(&t, "price");
+        assert_eq!(head_lemma(&t, price), "return");
+        let for_ = by_lemma(&t, "for");
+        assert_eq!(head_lemma(&t, for_), "price");
+        let book = by_lemma(&t, "book");
+        assert_eq!(head_lemma(&t, book), "for");
+    }
+
+    #[test]
+    fn query1_as_many_as_parses_with_as_nodes() {
+        // Paper Query 1: invalid for NaLIX (unknown term "as"), but it
+        // must still PARSE so validation can point at "as".
+        let t = parse(
+            "Return every director who has directed as many movies as has Ron Howard.",
+        )
+        .unwrap();
+        let as_nodes: Vec<_> = t
+            .refs()
+            .filter(|&r| t.node(r).lemma == "as")
+            .collect();
+        assert!(!as_nodes.is_empty(), "{}", t.outline());
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn wh_question() {
+        let t = parse("What is the title of each book?").unwrap();
+        assert_eq!(t.node(t.root()).pos, Pos::Wh);
+        let title = by_lemma(&t, "title");
+        assert_eq!(head_lemma(&t, title), "what");
+    }
+
+    #[test]
+    fn for_each_prefix() {
+        let t = parse("For each author, return the author and the titles of all books of the author.").unwrap();
+        assert_eq!(t.node(t.root()).lemma, "return");
+        // the prefix NP attaches under the root
+        let kids = t.children(t.root());
+        assert!(kids.iter().any(|&k| t.node(k).lemma == "author"));
+    }
+
+    #[test]
+    fn pronoun_becomes_marker() {
+        let t = parse("Return all books and their titles.").unwrap();
+        let their = by_lemma(&t, "their");
+        assert_eq!(t.node(their).pos, Pos::Pronoun);
+        assert_eq!(head_lemma(&t, their), "title");
+    }
+
+    #[test]
+    fn negated_clause() {
+        let t = parse(
+            "Return the title of each book, where the publisher of the book is not \"Springer\".",
+        )
+        .unwrap();
+        let be = by_lemma(&t, "be");
+        let kids = t.children(be);
+        assert!(kids
+            .iter()
+            .any(|&k| t.node(k).pos == Pos::Neg));
+    }
+
+    #[test]
+    fn clause_with_operator_phrase() {
+        let t = parse(
+            "Return every book, where the year of the book is greater than 1991.",
+        )
+        .unwrap();
+        let op = by_lemma(&t, "be greater than");
+        let kids = t.children(op);
+        assert!(kids.iter().any(|&k| t.node(k).lemma == "year"));
+        assert!(kids.iter().any(|&k| t.node(k).lemma == "1991"));
+    }
+
+    #[test]
+    fn clause_with_count_comparison() {
+        let t = parse(
+            "Return every book, where the number of authors of the book is at least 1.",
+        )
+        .unwrap();
+        let op = by_lemma(&t, "be at least");
+        let kids = t.children(op);
+        assert!(kids.iter().any(|&k| t.node(k).pos == Pos::FuncPhrase));
+        assert!(kids.iter().any(|&k| t.node(k).lemma == "1"));
+    }
+
+    #[test]
+    fn or_attaches_to_nearest_np() {
+        let t = parse("Return the title of every book or article.").unwrap();
+        let article = by_lemma(&t, "article");
+        assert_eq!(head_lemma(&t, article), "book");
+        assert_eq!(t.node(article).rel, DepRel::ConjOr);
+    }
+
+    #[test]
+    fn or_in_value_predicate() {
+        let t = parse(
+            "Return every book, where the publisher of the book is \"A\" or \"B\".",
+        )
+        .unwrap();
+        let b = by_lemma(&t, "B");
+        assert_eq!(head_lemma(&t, b), "A");
+        assert_eq!(t.node(b).rel, DepRel::ConjOr);
+    }
+
+    #[test]
+    fn multi_sentence_fuses_to_where() {
+        assert_eq!(
+            normalize_multi_sentence(
+                "Return all books. The publisher of the book is Springer."
+            ),
+            "Return all books, where the publisher of the book is Springer."
+        );
+        // abbreviations survive
+        assert_eq!(
+            normalize_multi_sentence("Find books by W. Richard Stevens."),
+            "Find books by W. Richard Stevens."
+        );
+        let t = parse("Return all books. The publisher of the book is Springer.").unwrap();
+        assert!(t.refs().any(|r| t.node(r).lemma == "be"));
+    }
+
+    #[test]
+    fn rejects_non_query_sentences() {
+        assert!(parse("The movies are great.").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("of by with").is_err());
+    }
+
+    #[test]
+    fn garbage_tail_dangles() {
+        let t = parse("Return all books blargh zzz.").unwrap();
+        // "blargh"/"zzz" are tagged as nouns and absorbed into NP
+        // structure or dangle; invariants must hold either way.
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariants_on_all_golden_sentences() {
+        let sentences = [
+            "Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard.",
+            "Return the directors of movies, where the title of each movie is the same as the title of a book.",
+            "Return every director who has directed as many movies as has Ron Howard.",
+            "Return the lowest price for each book.",
+            "Return the book with the lowest price.",
+            "Return the total number of movies, where the director of each movie is Ron Howard.",
+            "Find all the movies directed by director Ron Howard.",
+            "Return the year and title of every book published by Addison-Wesley after 1991.",
+            "Return the title and the authors of every book.",
+            "Find all titles that contain \"XML\".",
+            "Return the title of every book, sorted by title.",
+        ];
+        for s in sentences {
+            let t = parse(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("{s}: {e}\n{}", t.outline()));
+        }
+    }
+}

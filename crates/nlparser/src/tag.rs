@@ -1,0 +1,374 @@
+//! POS tagging, multi-word phrase merging, and proper-noun merging.
+//!
+//! Output is the linear sequence the dependency grammar consumes: each
+//! element is either a tagged (possibly multi-word) token or a comma.
+
+use crate::lexicon::{self, PhraseKind, PHRASES};
+use crate::tokenize::{RawKind, RawToken};
+use crate::tree::Pos;
+
+/// A tagged token ready for parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Word {
+    /// Surface text (original casing; multi-word for merged phrases,
+    /// merged proper nouns and quoted strings).
+    pub text: String,
+    /// Normalised lemma (lower-case; singular for nouns, base form for
+    /// verbs, canonical phrase for merged phrases, digit string for
+    /// number words).
+    pub lemma: String,
+    /// Category.
+    pub pos: Pos,
+    /// Position of the first underlying word in the sentence.
+    pub position: usize,
+}
+
+/// One element of the tagged stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tagged {
+    /// A token.
+    Word(Word),
+    /// A comma at the given position.
+    Comma(usize),
+}
+
+const NUMBER_WORDS: [(&str, &str); 10] = [
+    ("one", "1"),
+    ("two", "2"),
+    ("three", "3"),
+    ("four", "4"),
+    ("five", "5"),
+    ("six", "6"),
+    ("seven", "7"),
+    ("eight", "8"),
+    ("nine", "9"),
+    ("ten", "10"),
+];
+
+/// Tag a raw token stream.
+pub fn tag(raw: &[RawToken]) -> Vec<Tagged> {
+    let merged = merge_phrases(raw);
+    let tagged = tag_tokens(&merged);
+    merge_proper_runs(tagged)
+}
+
+/// Intermediate item after phrase merging.
+#[derive(Debug, Clone)]
+enum Merged {
+    Raw(RawToken),
+    Phrase {
+        surface: String,
+        lemma: String,
+        kind: PhraseKind,
+        position: usize,
+    },
+}
+
+fn merge_phrases(raw: &[RawToken]) -> Vec<Merged> {
+    // Longest-first phrase table.
+    let mut table: Vec<(Vec<String>, &str, PhraseKind)> = PHRASES
+        .iter()
+        .map(|(surface, lemma, kind)| {
+            (
+                surface.split(' ').map(str::to_owned).collect(),
+                *lemma,
+                *kind,
+            )
+        })
+        .collect();
+    table.sort_by_key(|(ws, _, _)| std::cmp::Reverse(ws.len()));
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    'outer: while i < raw.len() {
+        if raw[i].kind == RawKind::Word {
+            for (words, lemma, kind) in &table {
+                if i + words.len() <= raw.len() {
+                    let matches = words.iter().enumerate().all(|(k, w)| {
+                        raw[i + k].kind == RawKind::Word
+                            && raw[i + k].text.to_lowercase() == *w
+                    });
+                    if matches {
+                        let surface = raw[i..i + words.len()]
+                            .iter()
+                            .map(|t| t.text.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        out.push(Merged::Phrase {
+                            surface,
+                            lemma: (*lemma).to_owned(),
+                            kind: *kind,
+                            position: raw[i].position,
+                        });
+                        i += words.len();
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        out.push(Merged::Raw(raw[i].clone()));
+        i += 1;
+    }
+    out
+}
+
+fn tag_tokens(merged: &[Merged]) -> Vec<Tagged> {
+    let mut out = Vec::new();
+    for (idx, m) in merged.iter().enumerate() {
+        match m {
+            Merged::Phrase {
+                surface,
+                lemma,
+                kind,
+                position,
+            } => {
+                let pos = match kind {
+                    PhraseKind::Op => Pos::OpPhrase,
+                    PhraseKind::Func => Pos::FuncPhrase,
+                    PhraseKind::Order => Pos::OrderPhrase,
+                };
+                out.push(Tagged::Word(Word {
+                    text: surface.clone(),
+                    lemma: lemma.clone(),
+                    pos,
+                    position: *position,
+                }));
+            }
+            Merged::Raw(t) => match t.kind {
+                RawKind::Comma => out.push(Tagged::Comma(t.position)),
+                RawKind::Quoted => out.push(Tagged::Word(Word {
+                    text: t.text.clone(),
+                    lemma: t.text.clone(),
+                    pos: Pos::Quoted,
+                    position: t.position,
+                })),
+                RawKind::Number => out.push(Tagged::Word(Word {
+                    text: t.text.clone(),
+                    lemma: t.text.clone(),
+                    pos: Pos::Number,
+                    position: t.position,
+                })),
+                RawKind::Word => {
+                    let is_first = idx == 0;
+                    out.push(Tagged::Word(tag_word(&t.text, t.position, is_first)));
+                }
+            },
+        }
+    }
+    out
+}
+
+fn tag_word(text: &str, position: usize, sentence_initial: bool) -> Word {
+    let lower = text.to_lowercase();
+    let mk = |pos: Pos, lemma: String| Word {
+        text: text.to_owned(),
+        lemma,
+        pos,
+        position,
+    };
+    if let Some((_, digits)) = NUMBER_WORDS.iter().find(|(w, _)| *w == lower) {
+        return mk(Pos::Number, (*digits).to_owned());
+    }
+    if sentence_initial && lexicon::is_wh_word(&lower) {
+        return mk(Pos::Wh, lower);
+    }
+    if sentence_initial && lexicon::is_command_verb(&lower) {
+        return mk(Pos::Verb, lexicon::lemmatize_verb(&lower));
+    }
+    if lexicon::is_copula(&lower) || lexicon::is_auxiliary(&lower) {
+        return mk(Pos::Aux, lexicon::lemmatize_verb(&lower));
+    }
+    if lower == "not" || lower == "no" {
+        return mk(Pos::Neg, "not".to_owned());
+    }
+    if lexicon::is_article(&lower) {
+        return mk(Pos::Det, lower);
+    }
+    if lexicon::is_quantifier(&lower) {
+        return mk(Pos::Quant, lower);
+    }
+    if lower == "and" || lower == "or" {
+        return mk(Pos::Conj, lower);
+    }
+    if lexicon::is_subordinator(&lower) {
+        return mk(Pos::Subord, lower);
+    }
+    if lexicon::is_preposition(&lower) {
+        return mk(Pos::Prep, lower);
+    }
+    if lexicon::is_pronoun(&lower) {
+        return mk(Pos::Pronoun, lower);
+    }
+    if lexicon::is_adjective(&lower) {
+        return mk(Pos::Adj, lower);
+    }
+    if lexicon::is_clause_verb(&lower) {
+        return mk(Pos::Verb, lexicon::lemmatize_verb(&lower));
+    }
+    if lexicon::is_command_verb(&lower) {
+        return mk(Pos::Verb, lexicon::lemmatize_verb(&lower));
+    }
+    if lexicon::is_participle(&lower) {
+        return mk(Pos::Participle, lower);
+    }
+    // Capitalised non-initial unknown word: proper noun.
+    if !sentence_initial && text.chars().next().is_some_and(char::is_uppercase) {
+        return mk(Pos::Proper, text.to_owned());
+    }
+    // Everything else is a common noun.
+    mk(Pos::Noun, lexicon::lemmatize_noun(&lower))
+}
+
+fn merge_proper_runs(tagged: Vec<Tagged>) -> Vec<Tagged> {
+    let mut out: Vec<Tagged> = Vec::with_capacity(tagged.len());
+    for t in tagged {
+        if let Tagged::Word(w) = &t {
+            if w.pos == Pos::Proper {
+                if let Some(Tagged::Word(prev)) = out.last_mut() {
+                    if prev.pos == Pos::Proper {
+                        prev.text.push(' ');
+                        prev.text.push_str(&w.text);
+                        prev.lemma = prev.text.clone();
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn tag_str(s: &str) -> Vec<Tagged> {
+        tag(&tokenize(s).unwrap())
+    }
+
+    fn word_at(tags: &[Tagged], i: usize) -> &Word {
+        match &tags[i] {
+            Tagged::Word(w) => w,
+            Tagged::Comma(_) => panic!("comma at {i}"),
+        }
+    }
+
+    #[test]
+    fn tags_imperative() {
+        let t = tag_str("Return the title of each movie");
+        assert_eq!(word_at(&t, 0).pos, Pos::Verb);
+        assert_eq!(word_at(&t, 0).lemma, "return");
+        assert_eq!(word_at(&t, 1).pos, Pos::Det);
+        assert_eq!(word_at(&t, 2).pos, Pos::Noun);
+        assert_eq!(word_at(&t, 3).pos, Pos::Prep);
+        assert_eq!(word_at(&t, 4).pos, Pos::Quant);
+        assert_eq!(word_at(&t, 5).lemma, "movie");
+    }
+
+    #[test]
+    fn merges_function_phrase() {
+        let t = tag_str("the number of movies");
+        assert_eq!(word_at(&t, 0).pos, Pos::FuncPhrase);
+        assert_eq!(word_at(&t, 0).lemma, "the number of");
+        assert_eq!(word_at(&t, 1).lemma, "movie");
+    }
+
+    #[test]
+    fn longest_phrase_wins() {
+        let t = tag_str("the total number of movies");
+        assert_eq!(word_at(&t, 0).lemma, "the total number of");
+    }
+
+    #[test]
+    fn merges_operator_phrase() {
+        let t = tag_str("is the same as");
+        assert_eq!(word_at(&t, 0).pos, Pos::Aux);
+        assert_eq!(word_at(&t, 1).pos, Pos::OpPhrase);
+        assert_eq!(word_at(&t, 1).lemma, "the same as");
+    }
+
+    #[test]
+    fn merges_proper_noun_runs() {
+        let t = tag_str("directed by Ron Howard");
+        let last = word_at(&t, 2);
+        assert_eq!(last.pos, Pos::Proper);
+        assert_eq!(last.text, "Ron Howard");
+    }
+
+    #[test]
+    fn quoted_values_stay_quoted() {
+        let t = tag_str("contains \"Gone with the Wind\"");
+        let q = word_at(&t, 1);
+        assert_eq!(q.pos, Pos::Quoted);
+        assert_eq!(q.text, "Gone with the Wind");
+    }
+
+    #[test]
+    fn number_words_become_digits() {
+        let t = tag_str("at least one author");
+        assert_eq!(word_at(&t, 0).pos, Pos::OpPhrase);
+        assert_eq!(word_at(&t, 1).pos, Pos::Number);
+        assert_eq!(word_at(&t, 1).lemma, "1");
+    }
+
+    #[test]
+    fn wh_word_initial() {
+        let t = tag_str("What is the title");
+        assert_eq!(word_at(&t, 0).pos, Pos::Wh);
+    }
+
+    #[test]
+    fn who_is_subordinator_mid_sentence() {
+        let t = tag_str("Return every director who directed movies");
+        let w = t
+            .iter()
+            .filter_map(|t| match t {
+                Tagged::Word(w) => Some(w),
+                _ => None,
+            })
+            .find(|w| w.lemma == "who")
+            .unwrap();
+        assert_eq!(w.pos, Pos::Subord);
+    }
+
+    #[test]
+    fn participles_detected() {
+        let t = tag_str("movies directed by someone");
+        assert_eq!(word_at(&t, 1).pos, Pos::Participle);
+    }
+
+    #[test]
+    fn nouns_are_lemmatised() {
+        let t = tag_str("Return all titles");
+        assert_eq!(word_at(&t, 2).lemma, "title");
+    }
+
+    #[test]
+    fn ordering_phrases() {
+        let t = tag_str("sorted by title");
+        assert_eq!(word_at(&t, 0).pos, Pos::OrderPhrase);
+        let t = tag_str("in alphabetical order");
+        assert_eq!(word_at(&t, 0).pos, Pos::OrderPhrase);
+    }
+
+    #[test]
+    fn negation() {
+        let t = tag_str("is not the same as");
+        assert_eq!(word_at(&t, 1).pos, Pos::Neg);
+    }
+
+    #[test]
+    fn commas_preserved() {
+        let t = tag_str("Return every director, where movies exist");
+        assert!(t.iter().any(|x| matches!(x, Tagged::Comma(_))));
+    }
+
+    #[test]
+    fn addison_wesley_is_proper() {
+        let t = tag_str("published by Addison-Wesley");
+        assert_eq!(word_at(&t, 2).pos, Pos::Proper);
+        assert_eq!(word_at(&t, 2).text, "Addison-Wesley");
+    }
+}

@@ -1,0 +1,258 @@
+//! Sentence tokenisation.
+//!
+//! Splits a query sentence into word tokens, keeping quoted strings
+//! ("Ron Howard", 'XML') as single tokens, recognising numbers, and
+//! recording each token's position for the attachment rule (Def. 7).
+
+use std::fmt;
+
+/// Raw token kinds, before POS tagging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawKind {
+    /// An ordinary word.
+    Word,
+    /// A quoted string (quotes stripped).
+    Quoted,
+    /// A number.
+    Number,
+    /// A comma (clause separator; other punctuation is dropped).
+    Comma,
+}
+
+/// A raw token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawToken {
+    /// Surface text (quotes stripped for `Quoted`).
+    pub text: String,
+    /// Token kind.
+    pub kind: RawKind,
+    /// Word index in the sentence (commas share the index of the next
+    /// word so merged phrases stay contiguous).
+    pub position: usize,
+}
+
+impl fmt::Display for RawToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            RawKind::Quoted => write!(f, "\"{}\"", self.text),
+            _ => f.write_str(&self.text),
+        }
+    }
+}
+
+/// Errors from tokenisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizeError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tokenize error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TokenizeError {}
+
+/// Tokenise a sentence.
+pub fn tokenize(input: &str) -> Result<Vec<RawToken>, TokenizeError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut position = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '"' | '\u{201C}' | '\u{2018}' => {
+                let close = match c {
+                    '"' => '"',
+                    '\u{201C}' => '\u{201D}',
+                    _ => '\u{2019}',
+                };
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != close {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(TokenizeError {
+                        message: "unterminated quotation".into(),
+                    });
+                }
+                out.push(RawToken {
+                    text: chars[start..j].iter().collect(),
+                    kind: RawKind::Quoted,
+                    position,
+                });
+                position += 1;
+                i = j + 1;
+            }
+            '\'' => {
+                // Single quote: a quoted value only when it does not look
+                // like an apostrophe inside a word (we are before a word
+                // character run here only when at word start).
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(TokenizeError {
+                        message: "unterminated quotation".into(),
+                    });
+                }
+                out.push(RawToken {
+                    text: chars[start..j].iter().collect(),
+                    kind: RawKind::Quoted,
+                    position,
+                });
+                position += 1;
+                i = j + 1;
+            }
+            ',' => {
+                out.push(RawToken {
+                    text: ",".into(),
+                    kind: RawKind::Comma,
+                    position,
+                });
+                i += 1;
+            }
+            '.' | '?' | '!' | ';' | ':' => i += 1, // sentence punctuation dropped
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    j += 1;
+                }
+                // Trailing period is sentence punctuation, not decimal.
+                let mut text: String = chars[start..j].iter().collect();
+                while text.ends_with('.') {
+                    text.pop();
+                    j -= 1;
+                    // Put the period back for the outer loop to drop.
+                }
+                out.push(RawToken {
+                    text,
+                    kind: RawKind::Number,
+                    position,
+                });
+                position += 1;
+                i = j.max(start + 1);
+            }
+            _ if c.is_alphabetic() => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric()
+                        || chars[j] == '-'
+                        || chars[j] == '_'
+                        || (chars[j] == '\'' && j + 1 < chars.len() && chars[j + 1].is_alphabetic()))
+                {
+                    j += 1;
+                }
+                out.push(RawToken {
+                    text: chars[start..j].iter().collect(),
+                    kind: RawKind::Word,
+                    position,
+                });
+                position += 1;
+                i = j;
+            }
+            other => {
+                return Err(TokenizeError {
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(input: &str) -> Vec<String> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn splits_simple_sentence() {
+        assert_eq!(
+            words("Return the title of each movie."),
+            vec!["Return", "the", "title", "of", "each", "movie"]
+        );
+    }
+
+    #[test]
+    fn keeps_quoted_strings_whole() {
+        let t = tokenize("Find movies directed by \"Ron Howard\".").unwrap();
+        let q = t.iter().find(|t| t.kind == RawKind::Quoted).unwrap();
+        assert_eq!(q.text, "Ron Howard");
+    }
+
+    #[test]
+    fn single_quotes_work() {
+        let t = tokenize("titles that contain 'XML'").unwrap();
+        let q = t.iter().find(|t| t.kind == RawKind::Quoted).unwrap();
+        assert_eq!(q.text, "XML");
+    }
+
+    #[test]
+    fn curly_quotes_work() {
+        let t = tokenize("movies by \u{201C}Ron Howard\u{201D}").unwrap();
+        let q = t.iter().find(|t| t.kind == RawKind::Quoted).unwrap();
+        assert_eq!(q.text, "Ron Howard");
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        let t = tokenize("published after 1991.").unwrap();
+        let n = t.iter().find(|t| t.kind == RawKind::Number).unwrap();
+        assert_eq!(n.text, "1991");
+    }
+
+    #[test]
+    fn decimal_numbers() {
+        let t = tokenize("price less than 65.95").unwrap();
+        let n = t.iter().find(|t| t.kind == RawKind::Number).unwrap();
+        assert_eq!(n.text, "65.95");
+    }
+
+    #[test]
+    fn hyphenated_words_stay_whole() {
+        assert_eq!(
+            words("published by Addison-Wesley"),
+            vec!["published", "by", "Addison-Wesley"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_inside_words() {
+        assert_eq!(words("O'Reilly books"), vec!["O'Reilly", "books"]);
+    }
+
+    #[test]
+    fn commas_are_kept() {
+        let t = tokenize("Return every director, where it works").unwrap();
+        assert!(t.iter().any(|t| t.kind == RawKind::Comma));
+    }
+
+    #[test]
+    fn positions_increase() {
+        let t = tokenize("Return the title").unwrap();
+        let p: Vec<usize> = t.iter().map(|t| t.position).collect();
+        assert_eq!(p, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(tokenize("find \"Ron").is_err());
+    }
+}

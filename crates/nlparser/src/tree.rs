@@ -1,0 +1,330 @@
+//! The dependency tree produced by the parser.
+
+use std::fmt;
+
+/// Index of a node in a [`DepTree`].
+pub type NodeRef = usize;
+
+/// Part-of-speech / node category.
+///
+/// Coarser than a treebank tag set: this is exactly the granularity the
+/// NaLIX classifier needs to assign token types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pos {
+    /// Main verb (imperative command verbs and clause verbs).
+    Verb,
+    /// Past participle used as a post-modifier ("directed", "published").
+    Participle,
+    /// Auxiliary / copular verb used as helper ("has directed").
+    Aux,
+    /// Common noun.
+    Noun,
+    /// Proper noun (possibly multi-word, merged: "Ron Howard").
+    Proper,
+    /// A quoted string value.
+    Quoted,
+    /// A number.
+    Number,
+    /// Adjective.
+    Adj,
+    /// Determiner/article.
+    Det,
+    /// Quantifier ("every", "each", "all", "any", "some").
+    Quant,
+    /// Preposition.
+    Prep,
+    /// Pronoun.
+    Pronoun,
+    /// Coordinating conjunction ("and", "or").
+    Conj,
+    /// Wh-word ("what", "which", "who").
+    Wh,
+    /// Negation ("not").
+    Neg,
+    /// A merged multi-word operator phrase ("the same as",
+    /// "greater than", "at least"), including copular fusions
+    /// ("be the same as").
+    OpPhrase,
+    /// A merged multi-word function phrase ("the number of",
+    /// "the total number of").
+    FuncPhrase,
+    /// A merged ordering phrase ("sorted by", "in alphabetical order").
+    OrderPhrase,
+    /// Relativizer / subordinator ("that", "which", "who", "where",
+    /// "whose") when introducing a clause.
+    Subord,
+    /// Anything unrecognised (drives the NaLIX "unknown term" feedback).
+    Unknown,
+}
+
+/// Grammatical relation of a node to its head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepRel {
+    /// The tree root.
+    Root,
+    /// Direct object of a verb.
+    Obj,
+    /// Clause subject.
+    Subj,
+    /// Predicate / complement (right side of an operator or copula).
+    Pred,
+    /// Generic modifier (pre-modifying noun/adjective).
+    Mod,
+    /// Determiner or quantifier attachment.
+    Det,
+    /// Prepositional attachment (the preposition itself).
+    Prep,
+    /// Complement of a preposition.
+    PComp,
+    /// Participial post-modifier.
+    Part,
+    /// Relative / subordinate clause root.
+    Rel,
+    /// Conjunct (second and later "and"-coordinated phrases).
+    Conj,
+    /// Disjunct (second and later "or"-coordinated phrases).
+    ConjOr,
+    /// Apposition ("director **Ron Howard**").
+    Appos,
+    /// Argument of a function phrase ("the number of **movies**").
+    FArg,
+    /// Ordering phrase attachment.
+    Order,
+    /// Negation attachment.
+    Neg,
+    /// Unintegrated material (kept so validation can report it).
+    Dangling,
+}
+
+/// A node of the dependency tree.
+#[derive(Debug, Clone)]
+pub struct DepNode {
+    /// Surface text (original casing, multi-word for merged phrases and
+    /// quoted values — quotes stripped).
+    pub word: String,
+    /// Normalised form: lower-cased, lemmatised head word for nouns and
+    /// verbs, canonical phrase for merged phrases ("be the same as").
+    pub lemma: String,
+    /// Category.
+    pub pos: Pos,
+    /// Head node; `None` for the root.
+    pub head: Option<NodeRef>,
+    /// Relation to the head.
+    pub rel: DepRel,
+    /// Children in sentence order.
+    pub children: Vec<NodeRef>,
+    /// Position of the node's first word in the sentence (0-based),
+    /// used by NaLIX's attachment rule (paper Def. 7, "follows in the
+    /// original sentence").
+    pub order: usize,
+}
+
+/// A dependency tree.
+#[derive(Debug, Clone)]
+pub struct DepTree {
+    nodes: Vec<DepNode>,
+    root: NodeRef,
+}
+
+impl DepTree {
+    /// Build from parts. `nodes[root]` must have `head == None`.
+    pub fn new(nodes: Vec<DepNode>, root: NodeRef) -> Self {
+        debug_assert!(nodes[root].head.is_none());
+        DepTree { nodes, root }
+    }
+
+    /// The root node reference.
+    pub fn root(&self) -> NodeRef {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, r: NodeRef) -> &DepNode {
+        &self.nodes[r]
+    }
+
+    /// Mutably borrow a node (used by the noise model).
+    pub fn node_mut(&mut self, r: NodeRef) -> &mut DepNode {
+        &mut self.nodes[r]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes (never produced by the parser).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node references in sentence order.
+    pub fn refs(&self) -> impl Iterator<Item = NodeRef> {
+        0..self.nodes.len()
+    }
+
+    /// Children of `r`, in sentence order.
+    pub fn children(&self, r: NodeRef) -> &[NodeRef] {
+        &self.nodes[r].children
+    }
+
+    /// Reattach `child` under `new_head`, preserving sentence order in
+    /// the child lists. Panics if this would create a cycle.
+    pub fn reattach(&mut self, child: NodeRef, new_head: NodeRef) {
+        assert!(child != new_head, "cannot attach a node to itself");
+        // Cycle check: new_head must not be a descendant of child.
+        let mut cur = Some(new_head);
+        while let Some(c) = cur {
+            assert!(c != child, "reattach would create a cycle");
+            cur = self.nodes[c].head;
+        }
+        if let Some(old) = self.nodes[child].head {
+            self.nodes[old].children.retain(|&c| c != child);
+        }
+        self.nodes[child].head = Some(new_head);
+        let order = self.nodes[child].order;
+        let pos = self.nodes[new_head]
+            .children
+            .iter()
+            .position(|&c| self.nodes[c].order > order)
+            .unwrap_or(self.nodes[new_head].children.len());
+        self.nodes[new_head].children.insert(pos, child);
+    }
+
+    /// Render an indented outline (for debugging and golden tests).
+    pub fn outline(&self) -> String {
+        let mut out = String::new();
+        self.outline_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn outline_node(&self, r: NodeRef, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let n = &self.nodes[r];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = writeln!(out, "{} [{:?}/{:?}]", n.word, n.pos, n.rel);
+        for &c in &n.children {
+            self.outline_node(c, depth + 1, out);
+        }
+    }
+
+    /// Check structural invariants (each non-root has a head, children
+    /// lists are consistent, no cycles). Used by property tests and the
+    /// noise model.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.head {
+                None if i != self.root => {
+                    return Err(format!("non-root node {i} has no head"))
+                }
+                Some(h) if !self.nodes[h].children.contains(&i) => {
+                    return Err(format!("node {i} missing from head {h}'s children"));
+                }
+                _ => {}
+            }
+            for &c in &n.children {
+                if self.nodes[c].head != Some(i) {
+                    return Err(format!("child {c} of {i} has wrong head"));
+                }
+            }
+        }
+        // Cycle check by walking up from every node.
+        for i in 0..self.nodes.len() {
+            let mut seen = 0usize;
+            let mut cur = Some(i);
+            while let Some(c) = cur {
+                seen += 1;
+                if seen > self.nodes.len() {
+                    return Err(format!("cycle reachable from node {i}"));
+                }
+                cur = self.nodes[c].head;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DepTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.outline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DepTree {
+        // return -> movie -> title
+        let nodes = vec![
+            DepNode {
+                word: "Return".into(),
+                lemma: "return".into(),
+                pos: Pos::Verb,
+                head: None,
+                rel: DepRel::Root,
+                children: vec![1],
+                order: 0,
+            },
+            DepNode {
+                word: "movie".into(),
+                lemma: "movie".into(),
+                pos: Pos::Noun,
+                head: Some(0),
+                rel: DepRel::Obj,
+                children: vec![2],
+                order: 1,
+            },
+            DepNode {
+                word: "title".into(),
+                lemma: "title".into(),
+                pos: Pos::Noun,
+                head: Some(1),
+                rel: DepRel::Mod,
+                children: vec![],
+                order: 2,
+            },
+        ];
+        DepTree::new(nodes, 0)
+    }
+
+    #[test]
+    fn invariants_hold_on_valid_tree() {
+        assert!(tiny().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn reattach_moves_child() {
+        let mut t = tiny();
+        t.reattach(2, 0);
+        assert_eq!(t.node(2).head, Some(0));
+        assert!(t.children(0).contains(&2));
+        assert!(!t.children(1).contains(&2));
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn reattach_keeps_sentence_order() {
+        let mut t = tiny();
+        t.reattach(2, 0);
+        // children of root: movie (order 1), title (order 2)
+        assert_eq!(t.children(0), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn reattach_rejects_cycles() {
+        let mut t = tiny();
+        t.reattach(1, 2); // movie under its own descendant
+    }
+
+    #[test]
+    fn outline_renders_nesting() {
+        let o = tiny().outline();
+        assert!(o.contains("Return"));
+        assert!(o.contains("  movie"));
+        assert!(o.contains("    title"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the dependency parser: robustness over arbitrary
+//! input, invariants of produced trees, and stability of the golden
+//! query class under lexical perturbation.
+
+use nlparser::lexicon;
+use nlparser::{parse, DepRel, Pos};
+use proptest::prelude::*;
+
+/// Would the tagger see this word as an ordinary common noun?
+fn is_plain_noun(w: &str) -> bool {
+    !(lexicon::is_command_verb(w)
+        || lexicon::is_copula(w)
+        || lexicon::is_auxiliary(w)
+        || lexicon::is_article(w)
+        || lexicon::is_quantifier(w)
+        || lexicon::is_preposition(w)
+        || lexicon::is_pronoun(w)
+        || lexicon::is_subordinator(w)
+        || lexicon::is_adjective(w)
+        || lexicon::is_wh_word(w)
+        || lexicon::is_clause_verb(w)
+        || lexicon::is_participle(w)
+        || w == "and"
+        || w == "or"
+        || w == "not"
+        || w == "no"
+        || w == "me")
+}
+
+proptest! {
+    /// Arbitrary (printable) input never panics the pipeline.
+    #[test]
+    fn parse_never_panics(input in "[ -~]{0,120}") {
+        if let Ok(tree) = parse(&input) {
+            prop_assert!(tree.check_invariants().is_ok(), "{}", tree.outline());
+        }
+    }
+
+    /// Arbitrary unicode never panics the tokenizer/tagger.
+    #[test]
+    fn parse_never_panics_unicode(input in ".{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// The canonical query frame accepts any *plain-noun* pair: the
+    /// tree always has the command as root and both nouns integrated
+    /// (no dangling content words). Words that collide with lexicon
+    /// categories or the participle heuristic ("…ed") are excluded —
+    /// they legitimately parse differently.
+    #[test]
+    fn simple_frame_always_integrates(
+        n1 in "[a-z]{2,10}".prop_filter("plain noun", |w| is_plain_noun(w)),
+        n2 in "[a-z]{2,10}".prop_filter("plain noun", |w| is_plain_noun(w)),
+    ) {
+        let q = format!("Return the {n1} of every {n2}.");
+        let tree = parse(&q).expect("frame parses");
+        prop_assert!(tree.check_invariants().is_ok());
+        prop_assert_eq!(tree.node(tree.root()).lemma.as_str(), "return");
+        // No dangling non-marker nodes.
+        for r in tree.refs() {
+            let n = tree.node(r);
+            if n.rel == DepRel::Dangling {
+                prop_assert!(
+                    !matches!(n.pos, Pos::Noun | Pos::Proper | Pos::Quoted | Pos::Number),
+                    "content word dangles: {} in\n{}",
+                    n.word,
+                    tree.outline()
+                );
+            }
+        }
+    }
+
+    /// Quoted values always surface as a single Quoted node with the
+    /// exact text.
+    #[test]
+    fn quoted_values_preserved(value in "[a-zA-Z0-9 ]{1,20}") {
+        let q = format!("Find all titles that contain \"{value}\".");
+        let tree = parse(&q).expect("parses");
+        let hit = tree
+            .refs()
+            .find(|&r| tree.node(r).pos == Pos::Quoted)
+            .expect("quoted node");
+        prop_assert_eq!(&tree.node(hit).word, &value);
+    }
+
+    /// Noise injection keeps trees structurally valid for any random
+    /// stream.
+    #[test]
+    fn noise_preserves_invariants(r1 in any::<u64>(), r2 in any::<u64>()) {
+        let mut tree = parse(
+            "Return the title and the authors of every book published by \
+             Addison-Wesley after 1991.",
+        )
+        .expect("parses");
+        let cfg = nlparser::noise::NoiseConfig { corruption_rate: 1.0 };
+        let _ = nlparser::noise::maybe_corrupt(&mut tree, &cfg, r1, r2);
+        prop_assert!(tree.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,130 @@
+//! Orthogonal Latin squares for task ordering.
+//!
+//! "Within each block, each participant was asked to accomplish 9
+//! search tasks in a random order determined by a pair of orthogonal 9
+//! by 9 Latin Squares" (Sec. 5.1). For odd order n, the cyclic squares
+//! `L_a[i][j] = (a·i + j) mod n` with `gcd(a, n) = gcd(b, n) =
+//! gcd(a−b, n) = 1` are mutually orthogonal; for n = 9 we use a = 1,
+//! b = 2.
+
+/// An n×n Latin square: `rows[i][j]` is the task index for participant
+/// slot `i` at position `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatinSquare {
+    /// Order.
+    pub n: usize,
+    /// Row-major cells.
+    pub rows: Vec<Vec<usize>>,
+}
+
+impl LatinSquare {
+    /// The cyclic square `L[i][j] = (a·i + j) mod n`. Latin whenever
+    /// `gcd(a, n) = 1`.
+    pub fn cyclic(n: usize, a: usize) -> LatinSquare {
+        let rows = (0..n)
+            .map(|i| (0..n).map(|j| (a * i + j) % n).collect())
+            .collect();
+        LatinSquare { n, rows }
+    }
+
+    /// Is this a valid Latin square (each symbol once per row and
+    /// column)?
+    pub fn is_latin(&self) -> bool {
+        let full: Vec<bool> = vec![true; self.n];
+        for i in 0..self.n {
+            let mut row = vec![false; self.n];
+            let mut col = vec![false; self.n];
+            for j in 0..self.n {
+                row[self.rows[i][j]] = true;
+                col[self.rows[j][i]] = true;
+            }
+            if row != full || col != full {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Are `self` and `other` orthogonal (all (a,b) cell pairs
+    /// distinct)?
+    pub fn orthogonal_to(&self, other: &LatinSquare) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        let mut seen = vec![false; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let key = self.rows[i][j] * self.n + other.rows[i][j];
+                if seen[key] {
+                    return false;
+                }
+                seen[key] = true;
+            }
+        }
+        true
+    }
+}
+
+/// The task order for participant `p` over `n` tasks, drawn from the
+/// orthogonal pair: participants 0..n use square A's rows, n..2n use
+/// square B's, and further participants wrap around.
+pub fn task_order(p: usize, n: usize) -> Vec<usize> {
+    let a = LatinSquare::cyclic(n, 1);
+    let b = LatinSquare::cyclic(n, 2);
+    let which = (p / n) % 2;
+    let row = p % n;
+    if which == 0 {
+        a.rows[row].clone()
+    } else {
+        b.rows[row].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_squares_are_latin() {
+        assert!(LatinSquare::cyclic(9, 1).is_latin());
+        assert!(LatinSquare::cyclic(9, 2).is_latin());
+    }
+
+    #[test]
+    fn the_pair_is_orthogonal() {
+        let a = LatinSquare::cyclic(9, 1);
+        let b = LatinSquare::cyclic(9, 2);
+        assert!(a.orthogonal_to(&b));
+    }
+
+    #[test]
+    fn non_coprime_multiplier_is_not_latin() {
+        assert!(!LatinSquare::cyclic(9, 3).is_latin());
+    }
+
+    #[test]
+    fn task_order_is_a_permutation() {
+        for p in 0..18 {
+            let mut o = task_order(p, 9);
+            o.sort();
+            assert_eq!(o, (0..9).collect::<Vec<_>>(), "participant {p}");
+        }
+    }
+
+    #[test]
+    fn participants_get_distinct_orders_within_square() {
+        let orders: Vec<Vec<usize>> = (0..9).map(|p| task_order(p, 9)).collect();
+        for i in 0..9 {
+            for j in i + 1..9 {
+                assert_ne!(orders[i], orders[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn second_block_uses_other_square() {
+        // Row 0 of both cyclic squares is the identity, so compare a
+        // non-zero row.
+        assert_ne!(task_order(1, 9), task_order(10, 9).clone());
+    }
+}

@@ -1,0 +1,195 @@
+//! Precision / recall metrics (paper Sec. 5.1, "Search Quality").
+//!
+//! "Since the expected results were sometimes complex, with multiple
+//! elements (attributes) of interest, we considered each element and
+//! attribute value as an independent value for the purposes of
+//! precision and recall computation." Values are compared as normalised
+//! strings, set-semantically. "Ordering of results was not considered
+//! …, unless the task specifically asked the results be sorted" — for
+//! sorted tasks, a longest-common-subsequence factor against the gold
+//! key order scales both measures.
+
+use std::collections::HashSet;
+
+/// A precision/recall pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrScore {
+    /// Fraction of returned values that are correct.
+    pub precision: f64,
+    /// Fraction of expected values that were returned.
+    pub recall: f64,
+}
+
+impl PrScore {
+    /// The zero score.
+    pub fn zero() -> Self {
+        PrScore {
+            precision: 0.0,
+            recall: 0.0,
+        }
+    }
+
+    /// Harmonic mean of precision and recall (the paper's passing
+    /// criterion uses this at 0.5).
+    pub fn harmonic(&self) -> f64 {
+        harmonic_mean(self.precision, self.recall)
+    }
+}
+
+/// Harmonic mean; zero when either input is zero.
+pub fn harmonic_mean(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+fn normalise(v: &str) -> String {
+    v.trim().to_lowercase()
+}
+
+/// Set-semantics precision/recall of `returned` against `expected`.
+pub fn precision_recall(returned: &[String], expected: &[String]) -> PrScore {
+    let ret: HashSet<String> = returned.iter().map(|v| normalise(v)).collect();
+    let exp: HashSet<String> = expected.iter().map(|v| normalise(v)).collect();
+    if ret.is_empty() && exp.is_empty() {
+        return PrScore {
+            precision: 1.0,
+            recall: 1.0,
+        };
+    }
+    if ret.is_empty() {
+        return PrScore {
+            precision: 0.0,
+            recall: 0.0,
+        };
+    }
+    let matched = ret.intersection(&exp).count();
+    PrScore {
+        precision: matched as f64 / ret.len() as f64,
+        recall: if exp.is_empty() {
+            0.0
+        } else {
+            matched as f64 / exp.len() as f64
+        },
+    }
+}
+
+/// Order credit for sorted tasks: the length of the longest common
+/// subsequence between the returned key sequence and the gold (sorted)
+/// key sequence, as a fraction of the gold length. 1.0 when the
+/// returned keys appear in the requested order, lower as order degrades.
+pub fn order_factor(returned_keys: &[String], gold_keys: &[String]) -> f64 {
+    if gold_keys.is_empty() {
+        return 1.0;
+    }
+    let a: Vec<String> = returned_keys.iter().map(|v| normalise(v)).collect();
+    let b: Vec<String> = gold_keys.iter().map(|v| normalise(v)).collect();
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[n][m] as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let pr = precision_recall(&s(&["a", "b"]), &s(&["a", "b"]));
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.harmonic(), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        // The paper's example: all right elements but 3 of 4 requested
+        // attributes → recall 75%.
+        let pr = precision_recall(&s(&["a", "b", "c"]), &s(&["a", "b", "c", "d"]));
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.75);
+    }
+
+    #[test]
+    fn partial_precision() {
+        let pr = precision_recall(&s(&["a", "b", "x", "y"]), &s(&["a", "b"]));
+        assert_eq!(pr.precision, 0.5);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_returned_is_zero() {
+        let pr = precision_recall(&[], &s(&["a"]));
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+    }
+
+    #[test]
+    fn both_empty_is_perfect() {
+        let pr = precision_recall(&[], &[]);
+        assert_eq!(pr.precision, 1.0);
+    }
+
+    #[test]
+    fn normalisation_is_case_insensitive() {
+        let pr = precision_recall(&s(&[" A "]), &s(&["a"]));
+        assert_eq!(pr.precision, 1.0);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pr = precision_recall(&s(&["a", "a", "a"]), &s(&["a"]));
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_properties() {
+        assert_eq!(harmonic_mean(0.0, 1.0), 0.0);
+        assert_eq!(harmonic_mean(1.0, 1.0), 1.0);
+        assert!((harmonic_mean(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_factor_full_credit_when_sorted() {
+        assert_eq!(
+            order_factor(&s(&["a", "b", "c"]), &s(&["a", "b", "c"])),
+            1.0
+        );
+    }
+
+    #[test]
+    fn order_factor_degrades_with_disorder() {
+        let f = order_factor(&s(&["c", "b", "a"]), &s(&["a", "b", "c"]));
+        assert!((f - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_factor_empty_gold_is_neutral() {
+        assert_eq!(order_factor(&s(&["x"]), &[]), 1.0);
+    }
+
+    #[test]
+    fn order_factor_empty_returned_is_zero() {
+        assert_eq!(order_factor(&[], &s(&["a"])), 0.0);
+    }
+}

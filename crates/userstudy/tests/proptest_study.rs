@@ -1,0 +1,85 @@
+//! Property tests for the study harness: the simulated participant's
+//! bookkeeping must be consistent for any seed, and the metric
+//! aggregation must stay within bounds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use userstudy::tasks::{TaskId, ALL_TASKS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any seed, a NaLIX task run satisfies the structural
+    /// invariants: the best index is in range, iterations equal the
+    /// best index, time respects the cap, scores are in [0,1], and the
+    /// run ends either passed or exhausted.
+    #[test]
+    fn task_run_invariants(seed in any::<u64>()) {
+        let doc = xmldb::datasets::dblp::generate(&xmldb::datasets::dblp::DblpConfig::small());
+        let nalix = nalix::Nalix::new(&doc);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = userstudy::participant::Profile::sample(&mut rng);
+        let noise = nlparser::noise::NoiseConfig { corruption_rate: 0.2 };
+        for tid in [TaskId::Q1, TaskId::Q8, TaskId::Q10] {
+            let task = tid.task();
+            let run = userstudy::participant::run_nalix_task(
+                &nalix,
+                &task,
+                &userstudy::phrasings::nl_pool(tid),
+                &profile,
+                &noise,
+                &mut rng,
+            );
+            prop_assert!(!run.attempts.is_empty());
+            prop_assert!(run.best < run.attempts.len());
+            prop_assert_eq!(run.iterations, run.best);
+            prop_assert!(run.total_time_s <= userstudy::participant::TIME_LIMIT_S + 1e-9);
+            for a in &run.attempts {
+                prop_assert!((0.0..=1.0).contains(&a.score.precision));
+                prop_assert!((0.0..=1.0).contains(&a.score.recall));
+                if !a.accepted {
+                    prop_assert_eq!(a.score.precision, 0.0);
+                }
+            }
+            // the run stops at the first passing attempt: no earlier
+            // attempt may pass
+            for a in &run.attempts[..run.attempts.len() - 1] {
+                prop_assert!(
+                    a.score.harmonic() < userstudy::participant::PASS_HM,
+                    "{}", tid.label()
+                );
+            }
+        }
+    }
+
+    /// Keyword runs share the invariants (and never reject).
+    #[test]
+    fn keyword_run_invariants(seed in any::<u64>()) {
+        let doc = xmldb::datasets::dblp::generate(&xmldb::datasets::dblp::DblpConfig::small());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = userstudy::participant::Profile::sample(&mut rng);
+        for tid in ALL_TASKS {
+            let task = tid.task();
+            let run = userstudy::participant::run_keyword_task(
+                &doc,
+                &task,
+                &userstudy::phrasings::keyword_pool(tid),
+                &profile,
+                &mut rng,
+            );
+            prop_assert!(!run.attempts.is_empty());
+            prop_assert!(run.attempts.iter().all(|a| a.accepted));
+            prop_assert!(run.best < run.attempts.len());
+        }
+    }
+
+    /// Latin-square task orders are permutations for any participant
+    /// index.
+    #[test]
+    fn latin_orders_are_permutations(p in 0usize..1000) {
+        let mut o = userstudy::latin::task_order(p, 9);
+        o.sort_unstable();
+        prop_assert_eq!(o, (0..9).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,371 @@
+//! Tree navigation: children, descendants, ancestors, subtree tests and
+//! lowest common ancestors.
+//!
+//! These are the structural primitives beneath both the XQuery engine's
+//! path steps and the MLCA (meaningful lowest common ancestor) algorithm
+//! in crate `xquery`, as well as the Meet operator of the keyword-search
+//! baseline. Containment tests use pre/post-order ranks, so they are O(1);
+//! LCA walks parent pointers from the deeper node, O(depth).
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+impl Document {
+    /// Iterator over the direct children of `id`, in document order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.node(id).first_child,
+        }
+    }
+
+    /// Iterator over the element children of `id` (skipping text and
+    /// attribute nodes), in document order.
+    pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .filter(move |&c| self.node(c).kind == NodeKind::Element)
+    }
+
+    /// Iterator over all descendants of `id` in pre-order, excluding `id`
+    /// itself.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: {
+                let mut v = Vec::new();
+                // Children pushed in reverse for pre-order traversal.
+                let mut c = self.node(id).first_child;
+                let mut tmp = Vec::new();
+                while let Some(cid) = c {
+                    tmp.push(cid);
+                    c = self.node(cid).next_sibling;
+                }
+                v.extend(tmp.into_iter().rev());
+                v
+            },
+        }
+    }
+
+    /// Iterator over `id`'s ancestors, nearest first, excluding `id`.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            doc: self,
+            next: self.node(id).parent,
+        }
+    }
+
+    /// True iff `anc` is `desc` or an ancestor of `desc` (O(1), uses
+    /// pre/post ranks — document must be finalized).
+    #[inline]
+    pub fn is_ancestor_or_self(&self, anc: NodeId, desc: NodeId) -> bool {
+        let a = self.node(anc);
+        let d = self.node(desc);
+        debug_assert!(a.pre != u32::MAX && d.pre != u32::MAX);
+        a.pre <= d.pre && a.post >= d.post
+    }
+
+    /// True iff `anc` is a *proper* ancestor of `desc`.
+    #[inline]
+    pub fn is_proper_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        anc != desc && self.is_ancestor_or_self(anc, desc)
+    }
+
+    /// Lowest common ancestor of two nodes. Total: every pair in one
+    /// document has an LCA (at worst the root).
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        if self.is_ancestor_or_self(a, b) {
+            return a;
+        }
+        if self.is_ancestor_or_self(b, a) {
+            return b;
+        }
+        // Walk up from the deeper node until depths match, then in lockstep.
+        let (mut x, mut y) = (a, b);
+        while self.node(x).depth > self.node(y).depth {
+            x = self.node(x).parent.expect("deeper node must have parent");
+        }
+        while self.node(y).depth > self.node(x).depth {
+            y = self.node(y).parent.expect("deeper node must have parent");
+        }
+        while x != y {
+            x = self.node(x).parent.expect("non-root in lca walk");
+            y = self.node(y).parent.expect("non-root in lca walk");
+        }
+        x
+    }
+
+    /// LCA of a non-empty set of nodes.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn lca_all(&self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "lca_all of empty set");
+        nodes[1..]
+            .iter()
+            .fold(nodes[0], |acc, &n| self.lca(acc, n))
+    }
+
+    /// The child of `anc` that lies on the path from `anc` down to
+    /// `desc`; `None` when `anc` is not a proper ancestor of `desc`.
+    ///
+    /// This is the key step of the MLCA "exclusivity" test: a node `x`
+    /// has `lca(x, desc)` strictly below `anc` iff `x` lies in the
+    /// subtree of this child.
+    pub fn child_toward(&self, anc: NodeId, desc: NodeId) -> Option<NodeId> {
+        if !self.is_proper_ancestor(anc, desc) {
+            return None;
+        }
+        let mut cur = desc;
+        loop {
+            let p = self.node(cur).parent?;
+            if p == anc {
+                return Some(cur);
+            }
+            cur = p;
+        }
+    }
+
+    /// Count of nodes with label `sym` inside the subtree rooted at
+    /// `root` (inclusive). Uses binary search over the label index's
+    /// document-ordered node list: O(log n).
+    pub fn count_label_in_subtree(&self, sym: crate::interner::Symbol, root: NodeId) -> usize {
+        self.labeled_in_subtree(sym, root).len()
+    }
+
+    /// The nodes with label `sym` inside the subtree rooted at `root`
+    /// (inclusive), as a document-ordered slice of the label index.
+    /// O(log n) to locate; the slice itself is borrowed, not copied.
+    pub fn labeled_in_subtree(
+        &self,
+        sym: crate::interner::Symbol,
+        root: NodeId,
+    ) -> &[NodeId] {
+        let list = self.nodes_with_symbol(sym);
+        let (lo, hi) = self.subtree_pre_range(root);
+        // list is sorted by pre-order rank.
+        let start = list.partition_point(|&n| self.node(n).pre < lo);
+        let end = list.partition_point(|&n| self.node(n).pre <= hi);
+        &list[start..end]
+    }
+
+    /// Does any node with label `sym` occur in the subtree rooted at
+    /// `root` (inclusive)?
+    pub fn label_occurs_in_subtree(&self, sym: crate::interner::Symbol, root: NodeId) -> bool {
+        self.count_label_in_subtree(sym, root) > 0
+    }
+
+    /// The pre-order rank interval `[lo, hi]` covering exactly the
+    /// subtree of `root`.
+    fn subtree_pre_range(&self, root: NodeId) -> (u32, u32) {
+        let lo = self.node(root).pre;
+        // The subtree of root is a contiguous pre-order interval; its end
+        // is found from the next node after the subtree. Walk to the next
+        // sibling of the nearest ancestor that has one.
+        let mut cur = root;
+        loop {
+            if let Some(sib) = self.node(cur).next_sibling {
+                return (lo, self.node(sib).pre - 1);
+            }
+            match self.node(cur).parent {
+                Some(p) => cur = p,
+                None => return (lo, (self.len() - 1) as u32),
+            }
+        }
+    }
+}
+
+/// Iterator over direct children. See [`Document::children`].
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.node(cur).next_sibling;
+        Some(cur)
+    }
+}
+
+/// Iterator over descendants in pre-order. See [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.stack.pop()?;
+        let mut kids = Vec::new();
+        let mut c = self.doc.node(cur).first_child;
+        while let Some(cid) = c {
+            kids.push(cid);
+            c = self.doc.node(cid).next_sibling;
+        }
+        self.stack.extend(kids.into_iter().rev());
+        Some(cur)
+    }
+}
+
+/// Iterator over ancestors, nearest first. See [`Document::ancestors`].
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.node(cur).parent;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::document::Document;
+
+    /// movies ─ movie ─ (title, director) ×3, two movies share a year
+    /// grouping element, mirroring the paper's Figure 1 shape.
+    fn fig1ish() -> Document {
+        let mut d = Document::new("movies");
+        let root = d.root();
+        let y0 = d.add_element(root, "year");
+        d.add_text(y0, "2000");
+        let m1 = d.add_element(y0, "movie");
+        d.add_leaf(m1, "title", "Traffic");
+        d.add_leaf(m1, "director", "Steven Soderbergh");
+        let m2 = d.add_element(y0, "movie");
+        d.add_leaf(m2, "title", "How the Grinch Stole Christmas");
+        d.add_leaf(m2, "director", "Ron Howard");
+        let y1 = d.add_element(root, "year");
+        d.add_text(y1, "2001");
+        let m3 = d.add_element(y1, "movie");
+        d.add_leaf(m3, "title", "A Beautiful Mind");
+        d.add_leaf(m3, "director", "Ron Howard");
+        d.finalize();
+        d
+    }
+
+    #[test]
+    fn children_in_document_order() {
+        let d = fig1ish();
+        let years: Vec<_> = d.element_children(d.root()).collect();
+        assert_eq!(years.len(), 2);
+        assert_eq!(d.direct_text(years[0]), "2000");
+        assert_eq!(d.direct_text(years[1]), "2001");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let d = fig1ish();
+        let all: Vec<_> = d.descendants(d.root()).collect();
+        // every node except the root
+        assert_eq!(all.len(), d.len() - 1);
+        // pre-order is strictly increasing
+        for w in all.windows(2) {
+            assert!(d.node(w[0]).pre < d.node(w[1]).pre);
+        }
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let d = fig1ish();
+        let t = d.nodes_labeled("title")[0];
+        let anc: Vec<String> = d.ancestors(t).map(|a| d.label(a).to_owned()).collect();
+        assert_eq!(anc, vec!["movie", "year", "movies"]);
+    }
+
+    #[test]
+    fn ancestor_tests() {
+        let d = fig1ish();
+        let m = d.nodes_labeled("movie")[0];
+        let t = d.nodes_labeled("title")[0];
+        assert!(d.is_proper_ancestor(m, t));
+        assert!(d.is_ancestor_or_self(m, m));
+        assert!(!d.is_proper_ancestor(m, m));
+        assert!(!d.is_proper_ancestor(t, m));
+    }
+
+    #[test]
+    fn lca_within_one_movie() {
+        let d = fig1ish();
+        let t = d.nodes_labeled("title")[0];
+        let dir = d.nodes_labeled("director")[0];
+        let lca = d.lca(t, dir);
+        assert_eq!(d.label(lca), "movie");
+    }
+
+    #[test]
+    fn lca_across_years_is_root() {
+        let d = fig1ish();
+        let t0 = d.nodes_labeled("title")[0]; // year 2000
+        let t2 = d.nodes_labeled("title")[2]; // year 2001
+        assert_eq!(d.lca(t0, t2), d.root());
+    }
+
+    #[test]
+    fn lca_with_ancestor_argument() {
+        let d = fig1ish();
+        let m = d.nodes_labeled("movie")[0];
+        let t = d.nodes_labeled("title")[0];
+        assert_eq!(d.lca(m, t), m);
+        assert_eq!(d.lca(t, m), m);
+        assert_eq!(d.lca(t, t), t);
+    }
+
+    #[test]
+    fn lca_all_of_three() {
+        let d = fig1ish();
+        let titles = d.nodes_labeled("title");
+        let lca = d.lca_all(titles);
+        assert_eq!(lca, d.root());
+    }
+
+    #[test]
+    fn child_toward_walks_path() {
+        let d = fig1ish();
+        let t = d.nodes_labeled("title")[0];
+        let step = d.child_toward(d.root(), t).unwrap();
+        assert_eq!(d.label(step), "year");
+        let m = d.nodes_labeled("movie")[0];
+        assert_eq!(d.child_toward(m, t).unwrap(), t);
+        assert!(d.child_toward(t, m).is_none());
+        assert!(d.child_toward(t, t).is_none());
+    }
+
+    #[test]
+    fn count_label_in_subtree() {
+        let d = fig1ish();
+        let title = d.lookup("title").unwrap();
+        let years: Vec<_> = d.element_children(d.root()).collect();
+        assert_eq!(d.count_label_in_subtree(title, years[0]), 2);
+        assert_eq!(d.count_label_in_subtree(title, years[1]), 1);
+        assert_eq!(d.count_label_in_subtree(title, d.root()), 3);
+        let m = d.nodes_labeled("movie")[0];
+        assert_eq!(d.count_label_in_subtree(title, m), 1);
+    }
+
+    #[test]
+    fn label_occurs_in_subtree() {
+        let d = fig1ish();
+        let dir = d.lookup("director").unwrap();
+        let t = d.nodes_labeled("title")[0];
+        assert!(!d.label_occurs_in_subtree(dir, t));
+        assert!(d.label_occurs_in_subtree(dir, d.root()));
+    }
+
+    #[test]
+    fn subtree_range_of_last_node() {
+        let d = fig1ish();
+        // The very last title/director pair: range must extend to the end.
+        let dirs = d.nodes_labeled("director");
+        let last = dirs[dirs.len() - 1];
+        let sym = d.lookup("director").unwrap();
+        assert_eq!(d.count_label_in_subtree(sym, last), 1);
+    }
+}

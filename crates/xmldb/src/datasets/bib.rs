@@ -1,0 +1,95 @@
+//! The W3C XMP `bib.xml` sample document.
+//!
+//! This is the bibliography used by the XQuery Use Cases "XMP" queries
+//! that the paper's nine search tasks were adapted from. We embed the
+//! sample verbatim (it is tiny) so examples and tests can exercise the
+//! original XMP shapes — including `price`, which the paper's DBLP
+//! adaptation replaced with `year`.
+
+use crate::document::Document;
+
+/// The XMP sample bibliography (four books, as published in the W3C
+/// XQuery Use Cases working draft).
+pub const BIB_XML: &str = r#"<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>"#;
+
+/// Parse [`BIB_XML`] into a document.
+pub fn bib() -> Document {
+    Document::parse_str(BIB_XML).expect("embedded bib.xml is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_books() {
+        let d = bib();
+        assert_eq!(d.nodes_labeled("book").len(), 4);
+    }
+
+    #[test]
+    fn year_is_an_attribute() {
+        let d = bib();
+        let y = d.nodes_labeled("year")[0];
+        assert!(d.node(y).is_attribute());
+        assert_eq!(d.string_value(y), "1994");
+    }
+
+    #[test]
+    fn suciu_is_an_author_last_name() {
+        let d = bib();
+        let found = d
+            .nodes_labeled("last")
+            .iter()
+            .any(|&n| d.string_value(n) == "Suciu");
+        assert!(found);
+    }
+
+    #[test]
+    fn one_book_has_editor_with_affiliation() {
+        let d = bib();
+        assert_eq!(d.nodes_labeled("editor").len(), 1);
+        assert_eq!(
+            d.string_value(d.nodes_labeled("affiliation")[0]),
+            "CITI"
+        );
+    }
+
+    #[test]
+    fn two_addison_wesley_books() {
+        let d = bib();
+        let n = d
+            .nodes_labeled("publisher")
+            .iter()
+            .filter(|&&p| d.string_value(p) == "Addison-Wesley")
+            .count();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,376 @@
+//! A seeded DBLP-shaped bibliography generator.
+//!
+//! The paper's corpus was "a sub-collection of DBLP, which included all
+//! the elements on books in DBLP and twice as many elements on articles.
+//! The total size of the data set is 1.44MB, with 73142 nodes" (Sec. 5.1).
+//! We reproduce the *shape*: a `dblp` root with `book` and `article`
+//! entries (articles ≈ 2 × books), authors, editors with affiliations,
+//! titles, publishers and years; the default configuration lands within a
+//! few percent of the paper's node count.
+//!
+//! The generator plants deterministic **anchor entries** so every one of
+//! the nine XMP-derived search tasks has a non-trivial, stable gold
+//! answer (Addison-Wesley books straddling 1991, an author "Dan Suciu",
+//! titles containing "XML", repeated-title editions for the min-year
+//! aggregation, and editor affiliations), then fills the remainder with
+//! seeded random entries.
+
+use crate::datasets::rng::SplitMix64;
+use crate::document::Document;
+use crate::node::NodeId;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of `book` entries (anchors included).
+    pub books: usize,
+    /// Number of `article` entries.
+    pub articles: usize,
+    /// PRNG seed; equal configs generate identical documents.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    /// Paper-scale corpus: ≈73k nodes.
+    fn default() -> Self {
+        DblpConfig {
+            books: 2400,
+            articles: 4800,
+            seed: 0xDB1F,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A small corpus for unit tests (a few hundred nodes).
+    pub fn small() -> Self {
+        DblpConfig {
+            books: 40,
+            articles: 80,
+            seed: 7,
+        }
+    }
+}
+
+/// A book record, used both by the generator and by tests that want to
+/// assert on what was planted.
+#[derive(Debug, Clone)]
+pub struct BookSpec {
+    /// Title text.
+    pub title: String,
+    /// Author names (may be empty when the book has only editors).
+    pub authors: Vec<String>,
+    /// `(name, affiliation)` of the editor, if any.
+    pub editor: Option<(String, String)>,
+    /// Publisher name.
+    pub publisher: String,
+    /// Publication year.
+    pub year: u32,
+}
+
+const PUBLISHERS: [&str; 7] = [
+    "Addison-Wesley",
+    "Morgan Kaufmann",
+    "Springer",
+    "Prentice Hall",
+    "McGraw-Hill",
+    "O'Reilly",
+    "MIT Press",
+];
+
+const FIRST_NAMES: [&str; 16] = [
+    "Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace", "Hector", "Irene", "Jack",
+    "Karen", "Luis", "Maria", "Ning", "Olga", "Pavel",
+];
+
+const LAST_NAMES: [&str; 16] = [
+    "Smith", "Garcia", "Chen", "Mueller", "Tanaka", "Kowalski", "Okafor", "Silva", "Ivanov",
+    "Dubois", "Rossi", "Yamamoto", "Novak", "Patel", "Kim", "Larsen",
+];
+
+const TITLE_HEADS: [&str; 12] = [
+    "Foundations of",
+    "Principles of",
+    "Advanced",
+    "Introduction to",
+    "A Survey of",
+    "Modern",
+    "Practical",
+    "The Theory of",
+    "Efficient",
+    "Scalable",
+    "Distributed",
+    "Adaptive",
+];
+
+const TITLE_TOPICS: [&str; 14] = [
+    "Database Systems",
+    "Query Processing",
+    "Information Retrieval",
+    "Data Mining",
+    "Transaction Management",
+    "Semistructured Data",
+    "Index Structures",
+    "Stream Processing",
+    "Data Integration",
+    "Knowledge Representation",
+    "Storage Engines",
+    "Concurrency Control",
+    "Query Optimization",
+    "Web Services",
+];
+
+const JOURNALS: [&str; 5] = [
+    "ACM TODS",
+    "VLDB Journal",
+    "IEEE TKDE",
+    "Information Systems",
+    "SIGMOD Record",
+];
+
+/// Anchor books that make every evaluation task answerable. Public so
+/// the user-study crate can cross-check gold answers.
+pub fn anchor_books() -> Vec<BookSpec> {
+    let b = |title: &str, authors: &[&str], editor: Option<(&str, &str)>, publisher: &str, year: u32| BookSpec {
+        title: title.to_owned(),
+        authors: authors.iter().map(|s| (*s).to_owned()).collect(),
+        editor: editor.map(|(n, a)| (n.to_owned(), a.to_owned())),
+        publisher: publisher.to_owned(),
+        year,
+    };
+    vec![
+        // Addison-Wesley after 1991 (tasks Q1/Q7): five books.
+        b("TCP/IP Illustrated", &["W. Richard Stevens"], None, "Addison-Wesley", 1994),
+        b("Advanced Programming in the Unix Environment", &["W. Richard Stevens"], None, "Addison-Wesley", 1992),
+        b("Compilers: Principles and Techniques", &["Alfred Aho", "Jeffrey D. Ullman"], None, "Addison-Wesley", 2006),
+        b("Database System Implementation", &["Hector Garcia-Molina", "Jeffrey D. Ullman"], None, "Addison-Wesley", 1999),
+        b("Mythical Man-Month", &["Frederick Brooks"], None, "Addison-Wesley", 1995),
+        // Addison-Wesley NOT after 1991 (negative fixtures for Q1/Q7).
+        b("The C Programming Environment", &["Brian Kernighan"], None, "Addison-Wesley", 1984),
+        b("Structured Systems Analysis", &["Tom DeMarco"], None, "Addison-Wesley", 1979),
+        b("Smalltalk-80: The Language", &["Adele Goldberg"], None, "Addison-Wesley", 1989),
+        // "Suciu" author fixtures (task Q8).
+        b("Data on the Web", &["Serge Abiteboul", "Peter Buneman", "Dan Suciu"], None, "Morgan Kaufmann", 1999),
+        b("XML Data Management", &["Dan Suciu"], None, "Springer", 2003),
+        // Titles containing "XML" (task Q9) — one overlaps with Suciu above.
+        b("XML Query Languages", &["Mary Fernandez"], None, "Springer", 2001),
+        b("Learning XML", &["Erik Ray"], None, "O'Reilly", 2003),
+        b("Professional XML Databases", &["Kevin Williams"], None, "McGraw-Hill", 2000),
+        // Repeated-title editions (task Q10: minimum year per title).
+        b("Principles of Database Systems", &["Jeffrey D. Ullman"], None, "Prentice Hall", 1980),
+        b("Principles of Database Systems", &["Jeffrey D. Ullman"], None, "Prentice Hall", 1982),
+        b("Principles of Database Systems", &["Jeffrey D. Ullman"], None, "Prentice Hall", 1988),
+        b("Operating System Concepts", &["Abraham Silberschatz"], None, "MIT Press", 1991),
+        b("Operating System Concepts", &["Abraham Silberschatz"], None, "MIT Press", 1998),
+        // Editor + affiliation fixtures (task Q11).
+        b("Readings in Database Systems", &[], Some(("Michael Stonebraker", "UC Berkeley")), "Morgan Kaufmann", 1998),
+        b("The Handbook of Data Management", &[], Some(("Barbara von Halle", "Knowledge Partners")), "Springer", 1993),
+        b("Advances in Knowledge Discovery", &[], Some(("Usama Fayyad", "Microsoft Research")), "MIT Press", 1996),
+        b("Readings in Information Retrieval", &[], Some(("Karen Sparck Jones", "University of Cambridge")), "Morgan Kaufmann", 1997),
+        b("Temporal Databases: Theory and Practice", &[], Some(("Opher Etzion", "IBM Research")), "Springer", 1998),
+    ]
+}
+
+fn random_name(rng: &mut SplitMix64) -> String {
+    format!("{} {}", rng.pick(&FIRST_NAMES), rng.pick(&LAST_NAMES))
+}
+
+fn random_title(rng: &mut SplitMix64) -> String {
+    format!("{} {}", rng.pick(&TITLE_HEADS), rng.pick(&TITLE_TOPICS))
+}
+
+fn write_book(doc: &mut Document, parent: NodeId, spec: &BookSpec) {
+    let bk = doc.add_element(parent, "book");
+    doc.add_leaf(bk, "title", &spec.title);
+    for a in &spec.authors {
+        doc.add_leaf(bk, "author", a);
+    }
+    if let Some((name, affiliation)) = &spec.editor {
+        let ed = doc.add_element(bk, "editor");
+        doc.add_leaf(ed, "name", name);
+        doc.add_leaf(ed, "affiliation", affiliation);
+    }
+    doc.add_leaf(bk, "publisher", &spec.publisher);
+    doc.add_leaf(bk, "year", &spec.year.to_string());
+}
+
+/// Generate the corpus described by `cfg`.
+pub fn generate(cfg: &DblpConfig) -> Document {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut doc = Document::new("dblp");
+    let root = doc.root();
+
+    let anchors = anchor_books();
+    let n_anchor = anchors.len().min(cfg.books);
+    for spec in anchors.iter().take(n_anchor) {
+        write_book(&mut doc, root, spec);
+    }
+
+    // Random filler books. A pool of previously used titles feeds the
+    // "edition" mechanism (~8% of filler books reuse a title with a new
+    // year) so min-year aggregation has plenty of groups.
+    let mut titles_so_far: Vec<String> = Vec::new();
+    // A pool of recurring authors so that "books by the same author"
+    // (task Q4) groups have size > 1.
+    let recurring: Vec<String> = (0..24).map(|_| random_name(&mut rng)).collect();
+
+    for _ in n_anchor..cfg.books {
+        let title = if !titles_so_far.is_empty() && rng.chance(0.08) {
+            rng.pick(&titles_so_far).clone()
+        } else {
+            let t = random_title(&mut rng);
+            titles_so_far.push(t.clone());
+            t
+        };
+        let n_authors = rng.range(1, 3);
+        let authors: Vec<String> = (0..n_authors)
+            .map(|_| {
+                if rng.chance(0.5) {
+                    rng.pick(&recurring).clone()
+                } else {
+                    random_name(&mut rng)
+                }
+            })
+            .collect();
+        let editor = if rng.chance(0.05) {
+            Some((random_name(&mut rng), format!("{} University", rng.pick(&LAST_NAMES))))
+        } else {
+            None
+        };
+        let spec = BookSpec {
+            title,
+            authors,
+            editor,
+            publisher: (*rng.pick(&PUBLISHERS)).to_owned(),
+            year: rng.range(1970, 2005) as u32,
+        };
+        write_book(&mut doc, root, &spec);
+    }
+
+    // Articles: author+, title, journal, year (twice as many as books in
+    // the default configuration, matching the paper).
+    for _ in 0..cfg.articles {
+        let art = doc.add_element(root, "article");
+        let n_authors = rng.range(1, 3);
+        doc.add_leaf(art, "title", &random_title(&mut rng));
+        for _ in 0..n_authors {
+            let name = if rng.chance(0.4) {
+                rng.pick(&recurring).clone()
+            } else {
+                random_name(&mut rng)
+            };
+            doc.add_leaf(art, "author", &name);
+        }
+        let journal = *rng.pick(&JOURNALS);
+        doc.add_leaf(art, "journal", journal);
+        doc.add_leaf(art, "year", &rng.range(1975, 2005).to_string());
+    }
+
+    doc.finalize();
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&DblpConfig::small());
+        let b = generate(&DblpConfig::small());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.to_xml(a.root()), b.to_xml(b.root()));
+    }
+
+    #[test]
+    fn different_seed_changes_corpus() {
+        let a = generate(&DblpConfig::small());
+        let b = generate(&DblpConfig {
+            seed: 8,
+            ..DblpConfig::small()
+        });
+        assert_ne!(a.to_xml(a.root()), b.to_xml(b.root()));
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = DblpConfig::small();
+        let d = generate(&cfg);
+        assert_eq!(d.nodes_labeled("book").len(), cfg.books);
+        assert_eq!(d.nodes_labeled("article").len(), cfg.articles);
+    }
+
+    #[test]
+    fn anchors_are_present() {
+        let d = generate(&DblpConfig::small());
+        let titles: Vec<String> = d
+            .nodes_labeled("title")
+            .iter()
+            .map(|&t| d.string_value(t))
+            .collect();
+        assert!(titles.iter().any(|t| t == "TCP/IP Illustrated"));
+        assert!(titles.iter().any(|t| t.contains("XML")));
+        let authors: Vec<String> = d
+            .nodes_labeled("author")
+            .iter()
+            .map(|&a| d.string_value(a))
+            .collect();
+        assert!(authors.iter().any(|a| a.contains("Suciu")));
+        assert!(!d.nodes_labeled("affiliation").is_empty());
+    }
+
+    #[test]
+    fn addison_wesley_straddles_1991() {
+        let d = generate(&DblpConfig::small());
+        let mut after = 0;
+        let mut not_after = 0;
+        for &b in d.nodes_labeled("book") {
+            let publisher = d
+                .element_children(b)
+                .find(|&c| d.label(c) == "publisher")
+                .map(|c| d.string_value(c));
+            if publisher.as_deref() != Some("Addison-Wesley") {
+                continue;
+            }
+            let year: u32 = d
+                .element_children(b)
+                .find(|&c| d.label(c) == "year")
+                .map(|c| d.string_value(c).parse().unwrap())
+                .unwrap();
+            if year > 1991 {
+                after += 1;
+            } else {
+                not_after += 1;
+            }
+        }
+        assert!(after >= 5, "after={after}");
+        assert!(not_after >= 3, "not_after={not_after}");
+    }
+
+    #[test]
+    fn repeated_titles_exist_for_min_year_task() {
+        let d = generate(&DblpConfig::small());
+        let mut per_title = std::collections::HashMap::<String, usize>::new();
+        for &b in d.nodes_labeled("book") {
+            if let Some(t) = d.element_children(b).find(|&c| d.label(c) == "title") {
+                *per_title.entry(d.string_value(t)).or_default() += 1;
+            }
+        }
+        assert!(per_title.values().any(|&c| c >= 2));
+    }
+
+    #[test]
+    fn default_config_is_paper_scale() {
+        let d = generate(&DblpConfig::default());
+        let n = d.stats().total_nodes();
+        // Paper: 73,142 nodes. Accept ±15%.
+        assert!(
+            (62_000..=84_000).contains(&n),
+            "node count {n} outside paper-scale window"
+        );
+        assert_eq!(
+            d.nodes_labeled("article").len(),
+            2 * d.nodes_labeled("book").len()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Evaluation datasets.
+//!
+//! - [`movies`] — the movies database of the paper's **Figure 1**, plus a
+//!   variant extended with a `books` branch so that Query 3 ("movie whose
+//!   title is the same as the title of a book") has a non-empty answer.
+//! - [`dblp`] — a seeded generator producing a DBLP-shaped bibliography
+//!   (book + article elements) matching the paper's experimental corpus:
+//!   "a sub-collection of DBLP, which included all the elements on books
+//!   in DBLP and twice as many elements on articles … 73142 nodes".
+//! - [`bib`] — the W3C XMP `bib.xml` sample from the XQuery Use Cases,
+//!   which the paper's nine search tasks were adapted from.
+//! - [`rng`] — a tiny deterministic PRNG (splitmix64) so the generators
+//!   are reproducible without pulling `rand` into the library's
+//!   dependency set.
+
+pub mod bib;
+pub mod dblp;
+pub mod movies;
+pub mod rng;

@@ -1,0 +1,164 @@
+//! The movies database of the paper's **Figure 1**.
+//!
+//! Reconstructed node-for-node from the figure:
+//!
+//! ```text
+//! movies(1)
+//! ├── year(2) "2000"
+//! │   ├── movie(3)  { title(4)  "How the Grinch Stole Christmas",
+//! │   │               director(5)  "Ron Howard" }
+//! │   └── movie(6)  { title(7)  "Traffic",
+//! │                   director(8)  "Steven Soderbergh" }
+//! └── year(9) "2001"
+//!     ├── movie(10) { title(11) "A Beautiful Mind",
+//!     │               director(12) "Ron Howard" }
+//!     ├── movie(13) { title(14) "Tribute",
+//!     │               director(15) "Steven Soderbergh" }
+//!     └── movie(16) { title(17) "The Lord of the Rings",
+//!                     director(18) "Peter Jackson" }
+//! ```
+//!
+//! Against this data the paper's example queries behave as follows:
+//!
+//! - *Query 2* ("Return every director, where the number of movies
+//!   directed by the director is the same as the number of movies
+//!   directed by Ron Howard") → Ron Howard (2 movies) and Steven
+//!   Soderbergh (2 movies).
+//! - *Query 3* ("Return the directors of movies, where the title of each
+//!   movie is the same as the title of a book") needs a `books` branch;
+//!   [`movies_and_books`] adds one whose only title shared with a movie
+//!   is "Traffic", so the answer is Steven Soderbergh.
+
+use crate::document::Document;
+
+/// Title/director pairs per year, mirroring Figure 1.
+pub const FILMS_2000: [(&str, &str); 2] = [
+    ("How the Grinch Stole Christmas", "Ron Howard"),
+    ("Traffic", "Steven Soderbergh"),
+];
+
+/// Films under the 2001 year element of Figure 1.
+pub const FILMS_2001: [(&str, &str); 3] = [
+    ("A Beautiful Mind", "Ron Howard"),
+    ("Tribute", "Steven Soderbergh"),
+    ("The Lord of the Rings", "Peter Jackson"),
+];
+
+/// Build exactly the Figure 1 document.
+pub fn movies() -> Document {
+    let mut d = Document::new("movies");
+    let root = d.root();
+    for (year, films) in [("2000", &FILMS_2000[..]), ("2001", &FILMS_2001[..])] {
+        let y = d.add_element(root, "year");
+        d.add_text(y, year);
+        for (title, director) in films {
+            let m = d.add_element(y, "movie");
+            d.add_leaf(m, "title", title);
+            d.add_leaf(m, "director", director);
+        }
+    }
+    d.finalize();
+    d
+}
+
+/// Titles of the books branch added by [`movies_and_books`]. Only
+/// "Traffic" collides with a movie title.
+pub const BOOK_TITLES: [&str; 3] = [
+    "Traffic",
+    "Database Management Systems",
+    "The Art of Computer Programming",
+];
+
+/// Figure 1 plus a `books` branch (book/title/author), so that value
+/// joins between movie titles and book titles are exercised.
+pub fn movies_and_books() -> Document {
+    let mut d = Document::new("collection");
+    let root = d.root();
+
+    let movies = d.add_element(root, "movies");
+    for (year, films) in [("2000", &FILMS_2000[..]), ("2001", &FILMS_2001[..])] {
+        let y = d.add_element(movies, "year");
+        d.add_text(y, year);
+        for (title, director) in films {
+            let m = d.add_element(y, "movie");
+            d.add_leaf(m, "title", title);
+            d.add_leaf(m, "director", director);
+        }
+    }
+
+    let books = d.add_element(root, "books");
+    let authors = ["Unknown", "Ramakrishnan", "Knuth"];
+    for (title, author) in BOOK_TITLES.iter().zip(authors) {
+        let b = d.add_element(books, "book");
+        d.add_leaf(b, "title", title);
+        d.add_leaf(b, "author", author);
+    }
+
+    d.finalize();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_five_movies() {
+        let d = movies();
+        assert_eq!(d.nodes_labeled("movie").len(), 5);
+        assert_eq!(d.nodes_labeled("title").len(), 5);
+        assert_eq!(d.nodes_labeled("director").len(), 5);
+        assert_eq!(d.nodes_labeled("year").len(), 2);
+    }
+
+    #[test]
+    fn figure1_node_count_matches_paper_numbering() {
+        // The figure numbers 18 element nodes; our arena additionally
+        // holds the text nodes carrying the values.
+        let d = movies();
+        assert_eq!(d.stats().elements, 18);
+    }
+
+    #[test]
+    fn ron_howard_directed_two() {
+        let d = movies();
+        let n = d
+            .nodes_labeled("director")
+            .iter()
+            .filter(|&&id| d.string_value(id) == "Ron Howard")
+            .count();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn year_values_via_direct_text() {
+        let d = movies();
+        let years = d.nodes_labeled("year");
+        assert_eq!(d.direct_text(years[0]), "2000");
+        assert_eq!(d.direct_text(years[1]), "2001");
+    }
+
+    #[test]
+    fn books_branch_shares_one_title() {
+        let d = movies_and_books();
+        let movie_titles: Vec<String> = d
+            .nodes_labeled("title")
+            .iter()
+            .filter(|&&t| {
+                d.ancestors(t).any(|a| d.label(a) == "movie")
+            })
+            .map(|&t| d.string_value(t))
+            .collect();
+        let book_titles: Vec<String> = d
+            .nodes_labeled("title")
+            .iter()
+            .filter(|&&t| d.ancestors(t).any(|a| d.label(a) == "book"))
+            .map(|&t| d.string_value(t))
+            .collect();
+        let shared: Vec<_> = movie_titles
+            .iter()
+            .filter(|t| book_titles.contains(t))
+            .collect();
+        assert_eq!(shared, vec!["Traffic"]);
+    }
+}

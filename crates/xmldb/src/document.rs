@@ -1,0 +1,547 @@
+//! The document arena, construction API, and label index.
+
+use crate::interner::{Interner, Symbol};
+use crate::node::{Node, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Reserved label for text nodes.
+pub const TEXT_LABEL: &str = "#text";
+
+/// An in-memory XML document.
+///
+/// Construct one either by parsing text ([`Document::parse_str`]), through
+/// the streaming [`DocumentBuilder`], or imperatively with
+/// [`Document::new`] / [`Document::add_element`] / [`Document::add_text`]
+/// followed by [`Document::finalize`].
+///
+/// Queries must only run against a *finalized* document: finalization
+/// assigns pre/post-order ranks and depths and builds the label index.
+#[derive(Debug, Clone)]
+pub struct Document {
+    pub(crate) interner: Interner,
+    pub(crate) nodes: Vec<Node>,
+    root: NodeId,
+    /// For each label symbol, all nodes with that label in document order.
+    label_index: HashMap<Symbol, Vec<NodeId>>,
+    finalized: bool,
+}
+
+impl Document {
+    /// Create a document with a single root element named `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        let mut interner = Interner::new();
+        let sym = interner.intern(root_label);
+        let root = Node::new(sym, NodeKind::Element, None);
+        Document {
+            interner,
+            nodes: vec![root],
+            root: NodeId(0),
+            label_index: HashMap::new(),
+            finalized: false,
+        }
+    }
+
+    /// The root element.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements + attributes + text).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document somehow has no nodes (cannot happen through
+    /// the public API, which always creates a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node record.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The document's interner (read-only).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The label (tag/attribute name) of `id` as a string.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> &str {
+        self.interner.resolve(self.node(id).label)
+    }
+
+    /// The label symbol of `id`.
+    #[inline]
+    pub fn label_sym(&self, id: NodeId) -> Symbol {
+        self.node(id).label
+    }
+
+    /// Intern a label in this document's interner.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Look up a label without interning.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.interner.get(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn attach(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(!self.finalized, "cannot mutate a finalized document");
+        self.nodes[child.index()].parent = Some(parent);
+        match self.nodes[parent.index()].last_child {
+            None => {
+                self.nodes[parent.index()].first_child = Some(child);
+                self.nodes[parent.index()].last_child = Some(child);
+            }
+            Some(last) => {
+                self.nodes[last.index()].next_sibling = Some(child);
+                self.nodes[child.index()].prev_sibling = Some(last);
+                self.nodes[parent.index()].last_child = Some(child);
+            }
+        }
+    }
+
+    /// Append a child element labelled `label` under `parent`.
+    pub fn add_element(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let sym = self.interner.intern(label);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(sym, NodeKind::Element, None));
+        self.attach(parent, id);
+        id
+    }
+
+    /// Append a text node with content `text` under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let sym = self.interner.intern(TEXT_LABEL);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes
+            .push(Node::new(sym, NodeKind::Text, Some(text.to_owned())));
+        self.attach(parent, id);
+        id
+    }
+
+    /// Append an attribute node `name="value"` under `parent`.
+    pub fn add_attribute(&mut self, parent: NodeId, name: &str, value: &str) -> NodeId {
+        let sym = self.interner.intern(name);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes
+            .push(Node::new(sym, NodeKind::Attribute, Some(value.to_owned())));
+        self.attach(parent, id);
+        id
+    }
+
+    /// Convenience: `add_element` followed by `add_text`, returning the
+    /// element. This is the common "leaf element with a value" pattern
+    /// (`<title>Traffic</title>`).
+    pub fn add_leaf(&mut self, parent: NodeId, label: &str, text: &str) -> NodeId {
+        let el = self.add_element(parent, label);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Assign pre/post-order ranks and depths, and build the label index.
+    ///
+    /// Idempotent; must be called before querying. All the navigation in
+    /// [`crate::axes`] that relies on ranks will panic (in debug builds)
+    /// on an unfinalized document.
+    pub fn finalize(&mut self) {
+        // Iterative DFS assigning pre on entry and post on exit.
+        let mut pre = 0u32;
+        let mut post = 0u32;
+        // Stack entries: (node, depth, entered?)
+        let mut stack: Vec<(NodeId, u32, bool)> = vec![(self.root, 0, false)];
+        while let Some((id, depth, entered)) = stack.pop() {
+            if entered {
+                self.nodes[id.index()].post = post;
+                post += 1;
+                continue;
+            }
+            {
+                let n = &mut self.nodes[id.index()];
+                n.pre = pre;
+                n.depth = depth;
+            }
+            pre += 1;
+            stack.push((id, depth, true));
+            // Push children in reverse so the first child is processed first.
+            let mut children = Vec::new();
+            let mut c = self.nodes[id.index()].first_child;
+            while let Some(cid) = c {
+                children.push(cid);
+                c = self.nodes[cid.index()].next_sibling;
+            }
+            for &cid in children.iter().rev() {
+                stack.push((cid, depth + 1, false));
+            }
+        }
+
+        // Label index in document (pre) order.
+        let mut order: Vec<NodeId> = (0..self.nodes.len())
+            .map(|i| NodeId(i as u32))
+            .collect();
+        order.sort_by_key(|id| self.nodes[id.index()].pre);
+        let mut index: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
+        for id in order {
+            let n = &self.nodes[id.index()];
+            if n.pre == u32::MAX {
+                continue; // unreachable node (not attached); skip defensively
+            }
+            index.entry(n.label).or_default().push(id);
+        }
+        self.label_index = index;
+        self.finalized = true;
+    }
+
+    /// Whether [`Document::finalize`] has run.
+    #[inline]
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// All nodes labelled `label`, in document order. Empty if the label
+    /// does not occur.
+    pub fn nodes_labeled(&self, label: &str) -> &[NodeId] {
+        debug_assert!(self.finalized, "query against unfinalized document");
+        self.interner
+            .get(label)
+            .and_then(|sym| self.label_index.get(&sym))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All nodes with label symbol `sym`, in document order.
+    pub fn nodes_with_symbol(&self, sym: Symbol) -> &[NodeId] {
+        debug_assert!(self.finalized, "query against unfinalized document");
+        self.label_index.get(&sym).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Distinct element/attribute labels present in the document
+    /// (excludes the reserved `#text` label), in interning order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.interner
+            .iter()
+            .filter(|(_, s)| *s != TEXT_LABEL)
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    /// The string value of a node, XPath style: for text and attribute
+    /// nodes their own content; for elements the concatenation of all
+    /// descendant text, in document order.
+    pub fn string_value(&self, id: NodeId) -> String {
+        let n = self.node(id);
+        match n.kind {
+            NodeKind::Text | NodeKind::Attribute => n.value.clone().unwrap_or_default(),
+            NodeKind::Element => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        let mut c = self.node(id).first_child;
+        while let Some(cid) = c {
+            let n = self.node(cid);
+            match n.kind {
+                NodeKind::Text => {
+                    if let Some(v) = &n.value {
+                        out.push_str(v);
+                    }
+                }
+                NodeKind::Element => self.collect_text(cid, out),
+                NodeKind::Attribute => {}
+            }
+            c = n.next_sibling;
+        }
+    }
+
+    /// The *direct* text of an element: concatenation of its immediate
+    /// text children only. This matters for mixed content such as the
+    /// paper's `<year>2000 <movie>…</movie></year>` shape, where the
+    /// year's own value must not swallow the nested movie titles.
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        let mut c = self.node(id).first_child;
+        while let Some(cid) = c {
+            let n = self.node(cid);
+            if n.kind == NodeKind::Text {
+                if let Some(v) = &n.value {
+                    out.push_str(v);
+                }
+            }
+            c = n.next_sibling;
+        }
+        out
+    }
+
+    /// Statistics used by the dataset generators to hit the paper's
+    /// document size (73,142 nodes / 1.44 MB for the DBLP subset).
+    pub fn stats(&self) -> DocStats {
+        let mut s = DocStats::default();
+        for n in &self.nodes {
+            match n.kind {
+                NodeKind::Element => s.elements += 1,
+                NodeKind::Attribute => s.attributes += 1,
+                NodeKind::Text => {
+                    s.text_nodes += 1;
+                    s.text_bytes += n.value.as_deref().map_or(0, str::len);
+                }
+            }
+        }
+        s.labels = self.interner.len();
+        s
+    }
+}
+
+/// Simple size statistics for a document.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DocStats {
+    /// Number of element nodes.
+    pub elements: usize,
+    /// Number of attribute nodes.
+    pub attributes: usize,
+    /// Number of text nodes.
+    pub text_nodes: usize,
+    /// Total bytes of text content.
+    pub text_bytes: usize,
+    /// Number of distinct labels (including `#text`).
+    pub labels: usize,
+}
+
+impl DocStats {
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.elements + self.attributes + self.text_nodes
+    }
+}
+
+/// A streaming builder mirroring SAX-style events, used by the XML text
+/// parser and handy for generators.
+///
+/// ```
+/// use xmldb::DocumentBuilder;
+/// let mut b = DocumentBuilder::new("bib");
+/// b.open("book");
+/// b.attr("year", "1994");
+/// b.leaf("title", "TCP/IP Illustrated");
+/// b.close();
+/// let doc = b.finish();
+/// assert_eq!(doc.nodes_labeled("book").len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl DocumentBuilder {
+    /// Start a document whose root element is `root_label`.
+    pub fn new(root_label: &str) -> Self {
+        let doc = Document::new(root_label);
+        let root = doc.root();
+        DocumentBuilder {
+            doc,
+            stack: vec![root],
+        }
+    }
+
+    fn top(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    /// Open a child element and descend into it.
+    pub fn open(&mut self, label: &str) -> NodeId {
+        let id = self.doc.add_element(self.top(), label);
+        self.stack.push(id);
+        id
+    }
+
+    /// Add an attribute to the currently open element.
+    pub fn attr(&mut self, name: &str, value: &str) -> NodeId {
+        self.doc.add_attribute(self.top(), name, value)
+    }
+
+    /// Add a text child to the currently open element.
+    pub fn text(&mut self, text: &str) -> NodeId {
+        self.doc.add_text(self.top(), text)
+    }
+
+    /// Add a `<label>text</label>` child without descending.
+    pub fn leaf(&mut self, label: &str, text: &str) -> NodeId {
+        self.doc.add_leaf(self.top(), label, text)
+    }
+
+    /// Close the current element, ascending to its parent.
+    ///
+    /// # Panics
+    /// Panics when attempting to close the root.
+    pub fn close(&mut self) {
+        assert!(self.stack.len() > 1, "cannot close the root element");
+        self.stack.pop();
+    }
+
+    /// Depth of the currently open element (root = 0).
+    pub fn depth(&self) -> usize {
+        self.stack.len() - 1
+    }
+
+    /// Finalize and return the document. Remaining open elements are
+    /// closed implicitly.
+    pub fn finish(mut self) -> Document {
+        self.doc.finalize();
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut d = Document::new("movies");
+        let root = d.root();
+        let m1 = d.add_element(root, "movie");
+        d.add_leaf(m1, "title", "Traffic");
+        d.add_leaf(m1, "director", "Steven Soderbergh");
+        let m2 = d.add_element(root, "movie");
+        d.add_leaf(m2, "title", "A Beautiful Mind");
+        d.add_leaf(m2, "director", "Ron Howard");
+        d.finalize();
+        d
+    }
+
+    #[test]
+    fn builds_and_finalizes() {
+        let d = sample();
+        assert!(d.is_finalized());
+        assert_eq!(d.nodes_labeled("movie").len(), 2);
+        assert_eq!(d.nodes_labeled("title").len(), 2);
+        assert_eq!(d.nodes_labeled("nonexistent").len(), 0);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let d = sample();
+        let titles = d.nodes_labeled("title");
+        assert!(d.node(titles[0]).pre < d.node(titles[1]).pre);
+        assert_eq!(d.string_value(titles[0]), "Traffic");
+        assert_eq!(d.string_value(titles[1]), "A Beautiful Mind");
+    }
+
+    #[test]
+    fn depths_are_assigned() {
+        let d = sample();
+        assert_eq!(d.node(d.root()).depth, 0);
+        let m = d.nodes_labeled("movie")[0];
+        assert_eq!(d.node(m).depth, 1);
+        let t = d.nodes_labeled("title")[0];
+        assert_eq!(d.node(t).depth, 2);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendants() {
+        let d = sample();
+        let m = d.nodes_labeled("movie")[0];
+        assert_eq!(d.string_value(m), "TrafficSteven Soderbergh");
+    }
+
+    #[test]
+    fn direct_text_ignores_nested_elements() {
+        let mut d = Document::new("year");
+        let root = d.root();
+        d.add_text(root, "2000");
+        let m = d.add_element(root, "movie");
+        d.add_leaf(m, "title", "Traffic");
+        d.finalize();
+        assert_eq!(d.direct_text(root), "2000");
+        assert_eq!(d.string_value(root), "2000Traffic");
+    }
+
+    #[test]
+    fn attributes_have_values() {
+        let mut d = Document::new("bib");
+        let root = d.root();
+        let b = d.add_element(root, "book");
+        d.add_attribute(b, "year", "1994");
+        d.finalize();
+        let y = d.nodes_labeled("year")[0];
+        assert!(d.node(y).is_attribute());
+        assert_eq!(d.string_value(y), "1994");
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = DocumentBuilder::new("bib");
+        b.open("book");
+        b.attr("year", "1994");
+        b.leaf("title", "TCP/IP Illustrated");
+        b.open("author");
+        b.leaf("last", "Stevens");
+        b.leaf("first", "W.");
+        b.close();
+        b.close();
+        let d = b.finish();
+        assert_eq!(d.nodes_labeled("book").len(), 1);
+        assert_eq!(d.nodes_labeled("last").len(), 1);
+        assert_eq!(d.string_value(d.nodes_labeled("author")[0]), "StevensW.");
+    }
+
+    #[test]
+    fn builder_auto_closes_on_finish() {
+        let mut b = DocumentBuilder::new("r");
+        b.open("a");
+        b.open("b");
+        let d = b.finish(); // no explicit closes
+        assert!(d.is_finalized());
+        assert_eq!(d.nodes_labeled("b").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot close the root")]
+    fn builder_refuses_to_close_root() {
+        let mut b = DocumentBuilder::new("r");
+        b.close();
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let d = sample();
+        let s = d.stats();
+        assert_eq!(s.elements, 1 + 2 + 4); // movies + 2 movie + 2 title + 2 director
+        assert_eq!(s.text_nodes, 4);
+        assert_eq!(s.attributes, 0);
+        assert_eq!(s.total_nodes(), d.len());
+    }
+
+    #[test]
+    fn labels_excludes_text() {
+        let d = sample();
+        let labels = d.labels();
+        assert!(labels.contains(&"movie"));
+        assert!(!labels.contains(&"#text"));
+    }
+
+    #[test]
+    fn postorder_root_is_last() {
+        let d = sample();
+        let max_post = d.nodes.iter().map(|n| n.post).max().unwrap();
+        assert_eq!(d.node(d.root()).post, max_post);
+    }
+}

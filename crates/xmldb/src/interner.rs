@@ -1,0 +1,138 @@
+//! String interning for element and attribute names.
+//!
+//! XML documents repeat the same handful of tag names millions of times;
+//! the database therefore stores every label as a small integer
+//! ([`Symbol`]) and keeps the actual strings once, in an [`Interner`].
+//! Comparing labels — the hottest operation in both structural joins and
+//! the MLCA computation — becomes an integer comparison.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Two symbols from the same [`Interner`] are equal
+/// iff the strings they denote are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// Raw index of this symbol inside its interner. Useful for building
+    /// dense per-label side tables (e.g. the label index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A deduplicating store of strings.
+///
+/// The interner never forgets a string; symbols stay valid for the life
+/// of the interner. Lookup is amortised O(1) in both directions.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The string a symbol denotes.
+    ///
+    /// # Panics
+    /// Panics if `sym` came from a different interner with more symbols.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("movie");
+        let b = i.intern("movie");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("movie");
+        let b = i.intern("director");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "movie");
+        assert_eq!(i.resolve(b), "director");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("title").is_none());
+        i.intern("title");
+        assert!(i.get("title").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

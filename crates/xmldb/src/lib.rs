@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # xmldb — an in-memory native XML database
+//!
+//! This crate is the [Timber](https://dl.acm.org/doi/10.1007/s00778-002-0081-x)
+//! substrate of the NaLIX reproduction: a compact, indexed, in-memory XML
+//! store over which the Schema-Free XQuery engine (crate `xquery`) and the
+//! keyword-search baseline (crate `keyword`) evaluate queries.
+//!
+//! ## Data model
+//!
+//! A [`Document`] is an arena of [`Node`]s. Each node is an *element*, an
+//! *attribute* or a *text* node, carries an interned label ([`Symbol`]),
+//! and records its parent, first/last child and siblings. After
+//! [`Document::finalize`] every node additionally carries its **pre-order**
+//! and **post-order** rank and its depth, which makes ancestor tests O(1)
+//! and lowest-common-ancestor (LCA) computation O(depth) — the primitives
+//! the `mqf()` (meaningful query focus) implementation is built on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xmldb::Document;
+//!
+//! let doc = Document::parse_str(
+//!     "<movies><movie><title>Traffic</title>\
+//!      <director>Steven Soderbergh</director></movie></movies>").unwrap();
+//! let titles = doc.nodes_labeled("title");
+//! assert_eq!(doc.string_value(titles[0]), "Traffic");
+//! ```
+//!
+//! ## Modules
+//!
+//! - [`interner`] — string interning for element/attribute names.
+//! - [`node`] — node storage and identifiers.
+//! - [`document`] — the document arena, builder API, and label index.
+//! - [`xml`] — XML text parsing and serialisation.
+//! - [`axes`] — navigation (ancestors, descendants, children), subtree
+//!   containment, and LCA.
+//! - [`datasets`] — the evaluation datasets: the movies database of the
+//!   paper's Figure 1, a seeded DBLP-shaped generator, and the W3C XMP
+//!   `bib.xml` sample.
+
+pub mod axes;
+pub mod datasets;
+pub mod document;
+pub mod interner;
+pub mod node;
+pub mod xml;
+
+pub use document::{Document, DocumentBuilder};
+pub use interner::{Interner, Symbol};
+pub use node::{Node, NodeId, NodeKind};
+pub use xml::XmlError;

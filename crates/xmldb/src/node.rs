@@ -1,0 +1,144 @@
+//! Node storage: the per-node record kept in the document arena.
+
+use crate::interner::Symbol;
+use std::fmt;
+
+/// Index of a node inside its [`crate::Document`] arena.
+///
+/// `NodeId`s are dense, allocated in construction order, and remain valid
+/// for the life of the document (there is no node deletion — the store is
+/// load-then-query, as in the paper's evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw arena index. Intended for tests and for the
+    /// datasets that mirror the paper's node numbering.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The three node kinds the store distinguishes.
+///
+/// Attributes are stored as children of their owning element (before any
+/// element children), which lets the query engine treat elements and
+/// attributes uniformly — exactly what Schema-Free XQuery's `mqf()`
+/// needs ("we considered each element and attribute value as an
+/// independent value", Sec. 5.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An element node, e.g. `<movie>…</movie>`.
+    Element,
+    /// An attribute node, e.g. `year="2001"`.
+    Attribute,
+    /// A text node. Its label is the reserved `#text` symbol.
+    Text,
+}
+
+/// One node of the document tree.
+///
+/// Navigation pointers use the first-child/next-sibling representation;
+/// `pre`, `post` and `depth` are filled in by [`crate::Document::finalize`]
+/// and are `u32::MAX` before that.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element/attribute name, or the reserved `#text` symbol.
+    pub label: Symbol,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Text content for [`NodeKind::Text`] and [`NodeKind::Attribute`]
+    /// nodes; `None` for elements (element values are derived — see
+    /// [`crate::Document::string_value`]).
+    pub value: Option<String>,
+    /// Parent node; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// First child in document order.
+    pub first_child: Option<NodeId>,
+    /// Last child in document order (makes appends O(1)).
+    pub last_child: Option<NodeId>,
+    /// Next sibling in document order.
+    pub next_sibling: Option<NodeId>,
+    /// Previous sibling in document order.
+    pub prev_sibling: Option<NodeId>,
+    /// Pre-order rank (document order). Set by `finalize`.
+    pub pre: u32,
+    /// Post-order rank. Set by `finalize`.
+    pub post: u32,
+    /// Distance from the root (root is 0). Set by `finalize`.
+    pub depth: u32,
+}
+
+impl Node {
+    pub(crate) fn new(label: Symbol, kind: NodeKind, value: Option<String>) -> Self {
+        Node {
+            label,
+            kind,
+            value,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            pre: u32::MAX,
+            post: u32::MAX,
+            depth: u32::MAX,
+        }
+    }
+
+    /// True for element nodes.
+    #[inline]
+    pub fn is_element(&self) -> bool {
+        self.kind == NodeKind::Element
+    }
+
+    /// True for attribute nodes.
+    #[inline]
+    pub fn is_attribute(&self) -> bool {
+        self.kind == NodeKind::Attribute
+    }
+
+    /// True for text nodes.
+    #[inline]
+    pub fn is_text(&self) -> bool {
+        self.kind == NodeKind::Text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    #[test]
+    fn new_node_has_unset_orders() {
+        let mut i = Interner::new();
+        let n = Node::new(i.intern("movie"), NodeKind::Element, None);
+        assert_eq!(n.pre, u32::MAX);
+        assert_eq!(n.post, u32::MAX);
+        assert_eq!(n.depth, u32::MAX);
+        assert!(n.is_element());
+        assert!(!n.is_text());
+        assert!(!n.is_attribute());
+    }
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+    }
+}

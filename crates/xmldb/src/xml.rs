@@ -1,0 +1,513 @@
+//! XML text parsing and serialisation.
+//!
+//! A deliberately small but correct subset of XML 1.0: elements,
+//! attributes, character data, the five predefined entities, CDATA
+//! sections, comments and processing instructions (the latter two are
+//! skipped). No DTDs, no namespaces — the evaluation corpora (DBLP
+//! subset, XMP `bib.xml`, the movies example) need none of these.
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+use std::fmt;
+
+/// An error produced while parsing XML text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' (no internal subset support).
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        while self.pos < self.input.len() {
+            if self.eat(end) {
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        self.err(format!("unterminated construct, expected `{end}`"))
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn decode_entities(&self, raw: &str, at: usize) -> Result<String, XmlError> {
+        if !raw.contains('&') {
+            return Ok(raw.to_owned());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if c != '&' {
+                out.push(c);
+                continue;
+            }
+            let rest = &raw[i + 1..];
+            let semi = rest.find(';').ok_or_else(|| XmlError {
+                offset: at + i,
+                message: "unterminated entity reference".into(),
+            })?;
+            let ent = &rest[..semi];
+            let decoded = match ent {
+                "amp" => '&',
+                "lt" => '<',
+                "gt" => '>',
+                "quot" => '"',
+                "apos" => '\'',
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| XmlError {
+                        offset: at + i,
+                        message: format!("bad character reference `&{ent};`"),
+                    })?;
+                    char::from_u32(code).ok_or_else(|| XmlError {
+                        offset: at + i,
+                        message: format!("invalid code point in `&{ent};`"),
+                    })?
+                }
+                _ if ent.starts_with('#') => {
+                    let code: u32 = ent[1..].parse().map_err(|_| XmlError {
+                        offset: at + i,
+                        message: format!("bad character reference `&{ent};`"),
+                    })?;
+                    char::from_u32(code).ok_or_else(|| XmlError {
+                        offset: at + i,
+                        message: format!("invalid code point in `&{ent};`"),
+                    })?
+                }
+                _ => {
+                    return Err(XmlError {
+                        offset: at + i,
+                        message: format!("unknown entity `&{ent};`"),
+                    })
+                }
+            };
+            out.push(decoded);
+            // Skip the entity body and the semicolon.
+            for _ in 0..=semi {
+                chars.next();
+            }
+        }
+        Ok(out)
+    }
+
+    fn attribute_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return self.decode_entities(&raw, start);
+            }
+            if c == b'<' {
+                return self.err("`<` not allowed in attribute value");
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated attribute value")
+    }
+
+    /// Parse one element (cursor must sit on `<`). Appends under `parent`.
+    fn element(&mut self, doc: &mut Document, parent: Option<NodeId>) -> Result<NodeId, XmlError> {
+        if !self.eat("<") {
+            return self.err("expected `<`");
+        }
+        let tag = self.name()?;
+        let el = match parent {
+            Some(p) => doc.add_element(p, &tag),
+            None => {
+                // The document was constructed with this root label by
+                // the caller; just return the root.
+                doc.root()
+            }
+        };
+        // Attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    if self.eat("/>") {
+                        return Ok(el);
+                    }
+                    return self.err("expected `/>`");
+                }
+                Some(_) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    if !self.eat("=") {
+                        return self.err("expected `=` after attribute name");
+                    }
+                    self.skip_ws();
+                    let aval = self.attribute_value()?;
+                    doc.add_attribute(el, &aname, &aval);
+                }
+                None => return self.err("unexpected end of input in tag"),
+            }
+        }
+        // Content
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != tag {
+                    return self.err(format!("mismatched close tag `</{close}>`, expected `</{tag}>`"));
+                }
+                self.skip_ws();
+                if !self.eat(">") {
+                    return self.err("expected `>` after close tag name");
+                }
+                return Ok(el);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                loop {
+                    if self.starts_with("]]>") {
+                        let text =
+                            String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                        if !text.is_empty() {
+                            doc.add_text(el, &text);
+                        }
+                        self.pos += 3;
+                        break;
+                    }
+                    if self.pos >= self.input.len() {
+                        return self.err("unterminated CDATA section");
+                    }
+                    self.pos += 1;
+                }
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<") {
+                self.element(doc, Some(el))?;
+            } else if self.peek().is_none() {
+                return self.err(format!("unexpected end of input inside `<{tag}>`"));
+            } else {
+                // character data
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                let text = self.decode_entities(&raw, start)?;
+                // Whitespace-only runs between elements are formatting noise.
+                if !text.trim().is_empty() {
+                    doc.add_text(el, text.trim());
+                }
+            }
+        }
+    }
+}
+
+impl Document {
+    /// Parse an XML document from text.
+    pub fn parse_str(input: &str) -> Result<Document, XmlError> {
+        let mut p = Parser::new(input);
+        p.skip_misc()?;
+        if p.peek() != Some(b'<') {
+            return p.err("expected root element");
+        }
+        // Peek the root tag name to construct the document.
+        let save = p.pos;
+        p.pos += 1;
+        let root_name = p.name()?;
+        p.pos = save;
+        let mut doc = Document::new(&root_name);
+        p.element(&mut doc, None)?;
+        p.skip_misc()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return p.err("trailing content after root element");
+        }
+        doc.finalize();
+        Ok(doc)
+    }
+
+    /// Serialise the document (or the subtree under `id`) back to XML
+    /// text with 2-space indentation.
+    pub fn to_xml(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.write_node(id, 0, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: NodeId, indent: usize, out: &mut String) {
+        let n = self.node(id);
+        match n.kind {
+            NodeKind::Text => {
+                push_indent(out, indent);
+                out.push_str(&escape(n.value.as_deref().unwrap_or("")));
+                out.push('\n');
+            }
+            NodeKind::Attribute => { /* written by the owning element */ }
+            NodeKind::Element => {
+                push_indent(out, indent);
+                out.push('<');
+                out.push_str(self.label(id));
+                let mut kids = Vec::new();
+                for c in self.children(id) {
+                    match self.node(c).kind {
+                        NodeKind::Attribute => {
+                            out.push(' ');
+                            out.push_str(self.label(c));
+                            out.push_str("=\"");
+                            out.push_str(&escape(self.node(c).value.as_deref().unwrap_or("")));
+                            out.push('"');
+                        }
+                        _ => kids.push(c),
+                    }
+                }
+                if kids.is_empty() {
+                    out.push_str("/>\n");
+                    return;
+                }
+                // Single text child renders inline: <title>Traffic</title>
+                if kids.len() == 1 && self.node(kids[0]).kind == NodeKind::Text {
+                    out.push('>');
+                    out.push_str(&escape(self.node(kids[0]).value.as_deref().unwrap_or("")));
+                    out.push_str("</");
+                    out.push_str(self.label(id));
+                    out.push_str(">\n");
+                    return;
+                }
+                out.push_str(">\n");
+                for k in kids {
+                    self.write_node(k, indent + 1, out);
+                }
+                push_indent(out, indent);
+                out.push_str("</");
+                out.push_str(self.label(id));
+                out.push_str(">\n");
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Escape the five predefined entities.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let d = Document::parse_str("<a><b>hi</b></a>").unwrap();
+        assert_eq!(d.label(d.root()), "a");
+        assert_eq!(d.nodes_labeled("b").len(), 1);
+        assert_eq!(d.string_value(d.nodes_labeled("b")[0]), "hi");
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let d = Document::parse_str(r#"<bib><book year="1994"><title>T</title></book></bib>"#)
+            .unwrap();
+        let y = d.nodes_labeled("year")[0];
+        assert!(d.node(y).is_attribute());
+        assert_eq!(d.string_value(y), "1994");
+    }
+
+    #[test]
+    fn parses_self_closing() {
+        let d = Document::parse_str(r#"<a><b x="1"/><c/></a>"#).unwrap();
+        assert_eq!(d.nodes_labeled("b").len(), 1);
+        assert_eq!(d.nodes_labeled("c").len(), 1);
+        assert_eq!(d.string_value(d.nodes_labeled("x")[0]), "1");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let d = Document::parse_str("<a>Tom &amp; Jerry &lt;3 &#65;&#x42;</a>").unwrap();
+        assert_eq!(d.string_value(d.root()), "Tom & Jerry <3 AB");
+    }
+
+    #[test]
+    fn skips_prolog_comments_pis() {
+        let d = Document::parse_str(
+            "<?xml version=\"1.0\"?>\n<!-- c --><!DOCTYPE a>\n<a><!-- inner --><?pi x?><b/></a>",
+        )
+        .unwrap();
+        assert_eq!(d.nodes_labeled("b").len(), 1);
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let d = Document::parse_str("<a><![CDATA[x < y & z]]></a>").unwrap();
+        assert_eq!(d.string_value(d.root()), "x < y & z");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let e = Document::parse_str("<a><b></a></b>").unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let e = Document::parse_str("<a/><b/>").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert!(Document::parse_str("<a><b>").is_err());
+        assert!(Document::parse_str("<a b=>").is_err());
+        assert!(Document::parse_str("<a b='x>").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let e = Document::parse_str("<a>&nope;</a>").unwrap_err();
+        assert!(e.message.contains("unknown entity"), "{e}");
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let d = Document::parse_str("<a>\n  <b>x</b>\n  <c>y</c>\n</a>").unwrap();
+        // only 2 text nodes (inside b and c)
+        assert_eq!(d.stats().text_nodes, 2);
+    }
+
+    #[test]
+    fn round_trip_through_serializer() {
+        let src = r#"<bib><book year="1994"><title>TCP/IP &amp; more</title><author><last>Stevens</last></author></book></bib>"#;
+        let d = Document::parse_str(src).unwrap();
+        let xml = d.to_xml(d.root());
+        let d2 = Document::parse_str(&xml).unwrap();
+        assert_eq!(d.len(), d2.len());
+        assert_eq!(
+            d.string_value(d.nodes_labeled("title")[0]),
+            d2.string_value(d2.nodes_labeled("title")[0])
+        );
+        assert_eq!(d2.string_value(d2.nodes_labeled("year")[0]), "1994");
+    }
+
+    #[test]
+    fn escape_covers_all_five() {
+        assert_eq!(escape(r#"<&>"'"#), "&lt;&amp;&gt;&quot;&apos;");
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let d = Document::parse_str("<year>2000<movie><title>T</title></movie></year>").unwrap();
+        assert_eq!(d.direct_text(d.root()), "2000");
+        assert_eq!(d.nodes_labeled("movie").len(), 1);
+    }
+}

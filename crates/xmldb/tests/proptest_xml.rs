@@ -1,0 +1,124 @@
+//! Property tests for the XML substrate: the text parser must never
+//! panic on arbitrary input, escaping must round-trip arbitrary
+//! content, and the order/depth bookkeeping must stay consistent on
+//! arbitrary tree shapes.
+
+use proptest::prelude::*;
+use xmldb::{Document, NodeId};
+
+proptest! {
+    /// Arbitrary bytes are either parsed or rejected — never a panic.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = Document::parse_str(&input);
+    }
+
+    /// Arbitrary (possibly hostile) text content survives
+    /// escape→serialise→parse.
+    #[test]
+    fn content_round_trips_through_escaping(text in ".{0,60}") {
+        // Whitespace-only runs are dropped by design, and leading or
+        // trailing whitespace is trimmed; compare trimmed.
+        let mut d = Document::new("r");
+        let root = d.root();
+        d.add_leaf(root, "x", &text);
+        d.finalize();
+        let xml = d.to_xml(root);
+        let d2 = Document::parse_str(&xml).expect("serialised XML parses");
+        let x = d2.nodes_labeled("x")[0];
+        prop_assert_eq!(d2.string_value(x), text.trim());
+    }
+
+    /// Attribute values round-trip too.
+    #[test]
+    fn attributes_round_trip(value in "[^\u{0}]{0,40}") {
+        let mut d = Document::new("r");
+        let root = d.root();
+        let e = d.add_element(root, "x");
+        d.add_attribute(e, "a", &value);
+        d.finalize();
+        let xml = d.to_xml(root);
+        let d2 = Document::parse_str(&xml).expect("serialised XML parses");
+        let a = d2.nodes_labeled("a")[0];
+        prop_assert_eq!(d2.string_value(a), value);
+    }
+
+    /// Pre/post orders and depths are consistent for random tree shapes
+    /// (encoded as a sequence of "go down / go up / add leaf" moves).
+    #[test]
+    fn orders_are_consistent(moves in proptest::collection::vec(0u8..3, 0..60)) {
+        let mut d = Document::new("root");
+        let mut stack = vec![d.root()];
+        for m in moves {
+            match m {
+                0 => {
+                    let top = *stack.last().unwrap();
+                    let child = d.add_element(top, "n");
+                    stack.push(child);
+                }
+                1 => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+                _ => {
+                    let top = *stack.last().unwrap();
+                    d.add_leaf(top, "leaf", "v");
+                }
+            }
+        }
+        d.finalize();
+        // every node: parent's pre < node's pre, parent's post > node's post,
+        // depth = parent depth + 1
+        for i in 0..d.len() {
+            let id = NodeId::from_index(i);
+            if let Some(p) = d.node(id).parent {
+                prop_assert!(d.node(p).pre < d.node(id).pre);
+                prop_assert!(d.node(p).post > d.node(id).post);
+                prop_assert_eq!(d.node(p).depth + 1, d.node(id).depth);
+                prop_assert!(d.is_proper_ancestor(p, id));
+            }
+        }
+        // pre orders are a permutation of 0..len
+        let mut pres: Vec<u32> = (0..d.len()).map(|i| d.node(NodeId::from_index(i)).pre).collect();
+        pres.sort_unstable();
+        prop_assert_eq!(pres, (0..d.len() as u32).collect::<Vec<_>>());
+    }
+
+    /// `count_label_in_subtree` agrees with a brute-force walk.
+    #[test]
+    fn subtree_counts_match_walk(moves in proptest::collection::vec(0u8..3, 0..40)) {
+        let mut d = Document::new("root");
+        let mut stack = vec![d.root()];
+        for m in moves {
+            match m {
+                0 => {
+                    let top = *stack.last().unwrap();
+                    stack.push(d.add_element(top, "a"));
+                }
+                1 => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+                _ => {
+                    let top = *stack.last().unwrap();
+                    d.add_element(top, "b");
+                }
+            }
+        }
+        d.finalize();
+        let sym_a = d.lookup("a");
+        for i in 0..d.len() {
+            let id = NodeId::from_index(i);
+            if let Some(sa) = sym_a {
+                let indexed = d.count_label_in_subtree(sa, id);
+                let walked = std::iter::once(id)
+                    .chain(d.descendants(id))
+                    .filter(|&n| d.label(n) == "a")
+                    .count();
+                prop_assert_eq!(indexed, walked);
+            }
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The abstract syntax of the supported Schema-Free XQuery subset.
+//!
+//! The NaLIX translator (crate `nalix`) constructs these trees directly;
+//! the [`crate::parser`] builds the same trees from text; the
+//! [`crate::pretty`] printer renders them back in the style of the
+//! paper's Figure 9.
+
+use std::fmt;
+
+/// Comparison operators of general comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`not (a < b)` ⇔ `a >= b` for single values).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// Aggregate functions (the targets of NaLIX function tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `count(…)` — "the number of".
+    Count,
+    /// `sum(…)` — "the total".
+    Sum,
+    /// `min(…)` — "the lowest/earliest/smallest".
+    Min,
+    /// `max(…)` — "the highest/latest/greatest".
+    Max,
+    /// `avg(…)` — "the average".
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        })
+    }
+}
+
+/// Quantifier kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// `some … satisfies …`
+    Some,
+    /// `every … satisfies …`
+    Every,
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Quantifier::Some => "some",
+            Quantifier::Every => "every",
+        })
+    }
+}
+
+/// Sort direction of an `order by` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderDir {
+    /// `ascending` (the default).
+    #[default]
+    Ascending,
+    /// `descending`.
+    Descending,
+}
+
+/// The start of a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathRoot {
+    /// `doc("uri")` — the engine's single document (the uri is kept for
+    /// display only).
+    Doc(Option<String>),
+    /// `$var`.
+    Var(String),
+}
+
+/// Path step axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepAxis {
+    /// `/` — children (attributes are treated as children, as in the
+    /// xmldb data model).
+    Child,
+    /// `//` — descendants-or-self then children, i.e. all descendants.
+    Descendant,
+}
+
+/// A single path step: axis plus name test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: StepAxis,
+    /// Accepted labels. A single entry is the ordinary name test; more
+    /// than one is a disjunctive test `(a|b)` as produced by NaLIX term
+    /// expansion; the empty vector is the wildcard `*`.
+    pub names: Vec<String>,
+}
+
+impl Step {
+    /// Ordinary `axis::name` step.
+    pub fn named(axis: StepAxis, name: impl Into<String>) -> Step {
+        Step {
+            axis,
+            names: vec![name.into()],
+        }
+    }
+
+    /// Wildcard `axis::*` step.
+    pub fn wildcard(axis: StepAxis) -> Step {
+        Step {
+            axis,
+            names: Vec::new(),
+        }
+    }
+
+    /// True when the test is the wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// One `for` or `let` binding inside a FLWOR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    /// `for $var in expr`
+    For {
+        /// Variable name, without the `$`.
+        var: String,
+        /// Source expression.
+        source: Expr,
+    },
+    /// `let $var := expr`
+    Let {
+        /// Variable name, without the `$`.
+        var: String,
+        /// Bound expression.
+        value: Expr,
+    },
+}
+
+impl Binding {
+    /// The bound variable's name.
+    pub fn var(&self) -> &str {
+        match self {
+            Binding::For { var, .. } | Binding::Let { var, .. } => var,
+        }
+    }
+}
+
+/// An `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Key expression, evaluated per tuple.
+    pub expr: Expr,
+    /// Sort direction.
+    pub dir: OrderDir,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A FLWOR expression.
+    Flwor {
+        /// `for`/`let` clauses in source order.
+        bindings: Vec<Binding>,
+        /// Conjoined `where` condition, if any.
+        where_clause: Option<Box<Expr>>,
+        /// `order by` keys (possibly empty).
+        order_by: Vec<OrderKey>,
+        /// The `return` expression.
+        ret: Box<Expr>,
+    },
+    /// A path expression.
+    Path {
+        /// Where the path starts.
+        root: PathRoot,
+        /// Steps (possibly empty, e.g. bare `$v`).
+        steps: Vec<Step>,
+    },
+    /// String literal.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// General comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conjunction (n-ary; `And(vec![])` is `true`).
+    And(Vec<Expr>),
+    /// Disjunction (n-ary; `Or(vec![])` is `false`).
+    Or(Vec<Expr>),
+    /// `not(expr)`.
+    Not(Box<Expr>),
+    /// Aggregate function application.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument sequence.
+        arg: Box<Expr>,
+    },
+    /// The Schema-Free XQuery `mqf(…)` predicate.
+    Mqf(Vec<Expr>),
+    /// Quantified expression.
+    Quantified {
+        /// `some` or `every`.
+        quant: Quantifier,
+        /// Bound variable (no `$`).
+        var: String,
+        /// Source sequence.
+        source: Box<Expr>,
+        /// Predicate.
+        satisfies: Box<Expr>,
+    },
+    /// Comma sequence `(a, b, c)`.
+    Seq(Vec<Expr>),
+    /// Computed element constructor `element name { content }`.
+    Element {
+        /// The element name.
+        name: String,
+        /// Content expressions (concatenated).
+        content: Vec<Expr>,
+    },
+    /// Built-in function call not covered by the dedicated variants
+    /// (`contains`, `starts-with`, `ends-with`, `string-length`,
+    /// `distinct-values`, `empty`, `exists`, `string`, `number`).
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand: `$var`.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Path {
+            root: PathRoot::Var(name.into()),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Shorthand: `doc()//name`.
+    pub fn doc_descendant(name: impl Into<String>) -> Expr {
+        Expr::Path {
+            root: PathRoot::Doc(None),
+            steps: vec![Step::named(StepAxis::Descendant, name)],
+        }
+    }
+
+    /// Shorthand: `doc()//(a|b|…)` for a disjunctive name test.
+    pub fn doc_descendant_any(names: Vec<String>) -> Expr {
+        Expr::Path {
+            root: PathRoot::Doc(None),
+            steps: vec![Step {
+                axis: StepAxis::Descendant,
+                names,
+            }],
+        }
+    }
+
+    /// Shorthand: a comparison.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Conjoin two expressions, flattening nested `And`s.
+    pub fn and(self, other: Expr) -> Expr {
+        match (self, other) {
+            (Expr::And(mut a), Expr::And(b)) => {
+                a.extend(b);
+                Expr::And(a)
+            }
+            (Expr::And(mut a), b) => {
+                a.push(b);
+                Expr::And(a)
+            }
+            (a, Expr::And(mut b)) => {
+                b.insert(0, a);
+                Expr::And(b)
+            }
+            (a, b) => Expr::And(vec![a, b]),
+        }
+    }
+
+    /// Does this expression (transitively) reference variable `name`?
+    pub fn references_var(&self, name: &str) -> bool {
+        match self {
+            Expr::Path { root, .. } => matches!(root, PathRoot::Var(v) if v == name),
+            Expr::Str(_) | Expr::Num(_) => false,
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.references_var(name) || rhs.references_var(name)
+            }
+            Expr::And(xs) | Expr::Or(xs) | Expr::Seq(xs) | Expr::Mqf(xs) => {
+                xs.iter().any(|x| x.references_var(name))
+            }
+            Expr::Not(x) | Expr::Agg { arg: x, .. } => x.references_var(name),
+            Expr::Quantified {
+                source, satisfies, ..
+            } => source.references_var(name) || satisfies.references_var(name),
+            Expr::Element { content, .. } => content.iter().any(|x| x.references_var(name)),
+            Expr::Call { args, .. } => args.iter().any(|x| x.references_var(name)),
+            Expr::Flwor {
+                bindings,
+                where_clause,
+                order_by,
+                ret,
+            } => {
+                bindings.iter().any(|b| match b {
+                    Binding::For { source, .. } => source.references_var(name),
+                    Binding::Let { value, .. } => value.references_var(name),
+                }) || where_clause.as_deref().is_some_and(|w| w.references_var(name))
+                    || order_by.iter().any(|k| k.expr.references_var(name))
+                    || ret.references_var(name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_flip_and_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+    }
+
+    #[test]
+    fn and_flattens() {
+        let a = Expr::var("a");
+        let b = Expr::var("b");
+        let c = Expr::var("c");
+        let e = a.and(b).and(c);
+        match e {
+            Expr::And(xs) => assert_eq!(xs.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn references_var_sees_through_nesting() {
+        let e = Expr::Flwor {
+            bindings: vec![Binding::For {
+                var: "x".into(),
+                source: Expr::doc_descendant("movie"),
+            }],
+            where_clause: Some(Box::new(Expr::cmp(
+                CmpOp::Eq,
+                Expr::var("x"),
+                Expr::var("outer"),
+            ))),
+            order_by: vec![],
+            ret: Box::new(Expr::var("x")),
+        };
+        assert!(e.references_var("outer"));
+        assert!(e.references_var("x"));
+        assert!(!e.references_var("y"));
+    }
+
+    #[test]
+    fn step_wildcard() {
+        let s = Step::wildcard(StepAxis::Child);
+        assert!(s.is_wildcard());
+        let s = Step::named(StepAxis::Descendant, "movie");
+        assert!(!s.is_wildcard());
+    }
+}

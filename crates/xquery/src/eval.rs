@@ -1,0 +1,1500 @@
+//! The FLWOR evaluator.
+//!
+//! Evaluation is tuple-at-a-time, the classic nested-loops
+//! interpretation of FLWOR: `for` clauses extend a stream of variable
+//! environments, `let` binds whole sequences, `where` filters,
+//! `order by` sorts the surviving tuples, and `return` concatenates the
+//! per-tuple results. This is exactly how the paper's translated queries
+//! (Fig. 9) are meant to be read, and it keeps `mqf()` a simple
+//! per-tuple predicate.
+
+use crate::ast::{AggFunc, Binding, CmpOp, Expr, OrderDir, PathRoot, Quantifier, Step, StepAxis};
+use crate::mlca::set_meaningfully_related;
+use crate::parser::{parse, ParseError};
+use crate::value::{
+    compare_items, effective_boolean, ConstructedElem, Item, Sequence,
+};
+use std::fmt;
+use xmldb::{Document, NodeId, NodeKind};
+
+/// Flatten nested conjunctions into a conjunct list.
+fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::And(parts) = e {
+        for p in parts {
+            flatten_and(p, out);
+        }
+    } else {
+        out.push(e);
+    }
+}
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Reference to a variable with no binding in scope.
+    UnboundVariable(String),
+    /// An operation received an item of the wrong type.
+    TypeError(String),
+    /// Call to a function the engine does not know.
+    UnknownFunction(String),
+    /// Built-in called with the wrong number of arguments.
+    WrongArity {
+        /// The function.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Actual argument count.
+        got: usize,
+    },
+    /// The query text failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            EvalError::TypeError(m) => write!(f, "type error: {m}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
+            EvalError::WrongArity {
+                name,
+                expected,
+                got,
+            } => write!(f, "{name}() expects {expected} argument(s), got {got}"),
+            EvalError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ParseError> for EvalError {
+    fn from(e: ParseError) -> Self {
+        EvalError::Parse(e)
+    }
+}
+
+/// A variable environment (one FLWOR tuple).
+///
+/// Represented as a persistent linked list: [`Env::bind`] is O(1) and
+/// shares structure with the parent, which matters because the FLWOR
+/// evaluator creates one environment per candidate tuple. Lookup walks
+/// the (short — one entry per in-scope variable) chain, newest first,
+/// so inner bindings shadow outer ones.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    head: Option<std::rc::Rc<EnvNode>>,
+}
+
+#[derive(Debug)]
+struct EnvNode {
+    var: String,
+    seq: Sequence,
+    next: Option<std::rc::Rc<EnvNode>>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `var` to `seq`, returning the extended environment.
+    pub fn bind(&self, var: &str, seq: Sequence) -> Env {
+        Env {
+            head: Some(std::rc::Rc::new(EnvNode {
+                var: var.to_owned(),
+                seq,
+                next: self.head.clone(),
+            })),
+        }
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, var: &str) -> Option<&Sequence> {
+        let mut cur = self.head.as_deref();
+        while let Some(n) = cur {
+            if n.var == var {
+                return Some(&n.seq);
+            }
+            cur = n.next.as_deref();
+        }
+        None
+    }
+
+    /// Is `var` bound?
+    pub fn contains(&self, var: &str) -> bool {
+        self.get(var).is_some()
+    }
+}
+
+/// The query engine, tied to one document (the paper's NaLIX "currently
+/// only supports queries over a single document").
+pub struct Engine<'d> {
+    doc: &'d Document,
+    /// Lazily built per-label value index (`label → value → nodes`),
+    /// backing the equality-join fast path: a `for $v in doc()//L` whose
+    /// `where` contains `$v = $bound` draws its candidates from here
+    /// instead of scanning every `L` node. Keys are canonicalised the
+    /// same way general comparison atomises (numbers normalised, other
+    /// strings verbatim), so the index is exactly as selective as the
+    /// `=` it accelerates.
+    value_index: std::cell::RefCell<
+        std::collections::HashMap<xmldb::Symbol, std::rc::Rc<ValueIndex>>,
+    >,
+}
+
+type ValueIndex = std::collections::HashMap<String, Vec<NodeId>>;
+
+/// Canonical key for equality-index lookups: matches the equality
+/// semantics of [`compare_items`] (numeric values compare numerically,
+/// others as exact strings).
+fn canon_value(v: &str) -> String {
+    match v.trim().parse::<f64>() {
+        Ok(n) => crate::value::format_number(n),
+        Err(_) => v.to_owned(),
+    }
+}
+
+impl<'d> Engine<'d> {
+    /// Create an engine over `doc` (which must be finalized).
+    pub fn new(doc: &'d Document) -> Self {
+        assert!(doc.is_finalized(), "engine requires a finalized document");
+        Engine {
+            doc,
+            value_index: Default::default(),
+        }
+    }
+
+    /// Nodes with label `sym` whose atomised value equals `value`
+    /// (under general-comparison equality), via the lazy value index.
+    fn nodes_with_value(&self, sym: xmldb::Symbol, value: &str) -> Vec<NodeId> {
+        let mut cache = self.value_index.borrow_mut();
+        let index = cache.entry(sym).or_insert_with(|| {
+            let mut m: ValueIndex = std::collections::HashMap::new();
+            for &n in self.doc.nodes_with_symbol(sym) {
+                let key = canon_value(&Item::Node(n).string_value(self.doc));
+                m.entry(key).or_default().push(n);
+            }
+            std::rc::Rc::new(m)
+        });
+        index
+            .get(&canon_value(value))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The underlying document.
+    pub fn doc(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// Parse and evaluate a query string under the empty environment.
+    pub fn run(&self, query: &str) -> Result<Sequence, EvalError> {
+        let expr = parse(query)?;
+        self.eval(&expr, &Env::new())
+    }
+
+    /// Evaluate a pre-built expression under the empty environment.
+    pub fn eval_expr(&self, expr: &Expr) -> Result<Sequence, EvalError> {
+        self.eval(expr, &Env::new())
+    }
+
+    /// Atomized string value of an item (convenience re-export).
+    pub fn item_string(&self, item: &Item) -> String {
+        item.string_value(self.doc)
+    }
+
+    /// String values of a whole sequence.
+    pub fn strings(&self, seq: &Sequence) -> Vec<String> {
+        seq.iter().map(|i| self.item_string(i)).collect()
+    }
+
+    /// Evaluate `expr` in `env`.
+    pub fn eval(&self, expr: &Expr, env: &Env) -> Result<Sequence, EvalError> {
+        match expr {
+            Expr::Str(s) => Ok(vec![Item::Str(s.clone())]),
+            Expr::Num(n) => Ok(vec![Item::Num(*n)]),
+            Expr::Path { root, steps } => self.eval_path(root, steps, env),
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = self.eval(lhs, env)?;
+                let r = self.eval(rhs, env)?;
+                Ok(vec![Item::Bool(self.general_compare(*op, &l, &r))])
+            }
+            Expr::And(parts) => {
+                for p in parts {
+                    if !effective_boolean(&self.eval(p, env)?) {
+                        return Ok(vec![Item::Bool(false)]);
+                    }
+                }
+                Ok(vec![Item::Bool(true)])
+            }
+            Expr::Or(parts) => {
+                for p in parts {
+                    if effective_boolean(&self.eval(p, env)?) {
+                        return Ok(vec![Item::Bool(true)]);
+                    }
+                }
+                Ok(vec![Item::Bool(false)])
+            }
+            Expr::Not(inner) => {
+                let v = self.eval(inner, env)?;
+                Ok(vec![Item::Bool(!effective_boolean(&v))])
+            }
+            Expr::Agg { func, arg } => {
+                let seq = self.eval(arg, env)?;
+                self.aggregate(*func, &seq)
+            }
+            Expr::Mqf(args) => {
+                let mut nodes = Vec::new();
+                for a in args {
+                    let seq = self.eval(a, env)?;
+                    for item in seq {
+                        match item {
+                            Item::Node(id) => nodes.push(id),
+                            other => {
+                                return Err(EvalError::TypeError(format!(
+                                    "mqf() expects nodes, got {}",
+                                    other.string_value(self.doc)
+                                )))
+                            }
+                        }
+                    }
+                }
+                Ok(vec![Item::Bool(set_meaningfully_related(self.doc, &nodes))])
+            }
+            Expr::Quantified {
+                quant,
+                var,
+                source,
+                satisfies,
+            } => {
+                let seq = self.eval(source, env)?;
+                let mut any = false;
+                let mut all = true;
+                for item in seq {
+                    let inner = env.bind(var, vec![item]);
+                    let ok = effective_boolean(&self.eval(satisfies, &inner)?);
+                    any |= ok;
+                    all &= ok;
+                    // Short-circuit.
+                    match quant {
+                        Quantifier::Some if any => return Ok(vec![Item::Bool(true)]),
+                        Quantifier::Every if !all => return Ok(vec![Item::Bool(false)]),
+                        _ => {}
+                    }
+                }
+                Ok(vec![Item::Bool(match quant {
+                    Quantifier::Some => any,
+                    Quantifier::Every => all,
+                })])
+            }
+            Expr::Seq(parts) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    out.extend(self.eval(p, env)?);
+                }
+                Ok(out)
+            }
+            Expr::Element { name, content } => {
+                let mut children = Vec::new();
+                for c in content {
+                    children.extend(self.eval(c, env)?);
+                }
+                Ok(vec![Item::Elem(ConstructedElem {
+                    name: name.clone(),
+                    children,
+                })])
+            }
+            Expr::Call { name, args } => self.call(name, args, env),
+            Expr::Flwor {
+                bindings,
+                where_clause,
+                order_by,
+                ret,
+            } => {
+                // --- Conjunct pushdown -------------------------------
+                // A naive nested-loops FLWOR multiplies the label-set
+                // sizes of every `for` clause before the `where` filter
+                // runs — 5-variable schema-free queries over a 73k-node
+                // corpus would enumerate ~10^10 tuples. Instead, the
+                // `where` clause is split into conjuncts and each
+                // conjunct runs as soon as the variables it references
+                // are bound; `mqf()` conjuncts are checked incrementally
+                // over every bound subset (pairwise meaningfulness is
+                // monotone: a failing subset can never succeed by adding
+                // members). This is the evaluation strategy Timber's
+                // structural-join plans implement natively.
+                let mut conjuncts: Vec<&Expr> = Vec::new();
+                if let Some(w) = where_clause.as_deref() {
+                    flatten_and(w, &mut conjuncts);
+                }
+
+                // Partition conjuncts: mqf over simple variables gets
+                // incremental treatment, everything else triggers once.
+                let mut mqf_groups: Vec<Vec<&str>> = Vec::new();
+                let mut plain_conjuncts: Vec<&Expr> = Vec::new();
+                for c in &conjuncts {
+                    if let Expr::Mqf(args) = c {
+                        let simple: Option<Vec<&str>> = args
+                            .iter()
+                            .map(|a| match a {
+                                Expr::Path {
+                                    root: PathRoot::Var(v),
+                                    steps,
+                                } if steps.is_empty() => Some(v.as_str()),
+                                _ => None,
+                            })
+                            .collect();
+                        if let Some(vars) = simple {
+                            mqf_groups.push(vars);
+                            continue;
+                        }
+                    }
+                    plain_conjuncts.push(c);
+                }
+
+                // Variable-to-variable equality conjuncts (`$a = $b`):
+                // these drive the value-index join. Stored both ways
+                // round.
+                let mut eq_pairs: Vec<(&str, &str)> = Vec::new();
+                for c in &plain_conjuncts {
+                    if let Expr::Cmp {
+                        op: CmpOp::Eq,
+                        lhs,
+                        rhs,
+                    } = c
+                    {
+                        if let (
+                            Expr::Path {
+                                root: PathRoot::Var(a),
+                                steps: sa,
+                            },
+                            Expr::Path {
+                                root: PathRoot::Var(b),
+                                steps: sb,
+                            },
+                        ) = (lhs.as_ref(), rhs.as_ref())
+                        {
+                            if sa.is_empty() && sb.is_empty() {
+                                eq_pairs.push((a.as_str(), b.as_str()));
+                                eq_pairs.push((b.as_str(), a.as_str()));
+                            }
+                        }
+                    }
+                }
+
+                // --- Join-order planning -----------------------------
+                // Greedy: place the smallest un-anchored label scan
+                // first; after that prefer variables an mqf conjunct
+                // anchors to something already bound (their candidates
+                // come from the partner index, so their cost is
+                // O(partners), independent of label-set size). This is
+                // the order a cost-based optimizer would pick for
+                // structural joins, and it is what keeps e.g.
+                // title×author×book from scanning 4800 article titles
+                // against every book.
+                let exec = self.plan_order(bindings, &mqf_groups, &eq_pairs, env);
+                let ordered: Vec<&Binding> = exec.iter().map(|&i| &bindings[i]).collect();
+                let var_names: Vec<&str> = ordered.iter().map(|b| b.var()).collect();
+
+                // Trigger step of an expression: the last FLWOR binding
+                // it depends on (0 = before any binding).
+                let step_of = |e: &Expr| -> usize {
+                    var_names
+                        .iter()
+                        .enumerate()
+                        .rev()
+                        .find(|(_, v)| e.references_var(v))
+                        .map(|(i, _)| i + 1)
+                        .unwrap_or(0)
+                };
+                let mut triggered: Vec<Vec<&Expr>> = vec![Vec::new(); ordered.len() + 1];
+                for c in plain_conjuncts {
+                    triggered[step_of(c)].push(c);
+                }
+                // Incremental mqf conjuncts: (simple-var args, steps at
+                // which to re-check).
+                let mqf_incremental: Vec<(Vec<&str>, Vec<usize>)> = mqf_groups
+                    .into_iter()
+                    .map(|vars| {
+                        let mut steps: Vec<usize> = vars
+                            .iter()
+                            .map(|v| {
+                                var_names
+                                    .iter()
+                                    .position(|n| n == v)
+                                    .map(|i| i + 1)
+                                    .unwrap_or(0)
+                            })
+                            .collect();
+                        steps.sort_unstable();
+                        steps.dedup();
+                        (vars, steps)
+                    })
+                    .collect();
+
+                // The per-tuple admission check for binding step `k`.
+                macro_rules! admit {
+                    ($e2:expr, $k:expr) => {{
+                        let mut ok = true;
+                        for (vars, steps) in &mqf_incremental {
+                            if steps.contains(&$k) && !self.partial_mqf(vars, &$e2)? {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for c in &triggered[$k] {
+                                if !effective_boolean(&self.eval(c, &$e2)?) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        ok
+                    }};
+                }
+
+                let mut stream: Vec<Env> = Vec::new();
+                if admit!(env, 0) {
+                    stream.push(env.clone());
+                }
+                for (i, b) in ordered.iter().enumerate() {
+                    let k = i + 1;
+                    match b {
+                        Binding::For { var, source } => {
+                            // Index-driven candidate generation: when
+                            // this variable ranges over `doc()//label`
+                            // and an mqf conjunct ties it to an
+                            // already-bound node, enumerate only the
+                            // meaningful partners of that anchor instead
+                            // of every `label` node — the difference
+                            // between O(partners) and O(|label|) per
+                            // tuple, and what keeps multi-variable
+                            // schema-free queries tractable at the
+                            // paper's corpus scale.
+                            let fast_labels: Option<Vec<xmldb::Symbol>> = match source {
+                                Expr::Path {
+                                    root: PathRoot::Doc(_),
+                                    steps,
+                                } if steps.len() == 1
+                                    && steps[0].axis == StepAxis::Descendant
+                                    && !steps[0].names.is_empty() =>
+                                {
+                                    let syms: Vec<xmldb::Symbol> = steps[0]
+                                        .names
+                                        .iter()
+                                        .filter_map(|n| self.doc.lookup(n))
+                                        .collect();
+                                    Some(syms)
+                                }
+                                _ => None,
+                            };
+                            let mqf_partners: Vec<&Vec<&str>> = mqf_incremental
+                                .iter()
+                                .filter(|(vars, _)| vars.contains(&var.as_str()))
+                                .map(|(vars, _)| vars)
+                                .collect();
+
+                            let eq_partners: Vec<&str> = eq_pairs
+                                .iter()
+                                .filter(|(a, _)| *a == var.as_str())
+                                .map(|(_, b)| *b)
+                                .collect();
+
+                            let mut next = Vec::new();
+                            for e in &stream {
+                                // Per-tuple anchor search. Equality
+                                // joins first (most selective), then
+                                // mqf partner enumeration.
+                                let mut candidates: Option<Vec<Item>> = None;
+                                if let Some(labels) = &fast_labels {
+                                    for &w in &eq_partners {
+                                        let Some(seq) = e.get(w) else { continue };
+                                        let [item] = seq.as_slice() else { continue };
+                                        let key = item.string_value(self.doc);
+                                        let mut c: Vec<NodeId> = labels
+                                            .iter()
+                                            .flat_map(|&l| self.nodes_with_value(l, &key))
+                                            .collect();
+                                        c.sort_by_key(|&n| self.doc.node(n).pre);
+                                        c.dedup();
+                                        candidates =
+                                            Some(c.into_iter().map(Item::Node).collect());
+                                        break;
+                                    }
+                                }
+                                if candidates.is_none() {
+                                    if let Some(labels) = &fast_labels {
+                                        'anchor: for vars in &mqf_partners {
+                                        for &v2 in vars.iter() {
+                                            if v2 == var {
+                                                continue;
+                                            }
+                                            let Some(seq) = e.get(v2) else { continue };
+                                            let [Item::Node(a)] = seq.as_slice() else {
+                                                continue;
+                                            };
+                                            let mut c: Vec<NodeId> = labels
+                                                .iter()
+                                                .flat_map(|&l| {
+                                                    crate::mlca::meaningful_partners_indexed(
+                                                        self.doc, *a, l,
+                                                    )
+                                                })
+                                                .collect();
+                                            c.sort_by_key(|&n| self.doc.node(n).pre);
+                                            c.dedup();
+                                            candidates =
+                                                Some(c.into_iter().map(Item::Node).collect());
+                                            break 'anchor;
+                                        }
+                                        }
+                                    }
+                                }
+                                let items = match candidates {
+                                    Some(c) => c,
+                                    None => self.eval(source, e)?,
+                                };
+                                for item in items {
+                                    let e2 = e.bind(var, vec![item]);
+                                    if admit!(e2, k) {
+                                        next.push(e2);
+                                    }
+                                }
+                            }
+                            stream = next;
+                        }
+                        Binding::Let { var, value } => {
+                            let mut next = Vec::with_capacity(stream.len());
+                            for e in &stream {
+                                let v = self.eval(value, e)?;
+                                let e2 = e.bind(var, v);
+                                if admit!(e2, k) {
+                                    next.push(e2);
+                                }
+                            }
+                            stream = next;
+                        }
+                    }
+                }
+                // The planner may have permuted the nested-loop order;
+                // the surviving tuple *set* is identical, so restoring
+                // the specified order is a sort on the bound nodes'
+                // document positions, taken in source binding order.
+                if exec.iter().enumerate().any(|(i, &j)| i != j) {
+                    let original_names: Vec<&str> =
+                        bindings.iter().map(Binding::var).collect();
+                    stream.sort_by_key(|e| {
+                        original_names
+                            .iter()
+                            .map(|n| match e.get(n).map(Vec::as_slice) {
+                                Some([Item::Node(id)]) => self.doc.node(*id).pre as u64,
+                                _ => 0,
+                            })
+                            .collect::<Vec<u64>>()
+                    });
+                }
+                if !order_by.is_empty() {
+                    // Precompute keys (evaluation may error, so do it
+                    // before sorting).
+                    let mut keyed: Vec<(Vec<Sequence>, Env)> = Vec::with_capacity(stream.len());
+                    for e in stream {
+                        let mut keys = Vec::with_capacity(order_by.len());
+                        for k in order_by {
+                            keys.push(self.eval(&k.expr, &e)?);
+                        }
+                        keyed.push((keys, e));
+                    }
+                    keyed.sort_by(|(ka, _), (kb, _)| {
+                        for (i, spec) in order_by.iter().enumerate() {
+                            let o = self.compare_key(&ka[i], &kb[i]);
+                            let o = match spec.dir {
+                                OrderDir::Ascending => o,
+                                OrderDir::Descending => o.reverse(),
+                            };
+                            if o != std::cmp::Ordering::Equal {
+                                return o;
+                            }
+                        }
+                        std::cmp::Ordering::Equal
+                    });
+                    stream = keyed.into_iter().map(|(_, e)| e).collect();
+                }
+                let mut out = Vec::new();
+                for e in stream {
+                    out.extend(self.eval(ret, &e)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Greedy join-order planner for a FLWOR's bindings.
+    ///
+    /// Returns a permutation of binding indices. Invariants:
+    /// - a binding never runs before another binding whose variable its
+    ///   source expression references (data dependencies);
+    /// - among runnable bindings, prefer (1) per-tuple paths like
+    ///   `$b/author` (cheap), then (2) label scans that an mqf conjunct
+    ///   anchors to an already-placed variable (candidates come from
+    ///   the partner index), then (3) the *smallest* unanchored label
+    ///   scan, and `let` bindings last (their values often aggregate
+    ///   over the already-joined variables).
+    pub(crate) fn plan_order(
+        &self,
+        bindings: &[Binding],
+        mqf_groups: &[Vec<&str>],
+        eq_pairs: &[(&str, &str)],
+        env: &Env,
+    ) -> Vec<usize> {
+        let names: Vec<&str> = bindings.iter().map(Binding::var).collect();
+        let mut placed = vec![false; bindings.len()];
+        let mut out = Vec::with_capacity(bindings.len());
+        while out.len() < bindings.len() {
+            let mut best: Option<(u64, usize)> = None;
+            for i in 0..bindings.len() {
+                if placed[i] {
+                    continue;
+                }
+                let source = match &bindings[i] {
+                    Binding::For { source, .. } => source,
+                    Binding::Let { value, .. } => value,
+                };
+                // Data dependencies on not-yet-placed FLWOR variables.
+                let deps_ok = names
+                    .iter()
+                    .enumerate()
+                    .all(|(j, n)| placed[j] || j == i || !source.references_var(n));
+                if !deps_ok {
+                    continue;
+                }
+                let score: u64 = match &bindings[i] {
+                    Binding::Let { .. } => 1 << 60,
+                    Binding::For { var, source } => match source {
+                        Expr::Path {
+                            root: PathRoot::Doc(_),
+                            steps,
+                        } if steps.len() == 1
+                            && steps[0].axis == StepAxis::Descendant
+                            && !steps[0].names.is_empty() =>
+                        {
+                            let size: u64 = steps[0]
+                                .names
+                                .iter()
+                                .map(|n| self.doc.nodes_labeled(n).len() as u64)
+                                .sum();
+                            let available = |v: &str| {
+                                env.contains(v)
+                                    || names.iter().enumerate().any(|(j, n)| placed[j] && *n == v)
+                            };
+                            let anchored = mqf_groups.iter().any(|vars| {
+                                vars.contains(&var.as_str())
+                                    && vars.iter().any(|v| *v != var && available(v))
+                            }) || eq_pairs
+                                .iter()
+                                .any(|(a, b)| a == var && available(b));
+                            if anchored {
+                                1 << 10
+                            } else {
+                                (1 << 40) + size
+                            }
+                        }
+                        _ => 1 << 20,
+                    },
+                };
+                if best.is_none_or(|(s, _)| score < s) {
+                    best = Some((score, i));
+                }
+            }
+            let (_, i) = best.expect("binding dependencies must be acyclic");
+            placed[i] = true;
+            out.push(i);
+        }
+        out
+    }
+
+    /// Incremental mqf check over whichever of `vars` are bound in
+    /// `env`. Sound because pairwise meaningfulness over a subset is
+    /// necessary for the full set.
+    fn partial_mqf(&self, vars: &[&str], env: &Env) -> Result<bool, EvalError> {
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(vars.len());
+        for v in vars {
+            let Some(seq) = env.get(v) else { continue };
+            for item in seq {
+                match item {
+                    Item::Node(id) => nodes.push(*id),
+                    other => {
+                        return Err(EvalError::TypeError(format!(
+                            "mqf() expects nodes, got {}",
+                            other.string_value(self.doc)
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(set_meaningfully_related(self.doc, &nodes))
+    }
+
+    fn compare_key(&self, a: &Sequence, b: &Sequence) -> std::cmp::Ordering {
+        match (a.first(), b.first()) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => compare_items(self.doc, x, y),
+        }
+    }
+
+    fn eval_path(
+        &self,
+        root: &PathRoot,
+        steps: &[Step],
+        env: &Env,
+    ) -> Result<Sequence, EvalError> {
+        // Starting context node set.
+        let mut ctx: Vec<NodeId> = match root {
+            PathRoot::Doc(_) => vec![self.doc.root()],
+            PathRoot::Var(v) => {
+                let seq = env
+                    .get(v)
+                    .ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
+                if steps.is_empty() {
+                    return Ok(seq.clone());
+                }
+                let mut nodes = Vec::with_capacity(seq.len());
+                for item in seq {
+                    match item {
+                        Item::Node(id) => nodes.push(*id),
+                        other => {
+                            return Err(EvalError::TypeError(format!(
+                                "path step applied to non-node value `{}`",
+                                other.string_value(self.doc)
+                            )))
+                        }
+                    }
+                }
+                nodes
+            }
+        };
+        let from_doc = matches!(root, PathRoot::Doc(_));
+        for (si, step) in steps.iter().enumerate() {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &n in &ctx {
+                match step.axis {
+                    StepAxis::Child => {
+                        for c in self.doc.children(n) {
+                            if self.step_matches(step, c) {
+                                next.push(c);
+                            }
+                        }
+                    }
+                    StepAxis::Descendant => {
+                        // `doc()//x` may match the root element itself
+                        // (the document node is its parent); `$v//x`
+                        // matches proper descendants only.
+                        if si == 0 && from_doc && self.step_matches(step, n) {
+                            next.push(n);
+                        }
+                        for c in self.doc.descendants(n) {
+                            if self.step_matches(step, c) {
+                                next.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            // Document order, no duplicates.
+            next.sort_by_key(|&id| self.doc.node(id).pre);
+            next.dedup();
+            ctx = next;
+        }
+        Ok(ctx.into_iter().map(Item::Node).collect())
+    }
+
+    fn step_matches(&self, step: &Step, n: NodeId) -> bool {
+        let node = self.doc.node(n);
+        if node.kind == NodeKind::Text {
+            return false;
+        }
+        if step.is_wildcard() {
+            return true;
+        }
+        let label = self.doc.label(n);
+        step.names.iter().any(|name| name == label)
+    }
+
+    fn general_compare(&self, op: CmpOp, lhs: &Sequence, rhs: &Sequence) -> bool {
+        for a in lhs {
+            for b in rhs {
+                let ord = compare_items(self.doc, a, b);
+                let ok = match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                };
+                if ok {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn aggregate(&self, func: AggFunc, seq: &Sequence) -> Result<Sequence, EvalError> {
+        match func {
+            AggFunc::Count => Ok(vec![Item::Num(seq.len() as f64)]),
+            AggFunc::Sum => {
+                let mut total = 0.0;
+                for item in seq {
+                    total += item.numeric_value(self.doc).ok_or_else(|| {
+                        EvalError::TypeError(format!(
+                            "sum() over non-numeric value `{}`",
+                            item.string_value(self.doc)
+                        ))
+                    })?;
+                }
+                Ok(vec![Item::Num(total)])
+            }
+            AggFunc::Avg => {
+                if seq.is_empty() {
+                    return Ok(vec![]);
+                }
+                let mut total = 0.0;
+                for item in seq {
+                    total += item.numeric_value(self.doc).ok_or_else(|| {
+                        EvalError::TypeError(format!(
+                            "avg() over non-numeric value `{}`",
+                            item.string_value(self.doc)
+                        ))
+                    })?;
+                }
+                Ok(vec![Item::Num(total / seq.len() as f64)])
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if seq.is_empty() {
+                    return Ok(vec![]);
+                }
+                let mut best = &seq[0];
+                for item in &seq[1..] {
+                    let ord = compare_items(self.doc, item, best);
+                    let better = match func {
+                        AggFunc::Min => ord == std::cmp::Ordering::Less,
+                        AggFunc::Max => ord == std::cmp::Ordering::Greater,
+                        _ => unreachable!(),
+                    };
+                    if better {
+                        best = item;
+                    }
+                }
+                Ok(vec![best.clone()])
+            }
+        }
+    }
+
+    fn call(&self, name: &str, args: &[Expr], env: &Env) -> Result<Sequence, EvalError> {
+        let arity = |expected: usize| -> Result<(), EvalError> {
+            if args.len() != expected {
+                Err(EvalError::WrongArity {
+                    name: name.to_owned(),
+                    expected,
+                    got: args.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let first_string = |seq: &Sequence| -> String {
+            seq.first()
+                .map(|i| i.string_value(self.doc))
+                .unwrap_or_default()
+        };
+        match name {
+            "contains" => {
+                arity(2)?;
+                let a = first_string(&self.eval(&args[0], env)?);
+                let b = first_string(&self.eval(&args[1], env)?);
+                Ok(vec![Item::Bool(a.contains(&b))])
+            }
+            "starts-with" => {
+                arity(2)?;
+                let a = first_string(&self.eval(&args[0], env)?);
+                let b = first_string(&self.eval(&args[1], env)?);
+                Ok(vec![Item::Bool(a.starts_with(&b))])
+            }
+            "ends-with" => {
+                arity(2)?;
+                let a = first_string(&self.eval(&args[0], env)?);
+                let b = first_string(&self.eval(&args[1], env)?);
+                Ok(vec![Item::Bool(a.ends_with(&b))])
+            }
+            "string-length" => {
+                arity(1)?;
+                let a = first_string(&self.eval(&args[0], env)?);
+                Ok(vec![Item::Num(a.chars().count() as f64)])
+            }
+            "string" => {
+                arity(1)?;
+                let a = first_string(&self.eval(&args[0], env)?);
+                Ok(vec![Item::Str(a)])
+            }
+            "number" => {
+                arity(1)?;
+                let seq = self.eval(&args[0], env)?;
+                let n = seq
+                    .first()
+                    .and_then(|i| i.numeric_value(self.doc))
+                    .unwrap_or(f64::NAN);
+                Ok(vec![Item::Num(n)])
+            }
+            "concat" => {
+                let mut out = String::new();
+                for a in args {
+                    out.push_str(&first_string(&self.eval(a, env)?));
+                }
+                Ok(vec![Item::Str(out)])
+            }
+            "name" => {
+                arity(1)?;
+                let seq = self.eval(&args[0], env)?;
+                match seq.first() {
+                    Some(Item::Node(id)) => {
+                        Ok(vec![Item::Str(self.doc.label(*id).to_owned())])
+                    }
+                    Some(Item::Elem(e)) => Ok(vec![Item::Str(e.name.clone())]),
+                    _ => Ok(vec![Item::Str(String::new())]),
+                }
+            }
+            "data" => {
+                arity(1)?;
+                let seq = self.eval(&args[0], env)?;
+                Ok(seq
+                    .iter()
+                    .map(|i| Item::Str(i.string_value(self.doc)))
+                    .collect())
+            }
+            "distinct-values" => {
+                arity(1)?;
+                let seq = self.eval(&args[0], env)?;
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for item in seq {
+                    let s = item.string_value(self.doc);
+                    if seen.insert(s.clone()) {
+                        out.push(Item::Str(s));
+                    }
+                }
+                Ok(out)
+            }
+            "empty" => {
+                arity(1)?;
+                let seq = self.eval(&args[0], env)?;
+                Ok(vec![Item::Bool(seq.is_empty())])
+            }
+            "exists" => {
+                arity(1)?;
+                let seq = self.eval(&args[0], env)?;
+                Ok(vec![Item::Bool(!seq.is_empty())])
+            }
+            "true" => {
+                arity(0)?;
+                Ok(vec![Item::Bool(true)])
+            }
+            "false" => {
+                arity(0)?;
+                Ok(vec![Item::Bool(false)])
+            }
+            other => Err(EvalError::UnknownFunction(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::datasets::bib::bib;
+    use xmldb::datasets::movies::{movies, movies_and_books};
+
+    fn run(doc: &Document, q: &str) -> Vec<String> {
+        let e = Engine::new(doc);
+        let out = e.run(q).unwrap_or_else(|err| panic!("query failed: {err}\n{q}"));
+        e.strings(&out)
+    }
+
+    /// Plan the bindings of a parsed FLWOR and return the variable names
+    /// in execution order.
+    fn plan_of(doc: &Document, q: &str) -> Vec<String> {
+        let e = Engine::new(doc);
+        let expr = parse(q).unwrap();
+        let Expr::Flwor {
+            bindings,
+            where_clause,
+            ..
+        } = &expr
+        else {
+            panic!("not a FLWOR")
+        };
+        let mut conjuncts = Vec::new();
+        if let Some(w) = where_clause.as_deref() {
+            flatten_and(w, &mut conjuncts);
+        }
+        let mut mqf_groups: Vec<Vec<&str>> = Vec::new();
+        let mut eq_pairs: Vec<(&str, &str)> = Vec::new();
+        for c in &conjuncts {
+            match c {
+                Expr::Mqf(args) => {
+                    mqf_groups.push(
+                        args.iter()
+                            .filter_map(|a| match a {
+                                Expr::Path {
+                                    root: PathRoot::Var(v),
+                                    steps,
+                                } if steps.is_empty() => Some(v.as_str()),
+                                _ => None,
+                            })
+                            .collect(),
+                    );
+                }
+                Expr::Cmp {
+                    op: CmpOp::Eq,
+                    lhs,
+                    rhs,
+                } => {
+                    if let (
+                        Expr::Path {
+                            root: PathRoot::Var(a),
+                            steps: sa,
+                        },
+                        Expr::Path {
+                            root: PathRoot::Var(b),
+                            steps: sb,
+                        },
+                    ) = (lhs.as_ref(), rhs.as_ref())
+                    {
+                        if sa.is_empty() && sb.is_empty() {
+                            eq_pairs.push((a, b));
+                            eq_pairs.push((b, a));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let order = e.plan_order(bindings, &mqf_groups, &eq_pairs, &Env::new());
+        order
+            .into_iter()
+            .map(|i| bindings[i].var().to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn planner_starts_with_smallest_label_scan() {
+        let d = movies(); // 2 year, 5 movie, 5 title nodes
+        let plan = plan_of(
+            &d,
+            "for $t in doc()//title, $y in doc()//year, $m in doc()//movie \
+             where mqf($t, $y) and mqf($t, $m) return $t",
+        );
+        assert_eq!(plan[0], "y", "{plan:?}"); // the 2-node label first
+    }
+
+    #[test]
+    fn planner_prefers_anchored_scans_after_the_first() {
+        let d = movies();
+        let plan = plan_of(
+            &d,
+            "for $t in doc()//title, $m in doc()//movie, $d in doc()//director \
+             where mqf($t, $m) and mqf($m, $d) return $t",
+        );
+        // all labels have 5 nodes; after the first, the rest must be
+        // anchored via mqf — every subsequent var shares an mqf group
+        // with an earlier one
+        assert_eq!(plan.len(), 3);
+        let first = &plan[0];
+        assert!(["t", "m", "d"].contains(&first.as_str()));
+    }
+
+    #[test]
+    fn planner_respects_data_dependencies() {
+        let d = bib();
+        let plan = plan_of(
+            &d,
+            "for $b in doc()//book, $a in $b/author where $a = \"x\" return $b",
+        );
+        // $a's source references $b, so $b must come first even though
+        // per-tuple paths are otherwise preferred.
+        assert_eq!(plan, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn planner_puts_lets_last() {
+        let d = bib();
+        let plan = plan_of(
+            &d,
+            "for $b in doc()//book let $p := $b/price where count($p) > 0 return $b",
+        );
+        assert_eq!(plan, vec!["b", "p"]);
+    }
+
+    #[test]
+    fn planner_output_order_is_preserved() {
+        // Whatever the internal order, results come back in the
+        // specification's nested-loop order.
+        let d = movies();
+        let out = run(
+            &d,
+            "for $t in doc()//title, $y in doc()//year \
+             where mqf($t, $y) return ($t, $y)",
+        );
+        // titles in document order, each with its year
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0], "How the Grinch Stole Christmas");
+        assert!(out[1].starts_with("2000"));
+        let last_title = &out[8];
+        assert_eq!(last_title, "The Lord of the Rings");
+    }
+
+    #[test]
+    fn simple_path_query() {
+        let d = movies();
+        let out = run(&d, "for $t in doc()//title return $t");
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], "How the Grinch Stole Christmas");
+    }
+
+    #[test]
+    fn root_matches_descendant_axis_from_doc() {
+        let d = movies();
+        let out = run(&d, "for $m in doc()//movies return $m/year");
+        // root element itself matched; two year children.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn where_filters_by_value() {
+        let d = movies();
+        let out = run(
+            &d,
+            "for $dd in doc()//director where $dd = \"Ron Howard\" return $dd",
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn mqf_schema_free_join() {
+        let d = movies();
+        let out = run(
+            &d,
+            "for $dd in doc()//director, $t in doc()//title \
+             where mqf($dd, $t) and $t = \"Traffic\" return $dd",
+        );
+        assert_eq!(out, vec!["Steven Soderbergh"]);
+    }
+
+    #[test]
+    fn figure9_query2_full_translation() {
+        // "Return every director who has directed as many movies as has
+        // Ron Howard" — Figure 9's translated form, against Figure 1
+        // data. Ron Howard directed 2, Steven Soderbergh directed 2.
+        let d = movies();
+        let q = r#"
+        for $v1 in doc("movie.xml")//director, $v4 in doc("movie.xml")//director
+        let $vars1 := { for $v5 in doc("movie.xml")//director, $v2 in doc("movie.xml")//movie
+                        where mqf($v2,$v5) and $v5 = $v1 return $v2 }
+        let $vars2 := { for $v6 in doc("movie.xml")//director, $v3 in doc("movie.xml")//movie
+                        where mqf($v3,$v6) and $v6 = $v4 return $v3 }
+        where count($vars1) = count($vars2) and $v4 = "Ron Howard"
+        return $v1"#;
+        let mut out = run(&d, q);
+        out.sort();
+        out.dedup();
+        assert_eq!(out, vec!["Ron Howard", "Steven Soderbergh"]);
+    }
+
+    #[test]
+    fn query3_title_value_join() {
+        // "Return the directors of movies, where the title of each movie
+        // is the same as the title of a book."
+        let d = movies_and_books();
+        let q = r#"
+        for $d in doc()//director, $mt in doc()//title,
+            $b in doc()//book, $bt in doc()//title
+        where mqf($d, $mt) and mqf($b, $bt) and $mt = $bt and not($d = $bt)
+        return $d"#;
+        // Simpler faithful form: directors whose movie title equals some
+        // book's title. The only shared title is "Traffic".
+        let e = Engine::new(&d);
+        let out = e.run(q).unwrap();
+        let mut names = e.strings(&out);
+        names.sort();
+        names.dedup();
+        assert!(names.contains(&"Steven Soderbergh".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn aggregates() {
+        let d = bib();
+        assert_eq!(
+            run(&d, "count(doc()//book)"),
+            vec!["4"]
+        );
+        assert_eq!(run(&d, "min(doc()//price)"), vec!["39.95"]);
+        assert_eq!(run(&d, "max(doc()//price)"), vec!["129.95"]);
+        assert_eq!(run(&d, "sum(doc()//year)"), vec!["7985"]);
+        assert_eq!(run(&d, "avg(doc()//year)"), vec!["1996.25"]);
+    }
+
+    #[test]
+    fn aggregate_of_empty_sequences() {
+        let d = bib();
+        assert_eq!(run(&d, "count(doc()//nothing)"), vec!["0"]);
+        assert!(run(&d, "min(doc()//nothing)").is_empty());
+        assert!(run(&d, "avg(doc()//nothing)").is_empty());
+        assert_eq!(run(&d, "sum(doc()//nothing)"), vec!["0"]);
+    }
+
+    #[test]
+    fn numeric_comparison_on_attribute_years() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book where $b/year > 1991 return $b/title",
+        );
+        assert_eq!(out.len(), 4); // 1994, 1992, 2000, 1999 all qualify
+    }
+
+    #[test]
+    fn order_by_ascending_and_descending() {
+        let d = bib();
+        let asc = run(
+            &d,
+            "for $b in doc()//book order by $b/title return $b/title",
+        );
+        let mut sorted = asc.clone();
+        sorted.sort();
+        assert_eq!(asc, sorted);
+        let desc = run(
+            &d,
+            "for $b in doc()//book order by $b/title descending return $b/title",
+        );
+        let mut rev = desc.clone();
+        rev.sort();
+        rev.reverse();
+        assert_eq!(desc, rev);
+    }
+
+    #[test]
+    fn order_by_numeric_key() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book order by $b/price return $b/price",
+        );
+        assert_eq!(out, vec!["39.95", "65.95", "65.95", "129.95"]);
+    }
+
+    #[test]
+    fn quantifier_some() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book \
+             where some $a in $b/author satisfies contains($a/last, \"Suciu\") \
+             return $b/title",
+        );
+        assert_eq!(out, vec!["Data on the Web"]);
+    }
+
+    #[test]
+    fn quantifier_every() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book \
+             where every $a in $b/author satisfies contains($a/last, \"Stevens\") \
+             return $b/title",
+        );
+        // Books with no authors vacuously satisfy `every`.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn let_binds_whole_sequence() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book let $a := $b/author \
+             where count($a) >= 2 return $b/title",
+        );
+        assert_eq!(out, vec!["Data on the Web"]);
+    }
+
+    #[test]
+    fn nested_flwor_grouping() {
+        // Min price per book title — the XMP Q10 shape.
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book \
+             let $p := { for $b2 in doc()//book where $b2/title = $b/title return $b2/price } \
+             return element minprice { $b/title, min($p) }",
+        );
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn element_constructor_flattens_to_string() {
+        let d = bib();
+        let e = Engine::new(&d);
+        let out = e
+            .run("for $b in doc()//book where $b/year = 1994 return element r { $b/title }")
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(e.item_string(&out[0]), "TCP/IP Illustrated");
+    }
+
+    #[test]
+    fn string_functions() {
+        let d = bib();
+        assert_eq!(
+            run(
+                &d,
+                "for $t in doc()//title where starts-with($t, \"Data\") return $t"
+            ),
+            vec!["Data on the Web"]
+        );
+        assert_eq!(
+            run(
+                &d,
+                "for $t in doc()//title where ends-with($t, \"Illustrated\") return $t"
+            ),
+            vec!["TCP/IP Illustrated"]
+        );
+        assert_eq!(run(&d, "string-length(\"abc\")"), vec!["3"]);
+        assert_eq!(run(&d, "concat(\"a\", \"b\", \"c\")"), vec!["abc"]);
+    }
+
+    #[test]
+    fn distinct_values_dedups() {
+        let d = bib();
+        let out = run(&d, "distinct-values(doc()//price)");
+        assert_eq!(out.len(), 3); // 65.95 repeats
+    }
+
+    #[test]
+    fn empty_and_exists() {
+        let d = bib();
+        assert_eq!(run(&d, "empty(doc()//nothing)"), vec!["true"]);
+        assert_eq!(run(&d, "exists(doc()//book)"), vec!["true"]);
+    }
+
+    #[test]
+    fn name_function() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $e in doc()//book/* where ends-with(name($e), \"or\") return name($e)",
+        );
+        // author × 5 (incl. three on one book) and editor × 1
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn disjunctive_name_test_runs() {
+        let d = bib();
+        let out = run(&d, "for $x in doc()//(author|editor) return $x/last");
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn wildcard_child_step() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book where $b/year = 1994 return count($b/*)",
+        );
+        // title, author, publisher, price + the year attribute = 5
+        assert_eq!(out, vec!["5"]);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let d = bib();
+        let e = Engine::new(&d);
+        let err = e.run("for $b in doc()//book return $nope").unwrap_err();
+        assert!(matches!(err, EvalError::UnboundVariable(v) if v == "nope"));
+    }
+
+    #[test]
+    fn path_on_string_errors() {
+        let d = bib();
+        let e = Engine::new(&d);
+        let err = e
+            .run("for $b in doc()//book let $s := \"x\" where $s/title = 1 return $b")
+            .unwrap_err();
+        assert!(matches!(err, EvalError::TypeError(_)));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let d = bib();
+        let e = Engine::new(&d);
+        let err = e.run("frobnicate(doc()//book)").unwrap_err();
+        assert!(matches!(err, EvalError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        let d = bib();
+        let e = Engine::new(&d);
+        let err = e.run("contains(\"a\")").unwrap_err();
+        assert!(matches!(err, EvalError::WrongArity { .. }));
+    }
+
+    #[test]
+    fn negation() {
+        let d = bib();
+        let out = run(
+            &d,
+            "for $b in doc()//book where not($b/publisher = \"Addison-Wesley\") return $b/title",
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn general_comparison_is_existential() {
+        let d = bib();
+        // book with *some* author whose last name is Buneman
+        let out = run(
+            &d,
+            "for $b in doc()//book where $b/author/last = \"Buneman\" return $b/title",
+        );
+        assert_eq!(out, vec!["Data on the Web"]);
+    }
+
+    #[test]
+    fn value_join_across_entries() {
+        let d = bib();
+        // pairs of books with the same publisher but different titles
+        let out = run(
+            &d,
+            "for $a in doc()//book, $b in doc()//book \
+             where $a/publisher = $b/publisher and not($a/title = $b/title) \
+             return $a/title",
+        );
+        assert_eq!(out.len(), 2); // the two Addison-Wesley books, both directions
+    }
+
+    #[test]
+    fn path_results_deduplicated_in_doc_order() {
+        let d = movies();
+        // both year elements contain movies; //title from doc visits each once
+        let out = run(&d, "for $t in doc()//title return $t");
+        let mut dedup = out.clone();
+        dedup.dedup();
+        assert_eq!(out.len(), dedup.len());
+    }
+}

@@ -1,0 +1,388 @@
+//! Tokenizer for the textual XQuery subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `$name` — a variable reference.
+    Var(String),
+    /// A bare name (keyword or function/element name — the parser
+    /// decides from context).
+    Name(String),
+    /// A string literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `|`
+    Pipe,
+    /// `*`
+    Star,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Var(v) => write!(f, "${v}"),
+            Token::Name(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::Comma => f.write_str(","),
+            Token::Slash => f.write_str("/"),
+            Token::DoubleSlash => f.write_str("//"),
+            Token::Assign => f.write_str(":="),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Pipe => f.write_str("|"),
+            Token::Star => f.write_str("*"),
+        }
+    }
+}
+
+/// Lexing error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_name_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Tokenize a query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                // `(: comment :)`
+                if bytes.get(i + 1) == Some(&b':') {
+                    let mut depth = 1;
+                    let mut j = i + 2;
+                    while j + 1 < bytes.len() && depth > 0 {
+                        if bytes[j] == b'(' && bytes[j + 1] == b':' {
+                            depth += 1;
+                            j += 2;
+                        } else if bytes[j] == b':' && bytes[j + 1] == b')' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(LexError {
+                            offset: i,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    i = j;
+                } else {
+                    tokens.push(Token::LParen);
+                    i += 1;
+                }
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Pipe);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    tokens.push(Token::DoubleSlash);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Assign);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected `:=`".into(),
+                    });
+                }
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_name_continue(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected variable name after `$`".into(),
+                    });
+                }
+                tokens.push(Token::Var(input[start..j].to_owned()));
+                i = j;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(LexError {
+                            offset: i,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let cj = bytes[j] as char;
+                    if cj == quote {
+                        // Doubled quote is an escaped quote in XQuery.
+                        if bytes.get(j + 1) == Some(&(quote as u8)) {
+                            s.push(quote);
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(cj);
+                    j += 1;
+                }
+                tokens.push(Token::Str(s));
+                i = j + 1;
+            }
+            // Numeric literal, optionally negative (the subset has no
+            // arithmetic, so a leading `-` before a digit is always a
+            // sign).
+            _ if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                let mut j = if c == '-' { i + 1 } else { i };
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("bad number `{text}`"),
+                })?;
+                tokens.push(Token::Num(n));
+                i = j;
+            }
+            _ if is_name_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_name_continue(bytes[j] as char) {
+                    j += 1;
+                }
+                tokens.push(Token::Name(input[start..j].to_owned()));
+                i = j;
+            }
+            _ => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_flwor_skeleton() {
+        let t = lex("for $v in doc()//movie return $v").unwrap();
+        assert_eq!(t[0], Token::Name("for".into()));
+        assert_eq!(t[1], Token::Var("v".into()));
+        assert!(t.contains(&Token::DoubleSlash));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let t = lex("= != < <= > >= := | *").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Assign,
+                Token::Pipe,
+                Token::Star
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_both_quotes() {
+        let t = lex(r#""Ron Howard" 'abc'"#).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Str("Ron Howard".into()),
+                Token::Str("abc".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        let t = lex(r#""say ""hi""""#).unwrap();
+        assert_eq!(t, vec![Token::Str("say \"hi\"".into())]);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let t = lex("1991 65.95").unwrap();
+        assert_eq!(t, vec![Token::Num(1991.0), Token::Num(65.95)]);
+    }
+
+    #[test]
+    fn lexes_negative_numbers() {
+        let t = lex("-5 -0.25").unwrap();
+        assert_eq!(t, vec![Token::Num(-5.0), Token::Num(-0.25)]);
+    }
+
+    #[test]
+    fn bare_minus_is_still_an_error() {
+        assert!(lex("a - b").is_err());
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = lex("for (: a (: nested :) comment :) $v").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn names_allow_hyphen_and_dot() {
+        let t = lex("starts-with et-al xs.int").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], Token::Name("starts-with".into()));
+    }
+}

@@ -1,0 +1,682 @@
+//! Recursive-descent parser for the textual XQuery subset.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! Query      := ExprSingle
+//! ExprSingle := Flwor | Quantified | OrExpr
+//! Flwor      := (ForClause | LetClause)+ ("where" ExprSingle)?
+//!               ("order" "by" OrderKey ("," OrderKey)*)? "return" ExprSingle
+//! ForClause  := "for" "$"name "in" ExprSingle ("," "$"name "in" ExprSingle)*
+//! LetClause  := "let" "$"name ":=" ExprSingle ("," "$"name ":=" ExprSingle)*
+//! OrderKey   := ExprSingle ("ascending" | "descending")?
+//! OrExpr     := AndExpr ("or" AndExpr)*
+//! AndExpr    := CmpExpr ("and" CmpExpr)*
+//! CmpExpr    := Primary (CmpOp Primary)?
+//! Primary    := Path | Literal | FnCall | "element" name "{" Expr "}"
+//!             | "(" Expr ("," Expr)* ")" | "{" ExprSingle "}"
+//! Path       := ("doc" "(" Str? ")" | "$"name) (("/"|"//") NameTest)*
+//! NameTest   := name | "*" | "(" name ("|" name)* ")"
+//! ```
+//!
+//! The enclosed-expression braces `{ … }` appear in the paper's output
+//! style (`let $vars1 := { for … return … }`) and are accepted as plain
+//! grouping.
+
+use crate::ast::{
+    AggFunc, Binding, CmpOp, Expr, OrderDir, OrderKey, PathRoot, Quantifier, Step, StepAxis,
+};
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Token index at which the error occurred (usize::MAX = end).
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            at: usize::MAX,
+            message: format!("lexical error: {e}"),
+        }
+    }
+}
+
+/// Parse a query string into an expression.
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = P { tokens, pos: 0 };
+    let e = p.expr_single()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("unexpected trailing token `{}`", p.tokens[p.pos])));
+    }
+    Ok(e)
+}
+
+struct P {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{t}`, found {}",
+                self.peek().map_or("end of input".to_owned(), |x| format!("`{x}`"))
+            )))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Name(n)) if n == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected keyword `{kw}`, found {}",
+                self.peek().map_or("end of input".to_owned(), |x| format!("`{x}`"))
+            )))
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Var(v)) => Ok(v),
+            other => Err(self.err(format!(
+                "expected a variable, found {}",
+                other.map_or("end of input".to_owned(), |x| format!("`{x}`"))
+            ))),
+        }
+    }
+
+    fn expect_name(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Name(n)) => Ok(n),
+            other => Err(self.err(format!(
+                "expected a name, found {}",
+                other.map_or("end of input".to_owned(), |x| format!("`{x}`"))
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn expr_single(&mut self) -> Result<Expr, ParseError> {
+        if self.at_keyword("for") || self.at_keyword("let") {
+            return self.flwor();
+        }
+        if self.at_keyword("some") || self.at_keyword("every") {
+            // A quantifier keyword begins a quantified expression only
+            // when followed by a variable.
+            if matches!(self.peek2(), Some(Token::Var(_))) {
+                return self.quantified();
+            }
+        }
+        self.or_expr()
+    }
+
+    fn flwor(&mut self) -> Result<Expr, ParseError> {
+        let mut bindings = Vec::new();
+        loop {
+            if self.eat_keyword("for") {
+                loop {
+                    let var = self.expect_var()?;
+                    self.expect_keyword("in")?;
+                    let source = self.expr_single()?;
+                    bindings.push(Binding::For { var, source });
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            } else if self.eat_keyword("let") {
+                loop {
+                    let var = self.expect_var()?;
+                    self.expect(&Token::Assign)?;
+                    let value = self.expr_single()?;
+                    bindings.push(Binding::Let { var, value });
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if bindings.is_empty() {
+            return Err(self.err("FLWOR must begin with `for` or `let`"));
+        }
+        let where_clause = if self.eat_keyword("where") {
+            Some(Box::new(self.expr_single()?))
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.or_expr()?;
+                let dir = if self.eat_keyword("descending") {
+                    OrderDir::Descending
+                } else {
+                    let _ = self.eat_keyword("ascending");
+                    OrderDir::Ascending
+                };
+                order_by.push(OrderKey { expr, dir });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("return")?;
+        let ret = Box::new(self.expr_single()?);
+        Ok(Expr::Flwor {
+            bindings,
+            where_clause,
+            order_by,
+            ret,
+        })
+    }
+
+    fn quantified(&mut self) -> Result<Expr, ParseError> {
+        let quant = if self.eat_keyword("some") {
+            Quantifier::Some
+        } else {
+            self.expect_keyword("every")?;
+            Quantifier::Every
+        };
+        let var = self.expect_var()?;
+        self.expect_keyword("in")?;
+        let source = Box::new(self.expr_single()?);
+        self.expect_keyword("satisfies")?;
+        let satisfies = Box::new(self.expr_single()?);
+        Ok(Expr::Quantified {
+            quant,
+            var,
+            source,
+            satisfies,
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.and_expr()?;
+        if !self.at_keyword("or") {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat_keyword("or") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(Expr::Or(parts))
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.cmp_expr()?;
+        if !self.at_keyword("and") {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat_keyword("and") {
+            parts.push(self.cmp_expr()?);
+        }
+        Ok(Expr::And(parts))
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.primary()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.primary()?;
+        Ok(Expr::cmp(op, lhs, rhs))
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Token::Num(n)) => {
+                self.pos += 1;
+                Ok(Expr::Num(n))
+            }
+            Some(Token::Var(_)) => self.path_from_var(),
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let mut items = vec![self.expr_single()?];
+                while self.eat(&Token::Comma) {
+                    items.push(self.expr_single()?);
+                }
+                self.expect(&Token::RParen)?;
+                Ok(if items.len() == 1 {
+                    items.pop().expect("one item")
+                } else {
+                    Expr::Seq(items)
+                })
+            }
+            Some(Token::LBrace) => {
+                self.pos += 1;
+                let e = self.expr_single()?;
+                self.expect(&Token::RBrace)?;
+                Ok(e)
+            }
+            Some(Token::Name(name)) => {
+                // doc(...) path root
+                if name == "doc" && self.peek2() == Some(&Token::LParen) {
+                    return self.path_from_doc();
+                }
+                // element constructor
+                if name == "element" {
+                    self.pos += 1;
+                    let ename = self.expect_name()?;
+                    self.expect(&Token::LBrace)?;
+                    let mut content = vec![self.expr_single()?];
+                    while self.eat(&Token::Comma) {
+                        content.push(self.expr_single()?);
+                    }
+                    self.expect(&Token::RBrace)?;
+                    return Ok(Expr::Element {
+                        name: ename,
+                        content,
+                    });
+                }
+                // function call
+                if self.peek2() == Some(&Token::LParen) {
+                    return self.fn_call();
+                }
+                Err(self.err(format!("unexpected name `{name}` (not a function call)")))
+            }
+            other => Err(self.err(format!(
+                "unexpected {}",
+                other.map_or("end of input".to_owned(), |x| format!("`{x}`"))
+            ))),
+        }
+    }
+
+    fn fn_call(&mut self) -> Result<Expr, ParseError> {
+        let name = self.expect_name()?;
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            args.push(self.expr_single()?);
+            while self.eat(&Token::Comma) {
+                args.push(self.expr_single()?);
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let agg = |f: AggFunc, mut args: Vec<Expr>, p: &P| -> Result<Expr, ParseError> {
+            if args.len() != 1 {
+                return Err(p.err(format!("{f} takes exactly one argument")));
+            }
+            Ok(Expr::Agg {
+                func: f,
+                arg: Box::new(args.pop().expect("one arg")),
+            })
+        };
+        match name.as_str() {
+            "count" => agg(AggFunc::Count, args, self),
+            "sum" => agg(AggFunc::Sum, args, self),
+            "min" => agg(AggFunc::Min, args, self),
+            "max" => agg(AggFunc::Max, args, self),
+            "avg" => agg(AggFunc::Avg, args, self),
+            "not" => {
+                if args.len() != 1 {
+                    return Err(self.err("not takes exactly one argument"));
+                }
+                Ok(Expr::Not(Box::new(args.pop().expect("one arg"))))
+            }
+            "mqf" => Ok(Expr::Mqf(args)),
+            _ => Ok(Expr::Call { name, args }),
+        }
+    }
+
+    fn path_from_doc(&mut self) -> Result<Expr, ParseError> {
+        self.expect_keyword("doc")?;
+        self.expect(&Token::LParen)?;
+        let uri = match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        };
+        self.expect(&Token::RParen)?;
+        let steps = self.steps()?;
+        Ok(Expr::Path {
+            root: PathRoot::Doc(uri),
+            steps,
+        })
+    }
+
+    fn path_from_var(&mut self) -> Result<Expr, ParseError> {
+        let var = self.expect_var()?;
+        let steps = self.steps()?;
+        Ok(Expr::Path {
+            root: PathRoot::Var(var),
+            steps,
+        })
+    }
+
+    fn steps(&mut self) -> Result<Vec<Step>, ParseError> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = if self.eat(&Token::DoubleSlash) {
+                StepAxis::Descendant
+            } else if self.eat(&Token::Slash) {
+                StepAxis::Child
+            } else {
+                break;
+            };
+            let names = match self.peek().cloned() {
+                Some(Token::Name(n)) => {
+                    self.pos += 1;
+                    vec![n]
+                }
+                Some(Token::Star) => {
+                    self.pos += 1;
+                    Vec::new()
+                }
+                Some(Token::LParen) => {
+                    self.pos += 1;
+                    let mut names = vec![self.expect_name()?];
+                    while self.eat(&Token::Pipe) {
+                        names.push(self.expect_name()?);
+                    }
+                    self.expect(&Token::RParen)?;
+                    names
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected a name test, found {}",
+                        other.map_or("end of input".to_owned(), |x| format!("`{x}`"))
+                    )))
+                }
+            };
+            steps.push(Step { axis, names });
+        }
+        Ok(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_flwor() {
+        let e = parse("for $v in doc()//movie return $v").unwrap();
+        match e {
+            Expr::Flwor { bindings, ret, .. } => {
+                assert_eq!(bindings.len(), 1);
+                assert_eq!(bindings[0].var(), "v");
+                assert_eq!(*ret, Expr::var("v"));
+            }
+            other => panic!("expected Flwor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_binding_for() {
+        let e = parse("for $a in doc()//x, $b in doc()//y return $a").unwrap();
+        match e {
+            Expr::Flwor { bindings, .. } => assert_eq!(bindings.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_where_with_mqf_and_comparison() {
+        let e = parse(
+            "for $d in doc()//director, $t in doc()//title \
+             where mqf($d, $t) and $t = \"Traffic\" return $d",
+        )
+        .unwrap();
+        match e {
+            Expr::Flwor { where_clause, .. } => {
+                let w = where_clause.unwrap();
+                match *w {
+                    Expr::And(ref parts) => {
+                        assert_eq!(parts.len(), 2);
+                        assert!(matches!(parts[0], Expr::Mqf(_)));
+                        assert!(matches!(parts[1], Expr::Cmp { .. }));
+                    }
+                    ref other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_let_with_braced_flwor() {
+        let e = parse(
+            "for $v1 in doc()//director \
+             let $vars1 := { for $v2 in doc()//movie where mqf($v1,$v2) return $v2 } \
+             where count($vars1) > 1 return $v1",
+        )
+        .unwrap();
+        match e {
+            Expr::Flwor { bindings, .. } => {
+                assert_eq!(bindings.len(), 2);
+                assert!(matches!(bindings[1], Binding::Let { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_by() {
+        let e = parse("for $b in doc()//book order by $b/title descending return $b/title")
+            .unwrap();
+        match e {
+            Expr::Flwor { order_by, .. } => {
+                assert_eq!(order_by.len(), 1);
+                assert_eq!(order_by[0].dir, OrderDir::Descending);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantified() {
+        let e = parse(
+            "for $b in doc()//book where some $a in $b/author satisfies contains($a, \"Suciu\") return $b/title",
+        )
+        .unwrap();
+        match e {
+            Expr::Flwor { where_clause, .. } => {
+                assert!(matches!(*where_clause.unwrap(), Expr::Quantified { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_disjunctive_name_test() {
+        let e = parse("for $x in doc()//(book|article) return $x").unwrap();
+        match e {
+            Expr::Flwor { bindings, .. } => match &bindings[0] {
+                Binding::For { source, .. } => match source {
+                    Expr::Path { steps, .. } => {
+                        assert_eq!(steps[0].names, vec!["book", "article"]);
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_wildcard_step() {
+        let e = parse("for $x in doc()//book/* return $x").unwrap();
+        match e {
+            Expr::Flwor { bindings, .. } => match &bindings[0] {
+                Binding::For { source, .. } => match source {
+                    Expr::Path { steps, .. } => assert!(steps[1].is_wildcard()),
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_element_constructor() {
+        let e = parse("for $b in doc()//book return element result { $b/title, $b/author }")
+            .unwrap();
+        match e {
+            Expr::Flwor { ret, .. } => match *ret {
+                Expr::Element { ref name, ref content } => {
+                    assert_eq!(name, "result");
+                    assert_eq!(content.len(), 2);
+                }
+                ref other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_doc_with_uri() {
+        let e = parse("for $v in doc(\"movie.xml\")//movie return $v").unwrap();
+        match e {
+            Expr::Flwor { bindings, .. } => match &bindings[0] {
+                Binding::For { source, .. } => match source {
+                    Expr::Path {
+                        root: PathRoot::Doc(Some(uri)),
+                        ..
+                    } => assert_eq!(uri, "movie.xml"),
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_arity_is_checked() {
+        assert!(parse("for $x in doc()//a where count($x, $x) > 0 return $x").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("for $v in doc()//a return $v extra").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        assert!(parse("for $v in doc()//a where $v = 1").is_err());
+    }
+
+    #[test]
+    fn parses_nested_flwor_in_return() {
+        let e = parse(
+            "for $a in doc()//author return (for $b in doc()//book where mqf($a,$b) return $b/title)",
+        )
+        .unwrap();
+        match e {
+            Expr::Flwor { ret, .. } => assert!(matches!(*ret, Expr::Flwor { .. })),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_not_and_negated_comparison() {
+        let e = parse("for $x in doc()//a where not($x = 1) return $x").unwrap();
+        match e {
+            Expr::Flwor { where_clause, .. } => {
+                assert!(matches!(*where_clause.unwrap(), Expr::Not(_)))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_figure9_query() {
+        // The full translation of Query 2 (paper Figure 9).
+        let q = r#"
+        for $v1 in doc("movie.xml")//director, $v4 in doc("movie.xml")//director
+        let $vars1 := { for $v5 in doc("movie.xml")//director, $v2 in doc("movie.xml")//movie
+                        where mqf($v2,$v5) and $v5 = $v1 return $v2 }
+        let $vars2 := { for $v6 in doc("movie.xml")//director, $v3 in doc("movie.xml")//movie
+                        where mqf($v3,$v6) and $v6 = $v4 return $v3 }
+        where count($vars1) = count($vars2) and $v4 = "Ron Howard"
+        return $v1"#;
+        let e = parse(q).unwrap();
+        match e {
+            Expr::Flwor { bindings, .. } => assert_eq!(bindings.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Pretty-printer rendering expressions in the style of the paper's
+//! Figure 9 (clauses on their own lines, nested FLWORs in braces).
+
+use crate::ast::{Binding, Expr, OrderDir, PathRoot, Step, StepAxis};
+use std::fmt::Write;
+
+/// Render an expression as formatted XQuery text.
+pub fn pretty(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(expr, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_expr(expr: &Expr, level: usize, out: &mut String) {
+    match expr {
+        Expr::Flwor {
+            bindings,
+            where_clause,
+            order_by,
+            ret,
+        } => {
+            // Group consecutive for/let bindings into single clauses.
+            let mut i = 0;
+            while i < bindings.len() {
+                match &bindings[i] {
+                    Binding::For { .. } => {
+                        indent(out, level);
+                        out.push_str("for ");
+                        let mut first = true;
+                        while i < bindings.len() {
+                            if let Binding::For { var, source } = &bindings[i] {
+                                if !first {
+                                    out.push_str(", ");
+                                }
+                                first = false;
+                                let _ = write!(out, "${var} in ");
+                                write_inline(source, level, out);
+                                i += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        out.push('\n');
+                    }
+                    Binding::Let { var, value } => {
+                        indent(out, level);
+                        let _ = write!(out, "let ${var} := ");
+                        write_inline(value, level, out);
+                        out.push('\n');
+                        i += 1;
+                    }
+                }
+            }
+            if let Some(w) = where_clause {
+                indent(out, level);
+                out.push_str("where ");
+                write_inline(w, level, out);
+                out.push('\n');
+            }
+            if !order_by.is_empty() {
+                indent(out, level);
+                out.push_str("order by ");
+                for (j, k) in order_by.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    write_inline(&k.expr, level, out);
+                    if k.dir == OrderDir::Descending {
+                        out.push_str(" descending");
+                    }
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push_str("return ");
+            write_inline(ret, level, out);
+        }
+        other => {
+            indent(out, level);
+            write_inline(other, level, out);
+        }
+    }
+}
+
+fn write_inline(expr: &Expr, level: usize, out: &mut String) {
+    match expr {
+        Expr::Flwor { .. } => {
+            // Nested FLWOR in braces, Figure-9 style.
+            out.push_str("{\n");
+            write_expr(expr, level + 1, out);
+            out.push('\n');
+            indent(out, level);
+            out.push('}');
+        }
+        Expr::Path { root, steps } => {
+            match root {
+                PathRoot::Doc(Some(uri)) => {
+                    let _ = write!(out, "doc(\"{uri}\")");
+                }
+                PathRoot::Doc(None) => out.push_str("doc()"),
+                PathRoot::Var(v) => {
+                    let _ = write!(out, "${v}");
+                }
+            }
+            for s in steps {
+                write_step(s, out);
+            }
+        }
+        Expr::Str(s) => {
+            let _ = write!(out, "\"{s}\"");
+        }
+        Expr::Num(n) => {
+            let _ = write!(out, "{}", crate::value::format_number(*n));
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            write_inline(lhs, level, out);
+            let _ = write!(out, " {op} ");
+            write_inline(rhs, level, out);
+        }
+        Expr::And(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" and ");
+                }
+                write_inline(p, level, out);
+            }
+        }
+        Expr::Or(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" or ");
+                }
+                write_inline(p, level, out);
+            }
+            out.push(')');
+        }
+        Expr::Not(inner) => {
+            out.push_str("not (");
+            write_inline(inner, level, out);
+            out.push(')');
+        }
+        Expr::Agg { func, arg } => {
+            let _ = write!(out, "{func}(");
+            write_inline(arg, level, out);
+            out.push(')');
+        }
+        Expr::Mqf(args) => {
+            out.push_str("mqf(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_inline(a, level, out);
+            }
+            out.push(')');
+        }
+        Expr::Quantified {
+            quant,
+            var,
+            source,
+            satisfies,
+        } => {
+            let _ = write!(out, "{quant} ${var} in ");
+            write_inline(source, level, out);
+            out.push_str(" satisfies ");
+            write_inline(satisfies, level, out);
+        }
+        Expr::Seq(parts) => {
+            out.push('(');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(p, level, out);
+            }
+            out.push(')');
+        }
+        Expr::Element { name, content } => {
+            let _ = write!(out, "element {name} {{ ");
+            for (i, c) in content.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(c, level, out);
+            }
+            out.push_str(" }");
+        }
+        Expr::Call { name, args } => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(a, level, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_step(step: &Step, out: &mut String) {
+    out.push_str(match step.axis {
+        StepAxis::Child => "/",
+        StepAxis::Descendant => "//",
+    });
+    match step.names.len() {
+        0 => out.push('*'),
+        1 => out.push_str(&step.names[0]),
+        _ => {
+            out.push('(');
+            out.push_str(&step.names.join("|"));
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Pretty-printed output must re-parse to the same AST.
+    fn round_trip(q: &str) {
+        let e1 = parse(q).unwrap();
+        let text = pretty(&e1);
+        let e2 = parse(&text).unwrap_or_else(|err| panic!("re-parse failed: {err}\n{text}"));
+        assert_eq!(e1, e2, "\npretty output:\n{text}");
+    }
+
+    #[test]
+    fn round_trips_simple_flwor() {
+        round_trip("for $v in doc()//movie return $v");
+    }
+
+    #[test]
+    fn round_trips_where_and_order() {
+        round_trip(
+            "for $b in doc()//book where $b/year > 1991 and $b/publisher = \"Addison-Wesley\" \
+             order by $b/title descending return $b/title",
+        );
+    }
+
+    #[test]
+    fn round_trips_nested_let() {
+        round_trip(
+            "for $v1 in doc(\"movie.xml\")//director \
+             let $vars1 := { for $v2 in doc(\"movie.xml\")//movie where mqf($v2,$v1) return $v2 } \
+             where count($vars1) >= 2 return $v1",
+        );
+    }
+
+    #[test]
+    fn round_trips_quantifier_and_functions() {
+        round_trip(
+            "for $b in doc()//book where some $a in $b/author satisfies \
+             contains($a, \"Suciu\") return element r { $b/title, count($b/author) }",
+        );
+    }
+
+    #[test]
+    fn round_trips_disjunction_and_wildcard() {
+        round_trip("for $x in doc()//(book|article) return count($x/*)");
+    }
+
+    #[test]
+    fn figure9_text_shape() {
+        let q = r#"for $v1 in doc("movie.xml")//director, $v4 in doc("movie.xml")//director
+        let $vars1 := { for $v5 in doc("movie.xml")//director, $v2 in doc("movie.xml")//movie
+                        where mqf($v2,$v5) and $v5 = $v1 return $v2 }
+        where count($vars1) = 2 and $v4 = "Ron Howard"
+        return $v1"#;
+        let e = parse(q).unwrap();
+        let text = pretty(&e);
+        assert!(text.contains("for $v1 in doc(\"movie.xml\")//director, $v4 in"));
+        assert!(text.contains("let $vars1 := {"));
+        assert!(text.contains("where count($vars1) = 2 and $v4 = \"Ron Howard\""));
+        assert!(text.trim_end().ends_with("return $v1"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Runtime values: items, sequences, atomization and comparison.
+
+use xmldb::{Document, NodeId};
+
+/// A constructed element value, produced by computed element
+/// constructors. Unlike [`Item::Node`], these do not live in the
+/// document arena — they are ephemeral result structures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstructedElem {
+    /// Element name.
+    pub name: String,
+    /// Content items in order.
+    pub children: Vec<Item>,
+}
+
+/// A single item of a sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A node of the engine's document.
+    Node(NodeId),
+    /// A string.
+    Str(String),
+    /// A double (all numerics are doubles, as in XPath 1.0).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A constructed element.
+    Elem(ConstructedElem),
+}
+
+/// A (possibly empty) sequence of items — the result of every
+/// expression evaluation.
+pub type Sequence = Vec<Item>;
+
+impl Item {
+    /// Atomized string value.
+    ///
+    /// Elements with **mixed content** (own text plus child elements,
+    /// like the paper's `<year>2000 <movie>…</movie></year>` or an
+    /// inverted schema's `<director>Kira <movie>…</movie></director>`)
+    /// atomize to their *direct* text: that is the value the element
+    /// itself carries, and it is what comparisons like
+    /// `$director = "Kira"` must see. Elements without own text keep
+    /// the XPath whole-subtree string value.
+    pub fn string_value(&self, doc: &Document) -> String {
+        match self {
+            Item::Node(id) => {
+                let n = doc.node(*id);
+                if n.is_element() {
+                    let direct = doc.direct_text(*id);
+                    if !direct.trim().is_empty() {
+                        return direct.trim().to_owned();
+                    }
+                }
+                doc.string_value(*id)
+            }
+            Item::Str(s) => s.clone(),
+            Item::Num(n) => format_number(*n),
+            Item::Bool(b) => b.to_string(),
+            Item::Elem(e) => e
+                .children
+                .iter()
+                .map(|c| c.string_value(doc))
+                .collect::<Vec<_>>()
+                .join(""),
+        }
+    }
+
+    /// Atomized numeric value, when the item looks like a number.
+    pub fn numeric_value(&self, doc: &Document) -> Option<f64> {
+        match self {
+            Item::Num(n) => Some(*n),
+            Item::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => self.string_value(doc).trim().parse().ok(),
+        }
+    }
+
+    /// True for node items.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Item::Node(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// XPath-1.0-flavoured number formatting: integers print without a
+/// decimal point.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Compare two atomized items: numerically when both sides are numeric,
+/// lexicographically otherwise. Returns an ordering usable for both
+/// general comparisons and `order by`.
+pub fn compare_items(doc: &Document, a: &Item, b: &Item) -> std::cmp::Ordering {
+    match (a.numeric_value(doc), b.numeric_value(doc)) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.string_value(doc).cmp(&b.string_value(doc)),
+    }
+}
+
+/// The effective boolean value of a sequence (XPath style): empty is
+/// false; a single boolean is itself; a single number is `!= 0` and not
+/// NaN; anything else (nodes, strings, longer sequences) is "non-empty".
+pub fn effective_boolean(seq: &Sequence) -> bool {
+    match seq.len() {
+        0 => false,
+        1 => match &seq[0] {
+            Item::Bool(b) => *b,
+            Item::Num(n) => *n != 0.0 && !n.is_nan(),
+            Item::Str(s) => !s.is_empty(),
+            Item::Node(_) | Item::Elem(_) => true,
+        },
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::Document;
+
+    fn doc() -> Document {
+        Document::parse_str("<r><a>10</a><b>text</b></r>").unwrap()
+    }
+
+    #[test]
+    fn node_string_value() {
+        let d = doc();
+        let a = d.nodes_labeled("a")[0];
+        assert_eq!(Item::Node(a).string_value(&d), "10");
+    }
+
+    #[test]
+    fn numeric_coercion_from_node() {
+        let d = doc();
+        let a = d.nodes_labeled("a")[0];
+        let b = d.nodes_labeled("b")[0];
+        assert_eq!(Item::Node(a).numeric_value(&d), Some(10.0));
+        assert_eq!(Item::Node(b).numeric_value(&d), None);
+    }
+
+    #[test]
+    fn format_number_integers() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(3.5), "3.5");
+        assert_eq!(format_number(-2.0), "-2");
+    }
+
+    #[test]
+    fn compare_numeric_beats_lexicographic() {
+        let d = doc();
+        // "9" < "10" numerically, though "10" < "9" lexicographically.
+        let o = compare_items(&d, &Item::Str("9".into()), &Item::Str("10".into()));
+        assert_eq!(o, std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn compare_strings() {
+        let d = doc();
+        let o = compare_items(&d, &Item::Str("apple".into()), &Item::Str("banana".into()));
+        assert_eq!(o, std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn effective_boolean_rules() {
+        assert!(!effective_boolean(&vec![]));
+        assert!(effective_boolean(&vec![Item::Bool(true)]));
+        assert!(!effective_boolean(&vec![Item::Bool(false)]));
+        assert!(!effective_boolean(&vec![Item::Num(0.0)]));
+        assert!(effective_boolean(&vec![Item::Num(2.0)]));
+        assert!(!effective_boolean(&vec![Item::Str(String::new())]));
+        assert!(effective_boolean(&vec![Item::Str("x".into())]));
+        assert!(effective_boolean(&vec![
+            Item::Bool(false),
+            Item::Bool(false)
+        ]));
+    }
+
+    #[test]
+    fn constructed_elem_string_value() {
+        let d = doc();
+        let e = Item::Elem(ConstructedElem {
+            name: "result".into(),
+            children: vec![Item::Str("a".into()), Item::Num(1.0)],
+        });
+        assert_eq!(e.string_value(&d), "a1");
+    }
+}

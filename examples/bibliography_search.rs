@@ -1,0 +1,71 @@
+//! The nine XMP-derived search tasks against the DBLP-shaped corpus:
+//! NaLIX vs. the Meet-based keyword-search baseline, with per-task
+//! precision and recall — a single-user dry run of the paper's study.
+//!
+//! ```console
+//! $ cargo run --release --example bibliography_search
+//! ```
+
+use nalix_repro::keyword::KeywordEngine;
+use nalix_repro::nalix::{Nalix, Outcome};
+use nalix_repro::userstudy::metrics::precision_recall;
+use nalix_repro::userstudy::phrasings::{keyword_pool, nl_pool, PoolKind};
+use nalix_repro::userstudy::tasks::ALL_TASKS;
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+
+fn main() {
+    let doc = generate(&DblpConfig::default());
+    println!(
+        "Corpus: DBLP-shaped, {} nodes ({} books, {} articles)\n",
+        doc.stats().total_nodes(),
+        doc.nodes_labeled("book").len(),
+        doc.nodes_labeled("article").len()
+    );
+    let nalix = Nalix::new(&doc);
+    let kw = KeywordEngine::new(&doc);
+
+    println!(
+        "{:<5} {:>9} {:>9}   {:>9} {:>9}   task",
+        "", "NaLIX P", "NaLIX R", "kw P", "kw R"
+    );
+    for tid in ALL_TASKS {
+        let task = tid.task();
+        let gold = task.gold(&doc);
+
+        // NaLIX: the first Good phrasing from the study pool.
+        let phrasing = nl_pool(tid)
+            .into_iter()
+            .find(|p| p.kind == PoolKind::Good)
+            .expect("every task has a good phrasing");
+        let nalix_score = match nalix.query(phrasing.text) {
+            Outcome::Translated(t) => {
+                let seq = nalix.execute(&t).expect("evaluation");
+                precision_recall(&nalix.flatten_values(&seq), &gold)
+            }
+            Outcome::Rejected(r) => {
+                eprintln!("{}: rejected: {:?}", tid.label(), r.errors);
+                continue;
+            }
+        };
+
+        // Keyword search: the first pool query.
+        let kq = keyword_pool(tid)[0];
+        let hits = kw.search(kq);
+        let kw_score = precision_recall(&kw.answer_values(&hits), &gold);
+
+        println!(
+            "{:<5} {:>8.1}% {:>8.1}%   {:>8.1}% {:>8.1}%   {}",
+            tid.label(),
+            100.0 * nalix_score.precision,
+            100.0 * nalix_score.recall,
+            100.0 * kw_score.precision,
+            100.0 * kw_score.recall,
+            task.description
+        );
+    }
+
+    println!(
+        "\n(NL phrasings and keyword queries come from the user-study pools;\n\
+         run `cargo run --release -p bench --bin fig12` for the full 18-participant study.)"
+    );
+}

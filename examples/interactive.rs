@@ -1,0 +1,95 @@
+//! An interactive natural-language query shell.
+//!
+//! Loads an XML file (or the built-in movies database when no path is
+//! given) and answers English queries, showing the translated
+//! Schema-Free XQuery, warnings, and the interactive error feedback the
+//! paper describes in Sec. 4.
+//!
+//! ```console
+//! $ cargo run --example interactive [path/to/file.xml]
+//! > Return the director of the movie, where the title of the movie is "Traffic".
+//! ```
+//!
+//! Commands: `:labels` lists element names, `:xml` dumps the document,
+//! `:quit` exits.
+
+use nalix_repro::nalix::{Nalix, Outcome};
+use nalix_repro::xmldb::datasets::movies::movies_and_books;
+use nalix_repro::xmldb::Document;
+use nalix_repro::xquery::pretty::pretty;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let doc = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            Document::parse_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+        }
+        None => {
+            println!("(no file given — using the built-in movies+books database)");
+            movies_and_books()
+        }
+    };
+    println!(
+        "Loaded {} nodes; element names: {}",
+        doc.len(),
+        doc.labels().join(", ")
+    );
+    println!("Type an English query, or :labels / :xml / :quit.\n");
+
+    let nalix = Nalix::new(&doc);
+    let stdin = std::io::stdin();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ":quit" | ":q" => break,
+            ":labels" => {
+                println!("{}", doc.labels().join(", "));
+                continue;
+            }
+            ":xml" => {
+                println!("{}", doc.to_xml(doc.root()));
+                continue;
+            }
+            _ => {}
+        }
+        match nalix.query(line) {
+            Outcome::Translated(t) => {
+                for w in &t.warnings {
+                    println!("{w}");
+                }
+                println!("XQuery:\n{}", pretty(&t.translation.query));
+                match nalix.execute(&t) {
+                    Ok(seq) => {
+                        let values = nalix.flatten_values(&seq);
+                        println!("── {} value(s):", values.len());
+                        for v in values.iter().take(50) {
+                            println!("  • {v}");
+                        }
+                        if values.len() > 50 {
+                            println!("  … and {} more", values.len() - 50);
+                        }
+                    }
+                    Err(e) => println!("evaluation error: {e}"),
+                }
+            }
+            Outcome::Rejected(r) => {
+                for e in &r.errors {
+                    println!("{e}");
+                }
+                for w in &r.warnings {
+                    println!("{w}");
+                }
+            }
+        }
+        println!();
+    }
+}

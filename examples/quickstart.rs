@@ -1,0 +1,51 @@
+//! Quickstart: load the paper's Figure 1 movies database and ask it
+//! questions in English.
+//!
+//! ```console
+//! $ cargo run --example quickstart
+//! ```
+
+use nalix_repro::nalix::{Nalix, Outcome};
+use nalix_repro::xmldb::datasets::movies::movies;
+use nalix_repro::xquery::pretty::pretty;
+
+fn main() {
+    let doc = movies();
+    println!("Database: the movies collection of the paper's Figure 1\n");
+    println!("{}", doc.to_xml(doc.root()));
+
+    let nalix = Nalix::new(&doc);
+    let questions = [
+        "Find all the movies directed by Ron Howard.",
+        "Return the director of the movie, where the title of the movie is \"Traffic\".",
+        "Return the total number of movies, where the director of each movie is Ron Howard.",
+        "Return every director, where the number of movies directed by the director \
+         is the same as the number of movies directed by Ron Howard.",
+    ];
+
+    for q in questions {
+        println!("──────────────────────────────────────────────────");
+        println!("Q: {q}\n");
+        match nalix.query(q) {
+            Outcome::Translated(t) => {
+                println!("translated to Schema-Free XQuery:\n{}\n", pretty(&t.translation.query));
+                for w in &t.warnings {
+                    println!("  {w}");
+                }
+                let results = nalix.execute(&t).expect("evaluation");
+                let values = nalix.flatten_values(&results);
+                println!("answers ({}):", values.len());
+                for v in values {
+                    println!("  • {v}");
+                }
+            }
+            Outcome::Rejected(r) => {
+                println!("rejected:");
+                for e in &r.errors {
+                    println!("  {e}");
+                }
+            }
+        }
+        println!();
+    }
+}

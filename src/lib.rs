@@ -1,0 +1,12 @@
+//! Umbrella crate for the NaLIX reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use
+//! a single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory and experiment index.
+
+pub use keyword;
+pub use nalix;
+pub use nlparser;
+pub use userstudy;
+pub use xmldb;
+pub use xquery;

@@ -1,0 +1,225 @@
+//! Integration tests: the full pipeline (nlparser → nalix → xquery →
+//! xmldb) across crates, exercising the public API exactly as the
+//! examples do.
+
+use nalix_repro::nalix::{Nalix, Outcome};
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+use nalix_repro::xmldb::datasets::movies::{movies, movies_and_books};
+use nalix_repro::xmldb::Document;
+
+#[test]
+fn movies_quickstart_flow() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let out = nalix.ask("Find all the movies directed by Ron Howard.").unwrap();
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn reformulation_loop_as_in_the_paper() {
+    // Query 1 → rejection with "the same as" → Query 2 → answer.
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+
+    let rejected = nalix
+        .ask("Return every director who has directed as many movies as has Ron Howard.")
+        .unwrap_err();
+    let suggestion = rejected
+        .errors
+        .iter()
+        .map(|e| e.message())
+        .find(|m| m.contains("the same as"))
+        .expect("the paper's suggestion");
+    assert!(suggestion.contains("\"as\""));
+
+    let mut answers = nalix
+        .ask(
+            "Return every director, where the number of movies directed by the \
+             director is the same as the number of movies directed by Ron Howard.",
+        )
+        .unwrap();
+    answers.sort();
+    answers.dedup();
+    assert_eq!(answers, vec!["Ron Howard", "Steven Soderbergh"]);
+}
+
+#[test]
+fn query3_needs_the_books_branch() {
+    // Without books in the database, the title join finds nothing…
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let q = "Return the directors of movies, where the title of each movie is \
+             the same as the title of a book.";
+    // "book" does not exist in the movies-only database → term expansion
+    // error.
+    assert!(nalix.ask(q).is_err());
+
+    // …with the books branch, Steven Soderbergh ("Traffic").
+    let doc = movies_and_books();
+    let nalix = Nalix::new(&doc);
+    let mut answers = nalix.ask(q).unwrap();
+    answers.sort();
+    answers.dedup();
+    assert_eq!(answers, vec!["Steven Soderbergh"]);
+}
+
+#[test]
+fn dblp_selection_with_implicit_name_tokens() {
+    let doc = generate(&DblpConfig::small());
+    let nalix = Nalix::new(&doc);
+    let answers = nalix
+        .ask("Return the title of every book published by Addison-Wesley after 1991.")
+        .unwrap();
+    assert!(answers.contains(&"TCP/IP Illustrated".to_owned()));
+    assert!(!answers.contains(&"Smalltalk-80: The Language".to_owned()));
+}
+
+#[test]
+fn aggregation_nesting_grouping() {
+    let doc = Document::parse_str(
+        "<bib>\
+         <book><title>A</title><price>10</price></book>\
+         <book><title>B</title><price>30</price></book>\
+         <book><title>C</title><price>20</price></book>\
+         </bib>",
+    )
+    .unwrap();
+    let nalix = Nalix::new(&doc);
+    // global minimum — flatten the returned book subtree into its
+    // element values
+    let out = match nalix.query("Return the book with the lowest price.") {
+        Outcome::Translated(t) => nalix.flatten_values(&nalix.execute(&t).unwrap()),
+        Outcome::Rejected(r) => panic!("{:?}", r.errors),
+    };
+    assert_eq!(out, vec!["A", "10"]);
+    // per-book minimum (trivially each book's own price)
+    let out = nalix.ask("Return the lowest price for each book.").unwrap();
+    assert_eq!(out, vec!["10", "30", "20"]);
+}
+
+#[test]
+fn sorting_is_applied() {
+    let doc = generate(&DblpConfig::small());
+    let nalix = Nalix::new(&doc);
+    let out = nalix
+        .ask("Return the title of every book, sorted by title.")
+        .unwrap();
+    let mut sorted = out.clone();
+    sorted.sort_by_key(|a| a.to_lowercase());
+    assert_eq!(out.len(), sorted.len());
+    // case-insensitive compare: engine sorts by string value
+    let lower: Vec<String> = out.iter().map(|s| s.to_lowercase()).collect();
+    let mut lower_sorted = lower.clone();
+    lower_sorted.sort();
+    assert_eq!(lower, lower_sorted);
+}
+
+#[test]
+fn warnings_surface_but_do_not_block() {
+    let doc = generate(&DblpConfig::small());
+    let nalix = Nalix::new(&doc);
+    match nalix.query("Return all books and their titles.") {
+        Outcome::Translated(t) => assert!(
+            t.warnings.iter().any(|w| w.message().contains("pronoun")),
+            "{:?}",
+            t.warnings
+        ),
+        Outcome::Rejected(r) => panic!("{:?}", r.errors),
+    }
+}
+
+#[test]
+fn thesaurus_bridges_vocabulary() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    // "film" is not an element name; WordNet-style expansion maps it to
+    // movie.
+    let out = nalix
+        .ask("Return the title of each film, where the director of the film is \"Peter Jackson\".")
+        .unwrap();
+    assert_eq!(out, vec!["The Lord of the Rings"]);
+}
+
+#[test]
+fn no_such_value_feedback() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let err = nalix
+        .ask("Find all the movies directed by Stanley Kubrick.")
+        .unwrap_err();
+    assert!(err
+        .errors
+        .iter()
+        .any(|e| e.message().contains("Stanley Kubrick")));
+}
+
+#[test]
+fn schema_free_query_survives_schema_inversion() {
+    // The same English question answered over two opposite schemas —
+    // the core promise of Schema-Free XQuery (paper Sec. 2).
+    let q = "Return the title of the movie, where the director of the movie is \"Kira\".";
+
+    let normal = Document::parse_str(
+        "<movies><movie><title>Alpha</title><director>Kira</director></movie>\
+         <movie><title>Beta</title><director>Lee</director></movie></movies>",
+    )
+    .unwrap();
+    let inverted = Document::parse_str(
+        "<movies><director>Kira<movie><title>Alpha</title></movie></director>\
+         <director>Lee<movie><title>Beta</title></movie></director></movies>",
+    )
+    .unwrap();
+
+    for doc in [normal, inverted] {
+        let nalix = Nalix::new(&doc);
+        let out = nalix.ask(q).unwrap();
+        assert_eq!(out, vec!["Alpha"], "schema variant failed");
+    }
+}
+
+#[test]
+fn extension_value_disjunction() {
+    // Paper Sec. 7 lists disjunction as future work; supported here.
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let out = nalix
+        .ask("Find all the movies directed by \"Peter Jackson\" or \"Steven Soderbergh\".")
+        .unwrap();
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
+fn extension_name_disjunction() {
+    let doc = generate(&DblpConfig::small());
+    let nalix = Nalix::new(&doc);
+    let out = nalix
+        .ask("Return the title of every book or article.")
+        .unwrap();
+    assert_eq!(out.len(), doc.nodes_labeled("title").len());
+}
+
+#[test]
+fn extension_multi_sentence_query() {
+    // Paper Sec. 7 lists multi-sentence queries as future work.
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let out = nalix
+        .ask("Return the director of the movie. The title of the movie is \"Traffic\".")
+        .unwrap();
+    assert_eq!(out, vec!["Steven Soderbergh"]);
+}
+
+#[test]
+fn execute_after_translate_is_idempotent() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    match nalix.query("Return the title of each movie.") {
+        Outcome::Translated(t) => {
+            let a = nalix.execute(&t).unwrap();
+            let b = nalix.execute(&t).unwrap();
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), 5);
+        }
+        Outcome::Rejected(r) => panic!("{:?}", r.errors),
+    }
+}

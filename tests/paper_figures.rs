@@ -1,0 +1,200 @@
+//! Golden tests against the paper's published artifacts: the parse
+//! trees of Figures 2, 3 and 10, the variable bindings of Table 3, the
+//! translation of Figure 9, and the worked behaviour claims of
+//! Sec. 3.2.3.
+
+use nalix_repro::nalix::{
+    binding::bind, catalog::Catalog, classify::classify, validate::validate, Nalix, Outcome,
+};
+use nalix_repro::nlparser;
+use nalix_repro::xmldb::datasets::movies::{movies, movies_and_books};
+use nalix_repro::xquery::pretty::pretty;
+
+const QUERY1: &str =
+    "Return every director who has directed as many movies as has Ron Howard.";
+const QUERY2: &str = "Return every director, where the number of movies directed by the \
+                      director is the same as the number of movies directed by Ron Howard.";
+const QUERY3: &str = "Return the directors of movies, where the title of each movie is the \
+                      same as the title of a book.";
+
+/// Figure 2: the classified parse tree of Query 2.
+#[test]
+fn figure2_classified_tree() {
+    let doc = movies();
+    let catalog = Catalog::build(&doc);
+    let v = validate(classify(&nlparser::parse(QUERY2).unwrap()), &catalog);
+    assert!(v.is_valid(), "{:?}", v.feedback);
+    let outline = v.tree.outline();
+    // Structure asserted line-wise: CMT root, QT under director, OT with
+    // two FT children, CM chains, implicit NT above "Ron Howard".
+    assert!(outline.starts_with("Return [CMT]"), "{outline}");
+    assert!(outline.contains("every [QT]"), "{outline}");
+    assert!(outline.contains("is the same as [OT:=]"), "{outline}");
+    assert_eq!(outline.matches("the number of [FT:count]").count(), 2);
+    assert_eq!(outline.matches("directed [CM]").count(), 2);
+    assert!(outline.contains("[director] [NT(implicit)]"), "{outline}");
+    assert!(outline.contains("Ron Howard [VT]"), "{outline}");
+}
+
+/// Figure 10: Query 1 has unclassifiable "as" nodes, and the feedback
+/// suggests "the same as".
+#[test]
+fn figure10_query1_rejected_with_suggestion() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    match nalix.query(QUERY1) {
+        Outcome::Rejected(r) => {
+            let m = r
+                .errors
+                .iter()
+                .map(|e| e.message())
+                .collect::<Vec<_>>()
+                .join("\n");
+            assert!(m.contains("\"as\""), "{m}");
+            assert!(m.contains("the same as"), "{m}");
+        }
+        Outcome::Translated(_) => panic!("Query 1 must be rejected"),
+    }
+}
+
+/// Table 3: the variable bindings of Query 2 — four variables; the
+/// explicit director pair shares one core-token variable; both director
+/// variables are cores (the paper's `$v*` mark).
+#[test]
+fn table3_variable_bindings() {
+    let doc = movies();
+    let catalog = Catalog::build(&doc);
+    let v = validate(classify(&nlparser::parse(QUERY2).unwrap()), &catalog);
+    assert!(v.is_valid());
+    let b = bind(&v.tree);
+    assert_eq!(b.vars.len(), 4, "{:?}", b.vars);
+    let directors: Vec<_> = b.vars.iter().filter(|v| v.display == "director").collect();
+    let movies_: Vec<_> = b.vars.iter().filter(|v| v.display == "movie").collect();
+    assert_eq!(directors.len(), 2);
+    assert_eq!(movies_.len(), 2);
+    assert!(directors.iter().all(|v| v.core), "directors are $v*");
+    assert!(movies_.iter().all(|v| !v.core));
+    // $v1 binds NT nodes 2 and 7 of the paper's numbering — i.e. two
+    // nodes; $v4 binds the single implicit NT.
+    let explicit = directors.iter().find(|v| !v.implicit).unwrap();
+    assert_eq!(explicit.nodes.len(), 2);
+    let implicit = directors.iter().find(|v| v.implicit).unwrap();
+    assert_eq!(implicit.nodes.len(), 1);
+    // Table 3's "Related To": each movie variable is related to one
+    // director variable (groups of two).
+    assert_eq!(b.groups.len(), 2);
+    assert!(b.groups.iter().all(|g| g.len() == 2));
+}
+
+/// Figure 9: the full translation of Query 2 — two outer director
+/// variables, two aggregate lets each containing a movie/director pair
+/// with an mqf clause and a value join, a count comparison and the
+/// constant predicate, returning the first director.
+#[test]
+fn figure9_translation_shape_and_answer() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let t = match nalix.query(QUERY2) {
+        Outcome::Translated(t) => t,
+        Outcome::Rejected(r) => panic!("{:?}", r.errors),
+    };
+    let text = pretty(&t.translation.query);
+
+    let expected = "\
+for $v1 in doc()//director, $v4 in doc()//director
+let $vars1 := {
+  for $v2 in doc()//movie, $v5 in doc()//director
+  where mqf($v2,$v5) and $v5 = $v1
+  return $v2
+}
+let $vars2 := {
+  for $v3 in doc()//movie, $v6 in doc()//director
+  where mqf($v3,$v6) and $v6 = $v4
+  return $v3
+}
+where count($vars1) = count($vars2) and $v4 = \"Ron Howard\"
+return $v1";
+    assert_eq!(text.trim(), expected.trim());
+
+    let out = nalix.execute(&t).unwrap();
+    let mut names = nalix.flatten_values(&out);
+    names.sort();
+    names.dedup();
+    assert_eq!(names, vec!["Ron Howard", "Steven Soderbergh"]);
+}
+
+/// Figure 3 / Sec. 3.2.1: Query 3's related sets are {director, movie,
+/// title, movie} and {title, book}, and the answer is the director of
+/// the movie whose title is also a book title.
+#[test]
+fn figure3_query3_related_sets_and_answer() {
+    let doc = movies_and_books();
+    let catalog = Catalog::build(&doc);
+    let v = validate(classify(&nlparser::parse(QUERY3).unwrap()), &catalog);
+    assert!(v.is_valid(), "{:?}", v.feedback);
+    let b = bind(&v.tree);
+    assert_eq!(b.groups.len(), 2);
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = b.groups.iter().map(|g| g.len()).collect();
+        s.sort();
+        s
+    };
+    assert_eq!(sizes, vec![2, 3]); // {title,book} and {director,movie,title}
+
+    let nalix = Nalix::new(&doc);
+    let mut out = nalix.ask(QUERY3).unwrap();
+    out.sort();
+    out.dedup();
+    assert_eq!(out, vec!["Steven Soderbergh"]);
+}
+
+/// Sec. 3.2.3's motivating pair: "Return the lowest price for each
+/// book" groups per book; "Return the book with the lowest price"
+/// aggregates over all books.
+#[test]
+fn section323_aggregate_scopes() {
+    let doc = nalix_repro::xmldb::Document::parse_str(
+        "<bib>\
+         <book><title>Costly</title><price>90</price></book>\
+         <book><title>Cheap</title><price>15</price></book>\
+         </bib>",
+    )
+    .unwrap();
+    let nalix = Nalix::new(&doc);
+
+    let per_book = nalix.ask("Return the lowest price for each book.").unwrap();
+    assert_eq!(per_book, vec!["90", "15"]);
+
+    // `ask` atomizes the returned book node (title+price concatenated).
+    let global = nalix.ask("Return the book with the lowest price.").unwrap();
+    assert_eq!(global, vec!["Cheap15"]);
+}
+
+/// Sec. 3.2.3's other worked example: "Return the total number of
+/// movies, where the director of each movie is Ron Howard" — the inner
+/// scope keeps the condition inside the count.
+#[test]
+fn section323_inner_scope_count() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let out = nalix
+        .ask(
+            "Return the total number of movies, where the director of each movie \
+             is Ron Howard.",
+        )
+        .unwrap();
+    assert!(!out.is_empty());
+    assert!(out.iter().all(|v| v == "2"), "{out:?}");
+}
+
+/// Sec. 4's worked example: "Find all the movies directed by director
+/// Ron Howard" — apposition, no implicit NT needed.
+#[test]
+fn section4_apposition_example() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let out = nalix
+        .ask("Find all the movies directed by director Ron Howard.")
+        .unwrap();
+    assert_eq!(out.len(), 2); // the two Ron Howard movies
+}
