@@ -1,0 +1,62 @@
+//! Batch-throughput benchmarks: the nine XMP tasks on a shared `Nalix`
+//! across thread-pool sizes, plus the translation cache in isolation.
+//!
+//! Complements the `batch` binary (which measures one large batch and
+//! verifies parallel/serial agreement); these benches take repeated
+//! samples of smaller batches for variance-aware numbers.
+
+use bench::{corpus, xmp_questions};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nalix::{BatchRunner, Nalix};
+
+fn bench_batch_threads(c: &mut Criterion) {
+    let doc = corpus(4);
+    let nalix = Nalix::new(&doc);
+    let questions: Vec<&str> = xmp_questions().iter().map(|(_, q)| *q).collect();
+    // Warm both caches so the samples measure steady-state evaluation.
+    for q in &questions {
+        let _ = nalix.ask(q);
+    }
+    let mut g = c.benchmark_group("batch/xmp9");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let runner = BatchRunner::new(&nalix, threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let replies = runner.run(black_box(&questions));
+                black_box(replies.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_translation_cache(c: &mut Criterion) {
+    let doc = corpus(1);
+    let questions = xmp_questions();
+    let mut g = c.benchmark_group("batch/translation-cache");
+    g.bench_function("cold", |b| {
+        let nalix = Nalix::new(&doc);
+        b.iter(|| {
+            nalix.clear_cache();
+            for (_, q) in &questions {
+                black_box(nalix.query(black_box(q)).is_translated());
+            }
+        })
+    });
+    g.bench_function("warm", |b| {
+        let nalix = Nalix::new(&doc);
+        for (_, q) in &questions {
+            let _ = nalix.query(q);
+        }
+        b.iter(|| {
+            for (_, q) in &questions {
+                black_box(nalix.query(black_box(q)).is_translated());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_threads, bench_translation_cache);
+criterion_main!(benches);

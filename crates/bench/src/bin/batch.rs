@@ -1,0 +1,107 @@
+//! Batch-throughput scaling experiment: the nine XMP user-study tasks
+//! evaluated over the paper-scale DBLP corpus (~73k nodes), serially
+//! and on 2/4/8-thread pools sharing one `Nalix` instance.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin batch [--quick]
+//! ```
+//!
+//! Every parallel run's replies are checked to be identical to the
+//! serial run's, query by query — parallelism here is a scheduling
+//! change only, never a semantic one. The program exits non-zero if
+//! any reply diverges.
+
+use nalix::{BatchReply, BatchRunner, Nalix};
+use std::time::Instant;
+
+/// Render a reply so divergence checks compare full content.
+fn render(reply: &BatchReply) -> String {
+    match reply {
+        Ok(values) => format!("ok:{}", values.join("\u{1f}")),
+        Err(r) => format!(
+            "rejected:{}",
+            r.errors
+                .iter()
+                .map(|f| f.message())
+                .collect::<Vec<_>>()
+                .join("\u{1f}")
+        ),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let repeats = if quick { 4 } else { 20 };
+
+    eprintln!("generating the paper-scale DBLP corpus …");
+    let doc = bench::paper_corpus();
+    let nalix = Nalix::new(&doc);
+
+    // The nine tasks, tiled `repeats` times — a 9×repeats-query batch.
+    let tasks = bench::xmp_questions();
+    let questions: Vec<&str> = (0..repeats)
+        .flat_map(|_| tasks.iter().map(|(_, q)| *q))
+        .collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "batch of {} queries (9 XMP tasks × {repeats}) over {} nodes, \
+         {cores} hardware thread(s)",
+        questions.len(),
+        doc.len()
+    );
+    if cores < 8 {
+        eprintln!(
+            "note: fewer than 8 hardware threads — speedups will be capped \
+             near {cores}×; the replies-identical check still runs"
+        );
+    }
+
+    // Warm the translation cache and the engine's value index once so
+    // every timed configuration faces the same steady-state system.
+    for (_, q) in &tasks {
+        let _ = nalix.ask(q);
+    }
+
+    let serial_runner = BatchRunner::new(&nalix, 1);
+    let t0 = Instant::now();
+    let serial = serial_runner.run(&questions);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let qps = questions.len() as f64 / serial_s;
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>8}",
+        "threads", "wall (s)", "queries/s", "speedup"
+    );
+    println!("{:>8}  {:>10.3}  {:>10.1}  {:>8.2}", 1, serial_s, qps, 1.0);
+
+    let mut failed = false;
+    for threads in [2usize, 4, 8] {
+        let runner = BatchRunner::new(&nalix, threads);
+        let t0 = Instant::now();
+        let replies = runner.run(&questions);
+        let secs = t0.elapsed().as_secs_f64();
+        let identical = replies.len() == serial.len()
+            && replies
+                .iter()
+                .zip(&serial)
+                .all(|(a, b)| render(a) == render(b));
+        if !identical {
+            eprintln!("!! replies diverged from serial at {threads} threads");
+            failed = true;
+        }
+        println!(
+            "{:>8}  {:>10.3}  {:>10.1}  {:>8.2}{}",
+            threads,
+            secs,
+            questions.len() as f64 / secs,
+            serial_s / secs,
+            if identical { "" } else { "  DIVERGED" }
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

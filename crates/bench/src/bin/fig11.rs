@@ -29,7 +29,9 @@ fn main() {
 
     if csv {
         // Machine-readable series for replotting the figure.
-        println!("task,avg_time_s,se_time_s,avg_iterations,se_iterations,max_iterations,min_iterations");
+        println!(
+            "task,avg_time_s,se_time_s,avg_iterations,se_iterations,max_iterations,min_iterations"
+        );
         for r in &results.fig11 {
             println!(
                 "{},{:.2},{:.2},{:.3},{:.3},{},{}",
@@ -86,7 +88,11 @@ fn main() {
     );
     println!(
         "tasks where some participant succeeded on the first attempt: {}/9 (paper: 9/9)",
-        results.fig11.iter().filter(|r| r.min_iterations == 0).count()
+        results
+            .fig11
+            .iter()
+            .filter(|r| r.min_iterations == 0)
+            .count()
     );
     println!(
         "simulated satisfaction: {:.2}/5   (paper questionnaire: 4.11/5)",

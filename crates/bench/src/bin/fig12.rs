@@ -68,8 +68,16 @@ fn main() {
     let nr = avg(results.fig12.iter().map(|r| r.nalix_r).collect());
     let kp = avg(results.fig12.iter().map(|r| r.keyword_p).collect());
     let kr = avg(results.fig12.iter().map(|r| r.keyword_r).collect());
-    let worst_p = results.fig12.iter().map(|r| r.nalix_p).fold(1.0f64, f64::min);
-    let worst_r = results.fig12.iter().map(|r| r.nalix_r).fold(1.0f64, f64::min);
+    let worst_p = results
+        .fig12
+        .iter()
+        .map(|r| r.nalix_p)
+        .fold(1.0f64, f64::min);
+    let worst_r = results
+        .fig12
+        .iter()
+        .map(|r| r.nalix_r)
+        .fold(1.0f64, f64::min);
     let perfect_recall = results.fig12.iter().filter(|r| r.nalix_r > 0.999).count();
 
     println!();

@@ -18,6 +18,23 @@ pub const BENCH_QUERIES: [&str; 7] = [
     "Find all titles that contain \"XML\".",
 ];
 
+/// The canonical accepted English phrasing of each of the nine XMP
+/// user-study tasks, as `(task label, question)` pairs in paper order —
+/// the workload of the batch-throughput bench and the `batch` binary.
+pub fn xmp_questions() -> Vec<(&'static str, &'static str)> {
+    userstudy::tasks::ALL_TASKS
+        .iter()
+        .map(|t| {
+            let q = userstudy::phrasings::nl_pool(*t)
+                .into_iter()
+                .find(|p| p.kind == userstudy::phrasings::PoolKind::Good)
+                .expect("every XMP task has an accepted phrasing")
+                .text;
+            (t.label(), q)
+        })
+        .collect()
+}
+
 /// A DBLP corpus scaled by a factor over the test-size config
 /// (`scale = 1` ≈ 360 entries; `scale = 20` ≈ paper scale).
 pub fn corpus(scale: usize) -> Document {
@@ -53,5 +70,19 @@ mod tests {
     #[test]
     fn corpus_scales() {
         assert!(corpus(2).len() > corpus(1).len());
+    }
+
+    #[test]
+    fn xmp_questions_cover_all_nine_tasks_and_translate() {
+        let qs = xmp_questions();
+        assert_eq!(qs.len(), 9);
+        let doc = corpus(1);
+        let nalix = Nalix::new(&doc);
+        for (label, q) in qs {
+            assert!(
+                matches!(nalix.query(q), Outcome::Translated(_)),
+                "{label} phrasing must translate: {q}"
+            );
+        }
     }
 }

@@ -1,0 +1,239 @@
+//! A vendored, dependency-free stand-in for the subset of the
+//! `criterion` benchmark-harness API this workspace uses.
+//!
+//! The build environment cannot fetch crates.io, so the real criterion
+//! is unavailable; this shim keeps every `benches/*.rs` file
+//! source-compatible and still produces honest wall-clock numbers:
+//! each benchmark is warmed up, then timed over enough iterations to
+//! fill a small time budget, and the mean ± spread is printed.
+//!
+//! Environment knobs:
+//! - `BENCH_BUDGET_MS` — per-benchmark measurement budget (default 300).
+//! - `BENCH_WARMUP_MS` — warm-up budget (default 100).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    result_ns: f64,
+    /// Spread (max − min sample mean) in nanoseconds.
+    spread_ns: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            warmup: env_ms("BENCH_WARMUP_MS", 100),
+            budget: env_ms("BENCH_BUDGET_MS", 300),
+            result_ns: 0.0,
+            spread_ns: 0.0,
+        }
+    }
+
+    /// Time the closure: warm up, then sample until the budget is
+    /// spent, recording the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, until the warm-up budget is used.
+        let t0 = Instant::now();
+        loop {
+            black_box(f());
+            if t0.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Choose a batch size so one batch is ~1/10 of the budget.
+        let probe = Instant::now();
+        black_box(f());
+        let per_call = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = ((self.budget.as_nanos() / 10 / per_call.as_nanos()).max(1)) as u64;
+
+        let mut means: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget || means.is_empty() {
+            let b0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            means.push(b0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(0.0f64, f64::max);
+        self.result_ns = mean;
+        self.spread_ns = max - min;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    println!(
+        "{id:<50} time: {:>10}   (± {})",
+        human(b.result_ns),
+        human(b.spread_ns)
+    );
+}
+
+/// Identifier for a parameterised benchmark, `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (`from_parameter` in real criterion).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time
+    /// budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Close the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("BENCH_WARMUP_MS", "1");
+        std::env::set_var("BENCH_BUDGET_MS", "5");
+        let mut b = Bencher::new();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("scan", 42).to_string(), "scan/42");
+    }
+}

@@ -101,8 +101,7 @@ impl<'d> KeywordEngine<'d> {
                     counts[merged[lo].1] -= 1;
                     lo += 1;
                 }
-                let window: Vec<NodeId> =
-                    merged[lo..=hi].iter().map(|&(_, _, n)| n).collect();
+                let window: Vec<NodeId> = merged[lo..=hi].iter().map(|&(_, _, n)| n).collect();
                 candidates.push(doc.lca_all(&window));
             }
         }
@@ -239,10 +238,9 @@ mod tests {
 
     #[test]
     fn deeper_meet_beats_shallower() {
-        let d = xmldb::Document::parse_str(
-            "<r><a><x>k1</x></a><b><x>k1</x><y>k2</y></b><y>k2</y></r>",
-        )
-        .unwrap();
+        let d =
+            xmldb::Document::parse_str("<r><a><x>k1</x></a><b><x>k1</x><y>k2</y></b><y>k2</y></r>")
+                .unwrap();
         let e = KeywordEngine::new(&d);
         let hits = e.search("k1 k2");
         assert_eq!(hits.len(), 1);

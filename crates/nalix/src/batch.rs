@@ -1,0 +1,142 @@
+//! Parallel evaluation of independent natural language queries.
+//!
+//! [`Nalix`] is `Send + Sync` — the document and catalog are immutable
+//! and both caches (translation outcomes, the engine's value index) are
+//! internally synchronized — so a single instance can serve a whole
+//! thread pool. [`BatchRunner`] exploits that: it fans a batch of
+//! questions out over `threads` OS threads with a shared atomic cursor
+//! (cheap dynamic load balancing; query costs vary wildly between a
+//! rejected sentence and a quantified join) and returns the replies in
+//! input order. Results are deterministic: each question's reply is
+//! bit-identical to what a serial [`Nalix::ask`] loop produces, because
+//! every stage of the pipeline is a pure function of the (immutable)
+//! document plus the sentence.
+//!
+//! [`Nalix`]: crate::Nalix
+//! [`Nalix::ask`]: crate::Nalix::ask
+
+use crate::{Nalix, Rejected};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The reply to one question of a batch: flat string results on
+/// success, the feedback the user would see on rejection (evaluation
+/// failures are folded into [`Rejected`], as in [`crate::Nalix::ask`]).
+pub type BatchReply = Result<Vec<String>, Rejected>;
+
+/// Evaluates batches of independent questions on a thread pool sharing
+/// one [`Nalix`] instance.
+///
+/// ```
+/// use nalix::{BatchRunner, Nalix};
+/// use xmldb::datasets::movies::movies;
+///
+/// let doc = movies();
+/// let nalix = Nalix::new(&doc);
+/// let runner = BatchRunner::new(&nalix, 4);
+/// let replies = runner.run(&[
+///     "Find all the movies directed by Ron Howard.",
+///     "The weather is nice today.",
+/// ]);
+/// assert!(replies[0].is_ok());
+/// assert!(replies[1].is_err());
+/// ```
+pub struct BatchRunner<'n, 'd> {
+    nalix: &'n Nalix<'d>,
+    threads: usize,
+}
+
+impl<'n, 'd> BatchRunner<'n, 'd> {
+    /// A runner using `threads` worker threads (clamped to at least 1).
+    pub fn new(nalix: &'n Nalix<'d>, threads: usize) -> Self {
+        BatchRunner {
+            nalix,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads this runner spawns.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Answer every question, replies in input order.
+    ///
+    /// Workers claim questions through a shared atomic cursor, so an
+    /// expensive query late in the batch does not serialise behind
+    /// cheap ones. With `threads == 1` this degenerates to the plain
+    /// serial loop (modulo one spawned thread).
+    pub fn run(&self, questions: &[&str]) -> Vec<BatchReply> {
+        let n = questions.len();
+        let slots: Vec<OnceLock<BatchReply>> = (0..n).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let reply = self.nalix.ask(questions[i]);
+                    slots[i].set(reply).expect("slot claimed twice");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker filled every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb::datasets::movies::movies;
+
+    const QUESTIONS: [&str; 4] = [
+        "Find all the movies directed by Ron Howard.",
+        "Return the director of the movie, where the title of the movie is \"Traffic\".",
+        "Return every director who has directed as many movies as has Ron Howard.",
+        "The weather is nice today.",
+    ];
+
+    #[test]
+    fn parallel_replies_match_serial() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let serial: Vec<BatchReply> = QUESTIONS.iter().map(|q| nalix.ask(q)).collect();
+        for threads in [1, 2, 8] {
+            let parallel = BatchRunner::new(&nalix, threads).run(&QUESTIONS);
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                match (p, s) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b),
+                    (Err(a), Err(b)) => {
+                        let msg = |r: &Rejected| -> Vec<String> {
+                            r.errors.iter().map(|f| f.message()).collect()
+                        };
+                        assert_eq!(msg(a), msg(b));
+                    }
+                    _ => panic!("parallel/serial outcome kind diverged"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        assert!(BatchRunner::new(&nalix, 8).run(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let runner = BatchRunner::new(&nalix, 0);
+        assert_eq!(runner.threads(), 1);
+        assert_eq!(runner.run(&["The weather."]).len(), 1);
+    }
+}

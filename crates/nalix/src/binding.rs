@@ -60,12 +60,7 @@ fn ft_or_qt_attached(tree: &ClassifiedTree, nt: usize) -> bool {
 
 /// Identical name tokens (Def. 8): equivalent, (indirectly) related,
 /// and free of attached FT/QT.
-fn identical(
-    tree: &ClassifiedTree,
-    sem: &Semantics,
-    a: usize,
-    b: usize,
-) -> bool {
+fn identical(tree: &ClassifiedTree, sem: &Semantics, a: usize, b: usize) -> bool {
     if a == b || !semantics::equivalent(tree, a, b) {
         return false;
     }
@@ -103,12 +98,11 @@ pub fn bind(tree: &ClassifiedTree) -> Binding {
     }
     for (i, &a) in sem.nts.iter().enumerate() {
         for &b in &sem.nts[i + 1..] {
-            let same_core =
-                sem.core[&a] && sem.core[&b] && semantics::equivalent(tree, a, b);
+            let same_core = sem.core[&a] && sem.core[&b] && semantics::equivalent(tree, a, b);
             // Disjunctive noun phrases ("every book or article") bind to
             // one variable over the union of names.
-            let disjunct = tree.node(b).rel == nlparser::DepRel::ConjOr
-                && tree.node(b).parent == Some(a);
+            let disjunct =
+                tree.node(b).rel == nlparser::DepRel::ConjOr && tree.node(b).parent == Some(a);
             if same_core || disjunct || identical(tree, &sem, a, b) {
                 let ra = find(&mut uf, a);
                 let rb = find(&mut uf, b);
@@ -240,17 +234,14 @@ mod tests {
             .collect();
         assert_eq!(director_vars.len(), 2, "{}\n{:?}", t.outline(), b.vars);
         assert_eq!(movie_vars.len(), 4); // 2 director + 2 movie
-        // the explicit-director variable binds two NT nodes
+                                         // the explicit-director variable binds two NT nodes
         let explicit = director_vars
             .iter()
             .find(|&&v| !b.vars[v].implicit)
             .unwrap();
         assert_eq!(b.vars[*explicit].nodes.len(), 2);
         assert!(b.vars[*explicit].core);
-        let implicit = director_vars
-            .iter()
-            .find(|&&v| b.vars[v].implicit)
-            .unwrap();
+        let implicit = director_vars.iter().find(|&&v| b.vars[v].implicit).unwrap();
         assert!(b.vars[*implicit].core);
         // groups: {explicit-director, movie1} and {implicit-director, movie2}
         assert_eq!(b.groups.len(), 2);
@@ -269,11 +260,7 @@ mod tests {
         );
         // variables: director, movie (merged core), title, title, book
         assert_eq!(b.vars.len(), 5, "{:?}", b.vars);
-        let movie_var = b
-            .vars
-            .iter()
-            .find(|v| v.display == "movie")
-            .unwrap();
+        let movie_var = b.vars.iter().find(|v| v.display == "movie").unwrap();
         assert_eq!(movie_var.nodes.len(), 2); // movie(4) ≡ movie(8): same core
         let title_vars = b.vars.iter().filter(|v| v.display == "title").count();
         assert_eq!(title_vars, 2); // equivalent but unrelated → separate
@@ -285,10 +272,8 @@ mod tests {
         // "the author and the titles of all books of the author" — the
         // two author NTs are equivalent, indirectly related, FT/QT-free
         // → one variable (Def. 8).
-        let doc = Document::parse_str(
-            "<bib><book><title>T</title><author>A</author></book></bib>",
-        )
-        .unwrap();
+        let doc = Document::parse_str("<bib><book><title>T</title><author>A</author></book></bib>")
+            .unwrap();
         let (_t, b) = bind_on(
             &doc,
             "Return the author and the titles of all books of the author.",
@@ -310,10 +295,8 @@ mod tests {
     fn ft_blocks_identity() {
         // Two "authors" NTs, one under a count FT → separate variables
         // (Def. 8 iii), but one variable group via the shared book core.
-        let doc = Document::parse_str(
-            "<bib><book><title>T</title><author>A</author></book></bib>",
-        )
-        .unwrap();
+        let doc = Document::parse_str("<bib><book><title>T</title><author>A</author></book></bib>")
+            .unwrap();
         let (_t, b) = bind_on(
             &doc,
             "Return the title and the authors of every book, where the number of \

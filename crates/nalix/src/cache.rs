@@ -1,0 +1,121 @@
+//! Engine-level translation cache.
+//!
+//! Parse → classify → validate → translate is pure: the outcome depends
+//! only on the sentence and the (immutable) catalog. Interactive use and
+//! the batch runner both resubmit the same handful of questions — the
+//! user-study tasks, dashboard-style canned queries — so [`Nalix`]
+//! memoises outcomes keyed by the *whitespace-normalized* question.
+//! Normalization deliberately stops there: NaLIX value terms are
+//! case-sensitive ("Ron Howard" must not collapse with "ron howard"),
+//! so only leading/trailing/internal whitespace runs are canonicalised.
+//!
+//! [`Nalix`]: crate::Nalix
+
+use crate::Outcome;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Hit/miss counters of a [`Nalix`](crate::Nalix) translation cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to run the full pipeline.
+    pub misses: u64,
+    /// Distinct normalized questions currently cached.
+    pub entries: usize,
+}
+
+/// Canonical cache key: whitespace runs collapsed to single spaces,
+/// leading/trailing whitespace dropped. Case is preserved.
+pub(crate) fn normalize(question: &str) -> String {
+    let mut out = String::with_capacity(question.len());
+    for word in question.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(word);
+    }
+    out
+}
+
+/// A concurrent memo table `normalized question → Outcome`.
+#[derive(Default)]
+pub(crate) struct TranslationCache {
+    map: RwLock<HashMap<String, Outcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TranslationCache {
+    pub(crate) fn get(&self, key: &str) -> Option<Outcome> {
+        let hit = self
+            .map
+            .read()
+            .expect("translation cache lock poisoned")
+            .get(key)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    pub(crate) fn insert(&self, key: String, outcome: Outcome) {
+        self.map
+            .write()
+            .expect("translation cache lock poisoned")
+            .insert(key, outcome);
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .map
+                .read()
+                .expect("translation cache lock poisoned")
+                .len(),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map
+            .write()
+            .expect("translation cache lock poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_whitespace_only() {
+        assert_eq!(normalize("  Find\tall \n movies  "), "Find all movies");
+        assert_eq!(normalize("Ron Howard"), "Ron Howard");
+        assert_ne!(normalize("Ron Howard"), normalize("ron howard"));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let c = TranslationCache::default();
+        assert!(c.get("q").is_none());
+        c.insert(
+            "q".to_owned(),
+            Outcome::Rejected(crate::Rejected {
+                errors: vec![],
+                warnings: vec![],
+            }),
+        );
+        assert!(c.get("q").is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+    }
+}

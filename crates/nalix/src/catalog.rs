@@ -167,10 +167,8 @@ mod tests {
 
     #[test]
     fn value_lookup_multiple_labels() {
-        let d = xmldb::Document::parse_str(
-            "<r><a>shared</a><b>shared</b><a>other</a></r>",
-        )
-        .unwrap();
+        let d =
+            xmldb::Document::parse_str("<r><a>shared</a><b>shared</b><a>other</a></r>").unwrap();
         let c = Catalog::build(&d);
         let mut hits = c.labels_for_value("shared");
         hits.sort();

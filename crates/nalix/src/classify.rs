@@ -214,9 +214,8 @@ mod tests {
 
     #[test]
     fn after_preposition_is_ot_gt() {
-        let t = classify_str(
-            "Return the title of every book published by Addison-Wesley after 1991.",
-        );
+        let t =
+            classify_str("Return the title of every book published by Addison-Wesley after 1991.");
         let after = find(&t, "after");
         assert_eq!(
             t.node(after).class,

@@ -70,8 +70,8 @@ impl Explanation {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<8} {:<24} {:<14} {}",
-            "Variable", "Associated Content", "Nodes", "Related To"
+            "{:<8} {:<24} {:<14} Related To",
+            "Variable", "Associated Content", "Nodes"
         );
         for row in &self.variables {
             let nodes = row
@@ -127,13 +127,9 @@ mod tests {
             .filter(|r| r.variable.ends_with('*'))
             .count();
         assert_eq!(stars, 2, "{e:?}"); // the two director variables
-        let contents: Vec<&str> =
-            e.variables.iter().map(|r| r.content.as_str()).collect();
+        let contents: Vec<&str> = e.variables.iter().map(|r| r.content.as_str()).collect();
         assert_eq!(
-            contents
-                .iter()
-                .filter(|c| c.contains("director"))
-                .count(),
+            contents.iter().filter(|c| c.contains("director")).count(),
             2
         );
         assert_eq!(contents.iter().filter(|c| c.contains("movie")).count(), 2);

@@ -124,9 +124,9 @@ impl Feedback {
                  cannot determine what kind of item it identifies. Please name the \
                  item explicitly (for example \"author {value}\")."
             ),
-            FeedbackKind::GrammarViolation { detail } => format!(
-                "The system could not understand the structure of your query: {detail}"
-            ),
+            FeedbackKind::GrammarViolation { detail } => {
+                format!("The system could not understand the structure of your query: {detail}")
+            }
             FeedbackKind::IncompleteComparison { operator } => format!(
                 "The comparison \"{operator}\" seems to be missing a value or item to \
                  compare against. Please complete it (for example \"... {operator} 1991\")."

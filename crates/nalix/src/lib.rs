@@ -55,7 +55,9 @@
 //! assert!(matches!(out, Outcome::Translated(_)));
 //! ```
 
+pub mod batch;
 pub mod binding;
+pub mod cache;
 pub mod catalog;
 pub mod classify;
 pub mod explain;
@@ -67,10 +69,13 @@ pub mod translate;
 pub mod validate;
 pub mod vocab;
 
+pub use batch::{BatchReply, BatchRunner};
+pub use cache::CacheStats;
 pub use feedback::{Feedback, FeedbackKind, Severity};
 pub use token::{ClassifiedTree, NodeClass, OpSem, QtKind, TokenType};
 pub use translate::{TranslateError, Translation};
 
+use cache::TranslationCache;
 use catalog::Catalog;
 use xmldb::Document;
 use xquery::{Engine, EvalError, Item, Sequence};
@@ -113,9 +118,20 @@ impl Outcome {
 
 /// The NaLIX system: a natural language query interface over one XML
 /// document.
+///
+/// `Nalix` is `Send + Sync`: the document and catalog are immutable and
+/// the two caches — translation outcomes here, the value index inside
+/// the persistent [`Engine`] — are internally synchronized. A single
+/// instance can therefore be shared by many threads; see
+/// [`BatchRunner`] for the fan-out harness.
 pub struct Nalix<'d> {
     doc: &'d Document,
     catalog: Catalog,
+    /// Persistent query engine: keeps its lazily built value index warm
+    /// across queries instead of rebuilding it per [`Nalix::execute`].
+    engine: Engine<'d>,
+    /// Memo of `normalized question → Outcome` (see [`crate::cache`]).
+    translations: TranslationCache,
 }
 
 impl<'d> Nalix<'d> {
@@ -125,6 +141,8 @@ impl<'d> Nalix<'d> {
         Nalix {
             doc,
             catalog: Catalog::build(doc),
+            engine: Engine::new(doc),
+            translations: TranslationCache::default(),
         }
     }
 
@@ -140,7 +158,25 @@ impl<'d> Nalix<'d> {
 
     /// Submit a natural language query: parse → classify → validate →
     /// translate.
+    ///
+    /// Outcomes are memoised by the whitespace-normalized sentence: the
+    /// pipeline is a pure function of sentence and catalog, so repeated
+    /// questions (interactive retries, batch workloads) skip it
+    /// entirely. Use [`Nalix::cache_stats`] to observe the hit rate and
+    /// [`Nalix::clear_cache`] to drop the memo table.
     pub fn query(&self, sentence: &str) -> Outcome {
+        let key = cache::normalize(sentence);
+        if let Some(memo) = self.translations.get(&key) {
+            return memo;
+        }
+        let out = self.query_uncached(sentence);
+        self.translations.insert(key, out.clone());
+        out
+    }
+
+    /// [`Nalix::query`] without consulting or filling the translation
+    /// cache.
+    pub fn query_uncached(&self, sentence: &str) -> Outcome {
         let dep = match nlparser::parse(sentence) {
             Ok(t) => t,
             Err(e) => {
@@ -160,11 +196,7 @@ impl<'d> Nalix<'d> {
     pub fn query_tree(&self, dep: &nlparser::DepTree) -> Outcome {
         let classified = classify::classify(dep);
         let validation = validate::validate(classified, &self.catalog);
-        let warnings: Vec<Feedback> = validation
-            .warnings()
-            .into_iter()
-            .cloned()
-            .collect();
+        let warnings: Vec<Feedback> = validation.warnings().into_iter().cloned().collect();
         if !validation.is_valid() {
             return Outcome::Rejected(Rejected {
                 errors: validation.errors().into_iter().cloned().collect(),
@@ -186,16 +218,27 @@ impl<'d> Nalix<'d> {
         }
     }
 
-    /// Evaluate a translated query against the database.
+    /// Evaluate a translated query against the database (on the
+    /// persistent engine, whose value index stays warm across calls).
     pub fn execute(&self, t: &Translated) -> Result<Sequence, EvalError> {
-        Engine::new(self.doc).eval_expr(&t.translation.query)
+        self.engine.eval_expr(&t.translation.query)
+    }
+
+    /// Hit/miss/size counters of the translation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.translations.stats()
+    }
+
+    /// Drop all memoised translation outcomes (counters survive).
+    pub fn clear_cache(&self) {
+        self.translations.clear()
     }
 
     /// Convenience: query + execute, returning flat string values.
     pub fn ask(&self, sentence: &str) -> Result<Vec<String>, Rejected> {
         match self.query(sentence) {
             Outcome::Translated(t) => {
-                let engine = Engine::new(self.doc);
+                let engine = &self.engine;
                 match engine.eval_expr(&t.translation.query) {
                     Ok(seq) => Ok(engine.strings(&seq)),
                     Err(e) => Err(Rejected {
@@ -306,6 +349,28 @@ mod tests {
             }
             Outcome::Rejected(r) => panic!("{:?}", r.errors),
         }
+    }
+
+    #[test]
+    fn nalix_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Nalix<'static>>();
+        assert_send_sync::<BatchRunner<'static, 'static>>();
+    }
+
+    #[test]
+    fn repeated_questions_hit_the_cache() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let q = "Find all the movies directed by Ron Howard.";
+        let a = nalix.ask(q).unwrap();
+        let b = nalix.ask(&format!("  {q}  ")).unwrap(); // whitespace-insensitive
+        assert_eq!(a, b);
+        let s = nalix.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        nalix.clear_cache();
+        assert_eq!(nalix.cache_stats().entries, 0);
+        assert_eq!(nalix.ask(q).unwrap(), a); // re-translates identically
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub struct Semantics {
 /// children, sorted. Two NTs with the same noun but different modifiers
 /// ("first book" vs "second book") are not equivalent (Def. 1).
 fn modifiers(tree: &ClassifiedTree, nt: usize) -> Vec<String> {
-    let mut mods: Vec<String> = tree.node(nt)
+    let mut mods: Vec<String> = tree
+        .node(nt)
         .children
         .iter()
         .filter(|&&c| {
@@ -49,8 +50,8 @@ pub fn equivalent(tree: &ClassifiedTree, a: usize, b: usize) -> bool {
     }
     match (na.implicit, nb.implicit) {
         (false, false) => {
-            let same_name = na.lemma == nb.lemma
-                || (!na.expansion.is_empty() && na.expansion == nb.expansion);
+            let same_name =
+                na.lemma == nb.lemma || (!na.expansion.is_empty() && na.expansion == nb.expansion);
             same_name && modifiers(tree, a) == modifiers(tree, b)
         }
         (true, true) => {
@@ -113,7 +114,8 @@ pub fn directly_related(tree: &ClassifiedTree, a: usize, b: usize) -> bool {
 /// the function directly attaches to").
 pub fn attaches_to(tree: &ClassifiedTree, node: usize) -> Option<usize> {
     // Prefer a single non-marker child; else the effective parent.
-    let token_children: Vec<usize> = tree.node(node)
+    let token_children: Vec<usize> = tree
+        .node(node)
         .children
         .iter()
         .copied()
@@ -137,7 +139,8 @@ pub fn analyze(tree: &ClassifiedTree) -> Semantics {
         .refs()
         .filter(|&r| {
             tree.node(r).class.ot().is_some()
-                && tree.node(r)
+                && tree
+                    .node(r)
                     .children
                     .iter()
                     .filter(|&&c| !tree.node(c).class.is_marker())
@@ -272,7 +275,7 @@ mod tests {
         v.tree
     }
 
-    fn nts_by_lemma<'a>(tree: &'a ClassifiedTree, lemma: &str) -> Vec<usize> {
+    fn nts_by_lemma(tree: &ClassifiedTree, lemma: &str) -> Vec<usize> {
         tree.refs()
             .filter(|&r| tree.node(r).class.is_nt() && tree.node(r).lemma == lemma)
             .collect()
@@ -294,7 +297,11 @@ mod tests {
         let directors = nts_by_lemma(&t, "director");
         assert_eq!(directors.len(), 3); // two explicit + one implicit
         for d in &directors {
-            assert!(s.core[d], "director node {d} should be core\n{}", t.outline());
+            assert!(
+                s.core[d],
+                "director node {d} should be core\n{}",
+                t.outline()
+            );
         }
         let movies_ = nts_by_lemma(&t, "movie");
         for m in &movies_ {
@@ -335,8 +342,7 @@ mod tests {
             .related_sets
             .iter()
             .map(|set| {
-                let mut v: Vec<String> =
-                    set.iter().map(|&n| t.node(n).lemma.clone()).collect();
+                let mut v: Vec<String> = set.iter().map(|&n| t.node(n).lemma.clone()).collect();
                 v.sort();
                 v
             })
@@ -396,10 +402,7 @@ mod tests {
     fn attachment_of_superlative_ft() {
         let doc = xmldb::datasets::bib::bib();
         let t = prepared(&doc, "Return the lowest price for each book.");
-        let ft = t
-            .refs()
-            .find(|&r| t.node(r).class.ft().is_some())
-            .unwrap();
+        let ft = t.refs().find(|&r| t.node(r).class.ft().is_some()).unwrap();
         let target = attaches_to(&t, ft).unwrap();
         assert_eq!(t.node(target).lemma, "price");
     }
@@ -412,10 +415,7 @@ mod tests {
             "Return the total number of movies, where the director of each movie \
              is Ron Howard.",
         );
-        let ft = t
-            .refs()
-            .find(|&r| t.node(r).class.ft().is_some())
-            .unwrap();
+        let ft = t.refs().find(|&r| t.node(r).class.ft().is_some()).unwrap();
         let target = attaches_to(&t, ft).unwrap();
         assert_eq!(t.node(target).lemma, "movie");
     }
@@ -429,9 +429,7 @@ mod tests {
         .unwrap();
         let catalog = Catalog::build(&doc);
         let v = validate(
-            classify(
-                &parse("Return the first book and the second book.").unwrap(),
-            ),
+            classify(&parse("Return the first book and the second book.").unwrap()),
             &catalog,
         );
         let t = v.tree;

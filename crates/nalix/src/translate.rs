@@ -477,11 +477,15 @@ impl<'a> Translator<'a> {
             .collect();
         for ot in ots {
             let op = self.tree.node(ot).class.ot().expect("checked ot");
-            let neg = self.tree.node(ot)
+            let neg = self
+                .tree
+                .node(ot)
                 .children
                 .iter()
                 .any(|&c| matches!(self.tree.node(c).class, NodeClass::Token(TokenType::Neg)));
-            let mut operands: Vec<usize> = self.tree.node(ot)
+            let mut operands: Vec<usize> = self
+                .tree
+                .node(ot)
                 .children
                 .iter()
                 .copied()
@@ -543,15 +547,9 @@ impl<'a> Translator<'a> {
                 .and_then(|p| self.tree.node(p).class.ot().map(|o| (p, o)));
             let (op, neg) = match parent_ot {
                 Some((p, o)) => {
-                    let neg = self.tree.node(p)
-                        .children
-                        .iter()
-                        .any(|&c| {
-                            matches!(
-                                self.tree.node(c).class,
-                                NodeClass::Token(TokenType::Neg)
-                            )
-                        });
+                    let neg = self.tree.node(p).children.iter().any(|&c| {
+                        matches!(self.tree.node(c).class, NodeClass::Token(TokenType::Neg))
+                    });
                     (o, neg)
                 }
                 None => (OpSem::Eq, false),
@@ -601,8 +599,11 @@ impl<'a> Translator<'a> {
                 .or_else(|| {
                     // directly-related variable
                     let arg_nodes = &self.binding.vars[arg].nodes;
-                    self.binding.semantics.directly_related.iter().find_map(
-                        |&(a, b)| {
+                    self.binding
+                        .semantics
+                        .directly_related
+                        .iter()
+                        .find_map(|&(a, b)| {
                             if arg_nodes.contains(&a) {
                                 self.binding.var_of.get(&b).copied().filter(|&v| v != arg)
                             } else if arg_nodes.contains(&b) {
@@ -610,13 +611,9 @@ impl<'a> Translator<'a> {
                             } else {
                                 None
                             }
-                        },
-                    )
+                        })
                 })
-                .or_else(|| {
-                    (0..self.vars.len())
-                        .find(|&v| v != arg && self.vars[v].group == g)
-                });
+                .or_else(|| (0..self.vars.len()).find(|&v| v != arg && self.vars[v].group == g));
             match core {
                 Some(c) if self.vars[c].inner_of.is_none() => {
                     // Outer scope (paper Fig. 8): fresh copy of the core
@@ -866,10 +863,7 @@ impl<'a> Translator<'a> {
             } else {
                 let mut mqf_args = vec![Expr::var(self.var_name(qv))];
                 mqf_args.extend(partners.iter().map(|&p| Expr::var(self.var_name(p))));
-                Expr::Or(vec![
-                    Expr::Not(Box::new(Expr::Mqf(mqf_args))),
-                    conds_expr,
-                ])
+                Expr::Or(vec![Expr::Not(Box::new(Expr::Mqf(mqf_args))), conds_expr])
             };
             where_parts.push(Expr::Quantified {
                 quant: xquery::Quantifier::Every,
@@ -1070,10 +1064,7 @@ mod tests {
     #[test]
     fn apposition_form_gives_same_result() {
         let doc = xmldb::datasets::movies::movies();
-        let out = run_query(
-            &doc,
-            "Find all the movies directed by director Ron Howard.",
-        );
+        let out = run_query(&doc, "Find all the movies directed by director Ron Howard.");
         assert_eq!(out.len(), 2);
     }
 
@@ -1265,6 +1256,9 @@ mod tests {
     fn variables_are_reported() {
         let doc = xmldb::datasets::movies::movies();
         let t = translate_on(&doc, "Return the director of each movie.");
-        assert!(t.variables.iter().any(|(_, names)| names == &vec!["director".to_owned()]));
+        assert!(t
+            .variables
+            .iter()
+            .any(|(_, names)| names == &vec!["director".to_owned()]));
     }
 }

@@ -23,10 +23,7 @@ impl Validation {
     /// True when no error-severity feedback was produced — the tree may
     /// be translated.
     pub fn is_valid(&self) -> bool {
-        !self
-            .feedback
-            .iter()
-            .any(|f| f.severity == Severity::Error)
+        !self.feedback.iter().any(|f| f.severity == Severity::Error)
     }
 
     /// Only the errors.
@@ -114,9 +111,7 @@ fn grammar_checks(tree: &ClassifiedTree, feedback: &mut Vec<Feedback>) {
     let has_returnable = root.children.iter().any(|&c| {
         matches!(
             tree.node(c).class,
-            NodeClass::Token(
-                TokenType::Nt | TokenType::Vt | TokenType::Ft(_) | TokenType::Ot(_)
-            )
+            NodeClass::Token(TokenType::Nt | TokenType::Vt | TokenType::Ft(_) | TokenType::Ot(_))
         )
     });
     if !has_returnable {
@@ -172,9 +167,7 @@ fn grammar_checks(tree: &ClassifiedTree, feedback: &mut Vec<Feedback>) {
                     .filter(|&&c| {
                         matches!(
                             tree.node(c).class,
-                            NodeClass::Token(
-                                TokenType::Nt | TokenType::Vt | TokenType::Ft(_)
-                            )
+                            NodeClass::Token(TokenType::Nt | TokenType::Vt | TokenType::Ft(_))
                         )
                     })
                     .count();
@@ -183,9 +176,7 @@ fn grammar_checks(tree: &ClassifiedTree, feedback: &mut Vec<Feedback>) {
                     .map(|p| {
                         matches!(
                             tree.node(p).class,
-                            NodeClass::Token(
-                                TokenType::Nt | TokenType::Vt | TokenType::Ft(_)
-                            )
+                            NodeClass::Token(TokenType::Nt | TokenType::Vt | TokenType::Ft(_))
                         )
                     })
                     .unwrap_or(false);
@@ -216,8 +207,8 @@ fn grammar_checks(tree: &ClassifiedTree, feedback: &mut Vec<Feedback>) {
                     .iter()
                     .filter(|&&c| {
                         let cn = tree.node(c);
-                        !cn.class.is_marker()
-                            && !(cn.class.is_vt() && cn.rel == nlparser::DepRel::ConjOr)
+                        !(cn.class.is_marker()
+                            || (cn.class.is_vt() && cn.rel == nlparser::DepRel::ConjOr))
                     })
                     .count();
                 if bad_children > 0 {
@@ -380,8 +371,8 @@ fn implicit_name_tokens(
             words: format!("[{}]", names.join("|")),
             lemma: names[0].clone(),
             class: NodeClass::Token(TokenType::Nt),
-            parent: None,      // set by insert_above
-            children: vec![],  // set by insert_above
+            parent: None,     // set by insert_above
+            children: vec![], // set by insert_above
             rel,
             order,
             implicit: true,
@@ -419,11 +410,7 @@ mod tests {
              director is the same as the number of movies directed by Ron Howard.",
         );
         assert!(v.is_valid(), "{:?}", v.feedback);
-        let implicit: Vec<_> = v
-            .tree
-            .refs()
-            .filter(|&r| v.tree.node(r).implicit)
-            .collect();
+        let implicit: Vec<_> = v.tree.refs().filter(|&r| v.tree.node(r).implicit).collect();
         assert_eq!(implicit.len(), 1);
         assert_eq!(v.tree.node(implicit[0]).lemma, "director");
         // the implicit NT sits between the CM and the VT
@@ -476,11 +463,7 @@ mod tests {
     fn participle_vt_gets_implicit_nt() {
         let v = validate_on_movies("Find all the movies directed by Ron Howard.");
         assert!(v.is_valid(), "{:?}", v.feedback);
-        let implicit: Vec<_> = v
-            .tree
-            .refs()
-            .filter(|&r| v.tree.node(r).implicit)
-            .collect();
+        let implicit: Vec<_> = v.tree.refs().filter(|&r| v.tree.node(r).implicit).collect();
         assert_eq!(implicit.len(), 1);
         assert_eq!(v.tree.node(implicit[0]).lemma, "director");
     }
@@ -496,11 +479,7 @@ mod tests {
         assert!(v.is_valid(), "{:?}", v.feedback);
         // Two implicit NTs: [publisher] above "Addison-Wesley" and
         // [year] above "1991".
-        let implicit: Vec<_> = v
-            .tree
-            .refs()
-            .filter(|&r| v.tree.node(r).implicit)
-            .collect();
+        let implicit: Vec<_> = v.tree.refs().filter(|&r| v.tree.node(r).implicit).collect();
         assert_eq!(implicit.len(), 2);
         assert!(
             implicit
@@ -512,29 +491,29 @@ mod tests {
                 .map(|&i| v.tree.node(i).expansion.clone())
                 .collect::<Vec<_>>()
         );
-        assert!(implicit
-            .iter()
-            .any(|&i| v.tree.node(i).expansion.contains(&"publisher".to_owned())));
+        assert!(implicit.iter().any(|&i| v
+            .tree
+            .node(i)
+            .expansion
+            .contains(&"publisher".to_owned())));
     }
 
     #[test]
     fn unknown_value_is_an_error() {
         let v = validate_on_movies("Find all the movies directed by Stanley Kubrick.");
         assert!(!v.is_valid());
-        assert!(v
-            .feedback
-            .iter()
-            .any(|f| matches!(&f.kind, FeedbackKind::NoSuchValue { value } if value == "Stanley Kubrick")));
+        assert!(v.feedback.iter().any(
+            |f| matches!(&f.kind, FeedbackKind::NoSuchValue { value } if value == "Stanley Kubrick")
+        ));
     }
 
     #[test]
     fn unknown_name_is_an_error_with_candidates() {
         let v = validate_on_movies("Return the spaceship of each movie.");
         assert!(!v.is_valid());
-        assert!(v
-            .feedback
-            .iter()
-            .any(|f| matches!(&f.kind, FeedbackKind::NoSuchName { term, .. } if term == "spaceship")));
+        assert!(v.feedback.iter().any(
+            |f| matches!(&f.kind, FeedbackKind::NoSuchName { term, .. } if term == "spaceship")
+        ));
     }
 
     #[test]
@@ -561,15 +540,15 @@ mod tests {
 
     #[test]
     fn incomplete_comparison_is_reported() {
-        let v = validate_on_dblp(
-            "Return every book, where the year of the book is greater than.",
-        );
+        let v = validate_on_dblp("Return every book, where the year of the book is greater than.");
         assert!(!v.is_valid());
-        assert!(v
-            .feedback
-            .iter()
-            .any(|f| matches!(&f.kind, FeedbackKind::IncompleteComparison { .. })),
-            "{:?}", v.feedback);
+        assert!(
+            v.feedback
+                .iter()
+                .any(|f| matches!(&f.kind, FeedbackKind::IncompleteComparison { .. })),
+            "{:?}",
+            v.feedback
+        );
     }
 
     #[test]

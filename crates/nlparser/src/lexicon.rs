@@ -23,8 +23,16 @@ pub const AUXILIARIES: [&str; 7] = ["has", "have", "had", "does", "do", "did", "
 /// Clause verbs we recognise beyond the copulas: content verbs that can
 /// head a relative or subordinate clause.
 pub const CLAUSE_VERBS: [&str; 10] = [
-    "contain", "contains", "contained", "include", "includes", "included", "has", "have",
-    "start", "end",
+    "contain",
+    "contains",
+    "contained",
+    "include",
+    "includes",
+    "included",
+    "has",
+    "have",
+    "start",
+    "end",
 ];
 
 /// Past participles that post-modify nouns ("movies directed by X").
@@ -51,8 +59,8 @@ pub const QUANTIFIERS: [&str; 5] = ["every", "each", "all", "any", "some"];
 
 /// Prepositions the grammar attaches.
 pub const PREPOSITIONS: [&str; 14] = [
-    "of", "by", "in", "on", "for", "with", "from", "at", "to", "about", "after", "before",
-    "as", "than",
+    "of", "by", "in", "on", "for", "with", "from", "at", "to", "about", "after", "before", "as",
+    "than",
 ];
 
 /// Pronouns (classified PM by NaLIX, warned about — except the
@@ -68,9 +76,28 @@ pub const SUBORDINATORS: [&str; 5] = ["that", "which", "who", "where", "whose"];
 /// Adjectives the grammar knows (superlatives that become NaLIX FTs,
 /// plus ordinary ones).
 pub const ADJECTIVES: [&str; 22] = [
-    "lowest", "highest", "smallest", "largest", "greatest", "least", "cheapest",
-    "most", "fewest", "earliest", "latest", "minimum", "maximum", "total", "average",
-    "same", "first", "second", "last", "new", "alphabetical", "different",
+    "lowest",
+    "highest",
+    "smallest",
+    "largest",
+    "greatest",
+    "least",
+    "cheapest",
+    "most",
+    "fewest",
+    "earliest",
+    "latest",
+    "minimum",
+    "maximum",
+    "total",
+    "average",
+    "same",
+    "first",
+    "second",
+    "last",
+    "new",
+    "alphabetical",
+    "different",
 ];
 
 /// Multi-word phrases merged into a single node before parsing, with the
@@ -78,7 +105,11 @@ pub const ADJECTIVES: [&str; 22] = [
 /// are matched case-insensitively.
 pub const PHRASES: [(&str, &str, PhraseKind); 24] = [
     ("the number of", "the number of", PhraseKind::Func),
-    ("the total number of", "the total number of", PhraseKind::Func),
+    (
+        "the total number of",
+        "the total number of",
+        PhraseKind::Func,
+    ),
     ("the same as", "the same as", PhraseKind::Op),
     ("equal to", "equal to", PhraseKind::Op),
     ("greater than", "greater than", PhraseKind::Op),
@@ -97,10 +128,22 @@ pub const PHRASES: [(&str, &str, PhraseKind); 24] = [
     ("end with", "end with", PhraseKind::Op),
     ("sorted by", "sorted by", PhraseKind::Order),
     ("ordered by", "sorted by", PhraseKind::Order),
-    ("in alphabetical order", "in alphabetical order", PhraseKind::Order),
+    (
+        "in alphabetical order",
+        "in alphabetical order",
+        PhraseKind::Order,
+    ),
     ("in order of", "sorted by", PhraseKind::Order),
-    ("in ascending order", "in alphabetical order", PhraseKind::Order),
-    ("in descending order", "in descending order", PhraseKind::Order),
+    (
+        "in ascending order",
+        "in alphabetical order",
+        PhraseKind::Order,
+    ),
+    (
+        "in descending order",
+        "in descending order",
+        PhraseKind::Order,
+    ),
 ];
 
 /// Kind of a merged phrase.

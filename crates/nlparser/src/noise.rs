@@ -62,7 +62,10 @@ fn candidates(tree: &DepTree) -> Vec<(NodeRef, NodeRef)> {
         let n = tree.node(r);
         // Don't move markers; moving content nodes (nouns, values,
         // phrases) is what changes query semantics.
-        if matches!(n.rel, DepRel::Det | DepRel::Neg | DepRel::Root | DepRel::Dangling) {
+        if matches!(
+            n.rel,
+            DepRel::Det | DepRel::Neg | DepRel::Root | DepRel::Dangling
+        ) {
             continue;
         }
         if let Some(h) = n.head {

@@ -471,10 +471,7 @@ impl Parser {
                 (last, None)
             } else {
                 // last noun-ish in the run
-                let idx = run
-                    .iter()
-                    .rposition(|w| w.pos == Pos::Noun)
-                    .unwrap_or(last);
+                let idx = run.iter().rposition(|w| w.pos == Pos::Noun).unwrap_or(last);
                 (idx, None)
             }
         };
@@ -755,10 +752,7 @@ mod tests {
 
     /// Find the unique node with the given lemma.
     fn by_lemma(t: &DepTree, lemma: &str) -> NodeRef {
-        let hits: Vec<_> = t
-            .refs()
-            .filter(|&r| t.node(r).lemma == lemma)
-            .collect();
+        let hits: Vec<_> = t.refs().filter(|&r| t.node(r).lemma == lemma).collect();
         assert_eq!(hits.len(), 1, "lemma `{lemma}` not unique: {}", t.outline());
         hits[0]
     }
@@ -893,9 +887,8 @@ mod tests {
 
     #[test]
     fn published_after_year() {
-        let t =
-            parse("Return the title of every book published by Addison-Wesley after 1991.")
-                .unwrap();
+        let t = parse("Return the title of every book published by Addison-Wesley after 1991.")
+            .unwrap();
         let published = by_lemma(&t, "published");
         assert_eq!(head_lemma(&t, published), "book");
         let after = by_lemma(&t, "after");
@@ -964,14 +957,9 @@ mod tests {
     fn query1_as_many_as_parses_with_as_nodes() {
         // Paper Query 1: invalid for NaLIX (unknown term "as"), but it
         // must still PARSE so validation can point at "as".
-        let t = parse(
-            "Return every director who has directed as many movies as has Ron Howard.",
-        )
-        .unwrap();
-        let as_nodes: Vec<_> = t
-            .refs()
-            .filter(|&r| t.node(r).lemma == "as")
-            .collect();
+        let t = parse("Return every director who has directed as many movies as has Ron Howard.")
+            .unwrap();
+        let as_nodes: Vec<_> = t.refs().filter(|&r| t.node(r).lemma == "as").collect();
         assert!(!as_nodes.is_empty(), "{}", t.outline());
         assert!(t.check_invariants().is_ok());
     }
@@ -986,7 +974,9 @@ mod tests {
 
     #[test]
     fn for_each_prefix() {
-        let t = parse("For each author, return the author and the titles of all books of the author.").unwrap();
+        let t =
+            parse("For each author, return the author and the titles of all books of the author.")
+                .unwrap();
         assert_eq!(t.node(t.root()).lemma, "return");
         // the prefix NP attaches under the root
         let kids = t.children(t.root());
@@ -1009,17 +999,13 @@ mod tests {
         .unwrap();
         let be = by_lemma(&t, "be");
         let kids = t.children(be);
-        assert!(kids
-            .iter()
-            .any(|&k| t.node(k).pos == Pos::Neg));
+        assert!(kids.iter().any(|&k| t.node(k).pos == Pos::Neg));
     }
 
     #[test]
     fn clause_with_operator_phrase() {
-        let t = parse(
-            "Return every book, where the year of the book is greater than 1991.",
-        )
-        .unwrap();
+        let t =
+            parse("Return every book, where the year of the book is greater than 1991.").unwrap();
         let op = by_lemma(&t, "be greater than");
         let kids = t.children(op);
         assert!(kids.iter().any(|&k| t.node(k).lemma == "year"));
@@ -1028,10 +1014,8 @@ mod tests {
 
     #[test]
     fn clause_with_count_comparison() {
-        let t = parse(
-            "Return every book, where the number of authors of the book is at least 1.",
-        )
-        .unwrap();
+        let t = parse("Return every book, where the number of authors of the book is at least 1.")
+            .unwrap();
         let op = by_lemma(&t, "be at least");
         let kids = t.children(op);
         assert!(kids.iter().any(|&k| t.node(k).pos == Pos::FuncPhrase));
@@ -1048,10 +1032,8 @@ mod tests {
 
     #[test]
     fn or_in_value_predicate() {
-        let t = parse(
-            "Return every book, where the publisher of the book is \"A\" or \"B\".",
-        )
-        .unwrap();
+        let t =
+            parse("Return every book, where the publisher of the book is \"A\" or \"B\".").unwrap();
         let b = by_lemma(&t, "B");
         assert_eq!(head_lemma(&t, b), "A");
         assert_eq!(t.node(b).rel, DepRel::ConjOr);
@@ -1060,9 +1042,7 @@ mod tests {
     #[test]
     fn multi_sentence_fuses_to_where() {
         assert_eq!(
-            normalize_multi_sentence(
-                "Return all books. The publisher of the book is Springer."
-            ),
+            normalize_multi_sentence("Return all books. The publisher of the book is Springer."),
             "Return all books, where the publisher of the book is Springer."
         );
         // abbreviations survive

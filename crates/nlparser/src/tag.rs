@@ -85,8 +85,7 @@ fn merge_phrases(raw: &[RawToken]) -> Vec<Merged> {
             for (words, lemma, kind) in &table {
                 if i + words.len() <= raw.len() {
                     let matches = words.iter().enumerate().all(|(k, w)| {
-                        raw[i + k].kind == RawKind::Word
-                            && raw[i + k].text.to_lowercase() == *w
+                        raw[i + k].kind == RawKind::Word && raw[i + k].text.to_lowercase() == *w
                     });
                     if matches {
                         let surface = raw[i..i + words.len()]

@@ -148,7 +148,9 @@ pub fn tokenize(input: &str) -> Result<Vec<RawToken>, TokenizeError> {
                     && (chars[j].is_alphanumeric()
                         || chars[j] == '-'
                         || chars[j] == '_'
-                        || (chars[j] == '\'' && j + 1 < chars.len() && chars[j + 1].is_alphabetic()))
+                        || (chars[j] == '\''
+                            && j + 1 < chars.len()
+                            && chars[j + 1].is_alphabetic()))
                 {
                     j += 1;
                 }

@@ -216,9 +216,7 @@ impl DepTree {
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, n) in self.nodes.iter().enumerate() {
             match n.head {
-                None if i != self.root => {
-                    return Err(format!("non-root node {i} has no head"))
-                }
+                None if i != self.root => return Err(format!("non-root node {i} has no head")),
                 Some(h) if !self.nodes[h].children.contains(&i) => {
                     return Err(format!("node {i} missing from head {h}'s children"));
                 }

@@ -1,0 +1,85 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A size specification for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+/// Conversion into [`SizeRange`] (ranges or a fixed size).
+pub trait IntoSizeRange {
+    /// Convert.
+    fn into_size_range(self) -> SizeRange;
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> SizeRange {
+        assert!(self.start < self.end, "empty size range");
+        SizeRange {
+            lo: self.start,
+            hi_inclusive: self.end - 1,
+        }
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn into_size_range(self) -> SizeRange {
+        SizeRange {
+            lo: *self.start(),
+            hi_inclusive: *self.end(),
+        }
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> SizeRange {
+        SizeRange {
+            lo: self,
+            hi_inclusive: self,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+        let n = self.size.lo + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into_size_range(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_respected() {
+        let mut rng = TestRng::new(5);
+        let s = vec(0u8..10, 2..5usize);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! A vendored, dependency-free stand-in for the subset of the
+//! `proptest` crate API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real proptest
+//! cannot be fetched. This shim keeps every `proptest! { … }` test
+//! source-compatible: strategies (ranges, tuples, `Just`, simple
+//! regex-class strings, `collection::vec`, `option::of`,
+//! `prop_oneof!`, `prop_map` / `prop_filter` / `prop_recursive`),
+//! a deterministic runner, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case panics with its inputs Debug-printed
+//!   where the assertion macros include them;
+//! - the default case count is 64 (override with `PROPTEST_CASES`);
+//! - string strategies support character classes and `{m,n}` repetition
+//!   only, which covers every pattern used in this repository.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Run named property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that evaluates `body` over `Config::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($p:pat in $s:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Choose uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}

@@ -1,0 +1,303 @@
+//! The `Strategy` trait and its combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of test values.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one concrete value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (regenerating up to a bounded
+    /// number of times, then panicking with `reason`).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `f`
+    /// wraps an inner strategy into one that generates one more level.
+    /// `depth` bounds the recursion; the other two parameters (desired
+    /// size, expected branch factor) are accepted for compatibility.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            // 1-in-4 chance of bottoming out early at each level keeps
+            // generated sizes reasonable.
+            cur = Union::with_weights(vec![(1, leaf.clone()), (3, deeper)]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// Uniform (or weighted) choice between strategies of one value type.
+/// Built by [`crate::prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    /// Equal-weight choice.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof of zero strategies");
+        Union::with_weights(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice.
+    pub fn with_weights(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof with zero total weight");
+        Union { options, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut x = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.options {
+            if x < *w {
+                return s.generate(rng);
+            }
+            x -= w;
+        }
+        unreachable!("weights sum mismatch")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strings: a pattern literal is a strategy producing matching strings
+// ---------------------------------------------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_matching(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $i:tt),+);)*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::new(1);
+        let s = (0i32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::new(2);
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_uniformish() {
+        let mut rng = TestRng::new(3);
+        let s = Union::new(vec![Just(0u8).boxed(), Just(1u8).boxed()]);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        struct T(Vec<T>);
+        fn size(t: &T) -> usize {
+            1 + t.0.iter().map(size).sum::<usize>()
+        }
+        let leaf = Just(()).prop_map(|_| T(vec![]));
+        let s = leaf.prop_recursive(4, 64, 5, |inner| {
+            crate::collection::vec(inner, 0..4usize).prop_map(T)
+        });
+        let mut rng = TestRng::new(4);
+        for _ in 0..50 {
+            let t = s.generate(&mut rng);
+            assert!(size(&t) < 4_000);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax — enough for every pattern this repository uses:
+//! - `.` any printable ASCII character
+//! - `[abc]`, `[a-z0-9]` character classes (ranges and singletons)
+//! - `{m}`, `{m,n}` repetition of the preceding atom
+//! - any other character matches itself literally
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Dot,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // closing ]
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Piece { atom, min, max });
+    }
+    out
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => (0x20u8 + rng.below(0x5f) as u8) as char,
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                .sum();
+            let mut x = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = *hi as u64 - *lo as u64 + 1;
+                if x < span {
+                    return char::from_u32(*lo as u32 + x as u32).expect("class char");
+                }
+                x -= span;
+            }
+            unreachable!("class spans mismatch")
+        }
+    }
+}
+
+/// Generate a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(gen_char(&p.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{2,10}", &mut rng);
+            assert!((2..=10).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_any_length() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..50 {
+            let s = generate_matching(".{0,120}", &mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn single_class_defaults_to_one() {
+        let mut rng = TestRng::new(9);
+        let s = generate_matching("[a-c]", &mut rng);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::new(10);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+    }
+}

@@ -147,14 +147,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResults {
         for &slot in &order {
             let tid = ALL_TASKS[slot];
             let task = tid.task();
-            let nrun = run_nalix_task(
-                &nalix,
-                &task,
-                &nl_pool(tid),
-                &profile,
-                &cfg.noise,
-                &mut rng,
-            );
+            let nrun = run_nalix_task(&nalix, &task, &nl_pool(tid), &profile, &cfg.noise, &mut rng);
             nblock.push((tid, nrun));
             let krun = run_keyword_task(&doc, &task, &keyword_pool(tid), &profile, &mut rng);
             kblock.push((tid, krun));
@@ -304,11 +297,13 @@ impl ExperimentResults {
 
     /// Mean iterations over all tasks.
     pub fn overall_iterations(&self) -> f64 {
-        mean(&self
-            .fig11
-            .iter()
-            .map(|r| r.avg_iterations)
-            .collect::<Vec<_>>())
+        mean(
+            &self
+                .fig11
+                .iter()
+                .map(|r| r.avg_iterations)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Render the three outputs as text tables (used by the bench

@@ -37,9 +37,9 @@ impl Profile {
     pub fn sample(rng: &mut StdRng) -> Profile {
         Profile {
             typing_cps: rng.gen_range(2.5..5.5),
-            read_first_s: rng.gen_range(18.0..32.0),
+            read_first_s: rng.gen_range(21.0..35.0),
             revise_think_s: rng.gen_range(8.0..18.0),
-            review_s: rng.gen_range(5.0..11.0),
+            review_s: rng.gen_range(6.0..12.0),
         }
     }
 }
@@ -304,7 +304,7 @@ mod tests {
         for _ in 0..50 {
             let p = Profile::sample(&mut rng);
             assert!((2.5..5.5).contains(&p.typing_cps));
-            assert!((18.0..32.0).contains(&p.read_first_s));
+            assert!((21.0..35.0).contains(&p.read_first_s));
         }
     }
 
@@ -340,14 +340,16 @@ mod tests {
         for t in crate::tasks::ALL_TASKS {
             let task = t.task();
             let profile = Profile::sample(&mut rng);
-            let run =
-                run_nalix_task(&nalix, &task, &nl_pool(t), &profile, &noise, &mut rng);
+            let run = run_nalix_task(&nalix, &task, &nl_pool(t), &profile, &noise, &mut rng);
             assert!(
                 run.best_score().harmonic() >= PASS_HM,
                 "{}: hm={:.2} attempts={:?}",
                 t.label(),
                 run.best_score().harmonic(),
-                run.attempts.iter().map(|a| (&a.text, a.accepted)).collect::<Vec<_>>()
+                run.attempts
+                    .iter()
+                    .map(|a| (&a.text, a.accepted))
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -398,8 +400,7 @@ mod tests {
         let (doc, mut rng) = setup();
         let profile = Profile::sample(&mut rng);
         let task = TaskId::Q10.task();
-        let run =
-            run_keyword_task(&doc, &task, &keyword_pool(TaskId::Q10), &profile, &mut rng);
+        let run = run_keyword_task(&doc, &task, &keyword_pool(TaskId::Q10), &profile, &mut rng);
         // On the tiny test corpus the result-page cap does not bite, so
         // keyword gets full recall by returning whole books — but its
         // precision must stay poor (it cannot compute a minimum). At
@@ -447,8 +448,7 @@ mod tests {
         for t in crate::tasks::ALL_TASKS {
             let task = t.task();
             let profile = Profile::sample(&mut rng);
-            let run =
-                run_nalix_task(&nalix, &task, &nl_pool(t), &profile, &noise, &mut rng);
+            let run = run_nalix_task(&nalix, &task, &nl_pool(t), &profile, &noise, &mut rng);
             assert!(run.total_time_s <= TIME_LIMIT_S + 1e-9);
         }
     }

@@ -352,9 +352,9 @@ mod tests {
                 let Outcome::Translated(t) = out else {
                     panic!("{}: {}", task.label(), ph.text)
                 };
-                let seq = nalix.execute(&t).unwrap_or_else(|e| {
-                    panic!("{}: {e}\n{}", task.label(), ph.text)
-                });
+                let seq = nalix
+                    .execute(&t)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", task.label(), ph.text));
                 let values = nalix.flatten_values(&seq);
                 let pr = crate::metrics::precision_recall(&values, &gold);
                 assert!(
@@ -421,10 +421,7 @@ mod tests {
     fn every_task_has_enough_valid_phrasings() {
         for task in ALL_TASKS {
             let pool = nl_pool(task);
-            let valid = pool
-                .iter()
-                .filter(|p| p.kind != PoolKind::Invalid)
-                .count();
+            let valid = pool.iter().filter(|p| p.kind != PoolKind::Invalid).count();
             assert!(valid >= 2, "{}", task.label());
             assert!(!keyword_pool(task).is_empty());
         }

@@ -104,10 +104,7 @@ impl TaskId {
                  named Suciu.",
                 false,
             ),
-            TaskId::Q9 => (
-                "Find all titles that contain the word \"XML\".",
-                false,
-            ),
+            TaskId::Q9 => ("Find all titles that contain the word \"XML\".", false),
             TaskId::Q10 => (
                 "For each book title, find the earliest (minimum) year among its \
                  editions.",
@@ -250,8 +247,7 @@ impl Task {
             let year: Option<u32> = child_values(doc, b, "year")
                 .first()
                 .and_then(|y| y.parse().ok());
-            if publisher.iter().any(|p| p == "Addison-Wesley") && year.is_some_and(|y| y > 1991)
-            {
+            if publisher.iter().any(|p| p == "Addison-Wesley") && year.is_some_and(|y| y > 1991) {
                 titles.extend(child_values(doc, b, "title"));
             }
         }
@@ -318,7 +314,7 @@ mod tests {
         // Principles of Database Systems: editions 1980/1982/1988 → 1980
         assert!(g.iter().any(|v| v == "Principles of Database Systems"));
         assert!(g.iter().any(|v| v == "1980"));
-        assert!(!g.iter().any(|v| v == "1982" ) || g.iter().any(|v| v == "1982"));
+        assert!(!g.iter().any(|v| v == "1982") || g.iter().any(|v| v == "1982"));
     }
 
     #[test]
@@ -345,8 +341,7 @@ mod tests {
         let d = doc();
         for t in ALL_TASKS {
             let g = t.task().gold(&d);
-            let mut set: Vec<String> =
-                g.iter().map(|v| v.trim().to_lowercase()).collect();
+            let mut set: Vec<String> = g.iter().map(|v| v.trim().to_lowercase()).collect();
             set.sort();
             let before = set.len();
             set.dedup();

@@ -4,8 +4,12 @@
 //! These are the structural primitives beneath both the XQuery engine's
 //! path steps and the MLCA (meaningful lowest common ancestor) algorithm
 //! in crate `xquery`, as well as the Meet operator of the keyword-search
-//! baseline. Containment tests use pre/post-order ranks, so they are O(1);
-//! LCA walks parent pointers from the deeper node, O(depth).
+//! baseline. Containment tests use pre/post-order ranks, so they are O(1).
+//! On a finalized document LCA queries are answered in O(1) from the
+//! Euler-tour index built by [`Document::finalize`], and level-ancestor
+//! queries (including [`Document::child_toward`]) in O(log n) via binary
+//! lifting; the original parent-pointer walks survive as `*_walk`
+//! reference implementations and as fallbacks for unfinalized documents.
 
 use crate::document::Document;
 use crate::node::{NodeId, NodeKind};
@@ -71,8 +75,20 @@ impl Document {
     }
 
     /// Lowest common ancestor of two nodes. Total: every pair in one
-    /// document has an LCA (at worst the root).
+    /// document has an LCA (at worst the root). O(1) on a finalized
+    /// document (Euler-tour RMQ), O(depth) otherwise.
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        match &self.struct_index {
+            Some(ix) => ix.lca(a, b),
+            None => self.lca_walk(a, b),
+        }
+    }
+
+    /// Parent-pointer reference implementation of [`Document::lca`]:
+    /// walk up from the deeper node until depths match, then in
+    /// lockstep. O(depth). Kept as the oracle the indexed version is
+    /// property-tested against, and as the pre-finalization fallback.
+    pub fn lca_walk(&self, a: NodeId, b: NodeId) -> NodeId {
         if self.is_ancestor_or_self(a, b) {
             return a;
         }
@@ -100,9 +116,7 @@ impl Document {
     /// Panics on an empty slice.
     pub fn lca_all(&self, nodes: &[NodeId]) -> NodeId {
         assert!(!nodes.is_empty(), "lca_all of empty set");
-        nodes[1..]
-            .iter()
-            .fold(nodes[0], |acc, &n| self.lca(acc, n))
+        nodes[1..].iter().fold(nodes[0], |acc, &n| self.lca(acc, n))
     }
 
     /// The child of `anc` that lies on the path from `anc` down to
@@ -110,8 +124,22 @@ impl Document {
     ///
     /// This is the key step of the MLCA "exclusivity" test: a node `x`
     /// has `lca(x, desc)` strictly below `anc` iff `x` lies in the
-    /// subtree of this child.
+    /// subtree of this child. O(log n) on a finalized document (one
+    /// level-ancestor query), O(depth) otherwise.
     pub fn child_toward(&self, anc: NodeId, desc: NodeId) -> Option<NodeId> {
+        if !self.is_proper_ancestor(anc, desc) {
+            return None;
+        }
+        match &self.struct_index {
+            Some(ix) => Some(ix.ancestor_at_depth(desc, ix.depth(anc) + 1)),
+            None => self.child_toward_walk(anc, desc),
+        }
+    }
+
+    /// Parent-pointer reference implementation of
+    /// [`Document::child_toward`], kept as the property-test oracle and
+    /// the pre-finalization fallback.
+    pub fn child_toward_walk(&self, anc: NodeId, desc: NodeId) -> Option<NodeId> {
         if !self.is_proper_ancestor(anc, desc) {
             return None;
         }
@@ -125,6 +153,26 @@ impl Document {
         }
     }
 
+    /// The ancestor of `id` at exactly `depth` (root = 0); `id` itself
+    /// when its depth matches, `None` when `id` is shallower than the
+    /// requested depth. O(log n) on a finalized document.
+    pub fn ancestor_at_depth(&self, id: NodeId, depth: u32) -> Option<NodeId> {
+        let own = self.node(id).depth;
+        if depth > own {
+            return None;
+        }
+        match &self.struct_index {
+            Some(ix) => Some(ix.ancestor_at_depth(id, depth)),
+            None => {
+                let mut cur = id;
+                for _ in 0..own - depth {
+                    cur = self.node(cur).parent.expect("depth accounting broken");
+                }
+                Some(cur)
+            }
+        }
+    }
+
     /// Count of nodes with label `sym` inside the subtree rooted at
     /// `root` (inclusive). Uses binary search over the label index's
     /// document-ordered node list: O(log n).
@@ -135,11 +183,7 @@ impl Document {
     /// The nodes with label `sym` inside the subtree rooted at `root`
     /// (inclusive), as a document-ordered slice of the label index.
     /// O(log n) to locate; the slice itself is borrowed, not copied.
-    pub fn labeled_in_subtree(
-        &self,
-        sym: crate::interner::Symbol,
-        root: NodeId,
-    ) -> &[NodeId] {
+    pub fn labeled_in_subtree(&self, sym: crate::interner::Symbol, root: NodeId) -> &[NodeId] {
         let list = self.nodes_with_symbol(sym);
         let (lo, hi) = self.subtree_pre_range(root);
         // list is sorted by pre-order rank.
@@ -155,9 +199,13 @@ impl Document {
     }
 
     /// The pre-order rank interval `[lo, hi]` covering exactly the
-    /// subtree of `root`.
+    /// subtree of `root`. O(1) on a finalized document (the extent is
+    /// precomputed), O(depth) otherwise.
     fn subtree_pre_range(&self, root: NodeId) -> (u32, u32) {
         let lo = self.node(root).pre;
+        if let Some(ix) = &self.struct_index {
+            return (lo, ix.subtree_hi(root));
+        }
         // The subtree of root is a contiguous pre-order interval; its end
         // is found from the next node after the subtree. Walk to the next
         // sibling of the nearest ancestor that has one.
@@ -357,6 +405,39 @@ mod tests {
         let t = d.nodes_labeled("title")[0];
         assert!(!d.label_occurs_in_subtree(dir, t));
         assert!(d.label_occurs_in_subtree(dir, d.root()));
+    }
+
+    #[test]
+    fn indexed_lca_matches_walk_on_all_pairs() {
+        let d = fig1ish();
+        for a in 0..d.len() {
+            for b in 0..d.len() {
+                let (a, b) = (crate::NodeId::from_index(a), crate::NodeId::from_index(b));
+                assert_eq!(d.lca(a, b), d.lca_walk(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_child_toward_matches_walk_on_all_pairs() {
+        let d = fig1ish();
+        for a in 0..d.len() {
+            for b in 0..d.len() {
+                let (a, b) = (crate::NodeId::from_index(a), crate::NodeId::from_index(b));
+                assert_eq!(d.child_toward(a, b), d.child_toward_walk(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_at_depth_walks_to_root() {
+        let d = fig1ish();
+        let t = d.nodes_labeled("title")[0];
+        assert_eq!(d.ancestor_at_depth(t, 0), Some(d.root()));
+        assert_eq!(d.ancestor_at_depth(t, 3), Some(t));
+        assert_eq!(d.ancestor_at_depth(t, 4), None);
+        let m = d.nodes_labeled("movie")[0];
+        assert_eq!(d.ancestor_at_depth(t, 2), Some(m));
     }
 
     #[test]

@@ -76,10 +76,7 @@ mod tests {
     fn one_book_has_editor_with_affiliation() {
         let d = bib();
         assert_eq!(d.nodes_labeled("editor").len(), 1);
-        assert_eq!(
-            d.string_value(d.nodes_labeled("affiliation")[0]),
-            "CITI"
-        );
+        assert_eq!(d.string_value(d.nodes_labeled("affiliation")[0]), "CITI");
     }
 
     #[test]

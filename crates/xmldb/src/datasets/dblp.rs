@@ -131,7 +131,11 @@ const JOURNALS: [&str; 5] = [
 /// Anchor books that make every evaluation task answerable. Public so
 /// the user-study crate can cross-check gold answers.
 pub fn anchor_books() -> Vec<BookSpec> {
-    let b = |title: &str, authors: &[&str], editor: Option<(&str, &str)>, publisher: &str, year: u32| BookSpec {
+    let b = |title: &str,
+             authors: &[&str],
+             editor: Option<(&str, &str)>,
+             publisher: &str,
+             year: u32| BookSpec {
         title: title.to_owned(),
         authors: authors.iter().map(|s| (*s).to_owned()).collect(),
         editor: editor.map(|(n, a)| (n.to_owned(), a.to_owned())),
@@ -140,34 +144,166 @@ pub fn anchor_books() -> Vec<BookSpec> {
     };
     vec![
         // Addison-Wesley after 1991 (tasks Q1/Q7): five books.
-        b("TCP/IP Illustrated", &["W. Richard Stevens"], None, "Addison-Wesley", 1994),
-        b("Advanced Programming in the Unix Environment", &["W. Richard Stevens"], None, "Addison-Wesley", 1992),
-        b("Compilers: Principles and Techniques", &["Alfred Aho", "Jeffrey D. Ullman"], None, "Addison-Wesley", 2006),
-        b("Database System Implementation", &["Hector Garcia-Molina", "Jeffrey D. Ullman"], None, "Addison-Wesley", 1999),
-        b("Mythical Man-Month", &["Frederick Brooks"], None, "Addison-Wesley", 1995),
+        b(
+            "TCP/IP Illustrated",
+            &["W. Richard Stevens"],
+            None,
+            "Addison-Wesley",
+            1994,
+        ),
+        b(
+            "Advanced Programming in the Unix Environment",
+            &["W. Richard Stevens"],
+            None,
+            "Addison-Wesley",
+            1992,
+        ),
+        b(
+            "Compilers: Principles and Techniques",
+            &["Alfred Aho", "Jeffrey D. Ullman"],
+            None,
+            "Addison-Wesley",
+            2006,
+        ),
+        b(
+            "Database System Implementation",
+            &["Hector Garcia-Molina", "Jeffrey D. Ullman"],
+            None,
+            "Addison-Wesley",
+            1999,
+        ),
+        b(
+            "Mythical Man-Month",
+            &["Frederick Brooks"],
+            None,
+            "Addison-Wesley",
+            1995,
+        ),
         // Addison-Wesley NOT after 1991 (negative fixtures for Q1/Q7).
-        b("The C Programming Environment", &["Brian Kernighan"], None, "Addison-Wesley", 1984),
-        b("Structured Systems Analysis", &["Tom DeMarco"], None, "Addison-Wesley", 1979),
-        b("Smalltalk-80: The Language", &["Adele Goldberg"], None, "Addison-Wesley", 1989),
+        b(
+            "The C Programming Environment",
+            &["Brian Kernighan"],
+            None,
+            "Addison-Wesley",
+            1984,
+        ),
+        b(
+            "Structured Systems Analysis",
+            &["Tom DeMarco"],
+            None,
+            "Addison-Wesley",
+            1979,
+        ),
+        b(
+            "Smalltalk-80: The Language",
+            &["Adele Goldberg"],
+            None,
+            "Addison-Wesley",
+            1989,
+        ),
         // "Suciu" author fixtures (task Q8).
-        b("Data on the Web", &["Serge Abiteboul", "Peter Buneman", "Dan Suciu"], None, "Morgan Kaufmann", 1999),
-        b("XML Data Management", &["Dan Suciu"], None, "Springer", 2003),
+        b(
+            "Data on the Web",
+            &["Serge Abiteboul", "Peter Buneman", "Dan Suciu"],
+            None,
+            "Morgan Kaufmann",
+            1999,
+        ),
+        b(
+            "XML Data Management",
+            &["Dan Suciu"],
+            None,
+            "Springer",
+            2003,
+        ),
         // Titles containing "XML" (task Q9) — one overlaps with Suciu above.
-        b("XML Query Languages", &["Mary Fernandez"], None, "Springer", 2001),
+        b(
+            "XML Query Languages",
+            &["Mary Fernandez"],
+            None,
+            "Springer",
+            2001,
+        ),
         b("Learning XML", &["Erik Ray"], None, "O'Reilly", 2003),
-        b("Professional XML Databases", &["Kevin Williams"], None, "McGraw-Hill", 2000),
+        b(
+            "Professional XML Databases",
+            &["Kevin Williams"],
+            None,
+            "McGraw-Hill",
+            2000,
+        ),
         // Repeated-title editions (task Q10: minimum year per title).
-        b("Principles of Database Systems", &["Jeffrey D. Ullman"], None, "Prentice Hall", 1980),
-        b("Principles of Database Systems", &["Jeffrey D. Ullman"], None, "Prentice Hall", 1982),
-        b("Principles of Database Systems", &["Jeffrey D. Ullman"], None, "Prentice Hall", 1988),
-        b("Operating System Concepts", &["Abraham Silberschatz"], None, "MIT Press", 1991),
-        b("Operating System Concepts", &["Abraham Silberschatz"], None, "MIT Press", 1998),
+        b(
+            "Principles of Database Systems",
+            &["Jeffrey D. Ullman"],
+            None,
+            "Prentice Hall",
+            1980,
+        ),
+        b(
+            "Principles of Database Systems",
+            &["Jeffrey D. Ullman"],
+            None,
+            "Prentice Hall",
+            1982,
+        ),
+        b(
+            "Principles of Database Systems",
+            &["Jeffrey D. Ullman"],
+            None,
+            "Prentice Hall",
+            1988,
+        ),
+        b(
+            "Operating System Concepts",
+            &["Abraham Silberschatz"],
+            None,
+            "MIT Press",
+            1991,
+        ),
+        b(
+            "Operating System Concepts",
+            &["Abraham Silberschatz"],
+            None,
+            "MIT Press",
+            1998,
+        ),
         // Editor + affiliation fixtures (task Q11).
-        b("Readings in Database Systems", &[], Some(("Michael Stonebraker", "UC Berkeley")), "Morgan Kaufmann", 1998),
-        b("The Handbook of Data Management", &[], Some(("Barbara von Halle", "Knowledge Partners")), "Springer", 1993),
-        b("Advances in Knowledge Discovery", &[], Some(("Usama Fayyad", "Microsoft Research")), "MIT Press", 1996),
-        b("Readings in Information Retrieval", &[], Some(("Karen Sparck Jones", "University of Cambridge")), "Morgan Kaufmann", 1997),
-        b("Temporal Databases: Theory and Practice", &[], Some(("Opher Etzion", "IBM Research")), "Springer", 1998),
+        b(
+            "Readings in Database Systems",
+            &[],
+            Some(("Michael Stonebraker", "UC Berkeley")),
+            "Morgan Kaufmann",
+            1998,
+        ),
+        b(
+            "The Handbook of Data Management",
+            &[],
+            Some(("Barbara von Halle", "Knowledge Partners")),
+            "Springer",
+            1993,
+        ),
+        b(
+            "Advances in Knowledge Discovery",
+            &[],
+            Some(("Usama Fayyad", "Microsoft Research")),
+            "MIT Press",
+            1996,
+        ),
+        b(
+            "Readings in Information Retrieval",
+            &[],
+            Some(("Karen Sparck Jones", "University of Cambridge")),
+            "Morgan Kaufmann",
+            1997,
+        ),
+        b(
+            "Temporal Databases: Theory and Practice",
+            &[],
+            Some(("Opher Etzion", "IBM Research")),
+            "Springer",
+            1998,
+        ),
     ]
 }
 
@@ -233,7 +369,10 @@ pub fn generate(cfg: &DblpConfig) -> Document {
             })
             .collect();
         let editor = if rng.chance(0.05) {
-            Some((random_name(&mut rng), format!("{} University", rng.pick(&LAST_NAMES))))
+            Some((
+                random_name(&mut rng),
+                format!("{} University", rng.pick(&LAST_NAMES)),
+            ))
         } else {
             None
         };

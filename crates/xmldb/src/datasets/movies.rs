@@ -144,9 +144,7 @@ mod tests {
         let movie_titles: Vec<String> = d
             .nodes_labeled("title")
             .iter()
-            .filter(|&&t| {
-                d.ancestors(t).any(|a| d.label(a) == "movie")
-            })
+            .filter(|&&t| d.ancestors(t).any(|a| d.label(a) == "movie"))
             .map(|&t| d.string_value(t))
             .collect();
         let book_titles: Vec<String> = d

@@ -2,6 +2,7 @@
 
 use crate::interner::{Interner, Symbol};
 use crate::node::{Node, NodeId, NodeKind};
+use crate::structindex::StructIndex;
 use std::collections::HashMap;
 
 /// Reserved label for text nodes.
@@ -23,6 +24,9 @@ pub struct Document {
     root: NodeId,
     /// For each label symbol, all nodes with that label in document order.
     label_index: HashMap<Symbol, Vec<NodeId>>,
+    /// Euler-tour/depth structural index (O(1) LCA, O(log n) level
+    /// ancestors); built by [`Document::finalize`].
+    pub(crate) struct_index: Option<StructIndex>,
     finalized: bool,
 }
 
@@ -37,6 +41,7 @@ impl Document {
             nodes: vec![root],
             root: NodeId(0),
             label_index: HashMap::new(),
+            struct_index: None,
             finalized: false,
         }
     }
@@ -187,9 +192,7 @@ impl Document {
         }
 
         // Label index in document (pre) order.
-        let mut order: Vec<NodeId> = (0..self.nodes.len())
-            .map(|i| NodeId(i as u32))
-            .collect();
+        let mut order: Vec<NodeId> = (0..self.nodes.len()).map(|i| NodeId(i as u32)).collect();
         order.sort_by_key(|id| self.nodes[id.index()].pre);
         let mut index: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
         for id in order {
@@ -200,6 +203,10 @@ impl Document {
             index.entry(n.label).or_default().push(id);
         }
         self.label_index = index;
+
+        // Structural index over the rank-annotated tree: O(1) LCA via
+        // Euler-tour RMQ, O(log n) level ancestors via binary lifting.
+        self.struct_index = Some(StructIndex::build(&self.nodes, self.root));
         self.finalized = true;
     }
 

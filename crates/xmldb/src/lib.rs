@@ -46,6 +46,7 @@ pub mod datasets;
 pub mod document;
 pub mod interner;
 pub mod node;
+pub(crate) mod structindex;
 pub mod xml;
 
 pub use document::{Document, DocumentBuilder};

@@ -1,0 +1,224 @@
+//! Precomputed structural index: constant-time LCA and logarithmic
+//! level-ancestor queries over a finalized document.
+//!
+//! The MLCA predicate (crate `xquery`) asks two questions per candidate
+//! pair: *what is the lowest common ancestor of `a` and `b`?* and *which
+//! child of that LCA leads down to each node?* With parent-pointer walks
+//! both are O(depth); on the bushy-but-deep documents the generators
+//! produce that is the dominant cost of query evaluation. This module
+//! trades O(n log n) space, built once in [`crate::Document::finalize`],
+//! for:
+//!
+//! - **LCA in O(1)** — the classic Euler-tour reduction to range-minimum:
+//!   record every node each time the tour enters or returns to it (2n−1
+//!   entries), then the LCA of `a` and `b` is the minimum-depth entry
+//!   between their first occurrences, answered by a sparse table.
+//! - **Level ancestor in O(log n)** — binary lifting: `up[k][v]` is the
+//!   2^k-th ancestor of `v`, so the ancestor of `v` at any target depth
+//!   is reached by jumping along the binary expansion of the depth
+//!   difference. This gives `child_toward(anc, desc)` — the child of
+//!   `anc` on the path to `desc` — as a single level-ancestor query.
+//! - **Subtree extent in O(1)** — the largest pre-order rank inside each
+//!   node's subtree, replacing the walk-to-next-sibling scan behind the
+//!   label-count primitives.
+//!
+//! The index holds only plain `Vec<u32>` tables, so it is `Send + Sync`
+//! for free and clones with the document.
+
+use crate::node::{Node, NodeId};
+
+/// Euler-tour + sparse-table RMQ + binary-lifting tables for one
+/// finalized document. Node identity is the arena index (`NodeId.0`).
+#[derive(Debug, Clone)]
+pub(crate) struct StructIndex {
+    /// Euler tour: arena index of the node at each tour step (2n−1 long).
+    euler: Vec<u32>,
+    /// Depth of `euler[i]` — the array the RMQ minimises over.
+    euler_depth: Vec<u32>,
+    /// First tour position of each node; `u32::MAX` for unattached nodes.
+    first: Vec<u32>,
+    /// `sparse[k][i]`: tour position of the minimum-depth entry in the
+    /// window `[i, i + 2^k)`.
+    sparse: Vec<Vec<u32>>,
+    /// `up[k][v]`: arena index of the 2^k-th ancestor of `v` (saturates
+    /// at the root).
+    up: Vec<Vec<u32>>,
+    /// Depth of each node, copied so queries need not consult the arena.
+    depth: Vec<u32>,
+    /// Largest pre-order rank inside each node's subtree (inclusive).
+    subtree_hi: Vec<u32>,
+}
+
+impl StructIndex {
+    /// Build the index. `nodes` must already carry pre ranks and depths
+    /// (i.e. the rank-assignment phase of `finalize` has run).
+    pub(crate) fn build(nodes: &[Node], root: NodeId) -> StructIndex {
+        let n = nodes.len();
+        let mut euler = Vec::with_capacity(2 * n);
+        let mut euler_depth = Vec::with_capacity(2 * n);
+        let mut first = vec![u32::MAX; n];
+        let mut depth = vec![0u32; n];
+        for (i, node) in nodes.iter().enumerate() {
+            depth[i] = node.depth;
+        }
+
+        // Euler tour: record a node on entry and again after each child's
+        // subtree. Iterative, so arbitrarily deep documents are fine.
+        enum Step {
+            Enter(u32),
+            Revisit(u32),
+        }
+        let mut stack = vec![Step::Enter(root.index() as u32)];
+        while let Some(step) = stack.pop() {
+            let v = match step {
+                Step::Enter(v) => {
+                    first[v as usize] = euler.len() as u32;
+                    // Schedule children interleaved with revisits of `v`:
+                    // tour(v) = v, tour(c1), v, tour(c2), v, …
+                    let mut kids = Vec::new();
+                    let mut c = nodes[v as usize].first_child;
+                    while let Some(cid) = c {
+                        kids.push(cid.index() as u32);
+                        c = nodes[cid.index()].next_sibling;
+                    }
+                    for &k in kids.iter().rev() {
+                        stack.push(Step::Revisit(v));
+                        stack.push(Step::Enter(k));
+                    }
+                    v
+                }
+                Step::Revisit(v) => v,
+            };
+            euler.push(v);
+            euler_depth.push(depth[v as usize]);
+        }
+
+        // Sparse table over the tour depths.
+        let m = euler.len();
+        let levels = usize::BITS as usize - m.leading_zeros() as usize; // floor(log2 m)+1
+        let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        sparse.push((0..m as u32).collect());
+        let mut k = 1;
+        while (1usize << k) <= m {
+            let half = 1usize << (k - 1);
+            let prev = &sparse[k - 1];
+            let row: Vec<u32> = (0..=m - (1 << k))
+                .map(|i| {
+                    let a = prev[i];
+                    let b = prev[i + half];
+                    if euler_depth[a as usize] <= euler_depth[b as usize] {
+                        a
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            sparse.push(row);
+            k += 1;
+        }
+
+        // Binary-lifting ancestor table. The root points at itself, so
+        // over-long jumps saturate instead of needing bounds checks.
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let lift_levels = (u32::BITS - max_depth.leading_zeros()).max(1) as usize;
+        let mut up: Vec<Vec<u32>> = Vec::with_capacity(lift_levels);
+        let base: Vec<u32> = (0..n)
+            .map(|i| match nodes[i].parent {
+                Some(p) => p.index() as u32,
+                None => i as u32,
+            })
+            .collect();
+        up.push(base);
+        for k in 1..lift_levels {
+            let prev = &up[k - 1];
+            let row: Vec<u32> = (0..n).map(|i| prev[prev[i] as usize]).collect();
+            up.push(row);
+        }
+
+        // Subtree extents: processing nodes by descending pre-order rank
+        // handles children before parents, and a node's subtree ends
+        // where its last child's does.
+        let mut by_pre: Vec<u32> = (0..n as u32)
+            .filter(|&i| nodes[i as usize].pre != u32::MAX)
+            .collect();
+        by_pre.sort_unstable_by_key(|&i| std::cmp::Reverse(nodes[i as usize].pre));
+        let mut subtree_hi = vec![u32::MAX; n];
+        for &i in &by_pre {
+            subtree_hi[i as usize] = match nodes[i as usize].last_child {
+                Some(c) => subtree_hi[c.index()],
+                None => nodes[i as usize].pre,
+            };
+        }
+
+        StructIndex {
+            euler,
+            euler_depth,
+            first,
+            sparse,
+            up,
+            depth,
+            subtree_hi,
+        }
+    }
+
+    /// Tour position of the minimum-depth entry in `[l, r]` (inclusive).
+    #[inline]
+    fn rmq(&self, l: usize, r: usize) -> usize {
+        debug_assert!(l <= r && r < self.euler.len());
+        let k = (usize::BITS - 1 - (r - l + 1).leading_zeros()) as usize;
+        let a = self.sparse[k][l];
+        let b = self.sparse[k][r + 1 - (1 << k)];
+        if self.euler_depth[a as usize] <= self.euler_depth[b as usize] {
+            a as usize
+        } else {
+            b as usize
+        }
+    }
+
+    /// Lowest common ancestor of two (attached) nodes, O(1).
+    #[inline]
+    pub(crate) fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut l, mut r) = (
+            self.first[a.index()] as usize,
+            self.first[b.index()] as usize,
+        );
+        debug_assert!(
+            l != u32::MAX as usize && r != u32::MAX as usize,
+            "lca of unattached node"
+        );
+        if l > r {
+            std::mem::swap(&mut l, &mut r);
+        }
+        NodeId(self.euler[self.rmq(l, r)])
+    }
+
+    /// The ancestor of `v` at depth `target` (which must not exceed the
+    /// depth of `v`); `v` itself when the depths match. O(log depth).
+    #[inline]
+    pub(crate) fn ancestor_at_depth(&self, v: NodeId, target: u32) -> NodeId {
+        let mut cur = v.index() as u32;
+        debug_assert!(target <= self.depth[cur as usize]);
+        let mut steps = self.depth[cur as usize] - target;
+        let mut k = 0;
+        while steps != 0 {
+            if steps & 1 == 1 {
+                cur = self.up[k][cur as usize];
+            }
+            steps >>= 1;
+            k += 1;
+        }
+        NodeId(cur)
+    }
+
+    /// Largest pre-order rank inside the subtree of `v`, O(1).
+    #[inline]
+    pub(crate) fn subtree_hi(&self, v: NodeId) -> u32 {
+        self.subtree_hi[v.index()]
+    }
+
+    /// Depth of `v` as recorded at build time.
+    #[inline]
+    pub(crate) fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+}

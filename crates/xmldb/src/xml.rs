@@ -21,7 +21,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -244,7 +248,9 @@ impl<'a> Parser<'a> {
                 self.pos += 2;
                 let close = self.name()?;
                 if close != tag {
-                    return self.err(format!("mismatched close tag `</{close}>`, expected `</{tag}>`"));
+                    return self.err(format!(
+                        "mismatched close tag `</{close}>`, expected `</{tag}>`"
+                    ));
                 }
                 self.skip_ws();
                 if !self.eat(">") {
@@ -417,8 +423,8 @@ mod tests {
 
     #[test]
     fn parses_attributes() {
-        let d = Document::parse_str(r#"<bib><book year="1994"><title>T</title></book></bib>"#)
-            .unwrap();
+        let d =
+            Document::parse_str(r#"<bib><book year="1994"><title>T</title></book></bib>"#).unwrap();
         let y = d.nodes_labeled("year")[0];
         assert!(d.node(y).is_attribute());
         assert_eq!(d.string_value(y), "1994");

@@ -350,9 +350,7 @@ impl Expr {
         match self {
             Expr::Path { root, .. } => matches!(root, PathRoot::Var(v) if v == name),
             Expr::Str(_) | Expr::Num(_) => false,
-            Expr::Cmp { lhs, rhs, .. } => {
-                lhs.references_var(name) || rhs.references_var(name)
-            }
+            Expr::Cmp { lhs, rhs, .. } => lhs.references_var(name) || rhs.references_var(name),
             Expr::And(xs) | Expr::Or(xs) | Expr::Seq(xs) | Expr::Mqf(xs) => {
                 xs.iter().any(|x| x.references_var(name))
             }
@@ -371,7 +369,9 @@ impl Expr {
                 bindings.iter().any(|b| match b {
                     Binding::For { source, .. } => source.references_var(name),
                     Binding::Let { value, .. } => value.references_var(name),
-                }) || where_clause.as_deref().is_some_and(|w| w.references_var(name))
+                }) || where_clause
+                    .as_deref()
+                    .is_some_and(|w| w.references_var(name))
                     || order_by.iter().any(|k| k.expr.references_var(name))
                     || ret.references_var(name)
             }

@@ -11,9 +11,7 @@
 use crate::ast::{AggFunc, Binding, CmpOp, Expr, OrderDir, PathRoot, Quantifier, Step, StepAxis};
 use crate::mlca::set_meaningfully_related;
 use crate::parser::{parse, ParseError};
-use crate::value::{
-    compare_items, effective_boolean, ConstructedElem, Item, Sequence,
-};
+use crate::value::{compare_items, effective_boolean, ConstructedElem, Item, Sequence};
 use std::fmt;
 use xmldb::{Document, NodeId, NodeKind};
 
@@ -80,17 +78,19 @@ impl From<ParseError> for EvalError {
 /// shares structure with the parent, which matters because the FLWOR
 /// evaluator creates one environment per candidate tuple. Lookup walks
 /// the (short — one entry per in-scope variable) chain, newest first,
-/// so inner bindings shadow outer ones.
+/// so inner bindings shadow outer ones. The spine is `Arc`-linked so
+/// environments can cross threads (the batch runner evaluates
+/// independent queries on a shared engine).
 #[derive(Debug, Clone, Default)]
 pub struct Env {
-    head: Option<std::rc::Rc<EnvNode>>,
+    head: Option<std::sync::Arc<EnvNode>>,
 }
 
 #[derive(Debug)]
 struct EnvNode {
     var: String,
     seq: Sequence,
-    next: Option<std::rc::Rc<EnvNode>>,
+    next: Option<std::sync::Arc<EnvNode>>,
 }
 
 impl Env {
@@ -102,7 +102,7 @@ impl Env {
     /// Bind `var` to `seq`, returning the extended environment.
     pub fn bind(&self, var: &str, seq: Sequence) -> Env {
         Env {
-            head: Some(std::rc::Rc::new(EnvNode {
+            head: Some(std::sync::Arc::new(EnvNode {
                 var: var.to_owned(),
                 seq,
                 next: self.head.clone(),
@@ -130,6 +130,11 @@ impl Env {
 
 /// The query engine, tied to one document (the paper's NaLIX "currently
 /// only supports queries over a single document").
+///
+/// The engine is `Send + Sync`: evaluation itself only reads the
+/// document, and the lazily built value index lives behind a sharded
+/// `RwLock` cache, so one engine can serve many threads concurrently
+/// (see `nalix::BatchRunner`).
 pub struct Engine<'d> {
     doc: &'d Document,
     /// Lazily built per-label value index (`label → value → nodes`),
@@ -139,12 +144,58 @@ pub struct Engine<'d> {
     /// same way general comparison atomises (numbers normalised, other
     /// strings verbatim), so the index is exactly as selective as the
     /// `=` it accelerates.
-    value_index: std::cell::RefCell<
-        std::collections::HashMap<xmldb::Symbol, std::rc::Rc<ValueIndex>>,
-    >,
+    value_index: ValueIndexCache,
 }
 
 type ValueIndex = std::collections::HashMap<String, Vec<NodeId>>;
+
+/// Number of lock shards in [`ValueIndexCache`]. Shard choice only
+/// spreads lock contention, not data: each label's index lives wholly
+/// in the shard its symbol hashes to.
+const VALUE_INDEX_SHARDS: usize = 16;
+
+/// Concurrent lazily-populated map `Symbol → Arc<ValueIndex>`.
+///
+/// Reads take a shard's read lock for a clone of the `Arc` only; index
+/// construction happens outside any lock, so a slow build of one
+/// label's index never blocks queries touching other labels (or even
+/// other lookups of the same shard). If two threads race to build the
+/// same label's index the first insert wins and the duplicate is
+/// dropped — both are built from the same immutable document, so the
+/// contents are identical.
+struct ValueIndexCache {
+    shards: [std::sync::RwLock<
+        std::collections::HashMap<xmldb::Symbol, std::sync::Arc<ValueIndex>>,
+    >; VALUE_INDEX_SHARDS],
+}
+
+impl Default for ValueIndexCache {
+    fn default() -> Self {
+        ValueIndexCache {
+            shards: std::array::from_fn(|_| Default::default()),
+        }
+    }
+}
+
+impl ValueIndexCache {
+    fn get_or_build(
+        &self,
+        sym: xmldb::Symbol,
+        build: impl FnOnce() -> ValueIndex,
+    ) -> std::sync::Arc<ValueIndex> {
+        let shard = &self.shards[sym.index() % VALUE_INDEX_SHARDS];
+        if let Some(ix) = shard.read().expect("value index lock poisoned").get(&sym) {
+            return ix.clone();
+        }
+        let built = std::sync::Arc::new(build());
+        shard
+            .write()
+            .expect("value index lock poisoned")
+            .entry(sym)
+            .or_insert(built)
+            .clone()
+    }
+}
 
 /// Canonical key for equality-index lookups: matches the equality
 /// semantics of [`compare_items`] (numeric values compare numerically,
@@ -166,22 +217,18 @@ impl<'d> Engine<'d> {
         }
     }
 
-    /// Nodes with label `sym` whose atomised value equals `value`
-    /// (under general-comparison equality), via the lazy value index.
-    fn nodes_with_value(&self, sym: xmldb::Symbol, value: &str) -> Vec<NodeId> {
-        let mut cache = self.value_index.borrow_mut();
-        let index = cache.entry(sym).or_insert_with(|| {
+    /// The (lazily built) value index for label `sym`. The returned
+    /// `Arc` is a lock-free snapshot: callers with many lookups for the
+    /// same label fetch it once and probe the map directly.
+    fn value_index_for(&self, sym: xmldb::Symbol) -> std::sync::Arc<ValueIndex> {
+        self.value_index.get_or_build(sym, || {
             let mut m: ValueIndex = std::collections::HashMap::new();
             for &n in self.doc.nodes_with_symbol(sym) {
                 let key = canon_value(&Item::Node(n).string_value(self.doc));
                 m.entry(key).or_default().push(n);
             }
-            std::rc::Rc::new(m)
-        });
-        index
-            .get(&canon_value(value))
-            .cloned()
-            .unwrap_or_default()
+            m
+        })
     }
 
     /// The underlying document.
@@ -503,53 +550,66 @@ impl<'d> Engine<'d> {
                                 .map(|(_, b)| *b)
                                 .collect();
 
+                            // Hoist the value-index lookups out of the
+                            // tuple loop: one cache round-trip (a lock
+                            // acquisition under concurrency) per label
+                            // per binding, not per candidate tuple.
+                            let eq_indexes: Vec<std::sync::Arc<ValueIndex>> =
+                                match (&fast_labels, eq_partners.is_empty()) {
+                                    (Some(labels), false) => {
+                                        labels.iter().map(|&l| self.value_index_for(l)).collect()
+                                    }
+                                    _ => Vec::new(),
+                                };
+
                             let mut next = Vec::new();
                             for e in &stream {
                                 // Per-tuple anchor search. Equality
                                 // joins first (most selective), then
                                 // mqf partner enumeration.
                                 let mut candidates: Option<Vec<Item>> = None;
-                                if let Some(labels) = &fast_labels {
+                                if !eq_indexes.is_empty() {
                                     for &w in &eq_partners {
                                         let Some(seq) = e.get(w) else { continue };
                                         let [item] = seq.as_slice() else { continue };
-                                        let key = item.string_value(self.doc);
-                                        let mut c: Vec<NodeId> = labels
+                                        let key = canon_value(&item.string_value(self.doc));
+                                        let mut c: Vec<NodeId> = eq_indexes
                                             .iter()
-                                            .flat_map(|&l| self.nodes_with_value(l, &key))
+                                            .flat_map(|ix| {
+                                                ix.get(&key).cloned().unwrap_or_default()
+                                            })
                                             .collect();
                                         c.sort_by_key(|&n| self.doc.node(n).pre);
                                         c.dedup();
-                                        candidates =
-                                            Some(c.into_iter().map(Item::Node).collect());
+                                        candidates = Some(c.into_iter().map(Item::Node).collect());
                                         break;
                                     }
                                 }
                                 if candidates.is_none() {
                                     if let Some(labels) = &fast_labels {
                                         'anchor: for vars in &mqf_partners {
-                                        for &v2 in vars.iter() {
-                                            if v2 == var {
-                                                continue;
+                                            for &v2 in vars.iter() {
+                                                if v2 == var {
+                                                    continue;
+                                                }
+                                                let Some(seq) = e.get(v2) else { continue };
+                                                let [Item::Node(a)] = seq.as_slice() else {
+                                                    continue;
+                                                };
+                                                let mut c: Vec<NodeId> = labels
+                                                    .iter()
+                                                    .flat_map(|&l| {
+                                                        crate::mlca::meaningful_partners_indexed(
+                                                            self.doc, *a, l,
+                                                        )
+                                                    })
+                                                    .collect();
+                                                c.sort_by_key(|&n| self.doc.node(n).pre);
+                                                c.dedup();
+                                                candidates =
+                                                    Some(c.into_iter().map(Item::Node).collect());
+                                                break 'anchor;
                                             }
-                                            let Some(seq) = e.get(v2) else { continue };
-                                            let [Item::Node(a)] = seq.as_slice() else {
-                                                continue;
-                                            };
-                                            let mut c: Vec<NodeId> = labels
-                                                .iter()
-                                                .flat_map(|&l| {
-                                                    crate::mlca::meaningful_partners_indexed(
-                                                        self.doc, *a, l,
-                                                    )
-                                                })
-                                                .collect();
-                                            c.sort_by_key(|&n| self.doc.node(n).pre);
-                                            c.dedup();
-                                            candidates =
-                                                Some(c.into_iter().map(Item::Node).collect());
-                                            break 'anchor;
-                                        }
                                         }
                                     }
                                 }
@@ -584,8 +644,7 @@ impl<'d> Engine<'d> {
                 // the specified order is a sort on the bound nodes'
                 // document positions, taken in source binding order.
                 if exec.iter().enumerate().any(|(i, &j)| i != j) {
-                    let original_names: Vec<&str> =
-                        bindings.iter().map(Binding::var).collect();
+                    let original_names: Vec<&str> = bindings.iter().map(Binding::var).collect();
                     stream.sort_by_key(|e| {
                         original_names
                             .iter()
@@ -689,12 +748,11 @@ impl<'d> Engine<'d> {
                                 env.contains(v)
                                     || names.iter().enumerate().any(|(j, n)| placed[j] && *n == v)
                             };
-                            let anchored = mqf_groups.iter().any(|vars| {
-                                vars.contains(&var.as_str())
-                                    && vars.iter().any(|v| *v != var && available(v))
-                            }) || eq_pairs
-                                .iter()
-                                .any(|(a, b)| a == var && available(b));
+                            let anchored =
+                                mqf_groups.iter().any(|vars| {
+                                    vars.contains(&var.as_str())
+                                        && vars.iter().any(|v| *v != var && available(v))
+                                }) || eq_pairs.iter().any(|(a, b)| a == var && available(b));
                             if anchored {
                                 1 << 10
                             } else {
@@ -746,12 +804,7 @@ impl<'d> Engine<'d> {
         }
     }
 
-    fn eval_path(
-        &self,
-        root: &PathRoot,
-        steps: &[Step],
-        env: &Env,
-    ) -> Result<Sequence, EvalError> {
+    fn eval_path(&self, root: &PathRoot, steps: &[Step], env: &Env) -> Result<Sequence, EvalError> {
         // Starting context node set.
         let mut ctx: Vec<NodeId> = match root {
             PathRoot::Doc(_) => vec![self.doc.root()],
@@ -961,9 +1014,7 @@ impl<'d> Engine<'d> {
                 arity(1)?;
                 let seq = self.eval(&args[0], env)?;
                 match seq.first() {
-                    Some(Item::Node(id)) => {
-                        Ok(vec![Item::Str(self.doc.label(*id).to_owned())])
-                    }
+                    Some(Item::Node(id)) => Ok(vec![Item::Str(self.doc.label(*id).to_owned())]),
                     Some(Item::Elem(e)) => Ok(vec![Item::Str(e.name.clone())]),
                     _ => Ok(vec![Item::Str(String::new())]),
                 }
@@ -1020,8 +1071,35 @@ mod tests {
 
     fn run(doc: &Document, q: &str) -> Vec<String> {
         let e = Engine::new(doc);
-        let out = e.run(q).unwrap_or_else(|err| panic!("query failed: {err}\n{q}"));
+        let out = e
+            .run(q)
+            .unwrap_or_else(|err| panic!("query failed: {err}\n{q}"));
         e.strings(&out)
+    }
+
+    #[test]
+    fn engine_and_env_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine<'static>>();
+        assert_send_sync::<Env>();
+    }
+
+    #[test]
+    fn value_index_is_shared_across_threads() {
+        let doc = movies();
+        let e = Engine::new(&doc);
+        let q = "for $m in doc(\"movies.xml\")//movie, $d in doc(\"movies.xml\")//director \
+                 where $d = \"Ron Howard\" and mqf($m, $d) return $m/title";
+        let serial = e.strings(&e.run(q).unwrap());
+        let parallel: Vec<Vec<String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| e.strings(&e.run(q).unwrap())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in parallel {
+            assert_eq!(p, serial);
+        }
     }
 
     /// Plan the bindings of a parsed FLWOR and return the variable names
@@ -1237,10 +1315,7 @@ mod tests {
     #[test]
     fn aggregates() {
         let d = bib();
-        assert_eq!(
-            run(&d, "count(doc()//book)"),
-            vec!["4"]
-        );
+        assert_eq!(run(&d, "count(doc()//book)"), vec!["4"]);
         assert_eq!(run(&d, "min(doc()//price)"), vec!["39.95"]);
         assert_eq!(run(&d, "max(doc()//price)"), vec!["129.95"]);
         assert_eq!(run(&d, "sum(doc()//year)"), vec!["7985"]);

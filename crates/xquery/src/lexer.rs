@@ -264,9 +264,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             {
                 let start = i;
                 let mut j = if c == '-' { i + 1 } else { i };
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     j += 1;
                 }
                 let text = &input[start..j];
@@ -333,10 +331,7 @@ mod tests {
         let t = lex(r#""Ron Howard" 'abc'"#).unwrap();
         assert_eq!(
             t,
-            vec![
-                Token::Str("Ron Howard".into()),
-                Token::Str("abc".into())
-            ]
+            vec![Token::Str("Ron Howard".into()), Token::Str("abc".into())]
         );
     }
 

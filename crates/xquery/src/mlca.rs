@@ -204,8 +204,7 @@ mod tests {
             .collect();
         assert_eq!(traffic_titles.len(), 2);
         let (movie_title, book_title) = {
-            let is_movie =
-                |t: NodeId| d.ancestors(t).any(|a| d.label(a) == "movie");
+            let is_movie = |t: NodeId| d.ancestors(t).any(|a| d.label(a) == "movie");
             if is_movie(traffic_titles[0]) {
                 (traffic_titles[0], traffic_titles[1])
             } else {
@@ -297,8 +296,7 @@ mod tests {
             xmldb::datasets::dblp::generate(&xmldb::datasets::dblp::DblpConfig::small()),
         ];
         for d in &docs {
-            let labels: Vec<String> =
-                d.labels().iter().map(|s| (*s).to_owned()).collect();
+            let labels: Vec<String> = d.labels().iter().map(|s| (*s).to_owned()).collect();
             // every node as anchor would be slow on the dblp corpus;
             // sample in strides
             let anchors: Vec<_> = (0..d.len()).step_by(17).collect();
@@ -311,11 +309,7 @@ mod tests {
                     let Some(sym) = d.lookup(label) else { continue };
                     let fast = meaningful_partners_indexed(d, a, sym);
                     let naive = meaningful_partners(d, a, label);
-                    assert_eq!(
-                        fast, naive,
-                        "anchor {a} ({}), label {label}",
-                        d.label(a)
-                    );
+                    assert_eq!(fast, naive, "anchor {a} ({}), label {label}", d.label(a));
                 }
             }
         }

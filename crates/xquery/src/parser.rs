@@ -40,7 +40,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XQuery parse error at token {}: {}", self.at, self.message)
+        write!(
+            f,
+            "XQuery parse error at token {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -110,7 +114,8 @@ impl P {
         } else {
             Err(self.err(format!(
                 "expected `{t}`, found {}",
-                self.peek().map_or("end of input".to_owned(), |x| format!("`{x}`"))
+                self.peek()
+                    .map_or("end of input".to_owned(), |x| format!("`{x}`"))
             )))
         }
     }
@@ -134,7 +139,8 @@ impl P {
         } else {
             Err(self.err(format!(
                 "expected keyword `{kw}`, found {}",
-                self.peek().map_or("end of input".to_owned(), |x| format!("`{x}`"))
+                self.peek()
+                    .map_or("end of input".to_owned(), |x| format!("`{x}`"))
             )))
         }
     }
@@ -533,8 +539,8 @@ mod tests {
 
     #[test]
     fn parses_order_by() {
-        let e = parse("for $b in doc()//book order by $b/title descending return $b/title")
-            .unwrap();
+        let e =
+            parse("for $b in doc()//book order by $b/title descending return $b/title").unwrap();
         match e {
             Expr::Flwor { order_by, .. } => {
                 assert_eq!(order_by.len(), 1);
@@ -592,11 +598,14 @@ mod tests {
 
     #[test]
     fn parses_element_constructor() {
-        let e = parse("for $b in doc()//book return element result { $b/title, $b/author }")
-            .unwrap();
+        let e =
+            parse("for $b in doc()//book return element result { $b/title, $b/author }").unwrap();
         match e {
             Expr::Flwor { ret, .. } => match *ret {
-                Expr::Element { ref name, ref content } => {
+                Expr::Element {
+                    ref name,
+                    ref content,
+                } => {
                     assert_eq!(name, "result");
                     assert_eq!(content.len(), 2);
                 }

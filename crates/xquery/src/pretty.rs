@@ -167,10 +167,16 @@ fn write_inline(expr: &Expr, level: usize, out: &mut String) {
             source,
             satisfies,
         } => {
+            // Parenthesised so the output stays parseable when the
+            // quantifier is an operand of `and`/`or`: the grammar (like
+            // real XQuery) only admits a bare quantified expression at
+            // ExprSingle level.
+            out.push('(');
             let _ = write!(out, "{quant} ${var} in ");
             write_inline(source, level, out);
             out.push_str(" satisfies ");
             write_inline(satisfies, level, out);
+            out.push(')');
         }
         Expr::Seq(parts) => {
             out.push('(');

@@ -1,0 +1,179 @@
+//! Pretty-print → re-parse roundtrip over *generated* XQuery ASTs.
+//!
+//! The translator builds `Expr` trees directly and the golden tests
+//! snapshot their pretty-printed text, so the printer and the text
+//! parser must agree: parsing printed output must succeed, and printing
+//! the re-parsed tree must reach a fixpoint (the parser may normalise —
+//! e.g. flatten conjunctions — so the invariant is stated on the
+//! printed form, plus AST equality whenever the generated tree is
+//! already in canonical form).
+
+use proptest::prelude::*;
+use xquery::ast::{
+    AggFunc, Binding, CmpOp, Expr, OrderDir, OrderKey, PathRoot, Quantifier, Step, StepAxis,
+};
+use xquery::{parse, pretty::pretty};
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}"
+}
+
+fn path() -> BoxedStrategy<Expr> {
+    (
+        prop_oneof![Just(PathRoot::Doc(None)), name().prop_map(PathRoot::Var),],
+        proptest::collection::vec(
+            (
+                prop_oneof![Just(StepAxis::Child), Just(StepAxis::Descendant)],
+                name(),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(root, steps)| Expr::Path {
+            root,
+            steps: steps
+                .into_iter()
+                .map(|(axis, n)| Step::named(axis, n))
+                .collect(),
+        })
+        .boxed()
+}
+
+fn atom() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        path(),
+        "[a-zA-Z0-9 ]{0,8}".prop_map(Expr::Str),
+        (0u32..1000).prop_map(|n| Expr::Num(n as f64)),
+        (
+            prop_oneof![
+                Just(AggFunc::Count),
+                Just(AggFunc::Sum),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max),
+                Just(AggFunc::Avg)
+            ],
+            path()
+        )
+            .prop_map(|(func, arg)| Expr::Agg {
+                func,
+                arg: Box::new(arg)
+            }),
+    ]
+    .boxed()
+}
+
+fn cmp() -> BoxedStrategy<Expr> {
+    (
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge)
+        ],
+        atom(),
+        atom(),
+    )
+        .prop_map(|(op, lhs, rhs)| Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+        .boxed()
+}
+
+fn predicate() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        cmp(),
+        proptest::collection::vec(path(), 2..5).prop_map(Expr::Mqf),
+        cmp().prop_map(|c| Expr::Not(Box::new(c))),
+        proptest::collection::vec(cmp(), 2..4).prop_map(Expr::Or),
+        (path(), "[a-zA-Z0-9 ]{1,8}").prop_map(|(p, s)| Expr::Call {
+            name: "contains".to_owned(),
+            args: vec![p, Expr::Str(s)],
+        }),
+        (
+            prop_oneof![Just(Quantifier::Some), Just(Quantifier::Every)],
+            name(),
+            path(),
+            cmp()
+        )
+            .prop_map(|(quant, var, source, satisfies)| Expr::Quantified {
+                quant,
+                var,
+                source: Box::new(source),
+                satisfies: Box::new(satisfies),
+            }),
+    ]
+    .boxed()
+}
+
+fn where_clause() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        predicate(),
+        proptest::collection::vec(predicate(), 2..4).prop_map(Expr::And),
+    ]
+    .boxed()
+}
+
+fn flwor() -> BoxedStrategy<Expr> {
+    (
+        proptest::collection::vec((name(), name()), 1..4),
+        proptest::option::of(where_clause()),
+        proptest::collection::vec(
+            (
+                path(),
+                prop_oneof![Just(OrderDir::Ascending), Just(OrderDir::Descending)],
+            ),
+            0..3,
+        ),
+        prop_oneof![
+            path(),
+            (name(), proptest::collection::vec(path(), 1..3))
+                .prop_map(|(n, content)| Expr::Element { name: n, content }),
+            proptest::collection::vec(path(), 2..4).prop_map(Expr::Seq),
+        ],
+    )
+        .prop_map(|(vars, where_c, order, ret)| Expr::Flwor {
+            bindings: vars
+                .into_iter()
+                .map(|(var, label)| Binding::For {
+                    var,
+                    source: Expr::Path {
+                        root: PathRoot::Doc(None),
+                        steps: vec![Step::named(StepAxis::Descendant, label)],
+                    },
+                })
+                .collect(),
+            where_clause: where_c.map(Box::new),
+            order_by: order
+                .into_iter()
+                .map(|(expr, dir)| OrderKey { expr, dir })
+                .collect(),
+            ret: Box::new(ret),
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn pretty_output_reparses_to_fixpoint(expr in flwor()) {
+        let printed = pretty(&expr);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed query does not re-parse: {e}\n{printed}"));
+        let reprinted = pretty(&reparsed);
+        prop_assert_eq!(&printed, &reprinted, "print→parse→print not a fixpoint");
+        // And from the fixpoint, the AST itself must round-trip exactly.
+        let reparsed2 = parse(&reprinted).expect("fixpoint text re-parses");
+        prop_assert_eq!(reparsed, reparsed2);
+    }
+
+    #[test]
+    fn standalone_predicates_reparse(pred in where_clause()) {
+        let printed = pretty(&pred);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed predicate does not re-parse: {e}\n{printed}"));
+        prop_assert_eq!(&printed, &pretty(&reparsed));
+    }
+}

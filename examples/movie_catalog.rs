@@ -34,13 +34,18 @@ fn main() {
     println!("Q: {q2}\n");
     match nalix.query(q2) {
         Outcome::Translated(t) => {
-            println!("classified parse tree (compare with the paper's Figure 2):\n{}", t.tree.outline());
+            println!(
+                "classified parse tree (compare with the paper's Figure 2):\n{}",
+                t.tree.outline()
+            );
             println!(
                 "variable bindings (compare with the paper's Table 3):\n{}",
                 nalix_repro::nalix::explain::explain(&t.tree).render()
             );
-            println!("translation (compare with the paper's Figure 9):\n{}\n",
-                pretty(&t.translation.query));
+            println!(
+                "translation (compare with the paper's Figure 9):\n{}\n",
+                pretty(&t.translation.query)
+            );
             let out = nalix.execute(&t).expect("evaluation");
             let mut answers = nalix.flatten_values(&out);
             answers.sort();

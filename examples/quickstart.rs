@@ -28,7 +28,10 @@ fn main() {
         println!("Q: {q}\n");
         match nalix.query(q) {
             Outcome::Translated(t) => {
-                println!("translated to Schema-Free XQuery:\n{}\n", pretty(&t.translation.query));
+                println!(
+                    "translated to Schema-Free XQuery:\n{}\n",
+                    pretty(&t.translation.query)
+                );
                 for w in &t.warnings {
                     println!("  {w}");
                 }

@@ -49,11 +49,7 @@ fn show_me_discards_the_pronoun() {
 #[test]
 fn negated_contains() {
     let doc = bib();
-    let out = ask(
-        &doc,
-        "Return every title that does not contain \"Unix\".",
-    )
-    .unwrap();
+    let out = ask(&doc, "Return every title that does not contain \"Unix\".").unwrap();
     assert_eq!(out.len(), 3);
 }
 
@@ -87,11 +83,7 @@ fn fewer_than_count() {
 #[test]
 fn starts_with_predicate() {
     let doc = bib();
-    let out = ask(
-        &doc,
-        "Return every title that starts with \"TCP\".",
-    )
-    .unwrap();
+    let out = ask(&doc, "Return every title that starts with \"TCP\".").unwrap();
     assert_eq!(out, vec!["TCP/IP Illustrated"]);
 }
 
@@ -105,11 +97,7 @@ fn ends_with_predicate() {
 #[test]
 fn descending_sort() {
     let doc = bib();
-    let out = ask(
-        &doc,
-        "Return the price of every book, in descending order.",
-    )
-    .unwrap();
+    let out = ask(&doc, "Return the price of every book, in descending order.").unwrap();
     assert_eq!(out, vec!["129.95", "65.95", "65.95", "39.95"]);
 }
 
@@ -143,15 +131,8 @@ fn before_year() {
 #[test]
 fn feedback_between_suggestion() {
     let doc = bib();
-    let errors = ask(
-        &doc,
-        "Return every book with a price between 50 and 100.",
-    )
-    .unwrap_err();
-    assert!(
-        errors.iter().any(|m| m.contains("between")),
-        "{errors:?}"
-    );
+    let errors = ask(&doc, "Return every book with a price between 50 and 100.").unwrap_err();
+    assert!(errors.iter().any(|m| m.contains("between")), "{errors:?}");
 }
 
 #[test]

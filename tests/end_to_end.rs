@@ -11,7 +11,9 @@ use nalix_repro::xmldb::Document;
 fn movies_quickstart_flow() {
     let doc = movies();
     let nalix = Nalix::new(&doc);
-    let out = nalix.ask("Find all the movies directed by Ron Howard.").unwrap();
+    let out = nalix
+        .ask("Find all the movies directed by Ron Howard.")
+        .unwrap();
     assert_eq!(out.len(), 2);
 }
 

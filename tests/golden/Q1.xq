@@ -1,0 +1,4 @@
+(: Q1: Return the year and title of every book published by Addison-Wesley after 1991. :)
+for $v1 in doc()//year, $v2 in doc()//title, $v3 in doc()//book, $v4 in doc()//publisher, $v5 in doc()//year
+where mqf($v1,$v2,$v3,$v4,$v5) and $v4 = "Addison-Wesley" and $v5 > 1991
+return element result { $v1, $v2 }

@@ -1,0 +1,9 @@
+(: Q10: Return the title of every book and the lowest year of the title. :)
+for $v1 in doc()//title, $v2 in doc()//book
+let $vars1 := {
+  for $v3 in doc()//year, $v4 in doc()//title
+  where mqf($v3,$v4) and $v4 = $v1
+  return $v3
+}
+where mqf($v1,$v2)
+return element result { $v1, min($vars1) }

@@ -1,0 +1,4 @@
+(: Q11: Return the title and the affiliation of the editor of every book. :)
+for $v1 in doc()//title, $v2 in doc()//affiliation, $v3 in doc()//editor, $v4 in doc()//book
+where mqf($v1,$v2,$v3,$v4)
+return element result { $v1, $v2 }

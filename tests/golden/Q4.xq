@@ -1,0 +1,4 @@
+(: Q4: Return the author and the titles of all books of the author. :)
+for $v1 in doc()//author, $v2 in doc()//title, $v3 in doc()//book
+where mqf($v1,$v2,$v3)
+return element result { $v1, $v2 }

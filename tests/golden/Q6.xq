@@ -1,0 +1,4 @@
+(: Q6: Return the title and the authors of every book that has an author. :)
+for $v1 in doc()//title, $v2 in doc()//author, $v3 in doc()//book
+where mqf($v1,$v2,$v3)
+return element result { $v1, $v2 }

@@ -1,0 +1,5 @@
+(: Q7: Return the title and the year of every book published by Addison-Wesley after 1991, sorted by title. :)
+for $v1 in doc()//title, $v2 in doc()//year, $v3 in doc()//book, $v4 in doc()//title, $v5 in doc()//publisher, $v6 in doc()//year
+where mqf($v1,$v2,$v3,$v4,$v5,$v6) and $v5 = "Addison-Wesley" and $v6 > 1991
+order by $v4
+return element result { $v1, $v2 }

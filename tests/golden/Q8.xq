@@ -1,0 +1,4 @@
+(: Q8: Return the titles of books, where the author of the book contains "Suciu". :)
+for $v1 in doc()//title, $v2 in doc()//book, $v3 in doc()//author
+where mqf($v1,$v2,$v3) and contains($v3, "Suciu")
+return $v1

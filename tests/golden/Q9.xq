@@ -1,0 +1,4 @@
+(: Q9: Find all titles that contain "XML". :)
+for $v1 in doc()//title
+where contains($v1, "XML")
+return $v1

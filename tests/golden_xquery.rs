@@ -1,0 +1,111 @@
+//! Golden-file tests: the Schema-Free XQuery that NaLIX produces for
+//! the canonical phrasing of each of the nine XMP user-study tasks,
+//! pretty-printed and snapshotted under `tests/golden/`.
+//!
+//! A translation change now shows up as a readable diff against the
+//! checked-in query text instead of as a silent behaviour shift.
+//! Regenerate deliberately with:
+//!
+//! ```console
+//! $ UPDATE_GOLDEN=1 cargo test --test golden_xquery
+//! ```
+
+use nalix_repro::nalix::{Nalix, Outcome};
+use nalix_repro::userstudy::phrasings::{nl_pool, PoolKind};
+use nalix_repro::userstudy::tasks::ALL_TASKS;
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+use nalix_repro::xquery;
+use std::path::PathBuf;
+
+fn golden_path(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{label}.xq"))
+}
+
+/// Small DBLP corpus — the catalog (and therefore validation) sees the
+/// same labels as the paper-scale document, at a fraction of the build
+/// time.
+fn corpus() -> nalix_repro::xmldb::Document {
+    generate(&DblpConfig {
+        books: 40,
+        articles: 80,
+        seed: 7,
+    })
+}
+
+#[test]
+fn xmp_translations_match_golden_files() {
+    let doc = corpus();
+    let nalix = Nalix::new(&doc);
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+
+    for task in ALL_TASKS {
+        let label = task.label();
+        let question = nl_pool(task)
+            .into_iter()
+            .find(|p| p.kind == PoolKind::Good)
+            .expect("every task has an accepted phrasing")
+            .text;
+        let translated = match nalix.query(question) {
+            Outcome::Translated(t) => t,
+            Outcome::Rejected(r) => panic!(
+                "{label}: canonical phrasing rejected: {question}\n{:?}",
+                r.errors
+            ),
+        };
+        // The snapshot leads with the question so diffs are self-describing.
+        let got = format!(
+            "(: {label}: {question} :)\n{}\n",
+            xquery::pretty::pretty(&translated.translation.query)
+        );
+
+        // Whatever we snapshot must actually evaluate.
+        nalix
+            .execute(&translated)
+            .unwrap_or_else(|e| panic!("{label}: golden query fails to evaluate: {e}"));
+
+        let path = golden_path(label);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{label}: missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        if got != want {
+            failures.push(format!(
+                "{label}: translation drifted from {}\n--- golden\n{want}\n--- current\n{got}",
+                path.display()
+            ));
+        }
+    }
+
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+#[test]
+fn golden_files_reparse() {
+    // The snapshots are genuine XQuery: stripping the leading comment
+    // line, each one round-trips through the parser.
+    for task in ALL_TASKS {
+        let label = task.label();
+        let path = golden_path(label);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            // xmp_translations_match_golden_files reports missing files.
+            continue;
+        };
+        let body: String = text
+            .lines()
+            .filter(|l| !l.starts_with("(:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        xquery::parse(&body)
+            .unwrap_or_else(|e| panic!("{label}: golden file does not re-parse: {e}"));
+    }
+}

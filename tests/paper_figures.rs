@@ -10,8 +10,7 @@ use nalix_repro::nlparser;
 use nalix_repro::xmldb::datasets::movies::{movies, movies_and_books};
 use nalix_repro::xquery::pretty::pretty;
 
-const QUERY1: &str =
-    "Return every director who has directed as many movies as has Ron Howard.";
+const QUERY1: &str = "Return every director who has directed as many movies as has Ron Howard.";
 const QUERY2: &str = "Return every director, where the number of movies directed by the \
                       director is the same as the number of movies directed by Ron Howard.";
 const QUERY3: &str = "Return the directors of movies, where the title of each movie is the \

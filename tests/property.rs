@@ -27,13 +27,12 @@ struct TreeSpec {
 const LABELS: [&str; 6] = ["lib", "shelf", "book", "title", "author", "note"];
 
 fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
-    let leaf = (0..LABELS.len(), proptest::option::of(any::<u8>())).prop_map(|(label, text)| {
-        TreeSpec {
+    let leaf =
+        (0..LABELS.len(), proptest::option::of(any::<u8>())).prop_map(|(label, text)| TreeSpec {
             label,
             text,
             children: vec![],
-        }
-    });
+        });
     leaf.prop_recursive(4, 64, 5, |inner| {
         (
             0..LABELS.len(),
@@ -127,6 +126,58 @@ proptest! {
                 prop_assert!(doc.is_proper_ancestor(a, n));
             }
             prop_assert!(!doc.is_proper_ancestor(n, n));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Structural index vs parent-walk oracles
+    //
+    // `finalize` builds an Euler-tour RMQ / binary-lifting index that
+    // answers LCA and level-ancestor queries without touching parent
+    // pointers; the original walks survive as `*_walk` and serve as the
+    // oracle here, over every node pair of random trees.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn indexed_lca_matches_walk_oracle(spec in tree_strategy()) {
+        let doc = build(&spec);
+        let all: Vec<NodeId> = (0..doc.len()).map(NodeId::from_index).collect();
+        for &a in &all {
+            for &b in &all {
+                prop_assert_eq!(doc.lca(a, b), doc.lca_walk(a, b), "lca({:?},{:?})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_child_toward_matches_walk_oracle(spec in tree_strategy()) {
+        let doc = build(&spec);
+        let all: Vec<NodeId> = (0..doc.len()).map(NodeId::from_index).collect();
+        for &a in &all {
+            for &b in &all {
+                prop_assert_eq!(
+                    doc.child_toward(a, b),
+                    doc.child_toward_walk(a, b),
+                    "child_toward({:?},{:?})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_at_depth_matches_ancestor_walk(spec in tree_strategy()) {
+        let doc = build(&spec);
+        for n in (0..doc.len()).map(NodeId::from_index) {
+            let own = doc.node(n).depth;
+            // The ancestor chain, nearest first, gives the oracle for
+            // every shallower depth; the node itself covers `own`.
+            let mut chain: Vec<NodeId> = vec![n];
+            chain.extend(doc.ancestors(n));
+            for (steps, &anc) in chain.iter().enumerate() {
+                let depth = own - steps as u32;
+                prop_assert_eq!(doc.ancestor_at_depth(n, depth), Some(anc));
+            }
+            prop_assert_eq!(doc.ancestor_at_depth(n, own + 1), None);
         }
     }
 
@@ -245,9 +296,9 @@ proptest! {
         )
     ) {
         let sentence = words.join(" ");
-        match nlparser::parse(&sentence) {
-            Ok(tree) => prop_assert!(tree.check_invariants().is_ok(), "{}", tree.outline()),
-            Err(_) => {} // rejection is fine; panicking is not
+        // A rejection is fine; panicking is not.
+        if let Ok(tree) = nlparser::parse(&sentence) {
+            prop_assert!(tree.check_invariants().is_ok(), "{}", tree.outline());
         }
     }
 

@@ -45,9 +45,7 @@ fn xmp_q1_year_attribute_comparison() {
 
 #[test]
 fn xmp_q5_style_price_comparison() {
-    let out = ask(
-        "Return the title of every book, where the price of the book is less than 50.",
-    );
+    let out = ask("Return the title of every book, where the price of the book is less than 50.");
     assert_eq!(out, vec!["Data on the Web"]);
 }
 
