@@ -15,7 +15,8 @@
 //! [`Nalix`]: crate::Nalix
 //! [`Nalix::ask`]: crate::Nalix::ask
 
-use crate::{Nalix, Rejected};
+use crate::{Feedback, FeedbackKind, Nalix, Rejected};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -77,15 +78,32 @@ impl<'n, 'd> BatchRunner<'n, 'd> {
                     if i >= n {
                         break;
                     }
-                    let reply = self.nalix.ask(questions[i]);
-                    slots[i].set(reply).expect("slot claimed twice");
+                    // Isolate the question: a panic anywhere in the
+                    // pipeline (there should be none — the query-path
+                    // crates deny unwrap/expect/panic) becomes that
+                    // question's reply instead of poisoning the pool
+                    // and aborting the whole batch.
+                    let reply = catch_unwind(AssertUnwindSafe(|| self.nalix.ask(questions[i])))
+                        .unwrap_or_else(|_| Err(internal_error()));
+                    let _ = slots[i].set(reply);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("worker filled every slot"))
+            .map(|s| s.into_inner().unwrap_or_else(|| Err(internal_error())))
             .collect()
+    }
+}
+
+/// Reply used when a worker failed to produce one — an internal fault,
+/// surfaced in-order as a rejection rather than crashing the batch.
+fn internal_error() -> Rejected {
+    Rejected {
+        errors: vec![Feedback::error(FeedbackKind::GrammarViolation {
+            detail: "an internal error interrupted this question; please try again".into(),
+        })],
+        warnings: vec![],
     }
 }
 

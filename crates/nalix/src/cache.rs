@@ -4,17 +4,32 @@
 //! only on the sentence and the (immutable) catalog. Interactive use and
 //! the batch runner both resubmit the same handful of questions — the
 //! user-study tasks, dashboard-style canned queries — so [`Nalix`]
-//! memoises outcomes keyed by the *whitespace-normalized* question.
-//! Normalization deliberately stops there: NaLIX value terms are
-//! case-sensitive ("Ron Howard" must not collapse with "ron howard"),
-//! so only leading/trailing/internal whitespace runs are canonicalised.
+//! memoises outcomes keyed by a *normalized* question.
+//!
+//! Normalization goes exactly as far as the pipeline is insensitive,
+//! and no further:
+//!
+//! - whitespace runs (any Unicode whitespace) collapse to one space;
+//! - quote styles canonicalise (curly → straight), quoted values stay
+//!   verbatim inside;
+//! - a word is lowercased only where its case cannot change how the
+//!   tagger reads it: the sentence-initial word, words already
+//!   lowercase, and closed-class lexicon words
+//!   ([`tags_case_insensitively`]). A capitalised unknown word
+//!   mid-sentence tags as a proper noun — a *value* — so "Return all
+//!   Movies" must not collapse with "Return all movies", and
+//!   "Ron Howard" never collapses with "ron howard".
 //!
 //! [`Nalix`]: crate::Nalix
+//! [`tags_case_insensitively`]: nlparser::lexicon::tags_case_insensitively
 
 use crate::Outcome;
+use nlparser::lexicon::tags_case_insensitively;
+use nlparser::parse::normalize_multi_sentence;
+use nlparser::tokenize::{tokenize, RawKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 /// Hit/miss counters of a [`Nalix`](crate::Nalix) translation cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,15 +42,40 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// Canonical cache key: whitespace runs collapsed to single spaces,
-/// leading/trailing whitespace dropped. Case is preserved.
+/// Canonical cache key (see the module docs for what is — and is not —
+/// collapsed). Falls back to plain whitespace collapsing when the
+/// question does not tokenize; the pipeline will reject it either way,
+/// and the rejection is memoised under the same deterministic key.
 pub(crate) fn normalize(question: &str) -> String {
+    let fused = normalize_multi_sentence(question);
+    let Ok(tokens) = tokenize(&fused) else {
+        return question.split_whitespace().collect::<Vec<_>>().join(" ");
+    };
     let mut out = String::with_capacity(question.len());
-    for word in question.split_whitespace() {
+    for (i, t) in tokens.iter().enumerate() {
         if !out.is_empty() {
             out.push(' ');
         }
-        out.push_str(word);
+        match t.kind {
+            RawKind::Quoted => {
+                out.push('"');
+                out.push_str(&t.text);
+                out.push('"');
+            }
+            RawKind::Comma => out.push(','),
+            RawKind::Number => out.push_str(&t.text),
+            RawKind::Word => {
+                let lower = t.text.to_lowercase();
+                let case_blind = i == 0
+                    || !t.text.chars().next().is_some_and(char::is_uppercase)
+                    || tags_case_insensitively(&lower);
+                if case_blind {
+                    out.push_str(&lower);
+                } else {
+                    out.push_str(&t.text);
+                }
+            }
+        }
     }
     out
 }
@@ -53,7 +93,7 @@ impl TranslationCache {
         let hit = self
             .map
             .read()
-            .expect("translation cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(key)
             .cloned();
         match &hit {
@@ -66,7 +106,7 @@ impl TranslationCache {
     pub(crate) fn insert(&self, key: String, outcome: Outcome) {
         self.map
             .write()
-            .expect("translation cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, outcome);
     }
 
@@ -77,7 +117,7 @@ impl TranslationCache {
             entries: self
                 .map
                 .read()
-                .expect("translation cache lock poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .len(),
         }
     }
@@ -85,7 +125,7 @@ impl TranslationCache {
     pub(crate) fn clear(&self) {
         self.map
             .write()
-            .expect("translation cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clear();
     }
 }
@@ -95,10 +135,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn normalize_collapses_whitespace_only() {
-        assert_eq!(normalize("  Find\tall \n movies  "), "Find all movies");
-        assert_eq!(normalize("Ron Howard"), "Ron Howard");
-        assert_ne!(normalize("Ron Howard"), normalize("ron howard"));
+    fn normalize_collapses_whitespace() {
+        assert_eq!(normalize("  Find\tall \n movies  "), "find all movies");
+        assert_eq!(
+            normalize("find\u{00A0}all\u{2009}movies"),
+            normalize("find all movies")
+        );
+    }
+
+    #[test]
+    fn normalize_folds_case_only_where_tagging_is_case_blind() {
+        // Command verb, quantifier, and the sentence-initial word are
+        // closed-class / position-insensitive: fold.
+        assert_eq!(
+            normalize("FIND All movies"), // "All" is a quantifier
+            normalize("find all movies")
+        );
+        // A capitalised unknown word mid-sentence is a proper noun (a
+        // value): its case is meaning-bearing, so the keys differ.
+        assert_ne!(
+            normalize("Return all Movies"),
+            normalize("Return all movies")
+        );
+        assert_ne!(
+            normalize("Find movies directed by Ron Howard"),
+            normalize("Find movies directed by ron howard")
+        );
+    }
+
+    #[test]
+    fn normalize_canonicalises_quotes_but_not_quoted_values() {
+        assert_eq!(
+            normalize("the title is \u{201C}Traffic\u{201D}"),
+            normalize("the title is \"Traffic\"")
+        );
+        assert_ne!(
+            normalize("the title is \"Traffic\""),
+            normalize("the title is \"traffic\"")
+        );
+    }
+
+    #[test]
+    fn normalize_untokenizable_input_is_deterministic() {
+        let a = normalize("movies \u{2026}  by year");
+        let b = normalize("movies \u{2026} by year");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! The typed error taxonomy of the NL→answer path.
+//!
+//! The paper's central UX claim (Sec. 4) is that NaLIX never dies on
+//! bad input: every unsupported question produces a query-specific
+//! error message *with a rephrasing suggestion*, which is what makes
+//! the interactive reformulation loop work. [`QueryError`] is that
+//! claim as a type: one variant per pipeline stage where a question can
+//! fail, each carrying the offending token or span and a non-empty,
+//! paper-style suggestion (Table 6 / Sec. 4.1). [`crate::Nalix::answer`]
+//! returns it; nothing on the path panics.
+
+use crate::feedback::{Feedback, FeedbackKind, Severity};
+use crate::translate::TranslateError;
+use crate::Rejected;
+use nlparser::ParseFailure;
+use std::fmt;
+use xquery::{EvalError, ExhaustedResource};
+
+/// A failed natural language query: which stage rejected it, what the
+/// offending token was, and how the user should rephrase.
+#[derive(Debug, Clone)]
+pub enum QueryError {
+    /// The dependency parser could not build a tree (Table 6 row
+    /// "ungrammatical input": e.g. a dangling conjunction, a comma
+    /// where a word was expected, an unterminated quotation).
+    Parse {
+        /// What the parser reported, in user terms.
+        message: String,
+        /// Word index (0-based) of the offending token.
+        position: usize,
+        /// How to rephrase.
+        suggestion: String,
+    },
+    /// One or more words could not be classified into any token or
+    /// marker type — they are outside the system vocabulary (the
+    /// paper's "unknown term" class, Sec. 4.1, e.g. bare "as").
+    Classify {
+        /// The offending terms, in sentence order.
+        terms: Vec<String>,
+        /// The per-term feedback items (message + replacement).
+        feedback: Vec<Feedback>,
+        /// How to rephrase.
+        suggestion: String,
+    },
+    /// Every word classified, but the tree violates the supported
+    /// grammar or names nothing in the database (Table 6 rows: no such
+    /// name/value, incomplete comparison, grammar violation).
+    Validate {
+        /// The validation errors, in discovery order.
+        feedback: Vec<Feedback>,
+        /// How to rephrase.
+        suggestion: String,
+    },
+    /// The validated tree could not be mapped to Schema-Free XQuery.
+    Translate {
+        /// What the translator reported.
+        message: String,
+        /// How to rephrase.
+        suggestion: String,
+    },
+    /// The translated query failed during evaluation (unbound variable,
+    /// type error, unknown function — a translator bug surfacing as a
+    /// structured error rather than a panic).
+    Eval {
+        /// The engine's error message.
+        message: String,
+        /// How to rephrase.
+        suggestion: String,
+    },
+    /// The evaluator's resource budget tripped: the question is
+    /// understood but answering it would exceed the configured depth,
+    /// deadline, or result-cardinality limit.
+    ResourceExhausted {
+        /// Which limit was hit.
+        resource: ExhaustedResource,
+        /// The engine's error message (includes the limit).
+        message: String,
+        /// How to rephrase.
+        suggestion: String,
+    },
+}
+
+impl QueryError {
+    /// The rephrasing suggestion. Never empty — the interactive loop
+    /// depends on always having one (paper Sec. 4).
+    pub fn suggestion(&self) -> &str {
+        match self {
+            QueryError::Parse { suggestion, .. }
+            | QueryError::Classify { suggestion, .. }
+            | QueryError::Validate { suggestion, .. }
+            | QueryError::Translate { suggestion, .. }
+            | QueryError::Eval { suggestion, .. }
+            | QueryError::ResourceExhausted { suggestion, .. } => suggestion,
+        }
+    }
+
+    /// The feedback items to show the user, in the paper's rendered
+    /// style (at least one).
+    pub fn feedback(&self) -> Vec<Feedback> {
+        match self {
+            QueryError::Classify { feedback, .. } | QueryError::Validate { feedback, .. }
+                if !feedback.is_empty() =>
+            {
+                feedback.clone()
+            }
+            other => vec![Feedback::error(FeedbackKind::GrammarViolation {
+                detail: other.to_string(),
+            })],
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse {
+                message,
+                position,
+                suggestion,
+            } => write!(
+                f,
+                "could not parse the question (at word {position}): {message}. {suggestion}"
+            ),
+            QueryError::Classify {
+                terms, suggestion, ..
+            } => write!(
+                f,
+                "term(s) not understood by the system: {}. {suggestion}",
+                terms
+                    .iter()
+                    .map(|t| format!("\"{t}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            QueryError::Validate {
+                feedback,
+                suggestion,
+            } => {
+                // The suggestion is normally the leading feedback
+                // message itself, so printing both would duplicate it.
+                if feedback.is_empty() {
+                    write!(f, "{suggestion}")
+                } else {
+                    let details: Vec<String> = feedback.iter().map(Feedback::message).collect();
+                    write!(f, "{}", details.join(" "))
+                }
+            }
+            QueryError::Translate {
+                message,
+                suggestion,
+            } => write!(
+                f,
+                "could not translate the question: {message} {suggestion}"
+            ),
+            QueryError::Eval {
+                message,
+                suggestion,
+            } => write!(f, "could not evaluate the question: {message} {suggestion}"),
+            QueryError::ResourceExhausted {
+                message,
+                suggestion,
+                ..
+            } => write!(f, "{message}. {suggestion}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseFailure> for QueryError {
+    fn from(e: ParseFailure) -> Self {
+        QueryError::Parse {
+            message: e.message,
+            position: e.position,
+            suggestion: "Please rephrase the question as a single command or wh-question, \
+                         for example \"Find all the movies directed by Ron Howard.\"."
+                .into(),
+        }
+    }
+}
+
+impl From<TranslateError> for QueryError {
+    fn from(e: TranslateError) -> Self {
+        QueryError::Translate {
+            message: e.message,
+            suggestion: "Please state first what to return and then the conditions, for \
+                         example \"Return every book, where the year of the book is 1991.\"."
+                .into(),
+        }
+    }
+}
+
+impl From<EvalError> for QueryError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::ResourceExhausted { resource, limit } => QueryError::ResourceExhausted {
+                resource,
+                message: EvalError::ResourceExhausted { resource, limit }.to_string(),
+                suggestion: match resource {
+                    ExhaustedResource::Depth => {
+                        "The question nests too many conditions; please split it into \
+                         smaller questions."
+                    }
+                    ExhaustedResource::Time | ExhaustedResource::Tuples => {
+                        "Answering this question requires combining too many items at \
+                         once. Please add a condition that narrows the search (a name, \
+                         a value, or a year), or split it into smaller questions."
+                    }
+                }
+                .into(),
+            },
+            other => QueryError::Eval {
+                message: other.to_string(),
+                suggestion: "The question translated to a query the engine could not run; \
+                             please rephrase it more simply."
+                    .into(),
+            },
+        }
+    }
+}
+
+impl From<Rejected> for QueryError {
+    fn from(r: Rejected) -> Self {
+        // The "unknown term" class (Sec. 4.1) is a classification
+        // failure; everything else the validator reports is a
+        // validation failure.
+        let unknown_terms: Vec<String> = r
+            .errors
+            .iter()
+            .filter_map(|f| match &f.kind {
+                FeedbackKind::UnknownTerm { term, .. } => Some(term.clone()),
+                _ => None,
+            })
+            .collect();
+        let errors: Vec<Feedback> = if r.errors.is_empty() {
+            vec![Feedback {
+                severity: Severity::Error,
+                kind: FeedbackKind::GrammarViolation {
+                    detail: "the query could not be understood".into(),
+                },
+            }]
+        } else {
+            r.errors
+        };
+        let suggestion = errors
+            .first()
+            .map(Feedback::message)
+            .unwrap_or_else(|| "Please rephrase your question.".into());
+        if !unknown_terms.is_empty() {
+            QueryError::Classify {
+                terms: unknown_terms,
+                feedback: errors,
+                suggestion,
+            }
+        } else {
+            QueryError::Validate {
+                feedback: errors,
+                suggestion,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_failure_converts_with_position() {
+        let e = QueryError::from(ParseFailure {
+            message: "dangling word".into(),
+            position: 3,
+        });
+        match &e {
+            QueryError::Parse { position, .. } => assert_eq!(*position, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(!e.suggestion().is_empty());
+    }
+
+    #[test]
+    fn rejection_with_unknown_term_becomes_classify() {
+        let r = Rejected {
+            errors: vec![Feedback::error(FeedbackKind::UnknownTerm {
+                term: "as".into(),
+                suggestion: Some("the same as".into()),
+            })],
+            warnings: vec![],
+        };
+        match QueryError::from(r) {
+            QueryError::Classify { terms, .. } => assert_eq!(terms, vec!["as"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejection_without_unknown_term_becomes_validate() {
+        let r = Rejected {
+            errors: vec![Feedback::error(FeedbackKind::NoSuchName {
+                term: "cost".into(),
+                candidates: vec!["price".into()],
+            })],
+            warnings: vec![],
+        };
+        match QueryError::from(r) {
+            QueryError::Validate { suggestion, .. } => assert!(suggestion.contains("price")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_rejection_still_has_suggestion() {
+        let r = Rejected {
+            errors: vec![],
+            warnings: vec![],
+        };
+        let e = QueryError::from(r);
+        assert!(!e.suggestion().is_empty());
+        assert!(!e.feedback().is_empty());
+    }
+}

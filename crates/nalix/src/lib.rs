@@ -1,4 +1,19 @@
 #![warn(missing_docs)]
+// The whole NL→answer pipeline lives here: per the paper's Sec. 4
+// contract, any question — however malformed — must produce either an
+// answer or feedback with a rephrasing suggestion. Panics are a
+// contract violation, so the usual escape hatches are denied outright.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 
 //! # nalix — a generic natural language interface for an XML database
 //!
@@ -60,6 +75,7 @@ pub mod binding;
 pub mod cache;
 pub mod catalog;
 pub mod classify;
+pub mod error;
 pub mod explain;
 pub mod feedback;
 pub mod semantics;
@@ -71,9 +87,11 @@ pub mod vocab;
 
 pub use batch::{BatchReply, BatchRunner};
 pub use cache::CacheStats;
+pub use error::QueryError;
 pub use feedback::{Feedback, FeedbackKind, Severity};
 pub use token::{ClassifiedTree, NodeClass, OpSem, QtKind, TokenType};
 pub use translate::{TranslateError, Translation};
+pub use xquery::{EvalBudget, ExhaustedResource};
 
 use cache::TranslationCache;
 use catalog::Catalog;
@@ -219,9 +237,63 @@ impl<'d> Nalix<'d> {
     }
 
     /// Evaluate a translated query against the database (on the
-    /// persistent engine, whose value index stays warm across calls).
+    /// persistent engine, whose value index stays warm across calls),
+    /// under the default [`EvalBudget`].
     pub fn execute(&self, t: &Translated) -> Result<Sequence, EvalError> {
         self.engine.eval_expr(&t.translation.query)
+    }
+
+    /// [`Nalix::execute`] under an explicit resource budget.
+    pub fn execute_with_budget(
+        &self,
+        t: &Translated,
+        budget: &EvalBudget,
+    ) -> Result<Sequence, EvalError> {
+        self.engine
+            .eval_expr_with_budget(&t.translation.query, budget)
+    }
+
+    /// Answer a question end to end — parse → classify → validate →
+    /// translate → evaluate — under the default [`EvalBudget`].
+    ///
+    /// This is the panic-free entry point the paper's Sec. 4 contract
+    /// maps to: every failure comes back as a [`QueryError`] naming the
+    /// offending stage and token, with a non-empty rephrasing
+    /// suggestion. Successful questions return the flat string values.
+    pub fn answer(&self, sentence: &str) -> Result<Vec<String>, QueryError> {
+        self.answer_with_budget(sentence, &EvalBudget::default())
+    }
+
+    /// [`Nalix::answer`] under an explicit resource budget.
+    pub fn answer_with_budget(
+        &self,
+        sentence: &str,
+        budget: &EvalBudget,
+    ) -> Result<Vec<String>, QueryError> {
+        let key = cache::normalize(sentence);
+        let outcome = match self.translations.get(&key) {
+            Some(memo) => memo,
+            None => {
+                // Surfacing the parse stage as its own
+                // [`QueryError::Parse`] needs the raw failure, so the
+                // `query` wrapper (which folds it into generic
+                // feedback) is bypassed on a miss. Parse failures are
+                // not memoised; parsing is cheap.
+                let dep = nlparser::parse(sentence)?;
+                let out = self.query_tree(&dep);
+                self.translations.insert(key, out.clone());
+                out
+            }
+        };
+        match outcome {
+            Outcome::Translated(t) => {
+                let seq = self
+                    .engine
+                    .eval_expr_with_budget(&t.translation.query, budget)?;
+                Ok(self.engine.strings(&seq))
+            }
+            Outcome::Rejected(r) => Err(QueryError::from(r)),
+        }
     }
 
     /// Hit/miss/size counters of the translation cache.
@@ -371,6 +443,30 @@ mod tests {
         nalix.clear_cache();
         assert_eq!(nalix.cache_stats().entries, 0);
         assert_eq!(nalix.ask(q).unwrap(), a); // re-translates identically
+    }
+
+    #[test]
+    fn trivially_reworded_repeats_hit_the_cache() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let a = nalix
+            .ask("Find all the movies directed by Ron Howard.")
+            .unwrap();
+        // Unicode whitespace, curly quotes around nothing, and case
+        // changes on closed-class words are tagging-equivalent — each
+        // variant must hit, not re-translate.
+        for variant in [
+            "Find\u{00A0}all the movies\u{2009}directed by Ron Howard.",
+            "find all the movies directed by Ron Howard.",
+            "FIND ALL THE movies directed by Ron Howard.",
+        ] {
+            assert_eq!(nalix.ask(variant).unwrap(), a, "{variant:?}");
+        }
+        let s = nalix.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (3, 1, 1));
+        // Case on a proper noun (a value) is meaning-bearing: miss.
+        let _ = nalix.ask("Find all the movies directed by ron howard.");
+        assert_eq!(nalix.cache_stats().misses, 2);
     }
 
     #[test]

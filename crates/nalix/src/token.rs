@@ -229,12 +229,12 @@ impl ClassifiedTree {
         node.children = vec![child];
         self.nodes.push(node);
         if let Some(p) = parent {
-            let slot = self.nodes[p]
-                .children
-                .iter()
-                .position(|&c| c == child)
-                .expect("child must be listed under its parent");
-            self.nodes[p].children[slot] = id;
+            // `child` is always listed under its parent; repair the
+            // link rather than crash if the tree were ever inconsistent.
+            match self.nodes[p].children.iter().position(|&c| c == child) {
+                Some(slot) => self.nodes[p].children[slot] = id,
+                None => self.nodes[p].children.push(id),
+            }
         } else {
             self.root = id;
         }

@@ -296,7 +296,9 @@ impl<'a> Translator<'a> {
             .filter(|&r| self.tree.node(r).class.ft().is_some())
             .collect();
         for ft in fts {
-            let func = self.tree.node(ft).class.ft().expect("checked ft");
+            let Some(func) = self.tree.node(ft).class.ft() else {
+                continue; // filtered on ft() above
+            };
             let target = semantics::attaches_to(self.tree, ft)
                 .ok_or_else(|| err("an aggregate function has nothing to apply to"))?;
             if !self.tree.node(target).class.is_nt() {
@@ -476,7 +478,9 @@ impl<'a> Translator<'a> {
             .filter(|&r| self.tree.node(r).class.ot().is_some())
             .collect();
         for ot in ots {
-            let op = self.tree.node(ot).class.ot().expect("checked ot");
+            let Some(op) = self.tree.node(ot).class.ot() else {
+                continue; // filtered on ot() above
+            };
             let neg = self
                 .tree
                 .node(ot)
@@ -699,10 +703,12 @@ impl<'a> Translator<'a> {
     }
 
     fn operand_expr(&self, op: &Operand) -> Expr {
+        // Every operand carries at least one alternative by
+        // construction; an empty one degrades to the empty string.
         self.operand_exprs(op)
             .into_iter()
             .next()
-            .expect("operands have at least one alternative")
+            .unwrap_or_else(|| Expr::Str(String::new()))
     }
 
     fn cond_expr(&self, c: &CondW) -> Expr {
@@ -711,27 +717,37 @@ impl<'a> Translator<'a> {
         let mut parts = Vec::with_capacity(lhs_alts.len() * rhs_alts.len());
         for lhs in &lhs_alts {
             for rhs in &rhs_alts {
-                parts.push(match c.op.cmp_op() {
+                let part = match c.op.cmp_op() {
                     Some(op) => Expr::cmp(op, lhs.clone(), rhs.clone()),
                     None => {
                         let name = match c.op {
                             OpSem::Contains => "contains",
                             OpSem::StartsWith => "starts-with",
                             OpSem::EndsWith => "ends-with",
-                            _ => unreachable!("cmp_op covered"),
+                            // cmp_op() is None only for the string
+                            // operators above; a new operator without
+                            // a cmp_op falls back to equality.
+                            _ => {
+                                parts.push(Expr::cmp(CmpOp::Eq, lhs.clone(), rhs.clone()));
+                                continue;
+                            }
                         };
                         Expr::Call {
                             name: name.into(),
                             args: vec![lhs.clone(), rhs.clone()],
                         }
                     }
-                });
+                };
+                parts.push(part);
             }
         }
-        let base = if parts.len() == 1 {
-            parts.pop().expect("one part")
-        } else {
-            Expr::Or(parts)
+        let base = match parts.pop() {
+            Some(only) if parts.is_empty() => only,
+            Some(last) => {
+                parts.push(last);
+                Expr::Or(parts)
+            }
+            None => Expr::Or(parts),
         };
         if c.neg {
             Expr::Not(Box::new(base))
@@ -819,10 +835,13 @@ impl<'a> Translator<'a> {
             for c in inner_conds.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
                 where_parts.push(self.cond_expr(c));
             }
-            let where_clause = match where_parts.len() {
-                0 => None,
-                1 => Some(Box::new(where_parts.pop().expect("one part"))),
-                _ => Some(Box::new(Expr::And(where_parts))),
+            let where_clause = match where_parts.pop() {
+                Some(only) if where_parts.is_empty() => Some(Box::new(only)),
+                Some(last) => {
+                    where_parts.push(last);
+                    Some(Box::new(Expr::And(where_parts)))
+                }
+                None => None,
             };
             let inner = Expr::Flwor {
                 bindings: inner_bindings,
@@ -853,10 +872,14 @@ impl<'a> Translator<'a> {
                 .copied()
                 .filter(|&v| self.vars[v].group == self.vars[qv].group)
                 .collect();
-            let cond_parts: Vec<Expr> = conds.iter().map(|c| self.cond_expr(c)).collect();
-            let conds_expr = match cond_parts.len() {
-                1 => cond_parts.into_iter().next().expect("one"),
-                _ => Expr::And(cond_parts),
+            let mut cond_parts: Vec<Expr> = conds.iter().map(|c| self.cond_expr(c)).collect();
+            let conds_expr = match cond_parts.pop() {
+                Some(only) if cond_parts.is_empty() => only,
+                Some(last) => {
+                    cond_parts.push(last);
+                    Expr::And(cond_parts)
+                }
+                None => Expr::And(cond_parts),
             };
             let satisfies = if partners.is_empty() {
                 conds_expr
@@ -872,10 +895,13 @@ impl<'a> Translator<'a> {
                 satisfies: Box::new(satisfies),
             });
         }
-        let where_clause = match where_parts.len() {
-            0 => None,
-            1 => Some(Box::new(where_parts.pop().expect("one part"))),
-            _ => Some(Box::new(Expr::And(where_parts))),
+        let where_clause = match where_parts.pop() {
+            Some(only) if where_parts.is_empty() => Some(Box::new(only)),
+            Some(last) => {
+                where_parts.push(last);
+                Some(Box::new(Expr::And(where_parts)))
+            }
+            None => None,
         };
 
         // ORDER BY.
@@ -902,18 +928,24 @@ impl<'a> Translator<'a> {
             .collect();
 
         // RETURN.
-        let ret_exprs: Vec<Expr> = self
+        let mut ret_exprs: Vec<Expr> = self
             .returns
             .iter()
             .map(|op| self.operand_expr(op))
             .collect();
-        let ret = if ret_exprs.len() == 1 {
-            ret_exprs.into_iter().next().expect("one return")
-        } else {
-            Expr::Element {
+        let ret = match ret_exprs.pop() {
+            Some(only) if ret_exprs.is_empty() => only,
+            Some(last) => {
+                ret_exprs.push(last);
+                Expr::Element {
+                    name: "result".into(),
+                    content: ret_exprs,
+                }
+            }
+            None => Expr::Element {
                 name: "result".into(),
                 content: ret_exprs,
-            }
+            },
         };
 
         let variables: Vec<(String, Vec<String>)> = (0..self.vars.len())

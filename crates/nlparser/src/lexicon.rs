@@ -290,6 +290,49 @@ pub fn is_clause_verb(w: &str) -> bool {
     contains(&CLAUSE_VERBS, w)
 }
 
+/// Number words the tagger rewrites to digits (`Pos::Number`).
+pub const NUMBER_WORDS: [(&str, &str); 10] = [
+    ("one", "1"),
+    ("two", "2"),
+    ("three", "3"),
+    ("four", "4"),
+    ("five", "5"),
+    ("six", "6"),
+    ("seven", "7"),
+    ("eight", "8"),
+    ("nine", "9"),
+    ("ten", "10"),
+];
+
+/// Does `lower` (a lowercased word) tag identically regardless of its
+/// surface capitalisation, in *any* sentence position?
+///
+/// True for every closed-class word the tagger looks up lowercased
+/// before its proper-noun rule fires. Unknown capitalised words tag as
+/// `Pos::Proper` when non-initial, so their case is meaning-bearing —
+/// callers normalising case (e.g. the nalix translation-cache key) must
+/// leave such words alone. Wh-words are deliberately absent: they tag
+/// specially only sentence-initially, and a non-initial "What" falls
+/// through to the proper-noun rule.
+pub fn tags_case_insensitively(lower: &str) -> bool {
+    NUMBER_WORDS.iter().any(|(w, _)| *w == lower)
+        || is_command_verb(lower)
+        || is_copula(lower)
+        || is_auxiliary(lower)
+        || lower == "not"
+        || lower == "no"
+        || is_article(lower)
+        || is_quantifier(lower)
+        || lower == "and"
+        || lower == "or"
+        || is_subordinator(lower)
+        || is_preposition(lower)
+        || is_pronoun(lower)
+        || is_adjective(lower)
+        || is_clause_verb(lower)
+        || is_participle(lower)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,19 @@
 #![warn(missing_docs)]
+// First stage of the NL→answer path: any input string — multibyte,
+// truncated, adversarial — must come back as `Ok(tree)` or a
+// `ParseFailure` naming the offending word, never a panic (paper
+// Sec. 4: every failure produces reformulation feedback).
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 
 //! # nlparser — a dependency parser for database-query English
 //!

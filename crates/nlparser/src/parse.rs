@@ -164,13 +164,28 @@ impl Parser {
         }
     }
 
-    fn bump(&mut self) -> Word {
-        let w = match &self.toks[self.i] {
-            Tagged::Word(w) => w.clone(),
-            Tagged::Comma(_) => unreachable!("bump on comma"),
+    /// Consume the next word token. Errors (instead of indexing out of
+    /// bounds or hitting a comma) when the grammar expected a word the
+    /// sentence does not supply — e.g. a dangling conjunction at the end
+    /// of the question.
+    fn bump(&mut self) -> Result<Word, ParseFailure> {
+        let w = match self.toks.get(self.i) {
+            Some(Tagged::Word(w)) => w.clone(),
+            Some(Tagged::Comma(p)) => {
+                return Err(ParseFailure {
+                    message: "expected a word, found a comma".into(),
+                    position: *p,
+                })
+            }
+            None => {
+                return Err(ParseFailure {
+                    message: "the question ends where another word was expected".into(),
+                    position: self.toks.len(),
+                })
+            }
         };
         self.i += 1;
-        w
+        Ok(w)
     }
 
     fn done(&self) -> bool {
@@ -181,7 +196,9 @@ impl Parser {
         match self.toks.get(self.i) {
             Some(Tagged::Word(w)) => w.position,
             Some(Tagged::Comma(p)) => *p,
-            None => usize::MAX,
+            // End of input: one past the last token, so the reported
+            // word index stays a sensible number.
+            None => self.toks.len(),
         }
     }
 
@@ -225,15 +242,15 @@ impl Parser {
 
         let root = match self.peek_word() {
             Some(w) if w.pos == Pos::Verb => {
-                let w = self.bump();
+                let w = self.bump()?;
                 self.add(&w, None, DepRel::Root)
             }
             Some(w) if w.pos == Pos::Wh => {
-                let w = self.bump();
+                let w = self.bump()?;
                 let root = self.add(&w, None, DepRel::Root);
                 // Copula after the wh-word is a helper ("What is …").
                 if self.peek_word().is_some_and(|w| w.pos == Pos::Aux) {
-                    let aux = self.bump();
+                    let aux = self.bump()?;
                     self.add(&aux, Some(root), DepRel::Dangling);
                 }
                 root
@@ -265,7 +282,7 @@ impl Parser {
             .peek_word()
             .is_some_and(|w| w.pos == Pos::Pronoun && w.lemma == "me")
         {
-            let w = self.bump();
+            let w = self.bump()?;
             self.add(&w, Some(root), DepRel::Dangling);
         }
 
@@ -291,7 +308,7 @@ impl Parser {
                     self.attach(clause, site, DepRel::Rel);
                 }
                 Pos::OrderPhrase => {
-                    let w = self.bump();
+                    let w = self.bump()?;
                     let ob = self.add(&w, Some(root), DepRel::Order);
                     if self.at_np_start() {
                         let np = self.parse_np()?;
@@ -323,7 +340,7 @@ impl Parser {
             if self.eat_comma() {
                 continue;
             }
-            let w = self.bump();
+            let w = self.bump()?;
             self.add(&w, Some(root), DepRel::Dangling);
         }
 
@@ -357,7 +374,7 @@ impl Parser {
         loop {
             // "and NP" / "or NP"
             if self.peek_word().is_some_and(|w| w.pos == Pos::Conj) {
-                let conj_word = self.bump();
+                let conj_word = self.bump()?;
                 if !self.at_np_start() {
                     // dangling conjunction
                     self.add(&conj_word, Some(first), DepRel::Dangling);
@@ -413,15 +430,15 @@ impl Parser {
         loop {
             match self.peek_word().map(|w| (w.pos, w.lemma.clone())) {
                 Some((Pos::Det, _)) => {
-                    let w = self.bump();
+                    let w = self.bump()?;
                     pending.push((w, DepRel::Det));
                 }
                 Some((Pos::Quant, _)) => {
-                    let w = self.bump();
+                    let w = self.bump()?;
                     pending.push((w, DepRel::Det));
                 }
                 Some((Pos::Pronoun, _)) => {
-                    let w = self.bump();
+                    let w = self.bump()?;
                     pending.push((w, DepRel::Det));
                 }
                 _ => break,
@@ -430,7 +447,7 @@ impl Parser {
 
         // Function phrase head: "the number of" + NP.
         if self.peek_word().is_some_and(|w| w.pos == Pos::FuncPhrase) {
-            let w = self.bump();
+            let w = self.bump()?;
             let fp = self.add(&w, None, DepRel::Dangling);
             for (m, rel) in pending {
                 let mref = self.add(&m, None, DepRel::Dangling);
@@ -445,9 +462,9 @@ impl Parser {
         let mut run: Vec<Word> = Vec::new();
         loop {
             match self.peek_word().map(|w| w.pos) {
-                Some(Pos::Adj | Pos::Noun | Pos::Number) => run.push(self.bump()),
+                Some(Pos::Adj | Pos::Noun | Pos::Number) => run.push(self.bump()?),
                 Some(Pos::Proper | Pos::Quoted) => {
-                    run.push(self.bump());
+                    run.push(self.bump()?);
                     break; // values end a run
                 }
                 _ => break,
@@ -528,13 +545,13 @@ impl Parser {
             match w.pos {
                 Pos::Prep => {
                     // Attach preposition to the head; complement below.
-                    let w = self.bump();
+                    let w = self.bump()?;
                     let p = self.add(&w, None, DepRel::Dangling);
                     self.attach(p, head, DepRel::Prep);
                     // "as has Ron Howard" — auxiliary inside a stranded
                     // comparative; consume it as a dangling helper.
                     if self.peek_word().is_some_and(|x| x.pos == Pos::Aux) {
-                        let aux = self.bump();
+                        let aux = self.bump()?;
                         self.add(&aux, Some(p), DepRel::Dangling);
                     }
                     if self.at_np_start() {
@@ -544,7 +561,7 @@ impl Parser {
                 }
                 Pos::OpPhrase => {
                     // "year greater than 1991" directly on a noun.
-                    let w = self.bump();
+                    let w = self.bump()?;
                     let op = self.add(&w, None, DepRel::Dangling);
                     self.attach(op, head, DepRel::Prep);
                     if self.at_np_start() {
@@ -553,7 +570,7 @@ impl Parser {
                     }
                 }
                 Pos::Participle => {
-                    let w = self.bump();
+                    let w = self.bump()?;
                     let part = self.add(&w, None, DepRel::Dangling);
                     self.attach(part, head, DepRel::Part);
                     // The by-phrase and trailing comparatives hang off
@@ -561,7 +578,7 @@ impl Parser {
                     loop {
                         let Some(x) = self.peek_word() else { break };
                         if x.pos == Pos::Prep || x.pos == Pos::OpPhrase {
-                            let xw = self.bump();
+                            let xw = self.bump()?;
                             let p = self.add(&xw, None, DepRel::Dangling);
                             self.attach(p, part, DepRel::Prep);
                             if self.at_np_start() {
@@ -575,7 +592,7 @@ impl Parser {
                 }
                 Pos::Subord if w.lemma != "where" => {
                     // Relative clause.
-                    let sub = self.bump();
+                    let sub = self.bump()?;
                     let clause = self.parse_rel_clause(head, &sub)?;
                     if let Some(c) = clause {
                         self.attach(c, head, DepRel::Rel);
@@ -603,16 +620,16 @@ impl Parser {
         // "that/who (aux) (not) VERB …" — subject is the modified head.
         let mut aux: Option<Word> = None;
         if self.peek_word().is_some_and(|w| w.pos == Pos::Aux) {
-            aux = Some(self.bump());
+            aux = Some(self.bump()?);
         }
         // Negation precedes the verb: "that does NOT contain …".
         let mut neg: Option<Word> = None;
         if self.peek_word().is_some_and(|w| w.pos == Pos::Neg) {
-            neg = Some(self.bump());
+            neg = Some(self.bump()?);
         }
         match self.peek_word().map(|w| w.pos) {
             Some(Pos::Verb | Pos::Participle | Pos::OpPhrase) => {
-                let v = self.bump();
+                let v = self.bump()?;
                 let vref = self.add(&v, None, DepRel::Dangling);
                 if let Some(a) = aux {
                     let aref = self.add(&a, None, DepRel::Dangling);
@@ -669,7 +686,7 @@ impl Parser {
         let mut aux: Option<Word> = None;
         let mut neg = false;
         if self.peek_word().is_some_and(|w| w.pos == Pos::Aux) {
-            aux = Some(self.bump());
+            aux = Some(self.bump()?);
         }
         if self.peek_word().is_some_and(|w| w.pos == Pos::Neg) {
             self.i += 1;
@@ -677,7 +694,7 @@ impl Parser {
         }
         let op: NodeRef = match self.peek_word().map(|w| w.pos) {
             Some(Pos::OpPhrase) => {
-                let mut w = self.bump();
+                let mut w = self.bump()?;
                 if let Some(a) = &aux {
                     // Fold the copula in: "is the same as" → OT
                     // "be the same as" (paper Figure 2, node 6).
@@ -690,7 +707,7 @@ impl Parser {
                 self.add(&w, None, DepRel::Dangling)
             }
             Some(Pos::Verb | Pos::Participle) => {
-                let w = self.bump();
+                let w = self.bump()?;
                 let vref = self.add(&w, None, DepRel::Dangling);
                 if let Some(a) = aux {
                     let aref = self.add(&a, None, DepRel::Dangling);
@@ -726,7 +743,7 @@ impl Parser {
             let pred = self.parse_np()?;
             self.attach(pred, op, DepRel::Pred);
             while self.peek_word().is_some_and(|w| w.pos == Pos::Conj) {
-                let conj_word = self.bump();
+                let conj_word = self.bump()?;
                 if !self.at_np_start() {
                     self.add(&conj_word, Some(op), DepRel::Dangling);
                     break;

@@ -32,18 +32,7 @@ pub enum Tagged {
     Comma(usize),
 }
 
-const NUMBER_WORDS: [(&str, &str); 10] = [
-    ("one", "1"),
-    ("two", "2"),
-    ("three", "3"),
-    ("four", "4"),
-    ("five", "5"),
-    ("six", "6"),
-    ("seven", "7"),
-    ("eight", "8"),
-    ("nine", "9"),
-    ("ten", "10"),
-];
+use crate::lexicon::NUMBER_WORDS;
 
 /// Tag a raw token stream.
 pub fn tag(raw: &[RawToken]) -> Vec<Tagged> {

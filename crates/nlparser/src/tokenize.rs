@@ -64,7 +64,9 @@ pub fn tokenize(input: &str) -> Result<Vec<RawToken>, TokenizeError> {
     while i < chars.len() {
         let c = chars[i];
         match c {
-            ' ' | '\t' | '\n' | '\r' => i += 1,
+            // All Unicode whitespace (NBSP, ideographic space, …), not
+            // just the ASCII four: pasted questions carry these often.
+            _ if c.is_whitespace() => i += 1,
             '"' | '\u{201C}' | '\u{2018}' => {
                 let close = match c {
                     '"' => '"',
@@ -144,18 +146,26 @@ pub fn tokenize(input: &str) -> Result<Vec<RawToken>, TokenizeError> {
             _ if c.is_alphabetic() => {
                 let start = i;
                 let mut j = i;
+                // An apostrophe (straight or typographic, U+2019) stays
+                // inside a word only when flanked by letters: O'Reilly,
+                // O’Reilly.
                 while j < chars.len()
                     && (chars[j].is_alphanumeric()
                         || chars[j] == '-'
                         || chars[j] == '_'
-                        || (chars[j] == '\''
+                        || ((chars[j] == '\'' || chars[j] == '\u{2019}')
                             && j + 1 < chars.len()
                             && chars[j + 1].is_alphabetic()))
                 {
                     j += 1;
                 }
                 out.push(RawToken {
-                    text: chars[start..j].iter().collect(),
+                    // Typographic apostrophes normalise to ASCII so
+                    // lexicon lookups and value matches see one form.
+                    text: chars[start..j]
+                        .iter()
+                        .map(|&ch| if ch == '\u{2019}' { '\'' } else { ch })
+                        .collect(),
                     kind: RawKind::Word,
                     position,
                 });
@@ -238,6 +248,24 @@ mod tests {
     #[test]
     fn apostrophes_inside_words() {
         assert_eq!(words("O'Reilly books"), vec!["O'Reilly", "books"]);
+    }
+
+    #[test]
+    fn unicode_whitespace_separates() {
+        assert_eq!(
+            words("find\u{00A0}all\u{2009}the\u{3000}movies"),
+            vec!["find", "all", "the", "movies"]
+        );
+    }
+
+    #[test]
+    fn curly_apostrophe_stays_in_word_and_normalises() {
+        assert_eq!(words("O\u{2019}Reilly books"), vec!["O'Reilly", "books"]);
+    }
+
+    #[test]
+    fn stray_symbol_is_an_error_not_a_panic() {
+        assert!(tokenize("movies \u{2026} by year").is_err());
     }
 
     #[test]

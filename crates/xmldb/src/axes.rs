@@ -95,17 +95,27 @@ impl Document {
         if self.is_ancestor_or_self(b, a) {
             return b;
         }
-        // Walk up from the deeper node until depths match, then in lockstep.
+        // Walk up from the deeper node until depths match, then in
+        // lockstep. The root handles both `None` parents below: the
+        // ancestor-or-self checks above already dealt with one node
+        // being the root, so hitting it here means the walk converged.
         let (mut x, mut y) = (a, b);
         while self.node(x).depth > self.node(y).depth {
-            x = self.node(x).parent.expect("deeper node must have parent");
+            let Some(p) = self.node(x).parent else { break };
+            x = p;
         }
         while self.node(y).depth > self.node(x).depth {
-            y = self.node(y).parent.expect("deeper node must have parent");
+            let Some(p) = self.node(y).parent else { break };
+            y = p;
         }
         while x != y {
-            x = self.node(x).parent.expect("non-root in lca walk");
-            y = self.node(y).parent.expect("non-root in lca walk");
+            match (self.node(x).parent, self.node(y).parent) {
+                (Some(px), Some(py)) => {
+                    x = px;
+                    y = py;
+                }
+                _ => return self.root(),
+            }
         }
         x
     }
@@ -166,7 +176,7 @@ impl Document {
             None => {
                 let mut cur = id;
                 for _ in 0..own - depth {
-                    cur = self.node(cur).parent.expect("depth accounting broken");
+                    cur = self.node(cur).parent?;
                 }
                 Some(cur)
             }

@@ -355,6 +355,7 @@ impl DocStats {
 #[derive(Debug)]
 pub struct DocumentBuilder {
     doc: Document,
+    root: NodeId,
     stack: Vec<NodeId>,
 }
 
@@ -365,12 +366,13 @@ impl DocumentBuilder {
         let root = doc.root();
         DocumentBuilder {
             doc,
+            root,
             stack: vec![root],
         }
     }
 
     fn top(&self) -> NodeId {
-        *self.stack.last().expect("builder stack never empty")
+        self.stack.last().copied().unwrap_or(self.root)
     }
 
     /// Open a child element and descend into it.

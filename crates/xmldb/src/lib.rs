@@ -1,4 +1,19 @@
 #![warn(missing_docs)]
+// Query-path crate: loading and navigating documents must surface
+// malformed input as `XmlError`/`Option`, never a process abort. The
+// few remaining `assert!`s are documented API contracts on impossible
+// states, not data-dependent paths.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 
 //! # xmldb — an in-memory native XML database
 //!

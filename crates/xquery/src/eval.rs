@@ -12,7 +12,9 @@ use crate::ast::{AggFunc, Binding, CmpOp, Expr, OrderDir, PathRoot, Quantifier, 
 use crate::mlca::set_meaningfully_related;
 use crate::parser::{parse, ParseError};
 use crate::value::{compare_items, effective_boolean, ConstructedElem, Item, Sequence};
+use std::cell::Cell;
 use std::fmt;
+use std::time::{Duration, Instant};
 use xmldb::{Document, NodeId, NodeKind};
 
 /// Flatten nested conjunctions into a conjunct list.
@@ -46,6 +48,145 @@ pub enum EvalError {
     },
     /// The query text failed to parse.
     Parse(ParseError),
+    /// A resource guard tripped: the query was abandoned rather than
+    /// allowed to hang, overflow the stack, or materialize an unbounded
+    /// result (see [`EvalBudget`]).
+    ResourceExhausted {
+        /// Which limit was hit.
+        resource: ExhaustedResource,
+        /// The configured limit, rendered for the message.
+        limit: String,
+    },
+}
+
+/// The kind of limit an [`EvalError::ResourceExhausted`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustedResource {
+    /// Expression recursion depth.
+    Depth,
+    /// Wall-clock deadline.
+    Time,
+    /// FLWOR tuple / candidate cardinality.
+    Tuples,
+}
+
+impl fmt::Display for ExhaustedResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExhaustedResource::Depth => "recursion depth",
+            ExhaustedResource::Time => "time",
+            ExhaustedResource::Tuples => "result size",
+        })
+    }
+}
+
+/// Resource limits for one evaluation.
+///
+/// The guards exist so a pathological translation degrades to a
+/// structured [`EvalError::ResourceExhausted`] instead of a hang or a
+/// stack overflow: `max_depth` bounds expression recursion, `time_limit`
+/// is a wall-clock deadline, and `max_tuples` caps how many FLWOR
+/// candidate tuples the nested-loops evaluator may materialize. All
+/// three are checked at FLWOR iteration boundaries (and `max_depth` on
+/// every recursive descent), so the overshoot past a tripped limit is at
+/// most one binding step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalBudget {
+    /// Maximum expression recursion depth.
+    pub max_depth: usize,
+    /// Optional wall-clock deadline, measured from evaluation start.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of FLWOR candidate tuples materialized.
+    pub max_tuples: usize,
+}
+
+impl Default for EvalBudget {
+    /// Generous defaults: far above anything the NaLIX translator emits
+    /// (its queries nest a handful of levels and the corpora hold tens
+    /// of thousands of nodes), but low enough that a runaway cartesian
+    /// product dies in milliseconds rather than minutes.
+    fn default() -> Self {
+        EvalBudget {
+            max_depth: 128,
+            time_limit: None,
+            max_tuples: 4_000_000,
+        }
+    }
+}
+
+impl EvalBudget {
+    /// Builder-style recursion-depth override.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Builder-style wall-clock deadline override.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Builder-style tuple-cardinality override.
+    pub fn with_max_tuples(mut self, tuples: usize) -> Self {
+        self.max_tuples = tuples;
+        self
+    }
+}
+
+/// Per-evaluation guard state: the budget plus the resolved deadline and
+/// the running tuple count. Lives on the stack of one `eval_with_budget`
+/// call, so the `Cell` never crosses threads and `Engine` stays `Sync`.
+struct Guard<'b> {
+    budget: &'b EvalBudget,
+    deadline: Option<Instant>,
+    tuples: Cell<usize>,
+}
+
+impl<'b> Guard<'b> {
+    fn new(budget: &'b EvalBudget) -> Self {
+        Guard {
+            budget,
+            deadline: budget
+                .time_limit
+                .and_then(|d| Instant::now().checked_add(d)),
+            tuples: Cell::new(0),
+        }
+    }
+
+    /// Depth check at every recursive descent into `eval_inner`.
+    fn check_depth(&self, depth: usize) -> Result<(), EvalError> {
+        if depth > self.budget.max_depth {
+            return Err(EvalError::ResourceExhausted {
+                resource: ExhaustedResource::Depth,
+                limit: format!("{} levels", self.budget.max_depth),
+            });
+        }
+        Ok(())
+    }
+
+    /// Charge `n` candidate tuples and re-check the deadline. Called at
+    /// FLWOR iteration boundaries, where all the multiplicative work
+    /// happens.
+    fn charge_tuples(&self, n: usize) -> Result<(), EvalError> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(EvalError::ResourceExhausted {
+                    resource: ExhaustedResource::Time,
+                    limit: format!("{:?}", self.budget.time_limit.unwrap_or_default()),
+                });
+            }
+        }
+        let total = self.tuples.get().saturating_add(n);
+        if total > self.budget.max_tuples {
+            return Err(EvalError::ResourceExhausted {
+                resource: ExhaustedResource::Tuples,
+                limit: format!("{} tuples", self.budget.max_tuples),
+            });
+        }
+        self.tuples.set(total);
+        Ok(())
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -60,6 +201,9 @@ impl fmt::Display for EvalError {
                 got,
             } => write!(f, "{name}() expects {expected} argument(s), got {got}"),
             EvalError::Parse(e) => write!(f, "{e}"),
+            EvalError::ResourceExhausted { resource, limit } => {
+                write!(f, "evaluation exceeded the {resource} limit ({limit})")
+            }
         }
     }
 }
@@ -183,14 +327,21 @@ impl ValueIndexCache {
         sym: xmldb::Symbol,
         build: impl FnOnce() -> ValueIndex,
     ) -> std::sync::Arc<ValueIndex> {
+        // A poisoned shard is recovered, not propagated: the map only
+        // ever holds fully-built immutable indexes, so a panicking
+        // writer cannot leave a half-written entry behind.
         let shard = &self.shards[sym.index() % VALUE_INDEX_SHARDS];
-        if let Some(ix) = shard.read().expect("value index lock poisoned").get(&sym) {
+        if let Some(ix) = shard
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&sym)
+        {
             return ix.clone();
         }
         let built = std::sync::Arc::new(build());
         shard
             .write()
-            .expect("value index lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(sym)
             .or_insert(built)
             .clone()
@@ -238,13 +389,27 @@ impl<'d> Engine<'d> {
 
     /// Parse and evaluate a query string under the empty environment.
     pub fn run(&self, query: &str) -> Result<Sequence, EvalError> {
+        self.run_with_budget(query, &EvalBudget::default())
+    }
+
+    /// Parse and evaluate a query string under an explicit budget.
+    pub fn run_with_budget(&self, query: &str, budget: &EvalBudget) -> Result<Sequence, EvalError> {
         let expr = parse(query)?;
-        self.eval(&expr, &Env::new())
+        self.eval_with_budget(&expr, &Env::new(), budget)
     }
 
     /// Evaluate a pre-built expression under the empty environment.
     pub fn eval_expr(&self, expr: &Expr) -> Result<Sequence, EvalError> {
         self.eval(expr, &Env::new())
+    }
+
+    /// Evaluate a pre-built expression under an explicit budget.
+    pub fn eval_expr_with_budget(
+        &self,
+        expr: &Expr,
+        budget: &EvalBudget,
+    ) -> Result<Sequence, EvalError> {
+        self.eval_with_budget(expr, &Env::new(), budget)
     }
 
     /// Atomized string value of an item (convenience re-export).
@@ -257,20 +422,45 @@ impl<'d> Engine<'d> {
         seq.iter().map(|i| self.item_string(i)).collect()
     }
 
-    /// Evaluate `expr` in `env`.
+    /// Evaluate `expr` in `env` under the default [`EvalBudget`].
     pub fn eval(&self, expr: &Expr, env: &Env) -> Result<Sequence, EvalError> {
+        self.eval_with_budget(expr, env, &EvalBudget::default())
+    }
+
+    /// Evaluate `expr` in `env` under an explicit budget.
+    pub fn eval_with_budget(
+        &self,
+        expr: &Expr,
+        env: &Env,
+        budget: &EvalBudget,
+    ) -> Result<Sequence, EvalError> {
+        let guard = Guard::new(budget);
+        self.eval_inner(expr, env, &guard, 0)
+    }
+
+    /// The recursive evaluator. `depth` counts descents from the
+    /// top-level entry point; the guard trips it against the budget
+    /// before any per-node work.
+    fn eval_inner(
+        &self,
+        expr: &Expr,
+        env: &Env,
+        guard: &Guard<'_>,
+        depth: usize,
+    ) -> Result<Sequence, EvalError> {
+        guard.check_depth(depth)?;
         match expr {
             Expr::Str(s) => Ok(vec![Item::Str(s.clone())]),
             Expr::Num(n) => Ok(vec![Item::Num(*n)]),
             Expr::Path { root, steps } => self.eval_path(root, steps, env),
             Expr::Cmp { op, lhs, rhs } => {
-                let l = self.eval(lhs, env)?;
-                let r = self.eval(rhs, env)?;
+                let l = self.eval_inner(lhs, env, guard, depth + 1)?;
+                let r = self.eval_inner(rhs, env, guard, depth + 1)?;
                 Ok(vec![Item::Bool(self.general_compare(*op, &l, &r))])
             }
             Expr::And(parts) => {
                 for p in parts {
-                    if !effective_boolean(&self.eval(p, env)?) {
+                    if !effective_boolean(&self.eval_inner(p, env, guard, depth + 1)?) {
                         return Ok(vec![Item::Bool(false)]);
                     }
                 }
@@ -278,24 +468,24 @@ impl<'d> Engine<'d> {
             }
             Expr::Or(parts) => {
                 for p in parts {
-                    if effective_boolean(&self.eval(p, env)?) {
+                    if effective_boolean(&self.eval_inner(p, env, guard, depth + 1)?) {
                         return Ok(vec![Item::Bool(true)]);
                     }
                 }
                 Ok(vec![Item::Bool(false)])
             }
             Expr::Not(inner) => {
-                let v = self.eval(inner, env)?;
+                let v = self.eval_inner(inner, env, guard, depth + 1)?;
                 Ok(vec![Item::Bool(!effective_boolean(&v))])
             }
             Expr::Agg { func, arg } => {
-                let seq = self.eval(arg, env)?;
+                let seq = self.eval_inner(arg, env, guard, depth + 1)?;
                 self.aggregate(*func, &seq)
             }
             Expr::Mqf(args) => {
                 let mut nodes = Vec::new();
                 for a in args {
-                    let seq = self.eval(a, env)?;
+                    let seq = self.eval_inner(a, env, guard, depth + 1)?;
                     for item in seq {
                         match item {
                             Item::Node(id) => nodes.push(id),
@@ -316,12 +506,13 @@ impl<'d> Engine<'d> {
                 source,
                 satisfies,
             } => {
-                let seq = self.eval(source, env)?;
+                let seq = self.eval_inner(source, env, guard, depth + 1)?;
                 let mut any = false;
                 let mut all = true;
                 for item in seq {
                     let inner = env.bind(var, vec![item]);
-                    let ok = effective_boolean(&self.eval(satisfies, &inner)?);
+                    let ok =
+                        effective_boolean(&self.eval_inner(satisfies, &inner, guard, depth + 1)?);
                     any |= ok;
                     all &= ok;
                     // Short-circuit.
@@ -339,21 +530,21 @@ impl<'d> Engine<'d> {
             Expr::Seq(parts) => {
                 let mut out = Vec::new();
                 for p in parts {
-                    out.extend(self.eval(p, env)?);
+                    out.extend(self.eval_inner(p, env, guard, depth + 1)?);
                 }
                 Ok(out)
             }
             Expr::Element { name, content } => {
                 let mut children = Vec::new();
                 for c in content {
-                    children.extend(self.eval(c, env)?);
+                    children.extend(self.eval_inner(c, env, guard, depth + 1)?);
                 }
                 Ok(vec![Item::Elem(ConstructedElem {
                     name: name.clone(),
                     children,
                 })])
             }
-            Expr::Call { name, args } => self.call(name, args, env),
+            Expr::Call { name, args } => self.call(name, args, env, guard, depth),
             Expr::Flwor {
                 bindings,
                 where_clause,
@@ -493,7 +684,12 @@ impl<'d> Engine<'d> {
                         }
                         if ok {
                             for c in &triggered[$k] {
-                                if !effective_boolean(&self.eval(c, &$e2)?) {
+                                if !effective_boolean(&self.eval_inner(
+                                    c,
+                                    &$e2,
+                                    guard,
+                                    depth + 1,
+                                )?) {
                                     ok = false;
                                     break;
                                 }
@@ -615,8 +811,9 @@ impl<'d> Engine<'d> {
                                 }
                                 let items = match candidates {
                                     Some(c) => c,
-                                    None => self.eval(source, e)?,
+                                    None => self.eval_inner(source, e, guard, depth + 1)?,
                                 };
+                                guard.charge_tuples(items.len())?;
                                 for item in items {
                                     let e2 = e.bind(var, vec![item]);
                                     if admit!(e2, k) {
@@ -629,7 +826,8 @@ impl<'d> Engine<'d> {
                         Binding::Let { var, value } => {
                             let mut next = Vec::with_capacity(stream.len());
                             for e in &stream {
-                                let v = self.eval(value, e)?;
+                                guard.charge_tuples(1)?;
+                                let v = self.eval_inner(value, e, guard, depth + 1)?;
                                 let e2 = e.bind(var, v);
                                 if admit!(e2, k) {
                                     next.push(e2);
@@ -662,7 +860,7 @@ impl<'d> Engine<'d> {
                     for e in stream {
                         let mut keys = Vec::with_capacity(order_by.len());
                         for k in order_by {
-                            keys.push(self.eval(&k.expr, &e)?);
+                            keys.push(self.eval_inner(&k.expr, &e, guard, depth + 1)?);
                         }
                         keyed.push((keys, e));
                     }
@@ -683,7 +881,8 @@ impl<'d> Engine<'d> {
                 }
                 let mut out = Vec::new();
                 for e in stream {
-                    out.extend(self.eval(ret, &e)?);
+                    guard.charge_tuples(1)?;
+                    out.extend(self.eval_inner(ret, &e, guard, depth + 1)?);
                 }
                 Ok(out)
             }
@@ -766,7 +965,23 @@ impl<'d> Engine<'d> {
                     best = Some((score, i));
                 }
             }
-            let (_, i) = best.expect("binding dependencies must be acyclic");
+            let i = match best {
+                Some((_, i)) => i,
+                None => {
+                    // Cyclic data dependencies among binding sources
+                    // cannot come out of the translator, but a
+                    // hand-written query can express them. Fall back to
+                    // source order for the rest; evaluation then reports
+                    // the unbound variable instead of planning dying.
+                    for (j, p) in placed.iter_mut().enumerate() {
+                        if !*p {
+                            *p = true;
+                            out.push(j);
+                        }
+                    }
+                    continue;
+                }
+            };
             placed[i] = true;
             out.push(i);
         }
@@ -931,15 +1146,14 @@ impl<'d> Engine<'d> {
                 if seq.is_empty() {
                     return Ok(vec![]);
                 }
+                let want = if matches!(func, AggFunc::Min) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                };
                 let mut best = &seq[0];
                 for item in &seq[1..] {
-                    let ord = compare_items(self.doc, item, best);
-                    let better = match func {
-                        AggFunc::Min => ord == std::cmp::Ordering::Less,
-                        AggFunc::Max => ord == std::cmp::Ordering::Greater,
-                        _ => unreachable!(),
-                    };
-                    if better {
+                    if compare_items(self.doc, item, best) == want {
                         best = item;
                     }
                 }
@@ -948,7 +1162,14 @@ impl<'d> Engine<'d> {
         }
     }
 
-    fn call(&self, name: &str, args: &[Expr], env: &Env) -> Result<Sequence, EvalError> {
+    fn call(
+        &self,
+        name: &str,
+        args: &[Expr],
+        env: &Env,
+        guard: &Guard<'_>,
+        depth: usize,
+    ) -> Result<Sequence, EvalError> {
         let arity = |expected: usize| -> Result<(), EvalError> {
             if args.len() != expected {
                 Err(EvalError::WrongArity {
@@ -968,35 +1189,35 @@ impl<'d> Engine<'d> {
         match name {
             "contains" => {
                 arity(2)?;
-                let a = first_string(&self.eval(&args[0], env)?);
-                let b = first_string(&self.eval(&args[1], env)?);
+                let a = first_string(&self.eval_inner(&args[0], env, guard, depth + 1)?);
+                let b = first_string(&self.eval_inner(&args[1], env, guard, depth + 1)?);
                 Ok(vec![Item::Bool(a.contains(&b))])
             }
             "starts-with" => {
                 arity(2)?;
-                let a = first_string(&self.eval(&args[0], env)?);
-                let b = first_string(&self.eval(&args[1], env)?);
+                let a = first_string(&self.eval_inner(&args[0], env, guard, depth + 1)?);
+                let b = first_string(&self.eval_inner(&args[1], env, guard, depth + 1)?);
                 Ok(vec![Item::Bool(a.starts_with(&b))])
             }
             "ends-with" => {
                 arity(2)?;
-                let a = first_string(&self.eval(&args[0], env)?);
-                let b = first_string(&self.eval(&args[1], env)?);
+                let a = first_string(&self.eval_inner(&args[0], env, guard, depth + 1)?);
+                let b = first_string(&self.eval_inner(&args[1], env, guard, depth + 1)?);
                 Ok(vec![Item::Bool(a.ends_with(&b))])
             }
             "string-length" => {
                 arity(1)?;
-                let a = first_string(&self.eval(&args[0], env)?);
+                let a = first_string(&self.eval_inner(&args[0], env, guard, depth + 1)?);
                 Ok(vec![Item::Num(a.chars().count() as f64)])
             }
             "string" => {
                 arity(1)?;
-                let a = first_string(&self.eval(&args[0], env)?);
+                let a = first_string(&self.eval_inner(&args[0], env, guard, depth + 1)?);
                 Ok(vec![Item::Str(a)])
             }
             "number" => {
                 arity(1)?;
-                let seq = self.eval(&args[0], env)?;
+                let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 let n = seq
                     .first()
                     .and_then(|i| i.numeric_value(self.doc))
@@ -1006,13 +1227,13 @@ impl<'d> Engine<'d> {
             "concat" => {
                 let mut out = String::new();
                 for a in args {
-                    out.push_str(&first_string(&self.eval(a, env)?));
+                    out.push_str(&first_string(&self.eval_inner(a, env, guard, depth + 1)?));
                 }
                 Ok(vec![Item::Str(out)])
             }
             "name" => {
                 arity(1)?;
-                let seq = self.eval(&args[0], env)?;
+                let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 match seq.first() {
                     Some(Item::Node(id)) => Ok(vec![Item::Str(self.doc.label(*id).to_owned())]),
                     Some(Item::Elem(e)) => Ok(vec![Item::Str(e.name.clone())]),
@@ -1021,7 +1242,7 @@ impl<'d> Engine<'d> {
             }
             "data" => {
                 arity(1)?;
-                let seq = self.eval(&args[0], env)?;
+                let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 Ok(seq
                     .iter()
                     .map(|i| Item::Str(i.string_value(self.doc)))
@@ -1029,7 +1250,7 @@ impl<'d> Engine<'d> {
             }
             "distinct-values" => {
                 arity(1)?;
-                let seq = self.eval(&args[0], env)?;
+                let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 let mut seen = std::collections::HashSet::new();
                 let mut out = Vec::new();
                 for item in seq {
@@ -1042,12 +1263,12 @@ impl<'d> Engine<'d> {
             }
             "empty" => {
                 arity(1)?;
-                let seq = self.eval(&args[0], env)?;
+                let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 Ok(vec![Item::Bool(seq.is_empty())])
             }
             "exists" => {
                 arity(1)?;
-                let seq = self.eval(&args[0], env)?;
+                let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 Ok(vec![Item::Bool(!seq.is_empty())])
             }
             "true" => {

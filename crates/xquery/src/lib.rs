@@ -1,4 +1,18 @@
 #![warn(missing_docs)]
+// The evaluator sits on the NL→answer hot path: a malformed or
+// adversarial query must come back as a structured error, never a
+// process abort (paper Sec. 4 — NaLIX always answers with feedback).
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
 
 //! # xquery — a Schema-Free XQuery engine
 //!
@@ -57,7 +71,7 @@ pub mod value;
 pub use ast::{
     AggFunc, Binding, CmpOp, Expr, OrderDir, OrderKey, PathRoot, Quantifier, Step, StepAxis,
 };
-pub use eval::{Engine, EvalError};
+pub use eval::{Engine, EvalBudget, EvalError, ExhaustedResource};
 pub use lexer::{LexError, Token};
 pub use parser::{parse, ParseError};
 pub use value::{Item, Sequence};

@@ -321,10 +321,13 @@ impl P {
                     items.push(self.expr_single()?);
                 }
                 self.expect(&Token::RParen)?;
-                Ok(if items.len() == 1 {
-                    items.pop().expect("one item")
-                } else {
-                    Expr::Seq(items)
+                Ok(match (items.pop(), items.is_empty()) {
+                    (Some(only), true) => only,
+                    (Some(last), false) => {
+                        items.push(last);
+                        Expr::Seq(items)
+                    }
+                    (None, _) => Expr::Seq(items),
                 })
             }
             Some(Token::LBrace) => {
@@ -378,13 +381,13 @@ impl P {
         }
         self.expect(&Token::RParen)?;
         let agg = |f: AggFunc, mut args: Vec<Expr>, p: &P| -> Result<Expr, ParseError> {
-            if args.len() != 1 {
-                return Err(p.err(format!("{f} takes exactly one argument")));
+            match (args.pop(), args.is_empty()) {
+                (Some(arg), true) => Ok(Expr::Agg {
+                    func: f,
+                    arg: Box::new(arg),
+                }),
+                _ => Err(p.err(format!("{f} takes exactly one argument"))),
             }
-            Ok(Expr::Agg {
-                func: f,
-                arg: Box::new(args.pop().expect("one arg")),
-            })
         };
         match name.as_str() {
             "count" => agg(AggFunc::Count, args, self),
@@ -392,12 +395,10 @@ impl P {
             "min" => agg(AggFunc::Min, args, self),
             "max" => agg(AggFunc::Max, args, self),
             "avg" => agg(AggFunc::Avg, args, self),
-            "not" => {
-                if args.len() != 1 {
-                    return Err(self.err("not takes exactly one argument"));
-                }
-                Ok(Expr::Not(Box::new(args.pop().expect("one arg"))))
-            }
+            "not" => match (args.pop(), args.is_empty()) {
+                (Some(arg), true) => Ok(Expr::Not(Box::new(arg))),
+                _ => Err(self.err("not takes exactly one argument")),
+            },
             "mqf" => Ok(Expr::Mqf(args)),
             _ => Ok(Expr::Call { name, args }),
         }

@@ -1,0 +1,145 @@
+//! Evaluator resource budgets: pathological queries hit a typed
+//! `ResourceExhausted` error quickly instead of hanging or crashing,
+//! and the default budget is generous enough that all nine golden XMP
+//! queries evaluate unchanged.
+
+use nalix_repro::nalix::{Nalix, QueryError};
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+use nalix_repro::xmldb::datasets::movies::movies;
+use nalix_repro::xquery::{self, Engine, EvalBudget, EvalError, ExhaustedResource, Expr};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn assert_exhausted(r: Result<xquery::Sequence, EvalError>, want: ExhaustedResource) {
+    match r {
+        Err(EvalError::ResourceExhausted { resource, .. }) if resource == want => {}
+        other => panic!("expected ResourceExhausted({want:?}), got {other:?}"),
+    }
+}
+
+#[test]
+fn deep_nesting_exhausts_the_depth_budget_quickly() {
+    let doc = movies();
+    let engine = Engine::new(&doc);
+    // not(not(...not(1)...)) nested far beyond any real translation.
+    let mut expr = Expr::Num(1.0);
+    for _ in 0..5_000 {
+        expr = Expr::Not(Box::new(expr));
+    }
+    let start = Instant::now();
+    let got = engine.eval_expr_with_budget(&expr, &EvalBudget::default());
+    assert_exhausted(got, ExhaustedResource::Depth);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "budget must trip fast, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn custom_depth_limit_is_respected() {
+    let doc = movies();
+    let engine = Engine::new(&doc);
+    let mut expr = Expr::Num(1.0);
+    for _ in 0..40 {
+        expr = Expr::Not(Box::new(expr));
+    }
+    let tight = EvalBudget::default().with_max_depth(8);
+    assert_exhausted(
+        engine.eval_expr_with_budget(&expr, &tight),
+        ExhaustedResource::Depth,
+    );
+    // The default limit is far above 40 levels.
+    assert!(engine
+        .eval_expr_with_budget(&expr, &EvalBudget::default())
+        .is_ok());
+}
+
+#[test]
+fn zero_time_limit_trips_at_the_first_iteration_boundary() {
+    let doc = movies();
+    let engine = Engine::new(&doc);
+    let budget = EvalBudget::default().with_time_limit(Duration::ZERO);
+    let got = engine.run_with_budget("for $m in doc()//movie return $m", &budget);
+    assert_exhausted(got, ExhaustedResource::Time);
+}
+
+#[test]
+fn cartesian_blowup_exhausts_the_tuple_budget() {
+    let doc = movies();
+    let engine = Engine::new(&doc);
+    let q = "for $a in doc()//movie for $b in doc()//movie for $c in doc()//movie return $a";
+    let budget = EvalBudget::default().with_max_tuples(50);
+    let start = Instant::now();
+    assert_exhausted(
+        engine.run_with_budget(q, &budget),
+        ExhaustedResource::Tuples,
+    );
+    assert!(start.elapsed() < Duration::from_secs(5));
+    // The same query fits comfortably in the default budget.
+    assert!(engine.run(q).is_ok());
+}
+
+#[test]
+fn exhaustion_surfaces_as_a_typed_query_error_with_suggestion() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let question = "Find all the movies directed by Ron Howard.";
+    // Generous budget: the question answers normally.
+    assert!(nalix.answer(question).is_ok());
+    // One-tuple budget: the same question reports exhaustion, typed,
+    // with a rephrasing suggestion — never a panic or a hang.
+    let tight = EvalBudget::default().with_max_tuples(1);
+    match nalix.answer_with_budget(question, &tight) {
+        Err(QueryError::ResourceExhausted {
+            resource,
+            suggestion,
+            ..
+        }) => {
+            assert_eq!(resource, ExhaustedResource::Tuples);
+            assert!(!suggestion.is_empty());
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn all_nine_golden_queries_fit_the_default_budget() {
+    // The budget guards must not change any paper-study answer: every
+    // checked-in golden XMP query evaluates under the default budget
+    // and returns the same sequence as the unbudgeted entry point.
+    let doc = generate(&DblpConfig {
+        books: 40,
+        articles: 80,
+        seed: 7,
+    });
+    let engine = Engine::new(&doc);
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("golden dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("xq") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("golden file");
+        let body: String = text
+            .lines()
+            .filter(|l| !l.starts_with("(:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let budgeted = engine
+            .run_with_budget(&body, &EvalBudget::default())
+            .unwrap_or_else(|e| panic!("{}: exceeds default budget: {e}", path.display()));
+        let plain = engine
+            .run(&body)
+            .unwrap_or_else(|e| panic!("{}: fails unbudgeted: {e}", path.display()));
+        assert_eq!(
+            engine.strings(&budgeted),
+            engine.strings(&plain),
+            "{}: budget changed the answer",
+            path.display()
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, 9, "expected the nine XMP golden queries");
+}

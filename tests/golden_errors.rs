@@ -1,0 +1,144 @@
+//! Golden-file tests for the failure path: one snapshot per paper
+//! error class (Sec. 4.1 / Table 6), capturing the typed `QueryError`
+//! variant, its rendered message, the rephrasing suggestion, and the
+//! per-item feedback the user would see. A wording change now shows up
+//! as a readable diff instead of a silent UX shift. Regenerate with:
+//!
+//! ```console
+//! $ UPDATE_GOLDEN=1 cargo test --test golden_errors
+//! ```
+
+use nalix_repro::nalix::{Nalix, QueryError};
+use nalix_repro::xmldb::datasets::movies::movies;
+use nalix_repro::xquery::EvalBudget;
+use std::path::PathBuf;
+
+fn golden_path(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/errors")
+        .join(format!("{label}.txt"))
+}
+
+fn variant_name(e: &QueryError) -> &'static str {
+    match e {
+        QueryError::Parse { .. } => "Parse",
+        QueryError::Classify { .. } => "Classify",
+        QueryError::Validate { .. } => "Validate",
+        QueryError::Translate { .. } => "Translate",
+        QueryError::Eval { .. } => "Eval",
+        QueryError::ResourceExhausted { .. } => "ResourceExhausted",
+    }
+}
+
+/// Each case: snapshot label, the paper's error class, the question,
+/// and the budget to answer under (None = default).
+const CASES: &[(&str, &str, &str, Option<u64>)] = &[
+    (
+        "parse_failure",
+        "ungrammatical input",
+        "Find movies , , where",
+        None,
+    ),
+    (
+        "unterminated_quotation",
+        "ungrammatical input (unterminated quotation)",
+        "Find the movie, where the title is \"Traffic",
+        None,
+    ),
+    (
+        "unknown_term",
+        "unknown term (Fig. 10 Query 1: bare \"as\")",
+        "Return every director who has directed as many movies as has Ron Howard.",
+        None,
+    ),
+    (
+        "no_such_name",
+        "no such element or attribute name",
+        "Return the spaceship of each movie.",
+        None,
+    ),
+    (
+        "no_such_value",
+        "no such value",
+        "Find all the movies directed by Stanley Kubrick.",
+        None,
+    ),
+    (
+        "incomplete_comparison",
+        "incomplete comparison",
+        "Find all the movies, where the year of the movie is greater than.",
+        None,
+    ),
+    (
+        "grammar_violation",
+        "unsupported grammar (unrelatable token)",
+        "Return and movies.",
+        None,
+    ),
+    (
+        "declarative_sentence",
+        "unsupported sentence form (not a command or question)",
+        "The weather is nice today.",
+        None,
+    ),
+    (
+        "resource_exhausted",
+        "resource budget exceeded",
+        "Find all the movies directed by Ron Howard.",
+        Some(1), // max_tuples
+    ),
+];
+
+#[test]
+fn failure_feedback_matches_golden_files() {
+    let doc = movies();
+    let nalix = Nalix::new(&doc);
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+
+    for &(label, class, question, max_tuples) in CASES {
+        let budget = match max_tuples {
+            Some(n) => EvalBudget::default().with_max_tuples(n as usize),
+            None => EvalBudget::default(),
+        };
+        let err = match nalix.answer_with_budget(question, &budget) {
+            Err(e) => e,
+            Ok(ans) => panic!("{label}: expected an error for {question:?}, got {ans:?}"),
+        };
+        assert!(
+            !err.suggestion().is_empty(),
+            "{label}: empty suggestion violates the Sec. 4 contract"
+        );
+        let mut got = String::new();
+        got.push_str(&format!("class: {class}\n"));
+        got.push_str(&format!("question: {question}\n"));
+        got.push_str(&format!("variant: {}\n", variant_name(&err)));
+        got.push_str(&format!("display: {err}\n"));
+        got.push_str(&format!("suggestion: {}\n", err.suggestion()));
+        got.push_str("feedback:\n");
+        for f in err.feedback() {
+            got.push_str(&format!("- {}\n", f.message()));
+        }
+
+        let path = golden_path(label);
+        if update {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{label}: missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        if got != want {
+            failures.push(format!(
+                "{label}: failure feedback drifted from {}\n--- golden\n{want}\n--- current\n{got}",
+                path.display()
+            ));
+        }
+    }
+
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}

@@ -364,4 +364,62 @@ proptest! {
             Outcome::Rejected(r) => prop_assert!(!r.errors.is_empty(), "{}", q),
         }
     }
+
+    // -----------------------------------------------------------------
+    // Panic-free `answer`: arbitrary text — ASCII punctuation, digits,
+    // accented Latin, curly quotes, CJK — either answers or returns a
+    // typed QueryError whose rephrasing suggestion is non-empty (the
+    // paper's Sec. 4 contract: never die, always say how to rephrase).
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn answer_never_panics_and_always_suggests(
+        q in "[ ,.\"'?!a-zA-Z0-9à-ö‘-”一-丏]{0,60}",
+    ) {
+        let doc = nalix_repro::xmldb::datasets::movies::movies();
+        let nalix = Nalix::new(&doc);
+        match nalix.answer(&q) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(!e.suggestion().is_empty(), "{:?} -> {}", q, e);
+                prop_assert!(!e.feedback().is_empty(), "{:?}", q);
+                prop_assert!(!e.to_string().is_empty(), "{:?}", q);
+            }
+        }
+    }
+
+    // Near-English word salad drives the deeper pipeline stages the
+    // fully-arbitrary generator rarely reaches.
+    #[test]
+    fn answer_never_panics_on_word_salad(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("Return".to_owned()),
+                Just("Find".to_owned()),
+                Just("the".to_owned()),
+                Just("of".to_owned()),
+                Just("every".to_owned()),
+                Just("movie".to_owned()),
+                Just("director".to_owned()),
+                Just("is".to_owned()),
+                Just("not".to_owned()),
+                Just("and".to_owned()),
+                Just("where".to_owned()),
+                Just("more".to_owned()),
+                Just("than".to_owned()),
+                Just("1991".to_owned()),
+                Just(",".to_owned()),
+                Just("\u{201C}Traffic\u{201D}".to_owned()),
+                "[a-zà-ö]{1,8}",
+            ],
+            1..14,
+        )
+    ) {
+        let doc = nalix_repro::xmldb::datasets::movies::movies();
+        let nalix = Nalix::new(&doc);
+        let q = words.join(" ");
+        if let Err(e) = nalix.answer(&q) {
+            prop_assert!(!e.suggestion().is_empty(), "{:?} -> {}", q, e);
+        }
+    }
 }
