@@ -10,7 +10,16 @@
 use bench::{corpus, paper_corpus, BENCH_QUERIES};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use nalix::{Nalix, Outcome};
-use xquery::Engine;
+use xquery::{Engine, EvalBudget};
+
+/// The hand-written stress queries below deliberately materialise far
+/// more candidate tuples than anything the NaLIX translator emits (the
+/// aggregation is quadratic in books, the ablation's late-filter arm a
+/// full cross product), so they need more headroom than the default
+/// 4M-tuple safety budget sized for translated queries.
+fn stress_budget() -> EvalBudget {
+    EvalBudget::default().with_max_tuples(256_000_000)
+}
 
 fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("evaluation/scaling");
@@ -67,10 +76,11 @@ fn bench_paper_corpus_queries(c: &mut Criterion) {
     ];
     let mut g = c.benchmark_group("evaluation/paper-corpus");
     g.sample_size(10);
+    let budget = stress_budget();
     for (name, q) in queries {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let out = engine.run(black_box(q)).expect("runs");
+                let out = engine.run_with_budget(black_box(q), &budget).expect("runs");
                 black_box(out.len())
             })
         });
@@ -91,18 +101,25 @@ fn bench_pushdown_ablation(c: &mut Criterion) {
                   where mqf($t, $a) and mqf($t, $b) and $b/year > 1991 return $t";
     let opaque = "for $t in doc()//title, $a in doc()//author, $b in doc()//book \
                   where not(not(mqf($t, $a) and mqf($t, $b) and $b/year > 1991)) return $t";
+    let budget = stress_budget();
     // Same answers either way.
     assert_eq!(
-        engine.run(pushed).expect("pushed").len(),
-        engine.run(opaque).expect("opaque").len()
+        engine
+            .run_with_budget(pushed, &budget)
+            .expect("pushed")
+            .len(),
+        engine
+            .run_with_budget(opaque, &budget)
+            .expect("opaque")
+            .len()
     );
     let mut g = c.benchmark_group("evaluation/pushdown-ablation");
     g.sample_size(10);
     g.bench_function("conjuncts-pushed", |b| {
-        b.iter(|| black_box(engine.run(pushed).expect("runs").len()))
+        b.iter(|| black_box(engine.run_with_budget(pushed, &budget).expect("runs").len()))
     });
     g.bench_function("late-filter(ablation)", |b| {
-        b.iter(|| black_box(engine.run(opaque).expect("runs").len()))
+        b.iter(|| black_box(engine.run_with_budget(opaque, &budget).expect("runs").len()))
     });
     g.finish();
 }

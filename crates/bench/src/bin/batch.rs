@@ -3,13 +3,18 @@
 //! and on 2/4/8-thread pools sharing one `Nalix` instance.
 //!
 //! ```console
-//! $ cargo run --release -p bench --bin batch [--quick]
+//! $ cargo run --release -p bench --bin batch [--quick] [--prom]
 //! ```
 //!
 //! Every parallel run's replies are checked to be identical to the
 //! serial run's, query by query — parallelism here is a scheduling
 //! change only, never a semantic one. The program exits non-zero if
 //! any reply diverges.
+//!
+//! After the timing table the program prints the per-stage
+//! latency/outcome breakdown accumulated in the process-wide metrics
+//! registry; `--prom` additionally dumps the same snapshot in
+//! Prometheus text exposition format.
 
 use nalix::{BatchReply, BatchRunner, Nalix};
 use std::time::Instant;
@@ -31,11 +36,14 @@ fn render(reply: &BatchReply) -> String {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let prom = std::env::args().any(|a| a == "--prom");
     let repeats = if quick { 4 } else { 20 };
 
     eprintln!("generating the paper-scale DBLP corpus …");
     let doc = bench::paper_corpus();
-    let nalix = Nalix::new(&doc);
+    // Share the process-wide registry so the breakdown below covers
+    // everything this binary does, deep index counters included.
+    let nalix = Nalix::with_metrics(&doc, obs::global_handle());
 
     // The nine tasks, tiled `repeats` times — a 9×repeats-query batch.
     let tasks = bench::xmp_questions();
@@ -99,6 +107,13 @@ fn main() {
             serial_s / secs,
             if identical { "" } else { "  DIVERGED" }
         );
+    }
+
+    let snapshot = nalix.metrics();
+    println!("\nper-stage breakdown (whole process, warm-up included):");
+    println!("{snapshot}");
+    if prom {
+        println!("{}", snapshot.to_prometheus());
     }
 
     if failed {

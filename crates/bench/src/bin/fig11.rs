@@ -98,4 +98,6 @@ fn main() {
         "simulated satisfaction: {:.2}/5   (paper questionnaire: 4.11/5)",
         results.satisfaction()
     );
+    println!("\nper-stage breakdown (whole study):");
+    println!("{}", obs::global().snapshot());
 }

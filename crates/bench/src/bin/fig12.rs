@@ -101,4 +101,6 @@ fn main() {
             .iter()
             .all(|r| r.nalix_p + r.nalix_r > r.keyword_p + r.keyword_r)
     );
+    println!("\nper-stage breakdown (whole study):");
+    println!("{}", obs::global().snapshot());
 }

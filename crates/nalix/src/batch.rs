@@ -73,19 +73,25 @@ impl<'n, 'd> BatchRunner<'n, 'd> {
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n.max(1)) {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // Isolate the question: a panic anywhere in the
+                        // pipeline (there should be none — the query-path
+                        // crates deny unwrap/expect/panic) becomes that
+                        // question's reply instead of poisoning the pool
+                        // and aborting the whole batch.
+                        let reply = catch_unwind(AssertUnwindSafe(|| self.nalix.ask(questions[i])))
+                            .unwrap_or_else(|_| Err(internal_error()));
+                        let _ = slots[i].set(reply);
                     }
-                    // Isolate the question: a panic anywhere in the
-                    // pipeline (there should be none — the query-path
-                    // crates deny unwrap/expect/panic) becomes that
-                    // question's reply instead of poisoning the pool
-                    // and aborting the whole batch.
-                    let reply = catch_unwind(AssertUnwindSafe(|| self.nalix.ask(questions[i])))
-                        .unwrap_or_else(|_| Err(internal_error()));
-                    let _ = slots[i].set(reply);
+                    // The deep structural counters batch in
+                    // destructor-free thread-local cells; drain this
+                    // worker's tail before the thread exits.
+                    obs::flush_hot();
                 });
             }
         });

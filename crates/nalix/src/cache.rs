@@ -28,10 +28,16 @@ use nlparser::lexicon::tags_case_insensitively;
 use nlparser::parse::normalize_multi_sentence;
 use nlparser::tokenize::{tokenize, RawKind};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{PoisonError, RwLock};
 
 /// Hit/miss counters of a [`Nalix`](crate::Nalix) translation cache.
+///
+/// The counters live in the owning [`Nalix`](crate::Nalix)'s
+/// [`obs::MetricsRegistry`], packed in a single atomic, so `hits` and
+/// `misses` always describe the same instant — the two reporting paths
+/// ([`Nalix::cache_stats`](crate::Nalix::cache_stats) and
+/// [`obs::MetricsSnapshot`]) can never disagree. With the `metrics`
+/// feature compiled out both counters read as zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the cache.
@@ -80,16 +86,17 @@ pub(crate) fn normalize(question: &str) -> String {
     out
 }
 
-/// A concurrent memo table `normalized question → Outcome`.
+/// A concurrent memo table `normalized question → Outcome`. Hit/miss
+/// accounting is delegated to the caller's [`obs::MetricsRegistry`]
+/// (one packed atomic), so there is exactly one source of truth for
+/// the pair.
 #[derive(Default)]
 pub(crate) struct TranslationCache {
     map: RwLock<HashMap<String, Outcome>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 impl TranslationCache {
-    pub(crate) fn get(&self, key: &str) -> Option<Outcome> {
+    pub(crate) fn get(&self, key: &str, metrics: &obs::MetricsRegistry) -> Option<Outcome> {
         let hit = self
             .map
             .read()
@@ -97,9 +104,9 @@ impl TranslationCache {
             .get(key)
             .cloned();
         match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => metrics.cache_hit(),
+            None => metrics.cache_miss(),
+        }
         hit
     }
 
@@ -110,16 +117,11 @@ impl TranslationCache {
             .insert(key, outcome);
     }
 
-    pub(crate) fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .map
-                .read()
-                .unwrap_or_else(PoisonError::into_inner)
-                .len(),
-        }
+    pub(crate) fn len(&self) -> usize {
+        self.map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     pub(crate) fn clear(&self) {
@@ -185,8 +187,9 @@ mod tests {
 
     #[test]
     fn stats_count_hits_and_misses() {
+        let metrics = obs::MetricsRegistry::new();
         let c = TranslationCache::default();
-        assert!(c.get("q").is_none());
+        assert!(c.get("q", &metrics).is_none());
         c.insert(
             "q".to_owned(),
             Outcome::Rejected(crate::Rejected {
@@ -194,10 +197,12 @@ mod tests {
                 warnings: vec![],
             }),
         );
-        assert!(c.get("q").is_some());
-        let s = c.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(c.get("q", &metrics).is_some());
+        // The pair comes back from a single atomic load: consistent by
+        // construction.
+        assert_eq!(metrics.cache_counts(), (1, 1));
+        assert_eq!(c.len(), 1);
         c.clear();
-        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.len(), 0);
     }
 }

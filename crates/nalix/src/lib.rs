@@ -69,6 +69,28 @@
 //!      director is the same as the number of movies directed by Ron Howard.");
 //! assert!(matches!(out, Outcome::Translated(_)));
 //! ```
+//!
+//! ## Observability
+//!
+//! Every pipeline stage is instrumented with the re-exported [`obs`]
+//! crate: stage spans (wall time + outcome), end-to-end query outcomes
+//! including cache-hit short-circuits, and engine work counters. Each
+//! `Nalix` records into its own isolated [`obs::MetricsRegistry`] by
+//! default; pass [`obs::global_handle()`] to [`Nalix::with_metrics`] to
+//! aggregate with the process-global `xmldb`/`nlparser` counters. See
+//! `docs/OBSERVABILITY.md` for the metric catalog.
+//!
+//! ```
+//! use nalix::{obs, Nalix};
+//! use xmldb::datasets::movies::movies;
+//!
+//! let doc = movies();
+//! let nalix = Nalix::new(&doc);
+//! let _ = nalix.ask("Find all the movies directed by Ron Howard.");
+//! let snap = nalix.metrics();
+//! assert_eq!(snap.stage(obs::Stage::Translate).spans(), 1);
+//! assert_eq!(snap.queries_with(obs::SpanOutcome::Ok), 1);
+//! ```
 
 pub mod batch;
 pub mod binding;
@@ -89,6 +111,9 @@ pub use batch::{BatchReply, BatchRunner};
 pub use cache::CacheStats;
 pub use error::QueryError;
 pub use feedback::{Feedback, FeedbackKind, Severity};
+/// The observability layer (re-exported): [`obs::MetricsRegistry`],
+/// [`obs::MetricsSnapshot`], stage spans, and the global registry.
+pub use obs;
 pub use token::{ClassifiedTree, NodeClass, OpSem, QtKind, TokenType};
 pub use translate::{TranslateError, Translation};
 pub use xquery::{EvalBudget, ExhaustedResource};
@@ -150,17 +175,31 @@ pub struct Nalix<'d> {
     engine: Engine<'d>,
     /// Memo of `normalized question → Outcome` (see [`crate::cache`]).
     translations: TranslationCache,
+    /// Stage spans, query outcomes, and cache counters land here (the
+    /// engine shares the same registry for its evaluation spans).
+    metrics: std::sync::Arc<obs::MetricsRegistry>,
 }
 
 impl<'d> Nalix<'d> {
     /// Build the interface for a (finalized) document. Catalog
-    /// construction scans the document once.
+    /// construction scans the document once. Metrics go to an isolated
+    /// per-instance [`obs::MetricsRegistry`]; use
+    /// [`Nalix::with_metrics`] to share one.
     pub fn new(doc: &'d Document) -> Self {
+        Nalix::with_metrics(doc, std::sync::Arc::new(obs::MetricsRegistry::new()))
+    }
+
+    /// Build the interface recording into a caller-supplied registry —
+    /// typically [`obs::global_handle()`] so pipeline spans land next
+    /// to the process-global `xmldb`/`nlparser` counters, or a fresh
+    /// registry shared by a group of instances under test.
+    pub fn with_metrics(doc: &'d Document, metrics: std::sync::Arc<obs::MetricsRegistry>) -> Self {
         Nalix {
             doc,
             catalog: Catalog::build(doc),
-            engine: Engine::new(doc),
+            engine: Engine::with_metrics(doc, metrics.clone()),
             translations: TranslationCache::default(),
+            metrics,
         }
     }
 
@@ -184,7 +223,10 @@ impl<'d> Nalix<'d> {
     /// [`Nalix::clear_cache`] to drop the memo table.
     pub fn query(&self, sentence: &str) -> Outcome {
         let key = cache::normalize(sentence);
-        if let Some(memo) = self.translations.get(&key) {
+        if let Some(memo) = self.translations.get(&key, &self.metrics) {
+            // The pipeline did not run: a cache hit records a query
+            // outcome but no stage spans.
+            self.metrics.record_query(obs::SpanOutcome::CacheHit);
             return memo;
         }
         let out = self.query_uncached(sentence);
@@ -195,44 +237,101 @@ impl<'d> Nalix<'d> {
     /// [`Nalix::query`] without consulting or filling the translation
     /// cache.
     pub fn query_uncached(&self, sentence: &str) -> Outcome {
-        let dep = match nlparser::parse(sentence) {
-            Ok(t) => t,
+        match self.parse_stage(sentence) {
+            Ok(dep) => self.query_tree(&dep),
             Err(e) => {
-                return Outcome::Rejected(Rejected {
+                self.metrics.record_query(obs::SpanOutcome::ParseError);
+                Outcome::Rejected(Rejected {
                     errors: vec![Feedback::error(FeedbackKind::GrammarViolation {
                         detail: e.message,
                     })],
                     warnings: vec![],
                 })
             }
-        };
-        self.query_tree(&dep)
+        }
+    }
+
+    /// Dependency-parse `sentence` under an [`obs::Stage::Parse`] span.
+    fn parse_stage(&self, sentence: &str) -> Result<nlparser::DepTree, nlparser::ParseFailure> {
+        let span = self.metrics.span(obs::Stage::Parse);
+        match nlparser::parse(sentence) {
+            Ok(t) => {
+                span.finish(obs::SpanOutcome::Ok);
+                Ok(t)
+            }
+            Err(e) => {
+                span.finish(obs::SpanOutcome::ParseError);
+                Err(e)
+            }
+        }
     }
 
     /// Submit an already-parsed dependency tree (the user-study harness
     /// uses this entry point to inject parse noise upstream).
     pub fn query_tree(&self, dep: &nlparser::DepTree) -> Outcome {
+        let (out, class) = self.run_pipeline(dep);
+        self.metrics.record_query(class);
+        out
+    }
+
+    /// Classify → validate → translate under stage spans, returning the
+    /// outcome plus its [`obs::SpanOutcome`] class (which stage failed,
+    /// if any — the same distinction [`QueryError`] draws).
+    fn run_pipeline(&self, dep: &nlparser::DepTree) -> (Outcome, obs::SpanOutcome) {
+        let cspan = self.metrics.span(obs::Stage::Classify);
         let classified = classify::classify(dep);
+        cspan.finish(obs::SpanOutcome::Ok);
+
+        let vspan = self.metrics.span(obs::Stage::Validate);
         let validation = validate::validate(classified, &self.catalog);
         let warnings: Vec<Feedback> = validation.warnings().into_iter().cloned().collect();
+        self.metrics
+            .add(obs::Counter::ValidateWarnings, warnings.len() as u64);
         if !validation.is_valid() {
-            return Outcome::Rejected(Rejected {
-                errors: validation.errors().into_iter().cloned().collect(),
-                warnings,
-            });
+            let errors: Vec<Feedback> = validation.errors().into_iter().cloned().collect();
+            self.metrics
+                .add(obs::Counter::ValidateErrors, errors.len() as u64);
+            // The "unknown term" class is a classification failure;
+            // everything else the validator reports is a validation
+            // failure (mirrors `QueryError::from(Rejected)`).
+            let class = if errors
+                .iter()
+                .any(|f| matches!(f.kind, FeedbackKind::UnknownTerm { .. }))
+            {
+                obs::SpanOutcome::ClassifyError
+            } else {
+                obs::SpanOutcome::ValidateError
+            };
+            vspan.finish(class);
+            return (Outcome::Rejected(Rejected { errors, warnings }), class);
         }
+        vspan.finish(obs::SpanOutcome::Ok);
+
+        let tspan = self.metrics.span(obs::Stage::Translate);
         match translate::translate(&validation.tree) {
-            Ok(translation) => Outcome::Translated(Box::new(Translated {
-                translation,
-                warnings,
-                tree: validation.tree,
-            })),
-            Err(e) => Outcome::Rejected(Rejected {
-                errors: vec![Feedback::error(FeedbackKind::GrammarViolation {
-                    detail: e.message,
-                })],
-                warnings,
-            }),
+            Ok(translation) => {
+                tspan.finish(obs::SpanOutcome::Ok);
+                (
+                    Outcome::Translated(Box::new(Translated {
+                        translation,
+                        warnings,
+                        tree: validation.tree,
+                    })),
+                    obs::SpanOutcome::Ok,
+                )
+            }
+            Err(e) => {
+                tspan.finish(obs::SpanOutcome::TranslateError);
+                (
+                    Outcome::Rejected(Rejected {
+                        errors: vec![Feedback::error(FeedbackKind::GrammarViolation {
+                            detail: e.message,
+                        })],
+                        warnings,
+                    }),
+                    obs::SpanOutcome::TranslateError,
+                )
+            }
         }
     }
 
@@ -271,15 +370,24 @@ impl<'d> Nalix<'d> {
         budget: &EvalBudget,
     ) -> Result<Vec<String>, QueryError> {
         let key = cache::normalize(sentence);
-        let outcome = match self.translations.get(&key) {
-            Some(memo) => memo,
+        let outcome = match self.translations.get(&key, &self.metrics) {
+            Some(memo) => {
+                self.metrics.record_query(obs::SpanOutcome::CacheHit);
+                memo
+            }
             None => {
                 // Surfacing the parse stage as its own
                 // [`QueryError::Parse`] needs the raw failure, so the
                 // `query` wrapper (which folds it into generic
                 // feedback) is bypassed on a miss. Parse failures are
                 // not memoised; parsing is cheap.
-                let dep = nlparser::parse(sentence)?;
+                let dep = match self.parse_stage(sentence) {
+                    Ok(dep) => dep,
+                    Err(e) => {
+                        self.metrics.record_query(obs::SpanOutcome::ParseError);
+                        return Err(e.into());
+                    }
+                };
                 let out = self.query_tree(&dep);
                 self.translations.insert(key, out.clone());
                 out
@@ -297,8 +405,34 @@ impl<'d> Nalix<'d> {
     }
 
     /// Hit/miss/size counters of the translation cache.
+    ///
+    /// The hit/miss pair is read from a single atomic in the metrics
+    /// registry — always mutually consistent, and always equal to what
+    /// [`Nalix::metrics`] reports. With the `metrics` feature compiled
+    /// out, hits and misses read as zero (entries is still live).
     pub fn cache_stats(&self) -> CacheStats {
-        self.translations.stats()
+        let (hits, misses) = self.metrics.cache_counts();
+        CacheStats {
+            hits,
+            misses,
+            entries: self.translations.len(),
+        }
+    }
+
+    /// Snapshot of everything this instance has recorded: stage spans,
+    /// query outcomes, engine counters, cache counters — with the cache
+    /// entry gauge folded in. See [`obs::MetricsSnapshot`] for merging,
+    /// diffing, and rendering.
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.cache_entries = self.translations.len() as u64;
+        snap
+    }
+
+    /// A clonable handle to this instance's registry (shared with its
+    /// internal [`Engine`]).
+    pub fn metrics_handle(&self) -> std::sync::Arc<obs::MetricsRegistry> {
+        self.metrics.clone()
     }
 
     /// Drop all memoised translation outcomes (counters survive).

@@ -58,6 +58,14 @@
 //! let root = tree.root();
 //! assert_eq!(tree.node(root).lemma, "return");
 //! ```
+//!
+//! ## Observability
+//!
+//! [`tokenize`](tokenize::tokenize) and [`parse`](parse::parse) record
+//! token/sentence counters to the process-wide
+//! [`obs::global`] registry (this crate takes no registry parameter):
+//! `tokens`, `tokenizer_calls`, `parsed_sentences`, `parse_failures`.
+//! See `docs/OBSERVABILITY.md` in the repository root for the catalog.
 
 pub mod lexicon;
 pub mod noise;

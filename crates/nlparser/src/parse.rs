@@ -104,6 +104,18 @@ pub fn normalize_multi_sentence(text: &str) -> String {
 /// Parse a sentence (or a multi-sentence query — see
 /// [`normalize_multi_sentence`]) into a dependency tree.
 pub fn parse(sentence: &str) -> Result<DepTree, ParseFailure> {
+    let out = parse_inner(sentence);
+    obs::global().add(
+        match out {
+            Ok(_) => obs::Counter::ParsedSentences,
+            Err(_) => obs::Counter::ParseFailures,
+        },
+        1,
+    );
+    out
+}
+
+fn parse_inner(sentence: &str) -> Result<DepTree, ParseFailure> {
     let sentence = normalize_multi_sentence(sentence);
     let raw = tokenize(&sentence)?;
     if raw.is_empty() {

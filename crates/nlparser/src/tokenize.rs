@@ -179,6 +179,9 @@ pub fn tokenize(input: &str) -> Result<Vec<RawToken>, TokenizeError> {
             }
         }
     }
+    let reg = obs::global();
+    reg.add(obs::Counter::TokenizerCalls, 1);
+    reg.add(obs::Counter::Tokens, out.len() as u64);
     Ok(out)
 }
 

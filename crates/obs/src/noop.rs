@@ -1,0 +1,127 @@
+//! The compiled-out implementation, used without the `enabled` feature.
+//!
+//! Every type here is zero-sized and every method an empty inline
+//! no-op, so instrumented call sites optimise away entirely — spans do
+//! not read the clock, counters do not touch memory. The API mirrors
+//! `live.rs` exactly; consumer code compiles unchanged in either mode.
+
+use crate::{Counter, MaxGauge, MetricsSnapshot, SpanOutcome, Stage};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// The metrics store, compiled out: a zero-sized stand-in whose
+/// recording methods are empty and whose snapshot is always all-zero.
+/// See the `enabled`-feature documentation for the live semantics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MetricsRegistry;
+
+impl MetricsRegistry {
+    /// A fresh registry (zero-sized in this configuration).
+    #[inline(always)]
+    pub fn new() -> Self {
+        MetricsRegistry
+    }
+
+    /// Always `false`: recording is compiled out.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn set_enabled(&self, _on: bool) {}
+
+    /// An inert span that does not read the clock.
+    #[inline(always)]
+    pub fn span(&self, _stage: Stage) -> StageSpan<'_> {
+        StageSpan(PhantomData)
+    }
+
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn record_query(&self, _outcome: SpanOutcome) {}
+
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn add(&self, _counter: Counter, _n: u64) {}
+
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn record_max(&self, _gauge: MaxGauge, _value: u64) {}
+
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn cache_hit(&self) {}
+
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn cache_miss(&self) {}
+
+    /// Always `(0, 0)`: recording is compiled out.
+    #[inline(always)]
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Always the all-zero snapshot.
+    #[inline(always)]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::new()
+    }
+}
+
+/// The span guard, compiled out: zero-sized, never reads the clock.
+#[derive(Debug)]
+pub struct StageSpan<'r>(PhantomData<&'r ()>);
+
+impl StageSpan<'_> {
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn set_outcome(&mut self, _outcome: SpanOutcome) {}
+
+    /// No-op: recording is compiled out.
+    #[inline(always)]
+    pub fn finish(self, _outcome: SpanOutcome) {}
+}
+
+/// The process-global registry (zero-sized in this configuration).
+#[inline(always)]
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: MetricsRegistry = MetricsRegistry;
+    &GLOBAL
+}
+
+/// A handle to the global registry; the `Arc` wraps a zero-sized value.
+#[inline(always)]
+pub fn global_handle() -> Arc<MetricsRegistry> {
+    Arc::new(MetricsRegistry)
+}
+
+/// Hot-path counting: compiled to nothing.
+#[inline(always)]
+pub fn count_hot(_counter: Counter, _n: u64) {}
+
+/// Hot-cell flush: compiled to nothing.
+#[inline(always)]
+pub fn flush_hot() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_zero_sized_and_silent() {
+        assert_eq!(std::mem::size_of::<MetricsRegistry>(), 0);
+        assert_eq!(std::mem::size_of::<StageSpan<'_>>(), 0);
+        let reg = MetricsRegistry::new();
+        reg.span(Stage::Eval).finish(SpanOutcome::Ok);
+        reg.record_query(SpanOutcome::Ok);
+        reg.add(Counter::Tokens, 10);
+        reg.record_max(MaxGauge::EvalDepthHighWater, 3);
+        reg.cache_hit();
+        assert_eq!(reg.snapshot(), MetricsSnapshot::new());
+        assert_eq!(reg.cache_counts(), (0, 0));
+        assert!(!reg.is_enabled());
+    }
+}

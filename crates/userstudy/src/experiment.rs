@@ -131,7 +131,9 @@ fn std_err(xs: &[f64]) -> f64 {
 /// Run the whole study.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResults {
     let doc: Document = xmldb::datasets::dblp::generate(&cfg.corpus);
-    let nalix = Nalix::new(&doc);
+    // Record into the process-wide registry so the fig11/fig12 bins can
+    // print a per-stage breakdown of the whole study afterwards.
+    let nalix = Nalix::with_metrics(&doc, nalix::obs::global_handle());
 
     let mut nalix_runs: Vec<Vec<(TaskId, TaskRun)>> = Vec::new();
     let mut keyword_runs: Vec<Vec<(TaskId, TaskRun)>> = Vec::new();

@@ -78,6 +78,7 @@ impl Document {
     /// document has an LCA (at worst the root). O(1) on a finalized
     /// document (Euler-tour RMQ), O(depth) otherwise.
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        obs::count_hot(obs::Counter::LcaQueries, 1);
         match &self.struct_index {
             Some(ix) => ix.lca(a, b),
             None => self.lca_walk(a, b),
@@ -137,6 +138,7 @@ impl Document {
     /// subtree of this child. O(log n) on a finalized document (one
     /// level-ancestor query), O(depth) otherwise.
     pub fn child_toward(&self, anc: NodeId, desc: NodeId) -> Option<NodeId> {
+        obs::count_hot(obs::Counter::ChildTowardQueries, 1);
         if !self.is_proper_ancestor(anc, desc) {
             return None;
         }
@@ -194,6 +196,7 @@ impl Document {
     /// (inclusive), as a document-ordered slice of the label index.
     /// O(log n) to locate; the slice itself is borrowed, not copied.
     pub fn labeled_in_subtree(&self, sym: crate::interner::Symbol, root: NodeId) -> &[NodeId] {
+        obs::count_hot(obs::Counter::SubtreeProbes, 1);
         let list = self.nodes_with_symbol(sym);
         let (lo, hi) = self.subtree_pre_range(root);
         // list is sorted by pre-order rank.

@@ -55,6 +55,14 @@
 //! - [`datasets`] — the evaluation datasets: the movies database of the
 //!   paper's Figure 1, a seeded DBLP-shaped generator, and the W3C XMP
 //!   `bib.xml` sample.
+//!
+//! ## Observability
+//!
+//! The [`axes`] primitives count their work (`lca_queries`,
+//! `child_toward_queries`, `subtree_probes`) in the process-wide
+//! [`obs::global`] registry — these are the structural-join
+//! cost drivers behind `mqf()` evaluation upstairs. See
+//! `docs/OBSERVABILITY.md` in the repository root for the catalog.
 
 pub mod axes;
 pub mod datasets;

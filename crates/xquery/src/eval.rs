@@ -141,6 +141,16 @@ struct Guard<'b> {
     budget: &'b EvalBudget,
     deadline: Option<Instant>,
     tuples: Cell<usize>,
+    /// Deepest recursion seen — flushed to the metrics registry as
+    /// [`obs::MaxGauge::EvalDepthHighWater`] once per evaluation.
+    max_depth: Cell<usize>,
+    /// `mqf()` checks performed — accumulated here (a plain stack cell,
+    /// no atomics) because checks run per candidate tuple; flushed as
+    /// [`obs::Counter::MqfChecks`] once per evaluation.
+    mqf_checks: Cell<u64>,
+    /// Indexed partner enumerations, flushed as
+    /// [`obs::Counter::MqfPartnerLookups`] once per evaluation.
+    mqf_partner_lookups: Cell<u64>,
 }
 
 impl<'b> Guard<'b> {
@@ -151,11 +161,17 @@ impl<'b> Guard<'b> {
                 .time_limit
                 .and_then(|d| Instant::now().checked_add(d)),
             tuples: Cell::new(0),
+            max_depth: Cell::new(0),
+            mqf_checks: Cell::new(0),
+            mqf_partner_lookups: Cell::new(0),
         }
     }
 
     /// Depth check at every recursive descent into `eval_inner`.
     fn check_depth(&self, depth: usize) -> Result<(), EvalError> {
+        if depth > self.max_depth.get() {
+            self.max_depth.set(depth);
+        }
         if depth > self.budget.max_depth {
             return Err(EvalError::ResourceExhausted {
                 resource: ExhaustedResource::Depth,
@@ -289,6 +305,10 @@ pub struct Engine<'d> {
     /// strings verbatim), so the index is exactly as selective as the
     /// `=` it accelerates.
     value_index: ValueIndexCache,
+    /// Where evaluation spans, tuple counts, and index telemetry are
+    /// recorded. Isolated per engine by default; share one with
+    /// [`Engine::with_metrics`].
+    metrics: std::sync::Arc<obs::MetricsRegistry>,
 }
 
 type ValueIndex = std::collections::HashMap<String, Vec<NodeId>>;
@@ -359,20 +379,41 @@ fn canon_value(v: &str) -> String {
 }
 
 impl<'d> Engine<'d> {
-    /// Create an engine over `doc` (which must be finalized).
+    /// Create an engine over `doc` (which must be finalized), with its
+    /// own isolated [`obs::MetricsRegistry`].
     pub fn new(doc: &'d Document) -> Self {
+        Engine::with_metrics(doc, std::sync::Arc::new(obs::MetricsRegistry::new()))
+    }
+
+    /// Create an engine recording into a caller-supplied registry —
+    /// typically [`obs::global_handle()`] so evaluator spans land next
+    /// to the process-global `xmldb`/`nlparser` counters.
+    pub fn with_metrics(doc: &'d Document, metrics: std::sync::Arc<obs::MetricsRegistry>) -> Self {
         assert!(doc.is_finalized(), "engine requires a finalized document");
         Engine {
             doc,
             value_index: Default::default(),
+            metrics,
         }
+    }
+
+    /// The registry this engine records into.
+    pub fn metrics(&self) -> &obs::MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A clonable handle to this engine's registry.
+    pub fn metrics_handle(&self) -> std::sync::Arc<obs::MetricsRegistry> {
+        self.metrics.clone()
     }
 
     /// The (lazily built) value index for label `sym`. The returned
     /// `Arc` is a lock-free snapshot: callers with many lookups for the
     /// same label fetch it once and probe the map directly.
     fn value_index_for(&self, sym: xmldb::Symbol) -> std::sync::Arc<ValueIndex> {
+        self.metrics.add(obs::Counter::ValueIndexLookups, 1);
         self.value_index.get_or_build(sym, || {
+            self.metrics.add(obs::Counter::ValueIndexBuilds, 1);
             let mut m: ValueIndex = std::collections::HashMap::new();
             for &n in self.doc.nodes_with_symbol(sym) {
                 let key = canon_value(&Item::Node(n).string_value(self.doc));
@@ -428,14 +469,39 @@ impl<'d> Engine<'d> {
     }
 
     /// Evaluate `expr` in `env` under an explicit budget.
+    ///
+    /// This is the single top-level entry every other evaluation method
+    /// funnels through, so it owns the [`obs::Stage::Eval`] span: one
+    /// span per evaluation, with the outcome, the wall time, the
+    /// tuple-budget consumption, and the recursion-depth high-water
+    /// mark all flushed to the engine's registry here.
     pub fn eval_with_budget(
         &self,
         expr: &Expr,
         env: &Env,
         budget: &EvalBudget,
     ) -> Result<Sequence, EvalError> {
+        let span = self.metrics.span(obs::Stage::Eval);
         let guard = Guard::new(budget);
-        self.eval_inner(expr, env, &guard, 0)
+        let out = self.eval_inner(expr, env, &guard, 0);
+        self.metrics
+            .add(obs::Counter::EvalTuples, guard.tuples.get() as u64);
+        self.metrics
+            .add(obs::Counter::MqfChecks, guard.mqf_checks.get());
+        self.metrics.add(
+            obs::Counter::MqfPartnerLookups,
+            guard.mqf_partner_lookups.get(),
+        );
+        self.metrics.record_max(
+            obs::MaxGauge::EvalDepthHighWater,
+            guard.max_depth.get() as u64,
+        );
+        span.finish(match &out {
+            Ok(_) => obs::SpanOutcome::Ok,
+            Err(EvalError::ResourceExhausted { .. }) => obs::SpanOutcome::ResourceExhausted,
+            Err(_) => obs::SpanOutcome::EvalError,
+        });
+        out
     }
 
     /// The recursive evaluator. `depth` counts descents from the
@@ -483,6 +549,7 @@ impl<'d> Engine<'d> {
                 self.aggregate(*func, &seq)
             }
             Expr::Mqf(args) => {
+                guard.mqf_checks.set(guard.mqf_checks.get() + 1);
                 let mut nodes = Vec::new();
                 for a in args {
                     let seq = self.eval_inner(a, env, guard, depth + 1)?;
@@ -677,7 +744,7 @@ impl<'d> Engine<'d> {
                     ($e2:expr, $k:expr) => {{
                         let mut ok = true;
                         for (vars, steps) in &mqf_incremental {
-                            if steps.contains(&$k) && !self.partial_mqf(vars, &$e2)? {
+                            if steps.contains(&$k) && !self.partial_mqf(vars, &$e2, guard)? {
                                 ok = false;
                                 break;
                             }
@@ -792,6 +859,10 @@ impl<'d> Engine<'d> {
                                                 let [Item::Node(a)] = seq.as_slice() else {
                                                     continue;
                                                 };
+                                                guard.mqf_partner_lookups.set(
+                                                    guard.mqf_partner_lookups.get()
+                                                        + labels.len() as u64,
+                                                );
                                                 let mut c: Vec<NodeId> = labels
                                                     .iter()
                                                     .flat_map(|&l| {
@@ -991,7 +1062,8 @@ impl<'d> Engine<'d> {
     /// Incremental mqf check over whichever of `vars` are bound in
     /// `env`. Sound because pairwise meaningfulness over a subset is
     /// necessary for the full set.
-    fn partial_mqf(&self, vars: &[&str], env: &Env) -> Result<bool, EvalError> {
+    fn partial_mqf(&self, vars: &[&str], env: &Env, guard: &Guard) -> Result<bool, EvalError> {
+        guard.mqf_checks.set(guard.mqf_checks.get() + 1);
         let mut nodes: Vec<NodeId> = Vec::with_capacity(vars.len());
         for v in vars {
             let Some(seq) = env.get(v) else { continue };

@@ -59,6 +59,26 @@
 //! The `mqf` clause is what makes the query *schema-free*: the director
 //! and the title are matched through their structural relationship (same
 //! `movie`), with no path from the root spelled out.
+//!
+//! ## Observability
+//!
+//! Every [`Engine`] owns an
+//! [`obs::MetricsRegistry`] ([`Engine::new`] creates a fresh one;
+//! [`Engine::with_metrics`] shares an existing handle). Each evaluation records an `eval` stage
+//! span plus work counters — tuples materialized, value-index and mqf
+//! activity, recursion high-water mark:
+//!
+//! ```
+//! use xmldb::datasets::movies::movies;
+//! use xquery::Engine;
+//!
+//! let doc = movies();
+//! let engine = Engine::new(&doc);
+//! engine.run("for $t in doc()//title return $t").unwrap();
+//! let snap = engine.metrics().snapshot();
+//! assert_eq!(snap.stage(obs::Stage::Eval).spans(), 1);
+//! assert!(snap.counter(obs::Counter::EvalTuples) > 0);
+//! ```
 
 pub mod ast;
 pub mod eval;

@@ -1,0 +1,44 @@
+//! A tour of the observability layer over the embedded `bib.xml`
+//! sample: run a small batch of questions (some repeated, to show the
+//! translation cache at work), then print the per-stage metrics report
+//! described in `docs/OBSERVABILITY.md`.
+//!
+//! ```console
+//! $ cargo run --example metrics_report
+//! ```
+
+use nalix_repro::nalix::Nalix;
+use nalix_repro::xmldb::datasets::bib::bib;
+
+fn main() {
+    let doc = bib();
+    let nalix = Nalix::new(&doc);
+
+    // A mixed batch: six distinct questions, three of them asked twice,
+    // plus one that the pipeline rejects. Repeats hit the translation
+    // cache and skip parse → translate entirely; the rejection shows up
+    // in the query-outcome line rather than as a success.
+    let questions = [
+        "Return the title of every book.",
+        "Return the title of every book published by Addison-Wesley after 1991.",
+        "Return the lowest price for each book.",
+        "Return the title of every book.",
+        "Return the affiliation of the editor of every book.",
+        "Return the number of authors of each book.",
+        "Return the title of every book published by Addison-Wesley after 1991.",
+        "Return the price of every book, sorted by price.",
+        "Return the lowest price for each book.",
+        "Frobnicate the zzyzx of every book.",
+    ];
+
+    for q in questions {
+        match nalix.ask(q) {
+            Ok(values) => println!("{q}\n  → {} value(s)", values.len()),
+            Err(rejected) => println!("{q}\n  → rejected ({} error(s))", rejected.errors.len()),
+        }
+    }
+
+    // The report: per-stage span counts and latency quantiles, query
+    // outcomes, cache hit rate, and the deeper engine counters.
+    println!("\n{}", nalix.metrics());
+}
