@@ -81,6 +81,42 @@ pub enum QueryError {
 }
 
 impl QueryError {
+    /// Every stable machine-readable code a [`QueryError`] can carry,
+    /// in taxonomy order. Pinned by a test — removing or renaming an
+    /// entry is a breaking API change for HTTP clients of `nalixd`,
+    /// which dispatch on these strings.
+    pub const ALL_CODES: [&'static str; 8] = [
+        "parse.ungrammatical",
+        "classify.unknown_term",
+        "validate.rejected",
+        "translate.unsupported",
+        "eval.failed",
+        "budget.depth",
+        "budget.time",
+        "budget.tuples",
+    ];
+
+    /// A stable, machine-readable code naming the failure class:
+    /// `<stage>.<reason>` (e.g. `classify.unknown_term`,
+    /// `budget.time`). The code appears verbatim in [`fmt::Display`]
+    /// output and in the `error.code` field of `nalixd` HTTP error
+    /// bodies; the set of codes is pinned by a test so clients can
+    /// rely on it.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QueryError::Parse { .. } => "parse.ungrammatical",
+            QueryError::Classify { .. } => "classify.unknown_term",
+            QueryError::Validate { .. } => "validate.rejected",
+            QueryError::Translate { .. } => "translate.unsupported",
+            QueryError::Eval { .. } => "eval.failed",
+            QueryError::ResourceExhausted { resource, .. } => match resource {
+                ExhaustedResource::Depth => "budget.depth",
+                ExhaustedResource::Time => "budget.time",
+                ExhaustedResource::Tuples => "budget.tuples",
+            },
+        }
+    }
+
     /// The rephrasing suggestion. Never empty — the interactive loop
     /// depends on always having one (paper Sec. 4).
     pub fn suggestion(&self) -> &str {
@@ -112,6 +148,10 @@ impl QueryError {
 
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The same stable code the HTTP error body carries leads the
+        // rendered message, so log lines and API responses are
+        // trivially correlatable.
+        write!(f, "[{}] ", self.code())?;
         match self {
             QueryError::Parse {
                 message,
@@ -305,6 +345,84 @@ mod tests {
         match QueryError::from(r) {
             QueryError::Validate { suggestion, .. } => assert!(suggestion.contains("price")),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_are_pinned() {
+        // Clients of the `nalixd` HTTP API dispatch on these strings:
+        // the set may only grow, and every existing entry must keep
+        // its exact spelling. If this test fails, you are breaking a
+        // wire contract — add a new code instead of changing one.
+        assert_eq!(
+            QueryError::ALL_CODES,
+            [
+                "parse.ungrammatical",
+                "classify.unknown_term",
+                "validate.rejected",
+                "translate.unsupported",
+                "eval.failed",
+                "budget.depth",
+                "budget.time",
+                "budget.tuples",
+            ]
+        );
+        // Codes are `<stage>.<reason>` and unique.
+        let mut seen = std::collections::HashSet::new();
+        for code in QueryError::ALL_CODES {
+            assert_eq!(code.split('.').count(), 2, "{code} is not stage.reason");
+            assert!(seen.insert(code), "{code} duplicated");
+        }
+    }
+
+    #[test]
+    fn every_variant_maps_to_a_pinned_code() {
+        let samples = [
+            QueryError::Parse {
+                message: String::new(),
+                position: 0,
+                suggestion: "s".into(),
+            },
+            QueryError::Classify {
+                terms: vec![],
+                feedback: vec![],
+                suggestion: "s".into(),
+            },
+            QueryError::Validate {
+                feedback: vec![],
+                suggestion: "s".into(),
+            },
+            QueryError::Translate {
+                message: String::new(),
+                suggestion: "s".into(),
+            },
+            QueryError::Eval {
+                message: String::new(),
+                suggestion: "s".into(),
+            },
+            QueryError::ResourceExhausted {
+                resource: ExhaustedResource::Depth,
+                message: String::new(),
+                suggestion: "s".into(),
+            },
+            QueryError::ResourceExhausted {
+                resource: ExhaustedResource::Time,
+                message: String::new(),
+                suggestion: "s".into(),
+            },
+            QueryError::ResourceExhausted {
+                resource: ExhaustedResource::Tuples,
+                message: String::new(),
+                suggestion: "s".into(),
+            },
+        ];
+        for (e, want) in samples.iter().zip(QueryError::ALL_CODES) {
+            assert_eq!(e.code(), want);
+            // Display leads with the bracketed code.
+            assert!(
+                e.to_string().starts_with(&format!("[{want}] ")),
+                "{e} does not lead with its code"
+            );
         }
     }
 

@@ -108,7 +108,7 @@ pub mod validate;
 pub mod vocab;
 
 pub use batch::{BatchReply, BatchRunner};
-pub use cache::CacheStats;
+pub use cache::{CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use error::QueryError;
 pub use feedback::{Feedback, FeedbackKind, Severity};
 /// The observability layer (re-exported): [`obs::MetricsRegistry`],
@@ -141,6 +141,25 @@ pub struct Rejected {
     pub errors: Vec<Feedback>,
     /// Warnings gathered before rejection.
     pub warnings: Vec<Feedback>,
+}
+
+/// A fully detailed successful answer, as returned by
+/// [`Nalix::answer_full`]: the flat string values (bit-identical to
+/// what [`Nalix::answer`] returns for the same question), plus the
+/// pretty-printed Schema-Free XQuery, non-blocking warnings, and
+/// whether the translation came from the cache. This is the payload
+/// the `nalixd` HTTP server serialises for `POST /query`.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The flat string values of the result sequence.
+    pub values: Vec<String>,
+    /// The translated query, pretty-printed.
+    pub xquery: String,
+    /// Non-blocking warnings (pronouns, ambiguous names).
+    pub warnings: Vec<Feedback>,
+    /// True when the translation was served from the memo table (the
+    /// evaluation still ran).
+    pub cached: bool,
 }
 
 /// The outcome of submitting one natural language query.
@@ -203,6 +222,17 @@ impl<'d> Nalix<'d> {
         }
     }
 
+    /// Replace the translation cache with one bounded to `capacity`
+    /// entries (builder-style; `0` disables memoisation). The default
+    /// is [`DEFAULT_CACHE_CAPACITY`]. Long-running servers set this
+    /// from their config so memory stays bounded under an unbounded
+    /// stream of distinct questions; see [`Nalix::cache_stats`] for the
+    /// eviction counter.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.translations = TranslationCache::with_capacity(capacity);
+        self
+    }
+
     /// The underlying document.
     pub fn doc(&self) -> &'d Document {
         self.doc
@@ -230,7 +260,7 @@ impl<'d> Nalix<'d> {
             return memo;
         }
         let out = self.query_uncached(sentence);
-        self.translations.insert(key, out.clone());
+        self.translations.insert(key, out.clone(), &self.metrics);
         out
     }
 
@@ -389,7 +419,7 @@ impl<'d> Nalix<'d> {
                     }
                 };
                 let out = self.query_tree(&dep);
-                self.translations.insert(key, out.clone());
+                self.translations.insert(key, out.clone(), &self.metrics);
                 out
             }
         };
@@ -404,18 +434,62 @@ impl<'d> Nalix<'d> {
         }
     }
 
-    /// Hit/miss/size counters of the translation cache.
+    /// [`Nalix::answer_with_budget`], keeping the full detail of the
+    /// success path: the values (bit-identical to what
+    /// [`Nalix::answer`] returns), the pretty-printed XQuery, the
+    /// non-blocking warnings, and whether the translation was a cache
+    /// hit. This is what the `nalixd` HTTP server serialises.
+    pub fn answer_full(&self, sentence: &str, budget: &EvalBudget) -> Result<Answer, QueryError> {
+        let key = cache::normalize(sentence);
+        let (outcome, cached) = match self.translations.get(&key, &self.metrics) {
+            Some(memo) => {
+                self.metrics.record_query(obs::SpanOutcome::CacheHit);
+                (memo, true)
+            }
+            None => {
+                let dep = match self.parse_stage(sentence) {
+                    Ok(dep) => dep,
+                    Err(e) => {
+                        self.metrics.record_query(obs::SpanOutcome::ParseError);
+                        return Err(e.into());
+                    }
+                };
+                let out = self.query_tree(&dep);
+                self.translations.insert(key, out.clone(), &self.metrics);
+                (out, false)
+            }
+        };
+        match outcome {
+            Outcome::Translated(t) => {
+                let seq = self
+                    .engine
+                    .eval_expr_with_budget(&t.translation.query, budget)?;
+                Ok(Answer {
+                    values: self.engine.strings(&seq),
+                    xquery: xquery::pretty::pretty(&t.translation.query),
+                    warnings: t.warnings,
+                    cached,
+                })
+            }
+            Outcome::Rejected(r) => Err(QueryError::from(r)),
+        }
+    }
+
+    /// Hit/miss/size/eviction counters of the translation cache.
     ///
     /// The hit/miss pair is read from a single atomic in the metrics
     /// registry — always mutually consistent, and always equal to what
     /// [`Nalix::metrics`] reports. With the `metrics` feature compiled
-    /// out, hits and misses read as zero (entries is still live).
+    /// out, hits and misses read as zero (entries, capacity, and
+    /// evictions are still live).
     pub fn cache_stats(&self) -> CacheStats {
         let (hits, misses) = self.metrics.cache_counts();
         CacheStats {
             hits,
             misses,
             entries: self.translations.len(),
+            capacity: self.translations.capacity(),
+            evictions: self.translations.evictions(),
         }
     }
 
@@ -601,6 +675,46 @@ mod tests {
         // Case on a proper noun (a value) is meaning-bearing: miss.
         let _ = nalix.ask("Find all the movies directed by ron howard.");
         assert_eq!(nalix.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn answer_full_values_match_answer_exactly() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc);
+        let q = "Find all the movies directed by Ron Howard.";
+        let plain = nalix.answer(q).unwrap();
+        let full = nalix.answer_full(q, &EvalBudget::default()).unwrap();
+        assert_eq!(full.values, plain);
+        assert!(full.cached, "second submission should hit the cache");
+        assert!(full.xquery.contains("for"), "xquery text: {}", full.xquery);
+        let first = nalix
+            .answer_full(
+                "Return all movies and their titles.",
+                &EvalBudget::default(),
+            )
+            .unwrap();
+        assert!(!first.cached);
+        assert!(!first.warnings.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_keeps_answering() {
+        let doc = movies();
+        let nalix = Nalix::new(&doc).with_cache_capacity(2);
+        assert_eq!(nalix.cache_stats().capacity, 2);
+        let questions = [
+            "Find all the movies directed by Ron Howard.",
+            "Return the director of the movie, where the title of the movie is \"Traffic\".",
+            "Return all movies and their titles.",
+            "Return the title of every movie.",
+        ];
+        let first: Vec<_> = questions.iter().map(|q| nalix.ask(q).ok()).collect();
+        let s = nalix.cache_stats();
+        assert_eq!(s.entries, 2, "capacity bound violated");
+        assert_eq!(s.evictions, 2);
+        // Evicted questions re-translate to the same replies.
+        let second: Vec<_> = questions.iter().map(|q| nalix.ask(q).ok()).collect();
+        assert_eq!(first, second);
     }
 
     #[test]

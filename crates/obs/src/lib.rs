@@ -100,15 +100,23 @@ fn bucket_upper_ns(i: usize) -> u64 {
     1u64 << (i + 1).min(63)
 }
 
-/// One pipeline stage, in execution order (paper Fig. 2).
+/// One pipeline stage, in execution order (paper Fig. 2), followed by
+/// the `nalixd` HTTP endpoints — the serving layer reuses the span
+/// machinery, so every endpoint gets the same outcome accounting and
+/// latency histogram a pipeline stage does.
 ///
 /// ```
 /// use obs::Stage;
 /// let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
 /// assert_eq!(
 ///     names,
-///     ["parse", "classify", "validate", "translate", "eval"]
+///     [
+///         "parse", "classify", "validate", "translate", "eval",
+///         "http_query", "http_batch", "http_health", "http_metrics"
+///     ]
 /// );
+/// assert!(!Stage::Eval.is_http());
+/// assert!(Stage::HttpQuery.is_http());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
@@ -122,24 +130,47 @@ pub enum Stage {
     Translate,
     /// Evaluation of the translated query (`xquery` engine).
     Eval,
+    /// One served `POST /query` request (`nalixd`), end to end —
+    /// admission wait excluded, body parse through response write
+    /// included.
+    HttpQuery,
+    /// One served `POST /batch` request (`nalixd`).
+    HttpBatch,
+    /// One served `GET /health` request (`nalixd`).
+    HttpHealth,
+    /// One served `GET /metrics` request (`nalixd`).
+    HttpMetrics,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 9;
 
-    /// All stages, in pipeline order.
+    /// All stages, in pipeline order (HTTP endpoints last).
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::Parse,
         Stage::Classify,
         Stage::Validate,
         Stage::Translate,
         Stage::Eval,
+        Stage::HttpQuery,
+        Stage::HttpBatch,
+        Stage::HttpHealth,
+        Stage::HttpMetrics,
     ];
 
     /// Dense index of this stage (its position in [`Stage::ALL`]).
     pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// True for the serving-layer endpoint spans, false for the five
+    /// NL→answer pipeline stages.
+    pub fn is_http(self) -> bool {
+        matches!(
+            self,
+            Stage::HttpQuery | Stage::HttpBatch | Stage::HttpHealth | Stage::HttpMetrics
+        )
     }
 
     /// The stage's snake_case name, as used in metric labels.
@@ -150,6 +181,10 @@ impl Stage {
             Stage::Validate => "validate",
             Stage::Translate => "translate",
             Stage::Eval => "eval",
+            Stage::HttpQuery => "http_query",
+            Stage::HttpBatch => "http_batch",
+            Stage::HttpHealth => "http_health",
+            Stage::HttpMetrics => "http_metrics",
         }
     }
 }
@@ -276,11 +311,24 @@ pub enum Counter {
     ChildTowardQueries,
     /// Label-in-subtree range probes answered by `xmldb`.
     SubtreeProbes,
+    /// HTTP requests admitted and parsed by `nalixd` (all endpoints,
+    /// before routing; sheds and unparseable requests are not
+    /// included).
+    HttpRequests,
+    /// Connections shed with `503 Service Unavailable` because the
+    /// admission queue was full.
+    HttpShed,
+    /// Requests refused before routing: malformed request line or
+    /// headers, oversized body, unknown path, wrong method.
+    HttpBadRequests,
+    /// Translation-cache entries evicted to stay under the configured
+    /// capacity (`nalix` bounded clock cache).
+    CacheEvictions,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 18;
 
     /// All counters, in [`Counter::index`] order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -298,6 +346,10 @@ impl Counter {
         Counter::LcaQueries,
         Counter::ChildTowardQueries,
         Counter::SubtreeProbes,
+        Counter::HttpRequests,
+        Counter::HttpShed,
+        Counter::HttpBadRequests,
+        Counter::CacheEvictions,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -322,6 +374,10 @@ impl Counter {
             Counter::LcaQueries => "lca_queries",
             Counter::ChildTowardQueries => "child_toward_queries",
             Counter::SubtreeProbes => "subtree_probes",
+            Counter::HttpRequests => "http_requests",
+            Counter::HttpShed => "http_shed",
+            Counter::HttpBadRequests => "http_bad_requests",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 }
@@ -340,14 +396,19 @@ pub enum MaxGauge {
     /// Deepest expression recursion any evaluation reached (the
     /// quantity `EvalBudget::max_depth` bounds).
     EvalDepthHighWater,
+    /// Deepest the `nalixd` admission queue ever got (the quantity its
+    /// `--queue` capacity bounds; reaching the capacity means
+    /// load-shedding began).
+    QueueDepthHighWater,
 }
 
 impl MaxGauge {
     /// Number of gauges.
-    pub const COUNT: usize = 1;
+    pub const COUNT: usize = 2;
 
     /// All gauges, in [`MaxGauge::index`] order.
-    pub const ALL: [MaxGauge; MaxGauge::COUNT] = [MaxGauge::EvalDepthHighWater];
+    pub const ALL: [MaxGauge; MaxGauge::COUNT] =
+        [MaxGauge::EvalDepthHighWater, MaxGauge::QueueDepthHighWater];
 
     /// Dense index of this gauge (its position in [`MaxGauge::ALL`]).
     pub fn index(self) -> usize {
@@ -358,6 +419,7 @@ impl MaxGauge {
     pub fn name(self) -> &'static str {
         match self {
             MaxGauge::EvalDepthHighWater => "eval_depth_high_water",
+            MaxGauge::QueueDepthHighWater => "queue_depth_high_water",
         }
     }
 }
@@ -780,6 +842,11 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         for s in Stage::ALL {
             let st = self.stage(s);
+            // Endpoint rows only appear once a server has actually
+            // served traffic; pipeline rows always print.
+            if s.is_http() && st.spans() == 0 {
+                continue;
+            }
             writeln!(
                 f,
                 "{:<11} {:>7} {:>7} {:>5} {:>9} {:>9} {:>9} {:>9}",

@@ -1,0 +1,204 @@
+//! `nalixd` — serve NaLIX natural language queries over HTTP.
+//!
+//! ```text
+//! nalixd --addr 127.0.0.1:8080 --workers 8 --queue 64 --dataset bib
+//! ```
+//!
+//! Loads an XML dataset, builds the NL pipeline once, and serves
+//! `POST /query`, `POST /batch`, `GET /health`, and `GET /metrics`
+//! until SIGTERM or SIGINT, then drains gracefully and prints a final
+//! metrics snapshot to stderr. See `docs/SERVING.md`.
+
+use server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use xmldb::Document;
+
+/// Set from the signal handler; polled by the watcher thread. Signal
+/// handlers may only do async-signal-safe work, so the handler is a
+/// single atomic store and everything else happens on a normal thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGTERM and SIGINT. `signal(2)` is in libc,
+/// which std already links; no external crate needed.
+fn install_signal_handlers() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` only performs an atomic store, which is
+    // async-signal-safe; the handler pointer outlives the process.
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+const USAGE: &str = "\
+nalixd — serve NaLIX natural language queries over HTTP
+
+USAGE:
+    nalixd [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>      Listen address        [default: 127.0.0.1:8080]
+    --workers <N>           Worker threads        [default: 8]
+    --queue <N>             Admission queue size  [default: 64]
+    --cache <N>             Translation cache capacity (0 disables)
+                                                  [default: 4096]
+    --deadline-ms <N>       Default per-query evaluation deadline
+                                                  [default: 2000]
+    --dataset <NAME|PATH>   bib | movies | dblp | path to an XML file
+                                                  [default: bib]
+    --debug-delay-ms <N>    Inject latency into every handler (testing)
+    --help                  Print this help
+
+ENDPOINTS:
+    POST /query    {\"question\": \"...\", \"deadline_ms\": n?} → answers
+    POST /batch    {\"questions\": [\"...\"]}                  → results
+    GET  /health   liveness + drain state
+    GET  /metrics  Prometheus text format
+";
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    deadline_ms: u64,
+    dataset: String,
+    debug_delay_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        workers: 8,
+        queue: 64,
+        cache: nalix::DEFAULT_CACHE_CAPACITY,
+        deadline_ms: 2000,
+        dataset: "bib".to_string(),
+        debug_delay_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new()); // empty = print usage, exit 0
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        let parse_num = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag}: not a number: {v}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value,
+            "--workers" => args.workers = parse_num(&value)?.max(1) as usize,
+            "--queue" => args.queue = parse_num(&value)? as usize,
+            "--cache" => args.cache = parse_num(&value)? as usize,
+            "--deadline-ms" => args.deadline_ms = parse_num(&value)?.max(1),
+            "--dataset" => args.dataset = value,
+            "--debug-delay-ms" => args.debug_delay_ms = Some(parse_num(&value)?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Loads a named built-in dataset or parses an XML file from disk.
+fn load_dataset(name: &str) -> Result<Document, String> {
+    match name {
+        "bib" => Ok(xmldb::datasets::bib::bib()),
+        "movies" => Ok(xmldb::datasets::movies::movies_and_books()),
+        "dblp" => Ok(xmldb::datasets::dblp::generate(
+            &xmldb::datasets::dblp::DblpConfig::default(),
+        )),
+        path => {
+            let xml =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Document::parse_str(&xml).map_err(|e| format!("cannot parse {path}: {e}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("nalixd: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = match load_dataset(&args.dataset) {
+        Ok(doc) => doc,
+        Err(msg) => {
+            eprintln!("nalixd: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nalix =
+        nalix::Nalix::with_metrics(&doc, obs::global_handle()).with_cache_capacity(args.cache);
+
+    let config = ServerConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        queue_capacity: args.queue,
+        default_deadline: Duration::from_millis(args.deadline_ms),
+        debug_handler_delay: args.debug_delay_ms.map(Duration::from_millis),
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind(&nalix, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("nalixd: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = server.handle();
+    eprintln!(
+        "nalixd: serving dataset \"{}\" on http://{} ({} workers, queue {}, cache {})",
+        args.dataset,
+        server.local_addr(),
+        args.workers,
+        args.queue,
+        args.cache,
+    );
+
+    install_signal_handlers();
+    let watcher_handle = handle.clone();
+    std::thread::spawn(move || {
+        while !SHUTDOWN.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("nalixd: signal received, draining");
+        watcher_handle.shutdown();
+    });
+
+    match server.serve() {
+        Ok(report) => {
+            eprintln!(
+                "nalixd: drained; served {} request(s), shed {}",
+                report.served, report.shed
+            );
+            eprintln!("{}", report.snapshot);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("nalixd: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Bounded HTTP/1.1 request parsing and response writing.
+//!
+//! `nalixd` speaks a deliberately small slice of HTTP/1.1: one request
+//! per connection (`Connection: close` on every response, so admission
+//! control is per *request*), `Content-Length` bodies only (chunked
+//! transfer encoding is rejected with 400 rather than half-implemented)
+//! and hard limits on every dimension an unauthenticated client
+//! controls — request-line length, header count and size, and body
+//! size. Each limit failure maps to a precise HTTP status instead of an
+//! allocation: a slow-loris client hits the socket read timeout, a
+//! shouting one hits [`ReadError::TooLarge`].
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Maximum length of the request line and of each header line.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of request headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be read off the socket.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The socket failed or timed out mid-request.
+    Io(io::Error),
+    /// The bytes were not a parseable HTTP/1.1 request; the payload is
+    /// a human-readable reason.
+    BadRequest(String),
+    /// A limit tripped: request line, header block, or body too large.
+    TooLarge(String),
+    /// The client closed the connection before sending a request line
+    /// (common with health checkers probing the port); not an error
+    /// worth logging.
+    Eof,
+}
+
+impl ReadError {
+    fn bad(msg: &str) -> Self {
+        ReadError::BadRequest(msg.to_string())
+    }
+}
+
+/// One parsed request: method, target, selected headers, raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, without query string.
+    pub path: String,
+    /// `Content-Type` header value, lower-cased, if present.
+    pub content_type: Option<String>,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from `reader`, enforcing `max_body` on the body.
+///
+/// `reader` should wrap a stream with a read timeout set; this function
+/// performs no timing of its own.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, ReadError> {
+    let line = read_line(reader)?;
+    if line.is_empty() {
+        return Err(ReadError::Eof);
+    }
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(ReadError::bad("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::bad("unsupported HTTP version"));
+    }
+    // Strip the query string; nalixd routes on the path alone.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: usize = 0;
+    let mut content_type = None;
+    let mut chunked = false;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(ReadError::TooLarge("too many headers".to_string()));
+        }
+        let header = read_line(reader)?;
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ReadError::bad("malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::bad("unparseable Content-Length"))?;
+            }
+            "content-type" => content_type = Some(value.to_ascii_lowercase()),
+            "transfer-encoding" => chunked = true,
+            _ => {}
+        }
+    }
+    if chunked {
+        return Err(ReadError::bad(
+            "chunked transfer encoding is not supported; send Content-Length",
+        ));
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body} byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ReadError::Io)?;
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        content_type,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, capped at [`MAX_LINE`]
+/// bytes, returning it without the terminator. An immediate EOF yields
+/// an empty string (distinguished from a blank line by the caller via
+/// position: a blank line mid-headers ends the header block).
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, ReadError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    buf.push(byte[0]);
+                }
+                if buf.len() > MAX_LINE {
+                    return Err(ReadError::TooLarge("request line too long".to_string()));
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    String::from_utf8(buf).map_err(|_| ReadError::bad("request is not UTF-8"))
+}
+
+/// An HTTP response under construction.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    content_type: &'static str,
+    extra_headers: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status and a JSON body.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A response with the given status and a plain-text body.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Adds an extra header (e.g. `Retry-After`, `Allow`).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// The response status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serialises the response and writes it to `out`. Always sends
+    /// `Connection: close`; the server's connection model is one
+    /// request per connection.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        let mut head = String::with_capacity(160);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes nalixd emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        let mut r = BufReader::new(raw.as_bytes());
+        read_request(&mut r, 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Type: Application/JSON\r\n\
+             Content-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.content_type.as_deref(), Some("application/json"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn strips_query_string_and_handles_bare_lf() {
+        let req = parse("GET /health?probe=1 HTTP/1.1\n\n").unwrap();
+        assert_eq!(req.path, "/health");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_chunked_and_oversized_and_garbage() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(ReadError::TooLarge(_))
+        ));
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(parse(""), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn caps_header_count() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(503, "{}".to_string())
+            .with_header("Retry-After", "1".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+// The server sits in front of the NL→answer pipeline; a panic in the
+// serving layer would turn the paper's Sec. 4 "always answer with
+// feedback" contract into a dropped connection, so the escape hatches
+// are denied just as in the query-path crates. (Worker panics are
+// additionally contained with `catch_unwind`, but that is a backstop,
+// not a license.)
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
+//! # server — `nalixd`, a std-only HTTP front end for NaLIX
+//!
+//! The paper (Sec. 1) frames NaLIX as an *interactive* system: a user
+//! types a natural language question, the system answers or explains
+//! why it cannot. This crate is that loop as a network service — a
+//! deliberately small HTTP/1.1 server built on [`std::net`] alone (no
+//! async runtime, no external dependencies) with the three properties
+//! a query front end actually needs under load:
+//!
+//! 1. **Admission control** — a fixed worker pool fed by a bounded
+//!    queue ([`queue::BoundedQueue`]). Concurrency is capped by
+//!    construction, not by hope.
+//! 2. **Load shedding** — a full queue makes the acceptor answer
+//!    `503` + `Retry-After` immediately ([`ServerConfig::queue_capacity`]).
+//!    An overloaded nalixd stays responsive; it just says no.
+//! 3. **Graceful drain** — [`ServerHandle::shutdown`] (wired to
+//!    SIGTERM in the `nalixd` binary) stops admission, finishes every
+//!    in-flight request, and returns a final [`ServeReport`] with the
+//!    metrics snapshot.
+//!
+//! Endpoints: `POST /query` (one NL question → answers + XQuery or a
+//! typed error with a stable `code`), `POST /batch`, `GET /health`,
+//! `GET /metrics` (Prometheus text). See `docs/SERVING.md` for the
+//! wire contract and tuning guide.
+//!
+//! ## Example
+//!
+//! ```
+//! use nalix::Nalix;
+//! use server::{Server, ServerConfig};
+//! use std::io::{Read, Write};
+//!
+//! let doc = xmldb::datasets::bib::bib();
+//! let nalix = Nalix::new(&doc);
+//! let config = ServerConfig {
+//!     addr: "127.0.0.1:0".to_string(), // port 0: pick a free port
+//!     workers: 2,
+//!     ..ServerConfig::default()
+//! };
+//! let server = Server::bind(&nalix, config).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//!
+//! let client = std::thread::spawn(move || {
+//!     let mut s = std::net::TcpStream::connect(addr).unwrap();
+//!     let body = r#"{"question": "Return every title."}"#;
+//!     write!(
+//!         s,
+//!         "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+//!         body.len(),
+//!         body
+//!     )
+//!     .unwrap();
+//!     let mut reply = String::new();
+//!     s.read_to_string(&mut reply).unwrap();
+//!     handle.shutdown();
+//!     reply
+//! });
+//!
+//! let report = server.serve().unwrap(); // blocks until shutdown
+//! let reply = client.join().unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert_eq!(report.served, 1);
+//! ```
+
+pub mod http;
+pub mod json;
+pub mod queue;
+mod serve;
+
+pub use serve::{ServeReport, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,189 @@
+//! A bounded MPMC admission queue with explicit overload behavior.
+//!
+//! The queue is the server's single admission-control point: the
+//! acceptor thread [`try_push`](BoundedQueue::try_push)es each accepted
+//! connection and *never blocks* — when the queue is full the push
+//! fails, handing the connection back so the acceptor can write a 503
+//! with `Retry-After` and move on (load shedding, not load absorbing).
+//! Workers block in [`pop`](BoundedQueue::pop) until work arrives or
+//! the queue is closed *and drained*, which is exactly the graceful
+//! shutdown contract: close stops admission, but every request already
+//! admitted is still served.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused; the item is handed back in both cases.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed this item.
+    Full(T),
+    /// The queue has been closed — the server is draining.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A `Mutex`+`Condvar` bounded queue. Capacity 0 is legal and sheds
+/// every push — useful in tests.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items at once.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push. On success returns the queue depth *after*
+    /// the push (for the high-water gauge); on failure returns the item
+    /// so the caller can shed it with a proper response.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop. Returns `None` only when the queue is closed and
+    /// every admitted item has been handed out — the worker-exit
+    /// signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail with
+    /// [`PushError::Closed`], and once the backlog drains every blocked
+    /// [`pop`](BoundedQueue::pop) returns `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_and_depth() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = BoundedQueue::new(0);
+        assert!(matches!(q.try_push(7), Err(PushError::Full(7))));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(3), Err(PushError::Closed(3))));
+        // Admitted items still come out, in order, before the None.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || q.pop()));
+        }
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let total = 200u32;
+        let consumed = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            consumers.push(thread::spawn(move || {
+                while q.pop().is_some() {
+                    consumed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+            }));
+        }
+        let mut pushed = 0u32;
+        while pushed < total {
+            if q.try_push(pushed).is_ok() {
+                pushed += 1;
+            } else {
+                thread::yield_now();
+            }
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::SeqCst), total);
+    }
+}

@@ -1,0 +1,555 @@
+//! The `nalixd` server proper: worker pool, admission control, routing.
+//!
+//! Architecture (one paragraph): an acceptor loop polls a nonblocking
+//! [`TcpListener`] and `try_push`es each accepted connection into a
+//! [`BoundedQueue`]; a fixed pool of worker threads pops connections
+//! and runs the full read→route→answer→write cycle, one request per
+//! connection. Overload is explicit: a full queue makes the *acceptor*
+//! write `503 Service Unavailable` with `Retry-After` and move on, so
+//! a saturated server keeps answering (with backpressure) instead of
+//! accumulating unbounded work. Shutdown is a drain: the acceptor stops
+//! admitting, the queue closes, workers finish every admitted request,
+//! and [`Server::serve`] returns a final [`ServeReport`].
+//!
+//! The workers borrow the [`Nalix`] instance directly — no `Arc`, no
+//! leak — because the whole pool lives inside one
+//! [`std::thread::scope`] that `serve` blocks on.
+
+use crate::http::{self, ReadError, Request, Response};
+use crate::json::Json;
+use crate::queue::{BoundedQueue, PushError};
+use nalix::{Nalix, QueryError};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xquery::{EvalBudget, ExhaustedResource};
+
+/// Everything tunable about a [`Server`], with production defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8080`. Port 0 picks a free port
+    /// (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads. Each worker serves one request at a time.
+    pub workers: usize,
+    /// Admission queue capacity; connections beyond it are shed with
+    /// 503.
+    pub queue_capacity: usize,
+    /// Socket read timeout (slow-client defense).
+    pub read_timeout: Duration,
+    /// Socket write timeout (slow-client defense).
+    pub write_timeout: Duration,
+    /// Maximum request body size in bytes.
+    pub max_body: usize,
+    /// Evaluation deadline applied when the request names none.
+    pub default_deadline: Duration,
+    /// Hard cap on client-requested deadlines.
+    pub max_deadline: Duration,
+    /// Value of the `Retry-After` header on shed responses, in seconds.
+    pub retry_after_secs: u64,
+    /// Test-only latency injected into every handled request, used to
+    /// make overload and drain tests deterministic. `None` in
+    /// production.
+    pub debug_handler_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 8,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body: 1024 * 1024,
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(30),
+            retry_after_secs: 1,
+            debug_handler_delay: None,
+        }
+    }
+}
+
+/// State shared between [`Server::serve`] and its [`ServerHandle`]s.
+struct Shared {
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    started: Instant,
+}
+
+/// A clonable remote control for a running server: signal shutdown,
+/// read the bound address. Obtained from [`Server::handle`] *before*
+/// calling the blocking [`Server::serve`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins a graceful drain: stop accepting, finish in-flight
+    /// requests, return from [`Server::serve`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`shutdown`](ServerHandle::shutdown) has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The address the listener is actually bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+}
+
+/// What a completed [`Server::serve`] run did.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Requests handed to a worker (whether they then succeeded or
+    /// failed at the HTTP or query layer).
+    pub served: u64,
+    /// Connections shed with 503 because the queue was full.
+    pub shed: u64,
+    /// Final metrics snapshot, taken after the last worker exited.
+    pub snapshot: obs::MetricsSnapshot,
+}
+
+/// A bound-but-not-yet-serving nalixd server.
+pub struct Server<'n, 'd> {
+    nalix: &'n Nalix<'d>,
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl<'n, 'd> Server<'n, 'd> {
+    /// Binds the listener. Fails only on bind errors (port in use,
+    /// bad address).
+    pub fn bind(nalix: &'n Nalix<'d>, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            nalix,
+            listener,
+            config,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                local_addr,
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the server until [`ServerHandle::shutdown`] is called,
+    /// then drains and returns. Blocks the calling thread; the worker
+    /// pool lives inside a [`std::thread::scope`] so workers can
+    /// borrow the [`Nalix`] instance without `Arc` or leaking.
+    pub fn serve(self) -> io::Result<ServeReport> {
+        self.listener.set_nonblocking(true)?;
+        let metrics = self.nalix.metrics_handle();
+        let queue = BoundedQueue::<TcpStream>::new(self.config.queue_capacity);
+        let served = AtomicU64::new(0);
+        let shed = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let queue = &queue;
+                let served = &served;
+                let nalix = self.nalix;
+                let config = &self.config;
+                let shared = &self.shared;
+                scope.spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        served.fetch_add(1, Ordering::Relaxed);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(stream, nalix, config, shared)
+                        }));
+                        if result.is_err() {
+                            // The stream moved into the closure, so the
+                            // client sees a reset rather than a 500;
+                            // what matters is that the worker survives.
+                            nalix.metrics_handle().add(obs::Counter::HttpBadRequests, 1);
+                        }
+                    }
+                    obs::flush_hot();
+                });
+            }
+
+            // Acceptor: this thread. Nonblocking accept + short sleep
+            // keeps shutdown latency ~10ms without extra machinery.
+            while !self.shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                        match queue.try_push(stream) {
+                            Ok(depth) => {
+                                metrics
+                                    .record_max(obs::MaxGauge::QueueDepthHighWater, depth as u64);
+                            }
+                            Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                                metrics.add(obs::Counter::HttpShed, 1);
+                                shed_connection(stream, self.config.retry_after_secs);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            queue.close();
+            // Scope exit joins the workers: every admitted connection
+            // is served before we return (graceful drain).
+        });
+
+        Ok(ServeReport {
+            served: served.load(Ordering::SeqCst),
+            shed: shed.load(Ordering::SeqCst),
+            snapshot: self.nalix.metrics(),
+        })
+    }
+}
+
+/// Writes the overload response. Failures are ignored: the client is
+/// being shed, and the acceptor must not block on it.
+fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
+    let body = error_body("http.overloaded", "server is at capacity", "retry shortly");
+    let _ = Response::json(503, body)
+        .with_header("Retry-After", retry_after_secs.to_string())
+        .write_to(&mut stream);
+    // Drain whatever request bytes already arrived (without blocking:
+    // the acceptor must stay fast). Closing a socket with unread data
+    // in its receive buffer sends RST, which can destroy the 503 we
+    // just wrote before the client reads it.
+    if stream.set_nonblocking(true).is_ok() {
+        let mut sink = [0u8; 4096];
+        use std::io::Read as _;
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// The full lifecycle of one admitted connection: read, route, write.
+fn handle_connection(stream: TcpStream, nalix: &Nalix<'_>, config: &ServerConfig, shared: &Shared) {
+    let metrics = nalix.metrics_handle();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let response = match http::read_request(&mut reader, config.max_body) {
+        Ok(req) => {
+            metrics.add(obs::Counter::HttpRequests, 1);
+            if let Some(delay) = config.debug_handler_delay {
+                std::thread::sleep(delay);
+            }
+            route(&req, nalix, config, shared)
+        }
+        Err(ReadError::Eof) => return,
+        Err(ReadError::Io(_)) => return,
+        Err(ReadError::BadRequest(msg)) => {
+            Response::json(400, error_body("http.bad_request", &msg, "fix the request"))
+        }
+        Err(ReadError::TooLarge(msg)) => Response::json(
+            413,
+            error_body("http.payload_too_large", &msg, "send a smaller request"),
+        ),
+    };
+    if matches!(response.status(), 400 | 404 | 405 | 413) {
+        // Transport-level client errors. 422/504 are *successful*
+        // NL-pipeline rejections, already visible as query spans.
+        metrics.add(obs::Counter::HttpBadRequests, 1);
+    }
+    let _ = response.write_to(&mut write_half);
+    let _ = write_half.flush();
+}
+
+/// Maps method+path to a handler, with proper 405/404 responses.
+fn route(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => with_span(nalix, obs::Stage::HttpQuery, || {
+            handle_query(req, nalix, config)
+        }),
+        ("POST", "/batch") => with_span(nalix, obs::Stage::HttpBatch, || {
+            handle_batch(req, nalix, config)
+        }),
+        ("GET", "/health") => with_span(nalix, obs::Stage::HttpHealth, || handle_health(shared)),
+        ("GET", "/metrics") => with_span(nalix, obs::Stage::HttpMetrics, || {
+            Response::text(200, nalix.metrics().to_prometheus())
+        }),
+        (_, "/query") | (_, "/batch") => Response::json(
+            405,
+            error_body("http.method_not_allowed", "use POST", "send a POST request"),
+        )
+        .with_header("Allow", "POST".to_string()),
+        (_, "/health") | (_, "/metrics") => Response::json(
+            405,
+            error_body("http.method_not_allowed", "use GET", "send a GET request"),
+        )
+        .with_header("Allow", "GET".to_string()),
+        _ => Response::json(
+            404,
+            error_body(
+                "http.not_found",
+                "unknown path",
+                "use /query, /batch, /health, or /metrics",
+            ),
+        ),
+    }
+}
+
+/// Runs `f` under a stage span whose outcome reflects the HTTP status:
+/// 2xx → Ok, anything else → EvalError-class failure for the span.
+fn with_span(nalix: &Nalix<'_>, stage: obs::Stage, f: impl FnOnce() -> Response) -> Response {
+    let metrics = nalix.metrics_handle();
+    let mut span = metrics.span(stage);
+    let response = f();
+    span.set_outcome(if response.status() < 400 {
+        obs::SpanOutcome::Ok
+    } else {
+        obs::SpanOutcome::EvalError
+    });
+    drop(span);
+    response
+}
+
+/// `POST /query`: a JSON object `{"question": "...", "deadline_ms": n}`
+/// or a bare `text/plain` question.
+fn handle_query(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Response {
+    let (question, deadline_ms) = match parse_query_body(req) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let budget = budget_for(deadline_ms, config);
+    match nalix.answer_full(&question, &budget) {
+        Ok(answer) => {
+            let body = Json::Obj(vec![
+                (
+                    "answers".to_string(),
+                    Json::Arr(answer.values.iter().cloned().map(Json::Str).collect()),
+                ),
+                ("count".to_string(), Json::Num(answer.values.len() as f64)),
+                ("xquery".to_string(), Json::Str(answer.xquery.clone())),
+                ("cached".to_string(), Json::Bool(answer.cached)),
+                (
+                    "warnings".to_string(),
+                    Json::Arr(
+                        answer
+                            .warnings
+                            .iter()
+                            .map(|w| Json::Str(w.message()))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            Response::json(200, body.render())
+        }
+        Err(err) => query_error_response(&err),
+    }
+}
+
+/// `POST /batch`: `{"questions": ["...", ...]}`, answered sequentially
+/// on this worker, results in input order.
+fn handle_batch(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Response {
+    /// Per-request cap on batch size; larger batches should be split
+    /// by the client (keeps one worker from being pinned for minutes).
+    const MAX_BATCH: usize = 256;
+    let parsed = match Json::parse(body_str(req)) {
+        Ok(v) => v,
+        Err(e) => {
+            return Response::json(
+                400,
+                error_body("http.bad_request", &e.to_string(), "send valid JSON"),
+            )
+        }
+    };
+    let Some(questions) = parsed.get("questions").and_then(Json::as_array) else {
+        return Response::json(
+            400,
+            error_body(
+                "http.bad_request",
+                "missing \"questions\" array",
+                "send {\"questions\": [\"...\"]}",
+            ),
+        );
+    };
+    if questions.len() > MAX_BATCH {
+        return Response::json(
+            413,
+            error_body(
+                "http.payload_too_large",
+                &format!(
+                    "batch of {} exceeds the {MAX_BATCH} question cap",
+                    questions.len()
+                ),
+                "split the batch",
+            ),
+        );
+    }
+    let budget = budget_for(None, config);
+    let mut results = Vec::with_capacity(questions.len());
+    for q in questions {
+        let Some(text) = q.as_str() else {
+            results.push(Json::Obj(vec![(
+                "error".to_string(),
+                error_obj(
+                    "http.bad_request",
+                    "question is not a string",
+                    "send strings",
+                ),
+            )]));
+            continue;
+        };
+        match nalix.answer_full(text, &budget) {
+            Ok(answer) => results.push(Json::Obj(vec![
+                (
+                    "answers".to_string(),
+                    Json::Arr(answer.values.iter().cloned().map(Json::Str).collect()),
+                ),
+                ("count".to_string(), Json::Num(answer.values.len() as f64)),
+            ])),
+            Err(err) => results.push(Json::Obj(vec![(
+                "error".to_string(),
+                error_obj(err.code(), &err.to_string(), err.suggestion()),
+            )])),
+        }
+    }
+    let body = Json::Obj(vec![
+        ("count".to_string(), Json::Num(results.len() as f64)),
+        ("results".to_string(), Json::Arr(results)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `GET /health`: liveness plus drain state.
+fn handle_health(shared: &Shared) -> Response {
+    let status = if shared.shutdown.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    let body = Json::Obj(vec![
+        ("status".to_string(), Json::Str(status.to_string())),
+        (
+            "uptime_ms".to_string(),
+            Json::Num(shared.started.elapsed().as_millis() as f64),
+        ),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// Extracts (question, deadline_ms) from a `/query` body, accepting
+/// JSON or plain text.
+fn parse_query_body(req: &Request) -> Result<(String, Option<u64>), Response> {
+    let text = body_str(req);
+    let looks_json = req
+        .content_type
+        .as_deref()
+        .map(|t| t.contains("json"))
+        .unwrap_or_else(|| text.trim_start().starts_with('{'));
+    let (question, deadline) = if looks_json {
+        let parsed = Json::parse(text).map_err(|e| {
+            Response::json(
+                400,
+                error_body("http.bad_request", &e.to_string(), "send valid JSON"),
+            )
+        })?;
+        let question = parsed
+            .get("question")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                Response::json(
+                    400,
+                    error_body(
+                        "http.bad_request",
+                        "missing \"question\" field",
+                        "send {\"question\": \"...\"}",
+                    ),
+                )
+            })?;
+        (question, parsed.get("deadline_ms").and_then(Json::as_u64))
+    } else {
+        (text.trim().to_string(), None)
+    };
+    if question.trim().is_empty() {
+        return Err(Response::json(
+            400,
+            error_body("http.bad_request", "empty question", "ask a question"),
+        ));
+    }
+    Ok((question, deadline))
+}
+
+/// The request body as (lossy) UTF-8.
+fn body_str(req: &Request) -> &str {
+    std::str::from_utf8(&req.body).unwrap_or("")
+}
+
+/// The evaluation budget for one request: the client's deadline,
+/// clamped to the configured maximum; the default when none given.
+fn budget_for(deadline_ms: Option<u64>, config: &ServerConfig) -> EvalBudget {
+    let requested = deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(config.default_deadline);
+    EvalBudget::default().with_time_limit(requested.min(config.max_deadline))
+}
+
+/// Maps a pipeline error to its HTTP response: stable code, rendered
+/// message, rephrasing suggestion, and a status that distinguishes
+/// "your question" (422) from "our evaluator" (500) from "out of time"
+/// (504).
+fn query_error_response(err: &QueryError) -> Response {
+    let status = match err {
+        QueryError::Parse { .. }
+        | QueryError::Classify { .. }
+        | QueryError::Validate { .. }
+        | QueryError::Translate { .. } => 422,
+        QueryError::Eval { .. } => 500,
+        QueryError::ResourceExhausted { resource, .. } => match resource {
+            ExhaustedResource::Time => 504,
+            ExhaustedResource::Depth | ExhaustedResource::Tuples => 422,
+        },
+    };
+    Response::json(
+        status,
+        error_body(err.code(), &err.to_string(), err.suggestion()),
+    )
+}
+
+/// A rendered `{"error": {...}}` JSON body.
+fn error_body(code: &str, message: &str, suggestion: &str) -> String {
+    Json::Obj(vec![(
+        "error".to_string(),
+        error_obj(code, message, suggestion),
+    )])
+    .render()
+}
+
+/// The inner error object shared by `/query` and `/batch` bodies.
+fn error_obj(code: &str, message: &str, suggestion: &str) -> Json {
+    Json::Obj(vec![
+        ("code".to_string(), Json::Str(code.to_string())),
+        ("message".to_string(), Json::Str(message.to_string())),
+        ("suggestion".to_string(), Json::Str(suggestion.to_string())),
+    ])
+}

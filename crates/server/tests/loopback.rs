@@ -1,0 +1,326 @@
+//! Loopback integration tests: a real listener, real sockets, real
+//! worker threads — asserting the three serving contracts (fidelity to
+//! the in-process pipeline, explicit overload, graceful drain).
+
+use nalix::Nalix;
+use server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use xquery::EvalBudget;
+
+/// A config suitable for tests: ephemeral port, small pool.
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    }
+}
+
+/// Sends one raw HTTP request and returns (status line, body).
+fn send(addr: SocketAddr, raw: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(raw.as_bytes()).expect("write");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("read");
+    let status = reply.lines().next().unwrap_or("").to_string();
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post_query(addr: SocketAddr, question: &str) -> (String, String) {
+    let body = format!("{{\"question\": {:?}}}", question);
+    send(
+        addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ),
+    )
+}
+
+/// Runs `f` against a serving nalixd and tears the server down after.
+fn with_server<F, R>(config: ServerConfig, f: F) -> (R, server::ServeReport)
+where
+    F: FnOnce(SocketAddr) -> R + Send,
+    R: Send,
+{
+    let doc = xmldb::datasets::bib::bib();
+    let nalix = Nalix::new(&doc);
+    let server = Server::bind(&nalix, config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let mut out = None;
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            // Shut down even if `f` panics: otherwise `serve()` below
+            // never returns and the whole test binary hangs instead of
+            // reporting the panic.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+            handle.shutdown();
+            match r {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        });
+        report = Some(server.serve().expect("serve"));
+        out = Some(worker.join().expect("client panicked"));
+    });
+    (out.expect("client result"), report.expect("serve report"))
+}
+
+/// The serving contract: answers over HTTP are bit-identical to the
+/// in-process `Nalix::answer_full`, under 8-way client concurrency.
+#[test]
+fn concurrent_clients_get_in_process_answers() {
+    let questions = [
+        "Return every title.",
+        "Return the authors of every book.",
+        "Return every publisher.",
+        "Return the price of every book.",
+        "Return every title.",
+        "Return the authors of every book.",
+        "Return every publisher.",
+        "Return the price of every book.",
+    ];
+
+    // Ground truth, computed in-process on an identical pipeline.
+    let doc = xmldb::datasets::bib::bib();
+    let oracle = Nalix::new(&doc);
+    let expected: Vec<Vec<String>> = questions
+        .iter()
+        .map(|q| {
+            oracle
+                .answer_full(q, &EvalBudget::default())
+                .expect("oracle answers")
+                .values
+        })
+        .collect();
+
+    let (bodies, report) = with_server(test_config(), |addr| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = questions
+                .iter()
+                .map(|q| scope.spawn(move || post_query(addr, q)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    for ((status, body), expected_values) in bodies.iter().zip(&expected) {
+        assert_eq!(status, "HTTP/1.1 200 OK", "body: {body}");
+        let parsed = server::json::Json::parse(body).expect("valid JSON body");
+        let answers: Vec<String> = parsed
+            .get("answers")
+            .and_then(server::json::Json::as_array)
+            .expect("answers array")
+            .iter()
+            .map(|v| v.as_str().expect("string answer").to_string())
+            .collect();
+        assert_eq!(
+            &answers, expected_values,
+            "HTTP answers differ from in-process"
+        );
+        assert!(parsed
+            .get("xquery")
+            .and_then(server::json::Json::as_str)
+            .is_some());
+    }
+    assert_eq!(report.served, 8);
+    assert_eq!(report.shed, 0);
+}
+
+/// Pipeline rejections surface as stable machine-readable codes with
+/// the right statuses.
+#[test]
+fn error_codes_reach_the_wire() {
+    let ((unknown, empty, not_found, wrong_method), _report) = with_server(test_config(), |addr| {
+        (
+            post_query(addr, "Frobnicate the quuxes zzyzx."),
+            post_query(addr, ""),
+            send(addr, "GET /nope HTTP/1.1\r\n\r\n"),
+            send(addr, "GET /query HTTP/1.1\r\n\r\n"),
+        )
+    });
+    assert_eq!(unknown.0, "HTTP/1.1 422 Unprocessable Entity");
+    assert!(
+        unknown.1.contains("\"code\":\"classify.unknown_term\"")
+            || unknown.1.contains("\"code\":\"parse.ungrammatical\"")
+            || unknown.1.contains("\"code\":\"validate.rejected\""),
+        "body: {}",
+        unknown.1
+    );
+    assert_eq!(empty.0, "HTTP/1.1 400 Bad Request");
+    assert!(empty.1.contains("\"code\":\"http.bad_request\""));
+    assert_eq!(not_found.0, "HTTP/1.1 404 Not Found");
+    assert!(not_found.1.contains("\"code\":\"http.not_found\""));
+    assert_eq!(wrong_method.0, "HTTP/1.1 405 Method Not Allowed");
+    assert!(wrong_method
+        .1
+        .contains("\"code\":\"http.method_not_allowed\""));
+}
+
+/// Health, metrics, and batch endpoints answer sensibly.
+#[test]
+fn auxiliary_endpoints_work() {
+    let ((health, metrics, batch), _report) = with_server(test_config(), |addr| {
+        let batch_body = r#"{"questions": ["Return every title.", "Zzyzx."]}"#;
+        (
+            send(addr, "GET /health HTTP/1.1\r\n\r\n"),
+            send(addr, "GET /metrics HTTP/1.1\r\n\r\n"),
+            send(
+                addr,
+                &format!(
+                    "POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                    batch_body.len(),
+                    batch_body
+                ),
+            ),
+        )
+    });
+    assert_eq!(health.0, "HTTP/1.1 200 OK");
+    assert!(health.1.contains("\"status\":\"ok\""), "body: {}", health.1);
+    assert_eq!(metrics.0, "HTTP/1.1 200 OK");
+    assert!(
+        metrics.1.contains("nalix_stage_spans_total"),
+        "prometheus body: {}",
+        metrics.1
+    );
+    assert_eq!(batch.0, "HTTP/1.1 200 OK");
+    let parsed = server::json::Json::parse(&batch.1).expect("valid batch JSON");
+    let results = parsed
+        .get("results")
+        .and_then(server::json::Json::as_array)
+        .expect("results array");
+    assert_eq!(results.len(), 2);
+    assert!(results[0].get("answers").is_some());
+    assert!(results[1].get("error").is_some());
+}
+
+/// Overload contract: with one slow worker and a tiny queue, excess
+/// connections are shed with 503 + Retry-After instead of queueing
+/// unboundedly — and the server keeps answering afterwards.
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 1,
+        debug_handler_delay: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    };
+    let ((sheds, ok_after), report) = with_server(config, |addr| {
+        // Fire 8 concurrent requests at a server that can hold at most
+        // 2 (1 in-flight + 1 queued): at least 6 must be shed.
+        let replies = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut s = TcpStream::connect(addr).expect("connect");
+                        s.write_all(b"GET /health HTTP/1.1\r\n\r\n").expect("write");
+                        let mut reply = String::new();
+                        s.read_to_string(&mut reply).expect("read");
+                        reply
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect::<Vec<_>>()
+        });
+        let sheds: Vec<String> = replies
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 503"))
+            .cloned()
+            .collect();
+        // After the burst clears, the server still answers.
+        std::thread::sleep(Duration::from_millis(700));
+        let ok_after = send(addr, "GET /health HTTP/1.1\r\n\r\n");
+        (sheds, ok_after)
+    });
+    assert!(
+        sheds.len() >= 6,
+        "expected at least 6 shed responses, got {}",
+        sheds.len()
+    );
+    for shed in &sheds {
+        assert!(shed.contains("Retry-After: 1\r\n"), "reply: {shed}");
+        assert!(
+            shed.contains("\"code\":\"http.overloaded\""),
+            "reply: {shed}"
+        );
+    }
+    assert_eq!(ok_after.0, "HTTP/1.1 200 OK");
+    assert_eq!(report.shed, sheds.len() as u64);
+}
+
+/// Drain contract: shutdown during an in-flight request lets that
+/// request complete with a full 200, and the listener then refuses new
+/// connections.
+#[test]
+fn graceful_drain_completes_in_flight_requests() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 8,
+        debug_handler_delay: Some(Duration::from_millis(400)),
+        ..ServerConfig::default()
+    };
+    let doc = xmldb::datasets::bib::bib();
+    let nalix = Nalix::new(&doc);
+    let server = Server::bind(&nalix, config).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    let mut in_flight_reply = None;
+    std::thread::scope(|scope| {
+        let client = scope.spawn(move || {
+            let body = r#"{"question": "Return every title."}"#;
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(
+                s,
+                "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .expect("write");
+            let mut reply = String::new();
+            s.read_to_string(&mut reply).expect("read");
+            reply
+        });
+        let stopper = scope.spawn(move || {
+            // Give the request time to be admitted, then shut down
+            // while the (delayed) handler is still working on it.
+            std::thread::sleep(Duration::from_millis(150));
+            handle.shutdown();
+        });
+        let report = server.serve().expect("serve");
+        stopper.join().expect("stopper");
+        in_flight_reply = Some(client.join().expect("client"));
+        assert_eq!(report.served, 1, "in-flight request must be served");
+    });
+
+    let reply = in_flight_reply.expect("reply");
+    assert!(
+        reply.starts_with("HTTP/1.1 200 OK"),
+        "in-flight request must complete during drain; got: {reply}"
+    );
+    // serve() has returned, so the listener is gone: new connections
+    // must be refused (or reset), not silently queued.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "post-drain connections must be refused"
+    );
+}

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! Commands: `:labels` lists element names, `:xml` dumps the document,
-//! `:quit` exits.
+//! `:metrics` prints the session's pipeline metrics snapshot, `:quit`
+//! exits.
 
 use nalix_repro::nalix::{Nalix, Outcome};
 use nalix_repro::xmldb::datasets::movies::movies_and_books;
@@ -36,7 +37,7 @@ fn main() {
         doc.len(),
         doc.labels().join(", ")
     );
-    println!("Type an English query, or :labels / :xml / :quit.\n");
+    println!("Type an English query, or :labels / :xml / :metrics / :quit.\n");
 
     let nalix = Nalix::new(&doc);
     let stdin = std::io::stdin();
@@ -57,6 +58,10 @@ fn main() {
             }
             ":xml" => {
                 println!("{}", doc.to_xml(doc.root()));
+                continue;
+            }
+            ":metrics" => {
+                println!("{}", nalix.metrics());
                 continue;
             }
             _ => {}

@@ -113,6 +113,7 @@ fn failure_feedback_matches_golden_files() {
         got.push_str(&format!("class: {class}\n"));
         got.push_str(&format!("question: {question}\n"));
         got.push_str(&format!("variant: {}\n", variant_name(&err)));
+        got.push_str(&format!("code: {}\n", err.code()));
         got.push_str(&format!("display: {err}\n"));
         got.push_str(&format!("suggestion: {}\n", err.suggestion()));
         got.push_str("feedback:\n");
