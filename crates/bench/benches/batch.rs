@@ -11,7 +11,7 @@ use nalix::{BatchRunner, Nalix};
 
 fn bench_batch_threads(c: &mut Criterion) {
     let doc = corpus(4);
-    let nalix = Nalix::new(&doc);
+    let nalix = std::sync::Arc::new(Nalix::new(doc.clone()));
     let questions: Vec<&str> = xmp_questions().iter().map(|(_, q)| *q).collect();
     // Warm both caches so the samples measure steady-state evaluation.
     for q in &questions {
@@ -20,7 +20,7 @@ fn bench_batch_threads(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch/xmp9");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        let runner = BatchRunner::new(&nalix, threads);
+        let runner = BatchRunner::new(nalix.clone(), threads);
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| {
                 let replies = runner.run(black_box(&questions));
@@ -36,7 +36,7 @@ fn bench_translation_cache(c: &mut Criterion) {
     let questions = xmp_questions();
     let mut g = c.benchmark_group("batch/translation-cache");
     g.bench_function("cold", |b| {
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         b.iter(|| {
             nalix.clear_cache();
             for (_, q) in &questions {
@@ -45,7 +45,7 @@ fn bench_translation_cache(c: &mut Criterion) {
         })
     });
     g.bench_function("warm", |b| {
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         for (_, q) in &questions {
             let _ = nalix.query(q);
         }

@@ -26,7 +26,7 @@ fn bench_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for scale in [1usize, 4, 16] {
         let doc = corpus(scale);
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let translated: Vec<_> = BENCH_QUERIES
             .iter()
             .map(|q| match nalix.query(q) {
@@ -52,7 +52,7 @@ fn bench_scaling(c: &mut Criterion) {
 
 fn bench_paper_corpus_queries(c: &mut Criterion) {
     let doc = paper_corpus();
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     let queries = [
         (
             "selection",
@@ -96,7 +96,7 @@ fn bench_paper_corpus_queries(c: &mut Criterion) {
 fn bench_pushdown_ablation(c: &mut Criterion) {
     // Small corpus: the late-filtering variant is quadratic-ish.
     let doc = corpus(1);
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     let pushed = "for $t in doc()//title, $a in doc()//author, $b in doc()//book \
                   where mqf($t, $a) and mqf($t, $b) and $b/year > 1991 return $t";
     let opaque = "for $t in doc()//title, $a in doc()//author, $b in doc()//book \

@@ -100,7 +100,7 @@ fn bench_probe_naive_ablation(c: &mut Criterion) {
 
 fn bench_mqf_query(c: &mut Criterion) {
     let doc = paper_corpus();
-    let engine = xquery::Engine::new(&doc);
+    let engine = xquery::Engine::new(doc.clone());
     c.bench_function("mlca/mqf-join-query-73k-nodes", |b| {
         b.iter(|| {
             let out = engine

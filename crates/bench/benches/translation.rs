@@ -39,7 +39,7 @@ fn bench_classify_validate(c: &mut Criterion) {
 
 fn bench_full_translation(c: &mut Criterion) {
     let doc = corpus(1);
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let mut g = c.benchmark_group("translation/full");
     for (i, q) in BENCH_QUERIES.iter().enumerate() {
         g.bench_function(format!("q{i}"), |b| {

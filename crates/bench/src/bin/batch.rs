@@ -40,10 +40,10 @@ fn main() {
     let repeats = if quick { 4 } else { 20 };
 
     eprintln!("generating the paper-scale DBLP corpus …");
-    let doc = bench::paper_corpus();
+    let doc = std::sync::Arc::new(bench::paper_corpus());
     // Share the process-wide registry so the breakdown below covers
     // everything this binary does, deep index counters included.
-    let nalix = Nalix::with_metrics(&doc, obs::global_handle());
+    let nalix = std::sync::Arc::new(Nalix::with_metrics(doc.clone(), obs::global_handle()));
 
     // The nine tasks, tiled `repeats` times — a 9×repeats-query batch.
     let tasks = bench::xmp_questions();
@@ -73,7 +73,7 @@ fn main() {
         let _ = nalix.ask(q);
     }
 
-    let serial_runner = BatchRunner::new(&nalix, 1);
+    let serial_runner = BatchRunner::new(nalix.clone(), 1);
     let t0 = Instant::now();
     let serial = serial_runner.run(&questions);
     let serial_s = t0.elapsed().as_secs_f64();
@@ -86,7 +86,7 @@ fn main() {
 
     let mut failed = false;
     for threads in [2usize, 4, 8] {
-        let runner = BatchRunner::new(&nalix, threads);
+        let runner = BatchRunner::new(nalix.clone(), threads);
         let t0 = Instant::now();
         let replies = runner.run(&questions);
         let secs = t0.elapsed().as_secs_f64();

@@ -20,7 +20,7 @@ fn main() {
         doc.nodes_labeled("book").len(),
         doc.nodes_labeled("article").len()
     );
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     println!(
         "{:>12} {:>12} {:>8}   query",
         "translate", "evaluate", "results"

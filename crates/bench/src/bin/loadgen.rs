@@ -2,22 +2,30 @@
 //! a mixed closed-loop workload over real sockets.
 //!
 //! ```console
-//! $ cargo run --release -p bench --bin loadgen -- [--quick]
+//! $ cargo run --release -p bench --bin loadgen -- [--quick] [--docs]
 //! ```
 //!
 //! By default the program self-hosts: it builds the DBLP corpus, boots
-//! an in-process [`server::Server`], drives it with 16 concurrent
-//! connections (one request per connection, like the server's wire
-//! contract), and verifies **every** HTTP answer against the
-//! in-process `Nalix::answer_full` oracle — the serving layer must be
-//! a transparent transport. It then provokes overload against a
+//! an in-process [`server::Server`] over a [`store::DocumentStore`]
+//! (the bench corpus injected via [`DocSpec::memory`] as the default
+//! `dblp` document), drives it with 16 concurrent connections (one
+//! request per connection, like the server's wire contract), and
+//! verifies **every** HTTP answer against the in-process
+//! `Nalix::answer_full` oracle — the serving layer must be a
+//! transparent transport. It then provokes overload against a
 //! 1-worker/1-slot server and checks the shed contract (503 +
 //! `Retry-After`). Exit status is non-zero on any transport error,
 //! oracle mismatch, or missing shed.
 //!
+//! `--docs` exercises per-document routing: the workload round-robins
+//! across two corpora (`dblp` and the builtin `movies`), every request
+//! names its document explicitly, and every answer is checked against
+//! that document's own oracle.
+//!
 //! `--addr HOST:PORT` skips self-hosting and targets a running nalixd
-//! (oracle verification then requires `--dataset` to match the
-//! server's; the default workload assumes `--dataset dblp`).
+//! (oracle verification then requires the server's `dblp` to be the
+//! builtin paper-scale corpus, i.e. no `--quick`; `--docs` also needs
+//! the builtin `movies` registered, which nalixd always does).
 
 use nalix::Nalix;
 use server::json::Json;
@@ -25,13 +33,16 @@ use server::{Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use store::{DocSpec, DocumentStore, StoreConfig};
 
 struct Args {
     addr: Option<String>,
     connections: usize,
     rounds: usize,
     quick: bool,
+    docs: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +51,7 @@ fn parse_args() -> Args {
         connections: 16,
         rounds: 8,
         quick: false,
+        docs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,6 +60,7 @@ fn parse_args() -> Args {
                 args.quick = true;
                 args.rounds = 2;
             }
+            "--docs" => args.docs = true,
             "--addr" => args.addr = it.next(),
             "--connections" => {
                 if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
@@ -68,16 +81,34 @@ fn parse_args() -> Args {
     args
 }
 
-/// One HTTP round trip: connect, POST the question, read the reply.
-/// Returns (status, body, latency) or an error string (a *transport*
-/// failure — HTTP error statuses are not transport failures).
-fn query_once(addr: &str, question: &str) -> Result<(u16, String, Duration), String> {
+/// One unit of workload: a question routed to a named document (or the
+/// server default when `doc` is `None`), with its precomputed oracle.
+struct Task {
+    doc: Option<&'static str>,
+    question: String,
+    expected: Vec<String>,
+}
+
+/// One HTTP round trip: connect, POST the question (optionally naming
+/// a document), read the reply. Returns (status, body, latency) or an
+/// error string (a *transport* failure — HTTP error statuses are not
+/// transport failures).
+fn query_once(
+    addr: &str,
+    question: &str,
+    doc: Option<&str>,
+) -> Result<(u16, String, Duration), String> {
     let t0 = Instant::now();
     // An explicit generous deadline: at paper scale under full
     // concurrency the aggregation tasks legitimately exceed the 2 s
     // server default, and this harness measures fidelity and
     // throughput, not deadline policy (the shed test covers overload).
-    let body = format!("{{\"question\": {question:?}, \"deadline_ms\": 30000}}");
+    let body = match doc {
+        Some(d) => {
+            format!("{{\"question\": {question:?}, \"doc\": {d:?}, \"deadline_ms\": 30000}}")
+        }
+        None => format!("{{\"question\": {question:?}, \"deadline_ms\": 30000}}"),
+    };
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
@@ -114,16 +145,10 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Drives `connections` closed-loop clients over the mixed nine-task
-/// workload and checks every answer against `oracle` (when given).
-/// Returns false on any transport error or oracle mismatch.
-fn run_load(
-    addr: &str,
-    connections: usize,
-    rounds: usize,
-    questions: &[(&str, &str)],
-    oracle: Option<&[Vec<String>]>,
-) -> bool {
+/// Drives `connections` closed-loop clients over the mixed workload
+/// and checks every answer against its task's oracle. Returns false
+/// on any transport error or oracle mismatch.
+fn run_load(addr: &str, connections: usize, rounds: usize, tasks: &[Task]) -> bool {
     let transport_errors = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
     let sheds = AtomicU64::new(0);
@@ -137,21 +162,25 @@ fn run_load(
                 let mismatches = &mismatches;
                 let sheds = &sheds;
                 scope.spawn(move || {
-                    let mut latencies = Vec::with_capacity(rounds * questions.len());
+                    let mut latencies = Vec::with_capacity(rounds * tasks.len());
                     for round in 0..rounds {
-                        for i in 0..questions.len() {
-                            // Offset by connection id so the nine tasks
-                            // hit the server interleaved, not in
-                            // lockstep.
-                            let qi = (i + c + round) % questions.len();
-                            let (_, question) = questions[qi];
-                            match query_once(addr, question) {
+                        for i in 0..tasks.len() {
+                            // Offset by connection id so the tasks hit
+                            // the server interleaved, not in lockstep —
+                            // in --docs mode this also interleaves the
+                            // two corpora on every worker.
+                            let qi = (i + c + round) % tasks.len();
+                            let task = &tasks[qi];
+                            match query_once(addr, &task.question, task.doc) {
                                 Ok((200, body, dt)) => {
                                     latencies.push(dt.as_nanos() as u64);
-                                    if let Some(expected) = oracle {
-                                        if !answers_match(&body, &expected[qi]) {
-                                            mismatches.fetch_add(1, Ordering::Relaxed);
-                                        }
+                                    if !answers_match(&body, &task.expected) {
+                                        eprintln!(
+                                            "loadgen: oracle mismatch on doc {:?} for {:?}",
+                                            task.doc.unwrap_or("<default>"),
+                                            task.question
+                                        );
+                                        mismatches.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
                                 Ok((503, _, _)) => {
@@ -159,7 +188,8 @@ fn run_load(
                                 }
                                 Ok((status, body, _)) => {
                                     eprintln!(
-                                        "loadgen: unexpected HTTP {status} for {question:?}: {body}"
+                                        "loadgen: unexpected HTTP {status} for {:?}: {body}",
+                                        task.question
                                     );
                                     mismatches.fetch_add(1, Ordering::Relaxed);
                                 }
@@ -185,7 +215,7 @@ fn run_load(
 
     let wall = t0.elapsed();
     all_latencies.sort_unstable();
-    let total = connections * rounds * questions.len();
+    let total = connections * rounds * tasks.len();
     let errors = transport_errors.load(Ordering::SeqCst);
     let wrong = mismatches.load(Ordering::SeqCst);
     let shed = sheds.load(Ordering::SeqCst);
@@ -220,9 +250,26 @@ fn answers_match(body: &str, expected: &[String]) -> bool {
             .all(|(a, e)| a.as_str() == Some(e.as_str()))
 }
 
+/// Computes the in-process oracle answers for a question list, one
+/// `Vec<String>` per question. Exits on oracle failure: a question the
+/// pipeline itself cannot answer is a workload bug, not a serving bug.
+fn oracle_answers(nalix: &Nalix, questions: &[(&str, &str)]) -> Vec<Vec<String>> {
+    let budget = xquery::EvalBudget::default();
+    questions
+        .iter()
+        .map(|(label, q)| match nalix.answer_full(q, &budget) {
+            Ok(a) => a.values,
+            Err(e) => {
+                eprintln!("loadgen: oracle failed on task {label}: {e}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
 /// Provokes overload against a deliberately tiny server (1 worker with
 /// injected latency, queue of 1) and checks the shed contract.
-fn shed_contract_holds(nalix: &Nalix<'_>) -> bool {
+fn shed_contract_holds(store: &Arc<DocumentStore>) -> bool {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
@@ -230,7 +277,7 @@ fn shed_contract_holds(nalix: &Nalix<'_>) -> bool {
         debug_handler_delay: Some(Duration::from_millis(200)),
         ..ServerConfig::default()
     };
-    let server = match Server::bind(nalix, config) {
+    let server = match Server::bind(store.clone(), config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("loadgen: shed-test bind failed: {e}");
@@ -281,46 +328,74 @@ fn main() {
         "loadgen: generating the {} DBLP corpus …",
         if args.quick { "quick" } else { "paper-scale" }
     );
-    let doc = if args.quick {
+    let doc = Arc::new(if args.quick {
         bench::corpus(1)
     } else {
         bench::paper_corpus()
-    };
-    let nalix = Nalix::new(&doc);
+    });
+    let nalix = Nalix::new(doc.clone());
 
     // In-process oracle answers, one per question, computed before any
-    // load so cache warm-up cannot mask a serving bug.
-    let budget = xquery::EvalBudget::default();
-    let oracle: Vec<Vec<String>> = questions
+    // load so cache warm-up cannot mask a serving bug. In --docs mode
+    // every request names its document explicitly; otherwise all
+    // traffic rides the server default.
+    let dblp_doc = if args.docs { Some("dblp") } else { None };
+    let mut tasks: Vec<Task> = questions
         .iter()
-        .map(|(label, q)| match nalix.answer_full(q, &budget) {
-            Ok(a) => a.values,
-            Err(e) => {
-                eprintln!("loadgen: oracle failed on task {label}: {e}");
-                std::process::exit(2);
-            }
+        .zip(oracle_answers(&nalix, &questions))
+        .map(|((_, q), expected)| Task {
+            doc: dblp_doc,
+            question: q.to_string(),
+            expected,
         })
         .collect();
+    if args.docs {
+        let movies_questions = [
+            ("M1", "Find all the movies directed by Ron Howard."),
+            ("M2", "Return every title."),
+        ];
+        let movies_nalix = Nalix::new(xmldb::datasets::movies::movies_and_books());
+        tasks.extend(
+            movies_questions
+                .iter()
+                .zip(oracle_answers(&movies_nalix, &movies_questions))
+                .map(|((_, q), expected)| Task {
+                    doc: Some("movies"),
+                    question: q.to_string(),
+                    expected,
+                }),
+        );
+        eprintln!(
+            "loadgen: --docs mode: round-robining {} dblp + {} movies tasks",
+            questions.len(),
+            movies_questions.len()
+        );
+    }
 
     let ok = match &args.addr {
         Some(addr) => {
-            // External server: its dataset must match ours for the
-            // oracle check to be meaningful.
-            run_load(
-                addr,
-                args.connections,
-                args.rounds,
-                &questions,
-                Some(&oracle),
-            )
+            // External server: its corpora must match ours for the
+            // oracle check to be meaningful (builtin dblp + movies).
+            run_load(addr, args.connections, args.rounds, &tasks)
         }
         None => {
-            // Self-hosted: boot a production-shaped server and drive it.
+            // Self-hosted: a production-shaped server over a document
+            // store whose default `dblp` is the bench corpus we just
+            // built, injected without a disk round-trip. The builtin
+            // `movies` rides along for --docs routing.
+            let store = Arc::new(DocumentStore::with_builtins(StoreConfig {
+                default_doc: "dblp".to_string(),
+                ..StoreConfig::default()
+            }));
+            if let Err(e) = store.put("dblp", DocSpec::memory("dblp-bench", doc.clone())) {
+                eprintln!("loadgen: store setup failed: {e}");
+                std::process::exit(2);
+            }
             let config = ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 ..ServerConfig::default()
             };
-            let server = match Server::bind(&nalix, config) {
+            let server = match Server::bind(store.clone(), config) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("loadgen: bind failed: {e}");
@@ -332,13 +407,7 @@ fn main() {
             let mut load_ok = false;
             std::thread::scope(|scope| {
                 let driver = scope.spawn(|| {
-                    let ok = run_load(
-                        &addr,
-                        args.connections,
-                        args.rounds,
-                        &questions,
-                        Some(&oracle),
-                    );
+                    let ok = run_load(&addr, args.connections, args.rounds, &tasks);
                     handle.shutdown();
                     ok
                 });
@@ -351,7 +420,7 @@ fn main() {
                     );
                 }
             });
-            load_ok && shed_contract_holds(&nalix)
+            load_ok && shed_contract_holds(&store)
         }
     };
 

@@ -58,7 +58,7 @@ mod tests {
     #[test]
     fn bench_queries_all_translate() {
         let doc = corpus(1);
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         for q in BENCH_QUERIES {
             assert!(
                 matches!(nalix.query(q), Outcome::Translated(_)),
@@ -77,7 +77,7 @@ mod tests {
         let qs = xmp_questions();
         assert_eq!(qs.len(), 9);
         let doc = corpus(1);
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         for (label, q) in qs {
             assert!(
                 matches!(nalix.query(q), Outcome::Translated(_)),

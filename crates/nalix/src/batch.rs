@@ -12,13 +12,18 @@
 //! every stage of the pipeline is a pure function of the (immutable)
 //! document plus the sentence.
 //!
+//! Since the `Arc<Document>` ownership refactor the runner shares the
+//! pipeline with its workers through a plain `Arc<Nalix>` — workers are
+//! ordinarily spawned threads holding clones of that `Arc`, with no
+//! scoped-thread borrowing and no lifetime threading.
+//!
 //! [`Nalix`]: crate::Nalix
 //! [`Nalix::ask`]: crate::Nalix::ask
 
 use crate::{Feedback, FeedbackKind, Nalix, Rejected};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// The reply to one question of a batch: flat string results on
 /// success, the feedback the user would see on rejection (evaluation
@@ -30,11 +35,11 @@ pub type BatchReply = Result<Vec<String>, Rejected>;
 ///
 /// ```
 /// use nalix::{BatchRunner, Nalix};
+/// use std::sync::Arc;
 /// use xmldb::datasets::movies::movies;
 ///
-/// let doc = movies();
-/// let nalix = Nalix::new(&doc);
-/// let runner = BatchRunner::new(&nalix, 4);
+/// let nalix = Arc::new(Nalix::new(movies()));
+/// let runner = BatchRunner::new(nalix, 4);
 /// let replies = runner.run(&[
 ///     "Find all the movies directed by Ron Howard.",
 ///     "The weather is nice today.",
@@ -42,16 +47,17 @@ pub type BatchReply = Result<Vec<String>, Rejected>;
 /// assert!(replies[0].is_ok());
 /// assert!(replies[1].is_err());
 /// ```
-pub struct BatchRunner<'n, 'd> {
-    nalix: &'n Nalix<'d>,
+pub struct BatchRunner {
+    nalix: Arc<Nalix>,
     threads: usize,
 }
 
-impl<'n, 'd> BatchRunner<'n, 'd> {
+impl BatchRunner {
     /// A runner using `threads` worker threads (clamped to at least 1).
-    pub fn new(nalix: &'n Nalix<'d>, threads: usize) -> Self {
+    /// Accepts an owned [`Nalix`] or an existing `Arc<Nalix>`.
+    pub fn new(nalix: impl Into<Arc<Nalix>>, threads: usize) -> Self {
         BatchRunner {
-            nalix,
+            nalix: nalix.into(),
             threads: threads.max(1),
         }
     }
@@ -59,6 +65,11 @@ impl<'n, 'd> BatchRunner<'n, 'd> {
     /// Number of worker threads this runner spawns.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The shared pipeline the workers answer on.
+    pub fn nalix(&self) -> &Arc<Nalix> {
+        &self.nalix
     }
 
     /// Answer every question, replies in input order.
@@ -69,11 +80,21 @@ impl<'n, 'd> BatchRunner<'n, 'd> {
     /// serial loop (modulo one spawned thread).
     pub fn run(&self, questions: &[&str]) -> Vec<BatchReply> {
         let n = questions.len();
-        let slots: Vec<OnceLock<BatchReply>> = (0..n).map(|_| OnceLock::new()).collect();
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n.max(1)) {
-                scope.spawn(|| {
+        // Workers are ordinary spawned threads, so everything they
+        // touch is owned: the questions, the reply slots, and the
+        // pipeline all travel behind `Arc`s instead of scoped borrows.
+        let questions: Arc<Vec<String>> =
+            Arc::new(questions.iter().map(|q| q.to_string()).collect());
+        let slots: Arc<Vec<OnceLock<BatchReply>>> =
+            Arc::new((0..n).map(|_| OnceLock::new()).collect());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<std::thread::JoinHandle<()>> = (0..self.threads.min(n.max(1)))
+            .map(|_| {
+                let nalix = self.nalix.clone();
+                let questions = questions.clone();
+                let slots = slots.clone();
+                let cursor = cursor.clone();
+                std::thread::spawn(move || {
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -84,7 +105,7 @@ impl<'n, 'd> BatchRunner<'n, 'd> {
                         // crates deny unwrap/expect/panic) becomes that
                         // question's reply instead of poisoning the pool
                         // and aborting the whole batch.
-                        let reply = catch_unwind(AssertUnwindSafe(|| self.nalix.ask(questions[i])))
+                        let reply = catch_unwind(AssertUnwindSafe(|| nalix.ask(&questions[i])))
                             .unwrap_or_else(|_| Err(internal_error()));
                         let _ = slots[i].set(reply);
                     }
@@ -92,9 +113,16 @@ impl<'n, 'd> BatchRunner<'n, 'd> {
                     // destructor-free thread-local cells; drain this
                     // worker's tail before the thread exits.
                     obs::flush_hot();
-                });
-            }
-        });
+                })
+            })
+            .collect();
+        for w in workers {
+            // A panicking worker already wrote `internal_error` replies
+            // for its claimed questions (or left slots empty, mapped
+            // below); the join failure itself carries no information.
+            let _ = w.join();
+        }
+        let slots = Arc::try_unwrap(slots).unwrap_or_else(|arc| (*arc).clone());
         slots
             .into_iter()
             .map(|s| s.into_inner().unwrap_or_else(|| Err(internal_error())))
@@ -127,11 +155,10 @@ mod tests {
 
     #[test]
     fn parallel_replies_match_serial() {
-        let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Arc::new(Nalix::new(movies()));
         let serial: Vec<BatchReply> = QUESTIONS.iter().map(|q| nalix.ask(q)).collect();
         for threads in [1, 2, 8] {
-            let parallel = BatchRunner::new(&nalix, threads).run(&QUESTIONS);
+            let parallel = BatchRunner::new(nalix.clone(), threads).run(&QUESTIONS);
             assert_eq!(parallel.len(), serial.len());
             for (p, s) in parallel.iter().zip(&serial) {
                 match (p, s) {
@@ -150,16 +177,14 @@ mod tests {
 
     #[test]
     fn empty_batch_is_fine() {
-        let doc = movies();
-        let nalix = Nalix::new(&doc);
-        assert!(BatchRunner::new(&nalix, 8).run(&[]).is_empty());
+        let nalix = Nalix::new(movies());
+        assert!(BatchRunner::new(nalix, 8).run(&[]).is_empty());
     }
 
     #[test]
     fn zero_threads_clamps_to_one() {
-        let doc = movies();
-        let nalix = Nalix::new(&doc);
-        let runner = BatchRunner::new(&nalix, 0);
+        let nalix = Nalix::new(movies());
+        let runner = BatchRunner::new(nalix, 0);
         assert_eq!(runner.threads(), 1);
         assert_eq!(runner.run(&["The weather."]).len(), 1);
     }

@@ -32,7 +32,7 @@
 //! use xmldb::datasets::movies::movies;
 //!
 //! let doc = movies();
-//! let nalix = Nalix::new(&doc);
+//! let nalix = Nalix::new(doc.clone());
 //! match nalix.query("Find all the movies directed by Ron Howard.") {
 //!     nalix::Outcome::Translated(t) => {
 //!         let results = nalix.execute(&t).unwrap();
@@ -54,7 +54,7 @@
 //! use xmldb::datasets::movies::movies;
 //!
 //! let doc = movies();
-//! let nalix = Nalix::new(&doc);
+//! let nalix = Nalix::new(doc.clone());
 //! // Query 1 is invalid — "as" is outside the vocabulary…
 //! let out = nalix.query(
 //!     "Return every director who has directed as many movies as has Ron Howard.");
@@ -85,7 +85,7 @@
 //! use xmldb::datasets::movies::movies;
 //!
 //! let doc = movies();
-//! let nalix = Nalix::new(&doc);
+//! let nalix = Nalix::new(doc.clone());
 //! let _ = nalix.ask("Find all the movies directed by Ron Howard.");
 //! let snap = nalix.metrics();
 //! assert_eq!(snap.stage(obs::Stage::Translate).spans(), 1);
@@ -186,12 +186,19 @@ impl Outcome {
 /// the persistent [`Engine`] — are internally synchronized. A single
 /// instance can therefore be shared by many threads; see
 /// [`BatchRunner`] for the fan-out harness.
-pub struct Nalix<'d> {
-    doc: &'d Document,
+///
+/// `Nalix` *shares ownership* of its document (`Arc<Document>`) rather
+/// than borrowing it, so every pipeline is `'static`: instances can be
+/// stored in registries, handed to plainly spawned worker threads, and
+/// hot-swapped at runtime (the `store` crate builds on exactly this).
+/// Constructors accept anything convertible into an `Arc<Document>` —
+/// an owned [`Document`] or an existing `Arc`.
+pub struct Nalix {
+    doc: std::sync::Arc<Document>,
     catalog: Catalog,
     /// Persistent query engine: keeps its lazily built value index warm
     /// across queries instead of rebuilding it per [`Nalix::execute`].
-    engine: Engine<'d>,
+    engine: Engine,
     /// Memo of `normalized question → Outcome` (see [`crate::cache`]).
     translations: TranslationCache,
     /// Stage spans, query outcomes, and cache counters land here (the
@@ -199,12 +206,12 @@ pub struct Nalix<'d> {
     metrics: std::sync::Arc<obs::MetricsRegistry>,
 }
 
-impl<'d> Nalix<'d> {
+impl Nalix {
     /// Build the interface for a (finalized) document. Catalog
     /// construction scans the document once. Metrics go to an isolated
     /// per-instance [`obs::MetricsRegistry`]; use
     /// [`Nalix::with_metrics`] to share one.
-    pub fn new(doc: &'d Document) -> Self {
+    pub fn new(doc: impl Into<std::sync::Arc<Document>>) -> Self {
         Nalix::with_metrics(doc, std::sync::Arc::new(obs::MetricsRegistry::new()))
     }
 
@@ -212,11 +219,15 @@ impl<'d> Nalix<'d> {
     /// typically [`obs::global_handle()`] so pipeline spans land next
     /// to the process-global `xmldb`/`nlparser` counters, or a fresh
     /// registry shared by a group of instances under test.
-    pub fn with_metrics(doc: &'d Document, metrics: std::sync::Arc<obs::MetricsRegistry>) -> Self {
+    pub fn with_metrics(
+        doc: impl Into<std::sync::Arc<Document>>,
+        metrics: std::sync::Arc<obs::MetricsRegistry>,
+    ) -> Self {
+        let doc = doc.into();
         Nalix {
+            catalog: Catalog::build(&doc),
+            engine: Engine::with_metrics(doc.clone(), metrics.clone()),
             doc,
-            catalog: Catalog::build(doc),
-            engine: Engine::with_metrics(doc, metrics.clone()),
             translations: TranslationCache::default(),
             metrics,
         }
@@ -234,8 +245,13 @@ impl<'d> Nalix<'d> {
     }
 
     /// The underlying document.
-    pub fn doc(&self) -> &'d Document {
-        self.doc
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// A shared handle to the underlying document.
+    pub fn doc_handle(&self) -> std::sync::Arc<Document> {
+        self.doc.clone()
     }
 
     /// The database catalog (labels and value index).
@@ -554,7 +570,7 @@ impl<'d> Nalix<'d> {
             Item::Node(id) => {
                 // Leaf values of the subtree: one entry per element or
                 // attribute value.
-                let doc = self.doc;
+                let doc = &self.doc;
                 let mut found_child = false;
                 for c in doc.children(*id) {
                     match doc.node(c).kind {
@@ -569,7 +585,7 @@ impl<'d> Nalix<'d> {
                     out.push(doc.string_value(*id));
                 }
             }
-            other => out.push(other.string_value(self.doc)),
+            other => out.push(other.string_value(&self.doc)),
         }
     }
 }
@@ -582,7 +598,7 @@ mod tests {
     #[test]
     fn end_to_end_accept() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let out = nalix
             .ask("Return the director of the movie, where the title of the movie is \"Traffic\".")
             .unwrap();
@@ -592,7 +608,7 @@ mod tests {
     #[test]
     fn end_to_end_reject_and_suggest() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let err = nalix
             .ask("Return every director who has directed as many movies as has Ron Howard.")
             .unwrap_err();
@@ -605,7 +621,7 @@ mod tests {
     #[test]
     fn warnings_do_not_block() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         match nalix.query("Return all movies and their titles.") {
             Outcome::Translated(t) => {
                 assert!(!t.warnings.is_empty());
@@ -617,7 +633,7 @@ mod tests {
     #[test]
     fn flatten_values_expands_subtrees() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         match nalix.query("Find all the movies directed by Ron Howard.") {
             Outcome::Translated(t) => {
                 let seq = nalix.execute(&t).unwrap();
@@ -634,14 +650,14 @@ mod tests {
     #[test]
     fn nalix_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<Nalix<'static>>();
-        assert_send_sync::<BatchRunner<'static, 'static>>();
+        assert_send_sync::<Nalix>();
+        assert_send_sync::<BatchRunner>();
     }
 
     #[test]
     fn repeated_questions_hit_the_cache() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let q = "Find all the movies directed by Ron Howard.";
         let a = nalix.ask(q).unwrap();
         let b = nalix.ask(&format!("  {q}  ")).unwrap(); // whitespace-insensitive
@@ -656,7 +672,7 @@ mod tests {
     #[test]
     fn trivially_reworded_repeats_hit_the_cache() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let a = nalix
             .ask("Find all the movies directed by Ron Howard.")
             .unwrap();
@@ -680,7 +696,7 @@ mod tests {
     #[test]
     fn answer_full_values_match_answer_exactly() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let q = "Find all the movies directed by Ron Howard.";
         let plain = nalix.answer(q).unwrap();
         let full = nalix.answer_full(q, &EvalBudget::default()).unwrap();
@@ -700,7 +716,7 @@ mod tests {
     #[test]
     fn bounded_cache_evicts_and_keeps_answering() {
         let doc = movies();
-        let nalix = Nalix::new(&doc).with_cache_capacity(2);
+        let nalix = Nalix::new(doc.clone()).with_cache_capacity(2);
         assert_eq!(nalix.cache_stats().capacity, 2);
         let questions = [
             "Find all the movies directed by Ron Howard.",
@@ -720,7 +736,7 @@ mod tests {
     #[test]
     fn unparseable_sentence_is_rejected_gracefully() {
         let doc = movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let out = nalix.query("The weather is nice today.");
         assert!(!out.is_translated());
     }

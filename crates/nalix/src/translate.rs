@@ -983,7 +983,7 @@ mod tests {
 
     fn run_query(doc: &Document, q: &str) -> Vec<String> {
         let t = translate_on(doc, q);
-        let engine = Engine::new(doc);
+        let engine = Engine::new(doc.clone());
         let out = engine
             .eval_expr(&t.query)
             .unwrap_or_else(|e| panic!("{q}: {e}\n{}", pretty(&t.query)));
@@ -1278,7 +1278,7 @@ mod tests {
             "{:?}",
             t.variables
         );
-        let engine = Engine::new(&doc);
+        let engine = Engine::new(doc.clone());
         let out = engine.eval_expr(&t.query).unwrap();
         // titles of all books AND articles
         assert_eq!(out.len(), doc.nodes_labeled("title").len());

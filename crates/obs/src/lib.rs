@@ -112,11 +112,15 @@ fn bucket_upper_ns(i: usize) -> u64 {
 ///     names,
 ///     [
 ///         "parse", "classify", "validate", "translate", "eval",
-///         "http_query", "http_batch", "http_health", "http_metrics"
+///         "store_load", "store_reload",
+///         "http_query", "http_batch", "http_health", "http_metrics",
+///         "http_docs"
 ///     ]
 /// );
 /// assert!(!Stage::Eval.is_http());
+/// assert!(!Stage::StoreLoad.is_http());
 /// assert!(Stage::HttpQuery.is_http());
+/// assert!(Stage::HttpDocs.is_http());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
@@ -130,6 +134,15 @@ pub enum Stage {
     Translate,
     /// Evaluation of the translated query (`xquery` engine).
     Eval,
+    /// One first-time construction of a document pipeline by the
+    /// `store` crate: dataset generation or XML parse, plus structural
+    /// index, catalog, and engine construction.
+    StoreLoad,
+    /// One hot-swap rebuild of an already-resident document pipeline
+    /// (`PUT /docs/:name` on a loaded document). Same work as
+    /// [`Stage::StoreLoad`], accounted separately so reload latency is
+    /// visible on its own.
+    StoreReload,
     /// One served `POST /query` request (`nalixd`), end to end —
     /// admission wait excluded, body parse through response write
     /// included.
@@ -140,23 +153,30 @@ pub enum Stage {
     HttpHealth,
     /// One served `GET /metrics` request (`nalixd`).
     HttpMetrics,
+    /// One served document-admin request (`GET /docs`,
+    /// `PUT /docs/:name`, `DELETE /docs/:name`).
+    HttpDocs,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 12;
 
-    /// All stages, in pipeline order (HTTP endpoints last).
+    /// All stages, in pipeline order (store lifecycle spans and HTTP
+    /// endpoints last).
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::Parse,
         Stage::Classify,
         Stage::Validate,
         Stage::Translate,
         Stage::Eval,
+        Stage::StoreLoad,
+        Stage::StoreReload,
         Stage::HttpQuery,
         Stage::HttpBatch,
         Stage::HttpHealth,
         Stage::HttpMetrics,
+        Stage::HttpDocs,
     ];
 
     /// Dense index of this stage (its position in [`Stage::ALL`]).
@@ -165,11 +185,15 @@ impl Stage {
     }
 
     /// True for the serving-layer endpoint spans, false for the five
-    /// NL→answer pipeline stages.
+    /// NL→answer pipeline stages and the store lifecycle spans.
     pub fn is_http(self) -> bool {
         matches!(
             self,
-            Stage::HttpQuery | Stage::HttpBatch | Stage::HttpHealth | Stage::HttpMetrics
+            Stage::HttpQuery
+                | Stage::HttpBatch
+                | Stage::HttpHealth
+                | Stage::HttpMetrics
+                | Stage::HttpDocs
         )
     }
 
@@ -181,10 +205,13 @@ impl Stage {
             Stage::Validate => "validate",
             Stage::Translate => "translate",
             Stage::Eval => "eval",
+            Stage::StoreLoad => "store_load",
+            Stage::StoreReload => "store_reload",
             Stage::HttpQuery => "http_query",
             Stage::HttpBatch => "http_batch",
             Stage::HttpHealth => "http_health",
             Stage::HttpMetrics => "http_metrics",
+            Stage::HttpDocs => "http_docs",
         }
     }
 }
@@ -324,11 +351,24 @@ pub enum Counter {
     /// Translation-cache entries evicted to stay under the configured
     /// capacity (`nalix` bounded clock cache).
     CacheEvictions,
+    /// Document pipelines built for the first time by the `store`
+    /// crate (eager registration, lazy first query, or `PUT` of a new
+    /// name).
+    StoreLoads,
+    /// Document pipelines rebuilt in place (hot-swap reload of an
+    /// already-resident document).
+    StoreReloads,
+    /// Document pipelines dropped from residency — admin `DELETE`,
+    /// replacement by a reload, or capacity-bounded eviction of a cold
+    /// document.
+    StoreEvictions,
+    /// Requests naming a document the store does not know.
+    StoreMisses,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 22;
 
     /// All counters, in [`Counter::index`] order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -350,6 +390,10 @@ impl Counter {
         Counter::HttpShed,
         Counter::HttpBadRequests,
         Counter::CacheEvictions,
+        Counter::StoreLoads,
+        Counter::StoreReloads,
+        Counter::StoreEvictions,
+        Counter::StoreMisses,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -378,6 +422,10 @@ impl Counter {
             Counter::HttpShed => "http_shed",
             Counter::HttpBadRequests => "http_bad_requests",
             Counter::CacheEvictions => "cache_evictions",
+            Counter::StoreLoads => "store_loads",
+            Counter::StoreReloads => "store_reloads",
+            Counter::StoreEvictions => "store_evictions",
+            Counter::StoreMisses => "store_misses",
         }
     }
 }

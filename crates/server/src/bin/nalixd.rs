@@ -4,16 +4,19 @@
 //! nalixd --addr 127.0.0.1:8080 --workers 8 --queue 64 --dataset bib
 //! ```
 //!
-//! Loads an XML dataset, builds the NL pipeline once, and serves
-//! `POST /query`, `POST /batch`, `GET /health`, and `GET /metrics`
-//! until SIGTERM or SIGINT, then drains gracefully and prints a final
-//! metrics snapshot to stderr. See `docs/SERVING.md`.
+//! Boots a multi-document store (the builtin `bib` / `movies` / `dblp`
+//! corpora are always registered; `--dataset` picks the default and is
+//! preloaded), and serves `POST /query`, `POST /batch`, `GET /docs`,
+//! `PUT /docs/:name`, `DELETE /docs/:name`, `GET /health`, and
+//! `GET /metrics` until SIGTERM or SIGINT, then drains gracefully and
+//! prints a final metrics snapshot to stderr. See `docs/SERVING.md`
+//! and `docs/STORE.md`.
 
 use server::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
-use xmldb::Document;
+use store::{DocSpec, DocumentStore, StoreConfig};
 
 /// Set from the signal handler; polled by the watcher thread. Signal
 /// handlers may only do async-signal-safe work, so the handler is a
@@ -50,20 +53,26 @@ OPTIONS:
     --addr <HOST:PORT>      Listen address        [default: 127.0.0.1:8080]
     --workers <N>           Worker threads        [default: 8]
     --queue <N>             Admission queue size  [default: 64]
-    --cache <N>             Translation cache capacity (0 disables)
-                                                  [default: 4096]
+    --cache <N>             Translation cache capacity per document
+                            (0 disables)          [default: 4096]
     --deadline-ms <N>       Default per-query evaluation deadline
                                                   [default: 2000]
-    --dataset <NAME|PATH>   bib | movies | dblp | path to an XML file
-                                                  [default: bib]
+    --dataset <NAME|PATH>   Default document: bib | movies | dblp |
+                            path to an XML file   [default: bib]
+    --max-docs <N>          Maximum resident documents; colder ones
+                            are unloaded (and lazily rebuilt)
+                                                  [default: 8]
     --debug-delay-ms <N>    Inject latency into every handler (testing)
     --help                  Print this help
 
 ENDPOINTS:
-    POST /query    {\"question\": \"...\", \"deadline_ms\": n?} → answers
-    POST /batch    {\"questions\": [\"...\"]}                  → results
-    GET  /health   liveness + drain state
-    GET  /metrics  Prometheus text format
+    POST   /query        {\"question\": \"...\", \"doc\": name?, \"deadline_ms\": n?}
+    POST   /batch        {\"questions\": [\"...\"], \"doc\": name?}
+    GET    /docs         list registered documents with stats
+    PUT    /docs/<name>  load or hot-reload (body: {\"source\": ...} | text | empty)
+    DELETE /docs/<name>  evict a document
+    GET    /health       liveness + drain state
+    GET    /metrics      Prometheus text format (store + all documents)
 ";
 
 struct Args {
@@ -73,6 +82,7 @@ struct Args {
     cache: usize,
     deadline_ms: u64,
     dataset: String,
+    max_docs: usize,
     debug_delay_ms: Option<u64>,
 }
 
@@ -84,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         cache: nalix::DEFAULT_CACHE_CAPACITY,
         deadline_ms: 2000,
         dataset: "bib".to_string(),
+        max_docs: 8,
         debug_delay_ms: None,
     };
     let mut it = std::env::args().skip(1);
@@ -105,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
             "--cache" => args.cache = parse_num(&value)? as usize,
             "--deadline-ms" => args.deadline_ms = parse_num(&value)?.max(1),
             "--dataset" => args.dataset = value,
+            "--max-docs" => args.max_docs = parse_num(&value)?.max(1) as usize,
             "--debug-delay-ms" => args.debug_delay_ms = Some(parse_num(&value)?),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -112,20 +124,19 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Loads a named built-in dataset or parses an XML file from disk.
-fn load_dataset(name: &str) -> Result<Document, String> {
-    match name {
-        "bib" => Ok(xmldb::datasets::bib::bib()),
-        "movies" => Ok(xmldb::datasets::movies::movies_and_books()),
-        "dblp" => Ok(xmldb::datasets::dblp::generate(
-            &xmldb::datasets::dblp::DblpConfig::default(),
-        )),
-        path => {
-            let xml =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            Document::parse_str(&xml).map_err(|e| format!("cannot parse {path}: {e}"))
-        }
+/// The default document's registry name for a `--dataset` value: the
+/// builtin name as-is, or the file stem for a path (`/data/corp.xml` →
+/// served as `"corp"`).
+fn default_doc_name(dataset: &str) -> String {
+    if store::Builtin::from_name(dataset).is_some() {
+        return dataset.to_string();
     }
+    std::path::Path::new(dataset)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .filter(|s| !s.is_empty())
+        .unwrap_or("default")
+        .to_string()
 }
 
 fn main() -> ExitCode {
@@ -142,15 +153,27 @@ fn main() -> ExitCode {
         }
     };
 
-    let doc = match load_dataset(&args.dataset) {
-        Ok(doc) => doc,
-        Err(msg) => {
-            eprintln!("nalixd: {msg}");
-            return ExitCode::FAILURE;
-        }
+    let default_doc = default_doc_name(&args.dataset);
+    let store = DocumentStore::with_builtins(StoreConfig {
+        default_doc: default_doc.clone(),
+        max_resident: args.max_docs,
+        cache_capacity: args.cache,
+    });
+    // Preload the default document so the first query pays no load
+    // latency and a bad --dataset fails at startup, not at first
+    // request. `put` (rather than `register`) makes a file dataset
+    // win over a builtin sharing its stem (e.g. `/data/bib.xml`).
+    let preload = if store::Builtin::from_name(&args.dataset).is_some() {
+        store.get(None).map(|_| ())
+    } else {
+        store
+            .put(&default_doc, DocSpec::parse(&args.dataset))
+            .map(|_| ())
     };
-    let nalix =
-        nalix::Nalix::with_metrics(&doc, obs::global_handle()).with_cache_capacity(args.cache);
+    if let Err(err) = preload {
+        eprintln!("nalixd: {err}");
+        return ExitCode::FAILURE;
+    }
 
     let config = ServerConfig {
         addr: args.addr.clone(),
@@ -160,7 +183,7 @@ fn main() -> ExitCode {
         debug_handler_delay: args.debug_delay_ms.map(Duration::from_millis),
         ..ServerConfig::default()
     };
-    let server = match Server::bind(&nalix, config) {
+    let server = match Server::bind(store, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("nalixd: cannot bind {}: {e}", args.addr);
@@ -169,12 +192,15 @@ fn main() -> ExitCode {
     };
     let handle = server.handle();
     eprintln!(
-        "nalixd: serving dataset \"{}\" on http://{} ({} workers, queue {}, cache {})",
+        "nalixd: serving default document \"{}\" (from \"{}\") on http://{} \
+         ({} workers, queue {}, cache {}, max {} resident docs)",
+        default_doc,
         args.dataset,
         server.local_addr(),
         args.workers,
         args.queue,
         args.cache,
+        args.max_docs,
     );
 
     install_signal_handlers();

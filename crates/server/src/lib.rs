@@ -37,32 +37,41 @@
 //!    in-flight request, and returns a final [`ServeReport`] with the
 //!    metrics snapshot.
 //!
-//! Endpoints: `POST /query` (one NL question → answers + XQuery or a
-//! typed error with a stable `code`), `POST /batch`, `GET /health`,
-//! `GET /metrics` (Prometheus text). See `docs/SERVING.md` for the
-//! wire contract and tuning guide.
+//! The server fronts a [`store::DocumentStore`]: one process serves
+//! many named corpora, each behind its own fully wired pipeline, with
+//! lazy loading, hot reload, and eviction administered over HTTP.
+//! Requests pin the snapshot they observed for their whole lifetime,
+//! so a reload mid-request is invisible to that request.
+//!
+//! Endpoints: `POST /query` (one NL question — optionally
+//! `{"doc": "name"}` to pick a corpus — → answers + XQuery or a typed
+//! error with a stable `code`), `POST /batch`, `GET /docs` (listing),
+//! `PUT /docs/:name` (load/hot-reload), `DELETE /docs/:name` (evict),
+//! `GET /health`, `GET /metrics` (Prometheus text, merged across the
+//! store and every document). See `docs/SERVING.md` for the wire
+//! contract and tuning guide, and `docs/STORE.md` for the multi-corpus
+//! semantics.
 //!
 //! ## Example
 //!
 //! ```
-//! use nalix::Nalix;
 //! use server::{Server, ServerConfig};
+//! use store::{DocumentStore, StoreConfig};
 //! use std::io::{Read, Write};
 //!
-//! let doc = xmldb::datasets::bib::bib();
-//! let nalix = Nalix::new(&doc);
+//! let store = DocumentStore::with_builtins(StoreConfig::default());
 //! let config = ServerConfig {
 //!     addr: "127.0.0.1:0".to_string(), // port 0: pick a free port
 //!     workers: 2,
 //!     ..ServerConfig::default()
 //! };
-//! let server = Server::bind(&nalix, config).unwrap();
+//! let server = Server::bind(store, config).unwrap();
 //! let addr = server.local_addr();
 //! let handle = server.handle();
 //!
 //! let client = std::thread::spawn(move || {
 //!     let mut s = std::net::TcpStream::connect(addr).unwrap();
-//!     let body = r#"{"question": "Return every title."}"#;
+//!     let body = r#"{"question": "Return every title.", "doc": "bib"}"#;
 //!     write!(
 //!         s,
 //!         "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",

@@ -11,20 +11,23 @@
 //! admitting, the queue closes, workers finish every admitted request,
 //! and [`Server::serve`] returns a final [`ServeReport`].
 //!
-//! The workers borrow the [`Nalix`] instance directly — no `Arc`, no
-//! leak — because the whole pool lives inside one
-//! [`std::thread::scope`] that `serve` blocks on.
+//! The workers are plainly spawned threads sharing the
+//! [`DocumentStore`] through an `Arc` — the pipelines are `'static`,
+//! so no scoped borrowing is needed and the store can hot-swap
+//! documents underneath running requests (each request pins its own
+//! snapshot for its lifetime).
 
 use crate::http::{self, ReadError, Request, Response};
 use crate::json::Json;
 use crate::queue::{BoundedQueue, PushError};
-use nalix::{Nalix, QueryError};
+use nalix::QueryError;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use store::{DocSpec, DocumentStore, StoreError};
 use xquery::{EvalBudget, ExhaustedResource};
 
 /// Everything tunable about a [`Server`], with production defaults.
@@ -114,26 +117,36 @@ pub struct ServeReport {
     pub served: u64,
     /// Connections shed with 503 because the queue was full.
     pub shed: u64,
-    /// Final metrics snapshot, taken after the last worker exited.
+    /// Final merged metrics snapshot (store + every document, live and
+    /// retired), taken after the last worker exited.
     pub snapshot: obs::MetricsSnapshot,
 }
 
-/// A bound-but-not-yet-serving nalixd server.
-pub struct Server<'n, 'd> {
-    nalix: &'n Nalix<'d>,
+/// Everything a worker thread needs, behind one `Arc`.
+struct Ctx {
+    store: Arc<DocumentStore>,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+/// A bound-but-not-yet-serving nalixd server over a [`DocumentStore`].
+pub struct Server {
+    store: Arc<DocumentStore>,
     listener: TcpListener,
     config: ServerConfig,
     shared: Arc<Shared>,
 }
 
-impl<'n, 'd> Server<'n, 'd> {
-    /// Binds the listener. Fails only on bind errors (port in use,
-    /// bad address).
-    pub fn bind(nalix: &'n Nalix<'d>, config: ServerConfig) -> io::Result<Self> {
+impl Server {
+    /// Binds the listener. Accepts an owned [`DocumentStore`] or an
+    /// existing `Arc` (share it to drive the store from outside the
+    /// server, e.g. preloading). Fails only on bind errors (port in
+    /// use, bad address).
+    pub fn bind(store: impl Into<Arc<DocumentStore>>, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Server {
-            nalix,
+            store: store.into(),
             listener,
             config,
             shared: Arc::new(Shared {
@@ -149,6 +162,11 @@ impl<'n, 'd> Server<'n, 'd> {
         self.shared.local_addr
     }
 
+    /// The document store this server fronts.
+    pub fn store(&self) -> &Arc<DocumentStore> {
+        &self.store
+    }
+
     /// A handle for shutting the server down from another thread.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
@@ -158,74 +176,79 @@ impl<'n, 'd> Server<'n, 'd> {
 
     /// Runs the server until [`ServerHandle::shutdown`] is called,
     /// then drains and returns. Blocks the calling thread; the worker
-    /// pool lives inside a [`std::thread::scope`] so workers can
-    /// borrow the [`Nalix`] instance without `Arc` or leaking.
+    /// pool is plain spawned threads sharing the store via `Arc`.
     pub fn serve(self) -> io::Result<ServeReport> {
         self.listener.set_nonblocking(true)?;
-        let metrics = self.nalix.metrics_handle();
-        let queue = BoundedQueue::<TcpStream>::new(self.config.queue_capacity);
-        let served = AtomicU64::new(0);
-        let shed = AtomicU64::new(0);
+        let metrics = self.store.metrics_handle();
+        let ctx = Arc::new(Ctx {
+            store: Arc::clone(&self.store),
+            config: self.config.clone(),
+            shared: Arc::clone(&self.shared),
+        });
+        let queue = Arc::new(BoundedQueue::<TcpStream>::new(self.config.queue_capacity));
+        let served = Arc::new(AtomicU64::new(0));
+        let mut shed = 0u64;
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
-                let queue = &queue;
-                let served = &served;
-                let nalix = self.nalix;
-                let config = &self.config;
-                let shared = &self.shared;
-                scope.spawn(move || {
+        let workers: Vec<std::thread::JoinHandle<()>> = (0..self.config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let served = Arc::clone(&served);
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || {
                     while let Some(stream) = queue.pop() {
                         served.fetch_add(1, Ordering::Relaxed);
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            handle_connection(stream, nalix, config, shared)
-                        }));
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &ctx)));
                         if result.is_err() {
                             // The stream moved into the closure, so the
                             // client sees a reset rather than a 500;
                             // what matters is that the worker survives.
-                            nalix.metrics_handle().add(obs::Counter::HttpBadRequests, 1);
+                            ctx.store
+                                .metrics_handle()
+                                .add(obs::Counter::HttpBadRequests, 1);
                         }
                     }
                     obs::flush_hot();
-                });
-            }
+                })
+            })
+            .collect();
 
-            // Acceptor: this thread. Nonblocking accept + short sleep
-            // keeps shutdown latency ~10ms without extra machinery.
-            while !self.shared.shutdown.load(Ordering::SeqCst) {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
-                        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
-                        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                        match queue.try_push(stream) {
-                            Ok(depth) => {
-                                metrics
-                                    .record_max(obs::MaxGauge::QueueDepthHighWater, depth as u64);
-                            }
-                            Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
-                                shed.fetch_add(1, Ordering::Relaxed);
-                                metrics.add(obs::Counter::HttpShed, 1);
-                                shed_connection(stream, self.config.retry_after_secs);
-                            }
+        // Acceptor: this thread. Nonblocking accept + short sleep
+        // keeps shutdown latency ~10ms without extra machinery.
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                    match queue.try_push(stream) {
+                        Ok(depth) => {
+                            metrics.record_max(obs::MaxGauge::QueueDepthHighWater, depth as u64);
+                        }
+                        Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                            shed += 1;
+                            metrics.add(obs::Counter::HttpShed, 1);
+                            shed_connection(stream, self.config.retry_after_secs);
                         }
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
                 }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
             }
-            queue.close();
-            // Scope exit joins the workers: every admitted connection
-            // is served before we return (graceful drain).
-        });
+        }
+        queue.close();
+        // Joining the workers completes the drain: every admitted
+        // connection is served before we return.
+        for w in workers {
+            let _ = w.join();
+        }
 
         Ok(ServeReport {
             served: served.load(Ordering::SeqCst),
-            shed: shed.load(Ordering::SeqCst),
-            snapshot: self.nalix.metrics(),
+            shed,
+            snapshot: self.store.snapshot(),
         })
     }
 }
@@ -249,20 +272,20 @@ fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
 }
 
 /// The full lifecycle of one admitted connection: read, route, write.
-fn handle_connection(stream: TcpStream, nalix: &Nalix<'_>, config: &ServerConfig, shared: &Shared) {
-    let metrics = nalix.metrics_handle();
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    let metrics = ctx.store.metrics_handle();
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut write_half = stream;
-    let response = match http::read_request(&mut reader, config.max_body) {
+    let response = match http::read_request(&mut reader, ctx.config.max_body) {
         Ok(req) => {
             metrics.add(obs::Counter::HttpRequests, 1);
-            if let Some(delay) = config.debug_handler_delay {
+            if let Some(delay) = ctx.config.debug_handler_delay {
                 std::thread::sleep(delay);
             }
-            route(&req, nalix, config, shared)
+            route(&req, ctx)
         }
         Err(ReadError::Eof) => return,
         Err(ReadError::Io(_)) => return,
@@ -284,18 +307,30 @@ fn handle_connection(stream: TcpStream, nalix: &Nalix<'_>, config: &ServerConfig
 }
 
 /// Maps method+path to a handler, with proper 405/404 responses.
-fn route(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig, shared: &Shared) -> Response {
+fn route(req: &Request, ctx: &Ctx) -> Response {
+    let metrics = ctx.store.metrics_handle();
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/query") => with_span(nalix, obs::Stage::HttpQuery, || {
-            handle_query(req, nalix, config)
+        ("POST", "/query") => with_span(&metrics, obs::Stage::HttpQuery, || handle_query(req, ctx)),
+        ("POST", "/batch") => with_span(&metrics, obs::Stage::HttpBatch, || handle_batch(req, ctx)),
+        ("GET", "/health") => with_span(&metrics, obs::Stage::HttpHealth, || {
+            handle_health(&ctx.shared)
         }),
-        ("POST", "/batch") => with_span(nalix, obs::Stage::HttpBatch, || {
-            handle_batch(req, nalix, config)
+        ("GET", "/metrics") => with_span(&metrics, obs::Stage::HttpMetrics, || {
+            Response::text(200, ctx.store.snapshot().to_prometheus())
         }),
-        ("GET", "/health") => with_span(nalix, obs::Stage::HttpHealth, || handle_health(shared)),
-        ("GET", "/metrics") => with_span(nalix, obs::Stage::HttpMetrics, || {
-            Response::text(200, nalix.metrics().to_prometheus())
+        ("GET", "/docs") => with_span(&metrics, obs::Stage::HttpDocs, || {
+            handle_docs_list(&ctx.store)
         }),
+        ("PUT", path) if path.strip_prefix("/docs/").is_some() => {
+            with_span(&metrics, obs::Stage::HttpDocs, || {
+                handle_docs_put(req, &ctx.store)
+            })
+        }
+        ("DELETE", path) if path.strip_prefix("/docs/").is_some() => {
+            with_span(&metrics, obs::Stage::HttpDocs, || {
+                handle_docs_delete(req, &ctx.store)
+            })
+        }
         (_, "/query") | (_, "/batch") => Response::json(
             405,
             error_body("http.method_not_allowed", "use POST", "send a POST request"),
@@ -306,12 +341,26 @@ fn route(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig, shared: &Share
             error_body("http.method_not_allowed", "use GET", "send a GET request"),
         )
         .with_header("Allow", "GET".to_string()),
+        (_, "/docs") => Response::json(
+            405,
+            error_body("http.method_not_allowed", "use GET", "send a GET request"),
+        )
+        .with_header("Allow", "GET".to_string()),
+        (_, path) if path.starts_with("/docs/") => Response::json(
+            405,
+            error_body(
+                "http.method_not_allowed",
+                "use PUT to load/reload or DELETE to evict",
+                "send a PUT or DELETE request",
+            ),
+        )
+        .with_header("Allow", "PUT, DELETE".to_string()),
         _ => Response::json(
             404,
             error_body(
                 "http.not_found",
                 "unknown path",
-                "use /query, /batch, /health, or /metrics",
+                "use /query, /batch, /docs, /health, or /metrics",
             ),
         ),
     }
@@ -319,8 +368,11 @@ fn route(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig, shared: &Share
 
 /// Runs `f` under a stage span whose outcome reflects the HTTP status:
 /// 2xx → Ok, anything else → EvalError-class failure for the span.
-fn with_span(nalix: &Nalix<'_>, stage: obs::Stage, f: impl FnOnce() -> Response) -> Response {
-    let metrics = nalix.metrics_handle();
+fn with_span(
+    metrics: &obs::MetricsRegistry,
+    stage: obs::Stage,
+    f: impl FnOnce() -> Response,
+) -> Response {
     let mut span = metrics.span(stage);
     let response = f();
     span.set_outcome(if response.status() < 400 {
@@ -332,15 +384,20 @@ fn with_span(nalix: &Nalix<'_>, stage: obs::Stage, f: impl FnOnce() -> Response)
     response
 }
 
-/// `POST /query`: a JSON object `{"question": "...", "deadline_ms": n}`
-/// or a bare `text/plain` question.
-fn handle_query(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Response {
-    let (question, deadline_ms) = match parse_query_body(req) {
-        Ok(pair) => pair,
+/// `POST /query`: a JSON object `{"question": "...", "doc": "name"?,
+/// "deadline_ms": n?}` or a bare `text/plain` question (served by the
+/// default document).
+fn handle_query(req: &Request, ctx: &Ctx) -> Response {
+    let parsed = match parse_query_body(req) {
+        Ok(p) => p,
         Err(resp) => return resp,
     };
-    let budget = budget_for(deadline_ms, config);
-    match nalix.answer_full(&question, &budget) {
+    let pipeline = match ctx.store.get(parsed.doc.as_deref()) {
+        Ok(p) => p,
+        Err(err) => return store_error_response(&err),
+    };
+    let budget = budget_for(parsed.deadline_ms, &ctx.config);
+    match pipeline.nalix().answer_full(&parsed.question, &budget) {
         Ok(answer) => {
             let body = Json::Obj(vec![
                 (
@@ -360,6 +417,11 @@ fn handle_query(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Resp
                             .collect(),
                     ),
                 ),
+                ("doc".to_string(), Json::Str(pipeline.name().to_string())),
+                (
+                    "generation".to_string(),
+                    Json::Num(pipeline.generation() as f64),
+                ),
             ]);
             Response::json(200, body.render())
         }
@@ -367,9 +429,10 @@ fn handle_query(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Resp
     }
 }
 
-/// `POST /batch`: `{"questions": ["...", ...]}`, answered sequentially
-/// on this worker, results in input order.
-fn handle_batch(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Response {
+/// `POST /batch`: `{"questions": ["...", ...], "doc": "name"?}`,
+/// answered sequentially on this worker against one pinned snapshot,
+/// results in input order.
+fn handle_batch(req: &Request, ctx: &Ctx) -> Response {
     /// Per-request cap on batch size; larger batches should be split
     /// by the client (keeps one worker from being pinned for minutes).
     const MAX_BATCH: usize = 256;
@@ -405,7 +468,15 @@ fn handle_batch(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Resp
             ),
         );
     }
-    let budget = budget_for(None, config);
+    let doc = parsed.get("doc").and_then(Json::as_str);
+    // One snapshot for the whole batch: a concurrent reload must not
+    // make half the answers come from the old document and half from
+    // the new one.
+    let pipeline = match ctx.store.get(doc) {
+        Ok(p) => p,
+        Err(err) => return store_error_response(&err),
+    };
+    let budget = budget_for(None, &ctx.config);
     let mut results = Vec::with_capacity(questions.len());
     for q in questions {
         let Some(text) = q.as_str() else {
@@ -419,7 +490,7 @@ fn handle_batch(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Resp
             )]));
             continue;
         };
-        match nalix.answer_full(text, &budget) {
+        match pipeline.nalix().answer_full(text, &budget) {
             Ok(answer) => results.push(Json::Obj(vec![
                 (
                     "answers".to_string(),
@@ -436,6 +507,7 @@ fn handle_batch(req: &Request, nalix: &Nalix<'_>, config: &ServerConfig) -> Resp
     let body = Json::Obj(vec![
         ("count".to_string(), Json::Num(results.len() as f64)),
         ("results".to_string(), Json::Arr(results)),
+        ("doc".to_string(), Json::Str(pipeline.name().to_string())),
     ]);
     Response::json(200, body.render())
 }
@@ -457,16 +529,147 @@ fn handle_health(shared: &Shared) -> Response {
     Response::json(200, body.render())
 }
 
-/// Extracts (question, deadline_ms) from a `/query` body, accepting
-/// JSON or plain text.
-fn parse_query_body(req: &Request) -> Result<(String, Option<u64>), Response> {
+/// `GET /docs`: every registered document with residency, size, and
+/// hit statistics.
+fn handle_docs_list(store: &DocumentStore) -> Response {
+    let docs = store
+        .list()
+        .into_iter()
+        .map(|d| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(d.name)),
+                ("source".to_string(), Json::Str(d.source)),
+                ("loaded".to_string(), Json::Bool(d.loaded)),
+                ("generation".to_string(), Json::Num(d.generation as f64)),
+                (
+                    "nodes".to_string(),
+                    d.nodes.map_or(Json::Num(0.0), |n| Json::Num(n as f64)),
+                ),
+                ("hits".to_string(), Json::Num(d.hits as f64)),
+                ("default".to_string(), Json::Bool(d.is_default)),
+            ])
+        })
+        .collect::<Vec<_>>();
+    let body = Json::Obj(vec![
+        (
+            "default".to_string(),
+            Json::Str(store.default_doc().to_string()),
+        ),
+        ("count".to_string(), Json::Num(docs.len() as f64)),
+        ("docs".to_string(), Json::Arr(docs)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `PUT /docs/:name`: load or hot-reload a document. The body is
+/// `{"source": "bib" | "movies" | "dblp" | "/path/to.xml"}`, a bare
+/// `text/plain` source, or empty (the name doubles as the source —
+/// `PUT /docs/movies` loads the builtin).
+fn handle_docs_put(req: &Request, store: &DocumentStore) -> Response {
+    let Some(name) = doc_name(req) else {
+        return bad_doc_path();
+    };
+    let text = body_str(req).trim();
+    let source = if text.is_empty() {
+        name.to_string()
+    } else if text.starts_with('{') {
+        match Json::parse(text) {
+            Ok(v) => match v.get("source").and_then(Json::as_str) {
+                Some(s) => s.to_string(),
+                None => {
+                    return Response::json(
+                        400,
+                        error_body(
+                            "http.bad_request",
+                            "missing \"source\" field",
+                            "send {\"source\": \"bib\"} or a builtin/path as plain text",
+                        ),
+                    )
+                }
+            },
+            Err(e) => {
+                return Response::json(
+                    400,
+                    error_body("http.bad_request", &e.to_string(), "send valid JSON"),
+                )
+            }
+        }
+    } else {
+        text.to_string()
+    };
+    match store.put(name, DocSpec::parse(&source)) {
+        Ok(report) => {
+            let p = &report.pipeline;
+            let body = Json::Obj(vec![
+                ("doc".to_string(), Json::Str(p.name().to_string())),
+                ("source".to_string(), Json::Str(p.source().to_string())),
+                ("generation".to_string(), Json::Num(p.generation() as f64)),
+                (
+                    "nodes".to_string(),
+                    Json::Num(p.stats().total_nodes() as f64),
+                ),
+                ("reloaded".to_string(), Json::Bool(report.reloaded)),
+            ]);
+            Response::json(200, body.render())
+        }
+        Err(err) => store_error_response(&err),
+    }
+}
+
+/// `DELETE /docs/:name`: evict a document. Later queries naming it
+/// get a typed 404.
+fn handle_docs_delete(req: &Request, store: &DocumentStore) -> Response {
+    let Some(name) = doc_name(req) else {
+        return bad_doc_path();
+    };
+    match store.evict(name) {
+        Ok(()) => Response::json(
+            200,
+            Json::Obj(vec![("evicted".to_string(), Json::Str(name.to_string()))]).render(),
+        ),
+        Err(err) => store_error_response(&err),
+    }
+}
+
+/// The `:name` segment of a `/docs/:name` path, rejecting nested
+/// segments.
+fn doc_name(req: &Request) -> Option<&str> {
+    let rest = req.path.strip_prefix("/docs/")?;
+    if rest.is_empty() || rest.contains('/') {
+        None
+    } else {
+        Some(rest)
+    }
+}
+
+fn bad_doc_path() -> Response {
+    Response::json(
+        404,
+        error_body(
+            "http.not_found",
+            "expected /docs/<name>",
+            "name exactly one document in the path",
+        ),
+    )
+}
+
+/// What `POST /query` carries, after body parsing.
+struct QueryBody {
+    question: String,
+    deadline_ms: Option<u64>,
+    doc: Option<String>,
+}
+
+/// Extracts the question, optional deadline, and optional document
+/// name from a `/query` body, accepting JSON or plain text.
+fn parse_query_body(req: &Request) -> Result<QueryBody, Response> {
     let text = body_str(req);
     let looks_json = req
         .content_type
         .as_deref()
         .map(|t| t.contains("json"))
         .unwrap_or_else(|| text.trim_start().starts_with('{'));
-    let (question, deadline) = if looks_json {
+    let parsed = if looks_json {
         let parsed = Json::parse(text).map_err(|e| {
             Response::json(
                 400,
@@ -487,17 +690,25 @@ fn parse_query_body(req: &Request) -> Result<(String, Option<u64>), Response> {
                     ),
                 )
             })?;
-        (question, parsed.get("deadline_ms").and_then(Json::as_u64))
+        QueryBody {
+            question,
+            deadline_ms: parsed.get("deadline_ms").and_then(Json::as_u64),
+            doc: parsed.get("doc").and_then(Json::as_str).map(str::to_string),
+        }
     } else {
-        (text.trim().to_string(), None)
+        QueryBody {
+            question: text.trim().to_string(),
+            deadline_ms: None,
+            doc: None,
+        }
     };
-    if question.trim().is_empty() {
+    if parsed.question.trim().is_empty() {
         return Err(Response::json(
             400,
             error_body("http.bad_request", "empty question", "ask a question"),
         ));
     }
-    Ok((question, deadline))
+    Ok(parsed)
 }
 
 /// The request body as (lossy) UTF-8.
@@ -512,6 +723,22 @@ fn budget_for(deadline_ms: Option<u64>, config: &ServerConfig) -> EvalBudget {
         .map(Duration::from_millis)
         .unwrap_or(config.default_deadline);
     EvalBudget::default().with_time_limit(requested.min(config.max_deadline))
+}
+
+/// Maps a store error to its HTTP response: an unknown document is the
+/// client naming something that is not there (404); everything else is
+/// a bad request (400).
+fn store_error_response(err: &StoreError) -> Response {
+    let status = match err {
+        StoreError::UnknownDocument { .. } => 404,
+        StoreError::InvalidName { .. }
+        | StoreError::Load { .. }
+        | StoreError::DefaultProtected { .. } => 400,
+    };
+    Response::json(
+        status,
+        error_body(err.code(), &err.to_string(), err.suggestion()),
+    )
 }
 
 /// Maps a pipeline error to its HTTP response: stable code, rendered

@@ -1,12 +1,17 @@
 //! Loopback integration tests: a real listener, real sockets, real
-//! worker threads — asserting the three serving contracts (fidelity to
-//! the in-process pipeline, explicit overload, graceful drain).
+//! worker threads — asserting the serving contracts (fidelity to the
+//! in-process pipeline, explicit overload, graceful drain) plus the
+//! multi-document store surface (`"doc"` routing, `GET`/`PUT`/`DELETE
+//! /docs`, hot reload under concurrent load, typed eviction errors).
 
 use nalix::Nalix;
+use server::json::Json;
 use server::{Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
+use store::{DocumentStore, StoreConfig};
 use xquery::EvalBudget;
 
 /// A config suitable for tests: ephemeral port, small pool.
@@ -17,6 +22,12 @@ fn test_config() -> ServerConfig {
         queue_capacity: 16,
         ..ServerConfig::default()
     }
+}
+
+/// The store every test server fronts: the three builtins, `bib`
+/// default.
+fn test_store() -> Arc<DocumentStore> {
+    Arc::new(DocumentStore::with_builtins(StoreConfig::default()))
 }
 
 /// Sends one raw HTTP request and returns (status line, body).
@@ -35,10 +46,19 @@ fn send(addr: SocketAddr, raw: &str) -> (String, String) {
 
 fn post_query(addr: SocketAddr, question: &str) -> (String, String) {
     let body = format!("{{\"question\": {:?}}}", question);
+    post(addr, "/query", &body)
+}
+
+fn post_query_on(addr: SocketAddr, doc: &str, question: &str) -> (String, String) {
+    let body = format!("{{\"question\": {:?}, \"doc\": {:?}}}", question, doc);
+    post(addr, "/query", &body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
     send(
         addr,
         &format!(
-            "POST /query HTTP/1.1\r\nContent-Type: application/json\r\n\
+            "POST {path} HTTP/1.1\r\nContent-Type: application/json\r\n\
              Content-Length: {}\r\n\r\n{}",
             body.len(),
             body
@@ -46,15 +66,33 @@ fn post_query(addr: SocketAddr, question: &str) -> (String, String) {
     )
 }
 
-/// Runs `f` against a serving nalixd and tears the server down after.
-fn with_server<F, R>(config: ServerConfig, f: F) -> (R, server::ServeReport)
+fn put_doc(addr: SocketAddr, name: &str, body: &str) -> (String, String) {
+    send(
+        addr,
+        &format!(
+            "PUT /docs/{name} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ),
+    )
+}
+
+fn delete_doc(addr: SocketAddr, name: &str) -> (String, String) {
+    send(addr, &format!("DELETE /docs/{name} HTTP/1.1\r\n\r\n"))
+}
+
+/// Runs `f` against a serving nalixd (over `store`) and tears the
+/// server down after.
+fn with_store_server<F, R>(
+    store: Arc<DocumentStore>,
+    config: ServerConfig,
+    f: F,
+) -> (R, server::ServeReport)
 where
     F: FnOnce(SocketAddr) -> R + Send,
     R: Send,
 {
-    let doc = xmldb::datasets::bib::bib();
-    let nalix = Nalix::new(&doc);
-    let server = Server::bind(&nalix, config).expect("bind");
+    let server = Server::bind(store, config).expect("bind");
     let addr = server.local_addr();
     let handle = server.handle();
     let mut out = None;
@@ -77,6 +115,25 @@ where
     (out.expect("client result"), report.expect("serve report"))
 }
 
+fn with_server<F, R>(config: ServerConfig, f: F) -> (R, server::ServeReport)
+where
+    F: FnOnce(SocketAddr) -> R + Send,
+    R: Send,
+{
+    with_store_server(test_store(), config, f)
+}
+
+fn answers_of(body: &str) -> Vec<String> {
+    Json::parse(body)
+        .expect("valid JSON body")
+        .get("answers")
+        .and_then(Json::as_array)
+        .expect("answers array")
+        .iter()
+        .map(|v| v.as_str().expect("string answer").to_string())
+        .collect()
+}
+
 /// The serving contract: answers over HTTP are bit-identical to the
 /// in-process `Nalix::answer_full`, under 8-way client concurrency.
 #[test]
@@ -93,8 +150,7 @@ fn concurrent_clients_get_in_process_answers() {
     ];
 
     // Ground truth, computed in-process on an identical pipeline.
-    let doc = xmldb::datasets::bib::bib();
-    let oracle = Nalix::new(&doc);
+    let oracle = Nalix::new(xmldb::datasets::bib::bib());
     let expected: Vec<Vec<String>> = questions
         .iter()
         .map(|q| {
@@ -120,22 +176,15 @@ fn concurrent_clients_get_in_process_answers() {
 
     for ((status, body), expected_values) in bodies.iter().zip(&expected) {
         assert_eq!(status, "HTTP/1.1 200 OK", "body: {body}");
-        let parsed = server::json::Json::parse(body).expect("valid JSON body");
-        let answers: Vec<String> = parsed
-            .get("answers")
-            .and_then(server::json::Json::as_array)
-            .expect("answers array")
-            .iter()
-            .map(|v| v.as_str().expect("string answer").to_string())
-            .collect();
+        let parsed = Json::parse(body).expect("valid JSON body");
         assert_eq!(
-            &answers, expected_values,
+            &answers_of(body),
+            expected_values,
             "HTTP answers differ from in-process"
         );
-        assert!(parsed
-            .get("xquery")
-            .and_then(server::json::Json::as_str)
-            .is_some());
+        assert!(parsed.get("xquery").and_then(Json::as_str).is_some());
+        // The default document is reported back.
+        assert_eq!(parsed.get("doc").and_then(Json::as_str), Some("bib"));
     }
     assert_eq!(report.served, 8);
     assert_eq!(report.shed, 0);
@@ -179,14 +228,7 @@ fn auxiliary_endpoints_work() {
         (
             send(addr, "GET /health HTTP/1.1\r\n\r\n"),
             send(addr, "GET /metrics HTTP/1.1\r\n\r\n"),
-            send(
-                addr,
-                &format!(
-                    "POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
-                    batch_body.len(),
-                    batch_body
-                ),
-            ),
+            post(addr, "/batch", batch_body),
         )
     });
     assert_eq!(health.0, "HTTP/1.1 200 OK");
@@ -197,15 +239,236 @@ fn auxiliary_endpoints_work() {
         "prometheus body: {}",
         metrics.1
     );
+    // The store counter families are exported even before any store
+    // operation happened.
+    assert!(
+        metrics.1.contains("store_loads"),
+        "prometheus body: {}",
+        metrics.1
+    );
     assert_eq!(batch.0, "HTTP/1.1 200 OK");
-    let parsed = server::json::Json::parse(&batch.1).expect("valid batch JSON");
+    let parsed = Json::parse(&batch.1).expect("valid batch JSON");
     let results = parsed
         .get("results")
-        .and_then(server::json::Json::as_array)
+        .and_then(Json::as_array)
         .expect("results array");
     assert_eq!(results.len(), 2);
     assert!(results[0].get("answers").is_some());
     assert!(results[1].get("error").is_some());
+}
+
+/// The admin surface round-trips: list, load a second corpus, query
+/// it, reload it, evict it, and observe the typed 404 afterwards.
+#[test]
+fn docs_admin_surface_round_trips() {
+    let (out, _report) = with_server(test_config(), |addr| {
+        let listing_before = send(addr, "GET /docs HTTP/1.1\r\n\r\n");
+        let load = put_doc(addr, "movies", "");
+        let query = post_query_on(
+            addr,
+            "movies",
+            "Find all the movies directed by Ron Howard.",
+        );
+        let reload = put_doc(addr, "movies", r#"{"source": "movies"}"#);
+        let listing_after = send(addr, "GET /docs HTTP/1.1\r\n\r\n");
+        let evict = delete_doc(addr, "movies");
+        let after_evict = post_query_on(addr, "movies", "Return every title.");
+        let evict_default = delete_doc(addr, "bib");
+        (
+            listing_before,
+            load,
+            query,
+            reload,
+            listing_after,
+            evict,
+            after_evict,
+            evict_default,
+        )
+    });
+    let (listing_before, load, query, reload, listing_after, evict, after_evict, evict_default) =
+        out;
+
+    assert_eq!(listing_before.0, "HTTP/1.1 200 OK");
+    let parsed = Json::parse(&listing_before.1).expect("docs JSON");
+    assert_eq!(parsed.get("default").and_then(Json::as_str), Some("bib"));
+    assert_eq!(
+        parsed.get("docs").and_then(Json::as_array).map(|d| d.len()),
+        Some(3)
+    );
+
+    assert_eq!(load.0, "HTTP/1.1 200 OK", "body: {}", load.1);
+    let parsed = Json::parse(&load.1).expect("put JSON");
+    assert_eq!(parsed.get("generation").and_then(Json::as_u64), Some(1));
+    // `with_builtins` registers movies but never loads it, so this PUT
+    // is a first load, not a reload.
+    assert!(load.1.contains("\"reloaded\":false"), "body: {}", load.1);
+
+    assert_eq!(query.0, "HTTP/1.1 200 OK", "body: {}", query.1);
+    let parsed = Json::parse(&query.1).expect("query JSON");
+    assert_eq!(parsed.get("doc").and_then(Json::as_str), Some("movies"));
+    assert!(!answers_of(&query.1).is_empty());
+
+    assert_eq!(reload.0, "HTTP/1.1 200 OK", "body: {}", reload.1);
+    let parsed = Json::parse(&reload.1).expect("reload JSON");
+    assert_eq!(parsed.get("generation").and_then(Json::as_u64), Some(2));
+    assert!(reload.1.contains("\"reloaded\":true"), "body: {}", reload.1);
+
+    assert_eq!(listing_after.0, "HTTP/1.1 200 OK");
+    assert!(
+        listing_after.1.contains("\"name\":\"movies\""),
+        "body: {}",
+        listing_after.1
+    );
+
+    assert_eq!(evict.0, "HTTP/1.1 200 OK", "body: {}", evict.1);
+    assert!(evict.1.contains("\"evicted\":\"movies\""));
+
+    // Typed, 404-mapped error after eviction — not a panic, not a 500.
+    assert_eq!(after_evict.0, "HTTP/1.1 404 Not Found");
+    assert!(
+        after_evict
+            .1
+            .contains("\"code\":\"store.unknown_document\""),
+        "body: {}",
+        after_evict.1
+    );
+
+    assert_eq!(evict_default.0, "HTTP/1.1 400 Bad Request");
+    assert!(
+        evict_default
+            .1
+            .contains("\"code\":\"store.default_protected\""),
+        "body: {}",
+        evict_default.1
+    );
+}
+
+/// Two corpora served from one process answer independently and
+/// bit-identically to their in-process oracles; a batch pins one
+/// snapshot via its `"doc"` field.
+#[test]
+fn per_document_routing_matches_oracles() {
+    let bib_q = "Return every title.";
+    let movies_q = "Find all the movies directed by Ron Howard.";
+    let bib_oracle = Nalix::new(xmldb::datasets::bib::bib())
+        .ask(bib_q)
+        .expect("bib oracle");
+    let movies_oracle = Nalix::new(xmldb::datasets::movies::movies_and_books())
+        .ask(movies_q)
+        .expect("movies oracle");
+
+    let ((bib_reply, movies_reply, batch_reply), _report) = with_server(test_config(), |addr| {
+        (
+            post_query_on(addr, "bib", bib_q),
+            post_query_on(addr, "movies", movies_q),
+            post(
+                addr,
+                "/batch",
+                &format!("{{\"questions\": [{movies_q:?}], \"doc\": \"movies\"}}"),
+            ),
+        )
+    });
+
+    assert_eq!(bib_reply.0, "HTTP/1.1 200 OK", "body: {}", bib_reply.1);
+    assert_eq!(answers_of(&bib_reply.1), bib_oracle);
+    assert_eq!(
+        movies_reply.0, "HTTP/1.1 200 OK",
+        "body: {}",
+        movies_reply.1
+    );
+    assert_eq!(answers_of(&movies_reply.1), movies_oracle);
+
+    assert_eq!(batch_reply.0, "HTTP/1.1 200 OK");
+    let parsed = Json::parse(&batch_reply.1).expect("batch JSON");
+    assert_eq!(parsed.get("doc").and_then(Json::as_str), Some("movies"));
+    let results = parsed
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results");
+    let batch_answers: Vec<String> = results[0]
+        .get("answers")
+        .and_then(Json::as_array)
+        .expect("answers")
+        .iter()
+        .map(|v| v.as_str().expect("string").to_string())
+        .collect();
+    assert_eq!(batch_answers, movies_oracle);
+}
+
+/// Hot reload under concurrent load: 8 clients hammer two corpora
+/// while the server hot-reloads one of them; every request completes
+/// (zero transport errors) and every answer is bit-identical to the
+/// oracle — whichever snapshot generation it observed.
+#[test]
+fn hot_reload_under_concurrent_load_is_invisible() {
+    let bib_q = "Return every title.";
+    let movies_q = "Find all the movies directed by Ron Howard.";
+    let bib_oracle = Nalix::new(xmldb::datasets::bib::bib())
+        .ask(bib_q)
+        .expect("bib oracle");
+    let movies_oracle = Nalix::new(xmldb::datasets::movies::movies_and_books())
+        .ask(movies_q)
+        .expect("movies oracle");
+
+    let config = ServerConfig {
+        workers: 8,
+        queue_capacity: 64,
+        ..test_config()
+    };
+    let (replies, report) = with_store_server(test_store(), config, |addr| {
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..8)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let (doc, q) = if i % 2 == 0 {
+                            ("bib", bib_q)
+                        } else {
+                            ("movies", movies_q)
+                        };
+                        (0..5)
+                            .map(|_| (doc, post_query_on(addr, doc, q)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let reloader = scope.spawn(move || {
+                for _ in 0..3 {
+                    std::thread::sleep(Duration::from_millis(30));
+                    let (status, body) = put_doc(addr, "movies", "");
+                    assert_eq!(status, "HTTP/1.1 200 OK", "reload failed: {body}");
+                }
+            });
+            let replies: Vec<(_, _)> = clients
+                .into_iter()
+                .flat_map(|c| c.join().expect("client"))
+                .collect();
+            reloader.join().expect("reloader");
+            replies
+        })
+    });
+
+    assert_eq!(replies.len(), 40, "zero dropped requests");
+    let mut generations_seen = std::collections::BTreeSet::new();
+    for (doc, (status, body)) in &replies {
+        assert_eq!(status, "HTTP/1.1 200 OK", "body: {body}");
+        let expected = if *doc == "bib" {
+            &bib_oracle
+        } else {
+            &movies_oracle
+        };
+        assert_eq!(&answers_of(body), expected, "doc {doc}: answers diverged");
+        if *doc == "movies" {
+            let parsed = Json::parse(body).expect("JSON");
+            generations_seen.insert(parsed.get("generation").and_then(Json::as_u64));
+        }
+    }
+    // 0 shed: every request was admitted and served.
+    assert_eq!(report.shed, 0);
+    // The merged final snapshot accounts for the retired generations'
+    // work too: all 40 queries plus 3 reload spans are visible.
+    assert!(report.snapshot.queries_total() >= 40);
+    assert!(report.snapshot.stage(obs::Stage::StoreReload).spans() >= 2);
+    drop(generations_seen); // which generations were observed is timing-dependent
 }
 
 /// Overload contract: with one slow worker and a tiny queue, excess
@@ -278,9 +541,7 @@ fn graceful_drain_completes_in_flight_requests() {
         debug_handler_delay: Some(Duration::from_millis(400)),
         ..ServerConfig::default()
     };
-    let doc = xmldb::datasets::bib::bib();
-    let nalix = Nalix::new(&doc);
-    let server = Server::bind(&nalix, config).expect("bind");
+    let server = Server::bind(test_store(), config).expect("bind");
     let addr = server.local_addr();
     let handle = server.handle();
 
@@ -323,4 +584,49 @@ fn graceful_drain_completes_in_flight_requests() {
         TcpStream::connect(addr).is_err(),
         "post-drain connections must be refused"
     );
+}
+
+/// Evicting a document *between* a client's requests mid-traffic
+/// yields the typed 404 on the next request, never a panic or a
+/// connection reset (the DELETE and the queries race freely here).
+#[test]
+fn eviction_mid_traffic_is_a_typed_error() {
+    let store = test_store();
+    let (outcomes, _report) = with_store_server(Arc::clone(&store), test_config(), |addr| {
+        // Warm the document, then race queries against an eviction.
+        let (status, body) = put_doc(addr, "dblp", "");
+        assert_eq!(status, "HTTP/1.1 200 OK", "body: {body}");
+        std::thread::scope(|scope| {
+            let queriers: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        (0..6)
+                            .map(|_| post_query_on(addr, "dblp", "Return every year."))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let evictor = scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                delete_doc(addr, "dblp")
+            });
+            let outcomes: Vec<(String, String)> = queriers
+                .into_iter()
+                .flat_map(|q| q.join().expect("querier"))
+                .collect();
+            let (status, body) = evictor.join().expect("evictor");
+            assert_eq!(status, "HTTP/1.1 200 OK", "evict failed: {body}");
+            outcomes
+        })
+    });
+    assert_eq!(outcomes.len(), 24, "every request got a response");
+    for (status, body) in &outcomes {
+        // Before the eviction: 200s. After: typed 404s. Nothing else.
+        assert!(
+            status == "HTTP/1.1 200 OK"
+                || (status == "HTTP/1.1 404 Not Found"
+                    && body.contains("\"code\":\"store.unknown_document\"")),
+            "unexpected outcome: {status} {body}"
+        );
+    }
 }

@@ -1,0 +1,91 @@
+//! Typed store errors with stable codes, mirroring the
+//! `nalix::QueryError` contract: every failure carries a machine
+//! `code()`, a human message, and a `suggestion()` the server can
+//! forward verbatim.
+
+use std::fmt;
+
+/// Everything that can go wrong talking to a [`DocumentStore`].
+///
+/// [`DocumentStore`]: crate::DocumentStore
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named document is not registered (never loaded, or evicted).
+    /// The HTTP layer maps this to `404 Not Found`.
+    UnknownDocument {
+        /// The name the caller asked for.
+        name: String,
+    },
+    /// The document name is empty, too long, or contains characters
+    /// outside `[A-Za-z0-9._-]`. Mapped to `400 Bad Request`.
+    InvalidName {
+        /// The rejected name.
+        name: String,
+    },
+    /// Loading the document source failed — unreadable path, malformed
+    /// XML, or an unknown builtin. Mapped to `400 Bad Request`.
+    Load {
+        /// What the store tried to load (a path or `builtin:<name>`).
+        source: String,
+        /// Why it failed, with enough detail to act on.
+        detail: String,
+    },
+    /// The default document cannot be evicted: `/query` without a
+    /// `"doc"` field must keep working. Mapped to `400 Bad Request`.
+    DefaultProtected {
+        /// The default document's name.
+        name: String,
+    },
+}
+
+impl StoreError {
+    /// Stable machine-readable code, suitable for clients to match on.
+    pub fn code(&self) -> &'static str {
+        match self {
+            StoreError::UnknownDocument { .. } => "store.unknown_document",
+            StoreError::InvalidName { .. } => "store.invalid_name",
+            StoreError::Load { .. } => "store.load_failed",
+            StoreError::DefaultProtected { .. } => "store.default_protected",
+        }
+    }
+
+    /// A one-line actionable hint, in the spirit of the paper's Sec. 4
+    /// feedback contract: never fail without saying what to try next.
+    pub fn suggestion(&self) -> &'static str {
+        match self {
+            StoreError::UnknownDocument { .. } => {
+                "list available documents with GET /docs, or load one with PUT /docs/<name>"
+            }
+            StoreError::InvalidName { .. } => {
+                "use 1-64 characters from A-Z, a-z, 0-9, '.', '_', or '-'"
+            }
+            StoreError::Load { .. } => {
+                "pass a builtin name (bib, movies, dblp) or a readable XML file path"
+            }
+            StoreError::DefaultProtected { .. } => {
+                "reload it with PUT /docs/<name> instead, or evict a different document"
+            }
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownDocument { name } => {
+                write!(f, "no document named {name:?} is loaded or registered")
+            }
+            StoreError::InvalidName { name } => {
+                write!(f, "invalid document name {name:?}")
+            }
+            StoreError::Load { source, detail } => {
+                write!(f, "cannot load {source}: {detail}")
+            }
+            StoreError::DefaultProtected { name } => {
+                write!(f, "{name:?} is the default document and cannot be evicted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,692 @@
+#![warn(missing_docs)]
+// The store sits on the query path: a panic while loading or swapping
+// a document would take a server worker down mid-request, so the
+// escape hatches are denied exactly as in the other query-path crates.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
+//! # store — a concurrent multi-document registry for NaLIX pipelines
+//!
+//! The paper's claim to being *generic* (Sec. 2, 5) rests on
+//! Schema-Free XQuery: the same NL pipeline answers questions over any
+//! XML corpus. This crate makes that operational. A [`DocumentStore`]
+//! owns a registry of named corpora — the compiled-in `bib` / `movies`
+//! / `dblp` generators plus arbitrary XML files — and keeps one fully
+//! wired pipeline per document: the parsed [`xmldb::Document`] with
+//! its structural index, the element/attribute catalog, a persistent
+//! `xquery` engine with its value index, a bounded translation cache,
+//! and an isolated per-document [`obs::MetricsRegistry`].
+//!
+//! ## Snapshot semantics
+//!
+//! Readers never block behind loads. [`DocumentStore::get`] hands out
+//! an `Arc<DocPipeline>` *snapshot*; a concurrent
+//! [`DocumentStore::put`] builds the replacement pipeline off-lock and
+//! swaps the slot pointer atomically (epoch-style publication).
+//! In-flight queries finish against whichever snapshot they observed —
+//! bit-identically to a process that only ever had that snapshot —
+//! while new requests see the new generation. Nothing is torn down
+//! under a reader: the old pipeline lives for as long as any request
+//! still holds its `Arc`.
+//!
+//! ## Counter accounting
+//!
+//! Each pipeline records into its own registry, so per-document load
+//! is directly observable. Evicting or replacing a document must not
+//! make the process totals go backwards, so retired pipelines are
+//! parked until their last in-flight reader drops, then folded into a
+//! retained base snapshot. [`DocumentStore::snapshot`] therefore is
+//! monotone: store-level counters + every live pipeline + everything
+//! ever retired.
+//!
+//! ## Capacity
+//!
+//! Loaded documents beyond [`StoreConfig::max_resident`] are evicted
+//! *cold*: the coldest (least-recently-used) non-default pipeline is
+//! dropped but its registration and source spec are kept, so the next
+//! query for it lazily rebuilds. Explicit eviction
+//! ([`DocumentStore::evict`]) removes the registration entirely —
+//! later queries get a typed [`StoreError::UnknownDocument`].
+//!
+//! ```
+//! use store::{DocumentStore, StoreConfig};
+//!
+//! let store = DocumentStore::with_builtins(StoreConfig::default());
+//! let bib = store.get(None).unwrap(); // default document
+//! let answers = bib.nalix().ask("Return every title.").unwrap();
+//! assert!(!answers.is_empty());
+//!
+//! // Hot reload: readers holding `bib` are unaffected.
+//! let put = store.put("bib", store::DocSpec::parse("bib")).unwrap();
+//! assert!(put.reloaded);
+//! assert_eq!(put.pipeline.generation(), bib.generation() + 1);
+//! assert_eq!(bib.nalix().ask("Return every title.").unwrap(), answers);
+//! ```
+
+mod error;
+mod spec;
+
+pub use error::StoreError;
+pub use spec::{load_dataset, Builtin, DocSpec};
+
+use nalix::Nalix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use xmldb::document::DocStats;
+use xmldb::Document;
+
+/// Tunables for a [`DocumentStore`], with production defaults.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// The document served when a request names none. Protected from
+    /// eviction.
+    pub default_doc: String,
+    /// Maximum number of *loaded* pipelines held at once; beyond it
+    /// the coldest non-default document is unloaded (registration and
+    /// spec are kept for lazy reload). Clamped to at least 1.
+    pub max_resident: usize,
+    /// Translation cache capacity for each per-document pipeline
+    /// (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            default_doc: "bib".to_string(),
+            max_resident: 8,
+            cache_capacity: nalix::DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// One immutable, fully wired pipeline snapshot: document + catalog +
+/// engine + translation cache + isolated metrics registry.
+///
+/// Obtained from [`DocumentStore::get`]; hold the `Arc` for the
+/// duration of one request and drop it. A snapshot outlives any
+/// reload or eviction that happens while it is held.
+pub struct DocPipeline {
+    name: String,
+    generation: u64,
+    source: String,
+    stats: DocStats,
+    nalix: Nalix,
+}
+
+impl DocPipeline {
+    /// The registry name this snapshot was loaded under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotone per-name load generation: 1 on first load, +1 per
+    /// reload. Distinguishes snapshots across a hot swap.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Where the document came from (`builtin:bib` or a file path).
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Size statistics captured at load time.
+    pub fn stats(&self) -> DocStats {
+        self.stats
+    }
+
+    /// The NL pipeline over this document.
+    pub fn nalix(&self) -> &Nalix {
+        &self.nalix
+    }
+
+    /// The underlying document.
+    pub fn doc(&self) -> &Document {
+        self.nalix.doc()
+    }
+}
+
+impl std::fmt::Debug for DocPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocPipeline")
+            .field("name", &self.name)
+            .field("generation", &self.generation)
+            .field("source", &self.source)
+            .field("nodes", &self.stats.total_nodes())
+            .finish()
+    }
+}
+
+/// What [`DocumentStore::put`] did.
+#[derive(Debug)]
+pub struct PutReport {
+    /// The freshly built pipeline, already published.
+    pub pipeline: Arc<DocPipeline>,
+    /// True when an older generation was replaced (hot reload), false
+    /// on first load under this name.
+    pub reloaded: bool,
+}
+
+/// One line of a [`DocumentStore::list`] listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocStatus {
+    /// Registry name.
+    pub name: String,
+    /// Source description (`builtin:bib` or a path).
+    pub source: String,
+    /// True when a pipeline is currently resident.
+    pub loaded: bool,
+    /// Load generation (0 if never loaded).
+    pub generation: u64,
+    /// Total document nodes, when loaded.
+    pub nodes: Option<usize>,
+    /// Times this document was requested via [`DocumentStore::get`].
+    pub hits: u64,
+    /// True for the store's default document.
+    pub is_default: bool,
+}
+
+/// One registered document: its source spec, the current pipeline (if
+/// resident), and bookkeeping for lazy loads and LRU eviction.
+struct Slot {
+    name: String,
+    spec: Mutex<DocSpec>,
+    /// The published snapshot. Readers clone the `Arc` under the read
+    /// lock (held for nanoseconds); writers build the replacement
+    /// entirely off-lock and swap under the write lock.
+    pipeline: RwLock<Option<Arc<DocPipeline>>>,
+    /// Serializes builds for this slot so a stampede of first requests
+    /// loads the document once, not once per thread.
+    loading: Mutex<()>,
+    generation: AtomicU64,
+    hits: AtomicU64,
+    /// Store-clock tick of the most recent `get`, for LRU eviction.
+    last_used: AtomicU64,
+}
+
+/// Retired pipelines and the folded totals of those fully quiesced.
+#[derive(Default)]
+struct Retired {
+    /// Counters of retired pipelines whose last reader has dropped.
+    base: obs::MetricsSnapshot,
+    /// Retired pipelines still (potentially) serving in-flight
+    /// requests; folded into `base` once uniquely held.
+    parked: Vec<Arc<DocPipeline>>,
+}
+
+/// A concurrent registry of named documents, each with its own NaLIX
+/// pipeline. See the crate docs for semantics; `Send + Sync`, designed
+/// to sit behind one `Arc` shared by every server worker.
+pub struct DocumentStore {
+    config: StoreConfig,
+    slots: RwLock<HashMap<String, Arc<Slot>>>,
+    /// Store-level registry: `store_*` spans and counters, plus the
+    /// HTTP-layer counters when a server fronts this store.
+    metrics: Arc<obs::MetricsRegistry>,
+    retired: Mutex<Retired>,
+    clock: AtomicU64,
+}
+
+// Lock poisoning can only happen if a panic escaped into a locked
+// section; the store's sections are tiny and panic-free, and the data
+// under them (a pointer swap, a spec, a snapshot) is valid at every
+// step, so recovering the guard is always safe.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl DocumentStore {
+    /// An empty store (no documents registered). Register sources with
+    /// [`DocumentStore::register`] or [`DocumentStore::put`].
+    pub fn new(config: StoreConfig) -> Self {
+        DocumentStore {
+            config,
+            slots: RwLock::new(HashMap::new()),
+            metrics: Arc::new(obs::MetricsRegistry::new()),
+            retired: Mutex::new(Retired::default()),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// A store with the three builtin corpora registered (not yet
+    /// loaded — the first query for each builds it).
+    pub fn with_builtins(config: StoreConfig) -> Self {
+        let store = DocumentStore::new(config);
+        for b in Builtin::ALL {
+            // Builtin names are always valid; registration cannot fail.
+            let _ = store.register(b.name(), DocSpec::Builtin(b));
+        }
+        store
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The default document's name.
+    pub fn default_doc(&self) -> &str {
+        &self.config.default_doc
+    }
+
+    /// The store-level metrics registry (`store_*` families; the HTTP
+    /// server also records its `http_*` counters here).
+    pub fn metrics_handle(&self) -> Arc<obs::MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Registers a source under `name` without loading it. Existing
+    /// registrations are left untouched (use [`DocumentStore::put`]
+    /// to replace). Returns whether a new registration was created.
+    pub fn register(&self, name: &str, spec: DocSpec) -> Result<bool, StoreError> {
+        validate_name(name)?;
+        let mut slots = write(&self.slots);
+        if slots.contains_key(name) {
+            return Ok(false);
+        }
+        slots.insert(name.to_string(), Arc::new(new_slot(name, spec)));
+        Ok(true)
+    }
+
+    /// The pipeline snapshot for `name` (`None` → the default
+    /// document), lazily loading it on first use. This is the hot
+    /// path: when the pipeline is resident it costs two atomic bumps
+    /// and an `Arc` clone under a read lock.
+    pub fn get(&self, name: Option<&str>) -> Result<Arc<DocPipeline>, StoreError> {
+        let name = name.unwrap_or(&self.config.default_doc);
+        let Some(slot) = read(&self.slots).get(name).cloned() else {
+            self.metrics.add(obs::Counter::StoreMisses, 1);
+            return Err(StoreError::UnknownDocument {
+                name: name.to_string(),
+            });
+        };
+        slot.hits.fetch_add(1, Ordering::Relaxed);
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        if let Some(p) = read(&slot.pipeline).clone() {
+            return Ok(p);
+        }
+        // Cold: build once, whoever gets here first.
+        let guard = lock(&slot.loading);
+        if let Some(p) = read(&slot.pipeline).clone() {
+            return Ok(p); // another thread built it while we waited
+        }
+        let pipeline = self.build_spanned(&slot, obs::Stage::StoreLoad)?;
+        self.metrics.add(obs::Counter::StoreLoads, 1);
+        *write(&slot.pipeline) = Some(Arc::clone(&pipeline));
+        drop(guard);
+        self.shrink_to_capacity();
+        Ok(pipeline)
+    }
+
+    /// Loads (or hot-reloads) `name` from `spec` and atomically
+    /// publishes the new pipeline. In-flight readers keep their old
+    /// snapshot; its counters are retired, never lost.
+    pub fn put(&self, name: &str, spec: DocSpec) -> Result<PutReport, StoreError> {
+        validate_name(name)?;
+        let slot = {
+            let mut slots = write(&self.slots);
+            Arc::clone(
+                slots
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(new_slot(name, spec.clone()))),
+            )
+        };
+        let guard = lock(&slot.loading);
+        *lock(&slot.spec) = spec;
+        let reloaded = read(&slot.pipeline).is_some();
+        let stage = if reloaded {
+            obs::Stage::StoreReload
+        } else {
+            obs::Stage::StoreLoad
+        };
+        let pipeline = self.build_spanned(&slot, stage)?;
+        let old = write(&slot.pipeline).replace(Arc::clone(&pipeline));
+        if let Some(old) = old {
+            self.retire(old);
+            self.metrics.add(obs::Counter::StoreReloads, 1);
+        } else {
+            self.metrics.add(obs::Counter::StoreLoads, 1);
+        }
+        drop(guard);
+        self.shrink_to_capacity();
+        Ok(PutReport { pipeline, reloaded })
+    }
+
+    /// Removes `name` from the registry entirely: the pipeline (if
+    /// resident) is retired and later [`DocumentStore::get`] calls
+    /// return [`StoreError::UnknownDocument`]. The default document
+    /// is protected.
+    pub fn evict(&self, name: &str) -> Result<(), StoreError> {
+        if name == self.config.default_doc {
+            return Err(StoreError::DefaultProtected {
+                name: name.to_string(),
+            });
+        }
+        let Some(slot) = write(&self.slots).remove(name) else {
+            return Err(StoreError::UnknownDocument {
+                name: name.to_string(),
+            });
+        };
+        if let Some(old) = write(&slot.pipeline).take() {
+            self.retire(old);
+        }
+        self.metrics.add(obs::Counter::StoreEvictions, 1);
+        Ok(())
+    }
+
+    /// One status line per registered document, sorted by name.
+    pub fn list(&self) -> Vec<DocStatus> {
+        let slots: Vec<Arc<Slot>> = read(&self.slots).values().cloned().collect();
+        let mut out: Vec<DocStatus> = slots
+            .iter()
+            .map(|slot| {
+                let pipeline = read(&slot.pipeline).clone();
+                DocStatus {
+                    name: slot.name.clone(),
+                    source: lock(&slot.spec).describe(),
+                    loaded: pipeline.is_some(),
+                    generation: slot.generation.load(Ordering::Relaxed),
+                    nodes: pipeline.map(|p| p.stats().total_nodes()),
+                    hits: slot.hits.load(Ordering::Relaxed),
+                    is_default: slot.name == self.config.default_doc,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Number of currently loaded pipelines.
+    pub fn resident(&self) -> usize {
+        read(&self.slots)
+            .values()
+            .filter(|s| read(&s.pipeline).is_some())
+            .count()
+    }
+
+    /// The process-wide view: store-level counters merged with every
+    /// live pipeline's registry and with everything ever retired.
+    /// Monotone across reloads and evictions.
+    pub fn snapshot(&self) -> obs::MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        {
+            let mut retired = lock(&self.retired);
+            // Fold pipelines whose last in-flight reader has dropped:
+            // their counters are final, so they move into the retained
+            // base and the pipeline memory is released.
+            let parked = std::mem::take(&mut retired.parked);
+            for p in parked {
+                match Arc::try_unwrap(p) {
+                    Ok(quiesced) => retired.base.merge(&quiesced.nalix.metrics()),
+                    Err(still_shared) => retired.parked.push(still_shared),
+                }
+            }
+            snap.merge(&retired.base);
+            for p in &retired.parked {
+                snap.merge(&p.nalix.metrics());
+            }
+        }
+        let slots: Vec<Arc<Slot>> = read(&self.slots).values().cloned().collect();
+        for slot in slots {
+            if let Some(p) = read(&slot.pipeline).clone() {
+                snap.merge(&p.nalix.metrics());
+            }
+        }
+        snap
+    }
+
+    /// Builds a fresh pipeline for `slot` under a `store_load` /
+    /// `store_reload` stage span.
+    fn build_spanned(
+        &self,
+        slot: &Slot,
+        stage: obs::Stage,
+    ) -> Result<Arc<DocPipeline>, StoreError> {
+        let mut span = self.metrics.span(stage);
+        match self.build(slot) {
+            Ok(p) => {
+                span.set_outcome(obs::SpanOutcome::Ok);
+                Ok(p)
+            }
+            Err(e) => {
+                span.set_outcome(obs::SpanOutcome::EvalError);
+                Err(e)
+            }
+        }
+    }
+
+    /// The expensive part, deliberately outside every lock except the
+    /// slot's own `loading` mutex: source load/parse, index build,
+    /// catalog build, engine construction.
+    fn build(&self, slot: &Slot) -> Result<Arc<DocPipeline>, StoreError> {
+        let spec = lock(&slot.spec).clone();
+        let doc = spec.load()?;
+        let stats = doc.stats();
+        let nalix = Nalix::with_metrics(doc, Arc::new(obs::MetricsRegistry::new()))
+            .with_cache_capacity(self.config.cache_capacity);
+        let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        Ok(Arc::new(DocPipeline {
+            name: slot.name.clone(),
+            generation,
+            source: spec.describe(),
+            stats,
+            nalix,
+        }))
+    }
+
+    /// Parks a replaced/evicted pipeline until its readers drain.
+    fn retire(&self, old: Arc<DocPipeline>) {
+        lock(&self.retired).parked.push(old);
+    }
+
+    /// Unloads coldest non-default pipelines until within capacity.
+    /// Registrations and specs survive, so evicted-cold documents
+    /// lazily rebuild on their next query.
+    fn shrink_to_capacity(&self) {
+        let max = self.config.max_resident.max(1);
+        loop {
+            let victim = {
+                let slots = read(&self.slots);
+                let loaded: Vec<&Arc<Slot>> = slots
+                    .values()
+                    .filter(|s| read(&s.pipeline).is_some())
+                    .collect();
+                if loaded.len() <= max {
+                    return;
+                }
+                loaded
+                    .into_iter()
+                    .filter(|s| s.name != self.config.default_doc)
+                    .min_by_key(|s| s.last_used.load(Ordering::Relaxed))
+                    .cloned()
+            };
+            let Some(victim) = victim else { return };
+            let guard = lock(&victim.loading);
+            if let Some(old) = write(&victim.pipeline).take() {
+                self.retire(old);
+                self.metrics.add(obs::Counter::StoreEvictions, 1);
+            }
+            drop(guard);
+        }
+    }
+}
+
+fn new_slot(name: &str, spec: DocSpec) -> Slot {
+    Slot {
+        name: name.to_string(),
+        spec: Mutex::new(spec),
+        pipeline: RwLock::new(None),
+        loading: Mutex::new(()),
+        generation: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        last_used: AtomicU64::new(0),
+    }
+}
+
+/// Names travel in URLs (`PUT /docs/:name`) and metrics labels; keep
+/// them to one path-segment-safe token.
+fn validate_name(name: &str) -> Result<(), StoreError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::InvalidName {
+            name: name.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            default_doc: "bib".to_string(),
+            max_resident: 2,
+            cache_capacity: 64,
+        }
+    }
+
+    #[test]
+    fn lazy_load_and_default() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        assert_eq!(store.resident(), 0);
+        let by_default = store.get(None).unwrap();
+        let by_name = store.get(Some("bib")).unwrap();
+        assert!(Arc::ptr_eq(&by_default, &by_name), "same snapshot");
+        assert_eq!(by_default.generation(), 1);
+        assert_eq!(store.resident(), 1);
+    }
+
+    #[test]
+    fn unknown_document_is_typed_and_counted() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        let err = store.get(Some("nope")).unwrap_err();
+        assert_eq!(err.code(), "store.unknown_document");
+        assert_eq!(store.snapshot().counter(obs::Counter::StoreMisses), 1);
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let store = DocumentStore::new(StoreConfig::default());
+        for bad in ["", "a/b", "a b", &"x".repeat(65)] {
+            let err = store.put(bad, DocSpec::parse("bib")).unwrap_err();
+            assert_eq!(err.code(), "store.invalid_name", "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_keeps_old_snapshot_working() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        let old = store.get(Some("movies")).unwrap();
+        let before = old
+            .nalix()
+            .ask("Find all the movies directed by Ron Howard.")
+            .unwrap();
+        let put = store.put("movies", DocSpec::parse("movies")).unwrap();
+        assert!(put.reloaded);
+        assert_eq!(put.pipeline.generation(), 2);
+        // The retired snapshot still answers, bit-identically.
+        let after_on_old = old
+            .nalix()
+            .ask("Find all the movies directed by Ron Howard.")
+            .unwrap();
+        assert_eq!(before, after_on_old);
+        // New gets see the new generation.
+        assert_eq!(store.get(Some("movies")).unwrap().generation(), 2);
+    }
+
+    #[test]
+    fn evict_removes_registration_and_protects_default() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        store.get(Some("movies")).unwrap();
+        store.evict("movies").unwrap();
+        assert_eq!(
+            store.get(Some("movies")).unwrap_err().code(),
+            "store.unknown_document"
+        );
+        assert_eq!(
+            store.evict("bib").unwrap_err().code(),
+            "store.default_protected"
+        );
+        assert_eq!(
+            store.evict("ghost").unwrap_err().code(),
+            "store.unknown_document"
+        );
+    }
+
+    #[test]
+    fn capacity_unloads_coldest_but_keeps_registration() {
+        let store = DocumentStore::with_builtins(small_config());
+        store.get(Some("bib")).unwrap();
+        store.get(Some("movies")).unwrap();
+        store.get(Some("dblp")).unwrap(); // over capacity → unload one
+        assert!(store.resident() <= 2);
+        // The default is never the victim.
+        let listing = store.list();
+        let bib = listing.iter().find(|d| d.name == "bib").unwrap();
+        assert!(bib.loaded);
+        // The unloaded document is still registered and lazily rebuilds.
+        let movies = store.get(Some("movies")).unwrap();
+        assert!(movies.nalix().ask("Return every title.").is_ok());
+    }
+
+    #[test]
+    fn snapshot_is_monotone_across_reload_and_evict() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        let p = store.get(Some("movies")).unwrap();
+        p.nalix().ask("Return every title.").unwrap();
+        let before = store.snapshot();
+        store.put("movies", DocSpec::parse("movies")).unwrap();
+        drop(p); // quiesce the retired pipeline
+        let mid = store.snapshot();
+        assert!(mid.queries_total() >= before.queries_total());
+        store.evict("movies").unwrap();
+        let after = store.snapshot();
+        assert!(after.queries_total() >= mid.queries_total());
+        assert_eq!(after.counter(obs::Counter::StoreLoads), 1);
+        assert_eq!(after.counter(obs::Counter::StoreReloads), 1);
+        assert_eq!(after.counter(obs::Counter::StoreEvictions), 1);
+    }
+
+    #[test]
+    fn list_reports_status() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        store.get(Some("bib")).unwrap();
+        let listing = store.list();
+        assert_eq!(
+            listing.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+            ["bib", "dblp", "movies"]
+        );
+        let bib = &listing[0];
+        assert!(bib.loaded && bib.is_default && bib.hits == 1 && bib.nodes.is_some());
+        assert!(!listing[1].loaded && listing[1].nodes.is_none());
+    }
+}

@@ -1,0 +1,244 @@
+//! Document sources: the builtin corpus generators and XML files on
+//! disk, behind one resolver.
+//!
+//! This is the single home of the dataset-name → [`Document`] mapping
+//! that used to be copy-pasted across `nalixd`, the server crate docs,
+//! and the loopback tests. [`load_dataset`] keeps the old one-call
+//! convenience; [`DocSpec`] is the parsed form the store registers and
+//! reloads from.
+
+use crate::error::StoreError;
+use std::path::PathBuf;
+use std::sync::Arc;
+use xmldb::Document;
+
+/// The three corpora that ship compiled into the binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// The bibliography sample from the paper's running examples.
+    Bib,
+    /// The movies-and-books corpus (the paper's Sec. 5 user study
+    /// domain plus the heterogeneous `mqf()` examples).
+    Movies,
+    /// A generated DBLP subset sized like the paper's experiment
+    /// document (Sec. 6: 73,142 nodes).
+    Dblp,
+}
+
+impl Builtin {
+    /// Every builtin, in registration order.
+    pub const ALL: [Builtin; 3] = [Builtin::Bib, Builtin::Movies, Builtin::Dblp];
+
+    /// The registry name (`bib`, `movies`, `dblp`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Bib => "bib",
+            Builtin::Movies => "movies",
+            Builtin::Dblp => "dblp",
+        }
+    }
+
+    /// Parses a builtin name; `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        match name {
+            "bib" => Some(Builtin::Bib),
+            "movies" => Some(Builtin::Movies),
+            "dblp" => Some(Builtin::Dblp),
+            _ => None,
+        }
+    }
+
+    /// Generates the corpus. Deterministic: repeated calls build
+    /// bit-identical documents, which is what makes hot reload of a
+    /// builtin observationally a no-op (and testable).
+    pub fn build(self) -> Document {
+        match self {
+            Builtin::Bib => xmldb::datasets::bib::bib(),
+            Builtin::Movies => xmldb::datasets::movies::movies_and_books(),
+            Builtin::Dblp => {
+                xmldb::datasets::dblp::generate(&xmldb::datasets::dblp::DblpConfig::default())
+            }
+        }
+    }
+}
+
+/// Where a named document comes from: a compiled-in generator, an XML
+/// file on disk, or a document the caller already built in memory. The
+/// store keeps the spec after loading so the document can be evicted
+/// cold and lazily rebuilt, or hot-reloaded from the same source.
+#[derive(Debug, Clone)]
+pub enum DocSpec {
+    /// One of the compiled-in corpora.
+    Builtin(Builtin),
+    /// An XML file, re-read from disk on every (re)load.
+    File(PathBuf),
+    /// A caller-supplied document (e.g. a generated benchmark corpus).
+    /// A reload rebuilds the pipeline over the *same* shared document.
+    Memory {
+        /// Shown in listings and errors in place of a path.
+        label: String,
+        /// The shared document; must be finalized.
+        doc: Arc<Document>,
+    },
+}
+
+impl PartialEq for DocSpec {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (DocSpec::Builtin(a), DocSpec::Builtin(b)) => a == b,
+            (DocSpec::File(a), DocSpec::File(b)) => a == b,
+            (DocSpec::Memory { label: a, doc: da }, DocSpec::Memory { label: b, doc: db }) => {
+                a == b && Arc::ptr_eq(da, db)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for DocSpec {}
+
+impl DocSpec {
+    /// A spec over a document the caller already holds. `label` stands
+    /// in for the source path in listings (`memory:<label>` style
+    /// strings read well).
+    pub fn memory(label: impl Into<String>, doc: impl Into<Arc<Document>>) -> DocSpec {
+        DocSpec::Memory {
+            label: label.into(),
+            doc: doc.into(),
+        }
+    }
+    /// Interprets a source string: a builtin name (`bib`, `movies`,
+    /// `dblp`) or, failing that, a filesystem path.
+    pub fn parse(source: &str) -> DocSpec {
+        match Builtin::from_name(source) {
+            Some(b) => DocSpec::Builtin(b),
+            None => DocSpec::File(PathBuf::from(source)),
+        }
+    }
+
+    /// A stable human-readable description (`builtin:bib`, the path,
+    /// or `memory:<label>`), shown in `GET /docs` listings and error
+    /// messages.
+    pub fn describe(&self) -> String {
+        match self {
+            DocSpec::Builtin(b) => format!("builtin:{}", b.name()),
+            DocSpec::File(p) => p.display().to_string(),
+            DocSpec::Memory { label, .. } => format!("memory:{label}"),
+        }
+    }
+
+    /// Builds or reads the document. File errors distinguish the
+    /// common failure modes (missing, permission, not-a-file, bad
+    /// XML) instead of flattening everything into one string.
+    pub fn load(&self) -> Result<Arc<Document>, StoreError> {
+        match self {
+            DocSpec::Builtin(b) => Ok(Arc::new(b.build())),
+            DocSpec::Memory { label, doc } => {
+                if doc.is_finalized() {
+                    Ok(Arc::clone(doc))
+                } else {
+                    Err(StoreError::Load {
+                        source: format!("memory:{label}"),
+                        detail: "document is not finalized".to_string(),
+                    })
+                }
+            }
+            DocSpec::File(path) => {
+                let source = path.display().to_string();
+                let xml = std::fs::read_to_string(path).map_err(|e| StoreError::Load {
+                    source: source.clone(),
+                    detail: match e.kind() {
+                        std::io::ErrorKind::NotFound => {
+                            "file not found (check the path is absolute and spelled correctly)"
+                                .to_string()
+                        }
+                        std::io::ErrorKind::PermissionDenied => {
+                            "permission denied (the server process cannot read this file)"
+                                .to_string()
+                        }
+                        std::io::ErrorKind::IsADirectory => {
+                            "path is a directory, not an XML file".to_string()
+                        }
+                        _ => format!("read failed: {e}"),
+                    },
+                })?;
+                Document::parse_str(&xml)
+                    .map(Arc::new)
+                    .map_err(|e| StoreError::Load {
+                        source,
+                        detail: format!("XML parse error: {e}"),
+                    })
+            }
+        }
+    }
+}
+
+/// Loads a named built-in dataset or parses an XML file from disk —
+/// the shared resolver behind `nalixd --dataset`, `PUT /docs/:name`,
+/// and every test that needs a corpus by name.
+pub fn load_dataset(source: &str) -> Result<Document, StoreError> {
+    // `parse` never yields `Memory`, so the Arc from `load` is always
+    // uniquely held; the clone branch is unreachable in practice but
+    // keeps this panic-free by construction.
+    DocSpec::parse(source)
+        .load()
+        .map(|doc| Arc::try_unwrap(doc).unwrap_or_else(|shared| (*shared).clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_round_trip() {
+        for b in Builtin::ALL {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+            assert_eq!(DocSpec::parse(b.name()), DocSpec::Builtin(b));
+        }
+        assert_eq!(
+            DocSpec::parse("/tmp/x.xml"),
+            DocSpec::File(PathBuf::from("/tmp/x.xml"))
+        );
+    }
+
+    #[test]
+    fn builtins_load_and_are_deterministic() {
+        for b in Builtin::ALL {
+            let a = b.build();
+            let again = b.build();
+            assert!(a.is_finalized());
+            assert_eq!(a.stats(), again.stats(), "{} not deterministic", b.name());
+        }
+    }
+
+    #[test]
+    fn missing_file_reports_actionable_error() {
+        let err = load_dataset("/no/such/file.xml").unwrap_err();
+        assert_eq!(err.code(), "store.load_failed");
+        let msg = err.to_string();
+        assert!(msg.contains("/no/such/file.xml"), "{msg}");
+        assert!(msg.contains("file not found"), "{msg}");
+    }
+
+    #[test]
+    fn directory_and_bad_xml_are_distinguished() {
+        let dir_err = load_dataset("/tmp").unwrap_err();
+        assert!(dir_err.to_string().contains("directory"), "{dir_err}");
+
+        let path = std::env::temp_dir().join("store_spec_bad.xml");
+        std::fs::write(&path, "<open><unclosed></open>").unwrap();
+        let err = DocSpec::File(path.clone()).load().unwrap_err();
+        assert!(err.to_string().contains("XML parse error"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn file_spec_loads_real_xml() {
+        let path = std::env::temp_dir().join("store_spec_ok.xml");
+        std::fs::write(&path, "<bib><book><title>T</title></book></bib>").unwrap();
+        let doc = DocSpec::File(path.clone()).load().unwrap();
+        assert!(doc.is_finalized());
+        assert_eq!(doc.nodes_labeled("title").len(), 1);
+        let _ = std::fs::remove_file(path);
+    }
+}

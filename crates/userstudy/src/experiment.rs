@@ -133,7 +133,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResults {
     let doc: Document = xmldb::datasets::dblp::generate(&cfg.corpus);
     // Record into the process-wide registry so the fig11/fig12 bins can
     // print a per-stage breakdown of the whole study afterwards.
-    let nalix = Nalix::with_metrics(&doc, nalix::obs::global_handle());
+    let nalix = Nalix::with_metrics(doc.clone(), nalix::obs::global_handle());
 
     let mut nalix_runs: Vec<Vec<(TaskId, TaskRun)>> = Vec::new();
     let mut keyword_runs: Vec<Vec<(TaskId, TaskRun)>> = Vec::new();

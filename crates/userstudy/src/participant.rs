@@ -152,7 +152,7 @@ pub fn score_values(task: &Task, doc: &Document, values: &[String]) -> PrScore {
 
 /// Run one NaLIX task for one participant.
 pub fn run_nalix_task(
-    nalix: &Nalix<'_>,
+    nalix: &Nalix,
     task: &Task,
     pool: &[Phrasing],
     profile: &Profile,
@@ -311,7 +311,7 @@ mod tests {
     #[test]
     fn nalix_task_run_terminates_and_scores() {
         let (doc, mut rng) = setup();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let profile = Profile::sample(&mut rng);
         let noise = NoiseConfig {
             corruption_rate: 0.0,
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn every_task_eventually_passes_without_noise() {
         let (doc, mut rng) = setup();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let noise = NoiseConfig {
             corruption_rate: 0.0,
         };
@@ -357,7 +357,7 @@ mod tests {
     #[test]
     fn iterations_count_rejections() {
         let (doc, _) = setup();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let noise = NoiseConfig {
             corruption_rate: 0.0,
         };
@@ -416,7 +416,7 @@ mod tests {
     #[test]
     fn noise_can_degrade_results() {
         let (doc, _) = setup();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let noise = NoiseConfig {
             corruption_rate: 1.0,
         };
@@ -441,7 +441,7 @@ mod tests {
     #[test]
     fn time_is_capped() {
         let (doc, mut rng) = setup();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let noise = NoiseConfig {
             corruption_rate: 0.0,
         };

@@ -305,7 +305,7 @@ mod tests {
     #[test]
     fn pool_labels_match_system_behaviour() {
         let doc = generate(&DblpConfig::small());
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         for task in ALL_TASKS {
             for ph in nl_pool(task) {
                 let out = nalix.query(ph.text);
@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn good_phrasings_score_high() {
         let doc = generate(&DblpConfig::small());
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         for task in ALL_TASKS {
             let gold = task.task().gold(&doc);
             for ph in nl_pool(task) {
@@ -378,7 +378,7 @@ mod tests {
     #[test]
     fn deviating_phrasings_score_lower_but_usable() {
         let doc = generate(&DblpConfig::small());
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         for task in ALL_TASKS {
             for ph in nl_pool(task) {
                 if ph.kind != PoolKind::Deviating {

@@ -17,7 +17,7 @@ proptest! {
     #[test]
     fn task_run_invariants(seed in any::<u64>()) {
         let doc = xmldb::datasets::dblp::generate(&xmldb::datasets::dblp::DblpConfig::small());
-        let nalix = nalix::Nalix::new(&doc);
+        let nalix = nalix::Nalix::new(doc.clone());
         let mut rng = StdRng::seed_from_u64(seed);
         let profile = userstudy::participant::Profile::sample(&mut rng);
         let noise = nlparser::noise::NoiseConfig { corruption_rate: 0.2 };

@@ -293,10 +293,17 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
-                let text = self.decode_entities(&raw, start)?;
-                // Whitespace-only runs between elements are formatting noise.
-                if !text.trim().is_empty() {
-                    doc.add_text(el, text.trim());
+                // Whitespace-only runs between elements are formatting
+                // noise — but only when the author wrote *literal*
+                // whitespace. A numeric character reference (`&#10;`,
+                // `&#x9;`) is explicit content, so trim the raw run
+                // before decoding: decoded whitespace at the edges
+                // survives, literal indentation does not.
+                let trimmed = raw.trim();
+                if !trimmed.is_empty() {
+                    let at = start + (raw.len() - raw.trim_start().len());
+                    let text = self.decode_entities(trimmed, at)?;
+                    doc.add_text(el, &text);
                 }
             }
         }
@@ -393,7 +400,11 @@ fn push_indent(out: &mut String, indent: usize) {
     }
 }
 
-/// Escape the five predefined entities.
+/// Escape the five predefined entities, plus control characters as
+/// numeric character references (`\n` → `&#10;`) so text that begins
+/// or ends with explicit whitespace survives a parse → serialise →
+/// parse round trip (the parser treats *literal* edge whitespace as
+/// formatting noise, but keeps referenced whitespace).
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -403,6 +414,11 @@ pub fn escape(s: &str) -> String {
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
             '\'' => out.push_str("&apos;"),
+            c if c.is_ascii_control() => {
+                out.push_str("&#");
+                out.push_str(&(c as u32).to_string());
+                out.push(';');
+            }
             _ => out.push(c),
         }
     }
@@ -442,6 +458,47 @@ mod tests {
     fn decodes_entities() {
         let d = Document::parse_str("<a>Tom &amp; Jerry &lt;3 &#65;&#x42;</a>").unwrap();
         assert_eq!(d.string_value(d.root()), "Tom & Jerry <3 AB");
+    }
+
+    #[test]
+    fn numeric_whitespace_references_survive() {
+        // Decoded whitespace is content; only literal edge whitespace
+        // is formatting noise.
+        let d = Document::parse_str("<a>line&#10;break</a>").unwrap();
+        assert_eq!(d.string_value(d.root()), "line\nbreak");
+
+        let d = Document::parse_str("<a>&#10;indented</a>").unwrap();
+        assert_eq!(d.string_value(d.root()), "\nindented");
+
+        let d = Document::parse_str("<a>  &#9;tabbed  </a>").unwrap();
+        assert_eq!(d.string_value(d.root()), "\ttabbed");
+
+        // A reference that decodes to *only* whitespace is still kept.
+        let d = Document::parse_str("<a>&#32;</a>").unwrap();
+        assert_eq!(d.string_value(d.root()), " ");
+
+        // ... but literal whitespace-only runs are still dropped.
+        let d = Document::parse_str("<a>\n  <b>x</b>\n</a>").unwrap();
+        assert_eq!(d.stats().text_nodes, 1);
+    }
+
+    #[test]
+    fn hex_references_decode_beyond_ascii() {
+        let d = Document::parse_str("<a>it&#x2019;s &#X2014; fine</a>").unwrap();
+        assert_eq!(d.string_value(d.root()), "it\u{2019}s \u{2014} fine");
+    }
+
+    #[test]
+    fn control_chars_round_trip_as_numeric_references() {
+        let mut d = Document::new("a");
+        let root = d.root();
+        d.add_text(root, "first\nsecond\tend");
+        d.finalize();
+        let xml = d.to_xml(d.root());
+        assert!(xml.contains("&#10;"), "{xml}");
+        assert!(xml.contains("&#9;"), "{xml}");
+        let d2 = Document::parse_str(&xml).unwrap();
+        assert_eq!(d2.string_value(d2.root()), "first\nsecond\tend");
     }
 
     #[test]

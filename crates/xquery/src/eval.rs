@@ -295,8 +295,15 @@ impl Env {
 /// document, and the lazily built value index lives behind a sharded
 /// `RwLock` cache, so one engine can serve many threads concurrently
 /// (see `nalix::BatchRunner`).
-pub struct Engine<'d> {
-    doc: &'d Document,
+///
+/// The engine *shares ownership* of its document (`Arc<Document>`)
+/// rather than borrowing it, so an engine is always `'static`: it can
+/// be handed to plainly spawned threads, stored in registries, and
+/// hot-swapped at runtime (see the `store` crate) without scoped-thread
+/// gymnastics. Constructors accept anything convertible into an
+/// `Arc<Document>` — an owned [`Document`] or an existing `Arc`.
+pub struct Engine {
+    doc: std::sync::Arc<Document>,
     /// Lazily built per-label value index (`label → value → nodes`),
     /// backing the equality-join fast path: a `for $v in doc()//L` whose
     /// `where` contains `$v = $bound` draws its candidates from here
@@ -378,17 +385,22 @@ fn canon_value(v: &str) -> String {
     }
 }
 
-impl<'d> Engine<'d> {
+impl Engine {
     /// Create an engine over `doc` (which must be finalized), with its
-    /// own isolated [`obs::MetricsRegistry`].
-    pub fn new(doc: &'d Document) -> Self {
+    /// own isolated [`obs::MetricsRegistry`]. Accepts an owned
+    /// [`Document`] or an `Arc<Document>`.
+    pub fn new(doc: impl Into<std::sync::Arc<Document>>) -> Self {
         Engine::with_metrics(doc, std::sync::Arc::new(obs::MetricsRegistry::new()))
     }
 
     /// Create an engine recording into a caller-supplied registry —
     /// typically [`obs::global_handle()`] so evaluator spans land next
     /// to the process-global `xmldb`/`nlparser` counters.
-    pub fn with_metrics(doc: &'d Document, metrics: std::sync::Arc<obs::MetricsRegistry>) -> Self {
+    pub fn with_metrics(
+        doc: impl Into<std::sync::Arc<Document>>,
+        metrics: std::sync::Arc<obs::MetricsRegistry>,
+    ) -> Self {
+        let doc = doc.into();
         assert!(doc.is_finalized(), "engine requires a finalized document");
         Engine {
             doc,
@@ -416,7 +428,7 @@ impl<'d> Engine<'d> {
             self.metrics.add(obs::Counter::ValueIndexBuilds, 1);
             let mut m: ValueIndex = std::collections::HashMap::new();
             for &n in self.doc.nodes_with_symbol(sym) {
-                let key = canon_value(&Item::Node(n).string_value(self.doc));
+                let key = canon_value(&Item::Node(n).string_value(&self.doc));
                 m.entry(key).or_default().push(n);
             }
             m
@@ -424,8 +436,13 @@ impl<'d> Engine<'d> {
     }
 
     /// The underlying document.
-    pub fn doc(&self) -> &'d Document {
-        self.doc
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// A shared handle to the underlying document.
+    pub fn doc_handle(&self) -> std::sync::Arc<Document> {
+        self.doc.clone()
     }
 
     /// Parse and evaluate a query string under the empty environment.
@@ -455,7 +472,7 @@ impl<'d> Engine<'d> {
 
     /// Atomized string value of an item (convenience re-export).
     pub fn item_string(&self, item: &Item) -> String {
-        item.string_value(self.doc)
+        item.string_value(&self.doc)
     }
 
     /// String values of a whole sequence.
@@ -559,13 +576,15 @@ impl<'d> Engine<'d> {
                             other => {
                                 return Err(EvalError::TypeError(format!(
                                     "mqf() expects nodes, got {}",
-                                    other.string_value(self.doc)
+                                    other.string_value(&self.doc)
                                 )))
                             }
                         }
                     }
                 }
-                Ok(vec![Item::Bool(set_meaningfully_related(self.doc, &nodes))])
+                Ok(vec![Item::Bool(set_meaningfully_related(
+                    &self.doc, &nodes,
+                ))])
             }
             Expr::Quantified {
                 quant,
@@ -835,7 +854,7 @@ impl<'d> Engine<'d> {
                                     for &w in &eq_partners {
                                         let Some(seq) = e.get(w) else { continue };
                                         let [item] = seq.as_slice() else { continue };
-                                        let key = canon_value(&item.string_value(self.doc));
+                                        let key = canon_value(&item.string_value(&self.doc));
                                         let mut c: Vec<NodeId> = eq_indexes
                                             .iter()
                                             .flat_map(|ix| {
@@ -867,7 +886,7 @@ impl<'d> Engine<'d> {
                                                     .iter()
                                                     .flat_map(|&l| {
                                                         crate::mlca::meaningful_partners_indexed(
-                                                            self.doc, *a, l,
+                                                            &self.doc, *a, l,
                                                         )
                                                     })
                                                     .collect();
@@ -1073,13 +1092,13 @@ impl<'d> Engine<'d> {
                     other => {
                         return Err(EvalError::TypeError(format!(
                             "mqf() expects nodes, got {}",
-                            other.string_value(self.doc)
+                            other.string_value(&self.doc)
                         )))
                     }
                 }
             }
         }
-        Ok(set_meaningfully_related(self.doc, &nodes))
+        Ok(set_meaningfully_related(&self.doc, &nodes))
     }
 
     fn compare_key(&self, a: &Sequence, b: &Sequence) -> std::cmp::Ordering {
@@ -1087,7 +1106,7 @@ impl<'d> Engine<'d> {
             (None, None) => std::cmp::Ordering::Equal,
             (None, Some(_)) => std::cmp::Ordering::Less,
             (Some(_), None) => std::cmp::Ordering::Greater,
-            (Some(x), Some(y)) => compare_items(self.doc, x, y),
+            (Some(x), Some(y)) => compare_items(&self.doc, x, y),
         }
     }
 
@@ -1109,7 +1128,7 @@ impl<'d> Engine<'d> {
                         other => {
                             return Err(EvalError::TypeError(format!(
                                 "path step applied to non-node value `{}`",
-                                other.string_value(self.doc)
+                                other.string_value(&self.doc)
                             )))
                         }
                     }
@@ -1167,7 +1186,7 @@ impl<'d> Engine<'d> {
     fn general_compare(&self, op: CmpOp, lhs: &Sequence, rhs: &Sequence) -> bool {
         for a in lhs {
             for b in rhs {
-                let ord = compare_items(self.doc, a, b);
+                let ord = compare_items(&self.doc, a, b);
                 let ok = match op {
                     CmpOp::Eq => ord == std::cmp::Ordering::Equal,
                     CmpOp::Ne => ord != std::cmp::Ordering::Equal,
@@ -1190,10 +1209,10 @@ impl<'d> Engine<'d> {
             AggFunc::Sum => {
                 let mut total = 0.0;
                 for item in seq {
-                    total += item.numeric_value(self.doc).ok_or_else(|| {
+                    total += item.numeric_value(&self.doc).ok_or_else(|| {
                         EvalError::TypeError(format!(
                             "sum() over non-numeric value `{}`",
-                            item.string_value(self.doc)
+                            item.string_value(&self.doc)
                         ))
                     })?;
                 }
@@ -1205,10 +1224,10 @@ impl<'d> Engine<'d> {
                 }
                 let mut total = 0.0;
                 for item in seq {
-                    total += item.numeric_value(self.doc).ok_or_else(|| {
+                    total += item.numeric_value(&self.doc).ok_or_else(|| {
                         EvalError::TypeError(format!(
                             "avg() over non-numeric value `{}`",
-                            item.string_value(self.doc)
+                            item.string_value(&self.doc)
                         ))
                     })?;
                 }
@@ -1225,7 +1244,7 @@ impl<'d> Engine<'d> {
                 };
                 let mut best = &seq[0];
                 for item in &seq[1..] {
-                    if compare_items(self.doc, item, best) == want {
+                    if compare_items(&self.doc, item, best) == want {
                         best = item;
                     }
                 }
@@ -1255,7 +1274,7 @@ impl<'d> Engine<'d> {
         };
         let first_string = |seq: &Sequence| -> String {
             seq.first()
-                .map(|i| i.string_value(self.doc))
+                .map(|i| i.string_value(&self.doc))
                 .unwrap_or_default()
         };
         match name {
@@ -1292,7 +1311,7 @@ impl<'d> Engine<'d> {
                 let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 let n = seq
                     .first()
-                    .and_then(|i| i.numeric_value(self.doc))
+                    .and_then(|i| i.numeric_value(&self.doc))
                     .unwrap_or(f64::NAN);
                 Ok(vec![Item::Num(n)])
             }
@@ -1317,7 +1336,7 @@ impl<'d> Engine<'d> {
                 let seq = self.eval_inner(&args[0], env, guard, depth + 1)?;
                 Ok(seq
                     .iter()
-                    .map(|i| Item::Str(i.string_value(self.doc)))
+                    .map(|i| Item::Str(i.string_value(&self.doc)))
                     .collect())
             }
             "distinct-values" => {
@@ -1326,7 +1345,7 @@ impl<'d> Engine<'d> {
                 let mut seen = std::collections::HashSet::new();
                 let mut out = Vec::new();
                 for item in seq {
-                    let s = item.string_value(self.doc);
+                    let s = item.string_value(&self.doc);
                     if seen.insert(s.clone()) {
                         out.push(Item::Str(s));
                     }
@@ -1363,7 +1382,7 @@ mod tests {
     use xmldb::datasets::movies::{movies, movies_and_books};
 
     fn run(doc: &Document, q: &str) -> Vec<String> {
-        let e = Engine::new(doc);
+        let e = Engine::new(doc.clone());
         let out = e
             .run(q)
             .unwrap_or_else(|err| panic!("query failed: {err}\n{q}"));
@@ -1373,14 +1392,14 @@ mod tests {
     #[test]
     fn engine_and_env_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<Engine<'static>>();
+        assert_send_sync::<Engine>();
         assert_send_sync::<Env>();
     }
 
     #[test]
     fn value_index_is_shared_across_threads() {
         let doc = movies();
-        let e = Engine::new(&doc);
+        let e = Engine::new(doc.clone());
         let q = "for $m in doc(\"movies.xml\")//movie, $d in doc(\"movies.xml\")//director \
                  where $d = \"Ron Howard\" and mqf($m, $d) return $m/title";
         let serial = e.strings(&e.run(q).unwrap());
@@ -1398,7 +1417,7 @@ mod tests {
     /// Plan the bindings of a parsed FLWOR and return the variable names
     /// in execution order.
     fn plan_of(doc: &Document, q: &str) -> Vec<String> {
-        let e = Engine::new(doc);
+        let e = Engine::new(doc.clone());
         let expr = parse(q).unwrap();
         let Expr::Flwor {
             bindings,
@@ -1597,7 +1616,7 @@ mod tests {
         return $d"#;
         // Simpler faithful form: directors whose movie title equals some
         // book's title. The only shared title is "Traffic".
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let out = e.run(q).unwrap();
         let mut names = e.strings(&out);
         names.sort();
@@ -1716,7 +1735,7 @@ mod tests {
     #[test]
     fn element_constructor_flattens_to_string() {
         let d = bib();
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let out = e
             .run("for $b in doc()//book where $b/year = 1994 return element r { $b/title }")
             .unwrap();
@@ -1791,7 +1810,7 @@ mod tests {
     #[test]
     fn unbound_variable_errors() {
         let d = bib();
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let err = e.run("for $b in doc()//book return $nope").unwrap_err();
         assert!(matches!(err, EvalError::UnboundVariable(v) if v == "nope"));
     }
@@ -1799,7 +1818,7 @@ mod tests {
     #[test]
     fn path_on_string_errors() {
         let d = bib();
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let err = e
             .run("for $b in doc()//book let $s := \"x\" where $s/title = 1 return $b")
             .unwrap_err();
@@ -1809,7 +1828,7 @@ mod tests {
     #[test]
     fn unknown_function_errors() {
         let d = bib();
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let err = e.run("frobnicate(doc()//book)").unwrap_err();
         assert!(matches!(err, EvalError::UnknownFunction(_)));
     }
@@ -1817,7 +1836,7 @@ mod tests {
     #[test]
     fn wrong_arity_errors() {
         let d = bib();
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let err = e.run("contains(\"a\")").unwrap_err();
         assert!(matches!(err, EvalError::WrongArity { .. }));
     }

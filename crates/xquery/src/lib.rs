@@ -47,7 +47,7 @@
 //! use xquery::Engine;
 //!
 //! let doc = movies();
-//! let engine = Engine::new(&doc);
+//! let engine = Engine::new(doc);
 //! let out = engine
 //!     .run("for $d in doc()//director, $t in doc()//title \
 //!           where mqf($d, $t) and $t = \"Traffic\" return $d")
@@ -73,7 +73,7 @@
 //! use xquery::Engine;
 //!
 //! let doc = movies();
-//! let engine = Engine::new(&doc);
+//! let engine = Engine::new(doc);
 //! engine.run("for $t in doc()//title return $t").unwrap();
 //! let snap = engine.metrics().snapshot();
 //! assert_eq!(snap.stage(obs::Stage::Eval).spans(), 1);

@@ -28,7 +28,7 @@ proptest! {
     #[test]
     fn aggregates_match_direct(values in proptest::collection::vec(-1000i32..1000, 1..20)) {
         let d = numbers_doc(&values);
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let run1 = |q: &str| -> f64 {
             let out = e.run(q).unwrap();
             e.item_string(&out[0]).parse().unwrap()
@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn comparison_algebra(a in -100i32..100, b in -100i32..100) {
         let d = numbers_doc(&[a, b]);
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let truth = |q: String| -> bool {
             let out = e.run(&q).unwrap();
             e.item_string(&out[0]) == "true"
@@ -63,7 +63,7 @@ proptest! {
     #[test]
     fn order_by_sorts(values in proptest::collection::vec(-1000i32..1000, 0..20)) {
         let d = numbers_doc(&values);
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let sorted = e
             .run("for $n in doc()//n order by $n return $n")
             .unwrap();
@@ -81,7 +81,7 @@ proptest! {
         threshold in -50i32..50,
     ) {
         let d = numbers_doc(&values);
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let filtered = e
             .run(&format!("for $n in doc()//n where $n > {threshold} return $n"))
             .unwrap();
@@ -98,7 +98,7 @@ proptest! {
     #[test]
     fn eq_join_matches_nested_loops(values in proptest::collection::vec(0i32..8, 0..10)) {
         let d = numbers_doc(&values);
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let joined = e
             .run("for $a in doc()//n, $b in doc()//n where $a = $b return ($a, $b)")
             .unwrap();
@@ -117,7 +117,7 @@ proptest! {
     #[test]
     fn quantifiers_match_iterators(values in proptest::collection::vec(-20i32..20, 0..12)) {
         let d = numbers_doc(&values);
-        let e = Engine::new(&d);
+        let e = Engine::new(d.clone());
         let truth = |q: &str| -> bool {
             let out = e.run(q).unwrap();
             e.item_string(&out[0]) == "true"

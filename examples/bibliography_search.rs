@@ -21,7 +21,7 @@ fn main() {
         doc.nodes_labeled("book").len(),
         doc.nodes_labeled("article").len()
     );
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let kw = KeywordEngine::new(&doc);
 
     println!(

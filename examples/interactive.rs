@@ -15,23 +15,22 @@
 //! exits.
 
 use nalix_repro::nalix::{Nalix, Outcome};
-use nalix_repro::xmldb::datasets::movies::movies_and_books;
-use nalix_repro::xmldb::Document;
+use nalix_repro::store::load_dataset;
 use nalix_repro::xquery::pretty::pretty;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let doc = match std::env::args().nth(1) {
-        Some(path) => {
-            let text = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-            Document::parse_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
-        }
+    let source = match std::env::args().nth(1) {
+        Some(source) => source,
         None => {
-            println!("(no file given — using the built-in movies+books database)");
-            movies_and_books()
+            println!("(no source given — using the built-in movies+books database)");
+            "movies".to_string()
         }
     };
+    let doc = load_dataset(&source).unwrap_or_else(|e| {
+        eprintln!("interactive: {e}");
+        std::process::exit(1);
+    });
     println!(
         "Loaded {} nodes; element names: {}",
         doc.len(),
@@ -39,7 +38,7 @@ fn main() {
     );
     println!("Type an English query, or :labels / :xml / :metrics / :quit.\n");
 
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let stdin = std::io::stdin();
     loop {
         print!("> ");

@@ -12,7 +12,7 @@ use nalix_repro::xmldb::datasets::bib::bib;
 
 fn main() {
     let doc = bib();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
 
     // A mixed batch: six distinct questions, three of them asked twice,
     // plus one that the pipeline rejects. Repeats hit the translation

@@ -14,7 +14,7 @@ use nalix_repro::xquery::pretty::pretty;
 
 fn main() {
     let doc = movies_and_books();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
 
     println!("═══ Query 1 (invalid, paper Fig. 10) ═══");
     let q1 = "Return every director who has directed as many movies as has Ron Howard.";

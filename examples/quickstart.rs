@@ -14,7 +14,7 @@ fn main() {
     println!("Database: the movies collection of the paper's Figure 1\n");
     println!("{}", doc.to_xml(doc.root()));
 
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let questions = [
         "Find all the movies directed by Ron Howard.",
         "Return the director of the movie, where the title of the movie is \"Traffic\".",

@@ -7,6 +7,7 @@
 pub use keyword;
 pub use nalix;
 pub use nlparser;
+pub use store;
 pub use userstudy;
 pub use xmldb;
 pub use xquery;

@@ -20,7 +20,7 @@ fn assert_exhausted(r: Result<xquery::Sequence, EvalError>, want: ExhaustedResou
 #[test]
 fn deep_nesting_exhausts_the_depth_budget_quickly() {
     let doc = movies();
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     // not(not(...not(1)...)) nested far beyond any real translation.
     let mut expr = Expr::Num(1.0);
     for _ in 0..5_000 {
@@ -39,7 +39,7 @@ fn deep_nesting_exhausts_the_depth_budget_quickly() {
 #[test]
 fn custom_depth_limit_is_respected() {
     let doc = movies();
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     let mut expr = Expr::Num(1.0);
     for _ in 0..40 {
         expr = Expr::Not(Box::new(expr));
@@ -58,7 +58,7 @@ fn custom_depth_limit_is_respected() {
 #[test]
 fn zero_time_limit_trips_at_the_first_iteration_boundary() {
     let doc = movies();
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     let budget = EvalBudget::default().with_time_limit(Duration::ZERO);
     let got = engine.run_with_budget("for $m in doc()//movie return $m", &budget);
     assert_exhausted(got, ExhaustedResource::Time);
@@ -67,7 +67,7 @@ fn zero_time_limit_trips_at_the_first_iteration_boundary() {
 #[test]
 fn cartesian_blowup_exhausts_the_tuple_budget() {
     let doc = movies();
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     let q = "for $a in doc()//movie for $b in doc()//movie for $c in doc()//movie return $a";
     let budget = EvalBudget::default().with_max_tuples(50);
     let start = Instant::now();
@@ -83,7 +83,7 @@ fn cartesian_blowup_exhausts_the_tuple_budget() {
 #[test]
 fn exhaustion_surfaces_as_a_typed_query_error_with_suggestion() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let question = "Find all the movies directed by Ron Howard.";
     // Generous budget: the question answers normally.
     assert!(nalix.answer(question).is_ok());
@@ -113,7 +113,7 @@ fn all_nine_golden_queries_fit_the_default_budget() {
         articles: 80,
         seed: 7,
     });
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
     let mut seen = 0;
     for entry in std::fs::read_dir(&dir).expect("golden dir") {

@@ -15,9 +15,9 @@ use nalix_repro::xquery::Engine;
 fn query_path_types_are_send_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Document>();
-    assert_send_sync::<Engine<'static>>();
-    assert_send_sync::<Nalix<'static>>();
-    assert_send_sync::<BatchRunner<'static, 'static>>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Nalix>();
+    assert_send_sync::<BatchRunner>();
 }
 
 fn render(reply: &BatchReply) -> String {
@@ -44,7 +44,7 @@ fn eight_thread_batch_is_identical_to_serial() {
         articles: 60,
         seed: 11,
     });
-    let nalix = Nalix::new(&doc);
+    let nalix = std::sync::Arc::new(Nalix::new(doc.clone()));
 
     let mut questions: Vec<&str> = vec![
         "Return the title and the authors of every book.",
@@ -63,7 +63,7 @@ fn eight_thread_batch_is_identical_to_serial() {
     let serial: Vec<String> = questions.iter().map(|q| render(&nalix.ask(q))).collect();
 
     for _round in 0..3 {
-        let parallel = BatchRunner::new(&nalix, 8).run(&questions);
+        let parallel = BatchRunner::new(nalix.clone(), 8).run(&questions);
         let parallel: Vec<String> = parallel.iter().map(render).collect();
         assert_eq!(parallel, serial);
     }
@@ -82,7 +82,7 @@ fn shared_engine_concurrent_queries_match_serial() {
         articles: 40,
         seed: 3,
     });
-    let engine = Engine::new(&doc);
+    let engine = Engine::new(doc.clone());
     let queries = [
         "for $b in doc()//book return $b/title",
         "for $t in doc()//title, $a in doc()//author where mqf($t,$a) and contains($a, \"a\") return $t",

@@ -10,7 +10,7 @@ use nalix_repro::xmldb::datasets::movies::movies;
 use nalix_repro::xmldb::Document;
 
 fn ask(doc: &Document, q: &str) -> Result<Vec<String>, Vec<String>> {
-    let nalix = Nalix::new(doc);
+    let nalix = Nalix::new(doc.clone());
     match nalix.query(q) {
         Outcome::Translated(t) => Ok(nalix.flatten_values(&nalix.execute(&t).expect(q))),
         Outcome::Rejected(r) => Err(r.errors.iter().map(|e| e.message()).collect()),
@@ -138,7 +138,7 @@ fn feedback_between_suggestion() {
 #[test]
 fn feedback_missing_return() {
     let doc = bib();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix.query("Return.");
     match out {
         Outcome::Rejected(r) => assert!(r

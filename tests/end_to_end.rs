@@ -10,7 +10,7 @@ use nalix_repro::xmldb::Document;
 #[test]
 fn movies_quickstart_flow() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask("Find all the movies directed by Ron Howard.")
         .unwrap();
@@ -21,7 +21,7 @@ fn movies_quickstart_flow() {
 fn reformulation_loop_as_in_the_paper() {
     // Query 1 → rejection with "the same as" → Query 2 → answer.
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
 
     let rejected = nalix
         .ask("Return every director who has directed as many movies as has Ron Howard.")
@@ -49,7 +49,7 @@ fn reformulation_loop_as_in_the_paper() {
 fn query3_needs_the_books_branch() {
     // Without books in the database, the title join finds nothing…
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let q = "Return the directors of movies, where the title of each movie is \
              the same as the title of a book.";
     // "book" does not exist in the movies-only database → term expansion
@@ -58,7 +58,7 @@ fn query3_needs_the_books_branch() {
 
     // …with the books branch, Steven Soderbergh ("Traffic").
     let doc = movies_and_books();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let mut answers = nalix.ask(q).unwrap();
     answers.sort();
     answers.dedup();
@@ -68,7 +68,7 @@ fn query3_needs_the_books_branch() {
 #[test]
 fn dblp_selection_with_implicit_name_tokens() {
     let doc = generate(&DblpConfig::small());
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let answers = nalix
         .ask("Return the title of every book published by Addison-Wesley after 1991.")
         .unwrap();
@@ -86,7 +86,7 @@ fn aggregation_nesting_grouping() {
          </bib>",
     )
     .unwrap();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     // global minimum — flatten the returned book subtree into its
     // element values
     let out = match nalix.query("Return the book with the lowest price.") {
@@ -102,7 +102,7 @@ fn aggregation_nesting_grouping() {
 #[test]
 fn sorting_is_applied() {
     let doc = generate(&DblpConfig::small());
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask("Return the title of every book, sorted by title.")
         .unwrap();
@@ -119,7 +119,7 @@ fn sorting_is_applied() {
 #[test]
 fn warnings_surface_but_do_not_block() {
     let doc = generate(&DblpConfig::small());
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     match nalix.query("Return all books and their titles.") {
         Outcome::Translated(t) => assert!(
             t.warnings.iter().any(|w| w.message().contains("pronoun")),
@@ -133,7 +133,7 @@ fn warnings_surface_but_do_not_block() {
 #[test]
 fn thesaurus_bridges_vocabulary() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     // "film" is not an element name; WordNet-style expansion maps it to
     // movie.
     let out = nalix
@@ -145,7 +145,7 @@ fn thesaurus_bridges_vocabulary() {
 #[test]
 fn no_such_value_feedback() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let err = nalix
         .ask("Find all the movies directed by Stanley Kubrick.")
         .unwrap_err();
@@ -173,7 +173,7 @@ fn schema_free_query_survives_schema_inversion() {
     .unwrap();
 
     for doc in [normal, inverted] {
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let out = nalix.ask(q).unwrap();
         assert_eq!(out, vec!["Alpha"], "schema variant failed");
     }
@@ -183,7 +183,7 @@ fn schema_free_query_survives_schema_inversion() {
 fn extension_value_disjunction() {
     // Paper Sec. 7 lists disjunction as future work; supported here.
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask("Find all the movies directed by \"Peter Jackson\" or \"Steven Soderbergh\".")
         .unwrap();
@@ -193,7 +193,7 @@ fn extension_value_disjunction() {
 #[test]
 fn extension_name_disjunction() {
     let doc = generate(&DblpConfig::small());
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask("Return the title of every book or article.")
         .unwrap();
@@ -204,7 +204,7 @@ fn extension_name_disjunction() {
 fn extension_multi_sentence_query() {
     // Paper Sec. 7 lists multi-sentence queries as future work.
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask("Return the director of the movie. The title of the movie is \"Traffic\".")
         .unwrap();
@@ -214,7 +214,7 @@ fn extension_multi_sentence_query() {
 #[test]
 fn execute_after_translate_is_idempotent() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     match nalix.query("Return the title of each movie.") {
         Outcome::Translated(t) => {
             let a = nalix.execute(&t).unwrap();

@@ -92,7 +92,7 @@ const CASES: &[(&str, &str, &str, Option<u64>)] = &[
 #[test]
 fn failure_feedback_matches_golden_files() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let update = std::env::var_os("UPDATE_GOLDEN").is_some();
     let mut failures = Vec::new();
 

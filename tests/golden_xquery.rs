@@ -37,7 +37,7 @@ fn corpus() -> nalix_repro::xmldb::Document {
 #[test]
 fn xmp_translations_match_golden_files() {
     let doc = corpus();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let update = std::env::var_os("UPDATE_GOLDEN").is_some();
     let mut failures = Vec::new();
 

@@ -22,8 +22,8 @@ const QUESTIONS: [&str; 9] = [
     "Return the title of every book.",
 ];
 
-fn fresh_nalix(doc: &nalix_repro::xmldb::Document) -> Nalix<'_> {
-    Nalix::with_metrics(doc, Arc::new(obs::MetricsRegistry::new()))
+fn fresh_nalix(doc: &nalix_repro::xmldb::Document) -> Nalix {
+    Nalix::with_metrics(doc.clone(), Arc::new(obs::MetricsRegistry::new()))
 }
 
 /// Deterministic counters for cross-run comparison. `ValueIndexBuilds`
@@ -120,13 +120,13 @@ fn failed_queries_record_their_failure_class() {
 fn parallel_batch_totals_equal_serial_totals() {
     let doc = bib();
 
-    let serial_nalix = fresh_nalix(&doc);
-    let serial_runner = BatchRunner::new(&serial_nalix, 1);
+    let serial_nalix = Arc::new(fresh_nalix(&doc));
+    let serial_runner = BatchRunner::new(serial_nalix.clone(), 1);
     let serial_replies = serial_runner.run(&QUESTIONS);
     let serial = serial_nalix.metrics();
 
-    let par_nalix = fresh_nalix(&doc);
-    let par_runner = BatchRunner::new(&par_nalix, 8);
+    let par_nalix = Arc::new(fresh_nalix(&doc));
+    let par_runner = BatchRunner::new(par_nalix.clone(), 8);
     let par_replies = par_runner.run(&QUESTIONS);
     let par = par_nalix.metrics();
 
@@ -208,7 +208,7 @@ fn disabled_registry_records_nothing_but_answers_stay_correct() {
 
     let registry = Arc::new(obs::MetricsRegistry::new());
     registry.set_enabled(false);
-    let nalix = Nalix::with_metrics(&doc, Arc::clone(&registry));
+    let nalix = Nalix::with_metrics(doc.clone(), Arc::clone(&registry));
     let got: Vec<Vec<String>> = QUESTIONS.iter().map(|q| nalix.ask(q).expect(q)).collect();
 
     assert_eq!(expected, got, "disabling metrics must not change answers");

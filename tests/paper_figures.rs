@@ -40,7 +40,7 @@ fn figure2_classified_tree() {
 #[test]
 fn figure10_query1_rejected_with_suggestion() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     match nalix.query(QUERY1) {
         Outcome::Rejected(r) => {
             let m = r
@@ -92,7 +92,7 @@ fn table3_variable_bindings() {
 #[test]
 fn figure9_translation_shape_and_answer() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let t = match nalix.query(QUERY2) {
         Outcome::Translated(t) => t,
         Outcome::Rejected(r) => panic!("{:?}", r.errors),
@@ -140,7 +140,7 @@ fn figure3_query3_related_sets_and_answer() {
     };
     assert_eq!(sizes, vec![2, 3]); // {title,book} and {director,movie,title}
 
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let mut out = nalix.ask(QUERY3).unwrap();
     out.sort();
     out.dedup();
@@ -159,7 +159,7 @@ fn section323_aggregate_scopes() {
          </bib>",
     )
     .unwrap();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
 
     let per_book = nalix.ask("Return the lowest price for each book.").unwrap();
     assert_eq!(per_book, vec!["90", "15"]);
@@ -175,7 +175,7 @@ fn section323_aggregate_scopes() {
 #[test]
 fn section323_inner_scope_count() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask(
             "Return the total number of movies, where the director of each movie \
@@ -191,7 +191,7 @@ fn section323_inner_scope_count() {
 #[test]
 fn section4_apposition_example() {
     let doc = movies();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask("Find all the movies directed by director Ron Howard.")
         .unwrap();

@@ -349,7 +349,7 @@ proptest! {
         shape in 0u8..4,
     ) {
         let doc = nalix_repro::xmldb::datasets::movies::movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let q = match shape {
             0 => format!("Return the {noun1} of each {noun2}."),
             1 => format!("Return every {noun1}, where the {noun2} of the {noun1} is \"{value}\"."),
@@ -377,7 +377,7 @@ proptest! {
         q in "[ ,.\"'?!a-zA-Z0-9à-ö‘-”一-丏]{0,60}",
     ) {
         let doc = nalix_repro::xmldb::datasets::movies::movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         match nalix.answer(&q) {
             Ok(_) => {}
             Err(e) => {
@@ -416,7 +416,7 @@ proptest! {
         )
     ) {
         let doc = nalix_repro::xmldb::datasets::movies::movies();
-        let nalix = Nalix::new(&doc);
+        let nalix = Nalix::new(doc.clone());
         let q = words.join(" ");
         if let Err(e) = nalix.answer(&q) {
             prop_assert!(!e.suggestion().is_empty(), "{:?} -> {}", q, e);

@@ -9,7 +9,7 @@ use nalix_repro::xmldb::datasets::bib::bib;
 
 fn ask(q: &str) -> Vec<String> {
     let doc = bib();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     match nalix.query(q) {
         Outcome::Translated(t) => {
             let seq = nalix.execute(&t).expect(q);
@@ -104,7 +104,7 @@ fn price_disjunction() {
 #[test]
 fn sorting_by_price() {
     let doc = bib();
-    let nalix = Nalix::new(&doc);
+    let nalix = Nalix::new(doc.clone());
     let out = nalix
         .ask("Return the price of every book, sorted by price.")
         .unwrap();
