@@ -72,12 +72,12 @@ impl Catalog {
             let n = doc.node(id);
             match n.kind {
                 NodeKind::Attribute => {
-                    record(doc.label(id), n.value.as_deref().unwrap_or(""));
+                    record(doc.label(id), n.value.unwrap_or(""));
                 }
                 NodeKind::Text => {
                     // Value is recorded under the owning element's label.
                     if let Some(p) = n.parent {
-                        record(doc.label(p), n.value.as_deref().unwrap_or(""));
+                        record(doc.label(p), n.value.unwrap_or(""));
                     }
                 }
                 NodeKind::Element => {}

@@ -332,6 +332,9 @@ pub enum Counter {
     /// Indexed mqf partner enumerations (the candidate generator behind
     /// schema-free `for` bindings).
     MqfPartnerLookups,
+    /// Worker shards spawned for intra-query parallel FLWOR loops (one
+    /// per chunk of a sharded binding-expansion or return loop).
+    EvalShardSpawns,
     /// Lowest-common-ancestor queries answered by `xmldb`.
     LcaQueries,
     /// Level-ancestor (`child_toward`) queries answered by `xmldb`.
@@ -368,7 +371,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 23;
 
     /// All counters, in [`Counter::index`] order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -383,6 +386,7 @@ impl Counter {
         Counter::ValueIndexBuilds,
         Counter::MqfChecks,
         Counter::MqfPartnerLookups,
+        Counter::EvalShardSpawns,
         Counter::LcaQueries,
         Counter::ChildTowardQueries,
         Counter::SubtreeProbes,
@@ -415,6 +419,7 @@ impl Counter {
             Counter::ValueIndexBuilds => "value_index_builds",
             Counter::MqfChecks => "mqf_checks",
             Counter::MqfPartnerLookups => "mqf_partner_lookups",
+            Counter::EvalShardSpawns => "eval_shard_spawns",
             Counter::LcaQueries => "lca_queries",
             Counter::ChildTowardQueries => "child_toward_queries",
             Counter::SubtreeProbes => "subtree_probes",

@@ -10,7 +10,13 @@
 //! queries (including [`Document::child_toward`]) in O(log n) via binary
 //! lifting; the original parent-pointer walks survive as `*_walk`
 //! reference implementations and as fallbacks for unfinalized documents.
+//!
+//! Since the columnar-arena refactor the bulk axes are linear sweeps:
+//! descendants of a finalized node iterate a contiguous slice of the
+//! document-order table, and subtree label probes binary-search the
+//! label's packed pre-rank column — no per-step node loads.
 
+use crate::arena::NIL;
 use crate::document::Document;
 use crate::node::{NodeId, NodeKind};
 
@@ -19,7 +25,7 @@ impl Document {
     pub fn children(&self, id: NodeId) -> Children<'_> {
         Children {
             doc: self,
-            next: self.node(id).first_child,
+            next: self.arena.first_child[id.index()],
         }
     }
 
@@ -27,26 +33,38 @@ impl Document {
     /// attribute nodes), in document order.
     pub fn element_children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.children(id)
-            .filter(move |&c| self.node(c).kind == NodeKind::Element)
+            .filter(move |&c| self.arena.kinds[c.index()] == NodeKind::Element)
     }
 
     /// Iterator over all descendants of `id` in pre-order, excluding `id`
     /// itself.
+    ///
+    /// On a finalized document this is a linear sweep over the
+    /// subtree's contiguous slice of the document-order table; before
+    /// finalization it falls back to an explicit-stack link walk.
     pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        if let Some(ix) = &self.struct_index {
+            let lo = self.arena.pre[id.index()] as usize;
+            let hi = ix.subtree_hi(id) as usize;
+            // Skip `id` itself: its pre rank is `lo`.
+            return Descendants {
+                doc: self,
+                sweep: Some(lo + 1..hi + 1),
+                stack: Vec::new(),
+            };
+        }
+        let mut stack = Vec::new();
+        let mut c = self.arena.first_child[id.index()];
+        let mut tmp = Vec::new();
+        while c != NIL {
+            tmp.push(c);
+            c = self.arena.next_sibling[c as usize];
+        }
+        stack.extend(tmp.into_iter().rev());
         Descendants {
             doc: self,
-            stack: {
-                let mut v = Vec::new();
-                // Children pushed in reverse for pre-order traversal.
-                let mut c = self.node(id).first_child;
-                let mut tmp = Vec::new();
-                while let Some(cid) = c {
-                    tmp.push(cid);
-                    c = self.node(cid).next_sibling;
-                }
-                v.extend(tmp.into_iter().rev());
-                v
-            },
+            sweep: None,
+            stack,
         }
     }
 
@@ -54,7 +72,7 @@ impl Document {
     pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
         Ancestors {
             doc: self,
-            next: self.node(id).parent,
+            next: self.arena.parent[id.index()],
         }
     }
 
@@ -62,10 +80,9 @@ impl Document {
     /// pre/post ranks — document must be finalized).
     #[inline]
     pub fn is_ancestor_or_self(&self, anc: NodeId, desc: NodeId) -> bool {
-        let a = self.node(anc);
-        let d = self.node(desc);
-        debug_assert!(a.pre != u32::MAX && d.pre != u32::MAX);
-        a.pre <= d.pre && a.post >= d.post
+        let (a, d) = (anc.index(), desc.index());
+        debug_assert!(self.arena.pre[a] != NIL && self.arena.pre[d] != NIL);
+        self.arena.pre[a] <= self.arena.pre[d] && self.arena.post[a] >= self.arena.post[d]
     }
 
     /// True iff `anc` is a *proper* ancestor of `desc`.
@@ -100,25 +117,30 @@ impl Document {
         // lockstep. The root handles both `None` parents below: the
         // ancestor-or-self checks above already dealt with one node
         // being the root, so hitting it here means the walk converged.
-        let (mut x, mut y) = (a, b);
-        while self.node(x).depth > self.node(y).depth {
-            let Some(p) = self.node(x).parent else { break };
-            x = p;
+        let (mut x, mut y) = (a.index(), b.index());
+        while self.arena.depth[x] > self.arena.depth[y] {
+            let p = self.arena.parent[x];
+            if p == NIL {
+                break;
+            }
+            x = p as usize;
         }
-        while self.node(y).depth > self.node(x).depth {
-            let Some(p) = self.node(y).parent else { break };
-            y = p;
+        while self.arena.depth[y] > self.arena.depth[x] {
+            let p = self.arena.parent[y];
+            if p == NIL {
+                break;
+            }
+            y = p as usize;
         }
         while x != y {
-            match (self.node(x).parent, self.node(y).parent) {
-                (Some(px), Some(py)) => {
-                    x = px;
-                    y = py;
-                }
-                _ => return self.root(),
+            let (px, py) = (self.arena.parent[x], self.arena.parent[y]);
+            if px == NIL || py == NIL {
+                return self.root();
             }
+            x = px as usize;
+            y = py as usize;
         }
-        x
+        NodeId(x as u32)
     }
 
     /// LCA of a non-empty set of nodes.
@@ -157,7 +179,7 @@ impl Document {
         }
         let mut cur = desc;
         loop {
-            let p = self.node(cur).parent?;
+            let p = self.parent(cur)?;
             if p == anc {
                 return Some(cur);
             }
@@ -169,7 +191,7 @@ impl Document {
     /// when its depth matches, `None` when `id` is shallower than the
     /// requested depth. O(log n) on a finalized document.
     pub fn ancestor_at_depth(&self, id: NodeId, depth: u32) -> Option<NodeId> {
-        let own = self.node(id).depth;
+        let own = self.arena.depth[id.index()];
         if depth > own {
             return None;
         }
@@ -178,7 +200,7 @@ impl Document {
             None => {
                 let mut cur = id;
                 for _ in 0..own - depth {
-                    cur = self.node(cur).parent?;
+                    cur = self.parent(cur)?;
                 }
                 Some(cur)
             }
@@ -186,8 +208,8 @@ impl Document {
     }
 
     /// Count of nodes with label `sym` inside the subtree rooted at
-    /// `root` (inclusive). Uses binary search over the label index's
-    /// document-ordered node list: O(log n).
+    /// `root` (inclusive). Uses binary search over the label's packed
+    /// pre-rank column: O(log n).
     pub fn count_label_in_subtree(&self, sym: crate::interner::Symbol, root: NodeId) -> usize {
         self.labeled_in_subtree(sym, root).len()
     }
@@ -195,14 +217,18 @@ impl Document {
     /// The nodes with label `sym` inside the subtree rooted at `root`
     /// (inclusive), as a document-ordered slice of the label index.
     /// O(log n) to locate; the slice itself is borrowed, not copied.
+    ///
+    /// The binary search runs over the postings' contiguous `pres`
+    /// column — pure 4-byte loads, no node records touched.
     pub fn labeled_in_subtree(&self, sym: crate::interner::Symbol, root: NodeId) -> &[NodeId] {
         obs::count_hot(obs::Counter::SubtreeProbes, 1);
-        let list = self.nodes_with_symbol(sym);
+        let Some(p) = self.postings_for(sym) else {
+            return &[];
+        };
         let (lo, hi) = self.subtree_pre_range(root);
-        // list is sorted by pre-order rank.
-        let start = list.partition_point(|&n| self.node(n).pre < lo);
-        let end = list.partition_point(|&n| self.node(n).pre <= hi);
-        &list[start..end]
+        let start = p.pres.partition_point(|&pre| pre < lo);
+        let end = p.pres.partition_point(|&pre| pre <= hi);
+        &p.ids[start..end]
     }
 
     /// Does any node with label `sym` occur in the subtree rooted at
@@ -211,78 +237,175 @@ impl Document {
         self.count_label_in_subtree(sym, root) > 0
     }
 
+    /// Cursor-accelerated [`Document::labeled_in_subtree`]: identical
+    /// result, but the search starts from where the cursor's previous
+    /// probe of the *same label* ended, galloping outward. Sweeps that
+    /// probe many subtrees in (roughly) document order — the per-anchor
+    /// partner enumeration of an `mqf()` join is the motivating one —
+    /// pay O(log distance) per probe instead of O(log n), which in
+    /// practice means a handful of adjacent cache lines instead of a
+    /// cold binary search over a multi-megabyte postings column.
+    pub fn labeled_in_subtree_from(
+        &self,
+        sym: crate::interner::Symbol,
+        root: NodeId,
+        cursor: &mut SubtreeProbeCursor,
+    ) -> &[NodeId] {
+        obs::count_hot(obs::Counter::SubtreeProbes, 1);
+        let Some(p) = self.postings_for(sym) else {
+            return &[];
+        };
+        let (lo, hi) = self.subtree_pre_range(root);
+        let start = gallop_lower_bound(&p.pres, lo, cursor.pos);
+        let end = start + gallop_lower_bound(&p.pres[start..], hi + 1, 0);
+        cursor.pos = start;
+        &p.ids[start..end]
+    }
+
+    /// Cursor-accelerated [`Document::count_label_in_subtree`].
+    pub fn count_label_in_subtree_from(
+        &self,
+        sym: crate::interner::Symbol,
+        root: NodeId,
+        cursor: &mut SubtreeProbeCursor,
+    ) -> usize {
+        self.labeled_in_subtree_from(sym, root, cursor).len()
+    }
+
     /// The pre-order rank interval `[lo, hi]` covering exactly the
     /// subtree of `root`. O(1) on a finalized document (the extent is
     /// precomputed), O(depth) otherwise.
     fn subtree_pre_range(&self, root: NodeId) -> (u32, u32) {
-        let lo = self.node(root).pre;
+        let lo = self.arena.pre[root.index()];
         if let Some(ix) = &self.struct_index {
             return (lo, ix.subtree_hi(root));
         }
         // The subtree of root is a contiguous pre-order interval; its end
         // is found from the next node after the subtree. Walk to the next
         // sibling of the nearest ancestor that has one.
-        let mut cur = root;
+        let mut cur = root.index();
         loop {
-            if let Some(sib) = self.node(cur).next_sibling {
-                return (lo, self.node(sib).pre - 1);
+            let sib = self.arena.next_sibling[cur];
+            if sib != NIL {
+                return (lo, self.arena.pre[sib as usize] - 1);
             }
-            match self.node(cur).parent {
-                Some(p) => cur = p,
-                None => return (lo, (self.len() - 1) as u32),
+            match self.arena.parent[cur] {
+                NIL => return (lo, (self.len() - 1) as u32),
+                p => cur = p as usize,
             }
         }
     }
+}
+
+/// Remembered position inside one label's postings, carried between
+/// successive [`Document::labeled_in_subtree_from`] probes.
+///
+/// A cursor is only a performance hint — any value (including the
+/// default) yields correct results — and it is only meaningful for the
+/// label it was last used with; keep one cursor per label.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SubtreeProbeCursor {
+    pos: usize,
+}
+
+/// First index `i` of sorted `pres` with `pres[i] >= target`, found by
+/// galloping outward from `hint`: O(log |i - hint|) comparisons, and
+/// mostly-sequential memory traffic when the hint is near the answer.
+/// Equivalent to `pres.partition_point(|&p| p < target)` for any hint.
+fn gallop_lower_bound(pres: &[u32], target: u32, hint: usize) -> usize {
+    let n = pres.len();
+    let h = hint.min(n);
+    let (lo, hi) = if h < n && pres[h] < target {
+        // Answer lies right of the hint: double the step until we
+        // overshoot, keeping `pres[lo] < target`.
+        let mut step = 1usize;
+        let mut lo = h;
+        let mut hi = h + 1;
+        while hi < n && pres[hi] < target {
+            lo = hi;
+            step <<= 1;
+            hi = hi.saturating_add(step);
+        }
+        (lo, hi.min(n))
+    } else {
+        // Answer lies at or left of the hint, keeping `pres[hi] >=
+        // target` (or `hi == n`).
+        let mut step = 1usize;
+        let mut hi = h;
+        let mut lo = hi.saturating_sub(1);
+        while lo > 0 && pres[lo] >= target {
+            hi = lo;
+            step <<= 1;
+            lo = lo.saturating_sub(step);
+        }
+        (lo, hi)
+    };
+    lo + pres[lo..hi].partition_point(|&p| p < target)
 }
 
 /// Iterator over direct children. See [`Document::children`].
 pub struct Children<'a> {
     doc: &'a Document,
-    next: Option<NodeId>,
+    next: u32,
 }
 
 impl Iterator for Children<'_> {
     type Item = NodeId;
     fn next(&mut self) -> Option<NodeId> {
-        let cur = self.next?;
-        self.next = self.doc.node(cur).next_sibling;
-        Some(cur)
+        if self.next == NIL {
+            return None;
+        }
+        let cur = self.next;
+        self.next = self.doc.arena.next_sibling[cur as usize];
+        Some(NodeId(cur))
     }
 }
 
 /// Iterator over descendants in pre-order. See [`Document::descendants`].
+///
+/// Finalized documents use the `sweep` range over the document-order
+/// table (contiguous, allocation-free); the `stack` path is the
+/// pre-finalization link walk.
 pub struct Descendants<'a> {
     doc: &'a Document,
-    stack: Vec<NodeId>,
+    sweep: Option<std::ops::Range<usize>>,
+    stack: Vec<u32>,
 }
 
 impl Iterator for Descendants<'_> {
     type Item = NodeId;
     fn next(&mut self) -> Option<NodeId> {
+        if let Some(range) = &mut self.sweep {
+            let r = range.next()?;
+            return Some(NodeId(self.doc.order[r]));
+        }
         let cur = self.stack.pop()?;
+        let mut c = self.doc.arena.first_child[cur as usize];
         let mut kids = Vec::new();
-        let mut c = self.doc.node(cur).first_child;
-        while let Some(cid) = c {
-            kids.push(cid);
-            c = self.doc.node(cid).next_sibling;
+        while c != NIL {
+            kids.push(c);
+            c = self.doc.arena.next_sibling[c as usize];
         }
         self.stack.extend(kids.into_iter().rev());
-        Some(cur)
+        Some(NodeId(cur))
     }
 }
 
 /// Iterator over ancestors, nearest first. See [`Document::ancestors`].
 pub struct Ancestors<'a> {
     doc: &'a Document,
-    next: Option<NodeId>,
+    next: u32,
 }
 
 impl Iterator for Ancestors<'_> {
     type Item = NodeId;
     fn next(&mut self) -> Option<NodeId> {
-        let cur = self.next?;
-        self.next = self.doc.node(cur).parent;
-        Some(cur)
+        if self.next == NIL {
+            return None;
+        }
+        let cur = self.next;
+        self.next = self.doc.arena.parent[cur as usize];
+        Some(NodeId(cur))
     }
 }
 
@@ -330,6 +453,22 @@ mod tests {
         // pre-order is strictly increasing
         for w in all.windows(2) {
             assert!(d.node(w[0]).pre < d.node(w[1]).pre);
+        }
+    }
+
+    #[test]
+    fn descendants_sweep_matches_link_walk() {
+        // Build the same tree twice: one finalized (order-table sweep),
+        // one not (link-walk fallback) — identical sequences, for every
+        // possible subtree root.
+        let fin = fig1ish();
+        let mut raw = fig1ish();
+        raw.struct_index = None; // forces the stack path
+        for i in 0..fin.len() {
+            let id = crate::NodeId::from_index(i);
+            let a: Vec<_> = fin.descendants(id).collect();
+            let b: Vec<_> = raw.descendants(id).collect();
+            assert_eq!(a, b, "descendants diverge at node {id}");
         }
     }
 
@@ -418,6 +557,50 @@ mod tests {
         let t = d.nodes_labeled("title")[0];
         assert!(!d.label_occurs_in_subtree(dir, t));
         assert!(d.label_occurs_in_subtree(dir, d.root()));
+    }
+
+    #[test]
+    fn cursor_probes_match_plain_probes() {
+        // Every (label, subtree) probe, swept forward and backward so
+        // both galloping directions run, must agree with the stateless
+        // binary search.
+        let d = fig1ish();
+        for lab in ["title", "director", "movie", "year", "movies"] {
+            let sym = d.lookup(lab).unwrap();
+            let mut fwd = crate::axes::SubtreeProbeCursor::default();
+            let mut bwd = crate::axes::SubtreeProbeCursor::default();
+            for i in 0..d.len() {
+                let a = crate::NodeId::from_index(i);
+                let b = crate::NodeId::from_index(d.len() - 1 - i);
+                assert_eq!(
+                    d.labeled_in_subtree(sym, a),
+                    d.labeled_in_subtree_from(sym, a, &mut fwd),
+                    "label {lab}, forward sweep at {a}"
+                );
+                assert_eq!(
+                    d.labeled_in_subtree(sym, b),
+                    d.labeled_in_subtree_from(sym, b, &mut bwd),
+                    "label {lab}, backward sweep at {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_lower_bound_matches_partition_point_for_all_hints() {
+        let pres: Vec<u32> = vec![0, 2, 2, 5, 9, 9, 9, 14, 21];
+        for target in 0..=22 {
+            let want = pres.partition_point(|&p| p < target);
+            for hint in 0..=pres.len() + 2 {
+                assert_eq!(
+                    super::gallop_lower_bound(&pres, target, hint),
+                    want,
+                    "target {target}, hint {hint}"
+                );
+            }
+        }
+        assert_eq!(super::gallop_lower_bound(&[], 3, 0), 0);
+        assert_eq!(super::gallop_lower_bound(&[], 3, 7), 0);
     }
 
     #[test]

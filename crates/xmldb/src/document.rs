@@ -1,12 +1,30 @@
-//! The document arena, construction API, and label index.
+//! The document store, construction API, and label index.
+//!
+//! Nodes live in a columnar node arena (`arena::NodeArena`); this module
+//! owns the construction API (which keeps ids dense and every node
+//! attached), finalization (rank assignment, document-order table,
+//! label postings, structural index) and the lookup surface the query
+//! layers consume.
 
+use crate::arena::{link, NodeArena, NIL};
 use crate::interner::{Interner, Symbol};
 use crate::node::{Node, NodeId, NodeKind};
 use crate::structindex::StructIndex;
-use std::collections::HashMap;
 
 /// Reserved label for text nodes.
 pub const TEXT_LABEL: &str = "#text";
+
+/// Per-label postings: all nodes carrying one label, in document order,
+/// with a parallel column of their pre-order ranks.
+///
+/// The `pres` column is what makes subtree probes branch-lean: locating
+/// the labelled nodes inside a subtree is two `partition_point` calls
+/// over a contiguous `u32` slice — no per-probe node loads at all.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Postings {
+    pub(crate) ids: Vec<NodeId>,
+    pub(crate) pres: Vec<u32>,
+}
 
 /// An in-memory XML document.
 ///
@@ -20,10 +38,13 @@ pub const TEXT_LABEL: &str = "#text";
 #[derive(Debug, Clone)]
 pub struct Document {
     pub(crate) interner: Interner,
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) arena: NodeArena,
     root: NodeId,
-    /// For each label symbol, all nodes with that label in document order.
-    label_index: HashMap<Symbol, Vec<NodeId>>,
+    /// Dense per-symbol postings (indexed by `Symbol::index()`).
+    postings: Vec<Postings>,
+    /// Document-order table: `order[r]` is the arena index of the node
+    /// with pre-order rank `r`. Subtree iteration is a slice of this.
+    pub(crate) order: Vec<u32>,
     /// Euler-tour/depth structural index (O(1) LCA, O(log n) level
     /// ancestors); built by [`Document::finalize`].
     pub(crate) struct_index: Option<StructIndex>,
@@ -35,12 +56,14 @@ impl Document {
     pub fn new(root_label: &str) -> Self {
         let mut interner = Interner::new();
         let sym = interner.intern(root_label);
-        let root = Node::new(sym, NodeKind::Element, None);
+        let mut arena = NodeArena::default();
+        let root = arena.push(sym, NodeKind::Element, None);
         Document {
             interner,
-            nodes: vec![root],
-            root: NodeId(0),
-            label_index: HashMap::new(),
+            arena,
+            root,
+            postings: Vec::new(),
+            order: Vec::new(),
             struct_index: None,
             finalized: false,
         }
@@ -55,19 +78,89 @@ impl Document {
     /// Total number of nodes (elements + attributes + text).
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
     }
 
     /// True if the document somehow has no nodes (cannot happen through
     /// the public API, which always creates a root).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.arena.len() == 0
     }
 
-    /// Access a node record.
+    /// Assemble the full per-node view. Cheap (a handful of column
+    /// loads, no allocation), but when a hot loop needs only one field,
+    /// prefer the single-column accessors ([`Document::pre`],
+    /// [`Document::kind`], [`Document::parent`], …) — they touch one
+    /// cache line instead of twelve.
     #[inline]
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        let i = id.index();
+        Node {
+            label: self.arena.labels[i],
+            kind: self.arena.kinds[i],
+            value: self.arena.value(i),
+            parent: link(self.arena.parent[i]),
+            first_child: link(self.arena.first_child[i]),
+            last_child: link(self.arena.last_child[i]),
+            next_sibling: link(self.arena.next_sibling[i]),
+            prev_sibling: link(self.arena.prev_sibling[i]),
+            pre: self.arena.pre[i],
+            post: self.arena.post[i],
+            depth: self.arena.depth[i],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Single-column accessors (the hot-path API)
+    // ------------------------------------------------------------------
+
+    /// Pre-order rank of `id` (document order). One column load.
+    #[inline]
+    pub fn pre(&self, id: NodeId) -> u32 {
+        self.arena.pre[id.index()]
+    }
+
+    /// Post-order rank of `id`. One column load.
+    #[inline]
+    pub fn post(&self, id: NodeId) -> u32 {
+        self.arena.post[id.index()]
+    }
+
+    /// Depth of `id` (root = 0). One column load.
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.arena.depth[id.index()]
+    }
+
+    /// Kind of `id`. One column load.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.arena.kinds[id.index()]
+    }
+
+    /// Parent of `id`; `None` only for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        link(self.arena.parent[id.index()])
+    }
+
+    /// First child of `id` in document order.
+    #[inline]
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        link(self.arena.first_child[id.index()])
+    }
+
+    /// Next sibling of `id` in document order.
+    #[inline]
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        link(self.arena.next_sibling[id.index()])
+    }
+
+    /// The stored text of `id`, borrowed from the shared string heap:
+    /// `Some` for text and attribute nodes, `None` for elements.
+    #[inline]
+    pub fn value(&self, id: NodeId) -> Option<&str> {
+        self.arena.value(id.index())
     }
 
     /// The document's interner (read-only).
@@ -78,13 +171,13 @@ impl Document {
     /// The label (tag/attribute name) of `id` as a string.
     #[inline]
     pub fn label(&self, id: NodeId) -> &str {
-        self.interner.resolve(self.node(id).label)
+        self.interner.resolve(self.arena.labels[id.index()])
     }
 
     /// The label symbol of `id`.
     #[inline]
     pub fn label_sym(&self, id: NodeId) -> Symbol {
-        self.node(id).label
+        self.arena.labels[id.index()]
     }
 
     /// Intern a label in this document's interner.
@@ -103,25 +196,13 @@ impl Document {
 
     fn attach(&mut self, parent: NodeId, child: NodeId) {
         debug_assert!(!self.finalized, "cannot mutate a finalized document");
-        self.nodes[child.index()].parent = Some(parent);
-        match self.nodes[parent.index()].last_child {
-            None => {
-                self.nodes[parent.index()].first_child = Some(child);
-                self.nodes[parent.index()].last_child = Some(child);
-            }
-            Some(last) => {
-                self.nodes[last.index()].next_sibling = Some(child);
-                self.nodes[child.index()].prev_sibling = Some(last);
-                self.nodes[parent.index()].last_child = Some(child);
-            }
-        }
+        self.arena.attach(parent, child);
     }
 
     /// Append a child element labelled `label` under `parent`.
     pub fn add_element(&mut self, parent: NodeId, label: &str) -> NodeId {
         let sym = self.interner.intern(label);
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node::new(sym, NodeKind::Element, None));
+        let id = self.arena.push(sym, NodeKind::Element, None);
         self.attach(parent, id);
         id
     }
@@ -129,9 +210,7 @@ impl Document {
     /// Append a text node with content `text` under `parent`.
     pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
         let sym = self.interner.intern(TEXT_LABEL);
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes
-            .push(Node::new(sym, NodeKind::Text, Some(text.to_owned())));
+        let id = self.arena.push(sym, NodeKind::Text, Some(text));
         self.attach(parent, id);
         id
     }
@@ -139,9 +218,7 @@ impl Document {
     /// Append an attribute node `name="value"` under `parent`.
     pub fn add_attribute(&mut self, parent: NodeId, name: &str, value: &str) -> NodeId {
         let sym = self.interner.intern(name);
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes
-            .push(Node::new(sym, NodeKind::Attribute, Some(value.to_owned())));
+        let id = self.arena.push(sym, NodeKind::Attribute, Some(value));
         self.attach(parent, id);
         id
     }
@@ -155,58 +232,66 @@ impl Document {
         el
     }
 
-    /// Assign pre/post-order ranks and depths, and build the label index.
+    /// Assign pre/post-order ranks and depths, build the document-order
+    /// table, the label postings and the structural index.
     ///
     /// Idempotent; must be called before querying. All the navigation in
     /// [`crate::axes`] that relies on ranks will panic (in debug builds)
     /// on an unfinalized document.
     pub fn finalize(&mut self) {
-        // Iterative DFS assigning pre on entry and post on exit.
+        // Iterative DFS assigning pre on entry and post on exit, and
+        // recording the entry sequence as the document-order table.
+        let n = self.arena.len();
         let mut pre = 0u32;
         let mut post = 0u32;
-        // Stack entries: (node, depth, entered?)
-        let mut stack: Vec<(NodeId, u32, bool)> = vec![(self.root, 0, false)];
-        while let Some((id, depth, entered)) = stack.pop() {
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        // Stack entries: (arena index, entered?).
+        let mut stack: Vec<(u32, bool)> = vec![(self.root.0, false)];
+        let mut scratch: Vec<u32> = Vec::new();
+        while let Some((i, entered)) = stack.pop() {
+            let iu = i as usize;
             if entered {
-                self.nodes[id.index()].post = post;
+                self.arena.post[iu] = post;
                 post += 1;
                 continue;
             }
-            {
-                let n = &mut self.nodes[id.index()];
-                n.pre = pre;
-                n.depth = depth;
-            }
+            self.arena.pre[iu] = pre;
+            // Parents are entered before their children, so the parent's
+            // depth is already assigned.
+            self.arena.depth[iu] = match self.arena.parent[iu] {
+                NIL => 0,
+                p => self.arena.depth[p as usize] + 1,
+            };
+            order.push(i);
             pre += 1;
-            stack.push((id, depth, true));
-            // Push children in reverse so the first child is processed first.
-            let mut children = Vec::new();
-            let mut c = self.nodes[id.index()].first_child;
-            while let Some(cid) = c {
-                children.push(cid);
-                c = self.nodes[cid.index()].next_sibling;
+            stack.push((i, true));
+            // Push children in reverse so the first child is processed
+            // first (one reusable scratch buffer, not one per node).
+            scratch.clear();
+            let mut c = self.arena.first_child[iu];
+            while c != NIL {
+                scratch.push(c);
+                c = self.arena.next_sibling[c as usize];
             }
-            for &cid in children.iter().rev() {
-                stack.push((cid, depth + 1, false));
+            for &cid in scratch.iter().rev() {
+                stack.push((cid, false));
             }
         }
+        self.order = order;
 
-        // Label index in document (pre) order.
-        let mut order: Vec<NodeId> = (0..self.nodes.len()).map(|i| NodeId(i as u32)).collect();
-        order.sort_by_key(|id| self.nodes[id.index()].pre);
-        let mut index: HashMap<Symbol, Vec<NodeId>> = HashMap::new();
-        for id in order {
-            let n = &self.nodes[id.index()];
-            if n.pre == u32::MAX {
-                continue; // unreachable node (not attached); skip defensively
-            }
-            index.entry(n.label).or_default().push(id);
+        // Label postings in document (pre) order — one pass over the
+        // order table fills every label's ids and pres columns sorted.
+        let mut postings: Vec<Postings> = vec![Postings::default(); self.interner.len()];
+        for &i in &self.order {
+            let p = &mut postings[self.arena.labels[i as usize].index()];
+            p.ids.push(NodeId(i));
+            p.pres.push(self.arena.pre[i as usize]);
         }
-        self.label_index = index;
+        self.postings = postings;
 
         // Structural index over the rank-annotated tree: O(1) LCA via
         // Euler-tour RMQ, O(log n) level ancestors via binary lifting.
-        self.struct_index = Some(StructIndex::build(&self.nodes, self.root));
+        self.struct_index = Some(StructIndex::build(&self.arena, self.root));
         self.finalized = true;
     }
 
@@ -226,15 +311,24 @@ impl Document {
         debug_assert!(self.finalized, "query against unfinalized document");
         self.interner
             .get(label)
-            .and_then(|sym| self.label_index.get(&sym))
-            .map(Vec::as_slice)
+            .and_then(|sym| self.postings.get(sym.index()))
+            .map(|p| p.ids.as_slice())
             .unwrap_or(&[])
     }
 
     /// All nodes with label symbol `sym`, in document order.
     pub fn nodes_with_symbol(&self, sym: Symbol) -> &[NodeId] {
         debug_assert!(self.finalized, "query against unfinalized document");
-        self.label_index.get(&sym).map(Vec::as_slice).unwrap_or(&[])
+        self.postings
+            .get(sym.index())
+            .map(|p| p.ids.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The postings entry for `sym`, when the label occurs.
+    #[inline]
+    pub(crate) fn postings_for(&self, sym: Symbol) -> Option<&Postings> {
+        self.postings.get(sym.index())
     }
 
     /// Distinct element/attribute labels present in the document
@@ -250,33 +344,157 @@ impl Document {
     /// The string value of a node, XPath style: for text and attribute
     /// nodes their own content; for elements the concatenation of all
     /// descendant text, in document order.
+    ///
+    /// On a finalized document the element case is a linear sweep over
+    /// the subtree's slice of the document-order table — no recursion,
+    /// no link chasing.
     pub fn string_value(&self, id: NodeId) -> String {
-        let n = self.node(id);
-        match n.kind {
-            NodeKind::Text | NodeKind::Attribute => n.value.clone().unwrap_or_default(),
+        let i = id.index();
+        match self.arena.kinds[i] {
+            NodeKind::Text | NodeKind::Attribute => {
+                self.arena.value(i).unwrap_or_default().to_owned()
+            }
             NodeKind::Element => {
+                if self.struct_index.is_none() {
+                    // Unfinalized: no order table yet, walk the links.
+                    let mut out = String::new();
+                    self.collect_text_walk(id, &mut out);
+                    return out;
+                }
+                if let Some(one) = self.sole_subtree_text(id) {
+                    return one.to_owned();
+                }
                 let mut out = String::new();
-                self.collect_text(id, &mut out);
+                for t in self.subtree_texts(id) {
+                    out.push_str(t);
+                }
                 out
             }
         }
     }
 
-    fn collect_text(&self, id: NodeId, out: &mut String) {
-        let mut c = self.node(id).first_child;
-        while let Some(cid) = c {
-            let n = self.node(cid);
-            match n.kind {
+    /// The *atomized* value of a node, borrowing from the string heap
+    /// whenever possible — the comparison-side counterpart of
+    /// [`Document::string_value`].
+    ///
+    /// Semantics (shared with the XQuery engine's atomization): text and
+    /// attribute nodes yield their own content; an element with
+    /// non-whitespace *direct* text yields that text trimmed (mixed
+    /// content like `<year>2000 <movie>…</movie></year>` atomizes to
+    /// "2000", not the concatenation of every nested title); any other
+    /// element yields its whole-subtree string value.
+    ///
+    /// For the dominant leaf shape (`<title>…</title>`) this is a
+    /// borrowed slice: no allocation per comparison, which is what makes
+    /// a predicate scan over millions of nodes a linear sweep rather
+    /// than a malloc benchmark.
+    pub fn atom_value(&self, id: NodeId) -> std::borrow::Cow<'_, str> {
+        use std::borrow::Cow;
+        let i = id.index();
+        match self.arena.kinds[i] {
+            NodeKind::Text | NodeKind::Attribute => {
+                Cow::Borrowed(self.arena.value(i).unwrap_or_default())
+            }
+            NodeKind::Element => {
+                // One pass over the children: the direct text, borrowed
+                // while it is carried by a single text child.
+                let mut direct: Option<Cow<'_, str>> = None;
+                let mut c = self.arena.first_child[i];
+                while c != NIL {
+                    let cu = c as usize;
+                    if self.arena.kinds[cu] == NodeKind::Text {
+                        let v = self.arena.value(cu).unwrap_or_default();
+                        direct = Some(match direct {
+                            None => Cow::Borrowed(v),
+                            Some(prev) => {
+                                let mut s = prev.into_owned();
+                                s.push_str(v);
+                                Cow::Owned(s)
+                            }
+                        });
+                    }
+                    c = self.arena.next_sibling[cu];
+                }
+                if let Some(d) = direct {
+                    if !d.trim().is_empty() {
+                        return match d {
+                            Cow::Borrowed(b) => Cow::Borrowed(b.trim()),
+                            Cow::Owned(o) => Cow::Owned(o.trim().to_owned()),
+                        };
+                    }
+                }
+                if self.struct_index.is_some() {
+                    if let Some(one) = self.sole_subtree_text(id) {
+                        return Cow::Borrowed(one);
+                    }
+                }
+                Cow::Owned(self.string_value(id))
+            }
+        }
+    }
+
+    /// Link-walking text collection for unfinalized documents (an
+    /// explicit stack, so arbitrarily deep trees cannot overflow).
+    fn collect_text_walk(&self, id: NodeId, out: &mut String) {
+        let mut stack: Vec<u32> = Vec::new();
+        let push_children = |stack: &mut Vec<u32>, i: usize| {
+            let mut kids: Vec<u32> = Vec::new();
+            let mut c = self.arena.first_child[i];
+            while c != NIL {
+                kids.push(c);
+                c = self.arena.next_sibling[c as usize];
+            }
+            stack.extend(kids.into_iter().rev());
+        };
+        push_children(&mut stack, id.index());
+        while let Some(i) = stack.pop() {
+            let iu = i as usize;
+            match self.arena.kinds[iu] {
                 NodeKind::Text => {
-                    if let Some(v) = &n.value {
+                    if let Some(v) = self.arena.value(iu) {
                         out.push_str(v);
                     }
                 }
-                NodeKind::Element => self.collect_text(cid, out),
+                NodeKind::Element => push_children(&mut stack, iu),
                 NodeKind::Attribute => {}
             }
-            c = n.next_sibling;
         }
+    }
+
+    /// The single text content of an element's subtree, borrowed from
+    /// the string heap — `Some` exactly when the subtree holds one text
+    /// node (the overwhelmingly common `<title>…</title>` leaf shape).
+    /// `None` means zero or several text nodes; callers fall back to
+    /// the concatenating [`Document::string_value`]. Requires a
+    /// finalized document; returns `None` before finalization.
+    pub fn sole_subtree_text(&self, id: NodeId) -> Option<&str> {
+        let mut it = self.subtree_texts(id);
+        let first = it.next()?;
+        match it.next() {
+            None => Some(first),
+            Some(_) => None,
+        }
+    }
+
+    /// Iterator over the text contents inside the subtree of `id`
+    /// (an element), in document order. Empty on unfinalized documents.
+    fn subtree_texts(&self, id: NodeId) -> impl Iterator<Item = &str> {
+        let range = match &self.struct_index {
+            Some(ix) => {
+                let lo = self.arena.pre[id.index()] as usize;
+                let hi = ix.subtree_hi(id) as usize;
+                lo..hi + 1
+            }
+            None => 0..0,
+        };
+        self.order[range].iter().filter_map(|&i| {
+            let i = i as usize;
+            if self.arena.kinds[i] == NodeKind::Text {
+                self.arena.value(i)
+            } else {
+                None
+            }
+        })
     }
 
     /// The *direct* text of an element: concatenation of its immediate
@@ -284,36 +502,77 @@ impl Document {
     /// paper's `<year>2000 <movie>…</movie></year>` shape, where the
     /// year's own value must not swallow the nested movie titles.
     pub fn direct_text(&self, id: NodeId) -> String {
-        let mut out = String::new();
-        let mut c = self.node(id).first_child;
-        while let Some(cid) = c {
-            let n = self.node(cid);
-            if n.kind == NodeKind::Text {
-                if let Some(v) = &n.value {
-                    out.push_str(v);
+        match self.sole_direct_text(id) {
+            Some(one) => one.to_owned(),
+            None => {
+                let mut out = String::new();
+                let mut c = self.arena.first_child[id.index()];
+                while c != NIL {
+                    let cu = c as usize;
+                    if self.arena.kinds[cu] == NodeKind::Text {
+                        if let Some(v) = self.arena.value(cu) {
+                            out.push_str(v);
+                        }
+                    }
+                    c = self.arena.next_sibling[cu];
                 }
+                out
             }
-            c = n.next_sibling;
         }
-        out
+    }
+
+    /// The direct text of an element when it is carried by a *single*
+    /// text child, borrowed from the string heap; `None` when the
+    /// element has zero or several text children (callers fall back to
+    /// the concatenating [`Document::direct_text`]).
+    pub fn sole_direct_text(&self, id: NodeId) -> Option<&str> {
+        let mut found: Option<&str> = None;
+        let mut c = self.arena.first_child[id.index()];
+        while c != NIL {
+            let cu = c as usize;
+            if self.arena.kinds[cu] == NodeKind::Text {
+                if found.is_some() {
+                    return None;
+                }
+                found = self.arena.value(cu);
+            }
+            c = self.arena.next_sibling[cu];
+        }
+        found
     }
 
     /// Statistics used by the dataset generators to hit the paper's
     /// document size (73,142 nodes / 1.44 MB for the DBLP subset).
     pub fn stats(&self) -> DocStats {
         let mut s = DocStats::default();
-        for n in &self.nodes {
-            match n.kind {
+        for i in 0..self.arena.len() {
+            match self.arena.kinds[i] {
                 NodeKind::Element => s.elements += 1,
                 NodeKind::Attribute => s.attributes += 1,
                 NodeKind::Text => {
                     s.text_nodes += 1;
-                    s.text_bytes += n.value.as_deref().map_or(0, str::len);
+                    s.text_bytes += self.arena.value(i).map_or(0, str::len);
                 }
             }
         }
         s.labels = self.interner.len();
         s
+    }
+
+    /// Byte-level accounting of the document's resident structures —
+    /// what a memory budget should reason about at corpus scale.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            node_columns: self.arena.column_bytes(),
+            string_heap: self.arena.heap_bytes(),
+            doc_order: self.order.len() * std::mem::size_of::<u32>(),
+            label_postings: self
+                .postings
+                .iter()
+                .map(|p| (p.ids.len() + p.pres.len()) * std::mem::size_of::<u32>())
+                .sum(),
+            struct_index: self.struct_index.as_ref().map_or(0, StructIndex::bytes),
+        }
     }
 }
 
@@ -336,6 +595,33 @@ impl DocStats {
     /// Total node count.
     pub fn total_nodes(&self) -> usize {
         self.elements + self.attributes + self.text_nodes
+    }
+}
+
+/// Bytes held by each resident structure of a (finalized) document.
+/// Reported by [`Document::memory_footprint`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// The twelve node columns of the arena.
+    pub node_columns: usize,
+    /// The packed text/attribute content heap.
+    pub string_heap: usize,
+    /// The document-order (pre rank → arena index) table.
+    pub doc_order: usize,
+    /// Per-label postings (ids + pre ranks).
+    pub label_postings: usize,
+    /// Euler tour, sparse RMQ table, binary-lifting table, extents.
+    pub struct_index: usize,
+}
+
+impl MemoryFootprint {
+    /// Total bytes across all structures.
+    pub fn total(&self) -> usize {
+        self.node_columns
+            + self.string_heap
+            + self.doc_order
+            + self.label_postings
+            + self.struct_index
     }
 }
 
@@ -465,6 +751,24 @@ mod tests {
     }
 
     #[test]
+    fn view_and_column_accessors_agree() {
+        let d = sample();
+        for i in 0..d.len() {
+            let id = NodeId::from_index(i);
+            let n = d.node(id);
+            assert_eq!(n.pre, d.pre(id));
+            assert_eq!(n.post, d.post(id));
+            assert_eq!(n.depth, d.depth(id));
+            assert_eq!(n.kind, d.kind(id));
+            assert_eq!(n.parent, d.parent(id));
+            assert_eq!(n.first_child, d.first_child(id));
+            assert_eq!(n.next_sibling, d.next_sibling(id));
+            assert_eq!(n.value, d.value(id));
+            assert_eq!(n.label, d.label_sym(id));
+        }
+    }
+
+    #[test]
     fn string_value_concatenates_descendants() {
         let d = sample();
         let m = d.nodes_labeled("movie")[0];
@@ -484,6 +788,32 @@ mod tests {
     }
 
     #[test]
+    fn sole_direct_text_borrows_single_text_child() {
+        let mut d = Document::new("movie");
+        let root = d.root();
+        let t = d.add_leaf(root, "title", "Traffic");
+        d.add_text(root, "extra");
+        d.add_text(root, "more");
+        d.finalize();
+        assert_eq!(d.sole_direct_text(t), Some("Traffic"));
+        // Two text children: no sole slice.
+        assert_eq!(d.sole_direct_text(root), None);
+        assert_eq!(d.direct_text(root), "extramore");
+        // An element with no text children at all.
+        let empty = Document::new("r");
+        assert_eq!(empty.sole_direct_text(empty.root()), None);
+    }
+
+    #[test]
+    fn sole_subtree_text_borrows_single_descendant_text() {
+        let d = sample();
+        let t = d.nodes_labeled("title")[0];
+        assert_eq!(d.sole_subtree_text(t), Some("Traffic"));
+        let m = d.nodes_labeled("movie")[0];
+        assert_eq!(d.sole_subtree_text(m), None); // two texts below
+    }
+
+    #[test]
     fn attributes_have_values() {
         let mut d = Document::new("bib");
         let root = d.root();
@@ -493,6 +823,16 @@ mod tests {
         let y = d.nodes_labeled("year")[0];
         assert!(d.node(y).is_attribute());
         assert_eq!(d.string_value(y), "1994");
+        assert_eq!(d.value(y), Some("1994"));
+    }
+
+    #[test]
+    fn order_table_is_a_pre_order_permutation() {
+        let d = sample();
+        assert_eq!(d.order.len(), d.len());
+        for (rank, &i) in d.order.iter().enumerate() {
+            assert_eq!(d.pre(NodeId(i)) as usize, rank);
+        }
     }
 
     #[test]
@@ -550,7 +890,28 @@ mod tests {
     #[test]
     fn postorder_root_is_last() {
         let d = sample();
-        let max_post = d.nodes.iter().map(|n| n.post).max().unwrap();
+        let max_post = (0..d.len())
+            .map(|i| d.post(NodeId::from_index(i)))
+            .max()
+            .unwrap();
         assert_eq!(d.node(d.root()).post, max_post);
+    }
+
+    #[test]
+    fn memory_footprint_accounts_all_parts() {
+        let d = sample();
+        let f = d.memory_footprint();
+        assert!(f.node_columns > 0);
+        assert_eq!(
+            f.string_heap,
+            "TrafficSteven SoderberghA Beautiful MindRon Howard".len()
+        );
+        assert_eq!(f.doc_order, d.len() * 4);
+        assert!(f.label_postings > 0);
+        assert!(f.struct_index > 0);
+        assert_eq!(
+            f.total(),
+            f.node_columns + f.string_heap + f.doc_order + f.label_postings + f.struct_index
+        );
     }
 }

@@ -24,9 +24,15 @@
 //!
 //! ## Data model
 //!
-//! A [`Document`] is an arena of [`Node`]s. Each node is an *element*, an
-//! *attribute* or a *text* node, carries an interned label ([`Symbol`]),
-//! and records its parent, first/last child and siblings. After
+//! A [`Document`] stores its nodes in a **columnar (struct-of-arrays)
+//! arena**: every per-node field — label, kind, the five navigation
+//! links, the ranks, and the text offset into one shared string heap —
+//! lives in its own contiguous array (the crate-private `arena`
+//! module). Each node is an
+//! *element*, an *attribute* or a *text* node and carries an interned
+//! label ([`Symbol`]). [`Document::node`] assembles the cheap `Copy`
+//! view [`Node`] from the columns; hot loops use the single-column
+//! accessors ([`Document::pre`], [`Document::kind`], …) instead. After
 //! [`Document::finalize`] every node additionally carries its **pre-order**
 //! and **post-order** rank and its depth, which makes ancestor tests O(1)
 //! and lowest-common-ancestor (LCA) computation O(depth) — the primitives
@@ -64,6 +70,7 @@
 //! cost drivers behind `mqf()` evaluation upstairs. See
 //! `docs/OBSERVABILITY.md` in the repository root for the catalog.
 
+pub(crate) mod arena;
 pub mod axes;
 pub mod datasets;
 pub mod document;
@@ -72,7 +79,8 @@ pub mod node;
 pub(crate) mod structindex;
 pub mod xml;
 
-pub use document::{Document, DocumentBuilder};
+pub use axes::SubtreeProbeCursor;
+pub use document::{DocStats, Document, DocumentBuilder, MemoryFootprint};
 pub use interner::{Interner, Symbol};
-pub use node::{Node, NodeId, NodeKind};
+pub use node::{Node, NodeId, NodeIdOverflow, NodeKind};
 pub use xml::XmlError;

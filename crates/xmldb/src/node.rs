@@ -1,4 +1,13 @@
-//! Node storage: the per-node record kept in the document arena.
+//! Node identity and the per-node *view* assembled from the columnar
+//! arena.
+//!
+//! Since the struct-of-arrays refactor the store no longer keeps one
+//! heap record per node: every field lives in its own contiguous column
+//! (see the crate-private `arena` module). [`Node`] survives as a cheap
+//! `Copy` façade —
+//! [`crate::Document::node`] gathers the columns for one id into this
+//! struct so existing call sites keep reading `n.kind`, `n.parent`,
+//! `n.pre` … unchanged.
 
 use crate::interner::Symbol;
 use std::fmt;
@@ -11,6 +20,32 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
 
+/// Error for a node index that does not fit the `u32` arena id space.
+///
+/// The arena addresses nodes with `u32`, which caps a document at
+/// `u32::MAX - 1` nodes (the top value is reserved as the column nil
+/// sentinel). The 100×-scale benchmark corpora reach several million
+/// nodes — close enough to care that an overflow surfaces as a typed
+/// error instead of a silently wrapped id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeIdOverflow {
+    /// The index that did not fit.
+    pub index: usize,
+}
+
+impl fmt::Display for NodeIdOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node index {} exceeds the u32 arena limit ({})",
+            self.index,
+            u32::MAX - 1
+        )
+    }
+}
+
+impl std::error::Error for NodeIdOverflow {}
+
 impl NodeId {
     /// Raw arena index.
     #[inline]
@@ -20,9 +55,28 @@ impl NodeId {
 
     /// Construct from a raw arena index. Intended for tests and for the
     /// datasets that mirror the paper's node numbering.
+    ///
+    /// # Panics
+    /// Panics when `i` does not fit the `u32` id space — use
+    /// [`NodeId::try_from_index`] to handle that case as a value.
     #[inline]
     pub fn from_index(i: usize) -> Self {
+        assert!(
+            i < u32::MAX as usize,
+            "node index {i} exceeds the u32 arena limit"
+        );
         NodeId(i as u32)
+    }
+
+    /// Checked version of [`NodeId::from_index`]: a typed error instead
+    /// of a truncated id when `i` does not fit.
+    #[inline]
+    pub fn try_from_index(i: usize) -> Result<Self, NodeIdOverflow> {
+        if i < u32::MAX as usize {
+            Ok(NodeId(i as u32))
+        } else {
+            Err(NodeIdOverflow { index: i })
+        }
     }
 }
 
@@ -49,13 +103,16 @@ pub enum NodeKind {
     Text,
 }
 
-/// One node of the document tree.
+/// A by-value view of one node, assembled from the arena columns.
 ///
 /// Navigation pointers use the first-child/next-sibling representation;
 /// `pre`, `post` and `depth` are filled in by [`crate::Document::finalize`]
-/// and are `u32::MAX` before that.
-#[derive(Debug, Clone)]
-pub struct Node {
+/// and are `u32::MAX` before that. The view is `Copy` and borrows only
+/// the text content (`value` points into the document's shared string
+/// heap), so materialising one costs a handful of loads and no
+/// allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Node<'a> {
     /// Element/attribute name, or the reserved `#text` symbol.
     pub label: Symbol,
     /// Node kind.
@@ -63,7 +120,7 @@ pub struct Node {
     /// Text content for [`NodeKind::Text`] and [`NodeKind::Attribute`]
     /// nodes; `None` for elements (element values are derived — see
     /// [`crate::Document::string_value`]).
-    pub value: Option<String>,
+    pub value: Option<&'a str>,
     /// Parent node; `None` only for the root.
     pub parent: Option<NodeId>,
     /// First child in document order.
@@ -82,23 +139,7 @@ pub struct Node {
     pub depth: u32,
 }
 
-impl Node {
-    pub(crate) fn new(label: Symbol, kind: NodeKind, value: Option<String>) -> Self {
-        Node {
-            label,
-            kind,
-            value,
-            parent: None,
-            first_child: None,
-            last_child: None,
-            next_sibling: None,
-            prev_sibling: None,
-            pre: u32::MAX,
-            post: u32::MAX,
-            depth: u32::MAX,
-        }
-    }
-
+impl Node<'_> {
     /// True for element nodes.
     #[inline]
     pub fn is_element(&self) -> bool {
@@ -121,24 +162,55 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::interner::Interner;
-
-    #[test]
-    fn new_node_has_unset_orders() {
-        let mut i = Interner::new();
-        let n = Node::new(i.intern("movie"), NodeKind::Element, None);
-        assert_eq!(n.pre, u32::MAX);
-        assert_eq!(n.post, u32::MAX);
-        assert_eq!(n.depth, u32::MAX);
-        assert!(n.is_element());
-        assert!(!n.is_text());
-        assert!(!n.is_attribute());
-    }
 
     #[test]
     fn node_id_round_trips_through_index() {
         let id = NodeId::from_index(42);
         assert_eq!(id.index(), 42);
         assert_eq!(format!("{id}"), "n42");
+    }
+
+    #[test]
+    fn try_from_index_accepts_in_range() {
+        assert_eq!(NodeId::try_from_index(7), Ok(NodeId::from_index(7)));
+        // The largest admissible index: one below the nil sentinel.
+        let top = (u32::MAX - 1) as usize;
+        assert_eq!(NodeId::try_from_index(top), Ok(NodeId(u32::MAX - 1)));
+    }
+
+    #[test]
+    fn try_from_index_rejects_overflow() {
+        let too_big = u32::MAX as usize;
+        let err = NodeId::try_from_index(too_big).unwrap_err();
+        assert_eq!(err, NodeIdOverflow { index: too_big });
+        assert!(err.to_string().contains("exceeds the u32 arena limit"));
+        assert!(NodeId::try_from_index(usize::MAX).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 arena limit")]
+    fn from_index_panics_on_overflow() {
+        let _ = NodeId::from_index(u32::MAX as usize);
+    }
+
+    #[test]
+    fn view_kind_predicates() {
+        let mut i = crate::Interner::new();
+        let n = Node {
+            label: i.intern("movie"),
+            kind: NodeKind::Element,
+            value: None,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            pre: u32::MAX,
+            post: u32::MAX,
+            depth: u32::MAX,
+        };
+        assert!(n.is_element());
+        assert!(!n.is_text());
+        assert!(!n.is_attribute());
     }
 }

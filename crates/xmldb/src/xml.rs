@@ -347,7 +347,7 @@ impl Document {
         match n.kind {
             NodeKind::Text => {
                 push_indent(out, indent);
-                out.push_str(&escape(n.value.as_deref().unwrap_or("")));
+                out.push_str(&escape(n.value.unwrap_or("")));
                 out.push('\n');
             }
             NodeKind::Attribute => { /* written by the owning element */ }
@@ -362,7 +362,7 @@ impl Document {
                             out.push(' ');
                             out.push_str(self.label(c));
                             out.push_str("=\"");
-                            out.push_str(&escape(self.node(c).value.as_deref().unwrap_or("")));
+                            out.push_str(&escape(self.node(c).value.unwrap_or("")));
                             out.push('"');
                         }
                         _ => kids.push(c),
@@ -375,7 +375,7 @@ impl Document {
                 // Single text child renders inline: <title>Traffic</title>
                 if kids.len() == 1 && self.node(kids[0]).kind == NodeKind::Text {
                     out.push('>');
-                    out.push_str(&escape(self.node(kids[0]).value.as_deref().unwrap_or("")));
+                    out.push_str(&escape(self.node(kids[0]).value.unwrap_or("")));
                     out.push_str("</");
                     out.push_str(self.label(id));
                     out.push_str(">\n");

@@ -96,8 +96,16 @@ pub struct EvalBudget {
     pub max_depth: usize,
     /// Optional wall-clock deadline, measured from evaluation start.
     pub time_limit: Option<Duration>,
-    /// Maximum number of FLWOR candidate tuples materialized.
+    /// Maximum number of FLWOR candidate tuples materialized. The cap is
+    /// global across shards: every shard charges the same atomic ledger.
     pub max_tuples: usize,
+    /// Worker shards for large FLWOR loops *within* one query: `1`
+    /// evaluates serially, `n > 1` splits big binding-expansion and
+    /// return loops into `n` contiguous chunks evaluated on scoped
+    /// worker threads, and `0` (the default) picks the machine's
+    /// available parallelism for large loops. Results are stitched back
+    /// in chunk order, so output is byte-identical to serial evaluation.
+    pub shards: usize,
 }
 
 impl Default for EvalBudget {
@@ -110,6 +118,7 @@ impl Default for EvalBudget {
             max_depth: 128,
             time_limit: None,
             max_tuples: 4_000_000,
+            shards: 0,
         }
     }
 }
@@ -132,15 +141,68 @@ impl EvalBudget {
         self.max_tuples = tuples;
         self
     }
+
+    /// Builder-style shard-count override (see [`EvalBudget::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
-/// Per-evaluation guard state: the budget plus the resolved deadline and
-/// the running tuple count. Lives on the stack of one `eval_with_budget`
-/// call, so the `Cell` never crosses threads and `Engine` stays `Sync`.
+/// Hard ceiling on worker shards per FLWOR loop, whatever the budget
+/// asks for.
+const MAX_SHARDS: usize = 64;
+
+/// Minimum loop length before `shards: 0` (auto) engages worker
+/// threads; explicit shard counts apply from 2 items up, so tests can
+/// force the parallel path on small documents.
+const AUTO_SHARD_MIN_ITEMS: usize = 4096;
+
+/// Resolve how many shards a loop over `n` items should use.
+fn plan_shards(budget: &EvalBudget, n: usize) -> usize {
+    let want = match budget.shards {
+        0 => {
+            if n >= AUTO_SHARD_MIN_ITEMS {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            } else {
+                1
+            }
+        }
+        s => s,
+    };
+    want.min(n).clamp(1, MAX_SHARDS)
+}
+
+/// The tuple ledger one evaluation's shards share: a single atomic
+/// counter every shard charges, so `max_tuples` is a *global* cap — a
+/// query sharded eight ways trips the same limit at the same total
+/// cardinality as a serial run (give or take the in-flight charges of
+/// the other shards, bounded by one binding step each).
+struct Ledger {
+    tuples: std::sync::atomic::AtomicUsize,
+}
+
+impl Ledger {
+    fn new() -> Self {
+        Ledger {
+            tuples: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.tuples.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Per-evaluation guard state: the budget, the resolved deadline, the
+/// shared tuple [`Ledger`], and thread-local statistics cells. One
+/// guard lives on the stack of `eval_with_budget`; each worker shard
+/// builds its own from a [`GuardSeed`] (the `Sync` parts), keeping the
+/// `Cell`s strictly thread-local while the tuple cap stays global.
 struct Guard<'b> {
     budget: &'b EvalBudget,
     deadline: Option<Instant>,
-    tuples: Cell<usize>,
+    ledger: &'b Ledger,
     /// Deepest recursion seen — flushed to the metrics registry as
     /// [`obs::MaxGauge::EvalDepthHighWater`] once per evaluation.
     max_depth: Cell<usize>,
@@ -153,18 +215,72 @@ struct Guard<'b> {
     mqf_partner_lookups: Cell<u64>,
 }
 
-impl<'b> Guard<'b> {
-    fn new(budget: &'b EvalBudget) -> Self {
+/// The `Send + Sync` parts of a [`Guard`], handed to worker shards so
+/// each can build a thread-local guard against the shared ledger.
+#[derive(Clone, Copy)]
+struct GuardSeed<'b> {
+    budget: &'b EvalBudget,
+    deadline: Option<Instant>,
+    ledger: &'b Ledger,
+}
+
+impl<'b> GuardSeed<'b> {
+    fn guard(self) -> Guard<'b> {
         Guard {
-            budget,
-            deadline: budget
-                .time_limit
-                .and_then(|d| Instant::now().checked_add(d)),
-            tuples: Cell::new(0),
+            budget: self.budget,
+            deadline: self.deadline,
+            ledger: self.ledger,
             max_depth: Cell::new(0),
             mqf_checks: Cell::new(0),
             mqf_partner_lookups: Cell::new(0),
         }
+    }
+}
+
+/// A shard guard's statistics, merged into the parent guard after the
+/// shard joins.
+struct ShardStats {
+    max_depth: usize,
+    mqf_checks: u64,
+    mqf_partner_lookups: u64,
+}
+
+impl<'b> Guard<'b> {
+    fn new(budget: &'b EvalBudget, ledger: &'b Ledger) -> Self {
+        GuardSeed {
+            budget,
+            deadline: budget
+                .time_limit
+                .and_then(|d| Instant::now().checked_add(d)),
+            ledger,
+        }
+        .guard()
+    }
+
+    /// The shareable parts, for spawning worker shards.
+    fn seed(&self) -> GuardSeed<'b> {
+        GuardSeed {
+            budget: self.budget,
+            deadline: self.deadline,
+            ledger: self.ledger,
+        }
+    }
+
+    /// This guard's local statistics (a shard reports them at join).
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            max_depth: self.max_depth.get(),
+            mqf_checks: self.mqf_checks.get(),
+            mqf_partner_lookups: self.mqf_partner_lookups.get(),
+        }
+    }
+
+    /// Merge a joined shard's statistics into this guard.
+    fn absorb(&self, s: &ShardStats) {
+        self.max_depth.set(self.max_depth.get().max(s.max_depth));
+        self.mqf_checks.set(self.mqf_checks.get() + s.mqf_checks);
+        self.mqf_partner_lookups
+            .set(self.mqf_partner_lookups.get() + s.mqf_partner_lookups);
     }
 
     /// Depth check at every recursive descent into `eval_inner`.
@@ -181,9 +297,9 @@ impl<'b> Guard<'b> {
         Ok(())
     }
 
-    /// Charge `n` candidate tuples and re-check the deadline. Called at
-    /// FLWOR iteration boundaries, where all the multiplicative work
-    /// happens.
+    /// Charge `n` candidate tuples against the shared ledger and
+    /// re-check the deadline. Called at FLWOR iteration boundaries,
+    /// where all the multiplicative work happens.
     fn charge_tuples(&self, n: usize) -> Result<(), EvalError> {
         if let Some(deadline) = self.deadline {
             if Instant::now() > deadline {
@@ -193,14 +309,16 @@ impl<'b> Guard<'b> {
                 });
             }
         }
-        let total = self.tuples.get().saturating_add(n);
-        if total > self.budget.max_tuples {
+        let prev = self
+            .ledger
+            .tuples
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        if prev.saturating_add(n) > self.budget.max_tuples {
             return Err(EvalError::ResourceExhausted {
                 resource: ExhaustedResource::Tuples,
                 limit: format!("{} tuples", self.budget.max_tuples),
             });
         }
-        self.tuples.set(total);
         Ok(())
     }
 }
@@ -428,7 +546,7 @@ impl Engine {
             self.metrics.add(obs::Counter::ValueIndexBuilds, 1);
             let mut m: ValueIndex = std::collections::HashMap::new();
             for &n in self.doc.nodes_with_symbol(sym) {
-                let key = canon_value(&Item::Node(n).string_value(&self.doc));
+                let key = canon_value(&self.doc.atom_value(n));
                 m.entry(key).or_default().push(n);
             }
             m
@@ -499,10 +617,11 @@ impl Engine {
         budget: &EvalBudget,
     ) -> Result<Sequence, EvalError> {
         let span = self.metrics.span(obs::Stage::Eval);
-        let guard = Guard::new(budget);
+        let ledger = Ledger::new();
+        let guard = Guard::new(budget, &ledger);
         let out = self.eval_inner(expr, env, &guard, 0);
         self.metrics
-            .add(obs::Counter::EvalTuples, guard.tuples.get() as u64);
+            .add(obs::Counter::EvalTuples, ledger.total() as u64);
         self.metrics
             .add(obs::Counter::MqfChecks, guard.mqf_checks.get());
         self.metrics.add(
@@ -708,6 +827,51 @@ impl Engine {
                     }
                 }
 
+                // Variable-to-literal equality conjuncts (`$v = "…"`,
+                // `$v = 42`): when `$v` ranges over a label scan these
+                // resolve through the value index — the candidate set is
+                // one hash probe over the label's value column instead
+                // of a scan over every labelled node. The canonical key
+                // mirrors `compare_items` equality exactly, and the
+                // conjunct itself still runs per tuple, so the pushdown
+                // only narrows candidates, never changes results.
+                let mut lit_eqs: Vec<(&str, String)> = Vec::new();
+                for c in &plain_conjuncts {
+                    if let Expr::Cmp {
+                        op: CmpOp::Eq,
+                        lhs,
+                        rhs,
+                    } = c
+                    {
+                        let pair = match (lhs.as_ref(), rhs.as_ref()) {
+                            (
+                                Expr::Path {
+                                    root: PathRoot::Var(v),
+                                    steps,
+                                },
+                                lit,
+                            ) if steps.is_empty() => Some((v, lit)),
+                            (
+                                lit,
+                                Expr::Path {
+                                    root: PathRoot::Var(v),
+                                    steps,
+                                },
+                            ) if steps.is_empty() => Some((v, lit)),
+                            _ => None,
+                        };
+                        let key = match pair {
+                            Some((_, Expr::Str(s))) => Some(canon_value(s)),
+                            Some((_, Expr::Num(n))) => Some(crate::value::format_number(*n)),
+                            _ => None,
+                        };
+                        if let (Some((v, _)), Some(k)) = (pair, key) {
+                            lit_eqs.push((v.as_str(), k));
+                        }
+                    }
+                }
+                let lit_vars: Vec<&str> = lit_eqs.iter().map(|(v, _)| *v).collect();
+
                 // --- Join-order planning -----------------------------
                 // Greedy: place the smallest un-anchored label scan
                 // first; after that prefer variables an mqf conjunct
@@ -718,7 +882,7 @@ impl Engine {
                 // structural joins, and it is what keeps e.g.
                 // title×author×book from scanning 4800 article titles
                 // against every book.
-                let exec = self.plan_order(bindings, &mqf_groups, &eq_pairs, env);
+                let exec = self.plan_order(bindings, &mqf_groups, &eq_pairs, &lit_vars, env);
                 let ordered: Vec<&Binding> = exec.iter().map(|&i| &bindings[i]).collect();
                 let var_names: Vec<&str> = ordered.iter().map(|b| b.var()).collect();
 
@@ -759,34 +923,38 @@ impl Engine {
                     .collect();
 
                 // The per-tuple admission check for binding step `k`.
-                macro_rules! admit {
-                    ($e2:expr, $k:expr) => {{
-                        let mut ok = true;
-                        for (vars, steps) in &mqf_incremental {
-                            if steps.contains(&$k) && !self.partial_mqf(vars, &$e2, guard)? {
-                                ok = false;
-                                break;
-                            }
+                // A closure (not a macro) so worker shards can run it
+                // against their own thread-local guard.
+                // `skip_mqf` names one group whose step-`k` re-check is
+                // provably redundant: the binding's candidates were
+                // enumerated from the partner index, which only yields
+                // nodes meaningfully related to the anchor, and the
+                // anchor was the group's sole previously-bound variable
+                // — so every pair the check would test is already known
+                // to hold.
+                let admit = |e2: &Env,
+                             k: usize,
+                             g: &Guard<'_>,
+                             skip_mqf: Option<usize>|
+                 -> Result<bool, EvalError> {
+                    for (gi, (vars, steps)) in mqf_incremental.iter().enumerate() {
+                        if skip_mqf == Some(gi) {
+                            continue;
                         }
-                        if ok {
-                            for c in &triggered[$k] {
-                                if !effective_boolean(&self.eval_inner(
-                                    c,
-                                    &$e2,
-                                    guard,
-                                    depth + 1,
-                                )?) {
-                                    ok = false;
-                                    break;
-                                }
-                            }
+                        if steps.contains(&k) && !self.partial_mqf(vars, e2, g)? {
+                            return Ok(false);
                         }
-                        ok
-                    }};
-                }
+                    }
+                    for c in &triggered[k] {
+                        if !effective_boolean(&self.eval_inner(c, e2, g, depth + 1)?) {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                };
 
                 let mut stream: Vec<Env> = Vec::new();
-                if admit!(env, 0) {
+                if admit(env, 0, guard, None)? {
                     stream.push(env.clone());
                 }
                 for (i, b) in ordered.iter().enumerate() {
@@ -820,10 +988,11 @@ impl Engine {
                                 }
                                 _ => None,
                             };
-                            let mqf_partners: Vec<&Vec<&str>> = mqf_incremental
+                            let mqf_partners: Vec<(usize, &Vec<&str>)> = mqf_incremental
                                 .iter()
-                                .filter(|(vars, _)| vars.contains(&var.as_str()))
-                                .map(|(vars, _)| vars)
+                                .enumerate()
+                                .filter(|(_, (vars, _))| vars.contains(&var.as_str()))
+                                .map(|(gi, (vars, _))| (gi, vars))
                                 .collect();
 
                             let eq_partners: Vec<&str> = eq_pairs
@@ -836,32 +1005,68 @@ impl Engine {
                             // tuple loop: one cache round-trip (a lock
                             // acquisition under concurrency) per label
                             // per binding, not per candidate tuple.
+                            let lit_keys: Vec<&str> = lit_eqs
+                                .iter()
+                                .filter(|(v, _)| *v == var.as_str())
+                                .map(|(_, key)| key.as_str())
+                                .collect();
                             let eq_indexes: Vec<std::sync::Arc<ValueIndex>> =
-                                match (&fast_labels, eq_partners.is_empty()) {
+                                match (&fast_labels, eq_partners.is_empty() && lit_keys.is_empty())
+                                {
                                     (Some(labels), false) => {
                                         labels.iter().map(|&l| self.value_index_for(l)).collect()
                                     }
                                     _ => Vec::new(),
                                 };
 
-                            let mut next = Vec::new();
-                            for e in &stream {
-                                // Per-tuple anchor search. Equality
-                                // joins first (most selective), then
-                                // mqf partner enumeration.
-                                let mut candidates: Option<Vec<Item>> = None;
-                                if !eq_indexes.is_empty() {
+                            // Literal-equality candidates do not depend
+                            // on the tuple: one index probe covers the
+                            // whole binding step. (Further literal
+                            // conjuncts on the same variable still run
+                            // per tuple; the first only narrows.)
+                            let lit_candidates: Option<Vec<Item>> =
+                                match (lit_keys.first(), eq_indexes.is_empty()) {
+                                    (Some(&key), false) => {
+                                        let mut c: Vec<NodeId> = eq_indexes
+                                            .iter()
+                                            .flat_map(|ix| ix.get(key).cloned().unwrap_or_default())
+                                            .collect();
+                                        c.sort_by_key(|&n| self.doc.pre(n));
+                                        c.dedup();
+                                        Some(c.into_iter().map(Item::Node).collect())
+                                    }
+                                    _ => None,
+                                };
+
+                            let labels_len = fast_labels.as_ref().map_or(0, Vec::len);
+
+                            // Expand one tuple: generate this binding's
+                            // candidates (literal probe, then equality
+                            // join — most selective — then mqf partner
+                            // enumeration), charge them, admit the
+                            // survivors. Runs against the caller's
+                            // guard on this thread or a shard's guard
+                            // on a worker; `probes` carries the calling
+                            // sweep's per-label partner cursors.
+                            let expand = |e: &Env,
+                                          g: &Guard<'_>,
+                                          probes: &mut [crate::mlca::PartnerProbe],
+                                          next: &mut Vec<Env>|
+                             -> Result<(), EvalError> {
+                                let mut candidates: Option<Vec<Item>> = lit_candidates.clone();
+                                let mut skip_mqf: Option<usize> = None;
+                                if candidates.is_none() && !eq_indexes.is_empty() {
                                     for &w in &eq_partners {
                                         let Some(seq) = e.get(w) else { continue };
                                         let [item] = seq.as_slice() else { continue };
-                                        let key = canon_value(&item.string_value(&self.doc));
+                                        let key = canon_value(&item.atom_value(&self.doc));
                                         let mut c: Vec<NodeId> = eq_indexes
                                             .iter()
                                             .flat_map(|ix| {
                                                 ix.get(&key).cloned().unwrap_or_default()
                                             })
                                             .collect();
-                                        c.sort_by_key(|&n| self.doc.node(n).pre);
+                                        c.sort_by_key(|&n| self.doc.pre(n));
                                         c.dedup();
                                         candidates = Some(c.into_iter().map(Item::Node).collect());
                                         break;
@@ -869,7 +1074,7 @@ impl Engine {
                                 }
                                 if candidates.is_none() {
                                     if let Some(labels) = &fast_labels {
-                                        'anchor: for vars in &mqf_partners {
+                                        'anchor: for &(gi, vars) in &mqf_partners {
                                             for &v2 in vars.iter() {
                                                 if v2 == var {
                                                     continue;
@@ -878,19 +1083,34 @@ impl Engine {
                                                 let [Item::Node(a)] = seq.as_slice() else {
                                                     continue;
                                                 };
-                                                guard.mqf_partner_lookups.set(
-                                                    guard.mqf_partner_lookups.get()
+                                                // The index only yields
+                                                // partners of `a`; when
+                                                // `v2` is the group's sole
+                                                // bound variable, the
+                                                // step-k group re-check
+                                                // would test exactly that
+                                                // guaranteed pair.
+                                                if vars
+                                                    .iter()
+                                                    .filter(|&&w| w != var && e.get(w).is_some())
+                                                    .count()
+                                                    == 1
+                                                {
+                                                    skip_mqf = Some(gi);
+                                                }
+                                                g.mqf_partner_lookups.set(
+                                                    g.mqf_partner_lookups.get()
                                                         + labels.len() as u64,
                                                 );
-                                                let mut c: Vec<NodeId> = labels
-                                                    .iter()
-                                                    .flat_map(|&l| {
-                                                        crate::mlca::meaningful_partners_indexed(
-                                                            &self.doc, *a, l,
-                                                        )
-                                                    })
-                                                    .collect();
-                                                c.sort_by_key(|&n| self.doc.node(n).pre);
+                                                let mut c: Vec<NodeId> = Vec::new();
+                                                for (j, &l) in labels.iter().enumerate() {
+                                                    c.extend(
+                                                        crate::mlca::meaningful_partners_indexed_from(
+                                                            &self.doc, *a, l, &mut probes[j],
+                                                        ),
+                                                    );
+                                                }
+                                                c.sort_by_key(|&n| self.doc.pre(n));
                                                 c.dedup();
                                                 candidates =
                                                     Some(c.into_iter().map(Item::Node).collect());
@@ -901,17 +1121,71 @@ impl Engine {
                                 }
                                 let items = match candidates {
                                     Some(c) => c,
-                                    None => self.eval_inner(source, e, guard, depth + 1)?,
+                                    None => self.eval_inner(source, e, g, depth + 1)?,
                                 };
-                                guard.charge_tuples(items.len())?;
+                                g.charge_tuples(items.len())?;
                                 for item in items {
                                     let e2 = e.bind(var, vec![item]);
-                                    if admit!(e2, k) {
+                                    if admit(&e2, k, g, skip_mqf)? {
                                         next.push(e2);
                                     }
                                 }
+                                Ok(())
+                            };
+
+                            let shards = plan_shards(guard.budget, stream.len());
+                            if shards > 1 {
+                                self.metrics
+                                    .add(obs::Counter::EvalShardSpawns, shards as u64);
+                                let seed = guard.seed();
+                                let expand = &expand;
+                                let chunk = stream.len().div_ceil(shards);
+                                let results: Vec<Result<(Vec<Env>, ShardStats), EvalError>> =
+                                    std::thread::scope(|s| {
+                                        let handles: Vec<_> = stream
+                                            .chunks(chunk)
+                                            .map(|c| {
+                                                s.spawn(move || {
+                                                    let g = seed.guard();
+                                                    let mut probes = vec![
+                                                        crate::mlca::PartnerProbe::default();
+                                                        labels_len
+                                                    ];
+                                                    let mut next = Vec::new();
+                                                    for e in c {
+                                                        expand(e, &g, &mut probes, &mut next)?;
+                                                    }
+                                                    Ok((next, g.stats()))
+                                                })
+                                            })
+                                            .collect();
+                                        handles
+                                            .into_iter()
+                                            .map(|h| match h.join() {
+                                                Ok(r) => r,
+                                                Err(p) => std::panic::resume_unwind(p),
+                                            })
+                                            .collect()
+                                    });
+                                // Stitch in chunk (= serial) order; on
+                                // failure report the earliest chunk's
+                                // error, which is deterministic.
+                                let mut next = Vec::new();
+                                for r in results {
+                                    let (part, stats) = r?;
+                                    guard.absorb(&stats);
+                                    next.extend(part);
+                                }
+                                stream = next;
+                            } else {
+                                let mut probes =
+                                    vec![crate::mlca::PartnerProbe::default(); labels_len];
+                                let mut next = Vec::new();
+                                for e in &stream {
+                                    expand(e, guard, &mut probes, &mut next)?;
+                                }
+                                stream = next;
                             }
-                            stream = next;
                         }
                         Binding::Let { var, value } => {
                             let mut next = Vec::with_capacity(stream.len());
@@ -919,7 +1193,7 @@ impl Engine {
                                 guard.charge_tuples(1)?;
                                 let v = self.eval_inner(value, e, guard, depth + 1)?;
                                 let e2 = e.bind(var, v);
-                                if admit!(e2, k) {
+                                if admit(&e2, k, guard, None)? {
                                     next.push(e2);
                                 }
                             }
@@ -933,11 +1207,11 @@ impl Engine {
                 // document positions, taken in source binding order.
                 if exec.iter().enumerate().any(|(i, &j)| i != j) {
                     let original_names: Vec<&str> = bindings.iter().map(Binding::var).collect();
-                    stream.sort_by_key(|e| {
+                    stream.sort_by_cached_key(|e| {
                         original_names
                             .iter()
                             .map(|n| match e.get(n).map(Vec::as_slice) {
-                                Some([Item::Node(id)]) => self.doc.node(*id).pre as u64,
+                                Some([Item::Node(id)]) => self.doc.pre(*id) as u64,
                                 _ => 0,
                             })
                             .collect::<Vec<u64>>()
@@ -969,12 +1243,58 @@ impl Engine {
                     });
                     stream = keyed.into_iter().map(|(_, e)| e).collect();
                 }
-                let mut out = Vec::new();
-                for e in stream {
-                    guard.charge_tuples(1)?;
-                    out.extend(self.eval_inner(ret, &e, guard, depth + 1)?);
+                // The return clause is per-tuple and order-preserving,
+                // so it shards the same way binding expansion does:
+                // contiguous chunks, results concatenated in chunk
+                // order — byte-identical to the serial loop.
+                let emit = |e: &Env, g: &Guard<'_>| -> Result<Sequence, EvalError> {
+                    g.charge_tuples(1)?;
+                    self.eval_inner(ret, e, g, depth + 1)
+                };
+                let shards = plan_shards(guard.budget, stream.len());
+                if shards > 1 {
+                    self.metrics
+                        .add(obs::Counter::EvalShardSpawns, shards as u64);
+                    let seed = guard.seed();
+                    let emit = &emit;
+                    let chunk = stream.len().div_ceil(shards);
+                    let results: Vec<Result<(Sequence, ShardStats), EvalError>> =
+                        std::thread::scope(|s| {
+                            let handles: Vec<_> = stream
+                                .chunks(chunk)
+                                .map(|c| {
+                                    s.spawn(move || {
+                                        let g = seed.guard();
+                                        let mut part = Vec::new();
+                                        for e in c {
+                                            part.extend(emit(e, &g)?);
+                                        }
+                                        Ok((part, g.stats()))
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| match h.join() {
+                                    Ok(r) => r,
+                                    Err(p) => std::panic::resume_unwind(p),
+                                })
+                                .collect()
+                        });
+                    let mut out = Vec::new();
+                    for r in results {
+                        let (part, stats) = r?;
+                        guard.absorb(&stats);
+                        out.extend(part);
+                    }
+                    Ok(out)
+                } else {
+                    let mut out = Vec::new();
+                    for e in &stream {
+                        out.extend(emit(e, guard)?);
+                    }
+                    Ok(out)
                 }
-                Ok(out)
             }
         }
     }
@@ -995,6 +1315,7 @@ impl Engine {
         bindings: &[Binding],
         mqf_groups: &[Vec<&str>],
         eq_pairs: &[(&str, &str)],
+        lit_vars: &[&str],
         env: &Env,
     ) -> Vec<usize> {
         let names: Vec<&str> = bindings.iter().map(Binding::var).collect();
@@ -1041,7 +1362,8 @@ impl Engine {
                                 mqf_groups.iter().any(|vars| {
                                     vars.contains(&var.as_str())
                                         && vars.iter().any(|v| *v != var && available(v))
-                                }) || eq_pairs.iter().any(|(a, b)| a == var && available(b));
+                                }) || eq_pairs.iter().any(|(a, b)| a == var && available(b))
+                                    || lit_vars.contains(&var.as_str());
                             if anchored {
                                 1 << 10
                             } else {
@@ -1164,7 +1486,7 @@ impl Engine {
                 }
             }
             // Document order, no duplicates.
-            next.sort_by_key(|&id| self.doc.node(id).pre);
+            next.sort_by_key(|&id| self.doc.pre(id));
             next.dedup();
             ctx = next;
         }
@@ -1172,8 +1494,7 @@ impl Engine {
     }
 
     fn step_matches(&self, step: &Step, n: NodeId) -> bool {
-        let node = self.doc.node(n);
-        if node.kind == NodeKind::Text {
+        if self.doc.kind(n) == NodeKind::Text {
             return false;
         }
         if step.is_wildcard() {
@@ -1473,7 +1794,7 @@ mod tests {
                 _ => {}
             }
         }
-        let order = e.plan_order(bindings, &mqf_groups, &eq_pairs, &Env::new());
+        let order = e.plan_order(bindings, &mqf_groups, &eq_pairs, &[], &Env::new());
         order
             .into_iter()
             .map(|i| bindings[i].var().to_owned())

@@ -37,7 +37,7 @@
 //! A set of nodes is meaningfully related iff all its unordered pairs
 //! are — the n-way `mqf($v1 … $vn)` used in translated queries.
 
-use xmldb::{Document, NodeId};
+use xmldb::{Document, NodeId, SubtreeProbeCursor};
 
 /// Is the pair `(a, b)` meaningfully related under MLCA semantics?
 ///
@@ -110,11 +110,42 @@ pub fn meaningful_partners_indexed(
     anchor: NodeId,
     label: xmldb::Symbol,
 ) -> Vec<NodeId> {
+    meaningful_partners_indexed_from(doc, anchor, label, &mut PartnerProbe::default())
+}
+
+/// Reusable probe state for [`meaningful_partners_indexed_from`]: one
+/// postings cursor per probe site (the candidate ring, the blocking
+/// probe against the anchor's label, and the blocking probe against the
+/// partner label). A sweep that enumerates partners for many anchors in
+/// (roughly) document order reuses one `PartnerProbe` so every postings
+/// search gallops from where the previous anchor's search ended —
+/// amortized O(log distance) instead of a cold O(log n) binary search
+/// per probe. State is a pure performance hint; results are identical
+/// for any cursor positions. Only meaningful while the anchor label and
+/// partner label stay fixed: use one probe per (anchor label, partner
+/// label) pair.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PartnerProbe {
+    ring: SubtreeProbeCursor,
+    anchor_label: SubtreeProbeCursor,
+    partner_label: SubtreeProbeCursor,
+}
+
+/// [`meaningful_partners_indexed`] with caller-held probe state — the
+/// form the FLWOR evaluator uses inside `mqf()` join loops, where the
+/// anchors arrive in document order and cursor reuse makes the postings
+/// probes near-sequential.
+pub fn meaningful_partners_indexed_from(
+    doc: &Document,
+    anchor: NodeId,
+    label: xmldb::Symbol,
+    probe: &mut PartnerProbe,
+) -> Vec<NodeId> {
     let mut out = Vec::new();
     let mut prev: Option<NodeId> = None;
     let chain = std::iter::once(anchor).chain(doc.ancestors(anchor));
     for anc in chain {
-        let ring = doc.labeled_in_subtree(label, anc);
+        let ring = doc.labeled_in_subtree_from(label, anc, &mut probe.ring);
         for &cand in ring {
             // Skip the inner subtree already processed.
             if let Some(p) = prev {
@@ -122,7 +153,7 @@ pub fn meaningful_partners_indexed(
                     continue;
                 }
             }
-            if meaningfully_related(doc, anchor, cand) {
+            if meaningfully_related_from(doc, anchor, cand, probe) {
                 out.push(cand);
             }
         }
@@ -131,8 +162,35 @@ pub fn meaningful_partners_indexed(
         }
         prev = Some(anc);
     }
-    out.sort_by_key(|&n| doc.node(n).pre);
+    out.sort_by_key(|&n| doc.pre(n));
     out
+}
+
+/// [`meaningfully_related`] with cursor-accelerated label probes. The
+/// cursors are per-label: `probe.anchor_label` tracks `label(a)`'s
+/// postings and `probe.partner_label` tracks `label(b)`'s, which is
+/// exactly the fixed-label situation of the partner sweep above.
+fn meaningfully_related_from(
+    doc: &Document,
+    a: NodeId,
+    b: NodeId,
+    probe: &mut PartnerProbe,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    let c = doc.lca(a, b);
+    if let Some(cb) = doc.child_toward(c, b) {
+        if doc.count_label_in_subtree_from(doc.label_sym(a), cb, &mut probe.anchor_label) > 0 {
+            return false;
+        }
+    }
+    if let Some(ca) = doc.child_toward(c, a) {
+        if doc.count_label_in_subtree_from(doc.label_sym(b), ca, &mut probe.partner_label) > 0 {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -43,26 +43,28 @@ impl Item {
     /// `$director = "Kira"` must see. Elements without own text keep
     /// the XPath whole-subtree string value.
     pub fn string_value(&self, doc: &Document) -> String {
+        self.atom_value(doc).into_owned()
+    }
+
+    /// Atomized value, borrowed from the document's string heap when the
+    /// item is a node whose value lives there verbatim (text nodes,
+    /// attributes, single-text leaf elements — the overwhelming
+    /// majority). The allocation-free form of [`Item::string_value`];
+    /// comparisons and index probes go through this.
+    pub fn atom_value<'a>(&'a self, doc: &'a Document) -> std::borrow::Cow<'a, str> {
+        use std::borrow::Cow;
         match self {
-            Item::Node(id) => {
-                let n = doc.node(*id);
-                if n.is_element() {
-                    let direct = doc.direct_text(*id);
-                    if !direct.trim().is_empty() {
-                        return direct.trim().to_owned();
-                    }
-                }
-                doc.string_value(*id)
-            }
-            Item::Str(s) => s.clone(),
-            Item::Num(n) => format_number(*n),
-            Item::Bool(b) => b.to_string(),
-            Item::Elem(e) => e
-                .children
-                .iter()
-                .map(|c| c.string_value(doc))
-                .collect::<Vec<_>>()
-                .join(""),
+            Item::Node(id) => doc.atom_value(*id),
+            Item::Str(s) => Cow::Borrowed(s.as_str()),
+            Item::Num(n) => Cow::Owned(format_number(*n)),
+            Item::Bool(b) => Cow::Owned(b.to_string()),
+            Item::Elem(e) => Cow::Owned(
+                e.children
+                    .iter()
+                    .map(|c| c.string_value(doc))
+                    .collect::<Vec<_>>()
+                    .join(""),
+            ),
         }
     }
 
@@ -71,7 +73,7 @@ impl Item {
         match self {
             Item::Num(n) => Some(*n),
             Item::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
-            _ => self.string_value(doc).trim().parse().ok(),
+            _ => self.atom_value(doc).trim().parse().ok(),
         }
     }
 
@@ -98,9 +100,21 @@ pub fn format_number(n: f64) -> String {
 /// lexicographically otherwise. Returns an ordering usable for both
 /// general comparisons and `order by`.
 pub fn compare_items(doc: &Document, a: &Item, b: &Item) -> std::cmp::Ordering {
-    match (a.numeric_value(doc), b.numeric_value(doc)) {
+    // Atomize each side once, borrowed where possible, and derive the
+    // numeric view from the same string — the hot path of predicate
+    // scans performs zero allocations per comparison.
+    let sa = a.atom_value(doc);
+    let sb = b.atom_value(doc);
+    let num = |item: &Item, s: &str| -> Option<f64> {
+        match item {
+            Item::Num(n) => Some(*n),
+            Item::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => s.trim().parse().ok(),
+        }
+    };
+    match (num(a, &sa), num(b, &sb)) {
         (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
-        _ => a.string_value(doc).cmp(&b.string_value(doc)),
+        _ => sa.cmp(&sb),
     }
 }
 

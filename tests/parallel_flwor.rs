@@ -1,0 +1,173 @@
+//! Intra-query parallelism equivalence: a FLWOR evaluated with worker
+//! shards must return results *byte-identical* to the serial
+//! evaluation — same items, same order — because shards process
+//! contiguous chunks of the tuple stream and are stitched back in
+//! chunk order. Exercised over every golden XQuery snapshot and the
+//! nine XMP bib questions, plus budget semantics: the shared tuple
+//! ledger makes `max_tuples` and the deadline *global* caps that trip
+//! with typed errors no matter how many shards are running.
+
+use nalix_repro::nalix::{Nalix, Outcome};
+use nalix_repro::xmldb::datasets::bib::bib;
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+use nalix_repro::xquery::{Engine, EvalBudget, EvalError, ExhaustedResource};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn corpus() -> nalix_repro::xmldb::Document {
+    generate(&DblpConfig {
+        books: 40,
+        articles: 80,
+        seed: 7,
+    })
+}
+
+/// Evaluate `query` serially and with an explicit shard count, and
+/// assert the sequences are identical (items *and* order). The
+/// comparison also goes through the rendered string values so a
+/// regression shows up as a readable diff, not an opaque `Item` dump.
+fn assert_serial_equals_sharded(engine: &Engine, label: &str, query: &str, shards: usize) {
+    let serial = engine
+        .run_with_budget(query, &EvalBudget::default().with_shards(1))
+        .unwrap_or_else(|e| panic!("{label}: serial evaluation failed: {e}"));
+    let sharded = engine
+        .run_with_budget(query, &EvalBudget::default().with_shards(shards))
+        .unwrap_or_else(|e| panic!("{label}: {shards}-shard evaluation failed: {e}"));
+    assert_eq!(
+        engine.strings(&serial),
+        engine.strings(&sharded),
+        "{label}: rendered values diverge at {shards} shards"
+    );
+    assert_eq!(
+        serial, sharded,
+        "{label}: item sequences diverge at {shards} shards"
+    );
+}
+
+#[test]
+fn golden_snapshots_evaluate_identically_under_sharding() {
+    let engine = Engine::new(Arc::new(corpus()));
+    let mut seen = 0;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(golden_dir())
+        .expect("golden dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "xq"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("golden file readable");
+        let label = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("<golden>")
+            .to_owned();
+        // The parser treats the leading `(: … :)` banner as a comment,
+        // so the snapshot text runs verbatim.
+        for shards in [2, 3, 4] {
+            assert_serial_equals_sharded(&engine, &label, &text, shards);
+        }
+        seen += 1;
+    }
+    assert!(seen >= 9, "expected all golden snapshots, found {seen}");
+}
+
+#[test]
+fn xmp_bib_questions_evaluate_identically_under_sharding() {
+    let doc = bib();
+    let nalix = Nalix::new(doc.clone());
+    let questions = [
+        "Return the title of every book published by Addison-Wesley after 1991.",
+        "Return the title of every book, where the price of the book is less than 50.",
+        "Return the lowest price for each book.",
+        "Return the title of the book with the lowest price.",
+        "Return the affiliation of the editor of every book.",
+        "Return the number of authors of each book.",
+        "Return the price of every book, sorted by price.",
+        "Return the company of each book.",
+        "Return the title and the author of every book.",
+    ];
+    for q in questions {
+        let t = match nalix.query(q) {
+            Outcome::Translated(t) => t,
+            Outcome::Rejected(r) => panic!("{q}: rejected: {:?}", r.errors),
+        };
+        let serial = nalix
+            .execute_with_budget(&t, &EvalBudget::default().with_shards(1))
+            .unwrap_or_else(|e| panic!("{q}: serial evaluation failed: {e}"));
+        for shards in [2, 4] {
+            let sharded = nalix
+                .execute_with_budget(&t, &EvalBudget::default().with_shards(shards))
+                .unwrap_or_else(|e| panic!("{q}: {shards}-shard evaluation failed: {e}"));
+            assert_eq!(
+                nalix.flatten_values(&serial),
+                nalix.flatten_values(&sharded),
+                "{q}: values diverge at {shards} shards"
+            );
+            assert_eq!(serial, sharded, "{q}: sequences diverge at {shards} shards");
+        }
+    }
+}
+
+/// A sharded cross-product still trips the global tuple cap with the
+/// typed error: every shard charges the one shared ledger.
+#[test]
+fn sharded_query_trips_the_global_tuple_cap() {
+    let engine = Engine::new(Arc::new(corpus()));
+    // title × author × year is far beyond 10k tuples on this corpus.
+    let q = "for $t in doc()//title, $a in doc()//author, $y in doc()//year return $t";
+    for shards in [1, 4] {
+        let tight = EvalBudget::default()
+            .with_max_tuples(10_000)
+            .with_shards(shards);
+        match engine.run_with_budget(q, &tight) {
+            Err(EvalError::ResourceExhausted { resource, .. }) => {
+                assert_eq!(
+                    resource,
+                    ExhaustedResource::Tuples,
+                    "shards={shards}: wrong resource"
+                );
+            }
+            other => panic!("shards={shards}: expected tuple exhaustion, got {other:?}"),
+        }
+    }
+}
+
+/// The deadline is likewise global: shard guards all observe the same
+/// start instant, so a zero time budget trips immediately even when
+/// the work is spread across workers.
+#[test]
+fn sharded_query_trips_the_deadline() {
+    let engine = Engine::new(Arc::new(corpus()));
+    let q = "for $t in doc()//title, $a in doc()//author return $t";
+    let tight = EvalBudget::default()
+        .with_time_limit(Duration::ZERO)
+        .with_shards(4);
+    match engine.run_with_budget(q, &tight) {
+        Err(EvalError::ResourceExhausted { resource, .. }) => {
+            assert_eq!(resource, ExhaustedResource::Time);
+        }
+        other => panic!("expected time exhaustion, got {other:?}"),
+    }
+}
+
+/// `shards: 0` (the default) auto-selects and must stay correct: the
+/// tuple stream here is far below the auto-shard threshold, so this
+/// pins the serial fallback; an explicit oversized count clamps to the
+/// stream length rather than spawning idle workers.
+#[test]
+fn auto_and_oversized_shard_counts_stay_correct() {
+    let engine = Engine::new(Arc::new(corpus()));
+    let q = r#"for $b in doc()//book, $t in doc()//title where mqf($b, $t) return $t"#;
+    let auto = engine
+        .run_with_budget(q, &EvalBudget::default())
+        .expect("auto shards");
+    let over = engine
+        .run_with_budget(q, &EvalBudget::default().with_shards(1_000_000))
+        .expect("oversized shard count");
+    assert_eq!(auto, over);
+}

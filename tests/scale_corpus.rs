@@ -1,0 +1,82 @@
+//! 100×-scale corpus test: builds the ~8M-node DBLP document the
+//! `BENCH_EVAL.json` records are measured against, and asserts the
+//! columnar arena's memory stays within budget while representative
+//! queries complete under the *default* evaluation budget.
+//!
+//! Ignored by default — corpus construction alone takes tens of
+//! seconds — and run by the dedicated `scale` CI job:
+//!
+//! ```console
+//! $ cargo test --release --test scale_corpus -- --ignored
+//! ```
+
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+use nalix_repro::xquery::{Engine, EvalBudget};
+use std::sync::Arc;
+
+/// The mega corpus of `crates/bench/src/bin/eval_perf.rs` — same
+/// config, same seed, so this test guards exactly the corpus the
+/// committed perf records describe.
+fn mega() -> nalix_repro::xmldb::Document {
+    generate(&DblpConfig {
+        books: 240_000,
+        articles: 480_000,
+        seed: 0xDB1F,
+    })
+}
+
+#[test]
+#[ignore = "builds a ~8M-node corpus; run with --ignored (scale CI job)"]
+fn mega_corpus_fits_memory_budget_and_answers_under_default_budget() {
+    let doc = mega();
+    let nodes = doc.stats().total_nodes();
+    assert!(
+        nodes > 7_000_000,
+        "mega corpus should exceed 7M nodes, got {nodes}"
+    );
+
+    // Arena memory budget: the struct-of-arrays layout costs a known
+    // ~56 bytes of column data per node; with the string heap, order
+    // table, postings and structural index the whole document must
+    // stay within 150 bytes/node — about 1.2 GB here, a fraction of
+    // what a pointer-per-node heap representation costs.
+    let fp = doc.memory_footprint();
+    let per_node = fp.total() as f64 / nodes as f64;
+    assert!(
+        per_node < 150.0,
+        "arena footprint {:.1} bytes/node exceeds the 150 B budget \
+         (columns {}, heap {}, order {}, postings {}, index {})",
+        per_node,
+        fp.node_columns,
+        fp.string_heap,
+        fp.doc_order,
+        fp.label_postings,
+        fp.struct_index
+    );
+
+    // Representative workloads complete under the *default* budget —
+    // the point of the columnar sweeps: a value-index point lookup and
+    // the paper's selection query, at 100× the paper's corpus.
+    let engine = Engine::new(Arc::new(doc));
+    let budget = EvalBudget::default();
+
+    let hits = engine
+        .run_with_budget(
+            r#"for $t in doc()//title where $t = "Data on the Web" return $t"#,
+            &budget,
+        )
+        .expect("value-scan completes under the default budget");
+    assert!(!hits.is_empty(), "the seeded corpus contains the title");
+
+    let selection = engine
+        .run_with_budget(
+            r#"for $b in doc()//book where $b/publisher = "Addison-Wesley" and $b/year > 1991 return ($b/title, $b/year)"#,
+            &budget,
+        )
+        .expect("selection completes under the default budget");
+    assert!(
+        selection.len() > 10_000,
+        "selection should match a large result set, got {}",
+        selection.len()
+    );
+}
