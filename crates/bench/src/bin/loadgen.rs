@@ -22,15 +22,28 @@
 //! names its document explicitly, and every answer is checked against
 //! that document's own oracle.
 //!
+//! `--keepalive` switches to persistent-connection mode: every
+//! connection is opened once, kept open for the whole run, and drives
+//! `--rounds` sequential request/response exchanges over it
+//! (`Content-Length`-framed reads — the response delimiter, not EOF).
+//! A few driver threads multiplex many sockets each, so
+//! `--connections 5000` means five thousand genuinely concurrent
+//! (mostly idle) server-side connections, not five thousand client
+//! threads. Results can be persisted to `BENCH_SERVE.json` with
+//! `--record <phase>` and gated against the last matching record with
+//! `--check` (throughput must stay within 2× of baseline, p99 within
+//! 2× + 10 ms slack).
+//!
 //! `--addr HOST:PORT` skips self-hosting and targets a running nalixd
 //! (oracle verification then requires the server's `dblp` to be the
 //! builtin paper-scale corpus, i.e. no `--quick`; `--docs` also needs
 //! the builtin `movies` registered, which nalixd always does).
 
 use nalix::Nalix;
+use server::http::read_response;
 use server::json::Json;
 use server::{Server, ServerConfig};
-use std::io::{Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,6 +56,9 @@ struct Args {
     rounds: usize,
     quick: bool,
     docs: bool,
+    keepalive: bool,
+    record: Option<String>,
+    check: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +68,9 @@ fn parse_args() -> Args {
         rounds: 8,
         quick: false,
         docs: false,
+        keepalive: false,
+        record: None,
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +80,9 @@ fn parse_args() -> Args {
                 args.rounds = 2;
             }
             "--docs" => args.docs = true,
+            "--keepalive" => args.keepalive = true,
+            "--check" => args.check = true,
+            "--record" => args.record = it.next(),
             "--addr" => args.addr = it.next(),
             "--connections" => {
                 if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
@@ -113,10 +135,12 @@ fn query_once(
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| format!("timeout: {e}"))?;
+    // One-shot mode opts out of keep-alive so read-to-EOF still
+    // delimits the response.
     write!(
         stream,
         "POST /query HTTP/1.1\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n\r\n{}",
+         Connection: close\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -235,6 +259,269 @@ fn run_load(addr: &str, connections: usize, rounds: usize, tasks: &[Task]) -> bo
     errors == 0 && wrong == 0
 }
 
+/// What a keep-alive run measured; the raw material for the printed
+/// summary and the `BENCH_SERVE.json` record.
+struct KaStats {
+    requests: u64,
+    transport_errors: u64,
+    mismatches: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+/// One framed request/response exchange on a persistent connection.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    question: &str,
+    doc: Option<&str>,
+) -> Result<(u16, String), String> {
+    let body = match doc {
+        Some(d) => {
+            format!("{{\"question\": {question:?}, \"doc\": {d:?}, \"deadline_ms\": 30000}}")
+        }
+        None => format!("{{\"question\": {question:?}, \"deadline_ms\": 30000}}"),
+    };
+    let request = format!(
+        "POST /query HTTP/1.1\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    reader
+        .get_mut()
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let response = read_response(reader).map_err(|e| format!("read: {e}"))?;
+    Ok((response.status(), response.body_str()))
+}
+
+/// Keep-alive load: opens `connections` persistent sockets up front
+/// (multiplexed over a small pool of driver threads — the point is
+/// concurrent *connections*, not concurrent client threads), then
+/// drives `rounds` framed exchanges over each, verifying every answer
+/// against its oracle. An unexpected close mid-exchange is a transport
+/// error: the framed read fails instead of mistaking EOF for a
+/// delimiter, so this run doubles as a keep-alive conformance check.
+fn run_keepalive(addr: &str, connections: usize, rounds: usize, tasks: &[Task]) -> KaStats {
+    let drivers = connections.clamp(1, 32);
+    let transport_errors = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    // Rendezvous twice: once after connecting (no driver sends until
+    // every socket is open) and once after the last exchange (no
+    // driver closes until every driver is done) — so `connections`
+    // really means that many simultaneously open server-side
+    // connections, not a rolling window.
+    let barrier = std::sync::Barrier::new(drivers);
+    let mut all_latencies: Vec<u64> = Vec::new();
+    let t0 = Instant::now();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let transport_errors = &transport_errors;
+                let mismatches = &mismatches;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // This driver's contiguous share of the connection
+                    // range; every socket stays open (mostly idle)
+                    // until the run ends.
+                    let lo = connections * d / drivers;
+                    let hi = connections * (d + 1) / drivers;
+                    let mut conns: Vec<Option<BufReader<TcpStream>>> = (lo..hi)
+                        .map(|_| {
+                            let stream = TcpStream::connect(addr).ok()?;
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(30)))
+                                .ok()?;
+                            Some(BufReader::new(stream))
+                        })
+                        .collect();
+                    let failed = conns.iter().filter(|c| c.is_none()).count() as u64;
+                    if failed > 0 {
+                        eprintln!("loadgen: {failed} connection(s) failed to open");
+                        transport_errors.fetch_add(failed, Ordering::Relaxed);
+                    }
+                    barrier.wait(); // all sockets open before the first byte
+                    let mut latencies = Vec::with_capacity(rounds * (hi - lo));
+                    for round in 0..rounds {
+                        for (ci, slot) in conns.iter_mut().enumerate() {
+                            let Some(reader) = slot else { continue };
+                            let task = &tasks[(lo + ci + round) % tasks.len()];
+                            let t = Instant::now();
+                            match exchange(reader, &task.question, task.doc) {
+                                Ok((200, body)) => {
+                                    latencies.push(t.elapsed().as_nanos() as u64);
+                                    if !answers_match(&body, &task.expected) {
+                                        eprintln!(
+                                            "loadgen: oracle mismatch on doc {:?} for {:?}",
+                                            task.doc.unwrap_or("<default>"),
+                                            task.question
+                                        );
+                                        mismatches.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Ok((status, body)) => {
+                                    eprintln!(
+                                        "loadgen: unexpected HTTP {status} for {:?}: {body}",
+                                        task.question
+                                    );
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    eprintln!("loadgen: transport error: {e}");
+                                    transport_errors.fetch_add(1, Ordering::Relaxed);
+                                    *slot = None; // the connection is poisoned
+                                }
+                            }
+                        }
+                    }
+                    barrier.wait(); // no socket closes before the last exchange
+                    latencies
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(lats) = h.join() {
+                all_latencies.extend(lats);
+            } else {
+                transport_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+
+    let wall = t0.elapsed();
+    all_latencies.sort_unstable();
+    let requests = all_latencies.len() as u64;
+    KaStats {
+        requests,
+        transport_errors: transport_errors.load(Ordering::SeqCst),
+        mismatches: mismatches.load(Ordering::SeqCst),
+        throughput_rps: requests as f64 / wall.as_secs_f64(),
+        p50_ms: percentile(&all_latencies, 0.50) as f64 / 1e6,
+        p90_ms: percentile(&all_latencies, 0.90) as f64 / 1e6,
+        p99_ms: percentile(&all_latencies, 0.99) as f64 / 1e6,
+    }
+}
+
+/// `BENCH_SERVE.json` at the repo root (next to `BENCH_EVAL.json`).
+fn bench_file_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("BENCH_SERVE.json")
+}
+
+/// Parses the trajectory file into its records (empty when absent).
+fn load_records() -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(bench_file_path()) else {
+        return Vec::new();
+    };
+    match Json::parse(&text) {
+        Ok(Json::Arr(records)) => records,
+        _ => Vec::new(),
+    }
+}
+
+/// Appends one record for this run and rewrites the file, one record
+/// per line (append-friendly diffs, same idiom as `BENCH_EVAL.json`).
+fn record_stats(phase: &str, corpus: &str, connections: usize, stats: &KaStats) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = Json::Obj(vec![
+        ("phase".to_string(), Json::Str(phase.to_string())),
+        ("corpus".to_string(), Json::Str(corpus.to_string())),
+        ("mode".to_string(), Json::Str("keepalive".to_string())),
+        ("connections".to_string(), Json::Num(connections as f64)),
+        ("requests".to_string(), Json::Num(stats.requests as f64)),
+        (
+            "throughput_rps".to_string(),
+            Json::Num((stats.throughput_rps * 10.0).round() / 10.0),
+        ),
+        (
+            "p50_ms".to_string(),
+            Json::Num((stats.p50_ms * 1000.0).round() / 1000.0),
+        ),
+        (
+            "p90_ms".to_string(),
+            Json::Num((stats.p90_ms * 1000.0).round() / 1000.0),
+        ),
+        (
+            "p99_ms".to_string(),
+            Json::Num((stats.p99_ms * 1000.0).round() / 1000.0),
+        ),
+        (
+            "transport_errors".to_string(),
+            Json::Num(stats.transport_errors as f64),
+        ),
+        ("unix_time".to_string(), Json::Num(unix_time as f64)),
+    ]);
+    let mut records = load_records();
+    records.push(record);
+    let lines: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.render()))
+        .collect();
+    let text = format!("[\n{}\n]\n", lines.join(",\n"));
+    if let Err(e) = std::fs::write(bench_file_path(), text) {
+        eprintln!("loadgen: cannot write {}: {e}", bench_file_path().display());
+        std::process::exit(2);
+    }
+    println!(
+        "loadgen: recorded phase {phase:?} to {}",
+        bench_file_path().display()
+    );
+}
+
+/// Gates this run against the most recent record with the same corpus,
+/// mode, and connection count: throughput must be at least half the
+/// baseline and p99 at most 2× + 10 ms. Loose on purpose — CI runners
+/// are noisy; the gate catches collapses, not jitter.
+fn check_stats(corpus: &str, connections: usize, stats: &KaStats) -> bool {
+    let records = load_records();
+    let baseline = records.iter().rev().find(|r| {
+        r.get("corpus").and_then(Json::as_str) == Some(corpus)
+            && r.get("mode").and_then(Json::as_str) == Some("keepalive")
+            && r.get("connections").and_then(Json::as_u64) == Some(connections as u64)
+    });
+    let Some(baseline) = baseline else {
+        println!(
+            "loadgen: no baseline for corpus={corpus} connections={connections} \
+             in {}; record one with --record",
+            bench_file_path().display()
+        );
+        return true;
+    };
+    let as_num = |v: &Json| match v {
+        Json::Num(n) => Some(*n),
+        _ => None,
+    };
+    let base_rps = baseline
+        .get("throughput_rps")
+        .and_then(as_num)
+        .unwrap_or(0.0);
+    let base_p99 = baseline.get("p99_ms").and_then(as_num).unwrap_or(0.0);
+    let rps_floor = base_rps * 0.5;
+    let p99_ceiling = base_p99 * 2.0 + 10.0;
+    let rps_ok = stats.throughput_rps >= rps_floor;
+    let p99_ok = stats.p99_ms <= p99_ceiling;
+    println!(
+        "loadgen: check vs baseline: {:.0} req/s (floor {:.0}) [{}]   \
+         p99 {:.2} ms (ceiling {:.2}) [{}]",
+        stats.throughput_rps,
+        rps_floor,
+        if rps_ok { "ok" } else { "FAIL" },
+        stats.p99_ms,
+        p99_ceiling,
+        if p99_ok { "ok" } else { "FAIL" },
+    );
+    rps_ok && p99_ok
+}
+
 /// Compares the `answers` array of a 200 body to the oracle values.
 fn answers_match(body: &str, expected: &[String]) -> bool {
     let Ok(parsed) = Json::parse(body) else {
@@ -295,7 +582,8 @@ fn shed_contract_holds(store: &Arc<DocumentStore>) -> bool {
                         let addr = addr.clone();
                         inner.spawn(move || {
                             let mut s = TcpStream::connect(&addr).ok()?;
-                            s.write_all(b"GET /health HTTP/1.1\r\n\r\n").ok()?;
+                            s.write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+                                .ok()?;
                             let mut reply = String::new();
                             s.read_to_string(&mut reply).ok()?;
                             Some(reply)
@@ -322,6 +610,9 @@ fn shed_contract_holds(store: &Arc<DocumentStore>) -> bool {
 
 fn main() {
     let args = parse_args();
+    // Keep-alive mode holds thousands of client sockets open (and, when
+    // self-hosting, their server-side halves in the same process).
+    server::raise_nofile_limit();
     let questions = bench::xmp_questions();
 
     eprintln!(
@@ -370,6 +661,102 @@ fn main() {
             questions.len(),
             movies_questions.len()
         );
+    }
+
+    if args.keepalive {
+        let corpus = if args.quick { "quick" } else { "paper" };
+        let stats = match &args.addr {
+            Some(addr) => run_keepalive(addr, args.connections, args.rounds, &tasks),
+            None => {
+                let store = Arc::new(DocumentStore::with_builtins(StoreConfig {
+                    default_doc: "dblp".to_string(),
+                    ..StoreConfig::default()
+                }));
+                if let Err(e) = store.put("dblp", DocSpec::memory("dblp-bench", doc.clone())) {
+                    eprintln!("loadgen: store setup failed: {e}");
+                    std::process::exit(2);
+                }
+                let config = ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    // Connections sit idle while the drivers cycle
+                    // through their shares; a production idle timeout
+                    // would reap them mid-run.
+                    idle_timeout: Duration::from_secs(300),
+                    max_connections: (args.connections + 256).max(10_240),
+                    ..ServerConfig::default()
+                };
+                let server = match Server::bind(store, config) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("loadgen: bind failed: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                let addr = server.local_addr().to_string();
+                let handle = server.handle();
+                let mut stats = None;
+                std::thread::scope(|scope| {
+                    let driver = scope.spawn(|| {
+                        let s = run_keepalive(&addr, args.connections, args.rounds, &tasks);
+                        handle.shutdown();
+                        s
+                    });
+                    let report = server.serve();
+                    stats = driver.join().ok();
+                    if let Ok(report) = report {
+                        eprintln!(
+                            "loadgen: server drained; served {} shed {}",
+                            report.served, report.shed
+                        );
+                        eprintln!(
+                            "loadgen: keepalive reuse {}  open-conn high water {}  \
+                             epoll wakeups {}",
+                            report.snapshot.counter(obs::Counter::HttpKeepaliveReuse),
+                            report.snapshot.max(obs::MaxGauge::OpenConnectionsHighWater),
+                            report.snapshot.counter(obs::Counter::EpollWakeups),
+                        );
+                    }
+                });
+                match stats {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("loadgen: keepalive driver panicked");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        };
+        println!(
+            "loadgen: keepalive: {} requests over {} connections \
+             ({:.0} req/s)",
+            stats.requests, args.connections, stats.throughput_rps
+        );
+        println!(
+            "  p50 {:.2} ms   p90 {:.2} ms   p99 {:.2} ms",
+            stats.p50_ms, stats.p90_ms, stats.p99_ms
+        );
+        println!(
+            "  transport errors: {}   oracle mismatches: {}",
+            stats.transport_errors, stats.mismatches
+        );
+        let mut ok = stats.transport_errors == 0 && stats.mismatches == 0;
+        if let Some(phase) = &args.record {
+            if ok {
+                record_stats(phase, corpus, args.connections, &stats);
+            } else {
+                eprintln!("loadgen: refusing to record a failed run");
+            }
+        }
+        if args.check {
+            ok = check_stats(corpus, args.connections, &stats) && ok;
+        }
+        if ok {
+            println!("loadgen: PASS");
+        } else {
+            println!("loadgen: FAIL");
+            std::process::exit(1);
+        }
+        return;
     }
 
     let ok = match &args.addr {

@@ -351,6 +351,17 @@ pub enum Counter {
     /// Requests refused before routing: malformed request line or
     /// headers, oversized body, unknown path, wrong method.
     HttpBadRequests,
+    /// Keep-alive connection reuse: requests parsed on a connection
+    /// that had already served at least one request (a measure of how
+    /// many TCP handshakes keep-alive saved).
+    HttpKeepaliveReuse,
+    /// Connections answered `408 Request Timeout` because a request
+    /// stalled mid-parse past the read timeout (at least one byte had
+    /// arrived; zero-byte idle connections are closed silently).
+    HttpTimeouts,
+    /// `epoll_wait` returns that delivered at least one event to the
+    /// `nalixd` event loop (timeout-only ticks are not counted).
+    EpollWakeups,
     /// Translation-cache entries evicted to stay under the configured
     /// capacity (`nalix` bounded clock cache).
     CacheEvictions,
@@ -371,7 +382,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 26;
 
     /// All counters, in [`Counter::index`] order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -393,6 +404,9 @@ impl Counter {
         Counter::HttpRequests,
         Counter::HttpShed,
         Counter::HttpBadRequests,
+        Counter::HttpKeepaliveReuse,
+        Counter::HttpTimeouts,
+        Counter::EpollWakeups,
         Counter::CacheEvictions,
         Counter::StoreLoads,
         Counter::StoreReloads,
@@ -426,6 +440,9 @@ impl Counter {
             Counter::HttpRequests => "http_requests",
             Counter::HttpShed => "http_shed",
             Counter::HttpBadRequests => "http_bad_requests",
+            Counter::HttpKeepaliveReuse => "http_keepalive_reuse",
+            Counter::HttpTimeouts => "http_timeouts",
+            Counter::EpollWakeups => "epoll_wakeups",
             Counter::CacheEvictions => "cache_evictions",
             Counter::StoreLoads => "store_loads",
             Counter::StoreReloads => "store_reloads",
@@ -453,15 +470,21 @@ pub enum MaxGauge {
     /// `--queue` capacity bounds; reaching the capacity means
     /// load-shedding began).
     QueueDepthHighWater,
+    /// Most connections the `nalixd` event loop ever held open at
+    /// once (the quantity its `--max-connections` cap bounds).
+    OpenConnectionsHighWater,
 }
 
 impl MaxGauge {
     /// Number of gauges.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// All gauges, in [`MaxGauge::index`] order.
-    pub const ALL: [MaxGauge; MaxGauge::COUNT] =
-        [MaxGauge::EvalDepthHighWater, MaxGauge::QueueDepthHighWater];
+    pub const ALL: [MaxGauge; MaxGauge::COUNT] = [
+        MaxGauge::EvalDepthHighWater,
+        MaxGauge::QueueDepthHighWater,
+        MaxGauge::OpenConnectionsHighWater,
+    ];
 
     /// Dense index of this gauge (its position in [`MaxGauge::ALL`]).
     pub fn index(self) -> usize {
@@ -473,6 +496,7 @@ impl MaxGauge {
         match self {
             MaxGauge::EvalDepthHighWater => "eval_depth_high_water",
             MaxGauge::QueueDepthHighWater => "queue_depth_high_water",
+            MaxGauge::OpenConnectionsHighWater => "open_connections_high_water",
         }
     }
 }

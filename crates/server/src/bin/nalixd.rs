@@ -62,6 +62,13 @@ OPTIONS:
     --max-docs <N>          Maximum resident documents; colder ones
                             are unloaded (and lazily rebuilt)
                                                   [default: 8]
+    --idle-timeout-ms <N>   Close keep-alive connections idle this long
+                                                  [default: 30000]
+    --max-requests-per-conn <N>
+                            Requests served per connection before it is
+                            closed                [default: 10000]
+    --max-connections <N>   Open-connection cap; accepts beyond it are
+                            shed with 503         [default: 10240]
     --debug-delay-ms <N>    Inject latency into every handler (testing)
     --help                  Print this help
 
@@ -83,6 +90,9 @@ struct Args {
     deadline_ms: u64,
     dataset: String,
     max_docs: usize,
+    idle_timeout_ms: u64,
+    max_requests_per_conn: usize,
+    max_connections: usize,
     debug_delay_ms: Option<u64>,
 }
 
@@ -95,6 +105,9 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: 2000,
         dataset: "bib".to_string(),
         max_docs: 8,
+        idle_timeout_ms: 30_000,
+        max_requests_per_conn: 10_000,
+        max_connections: 10_240,
         debug_delay_ms: None,
     };
     let mut it = std::env::args().skip(1);
@@ -117,6 +130,11 @@ fn parse_args() -> Result<Args, String> {
             "--deadline-ms" => args.deadline_ms = parse_num(&value)?.max(1),
             "--dataset" => args.dataset = value,
             "--max-docs" => args.max_docs = parse_num(&value)?.max(1) as usize,
+            "--idle-timeout-ms" => args.idle_timeout_ms = parse_num(&value)?.max(1),
+            "--max-requests-per-conn" => {
+                args.max_requests_per_conn = parse_num(&value)?.max(1) as usize
+            }
+            "--max-connections" => args.max_connections = parse_num(&value)?.max(1) as usize,
             "--debug-delay-ms" => args.debug_delay_ms = Some(parse_num(&value)?),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -180,6 +198,9 @@ fn main() -> ExitCode {
         workers: args.workers,
         queue_capacity: args.queue,
         default_deadline: Duration::from_millis(args.deadline_ms),
+        idle_timeout: Duration::from_millis(args.idle_timeout_ms),
+        max_requests_per_conn: args.max_requests_per_conn,
+        max_connections: args.max_connections,
         debug_handler_delay: args.debug_delay_ms.map(Duration::from_millis),
         ..ServerConfig::default()
     };
@@ -193,7 +214,8 @@ fn main() -> ExitCode {
     let handle = server.handle();
     eprintln!(
         "nalixd: serving default document \"{}\" (from \"{}\") on http://{} \
-         ({} workers, queue {}, cache {}, max {} resident docs)",
+         ({} workers, queue {}, cache {}, max {} resident docs, \
+         max {} connections)",
         default_doc,
         args.dataset,
         server.local_addr(),
@@ -201,6 +223,7 @@ fn main() -> ExitCode {
         args.queue,
         args.cache,
         args.max_docs,
+        args.max_connections,
     );
 
     install_signal_handlers();

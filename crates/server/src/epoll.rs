@@ -1,0 +1,196 @@
+//! Minimal raw-FFI `epoll` binding for the event loop — std-only, no
+//! external crates, mirroring the `signal(2)` FFI pattern in the
+//! `nalixd` binary: libc is already linked by std, so declaring the
+//! four syscall wrappers we need is all it takes.
+//!
+//! Level-triggered only (the loop re-arms interest explicitly via
+//! [`Epoll::modify`]), which keeps the readiness contract simple:
+//! an event means "this operation will not block right now", and a
+//! missed drain just means another wakeup.
+//!
+//! Linux-only, like the rest of the serving subsystem's FFI; a kqueue
+//! sibling is the natural BSD/macOS port (see `docs/SERVING.md`).
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable (or peer closed: EOF is a read event).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; always reported, never requested.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup; always reported, never requested.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (half-close detection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EINTR: i32 = 4;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// packs it there so 32-bit and 64-bit layouts match); natural
+/// alignment elsewhere.
+#[derive(Clone, Copy)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+pub struct Event {
+    /// Ready-event bitmask (`EPOLLIN` | ...).
+    pub events: u32,
+    /// The caller's token, passed back verbatim.
+    pub data: u64,
+}
+
+impl Event {
+    /// A zeroed event, for buffer initialization.
+    pub fn zeroed() -> Self {
+        Event { events: 0, data: 0 }
+    }
+}
+
+unsafe extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut Event) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut Event, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// Reads `errno` via the `io::Error` conversion std already provides.
+fn last_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// An owned epoll instance. Closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(last_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = Event {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(last_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` for level-triggered `events`, tagged with
+    /// `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the interest set of a registered `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`. Errors are ignored by callers on the close
+    /// path (the kernel drops registrations with the fd anyway).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` for events, filling `events` from the
+    /// front. Returns the number filled; 0 on timeout. `EINTR` (a
+    /// signal landed on this thread) is reported as 0, not an error —
+    /// the loop's shutdown flag check handles the cause.
+    pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        let max = events.len().min(i32::MAX as usize) as i32;
+        // SAFETY: the buffer is valid for `max` entries for the call.
+        let rc = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), max, timeout_ms) };
+        if rc < 0 {
+            let err = last_error();
+            if err.raw_os_error() == Some(EINTR) {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(rc as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and drop it exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Best-effort bump of `RLIMIT_NOFILE` to its hard limit, so "a client
+/// costs a connection slot, not a thread" is not silently capped at
+/// the shell's default 1024 soft limit. Failures are ignored: the
+/// server still runs, just with fewer slots.
+pub fn raise_nofile_limit() {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid out-pointer for both calls.
+    unsafe {
+        if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < lim.max {
+            lim.cur = lim.max;
+            setrlimit(RLIMIT_NOFILE, &lim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_round_trip() {
+        let ep = Epoll::new().expect("epoll_create1");
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        b.set_nonblocking(true).expect("nonblocking");
+        ep.add(b.as_raw_fd(), EPOLLIN, 42).expect("add");
+
+        let mut events = vec![Event::zeroed(); 8];
+        // Nothing written yet: a 0ms wait times out empty.
+        assert_eq!(ep.wait(&mut events, 0).expect("wait"), 0);
+
+        a.write_all(b"x").expect("write");
+        let n = ep.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let ev = events[0];
+        assert_eq!({ ev.data }, 42);
+        assert_ne!({ ev.events } & EPOLLIN, 0);
+
+        // Re-arm for write interest: immediately ready.
+        ep.modify(b.as_raw_fd(), EPOLLOUT, 7).expect("mod");
+        let n = ep.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].data }, 7);
+        ep.delete(b.as_raw_fd()).expect("del");
+        assert_eq!(ep.wait(&mut events, 0).expect("wait"), 0);
+    }
+}

@@ -1,19 +1,43 @@
-//! Bounded HTTP/1.1 request parsing and response writing.
+//! Bounded, incremental HTTP/1.1 request parsing and response writing.
 //!
-//! `nalixd` speaks a deliberately small slice of HTTP/1.1: one request
-//! per connection (`Connection: close` on every response, so admission
-//! control is per *request*), `Content-Length` bodies only (chunked
-//! transfer encoding is rejected with 400 rather than half-implemented)
-//! and hard limits on every dimension an unauthenticated client
-//! controls — request-line length, header count and size, and body
-//! size. Each limit failure maps to a precise HTTP status instead of an
-//! allocation: a slow-loris client hits the socket read timeout, a
-//! shouting one hits [`ReadError::TooLarge`].
+//! `nalixd` speaks a deliberately small slice of HTTP/1.1, but it
+//! speaks it carefully: requests are parsed *incrementally* by a
+//! per-connection [`RequestParser`] state machine that consumes bytes
+//! as the event loop reads them off a nonblocking socket, and yields
+//! only *complete* requests. Keep-alive and pipelining are first-class:
+//! [`Request::keep_alive`] captures the negotiated connection
+//! persistence (HTTP/1.1 defaults to keep-alive, `Connection: close`
+//! and HTTP/1.0 opt out), and a parser instance keeps consuming
+//! pipelined requests from the same buffer.
+//!
+//! The parser is strict where laxness becomes request smuggling once
+//! responses share a connection (RFC 9112 §6):
+//!
+//! * `Content-Length` must be a pure digit string; duplicates with
+//!   differing values, signs (`+5`), empty values, or embedded
+//!   whitespace are rejected with 400.
+//! * `Transfer-Encoding` is parsed as a token list: `chunked` is
+//!   rejected as unsupported (400, never half-implemented), `identity`
+//!   is a no-op, anything else is 400 — and a request carrying *both*
+//!   `Transfer-Encoding` and `Content-Length` is always rejected.
+//! * Header names may not be empty or contain whitespace (which also
+//!   rejects obsolete line folding).
+//! * Interior `\r` bytes are preserved in header values but rejected
+//!   in the request line; only a single `\r` immediately before the
+//!   `\n` terminator is stripped.
+//!
+//! Hard limits cap every dimension an unauthenticated client controls:
+//! request-line and header-line length ([`MAX_LINE`] bytes of content,
+//! exactly), header count ([`MAX_HEADERS`]), and body size (the
+//! caller's `max_body`). Each limit failure maps to a precise HTTP
+//! status instead of an allocation.
 
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 
-/// Maximum length of the request line and of each header line.
+/// Maximum length of the request line and of each header line
+/// (terminator excluded). A line of exactly this many bytes is
+/// accepted; one more is rejected.
 pub const MAX_LINE: usize = 8 * 1024;
 /// Maximum number of request headers.
 pub const MAX_HEADERS: usize = 64;
@@ -51,100 +75,332 @@ pub struct Request {
     pub content_type: Option<String>,
     /// Raw request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the connection should persist after this exchange:
+    /// HTTP/1.1 unless `Connection: close`; HTTP/1.0 only with an
+    /// explicit `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
-/// Reads one request from `reader`, enforcing `max_body` on the body.
+/// Parse progress of the in-flight request.
+#[derive(Debug)]
+enum State {
+    /// Waiting for (the rest of) the request line.
+    RequestLine,
+    /// Waiting for (more) header lines.
+    Headers,
+    /// Headers complete; waiting for `Content-Length` body bytes.
+    Body,
+}
+
+/// Accumulated fields of the request being parsed.
+#[derive(Debug, Default)]
+struct Partial {
+    method: String,
+    path: String,
+    http11: bool,
+    wants_close: bool,
+    wants_keep_alive: bool,
+    content_type: Option<String>,
+    content_length: Option<usize>,
+    saw_transfer_encoding: bool,
+    chunked: bool,
+    headers_seen: usize,
+}
+
+/// An incremental HTTP/1.1 request parser: feed it bytes as they
+/// arrive, poll it for complete requests.
+///
+/// One parser serves one connection for its whole life; pipelined
+/// requests are consumed from the same buffer in order. All limits
+/// ([`MAX_LINE`], [`MAX_HEADERS`], the constructor's `max_body`) are
+/// enforced *during* accumulation, so a hostile client cannot make the
+/// buffer grow past one request's caps before being rejected.
+///
+/// ```
+/// use server::http::RequestParser;
+/// let mut p = RequestParser::new(1024);
+/// p.feed(b"GET /health HTTP/1.1\r\n\r\nGET /metrics");
+/// let first = p.poll().unwrap().expect("complete");
+/// assert_eq!(first.path, "/health");
+/// assert!(first.keep_alive);
+/// assert!(p.poll().unwrap().is_none()); // second request incomplete
+/// p.feed(b" HTTP/1.1\r\nConnection: close\r\n\r\n");
+/// let second = p.poll().unwrap().expect("complete");
+/// assert_eq!(second.path, "/metrics");
+/// assert!(!second.keep_alive);
+/// ```
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body: usize,
+    buf: Vec<u8>,
+    pos: usize,
+    state: State,
+    partial: Partial,
+}
+
+impl RequestParser {
+    /// A fresh parser enforcing `max_body` on request bodies.
+    pub fn new(max_body: usize) -> Self {
+        RequestParser {
+            max_body,
+            buf: Vec::new(),
+            pos: 0,
+            state: State::RequestLine,
+            partial: Partial::default(),
+        }
+    }
+
+    /// Appends newly read bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes fed but not yet consumed into a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when at least one byte of an unfinished request has
+    /// arrived — the caller's read timeout should answer `408`; an
+    /// idle connection (nothing buffered, nothing in progress) should
+    /// just be closed.
+    pub fn mid_request(&self) -> bool {
+        !matches!(self.state, State::RequestLine) || self.buffered() > 0
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// `Ok(Some(_))` yields the next pipelined request; `Ok(None)`
+    /// means more bytes are needed; `Err(_)` poisons the connection
+    /// (the caller should answer 400/413 and close — the parser makes
+    /// no attempt to resynchronize a malformed stream).
+    pub fn poll(&mut self) -> Result<Option<Request>, ReadError> {
+        loop {
+            match self.state {
+                State::RequestLine => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    // RFC 9112 §2.2: ignore blank line(s) before the
+                    // request line (sloppy clients after a POST).
+                    if line.is_empty() {
+                        continue;
+                    }
+                    self.start_request(&line)?;
+                    self.state = State::Headers;
+                }
+                State::Headers => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    if line.is_empty() {
+                        self.finish_headers()?;
+                        self.state = State::Body;
+                    } else {
+                        if self.partial.headers_seen >= MAX_HEADERS {
+                            return Err(ReadError::TooLarge("too many headers".to_string()));
+                        }
+                        self.header_line(&line)?;
+                        self.partial.headers_seen += 1;
+                    }
+                }
+                State::Body => {
+                    let need = self.partial.content_length.unwrap_or(0);
+                    if self.buffered() < need {
+                        return Ok(None);
+                    }
+                    let body = self.buf[self.pos..self.pos + need].to_vec();
+                    self.pos += need;
+                    self.compact();
+                    let partial = std::mem::take(&mut self.partial);
+                    self.state = State::RequestLine;
+                    let keep_alive = if partial.wants_close {
+                        false
+                    } else if partial.http11 {
+                        true
+                    } else {
+                        partial.wants_keep_alive
+                    };
+                    return Ok(Some(Request {
+                        method: partial.method,
+                        path: partial.path,
+                        content_type: partial.content_type,
+                        body,
+                        keep_alive,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Extracts the next `\n`- (or `\r\n`-) terminated line, stripping
+    /// only the terminator, enforcing [`MAX_LINE`] on the content.
+    /// `Ok(None)` means the terminator has not arrived yet.
+    fn take_line(&mut self) -> Result<Option<String>, ReadError> {
+        // A line of MAX_LINE content bytes plus "\r\n" spans
+        // MAX_LINE + 2 wire bytes; if no terminator shows up within
+        // that window the line can never be legal.
+        let window = self.buf.len().min(self.pos + MAX_LINE + 2);
+        let Some(nl) = self.buf[self.pos..window].iter().position(|&b| b == b'\n') else {
+            if self.buf.len() - self.pos >= MAX_LINE + 2 {
+                return Err(ReadError::TooLarge("header line too long".to_string()));
+            }
+            return Ok(None);
+        };
+        let start = self.pos;
+        let mut end = start + nl;
+        self.pos = end + 1;
+        if end > start && self.buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        if end - start > MAX_LINE {
+            return Err(ReadError::TooLarge("header line too long".to_string()));
+        }
+        let line = String::from_utf8(self.buf[start..end].to_vec())
+            .map_err(|_| ReadError::bad("request is not UTF-8"))?;
+        Ok(Some(line))
+    }
+
+    /// Reclaims consumed buffer space between requests.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 8 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Parses the request line into the partial request.
+    fn start_request(&mut self, line: &str) -> Result<(), ReadError> {
+        // A bare CR anywhere in the request line is a desync hazard
+        // (some peer might have treated it as a terminator).
+        if line.contains('\r') {
+            return Err(ReadError::bad("bare CR in request line"));
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) => (m, t, v),
+            _ => return Err(ReadError::bad("malformed request line")),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ReadError::bad("unsupported HTTP version"));
+        }
+        self.partial.http11 = version == "HTTP/1.1";
+        self.partial.method = method.to_string();
+        // Strip the query string; nalixd routes on the path alone.
+        self.partial.path = target.split('?').next().unwrap_or(target).to_string();
+        Ok(())
+    }
+
+    /// Parses one header line into the partial request.
+    fn header_line(&mut self, line: &str) -> Result<(), ReadError> {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::bad("malformed header"));
+        };
+        // RFC 9112 §5.1: no whitespace between name and colon; this
+        // also rejects obsolete line folding (leading whitespace).
+        if name.is_empty() || name.bytes().any(|b| b.is_ascii_whitespace()) {
+            return Err(ReadError::bad("malformed header name"));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let parsed = parse_content_length(value)?;
+                if let Some(prev) = self.partial.content_length {
+                    if prev != parsed {
+                        return Err(ReadError::bad("conflicting Content-Length headers"));
+                    }
+                }
+                self.partial.content_length = Some(parsed);
+            }
+            "content-type" => self.partial.content_type = Some(value.to_ascii_lowercase()),
+            "transfer-encoding" => {
+                self.partial.saw_transfer_encoding = true;
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "chunked" => self.partial.chunked = true,
+                        "identity" | "" => {}
+                        _ => return Err(ReadError::bad("unsupported transfer encoding")),
+                    }
+                }
+            }
+            "connection" => {
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => self.partial.wants_close = true,
+                        "keep-alive" => self.partial.wants_keep_alive = true,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Cross-header validation once the blank line arrives.
+    fn finish_headers(&mut self) -> Result<(), ReadError> {
+        if self.partial.chunked {
+            return Err(ReadError::bad(
+                "chunked transfer encoding is not supported; send Content-Length",
+            ));
+        }
+        // Both framing headers present is the classic smuggling vector
+        // (RFC 9112 §6.1); reject even when the encoding is identity.
+        if self.partial.saw_transfer_encoding && self.partial.content_length.is_some() {
+            return Err(ReadError::bad(
+                "both Transfer-Encoding and Content-Length present",
+            ));
+        }
+        let length = self.partial.content_length.unwrap_or(0);
+        if length > self.max_body {
+            return Err(ReadError::TooLarge(format!(
+                "body of {length} bytes exceeds the {} byte limit",
+                self.max_body
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Strict `Content-Length` per RFC 9112 §6.2: a nonempty string of
+/// ASCII digits, nothing else — no sign, no whitespace, no comma list.
+fn parse_content_length(value: &str) -> Result<usize, ReadError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ReadError::bad("unparseable Content-Length"));
+    }
+    value
+        .parse()
+        .map_err(|_| ReadError::bad("Content-Length out of range"))
+}
+
+/// Reads one request from `reader`, enforcing `max_body` on the body —
+/// the blocking convenience wrapper over [`RequestParser`] (the event
+/// loop feeds the parser directly).
 ///
 /// `reader` should wrap a stream with a read timeout set; this function
 /// performs no timing of its own.
 pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, ReadError> {
-    let line = read_line(reader)?;
-    if line.is_empty() {
-        return Err(ReadError::Eof);
-    }
-    let mut parts = line.split_ascii_whitespace();
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v)) => (m, t, v),
-        _ => return Err(ReadError::bad("malformed request line")),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::bad("unsupported HTTP version"));
-    }
-    // Strip the query string; nalixd routes on the path alone.
-    let path = target.split('?').next().unwrap_or(target).to_string();
-
-    let mut content_length: usize = 0;
-    let mut content_type = None;
-    let mut chunked = false;
-    for n in 0.. {
-        if n >= MAX_HEADERS {
-            return Err(ReadError::TooLarge("too many headers".to_string()));
-        }
-        let header = read_line(reader)?;
-        if header.is_empty() {
-            break;
-        }
-        let Some((name, value)) = header.split_once(':') else {
-            return Err(ReadError::bad("malformed header"));
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        match name.as_str() {
-            "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| ReadError::bad("unparseable Content-Length"))?;
-            }
-            "content-type" => content_type = Some(value.to_ascii_lowercase()),
-            "transfer-encoding" => chunked = true,
-            _ => {}
-        }
-    }
-    if chunked {
-        return Err(ReadError::bad(
-            "chunked transfer encoding is not supported; send Content-Length",
-        ));
-    }
-    if content_length > max_body {
-        return Err(ReadError::TooLarge(format!(
-            "body of {content_length} bytes exceeds the {max_body} byte limit"
-        )));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(ReadError::Io)?;
-    Ok(Request {
-        method: method.to_string(),
-        path,
-        content_type,
-        body,
-    })
-}
-
-/// Reads one CRLF- (or LF-) terminated line, capped at [`MAX_LINE`]
-/// bytes, returning it without the terminator. An immediate EOF yields
-/// an empty string (distinguished from a blank line by the caller via
-/// position: a blank line mid-headers ends the header block).
-fn read_line<R: BufRead>(reader: &mut R) -> Result<String, ReadError> {
-    let mut buf = Vec::with_capacity(128);
+    let mut parser = RequestParser::new(max_body);
     loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                if byte[0] != b'\r' {
-                    buf.push(byte[0]);
-                }
-                if buf.len() > MAX_LINE {
-                    return Err(ReadError::TooLarge("request line too long".to_string()));
-                }
-            }
-            Err(e) => return Err(ReadError::Io(e)),
+        if let Some(req) = parser.poll()? {
+            return Ok(req);
         }
+        let chunk = reader.fill_buf().map_err(ReadError::Io)?;
+        if chunk.is_empty() {
+            return Err(if parser.mid_request() {
+                ReadError::bad("connection closed mid-request")
+            } else {
+                ReadError::Eof
+            });
+        }
+        let n = chunk.len();
+        parser.feed(chunk);
+        reader.consume(n);
     }
-    String::from_utf8(buf).map_err(|_| ReadError::bad("request is not UTF-8"))
 }
 
 /// An HTTP response under construction.
@@ -188,25 +444,33 @@ impl Response {
         self.status
     }
 
-    /// Serialises the response and writes it to `out`. Always sends
-    /// `Connection: close`; the server's connection model is one
-    /// request per connection.
-    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+    /// Serialises the full wire form. `keep_alive` selects the
+    /// `Connection` header: the event loop passes the negotiated
+    /// per-connection decision; one-shot writers pass `false`.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = String::with_capacity(160);
         let _ = write!(
             head,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.extra_headers {
             let _ = write!(head, "{name}: {value}\r\n");
         }
         head.push_str("\r\n");
-        out.write_all(head.as_bytes())?;
-        out.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serialises the response with `Connection: close` and writes it
+    /// to `out` — the one-shot path (shed responses, tests).
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        out.write_all(&self.serialize(false))?;
         out.flush()
     }
 }
@@ -218,6 +482,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -225,6 +490,89 @@ fn reason(status: u16) -> &'static str {
         504 => "Gateway Timeout",
         _ => "Unknown",
     }
+}
+
+/// One response as read back by a *client* (tests, the loadgen): the
+/// status line, raw header lines, and the framed body.
+///
+/// Keep-alive aware: [`read_response`] consumes exactly one
+/// `Content-Length`-framed response and leaves the stream positioned
+/// at the next, so clients no longer need `Connection: close` plus
+/// read-to-EOF to delimit replies.
+#[derive(Debug)]
+pub struct RawResponse {
+    /// The status line, e.g. `HTTP/1.1 200 OK`.
+    pub status_line: String,
+    /// Header lines, verbatim, terminator stripped.
+    pub headers: Vec<String>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// The numeric status code (0 when the status line is malformed).
+    pub fn status(&self) -> u16 {
+        self.status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// The value of the named header, case-insensitive, trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find_map(|h| {
+            let (n, v) = h.split_once(':')?;
+            n.eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+    }
+
+    /// The body as (lossy) UTF-8.
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads exactly one framed response off `reader`. Errors with
+/// `UnexpectedEof` when the peer closed before a full response.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<RawResponse> {
+    let read_line = |r: &mut R| -> io::Result<String> {
+        let mut raw = Vec::new();
+        r.read_until(b'\n', &mut raw)?;
+        if raw.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while matches!(raw.last(), Some(b'\n' | b'\r')) {
+            raw.pop();
+        }
+        String::from_utf8(raw)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response line"))
+    };
+    let status_line = read_line(reader)?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+        headers.push(line);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(RawResponse {
+        status_line,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -248,6 +596,7 @@ mod tests {
         assert_eq!(req.path, "/query");
         assert_eq!(req.content_type.as_deref(), Some("application/json"));
         assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -255,6 +604,18 @@ mod tests {
         let req = parse("GET /health?probe=1 HTTP/1.1\n\n").unwrap();
         assert_eq!(req.path, "/health");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_negotiation() {
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.keep_alive);
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_ka = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(old_ka.keep_alive);
+        let list = parse("GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n").unwrap();
+        assert!(!list.keep_alive, "close token found in a list");
     }
 
     #[test]
@@ -274,6 +635,105 @@ mod tests {
         assert!(matches!(parse(""), Err(ReadError::Eof)));
     }
 
+    /// Regression (RFC 9112 §6.2): duplicate `Content-Length` headers
+    /// with differing values used to be last-one-wins, and `+5` parsed
+    /// fine via `usize::from_str`'s sign tolerance.
+    #[test]
+    fn content_length_is_strict() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nabcde"),
+            Err(ReadError::BadRequest(_)),
+        ));
+        // Identical duplicates are allowed (a proxy may have merged).
+        let req =
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, b"abcd");
+        for bad in ["+5", "-5", "", " ", "4 4", "0x10", "5,5"] {
+            assert!(
+                matches!(
+                    parse(&format!(
+                        "POST / HTTP/1.1\r\nContent-Length:{bad}\r\n\r\nabcde"
+                    )),
+                    Err(ReadError::BadRequest(_)),
+                ),
+                "Content-Length {bad:?} must be rejected"
+            );
+        }
+    }
+
+    /// Regression: `Transfer-Encoding: identity` used to trip the
+    /// blanket chunked rejection; TE+CL together must always fail.
+    #[test]
+    fn transfer_encoding_tokens() {
+        let req = parse("GET / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n").unwrap();
+        assert!(req.body.is_empty(), "identity is a no-op, not chunked");
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: identity, chunked\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(
+            matches!(
+                parse(
+                    "POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\
+                     Content-Length: 4\r\n\r\nabcd"
+                ),
+                Err(ReadError::BadRequest(_))
+            ),
+            "Transfer-Encoding plus Content-Length is a smuggling vector"
+        );
+    }
+
+    /// Regression: `read_line` used to strip *every* `\r` in a line
+    /// (so `a\rb` in a header value became `ab`) and accepted a bare
+    /// CR in the request line.
+    #[test]
+    fn interior_cr_preserved_in_headers_rejected_in_request_line() {
+        let req = parse("GET / HTTP/1.1\r\nX-Odd: a\rb\r\n\r\n").unwrap();
+        assert_eq!(req.content_type, None);
+        // The value survived verbatim: prove it via content-type.
+        let req2 = parse("GET / HTTP/1.1\r\nContent-Type: a\rb\r\n\r\n").unwrap();
+        assert_eq!(req2.content_type.as_deref(), Some("a\rb"));
+        drop(req);
+        assert!(matches!(
+            parse("GET /a\rb HTTP/1.1\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+    }
+
+    /// Regression: the line cap is exactly [`MAX_LINE`] content bytes.
+    #[test]
+    fn line_cap_is_exact() {
+        let path = "a".repeat(MAX_LINE - "GET  HTTP/1.1".len());
+        let ok = parse(&format!("GET {path} HTTP/1.1\r\n\r\n")).unwrap();
+        assert_eq!(ok.path.len(), path.len());
+        let too_long = "a".repeat(MAX_LINE - "GET  HTTP/1.1".len() + 1);
+        assert!(matches!(
+            parse(&format!("GET {too_long} HTTP/1.1\r\n\r\n")),
+            Err(ReadError::TooLarge(_))
+        ));
+        // And a terminator-free flood is cut off at the cap, not
+        // buffered forever.
+        let mut p = RequestParser::new(1024);
+        p.feed("x".repeat(MAX_LINE + 2).as_bytes());
+        assert!(matches!(p.poll(), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn rejects_whitespace_in_header_names() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length : 4\r\n\r\nabcd"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: x\r\n folded: y\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+    }
+
     #[test]
     fn caps_header_count() {
         let mut raw = String::from("GET / HTTP/1.1\r\n");
@@ -282,6 +742,45 @@ mod tests {
         }
         raw.push_str("\r\n");
         assert!(matches!(parse(&raw), Err(ReadError::TooLarge(_))));
+        // Exactly MAX_HEADERS is fine.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(parse(&raw).is_ok());
+    }
+
+    /// The incremental surface: byte-at-a-time feeding and pipelining.
+    #[test]
+    fn incremental_and_pipelined_parsing() {
+        let wire =
+            "POST /query HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /health HTTP/1.1\r\n\r\n";
+        let mut p = RequestParser::new(1024);
+        let mut got = Vec::new();
+        for b in wire.as_bytes() {
+            p.feed(&[*b]);
+            while let Some(req) = p.poll().expect("clean parse") {
+                got.push(req);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].path, "/query");
+        assert_eq!(got[0].body, b"abc");
+        assert_eq!(got[1].path, "/health");
+        assert!(!p.mid_request());
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn mid_request_tracks_partial_bytes() {
+        let mut p = RequestParser::new(1024);
+        assert!(!p.mid_request());
+        p.feed(b"POST /q");
+        assert!(p.mid_request());
+        p.feed(b"uery HTTP/1.1\r\nContent-Length: 2\r\n\r\nab");
+        assert!(p.poll().unwrap().is_some());
+        assert!(!p.mid_request());
     }
 
     #[test]
@@ -297,5 +796,23 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+        let ka = Response::text(200, "ok".to_string()).serialize(true);
+        let ka = String::from_utf8(ka).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn client_side_framed_reading() {
+        let alive = Response::json(200, "{\"a\":1}".to_string()).serialize(true);
+        let closed = Response::json(408, "{}".to_string()).serialize(false);
+        let wire: Vec<u8> = alive.into_iter().chain(closed).collect();
+        let mut r = BufReader::new(wire.as_slice());
+        let first = read_response(&mut r).unwrap();
+        assert_eq!(first.status(), 200);
+        assert_eq!(first.header("connection"), Some("keep-alive"));
+        assert_eq!(first.body_str(), "{\"a\":1}");
+        let second = read_response(&mut r).unwrap();
+        assert_eq!(second.status_line, "HTTP/1.1 408 Request Timeout");
+        assert!(read_response(&mut r).is_err(), "EOF after two responses");
     }
 }

@@ -22,20 +22,32 @@
 //! The paper (Sec. 1) frames NaLIX as an *interactive* system: a user
 //! types a natural language question, the system answers or explains
 //! why it cannot. This crate is that loop as a network service — a
-//! deliberately small HTTP/1.1 server built on [`std::net`] alone (no
-//! async runtime, no external dependencies) with the three properties
-//! a query front end actually needs under load:
+//! deliberately small HTTP/1.1 server built on [`std::net`] plus a
+//! raw-FFI `epoll` event loop (no async runtime, no external
+//! dependencies) with the four properties a query front end actually
+//! needs under load:
 //!
-//! 1. **Admission control** — a fixed worker pool fed by a bounded
-//!    queue ([`queue::BoundedQueue`]). Concurrency is capped by
-//!    construction, not by hope.
-//! 2. **Load shedding** — a full queue makes the acceptor answer
+//! 1. **Event-driven I/O** — one loop thread owns every client socket
+//!    nonblocking and feeds complete requests to the workers, so an
+//!    idle keep-alive connection costs a slab slot, not a thread.
+//!    10k+ concurrent connections are a configuration question
+//!    ([`ServerConfig::max_connections`]), not an architecture one.
+//! 2. **Admission control** — a fixed worker pool fed by a bounded
+//!    queue ([`queue::BoundedQueue`]) of parsed requests. Concurrency
+//!    is capped by construction, not by hope.
+//! 3. **Load shedding** — a full queue makes the event loop answer
 //!    `503` + `Retry-After` immediately ([`ServerConfig::queue_capacity`]).
 //!    An overloaded nalixd stays responsive; it just says no.
-//! 3. **Graceful drain** — [`ServerHandle::shutdown`] (wired to
+//! 4. **Graceful drain** — [`ServerHandle::shutdown`] (wired to
 //!    SIGTERM in the `nalixd` binary) stops admission, finishes every
 //!    in-flight request, and returns a final [`ServeReport`] with the
 //!    metrics snapshot.
+//!
+//! Connections are keep-alive by default (HTTP/1.1 semantics,
+//! `Connection: close` honored) and may pipeline; the loop answers
+//! strictly in order, times out idle connections
+//! ([`ServerConfig::idle_timeout`]), and answers `408` when a request
+//! stalls half-received.
 //!
 //! The server fronts a [`store::DocumentStore`]: one process serves
 //! many named corpora, each behind its own fully wired pipeline, with
@@ -72,9 +84,12 @@
 //! let client = std::thread::spawn(move || {
 //!     let mut s = std::net::TcpStream::connect(addr).unwrap();
 //!     let body = r#"{"question": "Return every title.", "doc": "bib"}"#;
+//!     // `Connection: close` so `read_to_string` sees EOF; keep-alive
+//!     // clients read `Content-Length`-framed responses instead (see
+//!     // `http::read_response`).
 //!     write!(
 //!         s,
-//!         "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+//!         "POST /query HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
 //!         body.len(),
 //!         body
 //!     )
@@ -91,9 +106,11 @@
 //! assert_eq!(report.served, 1);
 //! ```
 
+mod epoll;
 pub mod http;
 pub mod json;
 pub mod queue;
 mod serve;
 
+pub use epoll::raise_nofile_limit;
 pub use serve::{ServeReport, Server, ServerConfig, ServerHandle};

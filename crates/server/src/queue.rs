@@ -1,13 +1,15 @@
 //! A bounded MPMC admission queue with explicit overload behavior.
 //!
 //! The queue is the server's single admission-control point: the
-//! acceptor thread [`try_push`](BoundedQueue::try_push)es each accepted
-//! connection and *never blocks* — when the queue is full the push
-//! fails, handing the connection back so the acceptor can write a 503
-//! with `Retry-After` and move on (load shedding, not load absorbing).
-//! Workers block in [`pop`](BoundedQueue::pop) until work arrives or
-//! the queue is closed *and drained*, which is exactly the graceful
-//! shutdown contract: close stops admission, but every request already
+//! event-loop thread [`try_push`](BoundedQueue::try_push)es each
+//! fully parsed *request* (not a connection — parsing happens in the
+//! loop, so a slow sender can never occupy a worker) and *never
+//! blocks* — when the queue is full the push fails, handing the
+//! request back so the loop can write a 503 with `Retry-After` and
+//! move on (load shedding, not load absorbing). Workers block in
+//! [`pop`](BoundedQueue::pop) until work arrives or the queue is
+//! closed *and drained*, which is exactly the graceful shutdown
+//! contract: close stops admission, but every request already
 //! admitted is still served.
 
 use std::collections::VecDeque;
@@ -46,6 +48,12 @@ impl<T> BoundedQueue<T> {
             ready: Condvar::new(),
             capacity,
         }
+    }
+
+    /// The configured capacity (the shed threshold), as passed to
+    /// [`new`](BoundedQueue::new).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Non-blocking push. On success returns the queue depth *after*

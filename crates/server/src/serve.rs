@@ -1,15 +1,26 @@
-//! The `nalixd` server proper: worker pool, admission control, routing.
+//! The `nalixd` server proper: epoll event loop, worker pool,
+//! admission control, routing.
 //!
-//! Architecture (one paragraph): an acceptor loop polls a nonblocking
-//! [`TcpListener`] and `try_push`es each accepted connection into a
-//! [`BoundedQueue`]; a fixed pool of worker threads pops connections
-//! and runs the full read→route→answer→write cycle, one request per
-//! connection. Overload is explicit: a full queue makes the *acceptor*
-//! write `503 Service Unavailable` with `Retry-After` and move on, so
-//! a saturated server keeps answering (with backpressure) instead of
-//! accumulating unbounded work. Shutdown is a drain: the acceptor stops
-//! admitting, the queue closes, workers finish every admitted request,
-//! and [`Server::serve`] returns a final [`ServeReport`].
+//! Architecture (one paragraph): a single event-loop thread owns every
+//! client socket, nonblocking, registered with a raw-FFI
+//! [`epoll`](crate::epoll) instance. Readable sockets are drained into
+//! per-connection incremental [`RequestParser`]s; each *complete*
+//! request is `try_push`ed as a [`Job`] into a [`BoundedQueue`], and a
+//! fixed pool of worker threads pops jobs, runs the route→answer
+//! cycle, and hands the finished [`Response`] back to the loop through
+//! a completion list plus a socketpair wakeup. The loop serializes the
+//! response into the connection's out-buffer and writes it back,
+//! partial-write aware. Connections are HTTP/1.1 keep-alive by default
+//! and may pipeline; because the loop dispatches at most one in-flight
+//! request per connection and only parses the next one after the
+//! previous response is fully written, responses are in order by
+//! construction. Overload is explicit: a full queue makes the *event
+//! loop* answer `503 Service Unavailable` with `Retry-After` and close
+//! that connection, so a saturated server keeps answering (with
+//! backpressure) instead of accumulating unbounded work. Shutdown is a
+//! drain: the listener is deregistered, idle connections close,
+//! in-flight requests finish and flush, and [`Server::serve`] returns
+//! a final [`ServeReport`].
 //!
 //! The workers are plainly spawned threads sharing the
 //! [`DocumentStore`] through an `Arc` — the pipelines are `'static`,
@@ -17,18 +28,34 @@
 //! documents underneath running requests (each request pins its own
 //! snapshot for its lifetime).
 
-use crate::http::{self, ReadError, Request, Response};
+use crate::epoll::{Epoll, Event, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::http::{ReadError, Request, RequestParser, Response};
 use crate::json::Json;
 use crate::queue::{BoundedQueue, PushError};
 use nalix::QueryError;
-use std::io::{self, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use store::{DocSpec, DocumentStore, StoreError};
 use xquery::{EvalBudget, ExhaustedResource};
+
+/// Token for the listening socket in the epoll set.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token for the worker-completion wakeup pipe.
+const NOTIFY_TOKEN: u64 = u64::MAX - 1;
+/// Event-loop tick: the upper bound on how stale a timeout sweep or a
+/// shutdown-flag check can be.
+const TICK_MS: i32 = 50;
+/// Per-wakeup socket read chunk.
+const READ_CHUNK: usize = 16 * 1024;
+/// Cap on bytes drained from a closing socket to avoid an RST
+/// clobbering the response we just wrote.
+const CLOSE_DRAIN_BUDGET: usize = 64 * 1024;
 
 /// Everything tunable about a [`Server`], with production defaults.
 #[derive(Debug, Clone)]
@@ -38,15 +65,27 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads. Each worker serves one request at a time.
     pub workers: usize,
-    /// Admission queue capacity; connections beyond it are shed with
-    /// 503.
+    /// Admission queue capacity in *requests*; requests beyond it are
+    /// shed with 503.
     pub queue_capacity: usize,
-    /// Socket read timeout (slow-client defense).
+    /// How long a partially received request may sit before the
+    /// connection is answered with `408 Request Timeout` (slow-client
+    /// defense).
     pub read_timeout: Duration,
-    /// Socket write timeout (slow-client defense).
+    /// How long a pending response write may stall before the
+    /// connection is dropped (slow-reader defense).
     pub write_timeout: Duration,
     /// Maximum request body size in bytes.
     pub max_body: usize,
+    /// How long a keep-alive connection may sit with no request in
+    /// progress before it is silently closed.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before it is closed (with
+    /// `Connection: close` on the final response). Bounds per-client
+    /// resource pinning.
+    pub max_requests_per_conn: usize,
+    /// Open-connection cap; accepts beyond it are shed with 503.
+    pub max_connections: usize,
     /// Evaluation deadline applied when the request names none.
     pub default_deadline: Duration,
     /// Hard cap on client-requested deadlines.
@@ -68,6 +107,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_body: 1024 * 1024,
+            idle_timeout: Duration::from_secs(30),
+            max_requests_per_conn: 10_000,
+            max_connections: 10_240,
             default_deadline: Duration::from_secs(2),
             max_deadline: Duration::from_secs(30),
             retry_after_secs: 1,
@@ -115,7 +157,8 @@ pub struct ServeReport {
     /// Requests handed to a worker (whether they then succeeded or
     /// failed at the HTTP or query layer).
     pub served: u64,
-    /// Connections shed with 503 because the queue was full.
+    /// Requests shed with 503: the queue was full at dispatch, or the
+    /// connection cap was hit at accept.
     pub shed: u64,
     /// Final merged metrics snapshot (store + every document, live and
     /// retired), taken after the last worker exited.
@@ -127,6 +170,701 @@ struct Ctx {
     store: Arc<DocumentStore>,
     config: ServerConfig,
     shared: Arc<Shared>,
+}
+
+/// One parsed request bound for a worker, tagged with the connection
+/// it came from.
+struct Job {
+    token: u64,
+    request: Request,
+}
+
+/// One finished response headed back to the event loop.
+struct Done {
+    token: u64,
+    response: Response,
+}
+
+/// The worker→loop handoff: finished responses plus the wakeup pipe
+/// that makes the loop notice them.
+struct Completions {
+    done: Mutex<Vec<Done>>,
+    /// Write end of the wakeup socketpair, nonblocking. A full pipe is
+    /// fine: it already guarantees a pending wakeup.
+    notify: UnixStream,
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Serialized response bytes awaiting write, and how far we got.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A request from this connection is queued or being handled.
+    in_flight: bool,
+    /// Whether the in-flight request negotiated keep-alive.
+    req_keep_alive: bool,
+    /// Close the socket once `out` is fully flushed.
+    close_after_write: bool,
+    /// The peer sent EOF; no more requests will arrive.
+    saw_eof: bool,
+    requests_served: u64,
+    last_activity: Instant,
+    /// The epoll interest currently registered for this socket.
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_body: usize, now: Instant) -> Self {
+        Conn {
+            stream,
+            parser: RequestParser::new(max_body),
+            out: Vec::new(),
+            out_pos: 0,
+            in_flight: false,
+            req_keep_alive: false,
+            close_after_write: false,
+            saw_eof: false,
+            requests_served: 0,
+            last_activity: now,
+            interest: EPOLLIN | EPOLLRDHUP,
+        }
+    }
+
+    fn write_pending(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+/// Generation-tagged connection storage. A token is `(gen << 32) |
+/// slot`; a stale token (connection closed, slot reused) fails the
+/// generation check instead of addressing the wrong client.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn token_at(&self, idx: usize) -> u64 {
+        ((self.gens[idx] as u64) << 32) | idx as u64
+    }
+
+    fn insert(&mut self, conn: Conn) -> u64 {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.gens.push(0);
+                self.slots.len() - 1
+            }
+        };
+        self.live += 1;
+        self.token_at(idx)
+    }
+
+    fn index_of(&self, token: u64) -> Option<usize> {
+        let idx = (token & 0xFFFF_FFFF) as usize;
+        let gen = (token >> 32) as u32;
+        (self.gens.get(idx).copied() == Some(gen)).then_some(idx)
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let idx = self.index_of(token)?;
+        self.slots.get_mut(idx).and_then(Option::as_mut)
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let idx = self.index_of(token)?;
+        let conn = self.slots.get_mut(idx).and_then(Option::take);
+        if conn.is_some() {
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+            self.live -= 1;
+        }
+        conn
+    }
+}
+
+/// What [`EventLoop::flush_step`] did with a connection's out-buffer.
+enum Flush {
+    /// The connection died (or was already gone) and has been closed.
+    Closed,
+    /// Bytes remain; the socket would block. Wait for `EPOLLOUT`.
+    Pending,
+    /// The out-buffer is empty.
+    Drained,
+}
+
+/// What [`EventLoop::try_dispatch`] concluded for an idle connection.
+enum Step {
+    /// A request was handed to the worker pool.
+    Dispatched,
+    /// A loop-generated response (400/413/503) was staged for writing.
+    Enqueued,
+    /// No complete request is buffered yet.
+    Idle,
+    /// The connection was closed (EOF with nothing outstanding).
+    Closed,
+}
+
+/// The single-threaded front half: epoll state, connections, and the
+/// dispatch/completion plumbing.
+struct EventLoop {
+    epoll: Epoll,
+    /// `None` once a drain begins.
+    listener: Option<TcpListener>,
+    notify_rx: UnixStream,
+    slab: Slab,
+    queue: Arc<BoundedQueue<Job>>,
+    completions: Arc<Completions>,
+    ctx: Arc<Ctx>,
+    metrics: Arc<obs::MetricsRegistry>,
+    draining: bool,
+    shed: u64,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        let mut events = vec![Event::zeroed(); 1024];
+        loop {
+            if !self.draining && self.ctx.shared.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if self.draining && self.slab.live == 0 {
+                return Ok(());
+            }
+            let n = self.epoll.wait(&mut events, TICK_MS)?;
+            if n > 0 {
+                self.metrics.add(obs::Counter::EpollWakeups, 1);
+            }
+            let now = Instant::now();
+            for ev in events.iter().take(n).copied() {
+                let (flags, token) = ({ ev.events }, { ev.data });
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(now),
+                    NOTIFY_TOKEN => self.drain_notify(),
+                    token => self.conn_event(token, flags, now),
+                }
+            }
+            self.process_completions();
+            self.sweep_timeouts(Instant::now());
+        }
+    }
+
+    /// Stops admission and closes every connection that has nothing
+    /// admitted on it: idle keep-alive peers and half-read requests
+    /// are dropped; in-flight and mid-write connections finish and
+    /// flush first.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+        let tokens: Vec<u64> = (0..self.slab.slots.len())
+            .filter(|&idx| self.slab.slots[idx].is_some())
+            .map(|idx| self.slab.token_at(idx))
+            .collect();
+        for token in tokens {
+            let close_now = {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    continue;
+                };
+                if conn.in_flight || conn.write_pending() {
+                    conn.close_after_write = true;
+                    false
+                } else {
+                    true
+                }
+            };
+            if close_now {
+                self.close(token);
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.slab.live >= self.ctx.config.max_connections {
+                        self.shed += 1;
+                        self.metrics.add(obs::Counter::HttpShed, 1);
+                        shed_connection(stream, self.ctx.config.retry_after_secs);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let token = self
+                        .slab
+                        .insert(Conn::new(stream, self.ctx.config.max_body, now));
+                    if self.epoll.add(fd, EPOLLIN | EPOLLRDHUP, token).is_err() {
+                        self.slab.remove(token);
+                        continue;
+                    }
+                    self.metrics.record_max(
+                        obs::MaxGauge::OpenConnectionsHighWater,
+                        self.slab.live as u64,
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, flags: u32, now: Instant) {
+        if self.slab.get_mut(token).is_none() {
+            return; // stale token: closed earlier in this batch
+        }
+        if flags & (EPOLLERR | EPOLLHUP) != 0 {
+            // Full hangup or socket error: nothing further can be
+            // written, so a pending response is moot. If a request is
+            // still in flight its worker finishes (the admission
+            // contract), but the completion finds no connection.
+            self.close(token);
+            return;
+        }
+        if flags & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.readable(token, now);
+        } else if flags & EPOLLOUT != 0 {
+            self.pump(token, now);
+        }
+    }
+
+    fn readable(&mut self, token: u64, now: Instant) {
+        // Backpressure: never buffer much beyond one max-size request
+        // per connection. Level-triggered epoll re-reports the rest.
+        let soft_cap = self.ctx.config.max_body + 2 * crate::http::MAX_LINE;
+        let mut dead = false;
+        {
+            let Some(conn) = self.slab.get_mut(token) else {
+                return;
+            };
+            if conn.in_flight || conn.write_pending() || conn.close_after_write {
+                return; // not reading while a response is owed
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                if conn.parser.buffered() > soft_cap {
+                    break;
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.saw_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.parser.feed(&chunk[..n]);
+                        conn.last_activity = now;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close(token);
+            return;
+        }
+        self.pump(token, now);
+    }
+
+    /// Drives one connection as far as it can go right now: flush
+    /// pending bytes, then either close, wait, or parse-and-dispatch
+    /// the next pipelined request. The loop (rather than recursion)
+    /// makes the flush→respond→flush chain for loop-generated
+    /// responses terminate visibly.
+    fn pump(&mut self, token: u64, now: Instant) {
+        enum Next {
+            Close,
+            Wait,
+            Dispatch,
+        }
+        loop {
+            match self.flush_step(token, now) {
+                Flush::Closed => return,
+                Flush::Pending => break,
+                Flush::Drained => {}
+            }
+            let next = {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return;
+                };
+                if conn.close_after_write {
+                    Next::Close
+                } else if conn.in_flight {
+                    Next::Wait
+                } else {
+                    Next::Dispatch
+                }
+            };
+            match next {
+                Next::Close => {
+                    self.graceful_close(token);
+                    return;
+                }
+                Next::Wait => break,
+                Next::Dispatch => match self.try_dispatch(token, now) {
+                    Step::Enqueued => continue,
+                    Step::Dispatched | Step::Idle => break,
+                    Step::Closed => return,
+                },
+            }
+        }
+        self.update_interest(token);
+    }
+
+    /// Writes as much of the out-buffer as the socket will take.
+    fn flush_step(&mut self, token: u64, now: Instant) -> Flush {
+        let mut result = Flush::Drained;
+        {
+            let Some(conn) = self.slab.get_mut(token) else {
+                return Flush::Closed;
+            };
+            while conn.write_pending() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        result = Flush::Closed;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_activity = now;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        result = Flush::Pending;
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        result = Flush::Closed;
+                        break;
+                    }
+                }
+            }
+            if matches!(result, Flush::Drained) {
+                conn.out.clear();
+                conn.out_pos = 0;
+            }
+        }
+        if matches!(result, Flush::Closed) {
+            self.close(token);
+        }
+        result
+    }
+
+    /// Polls the connection's parser for the next complete request and
+    /// either dispatches it to the worker pool, sheds it, or stages a
+    /// parse-error response.
+    fn try_dispatch(&mut self, token: u64, now: Instant) -> Step {
+        if self.draining {
+            // Belt and braces: begin_drain already closed or flagged
+            // every connection, so a pipelined follow-up request never
+            // starts during a drain.
+            self.close(token);
+            return Step::Closed;
+        }
+        enum Outcome {
+            Dispatch(Request),
+            Error(Response),
+            CloseEof,
+            Idle,
+        }
+        let outcome = {
+            let Some(conn) = self.slab.get_mut(token) else {
+                return Step::Closed;
+            };
+            match conn.parser.poll() {
+                Ok(Some(request)) => Outcome::Dispatch(request),
+                Ok(None) => {
+                    if conn.saw_eof {
+                        // Clean close between requests, or a request
+                        // truncated mid-flight: either way there is
+                        // nobody left to answer.
+                        Outcome::CloseEof
+                    } else {
+                        Outcome::Idle
+                    }
+                }
+                Err(ReadError::BadRequest(msg)) => Outcome::Error(Response::json(
+                    400,
+                    error_body("http.bad_request", &msg, "fix the request"),
+                )),
+                Err(ReadError::TooLarge(msg)) => Outcome::Error(Response::json(
+                    413,
+                    error_body("http.payload_too_large", &msg, "send a smaller request"),
+                )),
+                Err(ReadError::Io(_)) | Err(ReadError::Eof) => Outcome::CloseEof,
+            }
+        };
+        match outcome {
+            Outcome::Idle => Step::Idle,
+            Outcome::CloseEof => {
+                self.close(token);
+                Step::Closed
+            }
+            Outcome::Error(response) => {
+                self.metrics.add(obs::Counter::HttpBadRequests, 1);
+                match self.slab.get_mut(token) {
+                    Some(conn) => {
+                        // Parse errors poison the connection: framing
+                        // is unreliable past this point, so answer and
+                        // close.
+                        stage_response(conn, &response, false, now);
+                        Step::Enqueued
+                    }
+                    None => Step::Closed,
+                }
+            }
+            Outcome::Dispatch(request) => {
+                let max_requests = self.ctx.config.max_requests_per_conn as u64;
+                let retry_after = self.ctx.config.retry_after_secs;
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return Step::Closed;
+                };
+                if conn.requests_served >= 1 {
+                    self.metrics.add(obs::Counter::HttpKeepaliveReuse, 1);
+                }
+                let at_cap = conn.requests_served + 1 >= max_requests;
+                conn.req_keep_alive = request.keep_alive && !at_cap;
+                match self.queue.try_push(Job { token, request }) {
+                    Ok(depth) => {
+                        conn.in_flight = true;
+                        self.metrics.add(obs::Counter::HttpRequests, 1);
+                        self.metrics
+                            .record_max(obs::MaxGauge::QueueDepthHighWater, depth as u64);
+                        Step::Dispatched
+                    }
+                    Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
+                        self.shed += 1;
+                        self.metrics.add(obs::Counter::HttpShed, 1);
+                        let response = Response::json(
+                            503,
+                            error_body("http.overloaded", "server is at capacity", "retry shortly"),
+                        )
+                        .with_header("Retry-After", retry_after.to_string());
+                        stage_response(conn, &response, false, now);
+                        Step::Enqueued
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hands finished worker responses back to their connections.
+    fn process_completions(&mut self) {
+        let done = {
+            let mut guard = self
+                .completions
+                .done
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        let now = Instant::now();
+        for item in done {
+            if matches!(item.response.status(), 400 | 404 | 405 | 413) {
+                // Transport-level client errors. 422/504 are
+                // *successful* NL-pipeline rejections, already visible
+                // as query spans.
+                self.metrics.add(obs::Counter::HttpBadRequests, 1);
+            }
+            let Some(conn) = self.slab.get_mut(item.token) else {
+                continue; // client went away mid-handling
+            };
+            conn.requests_served += 1;
+            let keep_alive = conn.req_keep_alive && !self.draining;
+            stage_response(conn, &item.response, keep_alive, now);
+            self.pump(item.token, now);
+        }
+    }
+
+    /// Empties the wakeup pipe; the completion list is what carries
+    /// the data.
+    fn drain_notify(&mut self) {
+        let mut sink = [0u8; 256];
+        loop {
+            match (&self.notify_rx).read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Applies the three per-connection clocks: write stalls, 408 for
+    /// half-received requests, and the keep-alive idle timeout.
+    fn sweep_timeouts(&mut self, now: Instant) {
+        enum Fate {
+            Close,
+            Timeout408,
+        }
+        let mut expired: Vec<(u64, Fate)> = Vec::new();
+        for idx in 0..self.slab.slots.len() {
+            let Some(conn) = self.slab.slots[idx].as_ref() else {
+                continue;
+            };
+            if conn.in_flight {
+                continue; // the worker owns the clock (EvalBudget)
+            }
+            let idle = now.saturating_duration_since(conn.last_activity);
+            let token = self.slab.token_at(idx);
+            if conn.write_pending() || conn.close_after_write {
+                if idle > self.ctx.config.write_timeout {
+                    expired.push((token, Fate::Close));
+                }
+            } else if conn.parser.mid_request() {
+                if idle > self.ctx.config.read_timeout {
+                    expired.push((token, Fate::Timeout408));
+                }
+            } else if idle > self.ctx.config.idle_timeout {
+                expired.push((token, Fate::Close));
+            }
+        }
+        for (token, fate) in expired {
+            match fate {
+                Fate::Close => self.close(token),
+                Fate::Timeout408 => {
+                    self.metrics.add(obs::Counter::HttpTimeouts, 1);
+                    let response = Response::json(
+                        408,
+                        error_body(
+                            "http.request_timeout",
+                            "timed out waiting for the rest of the request",
+                            "send the complete request promptly",
+                        ),
+                    );
+                    if let Some(conn) = self.slab.get_mut(token) {
+                        stage_response(conn, &response, false, now);
+                    }
+                    self.pump(token, now);
+                }
+            }
+        }
+    }
+
+    /// Closes after draining already-received bytes, so the kernel
+    /// does not turn unread data into an RST that destroys the
+    /// response in flight to the client.
+    fn graceful_close(&mut self, token: u64) {
+        if let Some(conn) = self.slab.get_mut(token) {
+            let mut sink = [0u8; 4096];
+            let mut budget = CLOSE_DRAIN_BUDGET;
+            loop {
+                match conn.stream.read(&mut sink) {
+                    Ok(n) if n > 0 && n <= budget => budget -= n,
+                    _ => break,
+                }
+            }
+        }
+        self.close(token);
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.slab.remove(token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        }
+    }
+
+    /// Re-registers the socket for exactly the events the connection
+    /// can act on: `EPOLLOUT` while a response is buffered, `EPOLLIN`
+    /// while waiting for the next request, and *nothing* while a
+    /// worker holds the request (errors and hangups are always
+    /// reported regardless, so a dead client still gets noticed
+    /// without a level-triggered busy loop).
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        let want = if conn.write_pending() {
+            EPOLLOUT
+        } else if !conn.in_flight && !conn.close_after_write {
+            EPOLLIN | EPOLLRDHUP
+        } else {
+            0
+        };
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if self.epoll.modify(fd, want, token).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+}
+
+/// Serializes a response into the connection's out-buffer and flips
+/// the connection back to write mode.
+fn stage_response(conn: &mut Conn, response: &Response, keep_alive: bool, now: Instant) {
+    conn.out = response.serialize(keep_alive);
+    conn.out_pos = 0;
+    conn.close_after_write = !keep_alive;
+    conn.in_flight = false;
+    conn.last_activity = now;
+}
+
+/// A worker thread: pop, route, hand back, repeat until the queue
+/// closes.
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    served: &AtomicU64,
+    ctx: &Ctx,
+    completions: &Completions,
+) {
+    while let Some(job) = queue.pop() {
+        served.fetch_add(1, Ordering::Relaxed);
+        if let Some(delay) = ctx.config.debug_handler_delay {
+            std::thread::sleep(delay);
+        }
+        let response = match catch_unwind(AssertUnwindSafe(|| route(&job.request, ctx))) {
+            Ok(response) => response,
+            Err(_) => Response::json(
+                500,
+                error_body(
+                    "http.internal",
+                    "the handler failed unexpectedly",
+                    "retry; report this if it repeats",
+                ),
+            ),
+        };
+        {
+            let mut done = completions.done.lock().unwrap_or_else(|e| e.into_inner());
+            done.push(Done {
+                token: job.token,
+                response,
+            });
+        }
+        // Wake the event loop. WouldBlock means the pipe already holds
+        // unread wakeups, which serves the same purpose.
+        let _ = (&completions.notify).write(&[1u8]);
+    }
+    obs::flush_hot();
 }
 
 /// A bound-but-not-yet-serving nalixd server over a [`DocumentStore`].
@@ -175,9 +913,11 @@ impl Server {
     }
 
     /// Runs the server until [`ServerHandle::shutdown`] is called,
-    /// then drains and returns. Blocks the calling thread; the worker
-    /// pool is plain spawned threads sharing the store via `Arc`.
+    /// then drains and returns. Blocks the calling thread on the
+    /// event loop; the worker pool is plain spawned threads sharing
+    /// the store via `Arc`.
     pub fn serve(self) -> io::Result<ServeReport> {
+        crate::epoll::raise_nofile_limit();
         self.listener.set_nonblocking(true)?;
         let metrics = self.store.metrics_handle();
         let ctx = Arc::new(Ctx {
@@ -185,125 +925,79 @@ impl Server {
             config: self.config.clone(),
             shared: Arc::clone(&self.shared),
         });
-        let queue = Arc::new(BoundedQueue::<TcpStream>::new(self.config.queue_capacity));
+        let queue = Arc::new(BoundedQueue::<Job>::new(self.config.queue_capacity));
         let served = Arc::new(AtomicU64::new(0));
-        let mut shed = 0u64;
+
+        let epoll = Epoll::new()?;
+        epoll.add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+        let (notify_rx, notify_tx) = UnixStream::pair()?;
+        notify_rx.set_nonblocking(true)?;
+        notify_tx.set_nonblocking(true)?;
+        epoll.add(notify_rx.as_raw_fd(), EPOLLIN, NOTIFY_TOKEN)?;
+        let completions = Arc::new(Completions {
+            done: Mutex::new(Vec::new()),
+            notify: notify_tx,
+        });
 
         let workers: Vec<std::thread::JoinHandle<()>> = (0..self.config.workers.max(1))
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let served = Arc::clone(&served);
                 let ctx = Arc::clone(&ctx);
-                std::thread::spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        served.fetch_add(1, Ordering::Relaxed);
-                        let result =
-                            catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &ctx)));
-                        if result.is_err() {
-                            // The stream moved into the closure, so the
-                            // client sees a reset rather than a 500;
-                            // what matters is that the worker survives.
-                            ctx.store
-                                .metrics_handle()
-                                .add(obs::Counter::HttpBadRequests, 1);
-                        }
-                    }
-                    obs::flush_hot();
-                })
+                let completions = Arc::clone(&completions);
+                std::thread::spawn(move || worker_loop(&queue, &served, &ctx, &completions))
             })
             .collect();
 
-        // Acceptor: this thread. Nonblocking accept + short sleep
-        // keeps shutdown latency ~10ms without extra machinery.
-        while !self.shared.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nonblocking(false);
-                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
-                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                    match queue.try_push(stream) {
-                        Ok(depth) => {
-                            metrics.record_max(obs::MaxGauge::QueueDepthHighWater, depth as u64);
-                        }
-                        Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
-                            shed += 1;
-                            metrics.add(obs::Counter::HttpShed, 1);
-                            shed_connection(stream, self.config.retry_after_secs);
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
-        }
+        let mut event_loop = EventLoop {
+            epoll,
+            listener: Some(self.listener),
+            notify_rx,
+            slab: Slab::new(),
+            queue: Arc::clone(&queue),
+            completions,
+            ctx,
+            metrics,
+            draining: false,
+            shed: 0,
+        };
+        let result = event_loop.run();
+        // Drain the worker pool even if the loop failed: every
+        // admitted request is served before we report.
         queue.close();
-        // Joining the workers completes the drain: every admitted
-        // connection is served before we return.
-        for w in workers {
-            let _ = w.join();
+        for worker in workers {
+            let _ = worker.join();
         }
+        // The loop thread (this thread) counted admissions, sheds, and
+        // timeouts; flush its hot buffers so the final snapshot sees
+        // them.
+        obs::flush_hot();
+        result?;
 
         Ok(ServeReport {
             served: served.load(Ordering::SeqCst),
-            shed,
+            shed: event_loop.shed,
             snapshot: self.store.snapshot(),
         })
     }
 }
 
-/// Writes the overload response. Failures are ignored: the client is
-/// being shed, and the acceptor must not block on it.
+/// Writes the overload response on a just-accepted (still blocking)
+/// socket. Failures are ignored: the client is being shed, and the
+/// event loop must not block on it.
 fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
     let body = error_body("http.overloaded", "server is at capacity", "retry shortly");
     let _ = Response::json(503, body)
         .with_header("Retry-After", retry_after_secs.to_string())
         .write_to(&mut stream);
     // Drain whatever request bytes already arrived (without blocking:
-    // the acceptor must stay fast). Closing a socket with unread data
-    // in its receive buffer sends RST, which can destroy the 503 we
-    // just wrote before the client reads it.
+    // the event loop must stay fast). Closing a socket with unread
+    // data in its receive buffer sends RST, which can destroy the 503
+    // we just wrote before the client reads it.
     if stream.set_nonblocking(true).is_ok() {
         let mut sink = [0u8; 4096];
-        use std::io::Read as _;
         while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
     }
-}
-
-/// The full lifecycle of one admitted connection: read, route, write.
-fn handle_connection(stream: TcpStream, ctx: &Ctx) {
-    let metrics = ctx.store.metrics_handle();
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut write_half = stream;
-    let response = match http::read_request(&mut reader, ctx.config.max_body) {
-        Ok(req) => {
-            metrics.add(obs::Counter::HttpRequests, 1);
-            if let Some(delay) = ctx.config.debug_handler_delay {
-                std::thread::sleep(delay);
-            }
-            route(&req, ctx)
-        }
-        Err(ReadError::Eof) => return,
-        Err(ReadError::Io(_)) => return,
-        Err(ReadError::BadRequest(msg)) => {
-            Response::json(400, error_body("http.bad_request", &msg, "fix the request"))
-        }
-        Err(ReadError::TooLarge(msg)) => Response::json(
-            413,
-            error_body("http.payload_too_large", &msg, "send a smaller request"),
-        ),
-    };
-    if matches!(response.status(), 400 | 404 | 405 | 413) {
-        // Transport-level client errors. 422/504 are *successful*
-        // NL-pipeline rejections, already visible as query spans.
-        metrics.add(obs::Counter::HttpBadRequests, 1);
-    }
-    let _ = response.write_to(&mut write_half);
-    let _ = write_half.flush();
 }
 
 /// Maps method+path to a handler, with proper 405/404 responses.

@@ -5,9 +5,10 @@
 //! /docs`, hot reload under concurrent load, typed eviction errors).
 
 use nalix::Nalix;
+use server::http::{read_response, RawResponse};
 use server::json::Json;
 use server::{Server, ServerConfig};
-use std::io::{Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,18 +31,62 @@ fn test_store() -> Arc<DocumentStore> {
     Arc::new(DocumentStore::with_builtins(StoreConfig::default()))
 }
 
-/// Sends one raw HTTP request and returns (status line, body).
+/// Sends one raw HTTP request on a fresh connection and returns
+/// (status line, body). Reads the `Content-Length`-framed response
+/// rather than to EOF: the server keeps connections alive by default
+/// now, so EOF would only come after the idle timeout.
 fn send(addr: SocketAddr, raw: &str) -> (String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
     s.write_all(raw.as_bytes()).expect("write");
-    let mut reply = String::new();
-    s.read_to_string(&mut reply).expect("read");
-    let status = reply.lines().next().unwrap_or("").to_string();
-    let body = reply
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
+    let mut reader = BufReader::new(s);
+    let response = read_response(&mut reader).expect("read response");
+    (response.status_line.clone(), response.body_str())
+}
+
+/// A persistent keep-alive client: one connection, many framed
+/// request/response exchanges.
+struct KeepAliveClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        KeepAliveClient {
+            reader: BufReader::new(s),
+        }
+    }
+
+    fn write_raw(&mut self, raw: &str) {
+        self.reader
+            .get_mut()
+            .write_all(raw.as_bytes())
+            .expect("write");
+    }
+
+    fn read_one(&mut self) -> RawResponse {
+        read_response(&mut self.reader).expect("read response")
+    }
+
+    /// True when the server has closed the connection (clean EOF).
+    fn at_eof(&mut self) -> bool {
+        let mut byte = [0u8; 1];
+        matches!(self.reader.read(&mut byte), Ok(0))
+    }
+}
+
+fn query_request(question: &str) -> String {
+    let body = format!("{{\"question\": {question:?}}}");
+    format!(
+        "POST /query HTTP/1.1\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
 }
 
 fn post_query(addr: SocketAddr, question: &str) -> (String, String) {
@@ -490,8 +535,12 @@ fn overload_sheds_with_503_and_retry_after() {
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     scope.spawn(move || {
+                        // `Connection: close` so read-to-EOF delimits
+                        // the reply without waiting for the idle
+                        // timeout on the admitted (200) connections.
                         let mut s = TcpStream::connect(addr).expect("connect");
-                        s.write_all(b"GET /health HTTP/1.1\r\n\r\n").expect("write");
+                        s.write_all(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+                            .expect("write");
                         let mut reply = String::new();
                         s.read_to_string(&mut reply).expect("read");
                         reply
@@ -629,4 +678,192 @@ fn eviction_mid_traffic_is_a_typed_error() {
             "unexpected outcome: {status} {body}"
         );
     }
+}
+
+/// Keep-alive contract: one connection, three pipelined requests
+/// written back-to-back, three responses read back strictly in order,
+/// each byte-identical in substance to the in-process oracle.
+#[test]
+fn keepalive_pipelines_in_order_and_matches_oracle() {
+    let q1 = "Return every title.";
+    let q2 = "Return every publisher.";
+    let oracle = Nalix::new(xmldb::datasets::bib::bib());
+    let expected1 = oracle.ask(q1).expect("oracle q1");
+    let expected2 = oracle.ask(q2).expect("oracle q2");
+
+    let ((r1, r2, r3), report) = with_server(test_config(), |addr| {
+        let mut client = KeepAliveClient::connect(addr);
+        // All three requests hit the socket before any response is
+        // read: the loop must answer them one at a time, in order.
+        let pipelined = format!(
+            "{}{}GET /health HTTP/1.1\r\n\r\n",
+            query_request(q1),
+            query_request(q2)
+        );
+        client.write_raw(&pipelined);
+        let r1 = client.read_one();
+        let r2 = client.read_one();
+        let r3 = client.read_one();
+        (r1, r2, r3)
+    });
+
+    assert_eq!(r1.status_line, "HTTP/1.1 200 OK", "body: {}", r1.body_str());
+    assert_eq!(answers_of(&r1.body_str()), expected1, "first answer");
+    assert_eq!(r2.status_line, "HTTP/1.1 200 OK", "body: {}", r2.body_str());
+    assert_eq!(answers_of(&r2.body_str()), expected2, "second answer");
+    assert_eq!(r3.status_line, "HTTP/1.1 200 OK");
+    assert!(r3.body_str().contains("\"status\":\"ok\""));
+    // Keep-alive responses advertise it.
+    assert_eq!(r1.header("connection"), Some("keep-alive"));
+
+    assert_eq!(report.served, 3, "one connection, three requests");
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.snapshot.counter(obs::Counter::HttpRequests), 3);
+    assert_eq!(
+        report.snapshot.counter(obs::Counter::HttpKeepaliveReuse),
+        2,
+        "requests 2 and 3 reused the connection"
+    );
+}
+
+/// `Connection: close` is honored: the response carries it back and
+/// the server closes cleanly right after.
+#[test]
+fn connection_close_is_honored() {
+    let (_, report) = with_server(test_config(), |addr| {
+        let mut client = KeepAliveClient::connect(addr);
+        client.write_raw("GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let response = client.read_one();
+        assert_eq!(response.status_line, "HTTP/1.1 200 OK");
+        assert_eq!(response.header("connection"), Some("close"));
+        assert!(client.at_eof(), "server must close after the response");
+    });
+    assert_eq!(report.served, 1);
+    assert_eq!(
+        report.snapshot.counter(obs::Counter::HttpKeepaliveReuse),
+        0,
+        "a closed connection is never reused"
+    );
+}
+
+/// Idle keep-alive connections are closed by the server: silently
+/// (no response bytes) when nothing was sent, and after the idle
+/// timeout when a previous exchange completed.
+#[test]
+fn idle_keepalive_connections_time_out() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..test_config()
+    };
+    let (_, report) = with_server(config, |addr| {
+        // An exchanged-then-idle connection: closed after the timeout.
+        let mut exchanged = KeepAliveClient::connect(addr);
+        exchanged.write_raw("GET /health HTTP/1.1\r\n\r\n");
+        let response = exchanged.read_one();
+        assert_eq!(response.status_line, "HTTP/1.1 200 OK");
+        // A connection that never sends a byte: also reaped, silently.
+        let mut silent = KeepAliveClient::connect(addr);
+        assert!(
+            exchanged.at_eof(),
+            "idle connection must be closed by the server"
+        );
+        assert!(
+            silent.at_eof(),
+            "zero-byte connection must be closed silently"
+        );
+    });
+    assert_eq!(report.served, 1);
+    assert_eq!(
+        report.snapshot.counter(obs::Counter::HttpTimeouts),
+        0,
+        "idle reaping is not a 408"
+    );
+}
+
+/// Overload during keep-alive: a connection that already completed an
+/// exchange gets `503` + `Retry-After` on its next request when the
+/// queue is full, and is then closed.
+#[test]
+fn shed_during_keepalive_answers_503_and_closes() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 1,
+        debug_handler_delay: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    };
+    let (_, report) = with_server(config, |addr| {
+        // Establish a keep-alive connection with one exchange while
+        // the server is idle.
+        let mut client = KeepAliveClient::connect(addr);
+        client.write_raw("GET /health HTTP/1.1\r\n\r\n");
+        assert_eq!(client.read_one().status_line, "HTTP/1.1 200 OK");
+        // Saturate: one request in flight (slow worker), one queued.
+        let mut busy = KeepAliveClient::connect(addr);
+        busy.write_raw("GET /health HTTP/1.1\r\n\r\n");
+        std::thread::sleep(Duration::from_millis(80));
+        let mut queued = KeepAliveClient::connect(addr);
+        queued.write_raw("GET /health HTTP/1.1\r\n\r\n");
+        std::thread::sleep(Duration::from_millis(80));
+        // The keep-alive connection's next request finds the queue
+        // full.
+        client.write_raw("GET /health HTTP/1.1\r\n\r\n");
+        let shed = client.read_one();
+        assert_eq!(shed.status(), 503, "reply: {}", shed.status_line);
+        assert_eq!(shed.header("retry-after"), Some("1"));
+        assert!(shed.body_str().contains("\"code\":\"http.overloaded\""));
+        assert!(client.at_eof(), "shed closes the connection");
+        // The admitted requests still complete.
+        assert_eq!(busy.read_one().status_line, "HTTP/1.1 200 OK");
+        assert_eq!(queued.read_one().status_line, "HTTP/1.1 200 OK");
+    });
+    assert_eq!(report.served, 3, "admitted requests all served");
+    assert_eq!(report.shed, 1);
+}
+
+/// A request that stalls half-received is answered with `408 Request
+/// Timeout` (it sent bytes, so it gets an answer) and the connection
+/// closes; the timeout is counted.
+#[test]
+fn stalled_request_gets_408() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(150),
+        ..test_config()
+    };
+    let (_, report) = with_server(config, |addr| {
+        let mut client = KeepAliveClient::connect(addr);
+        // Headers promise 10 body bytes; only 3 ever arrive.
+        client.write_raw("POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        let response = client.read_one();
+        assert_eq!(response.status_line, "HTTP/1.1 408 Request Timeout");
+        assert!(response
+            .body_str()
+            .contains("\"code\":\"http.request_timeout\""));
+        assert!(client.at_eof(), "408 closes the connection");
+    });
+    assert_eq!(report.served, 0, "nothing was admitted");
+    assert_eq!(report.snapshot.counter(obs::Counter::HttpTimeouts), 1);
+}
+
+/// The per-connection request cap: the final allowed response says
+/// `Connection: close` and the server closes, bounding how long one
+/// client can pin a connection slot.
+#[test]
+fn max_requests_per_conn_is_enforced() {
+    let config = ServerConfig {
+        max_requests_per_conn: 2,
+        ..test_config()
+    };
+    let (_, report) = with_server(config, |addr| {
+        let mut client = KeepAliveClient::connect(addr);
+        client.write_raw("GET /health HTTP/1.1\r\n\r\n");
+        let first = client.read_one();
+        assert_eq!(first.header("connection"), Some("keep-alive"));
+        client.write_raw("GET /health HTTP/1.1\r\n\r\n");
+        let second = client.read_one();
+        assert_eq!(second.status_line, "HTTP/1.1 200 OK");
+        assert_eq!(second.header("connection"), Some("close"));
+        assert!(client.at_eof(), "capped connection is closed");
+    });
+    assert_eq!(report.served, 2);
 }
