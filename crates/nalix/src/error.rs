@@ -78,14 +78,64 @@ pub enum QueryError {
         /// How to rephrase.
         suggestion: String,
     },
+    /// The question refers back to a previous answer ("of those…",
+    /// "what about…") but no conversational context is available —
+    /// either the request carried no session id, or the session had no
+    /// prior turn to resolve against.
+    MissingContext {
+        /// The anaphoric phrase that needs an antecedent.
+        phrase: String,
+        /// How to rephrase.
+        suggestion: String,
+    },
+    /// The session existed but its context is no longer usable: the
+    /// TTL lapsed, the session was evicted, or the pinned document was
+    /// reloaded or removed since the previous turn.
+    ExpiredContext {
+        /// Why the context was retired, in user terms.
+        reason: String,
+        /// How to rephrase.
+        suggestion: String,
+    },
 }
 
 impl QueryError {
+    /// Build the canonical [`QueryError::MissingContext`] for an
+    /// anaphoric `phrase` that has no antecedent (stateless request, or
+    /// a session with no completed turn). The suggestion — required to
+    /// be non-empty, like every other variant's — tells the user both
+    /// ways out: repeat the full question, or converse under a session
+    /// id.
+    pub fn missing_context(phrase: impl Into<String>) -> Self {
+        let phrase = phrase.into();
+        QueryError::MissingContext {
+            suggestion: format!(
+                "Please repeat the full question, naming the items \"{phrase}\" refers \
+                 to (for example \"Find all the books published after 2000.\"), or ask \
+                 the follow-up under the session id of the conversation."
+            ),
+            phrase,
+        }
+    }
+
+    /// Build the canonical [`QueryError::ExpiredContext`] for a session
+    /// whose prior turn can no longer be resolved against (`reason`
+    /// should say why in user terms: TTL lapse, eviction, or a document
+    /// reload/removal).
+    pub fn expired_context(reason: impl Into<String>) -> Self {
+        QueryError::ExpiredContext {
+            reason: reason.into(),
+            suggestion: "The previous answers are no longer available; please repeat \
+                         the full question, naming the items explicitly."
+                .into(),
+        }
+    }
+
     /// Every stable machine-readable code a [`QueryError`] can carry,
     /// in taxonomy order. Pinned by a test — removing or renaming an
     /// entry is a breaking API change for HTTP clients of `nalixd`,
     /// which dispatch on these strings.
-    pub const ALL_CODES: [&'static str; 8] = [
+    pub const ALL_CODES: [&'static str; 10] = [
         "parse.ungrammatical",
         "classify.unknown_term",
         "validate.rejected",
@@ -94,6 +144,8 @@ impl QueryError {
         "budget.depth",
         "budget.time",
         "budget.tuples",
+        "session.missing_context",
+        "session.expired",
     ];
 
     /// A stable, machine-readable code naming the failure class:
@@ -114,6 +166,8 @@ impl QueryError {
                 ExhaustedResource::Time => "budget.time",
                 ExhaustedResource::Tuples => "budget.tuples",
             },
+            QueryError::MissingContext { .. } => "session.missing_context",
+            QueryError::ExpiredContext { .. } => "session.expired",
         }
     }
 
@@ -126,7 +180,9 @@ impl QueryError {
             | QueryError::Validate { suggestion, .. }
             | QueryError::Translate { suggestion, .. }
             | QueryError::Eval { suggestion, .. }
-            | QueryError::ResourceExhausted { suggestion, .. } => suggestion,
+            | QueryError::ResourceExhausted { suggestion, .. }
+            | QueryError::MissingContext { suggestion, .. }
+            | QueryError::ExpiredContext { suggestion, .. } => suggestion,
         }
     }
 
@@ -201,6 +257,17 @@ impl fmt::Display for QueryError {
                 suggestion,
                 ..
             } => write!(f, "{message}. {suggestion}"),
+            QueryError::MissingContext { phrase, suggestion } => write!(
+                f,
+                "the question refers to a previous answer (\"{phrase}\") but there is no \
+                 conversation context to resolve it against. {suggestion}"
+            ),
+            QueryError::ExpiredContext { reason, suggestion } => {
+                write!(
+                    f,
+                    "the conversation context is gone: {reason}. {suggestion}"
+                )
+            }
         }
     }
 }
@@ -365,6 +432,8 @@ mod tests {
                 "budget.depth",
                 "budget.time",
                 "budget.tuples",
+                "session.missing_context",
+                "session.expired",
             ]
         );
         // Codes are `<stage>.<reason>` and unique.
@@ -413,6 +482,14 @@ mod tests {
             QueryError::ResourceExhausted {
                 resource: ExhaustedResource::Tuples,
                 message: String::new(),
+                suggestion: "s".into(),
+            },
+            QueryError::MissingContext {
+                phrase: "of those".into(),
+                suggestion: "s".into(),
+            },
+            QueryError::ExpiredContext {
+                reason: "the session expired".into(),
                 suggestion: "s".into(),
             },
         ];

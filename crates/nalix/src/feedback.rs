@@ -47,6 +47,18 @@ pub enum FeedbackKind {
         /// The pronoun.
         pronoun: String,
     },
+    /// A pronoun or elliptical phrase was resolved against the previous
+    /// turn of a conversational session (the sessions counterpart of
+    /// [`FeedbackKind::PronounWarning`]: the system *did* resolve the
+    /// reference, and tells the user what it resolved to so a wrong
+    /// guess is visible immediately).
+    AnaphoraResolved {
+        /// The anaphoric or elliptical phrase ("of those", "what about").
+        phrase: String,
+        /// What it was resolved to, in user terms (e.g. the previous
+        /// question).
+        referent: String,
+    },
     /// Multiple database names matched a single word; the disjunction of
     /// all of them is used unless the user picks one.
     AmbiguousName {
@@ -135,6 +147,11 @@ impl Feedback {
                 "The query contains the pronoun \"{pronoun}\". The system may \
                  misunderstand what it refers to; consider repeating the item's name \
                  instead."
+            ),
+            FeedbackKind::AnaphoraResolved { phrase, referent } => format!(
+                "The phrase \"{phrase}\" was interpreted against your previous question \
+                 ({referent}). If that is not what you meant, please repeat the item's \
+                 name instead."
             ),
             FeedbackKind::AmbiguousName { term, matches } => format!(
                 "The word \"{term}\" matches several items in the database ({}); all of \

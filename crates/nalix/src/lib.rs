@@ -101,6 +101,7 @@ pub mod error;
 pub mod explain;
 pub mod feedback;
 pub mod semantics;
+pub mod session;
 pub mod thesaurus;
 pub mod token;
 pub mod translate;
@@ -114,6 +115,9 @@ pub use feedback::{Feedback, FeedbackKind, Severity};
 /// The observability layer (re-exported): [`obs::MetricsRegistry`],
 /// [`obs::MetricsSnapshot`], stage spans, and the global registry.
 pub use obs;
+pub use session::{
+    detect_follow_up, FollowUp, PriorTurn, Session, SessionCheckout, SessionStore, TurnAnswer,
+};
 pub use token::{ClassifiedTree, NodeClass, OpSem, QtKind, TokenType};
 pub use translate::{TranslateError, Translation};
 pub use xquery::{EvalBudget, ExhaustedResource};
@@ -327,7 +331,18 @@ impl Nalix {
         let cspan = self.metrics.span(obs::Stage::Classify);
         let classified = classify::classify(dep);
         cspan.finish(obs::SpanOutcome::Ok);
+        self.run_from_classified(classified)
+    }
 
+    /// Validate → translate an already-classified tree under stage
+    /// spans. Shared by [`Nalix::run_pipeline`] and the session layer,
+    /// whose resolved follow-up trees enter the pipeline here (there is
+    /// no sentence to classify — the tree was spliced together from the
+    /// prior turn and the follow-up fragment).
+    pub(crate) fn run_from_classified(
+        &self,
+        classified: ClassifiedTree,
+    ) -> (Outcome, obs::SpanOutcome) {
         let vspan = self.metrics.span(obs::Stage::Validate);
         let validation = validate::validate(classified, &self.catalog);
         let warnings: Vec<Feedback> = validation.warnings().into_iter().cloned().collect();
@@ -456,6 +471,17 @@ impl Nalix {
     /// non-blocking warnings, and whether the translation was a cache
     /// hit. This is what the `nalixd` HTTP server serialises.
     pub fn answer_full(&self, sentence: &str, budget: &EvalBudget) -> Result<Answer, QueryError> {
+        self.answer_full_tree(sentence, budget).map(|(a, _)| a)
+    }
+
+    /// [`Nalix::answer_full`], additionally returning the classified,
+    /// validated parse tree — the session layer stores it as the prior
+    /// turn a follow-up question resolves against.
+    pub(crate) fn answer_full_tree(
+        &self,
+        sentence: &str,
+        budget: &EvalBudget,
+    ) -> Result<(Answer, ClassifiedTree), QueryError> {
         let key = cache::normalize(sentence);
         let (outcome, cached) = match self.translations.get(&key, &self.metrics) {
             Some(memo) => {
@@ -480,12 +506,15 @@ impl Nalix {
                 let seq = self
                     .engine
                     .eval_expr_with_budget(&t.translation.query, budget)?;
-                Ok(Answer {
-                    values: self.engine.strings(&seq),
-                    xquery: xquery::pretty::pretty(&t.translation.query),
-                    warnings: t.warnings,
-                    cached,
-                })
+                Ok((
+                    Answer {
+                        values: self.engine.strings(&seq),
+                        xquery: xquery::pretty::pretty(&t.translation.query),
+                        warnings: t.warnings,
+                        cached,
+                    },
+                    t.tree,
+                ))
             }
             Outcome::Rejected(r) => Err(QueryError::from(r)),
         }

@@ -378,11 +378,23 @@ pub enum Counter {
     StoreEvictions,
     /// Requests naming a document the store does not know.
     StoreMisses,
+    /// Conversational sessions created (first request carrying a new
+    /// session id).
+    SessionCreates,
+    /// Requests that found live context under their session id.
+    SessionHits,
+    /// Sessions retired without being resumable: TTL expiry, LRU
+    /// eviction, or invalidation by a document reload/eviction.
+    SessionExpired,
+    /// Follow-up questions whose anaphor or ellipsis was resolved
+    /// against a prior turn (refinement grafts and "what about"
+    /// substitutions both count once per resolved question).
+    AnaphoraResolved,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 30;
 
     /// All counters, in [`Counter::index`] order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -412,6 +424,10 @@ impl Counter {
         Counter::StoreReloads,
         Counter::StoreEvictions,
         Counter::StoreMisses,
+        Counter::SessionCreates,
+        Counter::SessionHits,
+        Counter::SessionExpired,
+        Counter::AnaphoraResolved,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -448,6 +464,10 @@ impl Counter {
             Counter::StoreReloads => "store_reloads",
             Counter::StoreEvictions => "store_evictions",
             Counter::StoreMisses => "store_misses",
+            Counter::SessionCreates => "session_create",
+            Counter::SessionHits => "session_hit",
+            Counter::SessionExpired => "session_expired",
+            Counter::AnaphoraResolved => "anaphora_resolved",
         }
     }
 }

@@ -69,11 +69,17 @@ OPTIONS:
                             closed                [default: 10000]
     --max-connections <N>   Open-connection cap; accepts beyond it are
                             shed with 503         [default: 10240]
+    --session-capacity <N>  Live conversational sessions kept; beyond it
+                            the least-recently-used one is evicted
+                                                  [default: 1024]
+    --session-ttl-ms <N>    Idle time after which a session expires
+                                                  [default: 1800000]
     --debug-delay-ms <N>    Inject latency into every handler (testing)
     --help                  Print this help
 
 ENDPOINTS:
-    POST   /query        {\"question\": \"...\", \"doc\": name?, \"deadline_ms\": n?}
+    POST   /query        {\"question\": \"...\", \"doc\": name?, \"deadline_ms\": n?,
+                          \"session\": id?}   (see docs/SESSIONS.md)
     POST   /batch        {\"questions\": [\"...\"], \"doc\": name?}
     GET    /docs         list registered documents with stats
     PUT    /docs/<name>  load or hot-reload (body: {\"source\": ...} | text | empty)
@@ -93,6 +99,8 @@ struct Args {
     idle_timeout_ms: u64,
     max_requests_per_conn: usize,
     max_connections: usize,
+    session_capacity: usize,
+    session_ttl_ms: u64,
     debug_delay_ms: Option<u64>,
 }
 
@@ -108,6 +116,8 @@ fn parse_args() -> Result<Args, String> {
         idle_timeout_ms: 30_000,
         max_requests_per_conn: 10_000,
         max_connections: 10_240,
+        session_capacity: nalix::session::DEFAULT_SESSION_CAPACITY,
+        session_ttl_ms: nalix::session::DEFAULT_SESSION_TTL.as_millis() as u64,
         debug_delay_ms: None,
     };
     let mut it = std::env::args().skip(1);
@@ -135,6 +145,8 @@ fn parse_args() -> Result<Args, String> {
                 args.max_requests_per_conn = parse_num(&value)?.max(1) as usize
             }
             "--max-connections" => args.max_connections = parse_num(&value)?.max(1) as usize,
+            "--session-capacity" => args.session_capacity = parse_num(&value)?.max(1) as usize,
+            "--session-ttl-ms" => args.session_ttl_ms = parse_num(&value)?.max(1),
             "--debug-delay-ms" => args.debug_delay_ms = Some(parse_num(&value)?),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -201,6 +213,8 @@ fn main() -> ExitCode {
         idle_timeout: Duration::from_millis(args.idle_timeout_ms),
         max_requests_per_conn: args.max_requests_per_conn,
         max_connections: args.max_connections,
+        session_capacity: args.session_capacity,
+        session_ttl: Duration::from_millis(args.session_ttl_ms),
         debug_handler_delay: args.debug_delay_ms.map(Duration::from_millis),
         ..ServerConfig::default()
     };

@@ -92,6 +92,14 @@ pub struct ServerConfig {
     pub max_deadline: Duration,
     /// Value of the `Retry-After` header on shed responses, in seconds.
     pub retry_after_secs: u64,
+    /// Live conversational sessions kept at once; beyond it the
+    /// least-recently-used session is evicted (its next follow-up gets
+    /// a typed expired-context error).
+    pub session_capacity: usize,
+    /// Idle time after which a session expires. Checked lazily at the
+    /// next checkout, so an expired session costs nothing until (and
+    /// unless) it is asked for again.
+    pub session_ttl: Duration,
     /// Test-only latency injected into every handled request, used to
     /// make overload and drain tests deterministic. `None` in
     /// production.
@@ -113,6 +121,8 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(2),
             max_deadline: Duration::from_secs(30),
             retry_after_secs: 1,
+            session_capacity: nalix::session::DEFAULT_SESSION_CAPACITY,
+            session_ttl: nalix::session::DEFAULT_SESSION_TTL,
             debug_handler_delay: None,
         }
     }
@@ -170,6 +180,9 @@ struct Ctx {
     store: Arc<DocumentStore>,
     config: ServerConfig,
     shared: Arc<Shared>,
+    /// Conversational sessions (LRU + TTL bounded), shared by all
+    /// workers; counters land in the store's metrics registry.
+    sessions: nalix::SessionStore,
 }
 
 /// One parsed request bound for a worker, tagged with the connection
@@ -924,6 +937,11 @@ impl Server {
             store: Arc::clone(&self.store),
             config: self.config.clone(),
             shared: Arc::clone(&self.shared),
+            sessions: nalix::SessionStore::with_metrics(
+                self.config.session_capacity,
+                self.config.session_ttl,
+                Arc::clone(&metrics),
+            ),
         });
         let queue = Arc::new(BoundedQueue::<Job>::new(self.config.queue_capacity));
         let served = Arc::new(AtomicU64::new(0));
@@ -1079,48 +1097,169 @@ fn with_span(
 }
 
 /// `POST /query`: a JSON object `{"question": "...", "doc": "name"?,
-/// "deadline_ms": n?}` or a bare `text/plain` question (served by the
-/// default document).
+/// "deadline_ms": n?, "session": "id"?}` or a bare `text/plain`
+/// question (served by the default document). With a `session` id the
+/// question may be a follow-up ("Of those, ...", "What about ...?")
+/// resolved against the previous turn.
 fn handle_query(req: &Request, ctx: &Ctx) -> Response {
     let parsed = match parse_query_body(req) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
+    if let Some(id) = parsed.session.clone() {
+        return handle_session_query(&parsed, &id, ctx);
+    }
+    // Stateless requests have no previous turn, so an anaphoric
+    // follow-up cannot be resolved: answer with the typed
+    // missing-context error (and its rephrasing suggestion) instead of
+    // letting the parser reject the fragment as ungrammatical.
+    if let Some(follow) = nalix::detect_follow_up(&parsed.question) {
+        return query_error_response(&QueryError::missing_context(follow.phrase()));
+    }
     let pipeline = match ctx.store.get(parsed.doc.as_deref()) {
         Ok(p) => p,
         Err(err) => return store_error_response(&err),
     };
     let budget = budget_for(parsed.deadline_ms, &ctx.config);
     match pipeline.nalix().answer_full(&parsed.question, &budget) {
-        Ok(answer) => {
-            let body = Json::Obj(vec![
-                (
-                    "answers".to_string(),
-                    Json::Arr(answer.values.iter().cloned().map(Json::Str).collect()),
-                ),
-                ("count".to_string(), Json::Num(answer.values.len() as f64)),
-                ("xquery".to_string(), Json::Str(answer.xquery.clone())),
-                ("cached".to_string(), Json::Bool(answer.cached)),
-                (
-                    "warnings".to_string(),
-                    Json::Arr(
-                        answer
-                            .warnings
-                            .iter()
-                            .map(|w| Json::Str(w.message()))
-                            .collect(),
-                    ),
-                ),
-                ("doc".to_string(), Json::Str(pipeline.name().to_string())),
-                (
-                    "generation".to_string(),
-                    Json::Num(pipeline.generation() as f64),
-                ),
-            ]);
-            Response::json(200, body.render())
-        }
+        Ok(answer) => Response::json(
+            200,
+            answer_json(&answer, pipeline.name(), pipeline.generation(), None).render(),
+        ),
         Err(err) => query_error_response(&err),
     }
+}
+
+/// `POST /query` with a `"session"` id: checkout, resolve the question
+/// against the previous turn, answer, commit the new turn back.
+///
+/// A session pins its document by *name and load generation* — plain
+/// values, never a snapshot handle — so a hot reload or an eviction
+/// retires the conversation (typed expired-context error on the next
+/// follow-up) instead of the conversation pinning a retired snapshot.
+fn handle_session_query(parsed: &QueryBody, id: &str, ctx: &Ctx) -> Response {
+    let follow = nalix::detect_follow_up(&parsed.question);
+    let session = match ctx.sessions.checkout(id) {
+        nalix::SessionCheckout::Live(s) => Some(s),
+        nalix::SessionCheckout::Expired => {
+            if follow.is_some() {
+                return query_error_response(&QueryError::expired_context(format!(
+                    "session \"{id}\" sat idle past the server's session time-to-live"
+                )));
+            }
+            None
+        }
+        // Absent covers both "never created" and "evicted under the
+        // session cap" — the server cannot tell them apart, and either
+        // way there is no context to resolve a follow-up against.
+        nalix::SessionCheckout::Absent => {
+            if follow.is_some() {
+                return query_error_response(&QueryError::expired_context(format!(
+                    "session \"{id}\" is not (or is no longer) known to the server"
+                )));
+            }
+            None
+        }
+    };
+    // The document for this turn: an explicit "doc" wins, then the
+    // session's pinned document, then the store default.
+    let explicit = parsed.doc.as_deref();
+    let want = explicit.or_else(|| session.as_ref().map(|s| s.doc.as_str()));
+    let pipeline = match ctx.store.get(want) {
+        Ok(p) => p,
+        Err(err) => {
+            if explicit.is_none() {
+                if let Some(s) = &session {
+                    // The pinned document was deleted out from under
+                    // the conversation: retire the session rather than
+                    // leave it naming a dead document forever.
+                    ctx.sessions.invalidate(id);
+                    return query_error_response(&QueryError::expired_context(format!(
+                        "the document \"{}\" this conversation was about is no longer loaded",
+                        s.doc
+                    )));
+                }
+            }
+            return store_error_response(&err);
+        }
+    };
+    let (name, generation) = (pipeline.name().to_string(), pipeline.generation());
+    // Context survives only on the exact snapshot identity it was
+    // built against: same document name, same load generation.
+    let mut session = match session {
+        Some(s) if s.doc == name && s.generation == generation => s,
+        Some(s) => {
+            ctx.sessions.invalidate(id);
+            if follow.is_some() {
+                let reason = if s.doc == name {
+                    format!("the document \"{name}\" was reloaded since the previous turn")
+                } else {
+                    format!(
+                        "the conversation moved from document \"{}\" to \"{name}\"",
+                        s.doc
+                    )
+                };
+                return query_error_response(&QueryError::expired_context(reason));
+            }
+            nalix::Session::new(name.clone(), generation)
+        }
+        None => nalix::Session::new(name.clone(), generation),
+    };
+    let budget = budget_for(parsed.deadline_ms, &ctx.config);
+    match pipeline
+        .nalix()
+        .answer_turn(&parsed.question, session.prior.as_ref(), &budget)
+    {
+        Ok(turn) => {
+            session.record_turn(turn.turn);
+            let body = answer_json(&turn.answer, &name, generation, Some((id, session.turns)));
+            ctx.sessions.commit(id, session);
+            Response::json(200, body.render())
+        }
+        Err(err) => {
+            // A failed turn keeps the prior context intact (and the
+            // TTL clock fresh): the user rephrases against the same
+            // conversation.
+            ctx.sessions.commit(id, session);
+            query_error_response(&err)
+        }
+    }
+}
+
+/// The success body shared by stateless and session `/query` replies;
+/// session replies additionally echo the session id and turn number.
+fn answer_json(
+    answer: &nalix::Answer,
+    doc: &str,
+    generation: u64,
+    session: Option<(&str, u64)>,
+) -> Json {
+    let mut fields = vec![
+        (
+            "answers".to_string(),
+            Json::Arr(answer.values.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("count".to_string(), Json::Num(answer.values.len() as f64)),
+        ("xquery".to_string(), Json::Str(answer.xquery.clone())),
+        ("cached".to_string(), Json::Bool(answer.cached)),
+        (
+            "warnings".to_string(),
+            Json::Arr(
+                answer
+                    .warnings
+                    .iter()
+                    .map(|w| Json::Str(w.message()))
+                    .collect(),
+            ),
+        ),
+        ("doc".to_string(), Json::Str(doc.to_string())),
+        ("generation".to_string(), Json::Num(generation as f64)),
+    ];
+    if let Some((id, turn)) = session {
+        fields.push(("session".to_string(), Json::Str(id.to_string())));
+        fields.push(("turn".to_string(), Json::Num(turn as f64)));
+    }
+    Json::Obj(fields)
 }
 
 /// `POST /batch`: `{"questions": ["...", ...], "doc": "name"?}`,
@@ -1352,7 +1491,13 @@ struct QueryBody {
     question: String,
     deadline_ms: Option<u64>,
     doc: Option<String>,
+    session: Option<String>,
 }
+
+/// Cap on client-chosen session ids: they are stored verbatim as map
+/// keys, so an unbounded id would be an unbounded allocation the LRU
+/// cap cannot see.
+const MAX_SESSION_ID: usize = 128;
 
 /// Extracts the question, optional deadline, and optional document
 /// name from a `/query` body, accepting JSON or plain text.
@@ -1384,16 +1529,31 @@ fn parse_query_body(req: &Request) -> Result<QueryBody, Response> {
                     ),
                 )
             })?;
+        let session = match parsed.get("session").and_then(Json::as_str) {
+            Some(id) if id.is_empty() || id.len() > MAX_SESSION_ID => {
+                return Err(Response::json(
+                    400,
+                    error_body(
+                        "http.bad_request",
+                        &format!("\"session\" must be 1..={MAX_SESSION_ID} bytes"),
+                        "send a short opaque session id",
+                    ),
+                ));
+            }
+            other => other.map(str::to_string),
+        };
         QueryBody {
             question,
             deadline_ms: parsed.get("deadline_ms").and_then(Json::as_u64),
             doc: parsed.get("doc").and_then(Json::as_str).map(str::to_string),
+            session,
         }
     } else {
         QueryBody {
             question: text.trim().to_string(),
             deadline_ms: None,
             doc: None,
+            session: None,
         }
     };
     if parsed.question.trim().is_empty() {
@@ -1438,13 +1598,15 @@ fn store_error_response(err: &StoreError) -> Response {
 /// Maps a pipeline error to its HTTP response: stable code, rendered
 /// message, rephrasing suggestion, and a status that distinguishes
 /// "your question" (422) from "our evaluator" (500) from "out of time"
-/// (504).
+/// (504) from "your conversation context is gone" (410).
 fn query_error_response(err: &QueryError) -> Response {
     let status = match err {
         QueryError::Parse { .. }
         | QueryError::Classify { .. }
         | QueryError::Validate { .. }
-        | QueryError::Translate { .. } => 422,
+        | QueryError::Translate { .. }
+        | QueryError::MissingContext { .. } => 422,
+        QueryError::ExpiredContext { .. } => 410,
         QueryError::Eval { .. } => 500,
         QueryError::ResourceExhausted { resource, .. } => match resource {
             ExhaustedResource::Time => 504,

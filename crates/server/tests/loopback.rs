@@ -867,3 +867,259 @@ fn max_requests_per_conn_is_enforced() {
     });
     assert_eq!(report.served, 2);
 }
+
+// ---------------------------------------------------------------------------
+// Conversational sessions (docs/SESSIONS.md)
+// ---------------------------------------------------------------------------
+
+fn post_session_query(addr: SocketAddr, session: &str, question: &str) -> (String, String) {
+    let body = format!("{{\"question\": {question:?}, \"session\": {session:?}}}");
+    post(addr, "/query", &body)
+}
+
+fn post_session_query_on(
+    addr: SocketAddr,
+    doc: &str,
+    session: &str,
+    question: &str,
+) -> (String, String) {
+    let body =
+        format!("{{\"question\": {question:?}, \"doc\": {doc:?}, \"session\": {session:?}}}");
+    post(addr, "/query", &body)
+}
+
+fn error_field<'a>(body: &'a Json, field: &str) -> Option<&'a Json> {
+    body.get("error").and_then(|e| e.get(field))
+}
+
+/// The session contract end to end: a three-turn dialogue on one
+/// keep-alive connection, where each follow-up's answers are
+/// bit-identical to the stateless stacked-constraint oracle sentence.
+#[test]
+fn session_dialogue_resolves_follow_ups_against_the_oracle() {
+    let oracle = Nalix::new(xmldb::datasets::bib::bib());
+    let expected2 = oracle
+        .answer_full(
+            "List all the books written by Stevens published after 1993.",
+            &EvalBudget::default(),
+        )
+        .expect("oracle turn 2")
+        .values;
+    let expected3 = oracle
+        .answer_full(
+            "List all the books written by Suciu published after 1993.",
+            &EvalBudget::default(),
+        )
+        .expect("oracle turn 3")
+        .values;
+
+    let (bodies, report) = with_server(test_config(), |addr| {
+        let mut client = KeepAliveClient::connect(addr);
+        let turns = [
+            "List all the books written by Stevens.",
+            "Of those, which were published after 1993?",
+            "What about by Suciu?",
+        ];
+        turns
+            .iter()
+            .map(|q| {
+                let body = format!("{{\"question\": {q:?}, \"session\": \"dlg\"}}");
+                client.write_raw(&format!(
+                    "POST /query HTTP/1.1\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                ));
+                let resp = client.read_one();
+                (resp.status_line.clone(), resp.body_str())
+            })
+            .collect::<Vec<_>>()
+    });
+
+    for (i, (status, body)) in bodies.iter().enumerate() {
+        assert_eq!(status, "HTTP/1.1 200 OK", "turn {}: {body}", i + 1);
+        let parsed = Json::parse(body).expect("JSON body");
+        assert_eq!(parsed.get("session").and_then(Json::as_str), Some("dlg"));
+        assert_eq!(
+            parsed.get("turn").and_then(Json::as_u64),
+            Some(i as u64 + 1),
+            "turn number echoes the dialogue position"
+        );
+    }
+    assert_eq!(answers_of(&bodies[1].1), expected2);
+    assert_eq!(answers_of(&bodies[2].1), expected3);
+    assert!(bodies[2].1.contains("Data on the Web"), "{}", bodies[2].1);
+    // Resolved turns warn the user what the reference was taken to
+    // mean (the sessions counterpart of the pronoun warning).
+    assert!(bodies[1].1.contains("previous question"), "{}", bodies[1].1);
+
+    assert!(report.snapshot.counter(obs::Counter::SessionCreates) >= 1);
+    assert!(report.snapshot.counter(obs::Counter::SessionHits) >= 2);
+    assert_eq!(report.snapshot.counter(obs::Counter::AnaphoraResolved), 2);
+}
+
+/// The same follow-up with no session id gets the typed
+/// missing-context error (with a rephrasing suggestion), not an opaque
+/// parse rejection.
+#[test]
+fn follow_up_without_a_session_is_a_typed_missing_context_error() {
+    let (out, _report) = with_server(test_config(), |addr| {
+        post_query(addr, "Of those, which were published after 1993?")
+    });
+    let (status, body) = out;
+    assert_eq!(status, "HTTP/1.1 422 Unprocessable Entity", "body: {body}");
+    let parsed = Json::parse(&body).expect("JSON body");
+    assert_eq!(
+        error_field(&parsed, "code").and_then(Json::as_str),
+        Some("session.missing_context")
+    );
+    let suggestion = error_field(&parsed, "suggestion")
+        .and_then(Json::as_str)
+        .expect("suggestion");
+    assert!(!suggestion.is_empty());
+}
+
+/// An idle session past the TTL is gone: the next follow-up gets
+/// `410 Gone` with the typed expired-context error, and the expiry is
+/// visible on the `session_expired` counter.
+#[test]
+fn idle_session_expires_and_the_follow_up_is_gone() {
+    let config = ServerConfig {
+        session_ttl: Duration::from_millis(1),
+        ..test_config()
+    };
+    let (out, report) = with_server(config, |addr| {
+        let first = post_session_query(addr, "ttl", "List all the books written by Stevens.");
+        std::thread::sleep(Duration::from_millis(30));
+        let second = post_session_query(addr, "ttl", "Of those, which were published after 1993?");
+        (first, second)
+    });
+    let (first, second) = out;
+    assert_eq!(first.0, "HTTP/1.1 200 OK", "body: {}", first.1);
+    assert_eq!(second.0, "HTTP/1.1 410 Gone", "body: {}", second.1);
+    assert!(
+        second.1.contains("\"code\":\"session.expired\""),
+        "{}",
+        second.1
+    );
+    assert!(report.snapshot.counter(obs::Counter::SessionExpired) >= 1);
+}
+
+/// Hot-reloading the pinned document retires the conversation: the
+/// session pins a (name, generation) identity, never a snapshot, so a
+/// follow-up after the reload is a typed expired-context error and a
+/// fresh self-contained question starts a new conversation on the new
+/// generation.
+#[test]
+fn hot_reload_retires_the_session_context() {
+    let (out, _report) = with_server(test_config(), |addr| {
+        let (status, body) = put_doc(addr, "movies", "");
+        assert_eq!(status, "HTTP/1.1 200 OK", "load: {body}");
+        let first = post_session_query_on(
+            addr,
+            "movies",
+            "reload",
+            "Find all the movies directed by Ron Howard.",
+        );
+        let (status, body) = put_doc(addr, "movies", "");
+        assert_eq!(status, "HTTP/1.1 200 OK", "reload: {body}");
+        let second = post_session_query_on(
+            addr,
+            "movies",
+            "reload",
+            "Of those, which were made after 1990?",
+        );
+        let third = post_session_query_on(
+            addr,
+            "movies",
+            "reload",
+            "Find all the movies directed by Ron Howard.",
+        );
+        (first, second, third)
+    });
+    let (first, second, third) = out;
+    assert_eq!(first.0, "HTTP/1.1 200 OK", "body: {}", first.1);
+    assert_eq!(second.0, "HTTP/1.1 410 Gone", "body: {}", second.1);
+    assert!(
+        second.1.contains("\"code\":\"session.expired\"") && second.1.contains("reloaded"),
+        "{}",
+        second.1
+    );
+    assert_eq!(third.0, "HTTP/1.1 200 OK", "body: {}", third.1);
+    let parsed = Json::parse(&third.1).expect("JSON body");
+    assert_eq!(
+        parsed.get("turn").and_then(Json::as_u64),
+        Some(1),
+        "the retired conversation restarted from turn 1"
+    );
+    assert_eq!(
+        parsed.get("generation").and_then(Json::as_u64),
+        Some(2),
+        "the new conversation is on the reloaded generation"
+    );
+}
+
+/// Evicting the pinned document retires the conversation too: with no
+/// explicit `"doc"`, the session's pin names a document that is no
+/// longer loaded, and the follow-up is a typed expired-context error
+/// (not a 404 about a document the user never mentioned).
+#[test]
+fn evicting_the_pinned_document_retires_the_session() {
+    let (out, _report) = with_server(test_config(), |addr| {
+        let (status, body) = put_doc(addr, "movies", "");
+        assert_eq!(status, "HTTP/1.1 200 OK", "load: {body}");
+        let first = post_session_query_on(
+            addr,
+            "movies",
+            "evict",
+            "Find all the movies directed by Ron Howard.",
+        );
+        let (status, body) = delete_doc(addr, "movies");
+        assert_eq!(status, "HTTP/1.1 200 OK", "evict: {body}");
+        let second = post_session_query(addr, "evict", "Of those, which were made after 1990?");
+        (first, second)
+    });
+    let (first, second) = out;
+    assert_eq!(first.0, "HTTP/1.1 200 OK", "body: {}", first.1);
+    assert_eq!(second.0, "HTTP/1.1 410 Gone", "body: {}", second.1);
+    assert!(
+        second.1.contains("\"code\":\"session.expired\"") && second.1.contains("no longer loaded"),
+        "{}",
+        second.1
+    );
+}
+
+/// The session store is LRU-bounded by `session_capacity`: the least
+/// recently used conversation is evicted first, and a recently touched
+/// one survives with its full context.
+#[test]
+fn session_store_is_lru_bounded() {
+    let config = ServerConfig {
+        session_capacity: 2,
+        ..test_config()
+    };
+    let opener = "List all the books written by Stevens.";
+    let (out, _report) = with_server(config, |addr| {
+        let a1 = post_session_query(addr, "alice", opener);
+        let b1 = post_session_query(addr, "bob", opener);
+        // Touch alice so bob is the least recently used...
+        let a2 = post_session_query(addr, "alice", "Of those, which were published after 1993?");
+        // ...and carol's arrival evicts bob.
+        let c1 = post_session_query(addr, "carol", opener);
+        let b2 = post_session_query(addr, "bob", "Of those, which were published after 1993?");
+        let a3 = post_session_query(addr, "alice", "What about by Suciu?");
+        (a1, b1, a2, c1, b2, a3)
+    });
+    let (a1, b1, a2, c1, b2, a3) = out;
+    for (label, (status, body)) in [("a1", &a1), ("b1", &b1), ("a2", &a2), ("c1", &c1)] {
+        assert_eq!(status, "HTTP/1.1 200 OK", "{label}: {body}");
+    }
+    assert_eq!(b2.0, "HTTP/1.1 410 Gone", "body: {}", b2.1);
+    assert!(b2.1.contains("\"code\":\"session.expired\""), "{}", b2.1);
+    // Alice's two-turn context survived the churn: the third turn still
+    // resolves against it.
+    assert_eq!(a3.0, "HTTP/1.1 200 OK", "body: {}", a3.1);
+    assert!(a3.1.contains("Data on the Web"), "{}", a3.1);
+    let parsed = Json::parse(&a3.1).expect("JSON body");
+    assert_eq!(parsed.get("turn").and_then(Json::as_u64), Some(3));
+}

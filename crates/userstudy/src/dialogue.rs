@@ -1,0 +1,254 @@
+//! Multi-turn dialogue tasks: the conversational-session counterpart
+//! of the single-shot study (docs/SESSIONS.md).
+//!
+//! Each task is a short dialogue whose later turns are anaphoric
+//! ("Of those, …") or elliptical ("What about …?") follow-ups. Every
+//! turn also carries the **stateless oracle** — the self-contained
+//! stacked-constraint sentence a careful user would have typed — so
+//! success is measured the same way as the main study: precision /
+//! recall of the resolved turn's answers against the oracle's answers,
+//! harmonic mean ≥ 0.5 to pass. Per-turn phrasing pools encode human
+//! variation, including phrasings the follow-up detector does *not*
+//! recognise (the conversational analogue of the study's rejected
+//! phrasings); those turns fail and drag the success rate at that
+//! depth below 100%, which is the honest number to report.
+
+use nalix::{Nalix, PriorTurn};
+use xmldb::datasets::bib::bib;
+use xquery::EvalBudget;
+
+use crate::metrics::precision_recall;
+
+/// One turn of a dialogue task.
+#[derive(Debug, Clone, Copy)]
+pub struct DialogueTurn {
+    /// The phrasings a participant may use for this turn; simulated
+    /// participants cycle through the pool. Turn 1 pools are
+    /// self-contained; later pools are follow-up phrasings.
+    pub pool: &'static [&'static str],
+    /// The stateless oracle sentence: what this turn *means* when
+    /// spelled out in full. Gold answers are computed from it.
+    pub oracle: &'static str,
+}
+
+/// One multi-turn dialogue task.
+#[derive(Debug, Clone, Copy)]
+pub struct DialogueTask {
+    /// Display label.
+    pub label: &'static str,
+    /// The turns, in order.
+    pub turns: &'static [DialogueTurn],
+}
+
+/// The dialogue pool, over the paper's bibliography corpus.
+pub const DIALOGUE_TASKS: [DialogueTask; 3] = [
+    DialogueTask {
+        label: "D1 (author, then year, then other author)",
+        turns: &[
+            DialogueTurn {
+                pool: &["List all the books written by Stevens."],
+                oracle: "List all the books written by Stevens.",
+            },
+            DialogueTurn {
+                pool: &[
+                    "Of those, which were published after 1993?",
+                    "Which of them were published after 1993?",
+                    "And which of these were published after 1993?",
+                ],
+                oracle: "List all the books written by Stevens published after 1993.",
+            },
+            DialogueTurn {
+                pool: &[
+                    "What about by Suciu?",
+                    "And what about by Suciu?",
+                    "How about by Suciu?",
+                ],
+                oracle: "List all the books written by Suciu published after 1993.",
+            },
+        ],
+    },
+    DialogueTask {
+        label: "D2 (year, then author refinement)",
+        turns: &[
+            DialogueTurn {
+                pool: &["Find all the books published after 1991."],
+                oracle: "Find all the books published after 1991.",
+            },
+            DialogueTurn {
+                pool: &[
+                    "Which of them were written by Buneman?",
+                    "Of these, which were written by Buneman?",
+                    // Not a recognised follow-up form: "ones" is not an
+                    // anaphor the resolver handles, so this attempt
+                    // fails — deliberate pool noise.
+                    "The ones written by Buneman?",
+                ],
+                oracle: "Find all the books published after 1991 written by Buneman.",
+            },
+        ],
+    },
+    DialogueTask {
+        label: "D3 (year, then author, then elliptical author swap)",
+        turns: &[
+            DialogueTurn {
+                pool: &["Find all the books published after 1993."],
+                oracle: "Find all the books published after 1993.",
+            },
+            DialogueTurn {
+                pool: &[
+                    "Of those, which were written by Stevens?",
+                    "Which of those were written by Stevens?",
+                ],
+                oracle: "Find all the books published after 1993 written by Stevens.",
+            },
+            DialogueTurn {
+                pool: &["What about by Suciu?"],
+                oracle: "Find all the books published after 1993 written by Suciu.",
+            },
+        ],
+    },
+];
+
+/// Success counts at one turn depth, pooled over tasks and
+/// participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthStats {
+    /// 1-based turn depth.
+    pub depth: usize,
+    /// Dialogue turns attempted at this depth.
+    pub attempts: usize,
+    /// Turns whose answers scored harmonic(precision, recall) ≥ 0.5
+    /// against the stateless oracle.
+    pub successes: usize,
+}
+
+impl DepthStats {
+    /// Success rate in [0, 1].
+    pub fn rate(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// The dialogue study's result: success per turn depth.
+#[derive(Debug, Clone)]
+pub struct DialogueReport {
+    /// Stats per depth, depth 1 first.
+    pub per_depth: Vec<DepthStats>,
+}
+
+impl DialogueReport {
+    /// A fixed-width table, for reports and EXPERIMENTS.md.
+    pub fn render(&self) -> String {
+        let mut out = String::from("turn depth | attempts | successes | success rate\n");
+        for d in &self.per_depth {
+            out.push_str(&format!(
+                "{:>10} | {:>8} | {:>9} | {:>11.0}%\n",
+                d.depth,
+                d.attempts,
+                d.successes,
+                d.rate() * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Runs every dialogue task once per simulated participant
+/// (`participants` many, each picking the `i`-th pool variant, modulo
+/// pool size) over the bibliography corpus.
+///
+/// A failed turn does not abort the dialogue: the participant presses
+/// on, and later follow-ups resolve against the last turn that *did*
+/// succeed — exactly what a real session does after an error — so
+/// failures can cascade to deeper turns, which the per-depth rates
+/// make visible.
+pub fn run_dialogue_study(participants: usize) -> DialogueReport {
+    let nalix = Nalix::new(bib());
+    let budget = EvalBudget::default();
+    let max_depth = DIALOGUE_TASKS
+        .iter()
+        .map(|t| t.turns.len())
+        .max()
+        .unwrap_or(0);
+    let mut per_depth: Vec<DepthStats> = (1..=max_depth)
+        .map(|depth| DepthStats {
+            depth,
+            attempts: 0,
+            successes: 0,
+        })
+        .collect();
+
+    for task in &DIALOGUE_TASKS {
+        for participant in 0..participants {
+            let mut prior: Option<PriorTurn> = None;
+            for (i, turn) in task.turns.iter().enumerate() {
+                let question = turn.pool[participant % turn.pool.len()];
+                let gold = nalix
+                    .answer_full(turn.oracle, &budget)
+                    .map(|a| a.values)
+                    .unwrap_or_default();
+                per_depth[i].attempts += 1;
+                match nalix.answer_turn(question, prior.as_ref(), &budget) {
+                    Ok(result) => {
+                        if precision_recall(&result.answer.values, &gold).harmonic() >= 0.5 {
+                            per_depth[i].successes += 1;
+                        }
+                        prior = Some(result.turn);
+                    }
+                    Err(_) => {
+                        // No new context; the next turn resolves
+                        // against the previous successful one.
+                    }
+                }
+            }
+        }
+    }
+
+    DialogueReport { per_depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_oracle_sentence_is_accepted_stateless() {
+        let nalix = Nalix::new(bib());
+        let budget = EvalBudget::default();
+        for task in &DIALOGUE_TASKS {
+            for turn in task.turns {
+                let a = nalix
+                    .answer_full(turn.oracle, &budget)
+                    .unwrap_or_else(|e| panic!("{}: {:?}: {e}", task.label, turn.oracle));
+                assert!(!a.values.is_empty(), "{}: {:?}", task.label, turn.oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_always_succeeds_and_depth_rates_are_honest() {
+        let report = run_dialogue_study(3);
+        assert_eq!(report.per_depth[0].rate(), 1.0, "{}", report.render());
+        // Depth 2 contains one deliberately unrecognised phrasing
+        // (D2's "The ones …"), so the rate is high but not perfect.
+        let d2 = report.per_depth[1];
+        assert!(d2.successes < d2.attempts, "{}", report.render());
+        assert!(d2.rate() >= 0.6, "{}", report.render());
+        // Recognised follow-up phrasings at depth 3 all resolve.
+        let d3 = report.per_depth[2];
+        assert_eq!(d3.successes, d3.attempts, "{}", report.render());
+    }
+
+    #[test]
+    fn report_renders_every_depth() {
+        let report = run_dialogue_study(2);
+        let rendered = report.render();
+        for d in &report.per_depth {
+            assert!(rendered.contains(&format!("{:>10}", d.depth)), "{rendered}");
+        }
+    }
+}

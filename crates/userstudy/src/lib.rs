@@ -32,6 +32,7 @@
 //! 9×9 orthogonal-Latin-square task ordering, harmonic-mean ≥ 0.5
 //! passing criterion, and a 5-minute per-task cap.
 
+pub mod dialogue;
 pub mod experiment;
 pub mod latin;
 pub mod metrics;
@@ -39,6 +40,7 @@ pub mod participant;
 pub mod phrasings;
 pub mod tasks;
 
+pub use dialogue::{run_dialogue_study, DepthStats, DialogueReport, DialogueTask};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResults};
 pub use metrics::{harmonic_mean, precision_recall, PrScore};
 pub use tasks::{Task, TaskId};

@@ -1,0 +1,145 @@
+//! Golden transcripts for conversational sessions (docs/SESSIONS.md):
+//! each dialogue file captures every turn — the question, how an
+//! anaphoric or elliptical follow-up was resolved, the translated
+//! XQuery, the warnings, and the answers — so a change to resolution
+//! or wording shows up as a readable diff. A separate snapshot pins
+//! the typed errors for missing and expired conversation context.
+//! Regenerate with:
+//!
+//! ```console
+//! $ UPDATE_GOLDEN=1 cargo test --test golden_dialogue
+//! ```
+
+use nalix_repro::nalix::{Nalix, QueryError, Session, SessionCheckout, SessionStore};
+use nalix_repro::xmldb::datasets::bib::bib;
+use nalix_repro::xquery::EvalBudget;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn golden_path(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/dialogue")
+        .join(format!("{label}.txt"))
+}
+
+/// Compares `got` against the snapshot (or rewrites it under
+/// `UPDATE_GOLDEN=1`), collecting a readable diff on drift.
+fn check(label: &str, got: &str, failures: &mut Vec<String>) {
+    let path = golden_path(label);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{label}: missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if got != want {
+        failures.push(format!(
+            "{label}: transcript drifted from {}\n--- golden\n{want}\n--- current\n{got}",
+            path.display()
+        ));
+    }
+}
+
+/// Each dialogue: snapshot label, then the turns in order. Turn 1 is
+/// self-contained; later turns are follow-ups resolved against it.
+const DIALOGUES: &[(&str, &[&str])] = &[
+    (
+        "stevens_refinement_then_ellipsis",
+        &[
+            "List all the books written by Stevens.",
+            "Of those, which were published after 1993?",
+            "What about by Suciu?",
+        ],
+    ),
+    (
+        "year_then_author_refinement",
+        &[
+            "Find all the books published after 1991.",
+            "Which of them were written by Buneman?",
+        ],
+    ),
+];
+
+#[test]
+fn dialogue_transcripts_match_golden_files() {
+    let nalix = Nalix::new(bib());
+    let budget = EvalBudget::default();
+    let mut failures = Vec::new();
+
+    for &(label, turns) in DIALOGUES {
+        let mut got = String::new();
+        let mut prior = None;
+        for (i, question) in turns.iter().enumerate() {
+            let turn = nalix
+                .answer_turn(question, prior.as_ref(), &budget)
+                .unwrap_or_else(|e| panic!("{label} turn {}: {e}", i + 1));
+            got.push_str(&format!("turn {}\n", i + 1));
+            got.push_str(&format!("question: {question}\n"));
+            match &turn.resolution {
+                Some(r) => got.push_str(&format!(
+                    "resolved: \"{}\" against {}\n",
+                    r.phrase, r.referent
+                )),
+                None => got.push_str("resolved: (self-contained)\n"),
+            }
+            got.push_str(&format!("xquery: {}\n", turn.answer.xquery));
+            got.push_str("warnings:\n");
+            for w in &turn.answer.warnings {
+                got.push_str(&format!("- {}\n", w.message()));
+            }
+            got.push_str(&format!("answers ({}):\n", turn.answer.values.len()));
+            for v in &turn.answer.values {
+                got.push_str(&format!("- {}\n", v.replace('\n', "\\n")));
+            }
+            got.push('\n');
+            prior = Some(turn.turn);
+        }
+        check(label, &got, &mut failures);
+    }
+
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+/// The typed errors a dialogue can end in: a follow-up with no prior
+/// turn (missing context) and a follow-up whose session idled past the
+/// TTL (expired context). Both must carry a rephrasing suggestion
+/// (the Sec. 4 feedback contract extends to the session layer).
+#[test]
+fn context_error_transcripts_match_golden_files() {
+    let nalix = Nalix::new(bib());
+    let budget = EvalBudget::default();
+    let mut failures = Vec::new();
+
+    let missing = nalix
+        .answer_turn("Of those, which were published after 1993?", None, &budget)
+        .expect_err("a follow-up with no context must fail");
+
+    // Drive the expiry through the store, exactly as the server does:
+    // an idle session past the TTL checks out as Expired, and the
+    // server answers the follow-up with this error.
+    let store = SessionStore::new(4, Duration::ZERO);
+    store.commit("dlg", Session::new("bib", 1));
+    std::thread::sleep(Duration::from_millis(2));
+    assert!(matches!(store.checkout("dlg"), SessionCheckout::Expired));
+    let expired = QueryError::expired_context(
+        "session \"dlg\" sat idle past the server's session time-to-live",
+    );
+
+    let mut got = String::new();
+    for (class, err) in [("missing context", &missing), ("expired context", &expired)] {
+        assert!(!err.suggestion().is_empty(), "{class}: empty suggestion");
+        got.push_str(&format!("class: {class}\n"));
+        got.push_str(&format!("code: {}\n", err.code()));
+        got.push_str(&format!("display: {err}\n"));
+        got.push_str(&format!("suggestion: {}\n", err.suggestion()));
+        got.push('\n');
+    }
+    check("context_errors", &got, &mut failures);
+
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}

@@ -27,6 +27,8 @@ fn variant_name(e: &QueryError) -> &'static str {
         QueryError::Translate { .. } => "Translate",
         QueryError::Eval { .. } => "Eval",
         QueryError::ResourceExhausted { .. } => "ResourceExhausted",
+        QueryError::MissingContext { .. } => "MissingContext",
+        QueryError::ExpiredContext { .. } => "ExpiredContext",
     }
 }
 

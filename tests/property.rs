@@ -422,4 +422,53 @@ proptest! {
             prop_assert!(!e.suggestion().is_empty(), "{:?} -> {}", q, e);
         }
     }
+
+    // Conversational follow-ups: anaphor/ellipsis word salad resolved
+    // against a real prior turn must never panic — only answer or fail
+    // with a typed, suggestion-carrying error; and the same text with
+    // no context must be the typed missing-context error when it is a
+    // follow-up at all.
+    #[test]
+    fn follow_up_resolution_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("Of".to_owned()),
+                Just("those".to_owned()),
+                Just("these".to_owned()),
+                Just("them".to_owned()),
+                Just("they".to_owned()),
+                Just("what".to_owned()),
+                Just("about".to_owned()),
+                Just("which".to_owned()),
+                Just("were".to_owned()),
+                Just("directed".to_owned()),
+                Just("by".to_owned()),
+                Just("before".to_owned()),
+                Just("after".to_owned()),
+                Just("1991".to_owned()),
+                Just(",".to_owned()),
+                Just("?".to_owned()),
+                "[a-zà-ö]{1,8}",
+            ],
+            0..12,
+        )
+    ) {
+        let doc = nalix_repro::xmldb::datasets::movies::movies();
+        let nalix = Nalix::new(doc.clone());
+        let budget = nalix_repro::xquery::EvalBudget::default();
+        let prior = nalix
+            .answer_turn("Find all the movies directed by Ron Howard.", None, &budget)
+            .expect("opening turn")
+            .turn;
+        let q = words.join(" ");
+        if let Err(e) = nalix.answer_turn(&q, Some(&prior), &budget) {
+            prop_assert!(!e.suggestion().is_empty(), "{:?} -> {}", q, e);
+        }
+        if nalix_repro::nalix::detect_follow_up(&q).is_some() {
+            let err = nalix
+                .answer_turn(&q, None, &budget)
+                .expect_err("a follow-up with no context must fail");
+            prop_assert_eq!(err.code(), "session.missing_context", "{:?}", q);
+        }
+    }
 }
