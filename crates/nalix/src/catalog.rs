@@ -9,19 +9,34 @@
 //!    resolution (Def. 11: "An implicit NT related to a VT is the
 //!    name(s) of element or attribute with the value of VT in the
 //!    database").
+//!
+//! ## Incremental maintenance
+//!
+//! The write path (`xmldb::PendingUpdate`) records every value it adds
+//! or removes as a balanced [`xmldb::ValueOp`] delta;
+//! [`Catalog::apply_update`] folds those deltas into the value index by
+//! refcount instead of rescanning the document. Every structure is kept
+//! *exactly* equal to what [`Catalog::build`] over the successor
+//! document would produce (the update differential test asserts
+//! equality): occurrence refcounts add and subtract symmetrically,
+//! numeric per-label counts ride the same deltas, and a numeric range
+//! is rescanned from the surviving index only when a deleted value sat
+//! on its boundary.
 
-use std::collections::{HashMap, HashSet};
-use xmldb::{Document, NodeKind};
+use std::collections::HashMap;
+use xmldb::{Document, NodeKind, UpdateStats};
 
 /// Precomputed database metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Catalog {
     labels: Vec<String>,
-    /// normalised value → labels of elements/attributes holding it
-    value_index: HashMap<String, Vec<String>>,
-    /// labels whose values are (almost) always numeric — the fallback
-    /// for numeric VTs whose exact value is absent ("after 2030")
-    numeric_labels: Vec<String>,
+    /// normalised value → label → occurrence refcount, for elements and
+    /// attributes holding the value
+    value_index: HashMap<String, HashMap<String, usize>>,
+    /// label → (numeric occurrences, total occurrences); labels whose
+    /// values are (almost) always numeric are the fallback for numeric
+    /// VTs whose exact value is absent ("after 2030")
+    numeric: HashMap<String, (usize, usize)>,
     /// per-label numeric value range, for range-aware fallback
     numeric_ranges: HashMap<String, (f64, f64)>,
 }
@@ -33,42 +48,18 @@ fn norm(v: &str) -> String {
 impl Catalog {
     /// Scan `doc` and build the catalog.
     pub fn build(doc: &Document) -> Self {
-        let mut labels: Vec<String> = Vec::new();
-        let mut seen = HashSet::new();
-        for l in doc.labels() {
-            if seen.insert(l.to_owned()) {
-                labels.push(l.to_owned());
-            }
-        }
-
-        let mut value_index: HashMap<String, Vec<String>> = HashMap::new();
-        let mut numeric: HashMap<String, (usize, usize)> = HashMap::new(); // label -> (numeric, total)
+        let mut value_index: HashMap<String, HashMap<String, usize>> = HashMap::new();
+        let mut numeric: HashMap<String, (usize, usize)> = HashMap::new();
         let mut ranges: HashMap<String, (f64, f64)> = HashMap::new();
         let mut record = |label: &str, value: &str| {
-            let key = norm(value);
-            if key.is_empty() {
-                return;
-            }
-            let entry = value_index.entry(key).or_default();
-            if !entry.iter().any(|l| l == label) {
-                entry.push(label.to_owned());
-            }
-            let c = numeric.entry(label.to_owned()).or_insert((0, 0));
-            c.1 += 1;
-            if let Ok(v) = value.trim().parse::<f64>() {
-                c.0 += 1;
-                ranges
-                    .entry(label.to_owned())
-                    .and_modify(|(lo, hi)| {
-                        *lo = lo.min(v);
-                        *hi = hi.max(v);
-                    })
-                    .or_insert((v, v));
-            }
+            record_one(&mut value_index, &mut numeric, &mut ranges, label, value);
         };
 
-        for r in 0..doc.len() {
-            let id = xmldb::NodeId::from_index(r);
+        // Walk the tree from the root rather than the arena slots: after
+        // node-level updates the arena may hold detached (deleted) slots
+        // whose values must not resurface in the catalog.
+        let root = doc.root();
+        for id in std::iter::once(root).chain(doc.descendants(root)) {
             let n = doc.node(id);
             match n.kind {
                 NodeKind::Attribute => {
@@ -84,17 +75,107 @@ impl Catalog {
             }
         }
 
-        let numeric_labels = numeric
-            .into_iter()
-            .filter(|(_, (num, total))| *total > 0 && *num * 10 >= *total * 9)
-            .map(|(l, _)| l)
-            .collect();
-
         Catalog {
-            labels,
+            labels: doc.labels().into_iter().map(str::to_owned).collect(),
             value_index,
-            numeric_labels,
+            numeric,
             numeric_ranges: ranges,
+        }
+    }
+
+    /// Fold one committed update batch's deltas into the catalog,
+    /// leaving it equal to [`Catalog::build`] over the successor
+    /// document — without the full scan. `doc` must be the successor
+    /// the deltas in `stats` describe (its interner resolves the
+    /// symbols the ops carry).
+    pub fn apply_update(&mut self, doc: &Document, stats: &UpdateStats) {
+        // The label list is interner-derived and the interner is
+        // append-only, so re-deriving it is both cheap and identical to
+        // a rebuild's.
+        self.labels = doc.labels().into_iter().map(str::to_owned).collect();
+
+        let mut stale_ranges: Vec<String> = Vec::new();
+        for op in &stats.value_ops {
+            let key = norm(&op.value);
+            if key.is_empty() {
+                continue;
+            }
+            let label = doc.resolve_label(op.label);
+            if op.added {
+                record_one(
+                    &mut self.value_index,
+                    &mut self.numeric,
+                    &mut self.numeric_ranges,
+                    label,
+                    &op.value,
+                );
+                continue;
+            }
+            let parsed = op.value.trim().parse::<f64>().ok();
+            if let Some(entry) = self.value_index.get_mut(&key) {
+                if let Some(c) = entry.get_mut(label) {
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        entry.remove(label);
+                    }
+                }
+                if entry.is_empty() {
+                    self.value_index.remove(&key);
+                }
+            }
+            if let Some(c) = self.numeric.get_mut(label) {
+                c.1 = c.1.saturating_sub(1);
+                if parsed.is_some() {
+                    c.0 = c.0.saturating_sub(1);
+                }
+                let numeric_left = c.0;
+                if c.1 == 0 {
+                    self.numeric.remove(label);
+                    self.numeric_ranges.remove(label);
+                } else if let Some(v) = parsed {
+                    if numeric_left == 0 {
+                        self.numeric_ranges.remove(label);
+                    } else if self
+                        .numeric_ranges
+                        .get(label)
+                        .is_some_and(|(lo, hi)| v <= *lo || v >= *hi)
+                    {
+                        // A boundary value left: the range may shrink,
+                        // which a widen-only fold cannot express.
+                        stale_ranges.push(label.to_owned());
+                    }
+                }
+            }
+        }
+
+        // Rescan only the labels whose range boundary was deleted, from
+        // the (already-patched) value index.
+        stale_ranges.sort_unstable();
+        stale_ranges.dedup();
+        for label in stale_ranges {
+            if self.numeric.get(&label).is_none_or(|c| c.0 == 0) {
+                continue;
+            }
+            let mut range: Option<(f64, f64)> = None;
+            for (key, labels) in &self.value_index {
+                if !labels.contains_key(&label) {
+                    continue;
+                }
+                if let Ok(v) = key.parse::<f64>() {
+                    range = Some(match range {
+                        None => (v, v),
+                        Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                    });
+                }
+            }
+            match range {
+                Some(r) => {
+                    self.numeric_ranges.insert(label, r);
+                }
+                None => {
+                    self.numeric_ranges.remove(&label);
+                }
+            }
         }
     }
 
@@ -104,18 +185,26 @@ impl Catalog {
     }
 
     /// Names of elements/attributes holding exactly `value`
-    /// (case-insensitive).
+    /// (case-insensitive), sorted for determinism.
     pub fn labels_for_value(&self, value: &str) -> Vec<String> {
-        self.value_index
+        let mut v: Vec<String> = self
+            .value_index
             .get(&norm(value))
-            .cloned()
-            .unwrap_or_default()
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     /// Names whose values are numeric — the implicit-NT fallback for a
     /// numeric value token that does not literally occur.
     pub fn numeric_labels(&self) -> Vec<String> {
-        let mut v = self.numeric_labels.clone();
+        let mut v: Vec<String> = self
+            .numeric
+            .iter()
+            .filter(|(_, (num, total))| *total > 0 && *num * 10 >= *total * 9)
+            .map(|(l, _)| l.clone())
+            .collect();
         v.sort();
         v
     }
@@ -125,21 +214,51 @@ impl Catalog {
     /// span 1992–2000, and not to `price`, whose values span 39–130).
     /// Falls back to all numeric labels when none covers the value.
     pub fn numeric_labels_for(&self, value: f64) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .numeric_labels
-            .iter()
+        let v: Vec<String> = self
+            .numeric_labels()
+            .into_iter()
             .filter(|l| {
                 self.numeric_ranges
-                    .get(*l)
+                    .get(l)
                     .is_some_and(|(lo, hi)| *lo <= value && value <= *hi)
             })
-            .cloned()
             .collect();
         if v.is_empty() {
             return self.numeric_labels();
         }
-        v.sort();
         v
+    }
+}
+
+/// Record one occurrence of `value` under `label` — shared by the full
+/// scan and the incremental add path, so the two stay byte-identical.
+fn record_one(
+    value_index: &mut HashMap<String, HashMap<String, usize>>,
+    numeric: &mut HashMap<String, (usize, usize)>,
+    ranges: &mut HashMap<String, (f64, f64)>,
+    label: &str,
+    value: &str,
+) {
+    let key = norm(value);
+    if key.is_empty() {
+        return;
+    }
+    *value_index
+        .entry(key)
+        .or_default()
+        .entry(label.to_owned())
+        .or_insert(0) += 1;
+    let c = numeric.entry(label.to_owned()).or_insert((0, 0));
+    c.1 += 1;
+    if let Ok(v) = value.trim().parse::<f64>() {
+        c.0 += 1;
+        ranges
+            .entry(label.to_owned())
+            .and_modify(|(lo, hi)| {
+                *lo = lo.min(v);
+                *hi = hi.max(v);
+            })
+            .or_insert((v, v));
     }
 }
 
@@ -148,6 +267,7 @@ mod tests {
     use super::*;
     use xmldb::datasets::bib::bib;
     use xmldb::datasets::movies::movies;
+    use xmldb::{Edit, NewNode};
 
     #[test]
     fn labels_enumerated() {
@@ -170,9 +290,7 @@ mod tests {
         let d =
             xmldb::Document::parse_str("<r><a>shared</a><b>shared</b><a>other</a></r>").unwrap();
         let c = Catalog::build(&d);
-        let mut hits = c.labels_for_value("shared");
-        hits.sort();
-        assert_eq!(hits, vec!["a", "b"]);
+        assert_eq!(c.labels_for_value("shared"), vec!["a", "b"]);
     }
 
     #[test]
@@ -194,5 +312,111 @@ mod tests {
     fn attribute_values_indexed() {
         let c = Catalog::build(&bib());
         assert_eq!(c.labels_for_value("1994"), vec!["year"]);
+    }
+
+    /// Apply an edit batch both ways — incremental fold vs full rebuild
+    /// over the successor — and require exact catalog equality.
+    fn assert_patch_matches_rebuild(doc: &Document, edits: &[Edit]) {
+        let mut catalog = Catalog::build(doc);
+        let mut up = doc.begin_update().unwrap();
+        for e in edits {
+            up.apply(e).unwrap();
+        }
+        let (next, stats) = up.commit();
+        assert_eq!(
+            stats.strategy,
+            xmldb::CommitStrategy::Patch,
+            "test batches must stay on the patch path"
+        );
+        catalog.apply_update(&next, &stats);
+        assert_eq!(catalog, Catalog::build(&next));
+    }
+
+    #[test]
+    fn patched_catalog_matches_rebuild_after_insert() {
+        let doc = bib();
+        let book = doc.nodes_labeled("book")[0];
+        assert_patch_matches_rebuild(
+            &doc,
+            &[
+                Edit::InsertChild {
+                    parent: book,
+                    node: NewNode::Leaf {
+                        label: "note".into(),
+                        text: "second printing".into(),
+                    },
+                },
+                Edit::InsertChild {
+                    parent: book,
+                    node: NewNode::Attribute {
+                        name: "lang".into(),
+                        value: "en".into(),
+                    },
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn patched_catalog_matches_rebuild_after_delete() {
+        // A small deletion (one price leaf + one author) stays under the
+        // patch threshold; whole-book deletes would trip the rebuild.
+        let doc = bib();
+        let price = doc.nodes_labeled("price")[1];
+        let author = doc.nodes_labeled("author")[0];
+        assert_patch_matches_rebuild(
+            &doc,
+            &[
+                Edit::DeleteSubtree { target: price },
+                Edit::DeleteSubtree { target: author },
+            ],
+        );
+    }
+
+    #[test]
+    fn patched_catalog_matches_rebuild_after_replace_and_rename() {
+        let doc = bib();
+        let title = doc.nodes_labeled("title")[1];
+        let text = doc.first_child(title).unwrap();
+        assert_patch_matches_rebuild(
+            &doc,
+            &[
+                Edit::ReplaceValue {
+                    target: text,
+                    value: "A Fresh Title".into(),
+                },
+                Edit::RenameLabel {
+                    target: title,
+                    label: "heading".into(),
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn deleting_a_range_boundary_shrinks_the_range() {
+        // years 1992/1994/2000: deleting the 2000 book must shrink the
+        // year range so range-aware fallback stays exact.
+        let doc = bib();
+        let boundary_year = doc
+            .nodes_labeled("year")
+            .iter()
+            .copied()
+            .find(|&y| doc.string_value(y) == "2000")
+            .expect("a year node holding 2000");
+        let mut catalog = Catalog::build(&doc);
+        let mut up = doc.begin_update().unwrap();
+        up.apply(&Edit::DeleteSubtree {
+            target: boundary_year,
+        })
+        .unwrap();
+        let (next, stats) = up.commit();
+        catalog.apply_update(&next, &stats);
+        let rebuilt = Catalog::build(&next);
+        assert_eq!(catalog, rebuilt);
+        // bib's remaining years are 1992/1994/1999: the upper bound must
+        // have shrunk below the deleted 2000.
+        let (lo, hi) = catalog.numeric_ranges["year"];
+        assert_eq!((lo, hi), (1992.0, 1999.0));
     }
 }

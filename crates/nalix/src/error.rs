@@ -97,6 +97,17 @@ pub enum QueryError {
         /// How to rephrase.
         suggestion: String,
     },
+    /// The question asks to *change* the database ("Delete all the
+    /// books …", "Add a review to …"). Natural language is read-only
+    /// here by design: a mutation phrased in prose is never applied
+    /// automatically — the caller must confirm intent by issuing a
+    /// typed edit batch through the update API (docs/UPDATES.md).
+    UpdateIntent {
+        /// The leading mutation verb that triggered the detection.
+        verb: String,
+        /// How to proceed.
+        suggestion: String,
+    },
 }
 
 impl QueryError {
@@ -131,11 +142,29 @@ impl QueryError {
         }
     }
 
+    /// Build the canonical [`QueryError::UpdateIntent`] for a question
+    /// whose leading verb asks for a mutation. The suggestion points at
+    /// both ways forward: rephrase as a read query, or apply the edit
+    /// deliberately through the typed update API.
+    pub fn update_intent(verb: impl Into<String>) -> Self {
+        let verb = verb.into();
+        QueryError::UpdateIntent {
+            suggestion: format!(
+                "Questions in natural language are read-only; \"{verb}\" would modify \
+                 the database. To apply an edit, send it explicitly as a typed edit \
+                 batch (POST /docs/<name>/update), or rephrase the question to ask \
+                 about the data instead (for example \"Find all the books published \
+                 before 1995.\")."
+            ),
+            verb,
+        }
+    }
+
     /// Every stable machine-readable code a [`QueryError`] can carry,
     /// in taxonomy order. Pinned by a test — removing or renaming an
     /// entry is a breaking API change for HTTP clients of `nalixd`,
     /// which dispatch on these strings.
-    pub const ALL_CODES: [&'static str; 10] = [
+    pub const ALL_CODES: [&'static str; 11] = [
         "parse.ungrammatical",
         "classify.unknown_term",
         "validate.rejected",
@@ -146,6 +175,7 @@ impl QueryError {
         "budget.tuples",
         "session.missing_context",
         "session.expired",
+        "update.requires_confirmation",
     ];
 
     /// A stable, machine-readable code naming the failure class:
@@ -168,6 +198,7 @@ impl QueryError {
             },
             QueryError::MissingContext { .. } => "session.missing_context",
             QueryError::ExpiredContext { .. } => "session.expired",
+            QueryError::UpdateIntent { .. } => "update.requires_confirmation",
         }
     }
 
@@ -182,7 +213,8 @@ impl QueryError {
             | QueryError::Eval { suggestion, .. }
             | QueryError::ResourceExhausted { suggestion, .. }
             | QueryError::MissingContext { suggestion, .. }
-            | QueryError::ExpiredContext { suggestion, .. } => suggestion,
+            | QueryError::ExpiredContext { suggestion, .. }
+            | QueryError::UpdateIntent { suggestion, .. } => suggestion,
         }
     }
 
@@ -268,6 +300,11 @@ impl fmt::Display for QueryError {
                     "the conversation context is gone: {reason}. {suggestion}"
                 )
             }
+            QueryError::UpdateIntent { verb, suggestion } => write!(
+                f,
+                "the question asks to modify the database (\"{verb}\"), which is not \
+                 applied automatically. {suggestion}"
+            ),
         }
     }
 }
@@ -434,6 +471,7 @@ mod tests {
                 "budget.tuples",
                 "session.missing_context",
                 "session.expired",
+                "update.requires_confirmation",
             ]
         );
         // Codes are `<stage>.<reason>` and unique.
@@ -490,6 +528,10 @@ mod tests {
             },
             QueryError::ExpiredContext {
                 reason: "the session expired".into(),
+                suggestion: "s".into(),
+            },
+            QueryError::UpdateIntent {
+                verb: "delete".into(),
                 suggestion: "s".into(),
             },
         ];

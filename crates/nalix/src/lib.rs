@@ -237,6 +237,58 @@ impl Nalix {
         }
     }
 
+    /// Build the pipeline for the successor document of a node-level
+    /// update, reusing everything the update provably did not touch.
+    ///
+    /// On [`xmldb::CommitStrategy::Patch`] commits the catalog is
+    /// folded forward from the overlay's balanced value deltas
+    /// ([`catalog::Catalog::apply_update`]) and the engine inherits the
+    /// prior engine's value indexes for every label outside
+    /// `stats.dirty_labels` ([`Engine::seeded_from`]) — node identities
+    /// are stable across a patch commit, so the carried indexes are
+    /// bit-identical to a cold rebuild's. On
+    /// [`xmldb::CommitStrategy::Rebuild`] commits everything is rebuilt
+    /// from scratch, exactly as [`Nalix::with_metrics`] would.
+    ///
+    /// Either way the successor records into a *fresh* metrics registry
+    /// — exactly as a hot reload does — so registries stay one-to-one
+    /// with pipeline generations and the `store` crate's retire-and-fold
+    /// accounting stays monotone. It keeps the prior translation-cache
+    /// capacity but starts with an empty memo table: the catalog
+    /// changed, so stale translation outcomes must not survive.
+    pub fn successor(
+        prior: &Nalix,
+        doc: impl Into<std::sync::Arc<Document>>,
+        stats: &xmldb::UpdateStats,
+    ) -> Self {
+        let doc = doc.into();
+        let metrics = std::sync::Arc::new(obs::MetricsRegistry::new());
+        let (catalog, engine) = match stats.strategy {
+            xmldb::CommitStrategy::Patch => {
+                let mut catalog = prior.catalog.clone();
+                catalog.apply_update(&doc, stats);
+                let engine = Engine::seeded_from(
+                    doc.clone(),
+                    metrics.clone(),
+                    &prior.engine,
+                    &stats.dirty_labels,
+                );
+                (catalog, engine)
+            }
+            xmldb::CommitStrategy::Rebuild => (
+                Catalog::build(&doc),
+                Engine::with_metrics(doc.clone(), metrics.clone()),
+            ),
+        };
+        Nalix {
+            catalog,
+            engine,
+            doc,
+            translations: TranslationCache::with_capacity(prior.translations.capacity()),
+            metrics,
+        }
+    }
+
     /// Replace the translation cache with one bounded to `capacity`
     /// entries (builder-style; `0` disables memoisation). The default
     /// is [`DEFAULT_CACHE_CAPACITY`]. Long-running servers set this
@@ -430,6 +482,10 @@ impl Nalix {
         sentence: &str,
         budget: &EvalBudget,
     ) -> Result<Vec<String>, QueryError> {
+        if let Some(verb) = detect_update_intent(sentence) {
+            self.metrics.record_query(obs::SpanOutcome::ValidateError);
+            return Err(QueryError::update_intent(verb));
+        }
         let key = cache::normalize(sentence);
         let outcome = match self.translations.get(&key, &self.metrics) {
             Some(memo) => {
@@ -482,6 +538,10 @@ impl Nalix {
         sentence: &str,
         budget: &EvalBudget,
     ) -> Result<(Answer, ClassifiedTree), QueryError> {
+        if let Some(verb) = detect_update_intent(sentence) {
+            self.metrics.record_query(obs::SpanOutcome::ValidateError);
+            return Err(QueryError::update_intent(verb));
+        }
         let key = cache::normalize(sentence);
         let (outcome, cached) = match self.translations.get(&key, &self.metrics) {
             Some(memo) => {
@@ -619,6 +679,39 @@ impl Nalix {
     }
 }
 
+/// Imperative verbs that ask for a mutation rather than an answer.
+/// Deliberately disjoint from the parser's command verbs (`return`,
+/// `find`, `list`, …), so no currently-answerable question changes
+/// behaviour — every sentence these catch was a parse error before.
+const UPDATE_VERBS: [&str; 13] = [
+    "add", "change", "delete", "drop", "edit", "erase", "insert", "modify", "remove", "rename",
+    "replace", "set", "update",
+];
+
+/// Lexical update-intent detection: does `sentence` lead with a
+/// mutation verb ("Delete all the books …", "Please add a review …")?
+/// Returns the verb when it does. Questions flagged here are *never*
+/// applied — [`Nalix::answer`] and friends reject them with the typed
+/// [`QueryError::UpdateIntent`] (`update.requires_confirmation`),
+/// which points the caller at the explicit edit API instead
+/// (docs/UPDATES.md). Detection is intentionally shallow: only the
+/// leading word (after an optional "please") counts, so mutation
+/// verbs in object position ("Find all the books that replace …")
+/// never trigger it.
+pub fn detect_update_intent(sentence: &str) -> Option<&'static str> {
+    let mut words = sentence
+        .split_whitespace()
+        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()));
+    let mut first = words.next()?;
+    if first.eq_ignore_ascii_case("please") {
+        first = words.next()?;
+    }
+    UPDATE_VERBS
+        .iter()
+        .find(|v| first.eq_ignore_ascii_case(v))
+        .copied()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +738,30 @@ mod tests {
             .errors
             .iter()
             .any(|f| f.message().contains("the same as")));
+    }
+
+    #[test]
+    fn mutation_questions_are_refused_not_applied() {
+        let doc = std::sync::Arc::new(movies());
+        let nalix = Nalix::new(std::sync::Arc::clone(&doc));
+        let before = doc.stats().total_nodes();
+        for q in [
+            "Delete all the movies directed by Ron Howard.",
+            "Please remove the book titled \"Data on the Web\".",
+            "Add a review to every movie.",
+            "Update the year of the movie to 2001.",
+        ] {
+            let err = nalix.answer(q).unwrap_err();
+            assert_eq!(err.code(), "update.requires_confirmation", "{q}");
+            assert!(err.suggestion().contains("/update"), "{q}");
+        }
+        // Nothing was applied, and read questions are untouched.
+        assert_eq!(doc.stats().total_nodes(), before);
+        assert!(nalix
+            .answer("Find all the movies directed by Ron Howard.")
+            .is_ok());
+        assert!(detect_update_intent("Find all the books that replace the old edition.").is_none());
+        assert!(detect_update_intent("What about by Suciu?").is_none());
     }
 
     #[test]

@@ -112,15 +112,18 @@ fn bucket_upper_ns(i: usize) -> u64 {
 ///     names,
 ///     [
 ///         "parse", "classify", "validate", "translate", "eval",
-///         "store_load", "store_reload",
+///         "store_load", "store_reload", "store_update",
+///         "index_patch", "index_rebuild",
 ///         "http_query", "http_batch", "http_health", "http_metrics",
-///         "http_docs"
+///         "http_docs", "http_update"
 ///     ]
 /// );
 /// assert!(!Stage::Eval.is_http());
 /// assert!(!Stage::StoreLoad.is_http());
+/// assert!(!Stage::IndexPatch.is_http());
 /// assert!(Stage::HttpQuery.is_http());
 /// assert!(Stage::HttpDocs.is_http());
+/// assert!(Stage::HttpUpdate.is_http());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
@@ -143,6 +146,21 @@ pub enum Stage {
     /// [`Stage::StoreLoad`], accounted separately so reload latency is
     /// visible on its own.
     StoreReload,
+    /// One node-level update batch applied to a resident document
+    /// pipeline (`DocumentStore::update` / `POST /docs/:name/update`):
+    /// edit validation, overlay commit, and successor-pipeline
+    /// construction, end to end.
+    StoreUpdate,
+    /// The index-maintenance slice of an update batch that took the
+    /// **incremental patch** path: structural index, postings, and
+    /// catalog/value indexes folded forward from the pending overlay
+    /// without touching untouched regions.
+    IndexPatch,
+    /// The index-maintenance slice of an update batch that fell back to
+    /// a **from-scratch rebuild** (the edit footprint was too large for
+    /// patching to pay off). The patch/rebuild span split is the
+    /// incremental-maintenance observability contract.
+    IndexRebuild,
     /// One served `POST /query` request (`nalixd`), end to end —
     /// admission wait excluded, body parse through response write
     /// included.
@@ -156,11 +174,13 @@ pub enum Stage {
     /// One served document-admin request (`GET /docs`,
     /// `PUT /docs/:name`, `DELETE /docs/:name`).
     HttpDocs,
+    /// One served `POST /docs/:name/update` request (`nalixd`).
+    HttpUpdate,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 16;
 
     /// All stages, in pipeline order (store lifecycle spans and HTTP
     /// endpoints last).
@@ -172,11 +192,15 @@ impl Stage {
         Stage::Eval,
         Stage::StoreLoad,
         Stage::StoreReload,
+        Stage::StoreUpdate,
+        Stage::IndexPatch,
+        Stage::IndexRebuild,
         Stage::HttpQuery,
         Stage::HttpBatch,
         Stage::HttpHealth,
         Stage::HttpMetrics,
         Stage::HttpDocs,
+        Stage::HttpUpdate,
     ];
 
     /// Dense index of this stage (its position in [`Stage::ALL`]).
@@ -194,6 +218,7 @@ impl Stage {
                 | Stage::HttpHealth
                 | Stage::HttpMetrics
                 | Stage::HttpDocs
+                | Stage::HttpUpdate
         )
     }
 
@@ -207,11 +232,15 @@ impl Stage {
             Stage::Eval => "eval",
             Stage::StoreLoad => "store_load",
             Stage::StoreReload => "store_reload",
+            Stage::StoreUpdate => "store_update",
+            Stage::IndexPatch => "index_patch",
+            Stage::IndexRebuild => "index_rebuild",
             Stage::HttpQuery => "http_query",
             Stage::HttpBatch => "http_batch",
             Stage::HttpHealth => "http_health",
             Stage::HttpMetrics => "http_metrics",
             Stage::HttpDocs => "http_docs",
+            Stage::HttpUpdate => "http_update",
         }
     }
 }
@@ -390,11 +419,27 @@ pub enum Counter {
     /// against a prior turn (refinement grafts and "what about"
     /// substitutions both count once per resolved question).
     AnaphoraResolved,
+    /// Node-level update batches committed by the `store` crate (one
+    /// per successful `DocumentStore::update`, whatever the commit
+    /// strategy).
+    DocUpdates,
+    /// Update batches whose index maintenance took the incremental
+    /// patch path (order splice + RMQ-table extension instead of a
+    /// from-scratch rebuild).
+    IndexPatches,
+    /// Update batches whose index maintenance fell back to a
+    /// from-scratch rebuild because the edit footprint was too large
+    /// to patch profitably.
+    IndexRebuilds,
+    /// Update requests refused because the caller's expected
+    /// generation no longer matched the resident document (optimistic
+    /// concurrency conflicts, answered `409`).
+    UpdateConflicts,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 34;
 
     /// All counters, in [`Counter::index`] order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -428,6 +473,10 @@ impl Counter {
         Counter::SessionHits,
         Counter::SessionExpired,
         Counter::AnaphoraResolved,
+        Counter::DocUpdates,
+        Counter::IndexPatches,
+        Counter::IndexRebuilds,
+        Counter::UpdateConflicts,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -468,6 +517,10 @@ impl Counter {
             Counter::SessionHits => "session_hit",
             Counter::SessionExpired => "session_expired",
             Counter::AnaphoraResolved => "anaphora_resolved",
+            Counter::DocUpdates => "doc_updates",
+            Counter::IndexPatches => "index_patches",
+            Counter::IndexRebuilds => "index_rebuilds",
+            Counter::UpdateConflicts => "update_conflicts",
         }
     }
 }
@@ -493,17 +546,22 @@ pub enum MaxGauge {
     /// Most connections the `nalixd` event loop ever held open at
     /// once (the quantity its `--max-connections` cap bounds).
     OpenConnectionsHighWater,
+    /// Largest pending-update overlay (edit count) any batch reached
+    /// before commit — how much deferred index maintenance the
+    /// epoch-batching write path ever accumulated.
+    UpdateOverlayHighWater,
 }
 
 impl MaxGauge {
     /// Number of gauges.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// All gauges, in [`MaxGauge::index`] order.
     pub const ALL: [MaxGauge; MaxGauge::COUNT] = [
         MaxGauge::EvalDepthHighWater,
         MaxGauge::QueueDepthHighWater,
         MaxGauge::OpenConnectionsHighWater,
+        MaxGauge::UpdateOverlayHighWater,
     ];
 
     /// Dense index of this gauge (its position in [`MaxGauge::ALL`]).
@@ -517,6 +575,7 @@ impl MaxGauge {
             MaxGauge::EvalDepthHighWater => "eval_depth_high_water",
             MaxGauge::QueueDepthHighWater => "queue_depth_high_water",
             MaxGauge::OpenConnectionsHighWater => "open_connections_high_water",
+            MaxGauge::UpdateOverlayHighWater => "update_overlay_high_water",
         }
     }
 }

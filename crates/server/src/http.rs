@@ -16,10 +16,13 @@
 //! * `Content-Length` must be a pure digit string; duplicates with
 //!   differing values, signs (`+5`), empty values, or embedded
 //!   whitespace are rejected with 400.
-//! * `Transfer-Encoding` is parsed as a token list: `chunked` is
-//!   rejected as unsupported (400, never half-implemented), `identity`
-//!   is a no-op, anything else is 400 — and a request carrying *both*
+//! * `Transfer-Encoding` is parsed as a token list: `chunked` bodies
+//!   are decoded (strict hex sizes, mandatory CRLF after each chunk's
+//!   data, trailers consumed and discarded), `identity` is a no-op,
+//!   anything else is 400 — and a request carrying *both*
 //!   `Transfer-Encoding` and `Content-Length` is always rejected.
+//!   The body cap is enforced incrementally as chunks accumulate, so
+//!   a client cannot stream past `max_body` before being cut off.
 //! * Header names may not be empty or contain whitespace (which also
 //!   rejects obsolete line folding).
 //! * Interior `\r` bytes are preserved in header values but rejected
@@ -90,6 +93,14 @@ enum State {
     Headers,
     /// Headers complete; waiting for `Content-Length` body bytes.
     Body,
+    /// Chunked body: waiting for a `<hex-size>[;ext]` line.
+    ChunkSize,
+    /// Chunked body: waiting for this many data bytes plus the
+    /// mandatory trailing CRLF.
+    ChunkData(usize),
+    /// Chunked body: the zero-size chunk arrived; consuming trailer
+    /// lines until the blank line that ends the request.
+    ChunkTrailer,
 }
 
 /// Accumulated fields of the request being parsed.
@@ -105,6 +116,9 @@ struct Partial {
     saw_transfer_encoding: bool,
     chunked: bool,
     headers_seen: usize,
+    /// Decoded body bytes accumulated so far (chunked requests only;
+    /// `Content-Length` bodies are sliced straight out of the buffer).
+    body: Vec<u8>,
 }
 
 /// An incremental HTTP/1.1 request parser: feed it bytes as they
@@ -195,7 +209,11 @@ impl RequestParser {
                     };
                     if line.is_empty() {
                         self.finish_headers()?;
-                        self.state = State::Body;
+                        self.state = if self.partial.chunked {
+                            State::ChunkSize
+                        } else {
+                            State::Body
+                        };
                     } else {
                         if self.partial.headers_seen >= MAX_HEADERS {
                             return Err(ReadError::TooLarge("too many headers".to_string()));
@@ -211,25 +229,88 @@ impl RequestParser {
                     }
                     let body = self.buf[self.pos..self.pos + need].to_vec();
                     self.pos += need;
-                    self.compact();
-                    let partial = std::mem::take(&mut self.partial);
-                    self.state = State::RequestLine;
-                    let keep_alive = if partial.wants_close {
-                        false
-                    } else if partial.http11 {
-                        true
-                    } else {
-                        partial.wants_keep_alive
+                    return Ok(Some(self.complete(body)));
+                }
+                State::ChunkSize => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
                     };
-                    return Ok(Some(Request {
-                        method: partial.method,
-                        path: partial.path,
-                        content_type: partial.content_type,
-                        body,
-                        keep_alive,
-                    }));
+                    let size = parse_chunk_size(&line)?;
+                    // Incremental cap: the decoded body may never grow
+                    // past max_body, however many chunks it arrives in.
+                    if self.partial.body.len().saturating_add(size) > self.max_body {
+                        return Err(ReadError::TooLarge(format!(
+                            "chunked body exceeds the {} byte limit",
+                            self.max_body
+                        )));
+                    }
+                    self.state = if size == 0 {
+                        State::ChunkTrailer
+                    } else {
+                        State::ChunkData(size)
+                    };
+                }
+                State::ChunkData(size) => {
+                    // Wait for the whole chunk plus its CRLF; `size` is
+                    // already capped by max_body, so buffering it whole
+                    // is bounded.
+                    if self.buffered() < size + 2 {
+                        return Ok(None);
+                    }
+                    let data = &self.buf[self.pos..self.pos + size + 2];
+                    if &data[size..] != b"\r\n" {
+                        return Err(ReadError::bad("chunk data not terminated by CRLF"));
+                    }
+                    self.partial.body.extend_from_slice(&data[..size]);
+                    self.pos += size + 2;
+                    self.compact();
+                    self.state = State::ChunkSize;
+                }
+                State::ChunkTrailer => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    if line.is_empty() {
+                        let body = std::mem::take(&mut self.partial.body);
+                        return Ok(Some(self.complete(body)));
+                    }
+                    // Trailer fields are header-shaped; count them
+                    // against the same cap, validate the shape, and
+                    // discard the content (nalixd acts on none).
+                    if self.partial.headers_seen >= MAX_HEADERS {
+                        return Err(ReadError::TooLarge("too many headers".to_string()));
+                    }
+                    let Some((name, _)) = line.split_once(':') else {
+                        return Err(ReadError::bad("malformed trailer"));
+                    };
+                    if name.is_empty() || name.bytes().any(|b| b.is_ascii_whitespace()) {
+                        return Err(ReadError::bad("malformed trailer name"));
+                    }
+                    self.partial.headers_seen += 1;
                 }
             }
+        }
+    }
+
+    /// Finalises the in-flight request with the given decoded body and
+    /// resets the parser for the next pipelined request.
+    fn complete(&mut self, body: Vec<u8>) -> Request {
+        self.compact();
+        let partial = std::mem::take(&mut self.partial);
+        self.state = State::RequestLine;
+        let keep_alive = if partial.wants_close {
+            false
+        } else if partial.http11 {
+            true
+        } else {
+            partial.wants_keep_alive
+        };
+        Request {
+            method: partial.method,
+            path: partial.path,
+            content_type: partial.content_type,
+            body,
+            keep_alive,
         }
     }
 
@@ -343,11 +424,6 @@ impl RequestParser {
 
     /// Cross-header validation once the blank line arrives.
     fn finish_headers(&mut self) -> Result<(), ReadError> {
-        if self.partial.chunked {
-            return Err(ReadError::bad(
-                "chunked transfer encoding is not supported; send Content-Length",
-            ));
-        }
         // Both framing headers present is the classic smuggling vector
         // (RFC 9112 §6.1); reject even when the encoding is identity.
         if self.partial.saw_transfer_encoding && self.partial.content_length.is_some() {
@@ -364,6 +440,26 @@ impl RequestParser {
         }
         Ok(())
     }
+}
+
+/// Strict chunk-size line per RFC 9112 §7.1: a nonempty run of hex
+/// digits, optionally followed by `;extensions` (parsed past, acted on
+/// never). No sign, no leading whitespace, no bare extension line.
+/// The caller still bounds the returned size against `max_body`
+/// (which also keeps the later `+ 2` for the chunk's CRLF from
+/// overflowing).
+fn parse_chunk_size(line: &str) -> Result<usize, ReadError> {
+    let digits = line.split(';').next().unwrap_or(line).trim_end();
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(ReadError::bad("unparseable chunk size"));
+    }
+    // 16 hex digits fit u64; anything longer is an attack, not a body.
+    if digits.len() > 16 {
+        return Err(ReadError::bad("chunk size out of range"));
+    }
+    let size =
+        u64::from_str_radix(digits, 16).map_err(|_| ReadError::bad("unparseable chunk size"))?;
+    usize::try_from(size).map_err(|_| ReadError::bad("chunk size out of range"))
 }
 
 /// Strict `Content-Length` per RFC 9112 §6.2: a nonempty string of
@@ -483,6 +579,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         410 => "Gone",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -620,11 +717,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_chunked_and_oversized_and_garbage() {
-        assert!(matches!(
-            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
-            Err(ReadError::BadRequest(_))
-        ));
+    fn rejects_oversized_and_garbage() {
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
             Err(ReadError::TooLarge(_))
@@ -634,6 +727,85 @@ mod tests {
             Err(ReadError::BadRequest(_))
         ));
         assert!(matches!(parse(""), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn decodes_a_chunked_body() {
+        let req = parse(
+            "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"Wikipedia");
+        assert!(req.keep_alive);
+        // Uppercase hex sizes, a chunk extension, and trailer fields.
+        let req = parse(
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+             A;name=value\r\n0123456789\r\n0\r\nX-Checksum: abc\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"0123456789");
+        // An empty chunked body is just the last-chunk marker.
+        let req = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    /// The decoder is incremental: a chunked request split at every
+    /// byte boundary still assembles, and a pipelined request after
+    /// the trailer parses from the same buffer.
+    #[test]
+    fn chunked_incremental_and_pipelined() {
+        let wire = "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    3\r\nabc\r\n0\r\n\r\nGET /health HTTP/1.1\r\n\r\n";
+        let mut p = RequestParser::new(1024);
+        let mut got = Vec::new();
+        for b in wire.as_bytes() {
+            p.feed(&[*b]);
+            while let Some(req) = p.poll().expect("clean parse") {
+                got.push(req);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].body, b"abc");
+        assert_eq!(got[1].path, "/health");
+        assert!(!p.mid_request());
+    }
+
+    #[test]
+    fn chunk_size_edge_cases() {
+        let chunked = |tail: &str| {
+            parse(&format!(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n{tail}"
+            ))
+        };
+        for bad in [
+            "\r\nabc\r\n0\r\n\r\n",      // empty size line
+            "g\r\nabc\r\n0\r\n\r\n",     // non-hex digit
+            "+3\r\nabc\r\n0\r\n\r\n",    // sign
+            " 3\r\nabc\r\n0\r\n\r\n",    // leading whitespace
+            "3 3\r\nabc\r\n0\r\n\r\n",   // embedded whitespace
+            ";x\r\nabc\r\n0\r\n\r\n",    // bare extension, no size
+            "0x3\r\nabc\r\n0\r\n\r\n",   // radix prefix is not hex
+            "123456789abcdef01\r\n",     // 17 hex digits: out of range
+            "ffffffffffffffff\r\n",      // u64::MAX: over max_body
+            "3\r\nabcd\r\n0\r\n\r\n",    // data overruns into the CRLF
+            "4\r\nabc\r\n\r\n0\r\n\r\n", // data one byte short
+        ] {
+            assert!(
+                chunked(bad).is_err(),
+                "chunk stream {bad:?} must be rejected"
+            );
+        }
+        // The body cap is enforced on the *decoded* total: two chunks
+        // that each fit but sum past max_body are cut off mid-stream.
+        let mut big = String::from("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        for _ in 0..3 {
+            big.push_str("190\r\n");
+            big.push_str(&"x".repeat(0x190));
+            big.push_str("\r\n");
+        }
+        big.push_str("0\r\n\r\n");
+        assert!(matches!(parse(&big), Err(ReadError::TooLarge(_))));
     }
 
     /// Regression (RFC 9112 §6.2): duplicate `Content-Length` headers
@@ -668,24 +840,28 @@ mod tests {
     fn transfer_encoding_tokens() {
         let req = parse("GET / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n").unwrap();
         assert!(req.body.is_empty(), "identity is a no-op, not chunked");
-        assert!(matches!(
-            parse("POST / HTTP/1.1\r\nTransfer-Encoding: identity, chunked\r\n\r\n"),
-            Err(ReadError::BadRequest(_))
-        ));
+        let req = parse(
+            "POST / HTTP/1.1\r\nTransfer-Encoding: identity, chunked\r\n\r\n\
+             2\r\nok\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"ok", "chunked as the final token decodes");
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
             Err(ReadError::BadRequest(_))
         ));
-        assert!(
-            matches!(
-                parse(
-                    "POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\
-                     Content-Length: 4\r\n\r\nabcd"
+        for framing_pair in [
+            "Transfer-Encoding: identity\r\nContent-Length: 4",
+            "Transfer-Encoding: chunked\r\nContent-Length: 4",
+        ] {
+            assert!(
+                matches!(
+                    parse(&format!("POST / HTTP/1.1\r\n{framing_pair}\r\n\r\nabcd")),
+                    Err(ReadError::BadRequest(_))
                 ),
-                Err(ReadError::BadRequest(_))
-            ),
-            "Transfer-Encoding plus Content-Length is a smuggling vector"
-        );
+                "Transfer-Encoding plus Content-Length is a smuggling vector"
+            );
+        }
     }
 
     /// Regression: `read_line` used to strip *every* `\r` in a line

@@ -41,7 +41,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use store::{DocSpec, DocumentStore, StoreError};
+use store::{DocSpec, DocumentStore, EditSpec, StoreError};
 use xquery::{EvalBudget, ExhaustedResource};
 
 /// Token for the listening socket in the epoll set.
@@ -1033,6 +1033,11 @@ fn route(req: &Request, ctx: &Ctx) -> Response {
         ("GET", "/docs") => with_span(&metrics, obs::Stage::HttpDocs, || {
             handle_docs_list(&ctx.store)
         }),
+        ("POST", path) if update_doc_name(path).is_some() => {
+            with_span(&metrics, obs::Stage::HttpUpdate, || {
+                handle_docs_update(req, &ctx.store)
+            })
+        }
         ("PUT", path) if path.strip_prefix("/docs/").is_some() => {
             with_span(&metrics, obs::Stage::HttpDocs, || {
                 handle_docs_put(req, &ctx.store)
@@ -1058,12 +1063,21 @@ fn route(req: &Request, ctx: &Ctx) -> Response {
             error_body("http.method_not_allowed", "use GET", "send a GET request"),
         )
         .with_header("Allow", "GET".to_string()),
+        (_, path) if update_doc_name(path).is_some() => Response::json(
+            405,
+            error_body(
+                "http.method_not_allowed",
+                "use POST to apply edits",
+                "send a POST request",
+            ),
+        )
+        .with_header("Allow", "POST".to_string()),
         (_, path) if path.starts_with("/docs/") => Response::json(
             405,
             error_body(
                 "http.method_not_allowed",
-                "use PUT to load/reload or DELETE to evict",
-                "send a PUT or DELETE request",
+                "use PUT to load/reload, DELETE to evict, or POST /docs/<name>/update to edit",
+                "send a PUT, DELETE, or POST request",
             ),
         )
         .with_header("Allow", "PUT, DELETE".to_string()),
@@ -1464,6 +1478,178 @@ fn handle_docs_delete(req: &Request, store: &DocumentStore) -> Response {
     }
 }
 
+/// `POST /docs/:name/update`: apply a batch of node-level edits to a
+/// resident document. The body is `{"edits": [...],
+/// "expected_generation": n?}`; each edit is an object tagged by
+/// `"op"`:
+///
+/// * `{"op": "insert_child", "parent": pre, "node": {...}}`
+/// * `{"op": "insert_sibling", "after": pre, "node": {...}}`
+/// * `{"op": "delete_subtree", "target": pre}`
+/// * `{"op": "replace_value", "target": pre, "value": "..."}`
+/// * `{"op": "rename_label", "target": pre, "label": "..."}`
+///
+/// Nodes are addressed by pre-order rank in the generation being
+/// edited, and new nodes are `{"kind": "element"|"leaf"|"text",
+/// "label"?, "text"?}` or `{"kind": "attribute", "name", "value"}`.
+/// The batch is atomic; the response echoes the new generation, and a
+/// stale `expected_generation` is answered with a typed `409`.
+fn handle_docs_update(req: &Request, store: &DocumentStore) -> Response {
+    let Some(name) = update_doc_name(&req.path) else {
+        return bad_doc_path();
+    };
+    let parsed = match Json::parse(body_str(req)) {
+        Ok(v) => v,
+        Err(e) => {
+            return Response::json(
+                400,
+                error_body("http.bad_request", &e.to_string(), "send valid JSON"),
+            )
+        }
+    };
+    let Some(edits_json) = parsed.get("edits").and_then(Json::as_array) else {
+        return Response::json(
+            400,
+            error_body(
+                "http.bad_request",
+                "missing \"edits\" array",
+                "send {\"edits\": [{\"op\": \"...\", ...}]}",
+            ),
+        );
+    };
+    let mut edits = Vec::with_capacity(edits_json.len());
+    for (i, edit) in edits_json.iter().enumerate() {
+        match parse_edit_spec(edit) {
+            Ok(spec) => edits.push(spec),
+            Err(detail) => {
+                return Response::json(
+                    400,
+                    error_body(
+                        "http.bad_request",
+                        &format!("edit #{i}: {detail}"),
+                        "see POST /docs/<name>/update for the edit shapes",
+                    ),
+                )
+            }
+        }
+    }
+    let expected = parsed.get("expected_generation").and_then(Json::as_u64);
+    match store.update(Some(name), &edits, expected) {
+        Ok(report) => {
+            let p = &report.pipeline;
+            let strategy = match report.stats.strategy {
+                xmldb::CommitStrategy::Patch => "patch",
+                xmldb::CommitStrategy::Rebuild => "rebuild",
+            };
+            let body = Json::Obj(vec![
+                ("doc".to_string(), Json::Str(p.name().to_string())),
+                ("generation".to_string(), Json::Num(p.generation() as f64)),
+                ("strategy".to_string(), Json::Str(strategy.to_string())),
+                ("edits".to_string(), Json::Num(report.stats.edits as f64)),
+                (
+                    "inserted".to_string(),
+                    Json::Num(report.stats.inserted as f64),
+                ),
+                (
+                    "deleted".to_string(),
+                    Json::Num(report.stats.deleted as f64),
+                ),
+                (
+                    "nodes".to_string(),
+                    Json::Num(p.stats().total_nodes() as f64),
+                ),
+            ]);
+            Response::json(200, body.render())
+        }
+        Err(err) => store_error_response(&err),
+    }
+}
+
+/// One `{"op": ...}` object from an update batch, as a store edit.
+fn parse_edit_spec(edit: &Json) -> Result<EditSpec, String> {
+    let op = edit
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing \"op\"")?;
+    let pre = |field: &str| -> Result<u32, String> {
+        let n = edit
+            .get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-integer \"{field}\""))?;
+        u32::try_from(n).map_err(|_| format!("\"{field}\" out of range"))
+    };
+    let string = |field: &str| -> Result<String, String> {
+        edit.get(field)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing \"{field}\" string"))
+    };
+    match op {
+        "insert_child" => Ok(EditSpec::InsertChild {
+            parent: pre("parent")?,
+            node: parse_new_node(edit.get("node").ok_or("missing \"node\"")?)?,
+        }),
+        "insert_sibling" => Ok(EditSpec::InsertSibling {
+            after: pre("after")?,
+            node: parse_new_node(edit.get("node").ok_or("missing \"node\"")?)?,
+        }),
+        "delete_subtree" => Ok(EditSpec::DeleteSubtree {
+            target: pre("target")?,
+        }),
+        "replace_value" => Ok(EditSpec::ReplaceValue {
+            target: pre("target")?,
+            value: string("value")?,
+        }),
+        "rename_label" => Ok(EditSpec::RenameLabel {
+            target: pre("target")?,
+            label: string("label")?,
+        }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// A `{"kind": ...}` node payload for the insert ops.
+fn parse_new_node(node: &Json) -> Result<xmldb::NewNode, String> {
+    let kind = node
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("node missing \"kind\"")?;
+    let string = |field: &str| -> Result<String, String> {
+        node.get(field)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("node missing \"{field}\" string"))
+    };
+    match kind {
+        "element" => Ok(xmldb::NewNode::Element {
+            label: string("label")?,
+        }),
+        "leaf" => Ok(xmldb::NewNode::Leaf {
+            label: string("label")?,
+            text: string("text")?,
+        }),
+        "text" => Ok(xmldb::NewNode::Text {
+            text: string("text")?,
+        }),
+        "attribute" => Ok(xmldb::NewNode::Attribute {
+            name: string("name")?,
+            value: string("value")?,
+        }),
+        other => Err(format!("unknown node kind {other:?}")),
+    }
+}
+
+/// The `:name` segment of a `/docs/:name/update` path, rejecting
+/// nested segments.
+fn update_doc_name(path: &str) -> Option<&str> {
+    let name = path.strip_prefix("/docs/")?.strip_suffix("/update")?;
+    if name.is_empty() || name.contains('/') {
+        None
+    } else {
+        Some(name)
+    }
+}
+
 /// The `:name` segment of a `/docs/:name` path, rejecting nested
 /// segments.
 fn doc_name(req: &Request) -> Option<&str> {
@@ -1580,14 +1766,17 @@ fn budget_for(deadline_ms: Option<u64>, config: &ServerConfig) -> EvalBudget {
 }
 
 /// Maps a store error to its HTTP response: an unknown document is the
-/// client naming something that is not there (404); everything else is
-/// a bad request (400).
+/// client naming something that is not there (404), a lost
+/// optimistic-concurrency race is a conflict (409), and everything
+/// else is a bad request (400).
 fn store_error_response(err: &StoreError) -> Response {
     let status = match err {
         StoreError::UnknownDocument { .. } => 404,
+        StoreError::Conflict { .. } => 409,
         StoreError::InvalidName { .. }
         | StoreError::Load { .. }
-        | StoreError::DefaultProtected { .. } => 400,
+        | StoreError::DefaultProtected { .. }
+        | StoreError::UpdateRejected { .. } => 400,
     };
     Response::json(
         status,
@@ -1605,7 +1794,8 @@ fn query_error_response(err: &QueryError) -> Response {
         | QueryError::Classify { .. }
         | QueryError::Validate { .. }
         | QueryError::Translate { .. }
-        | QueryError::MissingContext { .. } => 422,
+        | QueryError::MissingContext { .. }
+        | QueryError::UpdateIntent { .. } => 422,
         QueryError::ExpiredContext { .. } => 410,
         QueryError::Eval { .. } => 500,
         QueryError::ResourceExhausted { resource, .. } => match resource {

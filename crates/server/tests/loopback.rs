@@ -1123,3 +1123,262 @@ fn session_store_is_lru_bounded() {
     let parsed = Json::parse(&a3.1).expect("JSON body");
     assert_eq!(parsed.get("turn").and_then(Json::as_u64), Some(3));
 }
+
+// ---------------------------------------------------------------------------
+// Writable documents (docs/UPDATES.md)
+// ---------------------------------------------------------------------------
+
+/// The write-path round trip over real sockets: POST an edit batch,
+/// watch the answer change, the generation advance, and the update
+/// counters land on `/metrics` — while a pipeline pinned before the
+/// update keeps answering from its snapshot, and a stale
+/// `expected_generation` is answered with a typed `409`.
+#[test]
+fn update_round_trip_changes_answers_and_advances_generation() {
+    let store = test_store();
+    let q = "Find all the movies directed by Ron Howard.";
+    let (out, report) = with_store_server(Arc::clone(&store), test_config(), |addr| {
+        let before = post_query_on(addr, "movies", q);
+        // Pin the pre-update pipeline exactly as an in-flight query
+        // would, and find the pre rank of one Ron Howard director's
+        // text node on that snapshot.
+        let pinned = store.get(Some("movies")).expect("movies is resident");
+        let doc = pinned.doc();
+        let director = doc
+            .nodes_labeled("director")
+            .iter()
+            .copied()
+            .find(|&d| doc.string_value(d) == "Ron Howard")
+            .expect("a Ron Howard movie exists");
+        let text_pre = doc.pre(doc.first_child(director).expect("director has text"));
+        let generation = pinned.generation();
+
+        let edit = format!(
+            "{{\"edits\": [{{\"op\": \"replace_value\", \"target\": {text_pre}, \
+             \"value\": \"Rob Reiner\"}}], \"expected_generation\": {generation}}}"
+        );
+        let update = post(addr, "/docs/movies/update", &edit);
+        let after = post_query_on(addr, "movies", q);
+        let stale = post(addr, "/docs/movies/update", &edit); // generation moved on
+        let metrics = send(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        (before, pinned, generation, update, after, stale, metrics)
+    });
+    let (before, pinned, generation, update, after, stale, metrics) = out;
+
+    assert_eq!(before.0, "HTTP/1.1 200 OK", "body: {}", before.1);
+    let baseline = answers_of(&before.1);
+    assert!(!baseline.is_empty());
+
+    assert_eq!(update.0, "HTTP/1.1 200 OK", "body: {}", update.1);
+    let parsed = Json::parse(&update.1).expect("update JSON");
+    assert_eq!(
+        parsed.get("generation").and_then(Json::as_u64),
+        Some(generation + 1),
+        "the response echoes the successor generation"
+    );
+    assert_eq!(
+        parsed.get("strategy").and_then(Json::as_str),
+        Some("patch"),
+        "a one-edit batch must take the incremental path"
+    );
+
+    assert_eq!(after.0, "HTTP/1.1 200 OK", "body: {}", after.1);
+    let post_update = answers_of(&after.1);
+    assert_eq!(
+        post_update.len(),
+        baseline.len() - 1,
+        "the rewritten movie left the result set"
+    );
+    assert_eq!(
+        Json::parse(&after.1)
+            .expect("query JSON")
+            .get("generation")
+            .and_then(Json::as_u64),
+        Some(generation + 1),
+        "post-commit queries see the new generation"
+    );
+
+    // Snapshot isolation: the pipeline pinned before the update still
+    // answers bit-identically to the pre-update wire answer.
+    let pinned_answers = pinned.nalix().ask(q).expect("pinned snapshot answers");
+    assert_eq!(pinned_answers, baseline);
+
+    assert_eq!(stale.0, "HTTP/1.1 409 Conflict", "body: {}", stale.1);
+    assert!(
+        stale.1.contains("\"code\":\"store.conflict\""),
+        "body: {}",
+        stale.1
+    );
+
+    // The incremental-maintenance contract on the metrics surface:
+    // updates happened, patches happened, rebuilds did not.
+    assert!(
+        metrics.1.contains("nalix_doc_updates_total 1"),
+        "metrics: {}",
+        metrics.1
+    );
+    assert!(
+        metrics.1.contains("nalix_index_patches_total 1"),
+        "metrics: {}",
+        metrics.1
+    );
+    assert!(
+        metrics.1.contains("nalix_index_rebuilds_total 0"),
+        "metrics: {}",
+        metrics.1
+    );
+    assert_eq!(report.snapshot.counter(obs::Counter::UpdateConflicts), 1);
+}
+
+/// Malformed update requests map to typed errors, not panics: bad
+/// JSON, a missing edits array, an unknown op, an out-of-range pre
+/// rank, and an unknown document.
+#[test]
+fn update_rejections_are_typed() {
+    let (out, _report) = with_server(test_config(), |addr| {
+        (
+            post(addr, "/docs/movies/update", "not json"),
+            post(addr, "/docs/movies/update", "{}"),
+            post(
+                addr,
+                "/docs/movies/update",
+                r#"{"edits": [{"op": "transmogrify", "target": 1}]}"#,
+            ),
+            post(
+                addr,
+                "/docs/movies/update",
+                r#"{"edits": [{"op": "delete_subtree", "target": 9999999}]}"#,
+            ),
+            post(
+                addr,
+                "/docs/ghost/update",
+                r#"{"edits": [{"op": "delete_subtree", "target": 1}]}"#,
+            ),
+            send(addr, "GET /docs/movies/update HTTP/1.1\r\n\r\n"),
+        )
+    });
+    let (bad_json, no_edits, bad_op, bad_rank, ghost, wrong_method) = out;
+    assert_eq!(bad_json.0, "HTTP/1.1 400 Bad Request");
+    assert_eq!(no_edits.0, "HTTP/1.1 400 Bad Request");
+    assert!(
+        no_edits.1.contains("missing \\\"edits\\\""),
+        "{}",
+        no_edits.1
+    );
+    assert_eq!(bad_op.0, "HTTP/1.1 400 Bad Request");
+    assert!(bad_op.1.contains("unknown op"), "{}", bad_op.1);
+    assert_eq!(bad_rank.0, "HTTP/1.1 400 Bad Request");
+    assert!(
+        bad_rank.1.contains("\"code\":\"store.update_rejected\""),
+        "{}",
+        bad_rank.1
+    );
+    assert_eq!(ghost.0, "HTTP/1.1 404 Not Found");
+    assert_eq!(wrong_method.0, "HTTP/1.1 405 Method Not Allowed");
+    assert!(wrong_method.1.contains("use POST"), "{}", wrong_method.1);
+}
+
+/// A chunked request body decodes through the real event loop: the
+/// same query sent with `Content-Length` and with
+/// `Transfer-Encoding: chunked` answers identically.
+#[test]
+fn chunked_request_bodies_decode_over_the_wire() {
+    let (out, _report) = with_server(test_config(), |addr| {
+        let plain = post_query(addr, "List all the books written by Stevens.");
+        let body = r#"{"question": "List all the books written by Stevens."}"#;
+        let mut chunked = String::from(
+            "POST /query HTTP/1.1\r\nContent-Type: application/json\r\n\
+             Transfer-Encoding: chunked\r\n\r\n",
+        );
+        // Split the body into two chunks to exercise reassembly.
+        let (a, b) = body.split_at(17);
+        for part in [a, b] {
+            chunked.push_str(&format!("{:x}\r\n{part}\r\n", part.len()));
+        }
+        chunked.push_str("0\r\n\r\n");
+        (plain, send(addr, &chunked))
+    });
+    let (plain, chunked) = out;
+    assert_eq!(plain.0, "HTTP/1.1 200 OK", "body: {}", plain.1);
+    assert_eq!(chunked.0, "HTTP/1.1 200 OK", "body: {}", chunked.1);
+    assert_eq!(answers_of(&chunked.1), answers_of(&plain.1));
+}
+
+/// An update retires a session pinned to the pre-update generation,
+/// exactly as a hot reload does: the session pins a `(name,
+/// generation)` identity, so the next follow-up is a typed `410` and
+/// a fresh question simply starts a new context on the successor.
+#[test]
+fn update_retires_sessions_pinned_to_the_old_generation() {
+    let store = test_store();
+    let (out, _report) = with_store_server(Arc::clone(&store), test_config(), |addr| {
+        let first = post_session_query_on(
+            addr,
+            "movies",
+            "upd",
+            "Find all the movies directed by Ron Howard.",
+        );
+        // Any committed edit bumps the generation under the session.
+        let pinned = store.get(Some("movies")).expect("resident");
+        let movie_pre = pinned.doc().pre(
+            pinned
+                .doc()
+                .nodes_labeled("movie")
+                .first()
+                .copied()
+                .expect("movies exist"),
+        );
+        let update = post(
+            addr,
+            "/docs/movies/update",
+            &format!(
+                "{{\"edits\": [{{\"op\": \"insert_child\", \"parent\": {movie_pre}, \
+                 \"node\": {{\"kind\": \"leaf\", \"label\": \"note\", \"text\": \"edited\"}}}}]}}"
+            ),
+        );
+        let follow = post_session_query_on(
+            addr,
+            "movies",
+            "upd",
+            "Of those, which were made after 1990?",
+        );
+        (first, update, follow)
+    });
+    let (first, update, follow) = out;
+    assert_eq!(first.0, "HTTP/1.1 200 OK", "body: {}", first.1);
+    assert_eq!(update.0, "HTTP/1.1 200 OK", "body: {}", update.1);
+    assert_eq!(follow.0, "HTTP/1.1 410 Gone", "body: {}", follow.1);
+    assert!(
+        follow.1.contains("\"code\":\"session.expired\""),
+        "body: {}",
+        follow.1
+    );
+}
+
+/// A mutation phrased in natural language is never applied: the typed
+/// `update.requires_confirmation` error (422) points the client at the
+/// explicit edit API, and the document keeps answering unchanged.
+#[test]
+fn natural_language_mutations_are_refused() {
+    let (out, _report) = with_server(test_config(), |addr| {
+        (
+            post_query(addr, "Delete all the books written by Stevens."),
+            post_query(addr, "List all the books written by Stevens."),
+        )
+    });
+    let (refused, allowed) = out;
+    assert_eq!(
+        refused.0, "HTTP/1.1 422 Unprocessable Entity",
+        "body: {}",
+        refused.1
+    );
+    assert!(
+        refused
+            .1
+            .contains("\"code\":\"update.requires_confirmation\""),
+        "body: {}",
+        refused.1
+    );
+    assert!(refused.1.contains("/update"), "body: {}", refused.1);
+    assert_eq!(allowed.0, "HTTP/1.1 200 OK", "body: {}", allowed.1);
+}

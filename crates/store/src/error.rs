@@ -36,6 +36,26 @@ pub enum StoreError {
         /// The default document's name.
         name: String,
     },
+    /// An optimistic-concurrency update named a generation that is no
+    /// longer current — another writer committed first. Mapped to
+    /// `409 Conflict`.
+    Conflict {
+        /// The document the update addressed.
+        name: String,
+        /// The generation the caller expected to update.
+        expected: u64,
+        /// The generation actually resident.
+        actual: u64,
+    },
+    /// An edit in an update batch failed validation (unknown node,
+    /// kind mismatch, invalid name, …); the document is unchanged.
+    /// Mapped to `400 Bad Request`.
+    UpdateRejected {
+        /// The document the update addressed.
+        name: String,
+        /// The validator's message for the offending edit.
+        detail: String,
+    },
 }
 
 impl StoreError {
@@ -46,6 +66,8 @@ impl StoreError {
             StoreError::InvalidName { .. } => "store.invalid_name",
             StoreError::Load { .. } => "store.load_failed",
             StoreError::DefaultProtected { .. } => "store.default_protected",
+            StoreError::Conflict { .. } => "store.conflict",
+            StoreError::UpdateRejected { .. } => "store.update_rejected",
         }
     }
 
@@ -65,6 +87,12 @@ impl StoreError {
             StoreError::DefaultProtected { .. } => {
                 "reload it with PUT /docs/<name> instead, or evict a different document"
             }
+            StoreError::Conflict { .. } => {
+                "re-read the document at its current generation and resubmit the edits"
+            }
+            StoreError::UpdateRejected { .. } => {
+                "address nodes by their current pre rank and check the edit against the detail"
+            }
         }
     }
 }
@@ -83,6 +111,19 @@ impl fmt::Display for StoreError {
             }
             StoreError::DefaultProtected { name } => {
                 write!(f, "{name:?} is the default document and cannot be evicted")
+            }
+            StoreError::Conflict {
+                name,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "update to {name:?} expected generation {expected} but {actual} is resident"
+                )
+            }
+            StoreError::UpdateRejected { name, detail } => {
+                write!(f, "update to {name:?} rejected: {detail}")
             }
         }
     }

@@ -168,6 +168,94 @@ impl std::fmt::Debug for DocPipeline {
     }
 }
 
+/// One node-level edit addressed by **pre-order rank** rather than by
+/// `NodeId` — the store-level (and wire-level) form of [`xmldb::Edit`].
+///
+/// Pre ranks are what clients can actually see (they enumerate the
+/// document in order), and they are only meaningful against one
+/// generation of a document. [`DocumentStore::update`] resolves them
+/// against the pinned snapshot *inside* the writer lock, so a rank can
+/// never silently bind to a node of a different generation; pair with
+/// `expected_generation` for full optimistic concurrency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditSpec {
+    /// Append `node` as the last child of the element at `parent`
+    /// (attributes join the attribute prefix).
+    InsertChild {
+        /// Pre rank of the parent element.
+        parent: u32,
+        /// What to insert.
+        node: xmldb::NewNode,
+    },
+    /// Insert `node` immediately after the node at `after`.
+    InsertSibling {
+        /// Pre rank of the reference sibling.
+        after: u32,
+        /// What to insert.
+        node: xmldb::NewNode,
+    },
+    /// Delete the subtree rooted at `target`.
+    DeleteSubtree {
+        /// Pre rank of the subtree root.
+        target: u32,
+    },
+    /// Replace the text/attribute value at `target`.
+    ReplaceValue {
+        /// Pre rank of the text or attribute node.
+        target: u32,
+        /// The replacement value.
+        value: String,
+    },
+    /// Rename the element/attribute at `target`.
+    RenameLabel {
+        /// Pre rank of the element or attribute.
+        target: u32,
+        /// The new name.
+        label: String,
+    },
+}
+
+impl EditSpec {
+    /// Resolve the pre-rank address against `doc` into an [`xmldb::Edit`].
+    fn resolve(&self, doc: &Document) -> Result<xmldb::Edit, String> {
+        let at = |pre: u32| {
+            doc.node_at_pre(pre)
+                .ok_or_else(|| format!("no node at pre rank {pre}"))
+        };
+        Ok(match self {
+            EditSpec::InsertChild { parent, node } => xmldb::Edit::InsertChild {
+                parent: at(*parent)?,
+                node: node.clone(),
+            },
+            EditSpec::InsertSibling { after, node } => xmldb::Edit::InsertSibling {
+                after: at(*after)?,
+                node: node.clone(),
+            },
+            EditSpec::DeleteSubtree { target } => xmldb::Edit::DeleteSubtree {
+                target: at(*target)?,
+            },
+            EditSpec::ReplaceValue { target, value } => xmldb::Edit::ReplaceValue {
+                target: at(*target)?,
+                value: value.clone(),
+            },
+            EditSpec::RenameLabel { target, label } => xmldb::Edit::RenameLabel {
+                target: at(*target)?,
+                label: label.clone(),
+            },
+        })
+    }
+}
+
+/// What [`DocumentStore::update`] did.
+#[derive(Debug)]
+pub struct UpdateReport {
+    /// The successor pipeline, already published.
+    pub pipeline: Arc<DocPipeline>,
+    /// What the commit did: strategy, edit counts, and the index deltas
+    /// that were folded forward.
+    pub stats: xmldb::UpdateStats,
+}
+
 /// What [`DocumentStore::put`] did.
 #[derive(Debug)]
 pub struct PutReport {
@@ -372,6 +460,150 @@ impl DocumentStore {
         drop(guard);
         self.shrink_to_capacity();
         Ok(PutReport { pipeline, reloaded })
+    }
+
+    /// Applies one batch of node-level edits to `name` (`None` → the
+    /// default document) and publishes the successor pipeline.
+    ///
+    /// Writers are serialized per document on the slot's `loading`
+    /// mutex (the same anti-stampede lock cold loads use); readers are
+    /// never blocked. The batch is applied to a pending overlay against
+    /// the pinned snapshot, then committed with **epoch-batched
+    /// incremental index maintenance**: small batches patch the
+    /// structural index, postings, catalog, and value indexes forward
+    /// ([`xmldb::CommitStrategy::Patch`], the `index_patch` span);
+    /// batches touching more than a quarter of the document rebuild
+    /// from scratch (`index_rebuild`). Either way the slot's generation
+    /// advances by one and in-flight readers keep their old snapshot,
+    /// exactly as across a hot reload.
+    ///
+    /// `expected_generation` is the optimistic-concurrency guard: when
+    /// set and stale, the update is refused with
+    /// [`StoreError::Conflict`] (counted as `update_conflicts`) and the
+    /// document is untouched. Any edit failing validation rejects the
+    /// whole batch ([`StoreError::UpdateRejected`]) — batches are
+    /// all-or-nothing.
+    ///
+    /// Updates live in the resident pipeline only: a document that is
+    /// later cold-evicted or hot-reloaded rebuilds from its source spec
+    /// and the edits are gone (see `docs/UPDATES.md`).
+    pub fn update(
+        &self,
+        name: Option<&str>,
+        edits: &[EditSpec],
+        expected_generation: Option<u64>,
+    ) -> Result<UpdateReport, StoreError> {
+        let name = name.unwrap_or(&self.config.default_doc);
+        if edits.is_empty() {
+            return Err(StoreError::UpdateRejected {
+                name: name.to_string(),
+                detail: "empty edit batch".to_string(),
+            });
+        }
+        let Some(slot) = read(&self.slots).get(name).cloned() else {
+            self.metrics.add(obs::Counter::StoreMisses, 1);
+            return Err(StoreError::UnknownDocument {
+                name: name.to_string(),
+            });
+        };
+        slot.hits.fetch_add(1, Ordering::Relaxed);
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        let guard = lock(&slot.loading);
+        // Cold slots load lazily, exactly as `get` would, before the
+        // edits apply — an update addresses the document, not whatever
+        // happens to be resident.
+        // Bind the resident read *before* matching: a `match` scrutinee
+        // temporary lives to the end of the match, and the cold arm
+        // needs the write half of the same lock.
+        let resident = read(&slot.pipeline).clone();
+        let current = match resident {
+            Some(p) => p,
+            None => {
+                let pipeline = self.build_spanned(&slot, obs::Stage::StoreLoad)?;
+                self.metrics.add(obs::Counter::StoreLoads, 1);
+                *write(&slot.pipeline) = Some(Arc::clone(&pipeline));
+                pipeline
+            }
+        };
+        if let Some(expected) = expected_generation {
+            if expected != current.generation() {
+                self.metrics.add(obs::Counter::UpdateConflicts, 1);
+                return Err(StoreError::Conflict {
+                    name: name.to_string(),
+                    expected,
+                    actual: current.generation(),
+                });
+            }
+        }
+        let mut span = self.metrics.span(obs::Stage::StoreUpdate);
+        match self.apply_update(&slot, &current, name, edits) {
+            Ok(report) => {
+                span.set_outcome(obs::SpanOutcome::Ok);
+                drop(guard);
+                Ok(report)
+            }
+            Err(e) => {
+                span.set_outcome(obs::SpanOutcome::ValidateError);
+                Err(e)
+            }
+        }
+    }
+
+    /// The update work itself, under the slot's writer lock and the
+    /// caller's `store_update` span: overlay, commit (spanned as
+    /// `index_patch` or `index_rebuild`), successor pipeline, publish.
+    fn apply_update(
+        &self,
+        slot: &Slot,
+        current: &Arc<DocPipeline>,
+        name: &str,
+        edits: &[EditSpec],
+    ) -> Result<UpdateReport, StoreError> {
+        let rejected = |detail: String| StoreError::UpdateRejected {
+            name: name.to_string(),
+            detail,
+        };
+        let doc = current.doc();
+        let mut up = doc.begin_update().map_err(|e| rejected(e.to_string()))?;
+        for spec in edits {
+            let edit = spec.resolve(doc).map_err(&rejected)?;
+            up.apply(&edit).map_err(|e| rejected(e.to_string()))?;
+        }
+        self.metrics.record_max(
+            obs::MaxGauge::UpdateOverlayHighWater,
+            up.overlay_len() as u64,
+        );
+        let (stage, counter) = match up.strategy() {
+            xmldb::CommitStrategy::Patch => (obs::Stage::IndexPatch, obs::Counter::IndexPatches),
+            xmldb::CommitStrategy::Rebuild => {
+                (obs::Stage::IndexRebuild, obs::Counter::IndexRebuilds)
+            }
+        };
+        let mut ispan = self.metrics.span(stage);
+        let (next_doc, stats) = up.commit();
+        ispan.set_outcome(obs::SpanOutcome::Ok);
+        self.metrics.add(counter, 1);
+
+        let next_doc = Arc::new(next_doc);
+        let doc_stats = next_doc.stats();
+        let nalix = Nalix::successor(current.nalix(), Arc::clone(&next_doc), &stats)
+            .with_cache_capacity(self.config.cache_capacity);
+        let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let pipeline = Arc::new(DocPipeline {
+            name: slot.name.clone(),
+            generation,
+            source: current.source().to_string(),
+            stats: doc_stats,
+            nalix,
+        });
+        if let Some(old) = write(&slot.pipeline).replace(Arc::clone(&pipeline)) {
+            self.retire(old);
+        }
+        self.metrics.add(obs::Counter::DocUpdates, 1);
+        Ok(UpdateReport { pipeline, stats })
     }
 
     /// Removes `name` from the registry entirely: the pipeline (if
@@ -674,6 +906,156 @@ mod tests {
         assert_eq!(after.counter(obs::Counter::StoreLoads), 1);
         assert_eq!(after.counter(obs::Counter::StoreReloads), 1);
         assert_eq!(after.counter(obs::Counter::StoreEvictions), 1);
+    }
+
+    /// The pre rank of the first element named `label`.
+    fn pre_of(doc: &Document, label: &str) -> u32 {
+        let id = doc.nodes_labeled(label)[0];
+        doc.node(id).pre
+    }
+
+    #[test]
+    fn update_inserts_patch_and_bump_generation() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        let before = store.get(Some("movies")).unwrap();
+        let movie = pre_of(before.doc(), "movie");
+        let report = store
+            .update(
+                Some("movies"),
+                &[EditSpec::InsertChild {
+                    parent: movie,
+                    node: xmldb::NewNode::Leaf {
+                        label: "genre".into(),
+                        text: "drama".into(),
+                    },
+                }],
+                Some(before.generation()),
+            )
+            .unwrap();
+        assert_eq!(report.stats.strategy, xmldb::CommitStrategy::Patch);
+        assert_eq!(report.pipeline.generation(), before.generation() + 1);
+        // New readers see the edit…
+        let after = store.get(Some("movies")).unwrap();
+        assert_eq!(after.generation(), report.pipeline.generation());
+        assert_eq!(after.doc().nodes_labeled("genre").len(), 1);
+        // …while the pinned snapshot still answers from its generation.
+        assert!(before.doc().nodes_labeled("genre").is_empty());
+        let snap = store.snapshot();
+        assert_eq!(snap.counter(obs::Counter::DocUpdates), 1);
+        assert_eq!(snap.counter(obs::Counter::IndexPatches), 1);
+        assert_eq!(snap.counter(obs::Counter::IndexRebuilds), 0);
+        assert_eq!(snap.max(obs::MaxGauge::UpdateOverlayHighWater), 1);
+        assert_eq!(snap.stage(obs::Stage::StoreUpdate).ok(), 1);
+        assert_eq!(snap.stage(obs::Stage::IndexPatch).ok(), 1);
+    }
+
+    #[test]
+    fn update_conflict_is_typed_and_counted() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        let p = store.get(Some("bib")).unwrap();
+        let title = pre_of(p.doc(), "title");
+        let edit = EditSpec::ReplaceValue {
+            target: title + 1, // the title's text node follows it in pre order
+            value: "New Title".into(),
+        };
+        let err = store
+            .update(Some("bib"), std::slice::from_ref(&edit), Some(99))
+            .unwrap_err();
+        assert_eq!(err.code(), "store.conflict");
+        assert_eq!(store.snapshot().counter(obs::Counter::UpdateConflicts), 1);
+        // The right generation sails through.
+        let report = store
+            .update(Some("bib"), &[edit], Some(p.generation()))
+            .unwrap();
+        assert_eq!(report.pipeline.generation(), p.generation() + 1);
+    }
+
+    #[test]
+    fn update_rejects_bad_edits_atomically() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        let p = store.get(Some("bib")).unwrap();
+        let title = pre_of(p.doc(), "title");
+        let err = store
+            .update(
+                Some("bib"),
+                &[
+                    EditSpec::RenameLabel {
+                        target: title,
+                        label: "headline".into(),
+                    },
+                    EditSpec::DeleteSubtree { target: 9_999_999 },
+                ],
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), "store.update_rejected");
+        // All-or-nothing: the first (valid) edit did not land either.
+        let now = store.get(Some("bib")).unwrap();
+        assert_eq!(now.generation(), p.generation());
+        assert!(now.doc().nodes_labeled("headline").is_empty());
+        assert!(store
+            .update(Some("bib"), &[], None)
+            .is_err_and(|e| e.code() == "store.update_rejected"));
+    }
+
+    #[test]
+    fn update_answers_reflect_the_edit() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        let p = store.get(Some("movies")).unwrap();
+        let q = "Find all the movies directed by Ron Howard.";
+        let before = p.nalix().ask(q).unwrap();
+        // Delete one Ron Howard movie's director leaf's text? No — delete
+        // a whole movie is too big for bib-sized docs; replace the
+        // director value of one movie instead.
+        let doc = p.doc();
+        let director = doc
+            .nodes_labeled("director")
+            .iter()
+            .copied()
+            .find(|&d| doc.string_value(d) == "Ron Howard")
+            .unwrap();
+        let text_pre = doc.node(doc.first_child(director).unwrap()).pre;
+        let report = store
+            .update(
+                Some("movies"),
+                &[EditSpec::ReplaceValue {
+                    target: text_pre,
+                    value: "Rob Reiner".into(),
+                }],
+                None,
+            )
+            .unwrap();
+        let after = report.pipeline.nalix().ask(q).unwrap();
+        assert_eq!(after.len(), before.len() - 1);
+        // The pinned pre-update pipeline still answers unchanged.
+        assert_eq!(p.nalix().ask(q).unwrap(), before);
+    }
+
+    #[test]
+    fn update_lazily_loads_cold_documents() {
+        let store = DocumentStore::with_builtins(StoreConfig::default());
+        assert_eq!(store.resident(), 0);
+        let report = store
+            .update(
+                Some("movies"),
+                &[EditSpec::InsertChild {
+                    parent: 0,
+                    node: xmldb::NewNode::Leaf {
+                        label: "note".into(),
+                        text: "edited cold".into(),
+                    },
+                }],
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.pipeline.generation(), 2); // load (1) + update (2)
+        assert!(store
+            .update(
+                Some("ghost"),
+                &[EditSpec::DeleteSubtree { target: 1 }],
+                None
+            )
+            .is_err_and(|e| e.code() == "store.unknown_document"));
     }
 
     #[test]

@@ -130,6 +130,81 @@ impl NodeArena {
         self.last_child[p] = child.0;
     }
 
+    /// Unlink `child` from its parent and sibling chain. The node (and
+    /// its subtree, which stays internally linked) becomes unreachable
+    /// from the root; its arena slot is not reclaimed.
+    pub(crate) fn detach(&mut self, child: NodeId) {
+        let c = child.index();
+        let p = self.parent[c];
+        let prev = self.prev_sibling[c];
+        let next = self.next_sibling[c];
+        if prev != NIL {
+            self.next_sibling[prev as usize] = next;
+        } else if p != NIL {
+            self.first_child[p as usize] = next;
+        }
+        if next != NIL {
+            self.prev_sibling[next as usize] = prev;
+        } else if p != NIL {
+            self.last_child[p as usize] = prev;
+        }
+        self.parent[c] = NIL;
+        self.prev_sibling[c] = NIL;
+        self.next_sibling[c] = NIL;
+    }
+
+    /// Link `node` as the sibling immediately following `after`.
+    pub(crate) fn insert_after(&mut self, after: NodeId, node: NodeId) {
+        let (a, c) = (after.index(), node.index());
+        let p = self.parent[a];
+        let next = self.next_sibling[a];
+        self.parent[c] = p;
+        self.prev_sibling[c] = after.0;
+        self.next_sibling[c] = next;
+        self.next_sibling[a] = node.0;
+        if next != NIL {
+            self.prev_sibling[next as usize] = node.0;
+        } else if p != NIL {
+            self.last_child[p as usize] = node.0;
+        }
+    }
+
+    /// Link `node` as the first child of `parent`.
+    pub(crate) fn insert_first_child(&mut self, parent: NodeId, node: NodeId) {
+        let (p, c) = (parent.index(), node.index());
+        let first = self.first_child[p];
+        self.parent[c] = parent.0;
+        self.next_sibling[c] = first;
+        if first != NIL {
+            self.prev_sibling[first as usize] = node.0;
+        } else {
+            self.last_child[p] = node.0;
+        }
+        self.first_child[p] = node.0;
+    }
+
+    /// Replace the stored text of node `i`. The new value is appended to
+    /// the shared heap; the old bytes become unreferenced garbage (an
+    /// acceptable cost for point edits — a full rebuild repacks the heap).
+    ///
+    /// # Panics
+    /// Panics when the string heap outgrows the u32 offset space.
+    pub(crate) fn set_value(&mut self, i: usize, value: &str) {
+        assert!(
+            self.heap.len() + value.len() < NIL as usize,
+            "string heap exceeds the u32 offset limit"
+        );
+        self.text_start[i] = self.heap.len() as u32;
+        self.text_len[i] = value.len() as u32;
+        self.heap.push_str(value);
+    }
+
+    /// Overwrite the label of node `i`.
+    #[inline]
+    pub(crate) fn set_label(&mut self, i: usize, label: Symbol) {
+        self.labels[i] = label;
+    }
+
     /// The stored text of node `i`: `Some` for text and attribute
     /// nodes, `None` for elements. Borrowed from the shared heap.
     #[inline]
@@ -196,6 +271,63 @@ mod tests {
         assert_eq!(link(a.prev_sibling[c2.index()]), Some(c1));
         assert_eq!(link(a.parent[c2.index()]), Some(r));
         assert_eq!(link(a.next_sibling[c2.index()]), None);
+    }
+
+    #[test]
+    fn detach_and_insert_relink_the_chain() {
+        let mut i = Interner::new();
+        let mut a = NodeArena::default();
+        let r = a.push(i.intern("r"), NodeKind::Element, None);
+        let c1 = a.push(i.intern("a"), NodeKind::Element, None);
+        let c2 = a.push(i.intern("b"), NodeKind::Element, None);
+        let c3 = a.push(i.intern("c"), NodeKind::Element, None);
+        a.attach(r, c1);
+        a.attach(r, c2);
+        a.attach(r, c3);
+        // Drop the middle child: a <-> c.
+        a.detach(c2);
+        assert_eq!(link(a.next_sibling[c1.index()]), Some(c3));
+        assert_eq!(link(a.prev_sibling[c3.index()]), Some(c1));
+        assert_eq!(link(a.parent[c2.index()]), None);
+        assert_eq!(link(a.next_sibling[c2.index()]), None);
+        // Re-insert after the first: a <-> b <-> c.
+        a.insert_after(c1, c2);
+        assert_eq!(link(a.next_sibling[c1.index()]), Some(c2));
+        assert_eq!(link(a.next_sibling[c2.index()]), Some(c3));
+        assert_eq!(link(a.parent[c2.index()]), Some(r));
+        // Detach the head and tail; the chain shrinks to [b].
+        a.detach(c1);
+        a.detach(c3);
+        assert_eq!(link(a.first_child[r.index()]), Some(c2));
+        assert_eq!(link(a.last_child[r.index()]), Some(c2));
+        // First-child insertion puts a back in front.
+        a.insert_first_child(r, c1);
+        assert_eq!(link(a.first_child[r.index()]), Some(c1));
+        assert_eq!(link(a.next_sibling[c1.index()]), Some(c2));
+        assert_eq!(link(a.prev_sibling[c2.index()]), Some(c1));
+    }
+
+    #[test]
+    fn insert_first_child_into_empty_parent() {
+        let mut i = Interner::new();
+        let mut a = NodeArena::default();
+        let r = a.push(i.intern("r"), NodeKind::Element, None);
+        let c = a.push(i.intern("a"), NodeKind::Element, None);
+        a.insert_first_child(r, c);
+        assert_eq!(link(a.first_child[r.index()]), Some(c));
+        assert_eq!(link(a.last_child[r.index()]), Some(c));
+        assert_eq!(link(a.parent[c.index()]), Some(r));
+    }
+
+    #[test]
+    fn set_value_appends_to_heap() {
+        let mut i = Interner::new();
+        let mut a = NodeArena::default();
+        let t = a.push(i.intern("#text"), NodeKind::Text, Some("old"));
+        a.set_value(t.index(), "brand new");
+        assert_eq!(a.value(t.index()), Some("brand new"));
+        // Old bytes remain in the heap (garbage until a rebuild repacks).
+        assert_eq!(a.heap_bytes(), "old".len() + "brand new".len());
     }
 
     #[test]

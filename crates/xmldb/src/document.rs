@@ -190,6 +190,14 @@ impl Document {
         self.interner.get(name)
     }
 
+    /// The string a symbol of this document's interner stands for (the
+    /// inverse of [`Document::lookup`]). Update deltas
+    /// ([`crate::UpdateStats`]) carry labels as symbols; downstream
+    /// catalogs resolve them through here.
+    pub fn resolve_label(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
     // ------------------------------------------------------------------
     // Construction
     // ------------------------------------------------------------------
@@ -278,9 +286,17 @@ impl Document {
             }
         }
         self.order = order;
+        self.rebuild_postings();
 
-        // Label postings in document (pre) order — one pass over the
-        // order table fills every label's ids and pres columns sorted.
+        // Structural index over the rank-annotated tree: O(1) LCA via
+        // Euler-tour RMQ, O(log n) level ancestors via binary lifting.
+        self.struct_index = Some(StructIndex::build(&self.arena, self.root));
+        self.finalized = true;
+    }
+
+    /// Label postings in document (pre) order — one pass over the
+    /// order table fills every label's ids and pres columns sorted.
+    pub(crate) fn rebuild_postings(&mut self) {
         let mut postings: Vec<Postings> = vec![Postings::default(); self.interner.len()];
         for &i in &self.order {
             let p = &mut postings[self.arena.labels[i as usize].index()];
@@ -288,11 +304,46 @@ impl Document {
             p.pres.push(self.arena.pre[i as usize]);
         }
         self.postings = postings;
+    }
 
-        // Structural index over the rank-annotated tree: O(1) LCA via
-        // Euler-tour RMQ, O(log n) level ancestors via binary lifting.
-        self.struct_index = Some(StructIndex::build(&self.arena, self.root));
+    /// Re-run finalization after link-level mutation: the rebuild path
+    /// of the update subsystem. Ranks of every arena slot are cleared
+    /// first so nodes detached by edits keep no stale pre/post and are
+    /// excluded from every rank-driven structure.
+    pub(crate) fn refinalize(&mut self) {
+        for i in 0..self.arena.len() {
+            self.arena.pre[i] = NIL;
+            self.arena.post[i] = NIL;
+        }
+        self.finalized = false;
+        self.finalize();
+    }
+
+    /// Patch path of the update subsystem: adopt an already-spliced
+    /// document order. Assigns pre ranks from the order, derives
+    /// post ranks and the structural index in one pass over it
+    /// ([`StructIndex::from_order`]), and refills the label postings.
+    /// Falls back to full refinalization if no prior index exists.
+    pub(crate) fn apply_patch(&mut self, order: Vec<u32>) {
+        let Some(prior) = self.struct_index.take() else {
+            self.refinalize();
+            return;
+        };
+        for (rank, &i) in order.iter().enumerate() {
+            self.arena.pre[i as usize] = rank as u32;
+        }
+        let ix = StructIndex::from_order(&mut self.arena, &order, &prior);
+        self.struct_index = Some(ix);
+        self.order = order;
+        self.rebuild_postings();
         self.finalized = true;
+    }
+
+    /// Arena index of the node at pre-order rank `pre`; `None` when the
+    /// rank is out of range or the document is not finalized.
+    #[inline]
+    pub fn node_at_pre(&self, pre: u32) -> Option<NodeId> {
+        self.order.get(pre as usize).map(|&i| NodeId(i))
     }
 
     /// Whether [`Document::finalize`] has run.
@@ -545,14 +596,23 @@ impl Document {
     /// document size (73,142 nodes / 1.44 MB for the DBLP subset).
     pub fn stats(&self) -> DocStats {
         let mut s = DocStats::default();
-        for i in 0..self.arena.len() {
-            match self.arena.kinds[i] {
-                NodeKind::Element => s.elements += 1,
-                NodeKind::Attribute => s.attributes += 1,
-                NodeKind::Text => {
-                    s.text_nodes += 1;
-                    s.text_bytes += self.arena.value(i).map_or(0, str::len);
-                }
+        let mut tally = |i: usize| match self.arena.kinds[i] {
+            NodeKind::Element => s.elements += 1,
+            NodeKind::Attribute => s.attributes += 1,
+            NodeKind::Text => {
+                s.text_nodes += 1;
+                s.text_bytes += self.arena.value(i).map_or(0, str::len);
+            }
+        };
+        if self.finalized {
+            // Count reachable nodes only: after node-level updates the
+            // arena may hold detached slots awaiting a rebuild.
+            for &i in &self.order {
+                tally(i as usize);
+            }
+        } else {
+            for i in 0..self.arena.len() {
+                tally(i);
             }
         }
         s.labels = self.interner.len();

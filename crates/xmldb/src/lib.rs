@@ -77,10 +77,12 @@ pub mod document;
 pub mod interner;
 pub mod node;
 pub(crate) mod structindex;
+pub mod update;
 pub mod xml;
 
 pub use axes::SubtreeProbeCursor;
 pub use document::{DocStats, Document, DocumentBuilder, MemoryFootprint};
 pub use interner::{Interner, Symbol};
 pub use node::{Node, NodeId, NodeIdOverflow, NodeKind};
+pub use update::{CommitStrategy, Edit, NewNode, PendingUpdate, UpdateError, UpdateStats, ValueOp};
 pub use xml::XmlError;

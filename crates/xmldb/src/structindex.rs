@@ -64,6 +64,48 @@ pub(crate) struct StructIndex {
     subtree_hi: Vec<u32>,
 }
 
+/// Block minima and the block-level sparse table over one Euler-tour
+/// depth array. Shared by the from-scratch build and the patch path.
+fn rmq_tables(euler_depth: &[u32]) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let m = euler_depth.len();
+    let nb = m.div_ceil(BLOCK);
+    let block_min: Vec<u32> = (0..nb)
+        .map(|j| {
+            let lo = j * BLOCK;
+            let hi = (lo + BLOCK).min(m);
+            let mut best = lo;
+            for i in lo + 1..hi {
+                if euler_depth[i] < euler_depth[best] {
+                    best = i;
+                }
+            }
+            best as u32
+        })
+        .collect();
+    let levels = (usize::BITS as usize - nb.leading_zeros() as usize).max(1);
+    let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(levels);
+    sparse.push(block_min.clone());
+    let mut k = 1;
+    while (1usize << k) <= nb {
+        let half = 1usize << (k - 1);
+        let prev = &sparse[k - 1];
+        let row: Vec<u32> = (0..=nb - (1 << k))
+            .map(|j| {
+                let a = prev[j];
+                let b = prev[j + half];
+                if euler_depth[a as usize] <= euler_depth[b as usize] {
+                    a
+                } else {
+                    b
+                }
+            })
+            .collect();
+        sparse.push(row);
+        k += 1;
+    }
+    (block_min, sparse)
+}
+
 impl StructIndex {
     /// Build the index. The arena must already carry pre ranks and depths
     /// (i.e. the rank-assignment phase of `finalize` has run).
@@ -108,42 +150,7 @@ impl StructIndex {
         // Block minima over the tour depths, then a sparse table over
         // the blocks — linear space, with boundary blocks scanned at
         // query time.
-        let m = euler.len();
-        let nb = m.div_ceil(BLOCK);
-        let block_min: Vec<u32> = (0..nb)
-            .map(|j| {
-                let lo = j * BLOCK;
-                let hi = (lo + BLOCK).min(m);
-                let mut best = lo;
-                for i in lo + 1..hi {
-                    if euler_depth[i] < euler_depth[best] {
-                        best = i;
-                    }
-                }
-                best as u32
-            })
-            .collect();
-        let levels = (usize::BITS as usize - nb.leading_zeros() as usize).max(1);
-        let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(levels);
-        sparse.push(block_min.clone());
-        let mut k = 1;
-        while (1usize << k) <= nb {
-            let half = 1usize << (k - 1);
-            let prev = &sparse[k - 1];
-            let row: Vec<u32> = (0..=nb - (1 << k))
-                .map(|j| {
-                    let a = prev[j];
-                    let b = prev[j + half];
-                    if euler_depth[a as usize] <= euler_depth[b as usize] {
-                        a
-                    } else {
-                        b
-                    }
-                })
-                .collect();
-            sparse.push(row);
-            k += 1;
-        }
+        let (block_min, sparse) = rmq_tables(&euler_depth);
 
         // Binary-lifting ancestor table. The root points at itself, so
         // over-long jumps saturate instead of needing bounds checks.
@@ -186,6 +193,112 @@ impl StructIndex {
             sparse,
             up,
             depth,
+            subtree_hi,
+        }
+    }
+
+    /// Patch path: rebuild the index from an already-computed document
+    /// order, reusing the survivor rows of the prior index instead of
+    /// walking child links.
+    ///
+    /// Requirements: `arena.pre` matches `order` (`pre[order[r]] == r`),
+    /// `arena.depth` is correct for every node in `order`, and every
+    /// arena index `>= prior.up[0].len()` is a newly appended node.
+    /// Because the edit API never *moves* a node, the parent of every
+    /// survivor is unchanged, so the prior binary-lifting rows stay
+    /// valid verbatim and only rows for appended nodes are computed.
+    /// A single stack pass over the order/depth pair derives the Euler
+    /// tour, first occurrences, subtree extents, and post-order ranks
+    /// (written back into `arena.post`) in one sweep — no per-node
+    /// child-list allocation, no pre-rank sort.
+    pub(crate) fn from_order(arena: &mut NodeArena, order: &[u32], prior: &StructIndex) -> Self {
+        let n = arena.len();
+        let live = order.len();
+        let mut euler = Vec::with_capacity(2 * live);
+        let mut euler_depth: Vec<u32> = Vec::with_capacity(2 * live);
+        let mut first = vec![u32::MAX; n];
+        let mut subtree_hi = vec![u32::MAX; n];
+        // Pre-order with depths is a complete tree encoding: a node's
+        // subtree ends right before the next node at its depth or
+        // shallower. Closing a node appends a revisit of its parent to
+        // the tour and assigns its post rank (pops cascade bottom-up,
+        // which is exactly post order).
+        let mut stack: Vec<u32> = Vec::new();
+        let mut post = 0u32;
+        for (rank, &v) in order.iter().enumerate() {
+            let dv = arena.depth[v as usize];
+            while let Some(&top) = stack.last() {
+                let tu = top as usize;
+                if arena.depth[tu] < dv {
+                    break;
+                }
+                stack.pop();
+                arena.post[tu] = post;
+                post += 1;
+                subtree_hi[tu] = (rank - 1) as u32;
+                if let Some(&p) = stack.last() {
+                    euler.push(p);
+                    euler_depth.push(arena.depth[p as usize]);
+                }
+            }
+            first[v as usize] = euler.len() as u32;
+            euler.push(v);
+            euler_depth.push(dv);
+            stack.push(v);
+        }
+        while let Some(top) = stack.pop() {
+            let tu = top as usize;
+            arena.post[tu] = post;
+            post += 1;
+            subtree_hi[tu] = (live - 1) as u32;
+            if let Some(&p) = stack.last() {
+                euler.push(p);
+                euler_depth.push(arena.depth[p as usize]);
+            }
+        }
+        debug_assert_eq!(euler.len(), 2 * live - 1);
+
+        let (block_min, sparse) = rmq_tables(&euler_depth);
+
+        // Extend the lifting table: survivor entries are reused, rows
+        // grow only over the appended tail, and new levels are added
+        // only if an insertion deepened the tree past the old maximum.
+        let mut up = prior.up.clone();
+        let old_n = up.first().map_or(0, Vec::len);
+        for k in 0..up.len() {
+            if k == 0 {
+                let row = &mut up[0];
+                for i in old_n..n {
+                    row.push(match arena.parent[i] {
+                        NIL => i as u32,
+                        p => p,
+                    });
+                }
+            } else {
+                let (head, tail) = up.split_at_mut(k);
+                let prev = &head[k - 1];
+                let row = &mut tail[0];
+                for i in old_n..n {
+                    row.push(prev[prev[i] as usize]);
+                }
+            }
+        }
+        let max_new_depth = (old_n..n).map(|i| arena.depth[i]).max().unwrap_or(0);
+        let needed = ((u32::BITS - max_new_depth.leading_zeros()).max(1) as usize).max(up.len());
+        while up.len() < needed {
+            let prev = &up[up.len() - 1];
+            let row: Vec<u32> = (0..n).map(|i| prev[prev[i] as usize]).collect();
+            up.push(row);
+        }
+
+        StructIndex {
+            euler,
+            euler_depth,
+            first,
+            block_min,
+            sparse,
+            up,
+            depth: arena.depth.clone(),
             subtree_hi,
         }
     }

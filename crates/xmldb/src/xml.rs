@@ -347,7 +347,7 @@ impl Document {
         match n.kind {
             NodeKind::Text => {
                 push_indent(out, indent);
-                out.push_str(&escape(n.value.unwrap_or("")));
+                out.push_str(&escape_text(n.value.unwrap_or("")));
                 out.push('\n');
             }
             NodeKind::Attribute => { /* written by the owning element */ }
@@ -375,7 +375,7 @@ impl Document {
                 // Single text child renders inline: <title>Traffic</title>
                 if kids.len() == 1 && self.node(kids[0]).kind == NodeKind::Text {
                     out.push('>');
-                    out.push_str(&escape(self.node(kids[0]).value.unwrap_or("")));
+                    out.push_str(&escape_text(self.node(kids[0]).value.unwrap_or("")));
                     out.push_str("</");
                     out.push_str(self.label(id));
                     out.push_str(">\n");
@@ -421,6 +421,37 @@ pub fn escape(s: &str) -> String {
             }
             _ => out.push(c),
         }
+    }
+    out
+}
+
+/// Escape *text-node* content: [`escape`], plus every leading and
+/// trailing whitespace character as a numeric reference (`" padded "`
+/// → `&#32;padded&#32;`). The parser treats literal edge whitespace of
+/// a character-data run as formatting noise (it trims with
+/// [`str::trim`], i.e. `char::is_whitespace`), so writer-produced edge
+/// whitespace must travel as explicit references to survive the round
+/// trip. Attribute values are quoted and never trimmed, so they keep
+/// the plain escape.
+fn escape_text(s: &str) -> String {
+    let lead = s.len() - s.trim_start().len();
+    let rest = &s[lead..];
+    let trail = rest.len() - rest.trim_end().len();
+    let mid = &rest[..rest.len() - trail];
+    if lead == 0 && trail == 0 {
+        return escape(s);
+    }
+    let mut out = String::with_capacity(s.len() + 4 * (lead + trail));
+    for c in s[..lead].chars() {
+        out.push_str("&#");
+        out.push_str(&(c as u32).to_string());
+        out.push(';');
+    }
+    out.push_str(&escape(mid));
+    for c in rest[rest.len() - trail..].chars() {
+        out.push_str("&#");
+        out.push_str(&(c as u32).to_string());
+        out.push(';');
     }
     out
 }
@@ -565,6 +596,101 @@ mod tests {
     #[test]
     fn escape_covers_all_five() {
         assert_eq!(escape(r#"<&>"'"#), "&lt;&amp;&gt;&quot;&apos;");
+    }
+
+    #[test]
+    fn edge_spaces_round_trip_as_references() {
+        let mut d = Document::new("a");
+        let root = d.root();
+        d.add_text(root, "  padded  ");
+        d.finalize();
+        let xml = d.to_xml(d.root());
+        assert!(xml.contains("&#32;&#32;padded&#32;&#32;"), "{xml}");
+        let d2 = Document::parse_str(&xml).unwrap();
+        assert_eq!(d2.string_value(d2.root()), "  padded  ");
+        // Interior spaces stay literal.
+        let mut d = Document::new("a");
+        let root = d.root();
+        d.add_text(root, "no padding here");
+        d.finalize();
+        let xml = d.to_xml(d.root());
+        assert!(xml.contains(">no padding here<"), "{xml}");
+        // A whitespace-only value is entirely references.
+        let mut d = Document::new("a");
+        let root = d.root();
+        d.add_text(root, "   ");
+        d.finalize();
+        let d2 = Document::parse_str(&d.to_xml(d.root())).unwrap();
+        assert_eq!(d2.string_value(d2.root()), "   ");
+    }
+
+    #[test]
+    fn writer_produced_nodes_escape_and_round_trip() {
+        // Satellite regression: text inserted through the edit API —
+        // never seen by the parser — must serialize with correct
+        // escaping for `&`, `<`, control chars and edge whitespace.
+        let d = Document::parse_str("<r><keep>x</keep></r>").unwrap();
+        let mut up = d.begin_update().unwrap();
+        let root = d.root();
+        up.apply(&crate::Edit::InsertChild {
+            parent: root,
+            node: crate::NewNode::Leaf {
+                label: "amp".into(),
+                text: "Tom & Jerry <3".into(),
+            },
+        })
+        .unwrap();
+        up.apply(&crate::Edit::InsertChild {
+            parent: root,
+            node: crate::NewNode::Leaf {
+                label: "ctrl".into(),
+                text: "line\nbreak\ttab".into(),
+            },
+        })
+        .unwrap();
+        up.apply(&crate::Edit::InsertChild {
+            parent: root,
+            node: crate::NewNode::Leaf {
+                label: "pad".into(),
+                text: " spaced out ".into(),
+            },
+        })
+        .unwrap();
+        up.apply(&crate::Edit::InsertChild {
+            parent: root,
+            node: crate::NewNode::Attribute {
+                name: "q".into(),
+                value: "say \"hi\" & '<bye>'".into(),
+            },
+        })
+        .unwrap();
+        let (next, _) = up.commit();
+        let xml = next.to_xml(next.root());
+        assert!(xml.contains("Tom &amp; Jerry &lt;3"), "{xml}");
+        assert!(xml.contains("line&#10;break&#9;tab"), "{xml}");
+        assert!(xml.contains("&#32;spaced out&#32;"), "{xml}");
+        assert!(
+            xml.contains("q=\"say &quot;hi&quot; &amp; &apos;&lt;bye&gt;&apos;\""),
+            "{xml}"
+        );
+        let oracle = Document::parse_str(&xml).unwrap();
+        assert_eq!(
+            oracle.string_value(oracle.nodes_labeled("amp")[0]),
+            "Tom & Jerry <3"
+        );
+        assert_eq!(
+            oracle.string_value(oracle.nodes_labeled("ctrl")[0]),
+            "line\nbreak\ttab"
+        );
+        assert_eq!(
+            oracle.string_value(oracle.nodes_labeled("pad")[0]),
+            " spaced out "
+        );
+        assert_eq!(
+            oracle.string_value(oracle.nodes_labeled("q")[0]),
+            "say \"hi\" & '<bye>'"
+        );
+        assert_eq!(oracle.len(), next.stats().total_nodes());
     }
 
     #[test]

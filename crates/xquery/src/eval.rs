@@ -527,6 +527,47 @@ impl Engine {
         }
     }
 
+    /// Create an engine over `doc` that inherits the value indexes of
+    /// `prior` for every label *not* named in `dirty` (which must be
+    /// sorted). This is the incremental-maintenance fast path of the
+    /// write pipeline: node identities are stable across a node-level
+    /// update, and the update overlay reports every label whose
+    /// postings or atomised values might have changed as dirty, so the
+    /// remaining per-label indexes are bit-identical to what a cold
+    /// rebuild would produce and can be carried wholesale. Dirty labels
+    /// simply rebuild lazily on first touch, as in a fresh engine.
+    pub fn seeded_from(
+        doc: impl Into<std::sync::Arc<Document>>,
+        metrics: std::sync::Arc<obs::MetricsRegistry>,
+        prior: &Engine,
+        dirty: &[xmldb::Symbol],
+    ) -> Self {
+        let engine = Engine::with_metrics(doc, metrics);
+        debug_assert!(dirty.is_sorted(), "dirty label list must be sorted");
+        for (fresh, old) in engine
+            .value_index
+            .shards
+            .iter()
+            .zip(&prior.value_index.shards)
+        {
+            let old = old
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if old.is_empty() {
+                continue;
+            }
+            let mut fresh = fresh
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (&sym, ix) in old.iter() {
+                if dirty.binary_search(&sym).is_err() {
+                    fresh.insert(sym, ix.clone());
+                }
+            }
+        }
+        engine
+    }
+
     /// The registry this engine records into.
     pub fn metrics(&self) -> &obs::MetricsRegistry {
         &self.metrics

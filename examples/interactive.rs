@@ -11,13 +11,23 @@
 //! ```
 //!
 //! Commands: `:labels` lists element names, `:xml` dumps the document,
-//! `:metrics` prints the session's pipeline metrics snapshot, `:quit`
-//! exits.
+//! `:metrics` prints the session's pipeline metrics snapshot,
+//! `:update <edit-json>` applies a node-level edit batch (same JSON
+//! shape as `POST /docs/:name/update`, see docs/UPDATES.md) and swaps
+//! in the incrementally patched pipeline, `:quit` exits.
+//!
+//! ```console
+//! > :update {"edits": [{"op": "insert_child", "parent": 0, "node": {"kind": "leaf", "label": "note", "text": "hello"}}]}
+//! committed 1 edit(s) as Patch: +2 nodes, -0 nodes, 229 live
+//! ```
 
 use nalix_repro::nalix::{Nalix, Outcome};
 use nalix_repro::store::load_dataset;
+use nalix_repro::xmldb::{Document, Edit, NewNode};
 use nalix_repro::xquery::pretty::pretty;
+use server::json::Json;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 fn main() {
     let source = match std::env::args().nth(1) {
@@ -27,18 +37,18 @@ fn main() {
             "movies".to_string()
         }
     };
-    let doc = load_dataset(&source).unwrap_or_else(|e| {
+    let mut doc = Arc::new(load_dataset(&source).unwrap_or_else(|e| {
         eprintln!("interactive: {e}");
         std::process::exit(1);
-    });
+    }));
     println!(
         "Loaded {} nodes; element names: {}",
         doc.len(),
         doc.labels().join(", ")
     );
-    println!("Type an English query, or :labels / :xml / :metrics / :quit.\n");
+    println!("Type an English query, or :labels / :xml / :metrics / :update / :quit.\n");
 
-    let nalix = Nalix::new(doc.clone());
+    let mut nalix = Nalix::new(Arc::clone(&doc));
     let stdin = std::io::stdin();
     loop {
         print!("> ");
@@ -64,6 +74,28 @@ fn main() {
                 continue;
             }
             _ => {}
+        }
+        if let Some(body) = line.strip_prefix(":update") {
+            match apply_update(&doc, body.trim()) {
+                Ok((next, stats)) => {
+                    let next = Arc::new(next);
+                    // The patched pipeline, exactly as the store's
+                    // write path builds it (docs/UPDATES.md).
+                    nalix = Nalix::successor(&nalix, Arc::clone(&next), &stats);
+                    doc = next;
+                    println!(
+                        "committed {} edit(s) as {:?}: +{} nodes, -{} nodes, {} live",
+                        stats.edits,
+                        stats.strategy,
+                        stats.inserted,
+                        stats.deleted,
+                        doc.len(),
+                    );
+                }
+                Err(e) => println!("update error: {e}"),
+            }
+            println!();
+            continue;
         }
         match nalix.query(line) {
             Outcome::Translated(t) => {
@@ -95,5 +127,109 @@ fn main() {
             }
         }
         println!();
+    }
+}
+
+/// Parses a `{"edits": [...]}` batch (the `POST /docs/:name/update`
+/// wire shape, docs/UPDATES.md) and applies it to `doc`, returning
+/// the committed successor. The batch is atomic: any bad edit aborts
+/// before commit.
+fn apply_update(
+    doc: &Arc<Document>,
+    body: &str,
+) -> Result<(Document, nalix_repro::xmldb::UpdateStats), String> {
+    if body.is_empty() {
+        return Err("usage: :update {\"edits\": [...]} (see docs/UPDATES.md)".to_string());
+    }
+    let json = Json::parse(body).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let edits = json
+        .get("edits")
+        .and_then(Json::as_array)
+        .ok_or("missing \"edits\" array")?;
+    if edits.is_empty() {
+        return Err("\"edits\" is empty".to_string());
+    }
+    let mut up = doc.begin_update().map_err(|e| e.to_string())?;
+    for (i, spec) in edits.iter().enumerate() {
+        let edit = parse_edit(doc, spec).map_err(|e| format!("edit #{i}: {e}"))?;
+        up.apply(&edit).map_err(|e| format!("edit #{i}: {e}"))?;
+    }
+    Ok(up.commit())
+}
+
+/// One edit object: `"op"` picks the shape, node positions are
+/// pre-order ranks resolved against the current snapshot.
+fn parse_edit(doc: &Document, spec: &Json) -> Result<Edit, String> {
+    let op = spec
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing \"op\"")?;
+    let node_at = |key: &str| {
+        let pre = spec
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing numeric \"{key}\""))?;
+        let pre = u32::try_from(pre).map_err(|_| format!("\"{key}\" out of range"))?;
+        doc.node_at_pre(pre)
+            .ok_or_else(|| format!("no node at pre rank {pre}"))
+    };
+    let string = |key: &str| {
+        spec.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string \"{key}\""))
+    };
+    match op {
+        "insert_child" => Ok(Edit::InsertChild {
+            parent: node_at("parent")?,
+            node: parse_node(spec)?,
+        }),
+        "insert_sibling" => Ok(Edit::InsertSibling {
+            after: node_at("after")?,
+            node: parse_node(spec)?,
+        }),
+        "delete_subtree" => Ok(Edit::DeleteSubtree {
+            target: node_at("target")?,
+        }),
+        "replace_value" => Ok(Edit::ReplaceValue {
+            target: node_at("target")?,
+            value: string("value")?,
+        }),
+        "rename_label" => Ok(Edit::RenameLabel {
+            target: node_at("target")?,
+            label: string("label")?,
+        }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn parse_node(spec: &Json) -> Result<NewNode, String> {
+    let node = spec.get("node").ok_or("missing \"node\" object")?;
+    let kind = node
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("node: missing \"kind\"")?;
+    let field = |key: &str| {
+        node.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("node: missing string \"{key}\""))
+    };
+    match kind {
+        "element" => Ok(NewNode::Element {
+            label: field("label")?,
+        }),
+        "leaf" => Ok(NewNode::Leaf {
+            label: field("label")?,
+            text: field("text")?,
+        }),
+        "text" => Ok(NewNode::Text {
+            text: field("text")?,
+        }),
+        "attribute" => Ok(NewNode::Attribute {
+            name: field("name")?,
+            value: field("value")?,
+        }),
+        other => Err(format!("node: unknown kind {other:?}")),
     }
 }

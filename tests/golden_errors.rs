@@ -29,6 +29,7 @@ fn variant_name(e: &QueryError) -> &'static str {
         QueryError::ResourceExhausted { .. } => "ResourceExhausted",
         QueryError::MissingContext { .. } => "MissingContext",
         QueryError::ExpiredContext { .. } => "ExpiredContext",
+        QueryError::UpdateIntent { .. } => "UpdateIntent",
     }
 }
 
@@ -88,6 +89,12 @@ const CASES: &[(&str, &str, &str, Option<u64>)] = &[
         "resource budget exceeded",
         "Find all the movies directed by Ron Howard.",
         Some(1), // max_tuples
+    ),
+    (
+        "update_intent",
+        "mutation request (docs/UPDATES.md: natural language never mutates)",
+        "Delete all the movies directed by Ron Howard.",
+        None,
     ),
 ];
 

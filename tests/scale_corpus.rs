@@ -80,3 +80,78 @@ fn mega_corpus_fits_memory_budget_and_answers_under_default_budget() {
         selection.len()
     );
 }
+
+/// Incremental-update benchmark at scale: 1,000 node-level edits
+/// against the ~8M-node corpus, committed in small batches, must all
+/// take the patch path — on a document this large, a fallback to a
+/// from-scratch rebuild on a 20-edit batch would mean the incremental
+/// maintenance is not actually incremental. Queries against the final
+/// snapshot must see every edit.
+#[test]
+#[ignore = "builds a ~8M-node corpus; run with --ignored (scale CI job)"]
+fn mega_corpus_thousand_edits_never_fall_back_to_rebuild() {
+    use nalix_repro::xmldb::{CommitStrategy, Edit, NewNode};
+
+    let mut current = Arc::new(mega());
+    const BATCHES: usize = 50;
+    const PER_BATCH: usize = 20;
+    let mut committed = 0usize;
+    for batch in 0..BATCHES {
+        let titles = current.nodes_labeled("title");
+        let mut up = current.begin_update().expect("corpus is finalized");
+        for k in 0..PER_BATCH / 2 {
+            // Deterministic scatter over the corpus; 7919 is prime so
+            // successive batches touch disjoint regions.
+            let pick = ((batch * PER_BATCH + k) * 7919) % titles.len();
+            let title = titles[pick];
+            let text = current.first_child(title).expect("titles carry text");
+            up.apply(&Edit::ReplaceValue {
+                target: text,
+                value: format!("Edited Title {batch}-{k}"),
+            })
+            .expect("value rewrite applies");
+            up.apply(&Edit::InsertChild {
+                parent: current.parent(title).expect("titles have parents"),
+                node: NewNode::Leaf {
+                    label: "note".to_string(),
+                    text: format!("edit {batch}-{k}"),
+                },
+            })
+            .expect("leaf insert applies");
+        }
+        assert_eq!(
+            up.strategy(),
+            CommitStrategy::Patch,
+            "a {PER_BATCH}-edit batch on an 8M-node corpus must patch"
+        );
+        let (next, stats) = up.commit();
+        assert_eq!(
+            stats.strategy,
+            CommitStrategy::Patch,
+            "batch {batch} fell back to a rebuild"
+        );
+        committed += stats.edits;
+        current = Arc::new(next);
+    }
+    assert_eq!(committed, BATCHES * PER_BATCH, "all 1k edits committed");
+
+    // The final snapshot answers from its patched indexes: every
+    // inserted note is reachable, and a rewritten title is gone from
+    // the value index while its replacement is present.
+    let engine = Engine::new(Arc::clone(&current));
+    let budget = EvalBudget::default();
+    let notes = engine
+        .run_with_budget(
+            r#"for $n in doc()//note where $n = "edit 0-0" return $n"#,
+            &budget,
+        )
+        .expect("note lookup completes");
+    assert_eq!(notes.len(), 1, "inserted note is indexed");
+    let rewritten = engine
+        .run_with_budget(
+            r#"for $t in doc()//title where $t = "Edited Title 49-9" return $t"#,
+            &budget,
+        )
+        .expect("rewritten-title lookup completes");
+    assert_eq!(rewritten.len(), 1, "rewritten title is indexed");
+}
