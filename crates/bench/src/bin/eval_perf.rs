@@ -19,6 +19,12 @@
 //! index-maintenance path (snapshot clone + overlay commit + index
 //! splice), asserting the patch strategy is what actually ran.
 //!
+//! Two further rows, `selection-sql` and `mqf-join-sql`, run the same
+//! selection and schema-free-join plans through the SQL backend's
+//! executor over the relational shredding (docs/BACKENDS.md), so the
+//! two backends' evaluation cores are tracked side by side on
+//! identical logical queries.
+//!
 //! Corpus modes: `--quick` runs the paper-scale corpus (~73k nodes,
 //! the CI mode); the default is the 100×-scale "mega" corpus
 //! (~7.3M nodes) used for the headline before/after records.
@@ -232,6 +238,94 @@ fn measure_updates(doc: &Arc<Document>, iters: usize) -> Result<Measurement, Str
     })
 }
 
+/// The SQL-backend twins of the `selection` and `mqf-join` workloads:
+/// the same logical plans, hand-lowered to the `sqlq` subset exactly as
+/// `nalix::backend::sql::lower` emits them, run over the relational
+/// shredding. `(name, query, mega_iters, quick_iters)`.
+fn sql_workloads() -> Vec<(&'static str, sqlq::SqlQuery, usize, usize)> {
+    use sqlq::{FromItem, PathAxis, Pred, Projection, Scalar, SqlCmp, SqlQuery};
+    let child = |alias: &str, label: &str| Scalar::Nodes {
+        alias: alias.to_string(),
+        axis: PathAxis::Child,
+        labels: vec![label.to_string()],
+    };
+    let selection = SqlQuery {
+        projection: Projection::Columns(vec![child("b", "title"), child("b", "year")]),
+        from: vec![FromItem {
+            alias: "b".to_string(),
+            labels: vec!["book".to_string()],
+        }],
+        preds: vec![
+            Pred::Cmp {
+                op: SqlCmp::Eq,
+                lhs: child("b", "publisher"),
+                rhs: Scalar::Str("Addison-Wesley".to_string()),
+            },
+            Pred::Cmp {
+                op: SqlCmp::Gt,
+                lhs: child("b", "year"),
+                rhs: Scalar::Num(1991.0),
+            },
+        ],
+        order_by: vec![],
+    };
+    let mqf_join = SqlQuery {
+        projection: Projection::Columns(vec![Scalar::Val("t".to_string())]),
+        from: vec![
+            FromItem {
+                alias: "t".to_string(),
+                labels: vec!["title".to_string()],
+            },
+            FromItem {
+                alias: "a".to_string(),
+                labels: vec!["author".to_string()],
+            },
+        ],
+        preds: vec![Pred::Mqf(vec!["t".to_string(), "a".to_string()])],
+        order_by: vec![],
+    };
+    vec![
+        ("selection-sql", selection, 6, 40),
+        ("mqf-join-sql", mqf_join, 4, 40),
+    ]
+}
+
+/// [`measure`]'s SQL-backend counterpart: same warmup, sampling, and
+/// determinism check, against the shredding instead of the engine.
+fn measure_sql(
+    shred: &relstore::Shredding,
+    name: &'static str,
+    query: &sqlq::SqlQuery,
+    iters: usize,
+) -> Result<Measurement, String> {
+    let limits = sqlq::ExecLimits::default();
+    let warm = sqlq::execute(shred, query, &limits).map_err(|e| format!("{name}: {e}"))?;
+    let warm_len = warm.strings(shred).len();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = sqlq::execute(shred, query, &limits).map_err(|e| format!("{name}: {e}"))?;
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let n = out.strings(shred).len();
+        if n != warm_len {
+            return Err(format!(
+                "{name}: nondeterministic result size {n} vs {warm_len}"
+            ));
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Ok(Measurement {
+        name,
+        iters,
+        mean_ms: mean,
+        p50_ms: percentile(&samples, 0.50),
+        p99_ms: percentile(&samples, 0.99),
+        qps: if mean > 0.0 { 1e3 / mean } else { 0.0 },
+        results: warm_len,
+    })
+}
+
 fn fmt_ms(ms: f64) -> String {
     if ms >= 100.0 {
         format!("{ms:.1}")
@@ -442,6 +536,34 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("eval_perf: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    // The SQL backend's rows close the table. The shredding is built
+    // once, outside the timed window, mirroring the lazily cached
+    // shredding a warm server holds.
+    let t0 = Instant::now();
+    let shred = relstore::Shredding::build(&doc);
+    eprintln!("shredding: {} rows in {:.1?}", shred.len(), t0.elapsed());
+    for (name, query, mega_iters, quick_iters) in sql_workloads() {
+        let iters = if args.quick { quick_iters } else { mega_iters };
+        match measure_sql(&shred, name, &query, iters) {
+            Ok(m) => {
+                println!(
+                    "{:<12} {:>6} {:>12} {:>12} {:>12} {:>10.1} {:>9}",
+                    m.name,
+                    m.iters,
+                    fmt_ms(m.mean_ms),
+                    fmt_ms(m.p50_ms),
+                    fmt_ms(m.p99_ms),
+                    m.qps,
+                    m.results
+                );
+                measurements.push(m);
+            }
+            Err(e) => {
+                eprintln!("eval_perf: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

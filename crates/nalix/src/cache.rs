@@ -60,6 +60,9 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 /// live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
+    /// The default backend whose keys new entries are filed under
+    /// (entries for either backend coexist; see [`crate::Nalix::query`]).
+    pub backend: crate::BackendKind,
     /// Queries answered from the cache.
     pub hits: u64,
     /// Queries that had to run the full pipeline.

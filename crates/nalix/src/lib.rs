@@ -92,6 +92,7 @@
 //! assert_eq!(snap.queries_with(obs::SpanOutcome::Ok), 1);
 //! ```
 
+pub mod backend;
 pub mod batch;
 pub mod binding;
 pub mod cache;
@@ -108,6 +109,7 @@ pub mod translate;
 pub mod validate;
 pub mod vocab;
 
+pub use backend::{AnswerSet, Backend, BackendKind, Compiled, QueryPlan};
 pub use batch::{BatchReply, BatchRunner};
 pub use cache::{CacheStats, DEFAULT_CACHE_CAPACITY};
 pub use error::QueryError;
@@ -157,8 +159,17 @@ pub struct Rejected {
 pub struct Answer {
     /// The flat string values of the result sequence.
     pub values: Vec<String>,
-    /// The translated query, pretty-printed.
+    /// The compiled query, pretty-printed in the answering backend's
+    /// language — Schema-Free XQuery for [`BackendKind::Xquery`], the
+    /// SQL subset for [`BackendKind::Sql`]. (The field keeps its
+    /// original name for wire compatibility; the `backend` field says
+    /// which language it is.)
     pub xquery: String,
+    /// Which translation backend produced the values.
+    pub backend: BackendKind,
+    /// True when the question imposed an explicit result order ("…
+    /// sorted by year") — the [`AnswerSet`] equivalence mode.
+    pub ordered: bool,
     /// Non-blocking warnings (pronouns, ambiguous names).
     pub warnings: Vec<Feedback>,
     /// True when the translation was served from the memo table (the
@@ -203,11 +214,20 @@ pub struct Nalix {
     /// Persistent query engine: keeps its lazily built value index warm
     /// across queries instead of rebuilding it per [`Nalix::execute`].
     engine: Engine,
-    /// Memo of `normalized question → Outcome` (see [`crate::cache`]).
+    /// Memo of `backend + normalized question → Outcome` (see
+    /// [`crate::cache`]; the backend joins the key so switching
+    /// backends on a shared pipeline can never serve a stale entry).
     translations: TranslationCache,
     /// Stage spans, query outcomes, and cache counters land here (the
     /// engine shares the same registry for its evaluation spans).
     metrics: std::sync::Arc<obs::MetricsRegistry>,
+    /// The default translation backend ([`BackendKind::Xquery`] unless
+    /// overridden by [`Nalix::with_backend`]).
+    backend: BackendKind,
+    /// The relational shredding the SQL backend evaluates over, built
+    /// lazily on first SQL query and shared thereafter (updates patch
+    /// it forward through [`Nalix::successor`]).
+    shredding: std::sync::OnceLock<std::sync::Arc<relstore::Shredding>>,
 }
 
 impl Nalix {
@@ -234,6 +254,8 @@ impl Nalix {
             doc,
             translations: TranslationCache::default(),
             metrics,
+            backend: BackendKind::default(),
+            shredding: std::sync::OnceLock::new(),
         }
     }
 
@@ -280,13 +302,55 @@ impl Nalix {
                 Engine::with_metrics(doc.clone(), metrics.clone()),
             ),
         };
+        // Carry the shredding forward only if the prior generation had
+        // built one (the SQL backend was in use): a value-only commit
+        // patches the tables in place, anything structural rebuilds.
+        let shredding = std::sync::OnceLock::new();
+        if let Some(prev) = prior.shredding.get() {
+            let span = metrics.span(obs::Stage::ShredBuild);
+            let next = prev.successor(&doc, stats);
+            span.finish(obs::SpanOutcome::Ok);
+            metrics.add(obs::Counter::ShredBuilds, 1);
+            let _ = shredding.set(std::sync::Arc::new(next));
+        }
         Nalix {
             catalog,
             engine,
             doc,
             translations: TranslationCache::with_capacity(prior.translations.capacity()),
             metrics,
+            backend: prior.backend,
+            shredding,
         }
+    }
+
+    /// Select the default translation backend (builder-style). Every
+    /// entry point that does not name a backend explicitly —
+    /// [`Nalix::answer`], [`Nalix::answer_full`], [`Nalix::query`] —
+    /// uses this one; [`Nalix::answer_full_on`] overrides per call.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active default backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The relational shredding of the document (the SQL backend's
+    /// tables), built lazily on first touch under an
+    /// [`obs::Stage::ShredBuild`] span and shared thereafter.
+    pub fn shredding(&self) -> std::sync::Arc<relstore::Shredding> {
+        self.shredding
+            .get_or_init(|| {
+                let span = self.metrics.span(obs::Stage::ShredBuild);
+                let shred = relstore::Shredding::build(&self.doc);
+                span.finish(obs::SpanOutcome::Ok);
+                self.metrics.add(obs::Counter::ShredBuilds, 1);
+                std::sync::Arc::new(shred)
+            })
+            .clone()
     }
 
     /// Replace the translation cache with one bounded to `capacity`
@@ -315,6 +379,19 @@ impl Nalix {
         &self.catalog
     }
 
+    /// The translation-cache key for `sentence` on `backend`: the
+    /// backend's wire name, a unit separator (which
+    /// [`cache::normalize`] can never emit), and the normalized
+    /// sentence. Keying by backend means switching backends on a shared
+    /// pipeline can never serve an entry filed for the other target.
+    fn cache_key_on(&self, backend: BackendKind, sentence: &str) -> String {
+        format!("{}\u{1f}{}", backend.name(), cache::normalize(sentence))
+    }
+
+    fn cache_key(&self, sentence: &str) -> String {
+        self.cache_key_on(self.backend, sentence)
+    }
+
     /// Submit a natural language query: parse → classify → validate →
     /// translate.
     ///
@@ -324,7 +401,7 @@ impl Nalix {
     /// entirely. Use [`Nalix::cache_stats`] to observe the hit rate and
     /// [`Nalix::clear_cache`] to drop the memo table.
     pub fn query(&self, sentence: &str) -> Outcome {
-        let key = cache::normalize(sentence);
+        let key = self.cache_key(sentence);
         if let Some(memo) = self.translations.get(&key, &self.metrics) {
             // The pipeline did not run: a cache hit records a query
             // outcome but no stage spans.
@@ -482,15 +559,71 @@ impl Nalix {
         sentence: &str,
         budget: &EvalBudget,
     ) -> Result<Vec<String>, QueryError> {
+        self.answer_full_tree_on(self.backend, sentence, budget)
+            .map(|(a, _)| a.values)
+    }
+
+    /// [`Nalix::answer_with_budget`], keeping the full detail of the
+    /// success path: the values (bit-identical to what
+    /// [`Nalix::answer`] returns), the pretty-printed XQuery, the
+    /// non-blocking warnings, and whether the translation was a cache
+    /// hit. This is what the `nalixd` HTTP server serialises.
+    pub fn answer_full(&self, sentence: &str, budget: &EvalBudget) -> Result<Answer, QueryError> {
+        self.answer_full_tree(sentence, budget).map(|(a, _)| a)
+    }
+
+    /// [`Nalix::answer_full`] on an explicitly named backend,
+    /// overriding the instance default for this one call. This is the
+    /// entry point behind the server's per-request `backend` knob and
+    /// the dual-backend equivalence suite.
+    pub fn answer_full_on(
+        &self,
+        backend: BackendKind,
+        sentence: &str,
+        budget: &EvalBudget,
+    ) -> Result<Answer, QueryError> {
+        self.answer_full_tree_on(backend, sentence, budget)
+            .map(|(a, _)| a)
+    }
+
+    /// Answer on `backend` and fold the result into an [`AnswerSet`] —
+    /// the normalized form cross-backend equivalence is asserted over.
+    pub fn answer_set(
+        &self,
+        backend: BackendKind,
+        sentence: &str,
+        budget: &EvalBudget,
+    ) -> Result<AnswerSet, QueryError> {
+        let a = self.answer_full_on(backend, sentence, budget)?;
+        Ok(AnswerSet::new(a.values, a.ordered))
+    }
+
+    /// [`Nalix::answer_full`], additionally returning the classified,
+    /// validated parse tree — the session layer stores it as the prior
+    /// turn a follow-up question resolves against.
+    pub(crate) fn answer_full_tree(
+        &self,
+        sentence: &str,
+        budget: &EvalBudget,
+    ) -> Result<(Answer, ClassifiedTree), QueryError> {
+        self.answer_full_tree_on(self.backend, sentence, budget)
+    }
+
+    fn answer_full_tree_on(
+        &self,
+        backend: BackendKind,
+        sentence: &str,
+        budget: &EvalBudget,
+    ) -> Result<(Answer, ClassifiedTree), QueryError> {
         if let Some(verb) = detect_update_intent(sentence) {
             self.metrics.record_query(obs::SpanOutcome::ValidateError);
             return Err(QueryError::update_intent(verb));
         }
-        let key = cache::normalize(sentence);
-        let outcome = match self.translations.get(&key, &self.metrics) {
+        let key = self.cache_key_on(backend, sentence);
+        let (outcome, cached) = match self.translations.get(&key, &self.metrics) {
             Some(memo) => {
                 self.metrics.record_query(obs::SpanOutcome::CacheHit);
-                memo
+                (memo, true)
             }
             None => {
                 // Surfacing the parse stage as its own
@@ -507,69 +640,18 @@ impl Nalix {
                 };
                 let out = self.query_tree(&dep);
                 self.translations.insert(key, out.clone(), &self.metrics);
-                out
-            }
-        };
-        match outcome {
-            Outcome::Translated(t) => {
-                let seq = self
-                    .engine
-                    .eval_expr_with_budget(&t.translation.query, budget)?;
-                Ok(self.engine.strings(&seq))
-            }
-            Outcome::Rejected(r) => Err(QueryError::from(r)),
-        }
-    }
-
-    /// [`Nalix::answer_with_budget`], keeping the full detail of the
-    /// success path: the values (bit-identical to what
-    /// [`Nalix::answer`] returns), the pretty-printed XQuery, the
-    /// non-blocking warnings, and whether the translation was a cache
-    /// hit. This is what the `nalixd` HTTP server serialises.
-    pub fn answer_full(&self, sentence: &str, budget: &EvalBudget) -> Result<Answer, QueryError> {
-        self.answer_full_tree(sentence, budget).map(|(a, _)| a)
-    }
-
-    /// [`Nalix::answer_full`], additionally returning the classified,
-    /// validated parse tree — the session layer stores it as the prior
-    /// turn a follow-up question resolves against.
-    pub(crate) fn answer_full_tree(
-        &self,
-        sentence: &str,
-        budget: &EvalBudget,
-    ) -> Result<(Answer, ClassifiedTree), QueryError> {
-        if let Some(verb) = detect_update_intent(sentence) {
-            self.metrics.record_query(obs::SpanOutcome::ValidateError);
-            return Err(QueryError::update_intent(verb));
-        }
-        let key = cache::normalize(sentence);
-        let (outcome, cached) = match self.translations.get(&key, &self.metrics) {
-            Some(memo) => {
-                self.metrics.record_query(obs::SpanOutcome::CacheHit);
-                (memo, true)
-            }
-            None => {
-                let dep = match self.parse_stage(sentence) {
-                    Ok(dep) => dep,
-                    Err(e) => {
-                        self.metrics.record_query(obs::SpanOutcome::ParseError);
-                        return Err(e.into());
-                    }
-                };
-                let out = self.query_tree(&dep);
-                self.translations.insert(key, out.clone(), &self.metrics);
                 (out, false)
             }
         };
         match outcome {
             Outcome::Translated(t) => {
-                let seq = self
-                    .engine
-                    .eval_expr_with_budget(&t.translation.query, budget)?;
+                let (values, text, ordered) = self.run_translated(&t, backend, budget)?;
                 Ok((
                     Answer {
-                        values: self.engine.strings(&seq),
-                        xquery: xquery::pretty::pretty(&t.translation.query),
+                        values,
+                        xquery: text,
+                        backend,
+                        ordered,
                         warnings: t.warnings,
                         cached,
                     },
@@ -577,6 +659,96 @@ impl Nalix {
                 ))
             }
             Outcome::Rejected(r) => Err(QueryError::from(r)),
+        }
+    }
+
+    /// Evaluate a translated query on `backend`: the values, the
+    /// compiled query text in the backend's own language, and whether
+    /// the plan carries an explicit result order.
+    fn run_translated(
+        &self,
+        t: &Translated,
+        backend: BackendKind,
+        budget: &EvalBudget,
+    ) -> Result<(Vec<String>, String, bool), QueryError> {
+        let ordered = backend::sql::has_explicit_order(&t.translation);
+        match backend {
+            BackendKind::Xquery => {
+                let seq = self
+                    .engine
+                    .eval_expr_with_budget(&t.translation.query, budget)?;
+                Ok((
+                    self.engine.strings(&seq),
+                    xquery::pretty::pretty(&t.translation.query),
+                    ordered,
+                ))
+            }
+            BackendKind::Sql => {
+                let (values, text) = self.run_sql(t, budget)?;
+                Ok((values, text, ordered))
+            }
+        }
+    }
+
+    /// Lower the shared plan to the SQL subset and run it over the
+    /// relational shredding, under [`obs::Stage::SqlTranslate`] and
+    /// [`obs::Stage::SqlEval`] spans. Budget trips map to the same
+    /// `budget.tuples` error class as the XQuery engine's.
+    fn run_sql(
+        &self,
+        t: &Translated,
+        budget: &EvalBudget,
+    ) -> Result<(Vec<String>, String), QueryError> {
+        let tspan = self.metrics.span(obs::Stage::SqlTranslate);
+        let q = match backend::sql::lower(&t.translation) {
+            Ok(q) => {
+                tspan.finish(obs::SpanOutcome::Ok);
+                q
+            }
+            Err(e) => {
+                tspan.finish(obs::SpanOutcome::TranslateError);
+                return Err(QueryError::Translate {
+                    message: e.message,
+                    suggestion: "The question uses a construct the SQL backend cannot \
+                                 compile; please rephrase it more simply, or ask again \
+                                 on the xquery backend."
+                        .to_string(),
+                });
+            }
+        };
+        let shred = self.shredding();
+        let limits = sqlq::ExecLimits {
+            max_tuples: Some(budget.max_tuples as u64),
+        };
+        let espan = self.metrics.span(obs::Stage::SqlEval);
+        match sqlq::execute(&shred, &q, &limits) {
+            Ok(out) => {
+                espan.finish(obs::SpanOutcome::Ok);
+                self.metrics.add(obs::Counter::SqlTuples, out.tuples());
+                Ok((out.strings(&shred), sqlq::pretty(&q)))
+            }
+            Err(e @ sqlq::SqlError::Budget(limit)) => {
+                espan.finish(obs::SpanOutcome::ResourceExhausted);
+                self.metrics.add(obs::Counter::SqlTuples, limit);
+                Err(QueryError::ResourceExhausted {
+                    resource: xquery::ExhaustedResource::Tuples,
+                    message: e.to_string(),
+                    suggestion: "Answering this question requires combining too many \
+                                 items at once. Please add a condition that narrows \
+                                 the search (a name, a value, or a year), or split it \
+                                 into smaller questions."
+                        .to_string(),
+                })
+            }
+            Err(e) => {
+                espan.finish(obs::SpanOutcome::EvalError);
+                Err(QueryError::Eval {
+                    message: e.to_string(),
+                    suggestion: "The question translated to a query the engine could \
+                                 not run; please rephrase it more simply."
+                        .to_string(),
+                })
+            }
         }
     }
 
@@ -590,6 +762,7 @@ impl Nalix {
     pub fn cache_stats(&self) -> CacheStats {
         let (hits, misses) = self.metrics.cache_counts();
         CacheStats {
+            backend: self.backend,
             hits,
             misses,
             entries: self.translations.len(),
@@ -857,6 +1030,75 @@ mod tests {
             .unwrap();
         assert!(!first.cached);
         assert!(!first.warnings.is_empty());
+    }
+
+    #[test]
+    fn backend_joins_the_cache_key() {
+        let doc = movies();
+        let nalix = Nalix::new(doc.clone());
+        let q = "Find all the movies directed by Ron Howard.";
+        let budget = EvalBudget::default();
+        let a = nalix
+            .answer_full_on(BackendKind::Xquery, q, &budget)
+            .unwrap();
+        let b = nalix.answer_full_on(BackendKind::Sql, q, &budget).unwrap();
+        // Same question on the other backend is a distinct cache entry:
+        // two misses, zero hits, two entries.
+        let s = nalix.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+        assert_eq!(s.backend, BackendKind::Xquery);
+        // Repeats on either backend hit their own entry.
+        assert!(
+            nalix
+                .answer_full_on(BackendKind::Sql, q, &budget)
+                .unwrap()
+                .cached
+        );
+        assert!(
+            nalix
+                .answer_full_on(BackendKind::Xquery, q, &budget)
+                .unwrap()
+                .cached
+        );
+        assert_eq!(nalix.cache_stats().hits, 2);
+        // And the two backends agree on the answer set.
+        assert_eq!(a.backend, BackendKind::Xquery);
+        assert_eq!(b.backend, BackendKind::Sql);
+        assert!(b.xquery.starts_with("SELECT"), "sql text: {}", b.xquery);
+        assert!(
+            AnswerSet::new(a.values, a.ordered).equivalent(&AnswerSet::new(b.values, b.ordered))
+        );
+    }
+
+    #[test]
+    fn sql_backend_answers_end_to_end() {
+        let doc = movies();
+        let nalix = Nalix::new(doc.clone()).with_backend(BackendKind::Sql);
+        assert_eq!(nalix.backend(), BackendKind::Sql);
+        let out = nalix
+            .answer(
+                "Return the director of the movie, where the title of the movie is \"Traffic\".",
+            )
+            .unwrap();
+        assert_eq!(out, vec!["Steven Soderbergh"]);
+        let snap = nalix.metrics();
+        assert!(snap.counter(obs::Counter::ShredBuilds) == 1);
+        assert!(snap.counter(obs::Counter::SqlTuples) > 0);
+    }
+
+    #[test]
+    fn sql_backend_budget_trips_as_tuple_exhaustion() {
+        let doc = movies();
+        let nalix = Nalix::new(doc.clone()).with_backend(BackendKind::Sql);
+        let budget = EvalBudget {
+            max_tuples: 1,
+            ..EvalBudget::default()
+        };
+        let err = nalix
+            .answer_with_budget("Return all movies and their titles.", &budget)
+            .unwrap_err();
+        assert_eq!(err.code(), "budget.tuples");
+        assert!(!err.suggestion().is_empty());
     }
 
     #[test]

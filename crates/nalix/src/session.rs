@@ -342,8 +342,22 @@ impl Nalix {
         prior: Option<&PriorTurn>,
         budget: &EvalBudget,
     ) -> Result<TurnAnswer, QueryError> {
+        self.answer_turn_on(self.backend(), sentence, prior, budget)
+    }
+
+    /// [`Nalix::answer_turn`] on an explicitly named backend (the
+    /// server's per-request `backend` knob). Self-contained turns run
+    /// the full backend path; resolved follow-ups compile and evaluate
+    /// on the same backend after grafting.
+    pub fn answer_turn_on(
+        &self,
+        backend: crate::BackendKind,
+        sentence: &str,
+        prior: Option<&PriorTurn>,
+        budget: &EvalBudget,
+    ) -> Result<TurnAnswer, QueryError> {
         let Some(follow) = detect_follow_up(sentence) else {
-            let (answer, tree) = self.answer_full_tree(sentence, budget)?;
+            let (answer, tree) = self.answer_full_tree_on(backend, sentence, budget)?;
             return Ok(TurnAnswer {
                 turn: PriorTurn {
                     question: sentence.trim().to_string(),
@@ -362,11 +376,8 @@ impl Nalix {
         self.metrics.record_query(class);
         match outcome {
             Outcome::Translated(t) => {
-                let seq = self
-                    .engine
-                    .eval_expr_with_budget(&t.translation.query, budget)?;
+                let (values, text, ordered) = self.run_translated(&t, backend, budget)?;
                 self.metrics.add(obs::Counter::AnaphoraResolved, 1);
-                let values = self.engine.strings(&seq);
                 let mut warnings = vec![Feedback::warning(FeedbackKind::AnaphoraResolved {
                     phrase: follow.phrase().to_string(),
                     referent: format!("\"{}\"", prior.question),
@@ -375,7 +386,9 @@ impl Nalix {
                 Ok(TurnAnswer {
                     answer: Answer {
                         values: values.clone(),
-                        xquery: xquery::pretty::pretty(&t.translation.query),
+                        xquery: text,
+                        backend,
+                        ordered,
                         warnings,
                         cached: false,
                     },

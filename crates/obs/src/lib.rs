@@ -112,6 +112,7 @@ fn bucket_upper_ns(i: usize) -> u64 {
 ///     names,
 ///     [
 ///         "parse", "classify", "validate", "translate", "eval",
+///         "sql_translate", "sql_eval", "shred_build",
 ///         "store_load", "store_reload", "store_update",
 ///         "index_patch", "index_rebuild",
 ///         "http_query", "http_batch", "http_health", "http_metrics",
@@ -137,6 +138,18 @@ pub enum Stage {
     Translate,
     /// Evaluation of the translated query (`xquery` engine).
     Eval,
+    /// Lowering the shared FLWOR plan to the SQL subset (the `sql`
+    /// backend's second translation stage; the XQuery backend has no
+    /// counterpart — its plan *is* the emitted expression).
+    SqlTranslate,
+    /// Evaluation of a lowered SQL query by the `sqlq` executor over
+    /// the relational shredding (the `sql` backend's analog of
+    /// [`Stage::Eval`]).
+    SqlEval,
+    /// One construction of a document's relational shredding
+    /// (`relstore`): lazy first touch by a SQL-backend query, or the
+    /// successor patch/rebuild after a node-level update.
+    ShredBuild,
     /// One first-time construction of a document pipeline by the
     /// `store` crate: dataset generation or XML parse, plus structural
     /// index, catalog, and engine construction.
@@ -180,7 +193,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// All stages, in pipeline order (store lifecycle spans and HTTP
     /// endpoints last).
@@ -190,6 +203,9 @@ impl Stage {
         Stage::Validate,
         Stage::Translate,
         Stage::Eval,
+        Stage::SqlTranslate,
+        Stage::SqlEval,
+        Stage::ShredBuild,
         Stage::StoreLoad,
         Stage::StoreReload,
         Stage::StoreUpdate,
@@ -230,6 +246,9 @@ impl Stage {
             Stage::Validate => "validate",
             Stage::Translate => "translate",
             Stage::Eval => "eval",
+            Stage::SqlTranslate => "sql_translate",
+            Stage::SqlEval => "sql_eval",
+            Stage::ShredBuild => "shred_build",
             Stage::StoreLoad => "store_load",
             Stage::StoreReload => "store_reload",
             Stage::StoreUpdate => "store_update",
@@ -435,11 +454,18 @@ pub enum Counter {
     /// generation no longer matched the resident document (optimistic
     /// concurrency conflicts, answered `409`).
     UpdateConflicts,
+    /// Binding tuples enumerated by the SQL backend's `sqlq` executor
+    /// (the quantity its tuple budget bounds — the relational analog
+    /// of [`Counter::EvalTuples`]).
+    SqlTuples,
+    /// Relational shreddings produced by `relstore`: lazy first
+    /// builds, plus successor patches/rebuilds after updates.
+    ShredBuilds,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 36;
 
     /// All counters, in [`Counter::index`] order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -477,6 +503,8 @@ impl Counter {
         Counter::IndexPatches,
         Counter::IndexRebuilds,
         Counter::UpdateConflicts,
+        Counter::SqlTuples,
+        Counter::ShredBuilds,
     ];
 
     /// Dense index of this counter (its position in [`Counter::ALL`]).
@@ -521,6 +549,8 @@ impl Counter {
             Counter::IndexPatches => "index_patches",
             Counter::IndexRebuilds => "index_rebuilds",
             Counter::UpdateConflicts => "update_conflicts",
+            Counter::SqlTuples => "sql_tuples",
+            Counter::ShredBuilds => "shred_builds",
         }
     }
 }

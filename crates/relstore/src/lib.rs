@@ -1,0 +1,629 @@
+#![warn(missing_docs)]
+// The shredding backs the SQL query path end to end; a panic here
+// would take down whole server requests, so the escape hatches are
+// denied exactly as in the other serving-path crates.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
+//! # relstore — a relational shredding of an [`xmldb::Document`]
+//!
+//! The SQL translation backend (see `docs/BACKENDS.md`) evaluates over
+//! *tables*, not over the node arena. This crate derives those tables
+//! from any finalized document, reusing the pre/post orders the
+//! structural index already computed:
+//!
+//! - **`node(pre, post, parent_pre, kind, label_id)`** — one row per
+//!   node, stored columnar and ordered by `pre`, so the row index *is*
+//!   the pre rank and every subtree is the contiguous row interval
+//!   `[pre, extent(pre)]`. The derived `extent` column (largest pre in
+//!   the subtree) makes interval-containment joins two integer
+//!   comparisons.
+//! - **`value(pre, text)`** — one row per text or attribute node,
+//!   ordered by `pre`. Element atomization is a range scan of this
+//!   table (a containment join against `node`), mirroring the engine's
+//!   atomization semantics exactly (see [`Shredding::atomize`]).
+//! - **label dictionary + per-label postings** — `label_id ↔ name`, and
+//!   for each label the sorted list of pres carrying it: the relational
+//!   analog of the arena's label index, giving `O(log n)` subtree label
+//!   counts via two binary searches.
+//!
+//! Node-level updates keep the shredding in step with the document: a
+//! value-only commit (no inserts or deletes) patches the `value` and
+//! `label_id` columns in place ([`Shredding::successor`]), everything
+//! structural rebuilds from the successor document.
+
+use std::collections::HashMap;
+use xmldb::{Document, NodeKind, UpdateStats};
+
+/// `parent_pre` of the root row (no parent).
+pub const NIL_PRE: u32 = u32::MAX;
+
+/// Node kind column value (mirrors [`xmldb::NodeKind`], kept separate
+/// so the table layout is self-contained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelKind {
+    /// An element row.
+    Element,
+    /// An attribute row (carries a `value` row).
+    Attribute,
+    /// A text row (carries a `value` row).
+    Text,
+}
+
+impl From<NodeKind> for RelKind {
+    fn from(k: NodeKind) -> RelKind {
+        match k {
+            NodeKind::Element => RelKind::Element,
+            NodeKind::Attribute => RelKind::Attribute,
+            NodeKind::Text => RelKind::Text,
+        }
+    }
+}
+
+/// How the current table contents were produced (observable so tests
+/// and metrics can tell a patch from a rebuild).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildKind {
+    /// Full scan of a document.
+    Fresh,
+    /// In-place column patch from an update's deltas.
+    Patched,
+}
+
+/// Summary counters of a shredding (cheap to compute, used by tests
+/// and the explain output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShredStats {
+    /// Rows of the `node` table (== document nodes).
+    pub rows: usize,
+    /// Rows of the `value` table (text + attribute nodes).
+    pub value_rows: usize,
+    /// Distinct labels in the dictionary.
+    pub labels: usize,
+    /// How the tables were last produced.
+    pub build: BuildKind,
+}
+
+/// The shredded document: columnar interval tables plus the label
+/// dictionary. Immutable after construction (updates produce a
+/// successor), so it shares freely across threads.
+#[derive(Debug, Clone)]
+pub struct Shredding {
+    // --- node table (row index == pre rank) -------------------------
+    post: Vec<u32>,
+    parent_pre: Vec<u32>,
+    kind: Vec<RelKind>,
+    label_id: Vec<u32>,
+    /// Largest pre inside the subtree rooted at the row (inclusive):
+    /// the subtree of row `p` is exactly rows `p..=extent[p]`.
+    extent: Vec<u32>,
+    // --- value table (sorted by pre) --------------------------------
+    value_pre: Vec<u32>,
+    value_text: Vec<String>,
+    // --- label dictionary + postings --------------------------------
+    labels: Vec<String>,
+    label_ids: HashMap<String, u32>,
+    /// Per-label sorted pre lists.
+    postings: Vec<Vec<u32>>,
+    build: BuildKind,
+}
+
+impl Shredding {
+    /// Shred a finalized document into the relational tables: one pass
+    /// over the pre order, O(n).
+    pub fn build(doc: &Document) -> Shredding {
+        let n = doc.len();
+        let mut s = Shredding {
+            post: Vec::with_capacity(n),
+            parent_pre: Vec::with_capacity(n),
+            kind: Vec::with_capacity(n),
+            label_id: Vec::with_capacity(n),
+            extent: (0..n as u32).collect(),
+            value_pre: Vec::new(),
+            value_text: Vec::new(),
+            labels: Vec::new(),
+            label_ids: HashMap::new(),
+            postings: Vec::new(),
+            build: BuildKind::Fresh,
+        };
+        for pre in 0..n as u32 {
+            let Some(id) = doc.node_at_pre(pre) else {
+                // Unreachable on a finalized document: every rank below
+                // `len` resolves. Keep the row aligned regardless.
+                s.post.push(pre);
+                s.parent_pre.push(NIL_PRE);
+                s.kind.push(RelKind::Element);
+                let gap = s.intern("#gap");
+                s.label_id.push(gap);
+                continue;
+            };
+            s.post.push(doc.post(id));
+            s.parent_pre
+                .push(doc.parent(id).map(|p| doc.pre(p)).unwrap_or(NIL_PRE));
+            let kind = RelKind::from(doc.kind(id));
+            s.kind.push(kind);
+            let lid = s.intern(doc.label(id));
+            s.label_id.push(lid);
+            if matches!(kind, RelKind::Text | RelKind::Attribute) {
+                s.value_pre.push(pre);
+                s.value_text
+                    .push(doc.value(id).unwrap_or_default().to_owned());
+            }
+        }
+        // Postings: pres ascend, so each label's list is born sorted.
+        s.postings = vec![Vec::new(); s.labels.len()];
+        for (pre, &lid) in s.label_id.iter().enumerate() {
+            if let Some(p) = s.postings.get_mut(lid as usize) {
+                p.push(pre as u32);
+            }
+        }
+        // Extents: fold each row into its parent, highest pre first —
+        // all descendants of a row have larger pres, so by the time a
+        // row is folded its own extent is final.
+        for i in (0..n).rev() {
+            let p = s.parent_pre[i];
+            if p != NIL_PRE {
+                let e = s.extent[i];
+                if let Some(pe) = s.extent.get_mut(p as usize) {
+                    if e > *pe {
+                        *pe = e;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// The shredding of the successor document of a node-level update.
+    ///
+    /// When the commit changed no structure (no inserts, no deletes —
+    /// value replacements and renames only), node identities and the
+    /// pre/post orders are unchanged, so only two columns can differ:
+    /// the tables are **patched in place** — `value.text` and
+    /// `label_id` are refreshed from the successor document, postings
+    /// are rebuilt only when a label actually moved, and the
+    /// structural columns (`post`, `parent_pre`, `extent`, `kind`) are
+    /// carried over untouched. Anything structural (or a
+    /// [`xmldb::CommitStrategy::Rebuild`] commit) falls back to a full
+    /// [`Shredding::build`].
+    pub fn successor(&self, doc: &Document, stats: &UpdateStats) -> Shredding {
+        let structural = matches!(stats.strategy, xmldb::CommitStrategy::Rebuild)
+            || stats.inserted > 0
+            || stats.deleted > 0
+            || doc.len() != self.post.len();
+        if structural {
+            return Shredding::build(doc);
+        }
+        let mut s = self.clone();
+        s.build = BuildKind::Patched;
+        let mut vrow = 0usize;
+        let mut labels_moved = false;
+        for pre in 0..s.post.len() as u32 {
+            let Some(id) = doc.node_at_pre(pre) else {
+                continue;
+            };
+            let lid = s.intern(doc.label(id));
+            let i = pre as usize;
+            if s.label_id[i] != lid {
+                s.label_id[i] = lid;
+                labels_moved = true;
+            }
+            if matches!(s.kind[i], RelKind::Text | RelKind::Attribute) {
+                // Value rows align with the text/attr scan order.
+                if s.value_pre.get(vrow) == Some(&pre) {
+                    let text = doc.value(id).unwrap_or_default();
+                    if s.value_text[vrow] != text {
+                        text.clone_into(&mut s.value_text[vrow]);
+                    }
+                    vrow += 1;
+                }
+            }
+        }
+        if labels_moved {
+            s.postings = vec![Vec::new(); s.labels.len()];
+            for (pre, &lid) in s.label_id.iter().enumerate() {
+                if let Some(p) = s.postings.get_mut(lid as usize) {
+                    p.push(pre as u32);
+                }
+            }
+        } else if s.postings.len() < s.labels.len() {
+            s.postings.resize(s.labels.len(), Vec::new());
+        }
+        s
+    }
+
+    fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.label_ids.get(label) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.labels.push(label.to_owned());
+        self.label_ids.insert(label.to_owned(), id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Table accessors
+    // ------------------------------------------------------------------
+
+    /// Rows of the `node` table.
+    pub fn len(&self) -> usize {
+        self.post.len()
+    }
+
+    /// True when the document was empty.
+    pub fn is_empty(&self) -> bool {
+        self.post.is_empty()
+    }
+
+    /// Summary counters.
+    pub fn stats(&self) -> ShredStats {
+        ShredStats {
+            rows: self.post.len(),
+            value_rows: self.value_pre.len(),
+            labels: self.labels.len(),
+            build: self.build,
+        }
+    }
+
+    /// How the tables were last produced.
+    pub fn build_kind(&self) -> BuildKind {
+        self.build
+    }
+
+    /// `post` of the row at `pre` (0 when out of range).
+    pub fn post(&self, pre: u32) -> u32 {
+        self.post.get(pre as usize).copied().unwrap_or(0)
+    }
+
+    /// `parent_pre` of the row at `pre` ([`NIL_PRE`] for the root or
+    /// out-of-range rows).
+    pub fn parent_pre(&self, pre: u32) -> u32 {
+        self.parent_pre
+            .get(pre as usize)
+            .copied()
+            .unwrap_or(NIL_PRE)
+    }
+
+    /// Kind of the row at `pre`.
+    pub fn kind(&self, pre: u32) -> RelKind {
+        self.kind
+            .get(pre as usize)
+            .copied()
+            .unwrap_or(RelKind::Element)
+    }
+
+    /// Largest pre inside the subtree of the row at `pre` (the subtree
+    /// is rows `pre..=extent(pre)`).
+    pub fn extent(&self, pre: u32) -> u32 {
+        self.extent.get(pre as usize).copied().unwrap_or(pre)
+    }
+
+    /// Label id of the row at `pre`.
+    pub fn label_id(&self, pre: u32) -> u32 {
+        self.label_id.get(pre as usize).copied().unwrap_or(0)
+    }
+
+    /// Label name of the row at `pre`.
+    pub fn label_of(&self, pre: u32) -> &str {
+        self.label_name(self.label_id(pre))
+    }
+
+    /// Name of a label id (empty for unknown ids).
+    pub fn label_name(&self, id: u32) -> &str {
+        self.labels
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Dictionary lookup: label name → id.
+    pub fn lookup_label(&self, name: &str) -> Option<u32> {
+        self.label_ids.get(name).copied()
+    }
+
+    /// The sorted pres carrying `label_id` (empty for unknown ids).
+    pub fn postings(&self, label_id: u32) -> &[u32] {
+        self.postings
+            .get(label_id as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of rows carrying `label` anywhere in the document.
+    pub fn label_count(&self, label: &str) -> usize {
+        self.lookup_label(label)
+            .map(|id| self.postings(id).len())
+            .unwrap_or(0)
+    }
+
+    /// Rows of the `value` table.
+    pub fn value_rows(&self) -> usize {
+        self.value_pre.len()
+    }
+
+    /// The `value.text` of the row at `pre`, when that row carries one
+    /// (text and attribute rows do, element rows do not).
+    pub fn text_of(&self, pre: u32) -> Option<&str> {
+        let i = self.value_pre.partition_point(|&p| p < pre);
+        if self.value_pre.get(i) == Some(&pre) {
+            self.value_text.get(i).map(String::as_str)
+        } else {
+            None
+        }
+    }
+
+    /// All labels in the dictionary, in first-seen (document) order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(String::as_str)
+    }
+
+    // ------------------------------------------------------------------
+    // Interval predicates (the join machinery of the SQL executor)
+    // ------------------------------------------------------------------
+
+    /// Containment: is the row at `inner` inside the subtree of the row
+    /// at `outer`, the row itself included? Two integer comparisons on
+    /// the interval columns.
+    pub fn contains_or_self(&self, outer: u32, inner: u32) -> bool {
+        outer <= inner && inner <= self.extent(outer)
+    }
+
+    /// Lowest common ancestor of two rows, by walking `parent_pre`
+    /// links from `a` until the interval contains `b`. O(depth).
+    pub fn lca(&self, a: u32, b: u32) -> u32 {
+        let mut x = a;
+        loop {
+            if self.contains_or_self(x, b) {
+                return x;
+            }
+            let p = self.parent_pre(x);
+            if p == NIL_PRE {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// The child of `anc` on the path down to `desc`; `None` when `anc`
+    /// is not a proper ancestor. O(depth of `desc`).
+    pub fn child_toward(&self, anc: u32, desc: u32) -> Option<u32> {
+        if anc == desc || !self.contains_or_self(anc, desc) {
+            return None;
+        }
+        let mut cur = desc;
+        loop {
+            let p = self.parent_pre(cur);
+            if p == anc {
+                return Some(cur);
+            }
+            if p == NIL_PRE {
+                return None;
+            }
+            cur = p;
+        }
+    }
+
+    /// Count of rows with `label_id` inside the subtree of `root`
+    /// (inclusive): two binary searches over the label's postings.
+    pub fn count_label_in_subtree(&self, label_id: u32, root: u32) -> usize {
+        let p = self.postings(label_id);
+        let hi = self.extent(root);
+        let start = p.partition_point(|&pre| pre < root);
+        let end = p.partition_point(|&pre| pre <= hi);
+        end - start
+    }
+
+    /// The MLCA meaningfulness predicate of the Schema-Free XQuery
+    /// `mqf()`, evaluated purely over the shredded tables (parent-link
+    /// walks plus postings probes — no arena access). Matches
+    /// `xquery::mlca::meaningfully_related` on every pair.
+    pub fn meaningfully_related(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return true;
+        }
+        let c = self.lca(a, b);
+        if let Some(cb) = self.child_toward(c, b) {
+            if self.count_label_in_subtree(self.label_id(a), cb) > 0 {
+                return false;
+            }
+        }
+        if let Some(ca) = self.child_toward(c, a) {
+            if self.count_label_in_subtree(self.label_id(b), ca) > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pairwise [`Shredding::meaningfully_related`] over a whole set.
+    pub fn set_meaningfully_related(&self, rows: &[u32]) -> bool {
+        for (i, &a) in rows.iter().enumerate() {
+            for &b in rows.get(i + 1..).unwrap_or(&[]) {
+                if !self.meaningfully_related(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Atomization (the engine's semantics, over the value table)
+    // ------------------------------------------------------------------
+
+    /// The atomized string value of the row at `pre`, with exactly the
+    /// engine's semantics: text and attribute rows yield their own
+    /// `value.text`; an element with non-whitespace *direct* text
+    /// yields that text trimmed (mixed content); any other element
+    /// yields the concatenation of every text row in its subtree, in
+    /// pre order, untrimmed. Implemented as range scans of the
+    /// pre-sorted `value` table — a containment join.
+    pub fn atomize(&self, pre: u32) -> String {
+        match self.kind(pre) {
+            RelKind::Text | RelKind::Attribute => self.text_of(pre).unwrap_or("").to_owned(),
+            RelKind::Element => {
+                let lo = self.value_pre.partition_point(|&p| p <= pre);
+                let hi = self.value_pre.partition_point(|&p| p <= self.extent(pre));
+                // Direct text: value rows in the subtree range whose
+                // parent is this row.
+                let mut direct = String::new();
+                for i in lo..hi {
+                    let vp = self.value_pre[i];
+                    if self.parent_pre(vp) == pre && self.kind(vp) == RelKind::Text {
+                        direct.push_str(&self.value_text[i]);
+                    }
+                }
+                if !direct.trim().is_empty() {
+                    return direct.trim().to_owned();
+                }
+                // Whole-subtree string value: every text row in range.
+                let mut out = String::new();
+                for i in lo..hi {
+                    if self.kind(self.value_pre[i]) == RelKind::Text {
+                        out.push_str(&self.value_text[i]);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(xml: &str) -> Document {
+        Document::parse_str(xml).unwrap()
+    }
+
+    #[test]
+    fn build_matches_arena_oracle() {
+        let d = doc("<bib><book id=\"1\"><title>A</title><price>10</price></book><book><title>B</title></book></bib>");
+        let s = Shredding::build(&d);
+        assert_eq!(s.len(), d.len());
+        for pre in 0..d.len() as u32 {
+            let id = d.node_at_pre(pre).unwrap();
+            assert_eq!(s.post(pre), d.post(id), "post at {pre}");
+            assert_eq!(
+                s.parent_pre(pre),
+                d.parent(id).map(|p| d.pre(p)).unwrap_or(NIL_PRE),
+                "parent at {pre}"
+            );
+            assert_eq!(s.label_of(pre), d.label(id), "label at {pre}");
+            assert_eq!(s.atomize(pre), d.atom_value(id).as_ref(), "atom at {pre}");
+        }
+        assert_eq!(s.label_count("book"), 2);
+        assert_eq!(s.label_count("title"), 2);
+        assert_eq!(s.label_count("nope"), 0);
+    }
+
+    #[test]
+    fn extents_cover_subtrees() {
+        let d = doc("<a><b><c/><d/></b><e/></a>");
+        let s = Shredding::build(&d);
+        // root subtree covers everything
+        assert_eq!(s.extent(0), s.len() as u32 - 1);
+        for pre in 0..s.len() as u32 {
+            for q in 0..s.len() as u32 {
+                let id = d.node_at_pre(pre).unwrap();
+                let qid = d.node_at_pre(q).unwrap();
+                let oracle = d.pre(id) <= d.pre(qid) && d.post(qid) <= d.post(id);
+                assert_eq!(s.contains_or_self(pre, q), oracle, "{pre} contains {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_content_atomizes_to_trimmed_direct_text() {
+        let d = doc("<r><year>2000 <movie><title>T</title></movie></year></r>");
+        let s = Shredding::build(&d);
+        let year = d.nodes_labeled("year")[0];
+        assert_eq!(s.atomize(d.pre(year)), "2000");
+        assert_eq!(s.atomize(d.pre(year)), d.atom_value(year).as_ref());
+    }
+
+    #[test]
+    fn element_without_direct_text_concatenates_subtree() {
+        let d = doc("<r><book><title>T</title><author>A</author></book></r>");
+        let s = Shredding::build(&d);
+        let book = d.nodes_labeled("book")[0];
+        assert_eq!(s.atomize(d.pre(book)), "TA");
+    }
+
+    #[test]
+    fn mlca_matches_engine_oracle() {
+        let d = xmldb::datasets::movies::movies();
+        let s = Shredding::build(&d);
+        for a in 0..d.len() as u32 {
+            for b in 0..d.len() as u32 {
+                let (ia, ib) = (d.node_at_pre(a).unwrap(), d.node_at_pre(b).unwrap());
+                assert_eq!(
+                    s.meaningfully_related(a, b),
+                    xquery::mlca::meaningfully_related(&d, ia, ib),
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_patch_updates_in_place() {
+        let d = doc("<bib><book><title>Old</title><price>10</price></book></bib>");
+        let s = Shredding::build(&d);
+        let mut tx = d.begin_update().unwrap();
+        let title = d.nodes_labeled("title")[0];
+        let title_text = d
+            .children(title)
+            .find(|&c| d.kind(c) == NodeKind::Text)
+            .unwrap();
+        tx.apply(&xmldb::Edit::ReplaceValue {
+            target: title_text,
+            value: "New".into(),
+        })
+        .unwrap();
+        let (next, stats) = tx.commit();
+        let s2 = s.successor(&next, &stats);
+        assert_eq!(s2.build_kind(), BuildKind::Patched);
+        let title = next.nodes_labeled("title")[0];
+        assert_eq!(s2.atomize(next.pre(title)), "New");
+        // Structure untouched, and equal to a fresh build.
+        let fresh = Shredding::build(&next);
+        for pre in 0..s2.len() as u32 {
+            assert_eq!(s2.post(pre), fresh.post(pre));
+            assert_eq!(s2.atomize(pre), fresh.atomize(pre));
+            assert_eq!(s2.label_of(pre), fresh.label_of(pre));
+        }
+    }
+
+    #[test]
+    fn structural_update_rebuilds() {
+        let d = doc("<bib><book><title>A</title></book></bib>");
+        let s = Shredding::build(&d);
+        let mut tx = d.begin_update().unwrap();
+        let book = d.nodes_labeled("book")[0];
+        tx.apply(&xmldb::Edit::InsertChild {
+            parent: book,
+            node: xmldb::NewNode::Leaf {
+                label: "year".into(),
+                text: "2001".into(),
+            },
+        })
+        .unwrap();
+        let (next, stats) = tx.commit();
+        let s2 = s.successor(&next, &stats);
+        assert_eq!(s2.build_kind(), BuildKind::Fresh);
+        assert_eq!(s2.len(), next.len());
+        assert_eq!(s2.label_count("year"), 1);
+    }
+}

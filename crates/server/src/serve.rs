@@ -1111,8 +1111,9 @@ fn with_span(
 }
 
 /// `POST /query`: a JSON object `{"question": "...", "doc": "name"?,
-/// "deadline_ms": n?, "session": "id"?}` or a bare `text/plain`
-/// question (served by the default document). With a `session` id the
+/// "deadline_ms": n?, "session": "id"?, "backend": "xquery"|"sql"?}`
+/// or a bare `text/plain` question (served by the default document on
+/// the default backend). With a `session` id the
 /// question may be a follow-up ("Of those, ...", "What about ...?")
 /// resolved against the previous turn.
 fn handle_query(req: &Request, ctx: &Ctx) -> Response {
@@ -1135,7 +1136,11 @@ fn handle_query(req: &Request, ctx: &Ctx) -> Response {
         Err(err) => return store_error_response(&err),
     };
     let budget = budget_for(parsed.deadline_ms, &ctx.config);
-    match pipeline.nalix().answer_full(&parsed.question, &budget) {
+    let backend = parsed.backend.unwrap_or_else(|| pipeline.nalix().backend());
+    match pipeline
+        .nalix()
+        .answer_full_on(backend, &parsed.question, &budget)
+    {
         Ok(answer) => Response::json(
             200,
             answer_json(&answer, pipeline.name(), pipeline.generation(), None).render(),
@@ -1220,10 +1225,13 @@ fn handle_session_query(parsed: &QueryBody, id: &str, ctx: &Ctx) -> Response {
         None => nalix::Session::new(name.clone(), generation),
     };
     let budget = budget_for(parsed.deadline_ms, &ctx.config);
-    match pipeline
-        .nalix()
-        .answer_turn(&parsed.question, session.prior.as_ref(), &budget)
-    {
+    let backend = parsed.backend.unwrap_or_else(|| pipeline.nalix().backend());
+    match pipeline.nalix().answer_turn_on(
+        backend,
+        &parsed.question,
+        session.prior.as_ref(),
+        &budget,
+    ) {
         Ok(turn) => {
             session.record_turn(turn.turn);
             let body = answer_json(&turn.answer, &name, generation, Some((id, session.turns)));
@@ -1255,6 +1263,10 @@ fn answer_json(
         ),
         ("count".to_string(), Json::Num(answer.values.len() as f64)),
         ("xquery".to_string(), Json::Str(answer.xquery.clone())),
+        (
+            "backend".to_string(),
+            Json::Str(answer.backend.name().to_string()),
+        ),
         ("cached".to_string(), Json::Bool(answer.cached)),
         (
             "warnings".to_string(),
@@ -1276,9 +1288,9 @@ fn answer_json(
     Json::Obj(fields)
 }
 
-/// `POST /batch`: `{"questions": ["...", ...], "doc": "name"?}`,
-/// answered sequentially on this worker against one pinned snapshot,
-/// results in input order.
+/// `POST /batch`: `{"questions": ["...", ...], "doc": "name"?,
+/// "backend": "xquery"|"sql"?}`, answered sequentially on this worker
+/// against one pinned snapshot, results in input order.
 fn handle_batch(req: &Request, ctx: &Ctx) -> Response {
     /// Per-request cap on batch size; larger batches should be split
     /// by the client (keeps one worker from being pinned for minutes).
@@ -1316,6 +1328,10 @@ fn handle_batch(req: &Request, ctx: &Ctx) -> Response {
         );
     }
     let doc = parsed.get("doc").and_then(Json::as_str);
+    let backend = match parse_backend(&parsed) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
     // One snapshot for the whole batch: a concurrent reload must not
     // make half the answers come from the old document and half from
     // the new one.
@@ -1323,6 +1339,7 @@ fn handle_batch(req: &Request, ctx: &Ctx) -> Response {
         Ok(p) => p,
         Err(err) => return store_error_response(&err),
     };
+    let backend = backend.unwrap_or_else(|| pipeline.nalix().backend());
     let budget = budget_for(None, &ctx.config);
     let mut results = Vec::with_capacity(questions.len());
     for q in questions {
@@ -1337,7 +1354,7 @@ fn handle_batch(req: &Request, ctx: &Ctx) -> Response {
             )]));
             continue;
         };
-        match pipeline.nalix().answer_full(text, &budget) {
+        match pipeline.nalix().answer_full_on(backend, text, &budget) {
             Ok(answer) => results.push(Json::Obj(vec![
                 (
                     "answers".to_string(),
@@ -1355,6 +1372,7 @@ fn handle_batch(req: &Request, ctx: &Ctx) -> Response {
         ("count".to_string(), Json::Num(results.len() as f64)),
         ("results".to_string(), Json::Arr(results)),
         ("doc".to_string(), Json::Str(pipeline.name().to_string())),
+        ("backend".to_string(), Json::Str(backend.name().to_string())),
     ]);
     Response::json(200, body.render())
 }
@@ -1678,6 +1696,26 @@ struct QueryBody {
     deadline_ms: Option<u64>,
     doc: Option<String>,
     session: Option<String>,
+    backend: Option<nalix::BackendKind>,
+}
+
+/// Parse an optional `"backend"` field; anything but a known backend
+/// name is the typed `backend.unknown` error.
+fn parse_backend(parsed: &Json) -> Result<Option<nalix::BackendKind>, Response> {
+    match parsed.get("backend") {
+        None => Ok(None),
+        Some(v) => match v.as_str().and_then(nalix::BackendKind::parse) {
+            Some(k) => Ok(Some(k)),
+            None => Err(Response::json(
+                400,
+                error_body(
+                    "backend.unknown",
+                    &format!("unknown backend {}", v.render()),
+                    "send \"backend\": \"xquery\" or \"sql\", or omit it for the server default",
+                ),
+            )),
+        },
+    }
 }
 
 /// Cap on client-chosen session ids: they are stored verbatim as map
@@ -1733,6 +1771,7 @@ fn parse_query_body(req: &Request) -> Result<QueryBody, Response> {
             deadline_ms: parsed.get("deadline_ms").and_then(Json::as_u64),
             doc: parsed.get("doc").and_then(Json::as_str).map(str::to_string),
             session,
+            backend: parse_backend(&parsed)?,
         }
     } else {
         QueryBody {
@@ -1740,6 +1779,7 @@ fn parse_query_body(req: &Request) -> Result<QueryBody, Response> {
             deadline_ms: None,
             doc: None,
             session: None,
+            backend: None,
         }
     };
     if parsed.question.trim().is_empty() {

@@ -1382,3 +1382,145 @@ fn natural_language_mutations_are_refused() {
     assert!(refused.1.contains("/update"), "body: {}", refused.1);
     assert_eq!(allowed.0, "HTTP/1.1 200 OK", "body: {}", allowed.1);
 }
+
+/// The `backend` knob on `POST /query`: `"sql"` answers over the
+/// relational shredding with the compiled SQL echoed, agrees with the
+/// xquery backend on the answer set, survives a hot reload and an
+/// update commit (the shredding is rebuilt / patched and the new
+/// generation echoed), and an unknown backend is the typed
+/// `backend.unknown` 400.
+#[test]
+fn sql_backend_round_trips_and_survives_reload_and_update() {
+    let store = test_store();
+    let q = "Find all the movies directed by Ron Howard.";
+    let body_on = |backend: &str| {
+        format!("{{\"question\": {q:?}, \"doc\": \"movies\", \"backend\": {backend:?}}}")
+    };
+    let (out, _report) = with_store_server(Arc::clone(&store), test_config(), |addr| {
+        let via_xquery = post(addr, "/query", &body_on("xquery"));
+        let via_sql = post(addr, "/query", &body_on("SQL")); // case-blind
+        let unknown = post(addr, "/query", &body_on("postgres"));
+
+        // Hot reload: a fresh pipeline (and a fresh shredding on next
+        // SQL touch) behind the same name.
+        let reload = put_doc(addr, "movies", "movies");
+        let after_reload = post(addr, "/query", &body_on("sql"));
+
+        // Update commit: patch one director away, then ask again on
+        // the SQL backend against the patched shredding.
+        let pinned = store.get(Some("movies")).expect("movies is resident");
+        let doc = pinned.doc();
+        let director = doc
+            .nodes_labeled("director")
+            .iter()
+            .copied()
+            .find(|&d| doc.string_value(d) == "Ron Howard")
+            .expect("a Ron Howard movie exists");
+        let text_pre = doc.pre(doc.first_child(director).expect("director has text"));
+        let generation = pinned.generation();
+        let edit = format!(
+            "{{\"edits\": [{{\"op\": \"replace_value\", \"target\": {text_pre}, \
+             \"value\": \"Rob Reiner\"}}], \"expected_generation\": {generation}}}"
+        );
+        let update = post(addr, "/docs/movies/update", &edit);
+        let after_update = post(addr, "/query", &body_on("sql"));
+        let batch = post(
+            addr,
+            "/batch",
+            &format!("{{\"questions\": [{q:?}], \"doc\": \"movies\", \"backend\": \"sql\"}}"),
+        );
+        (
+            via_xquery,
+            via_sql,
+            unknown,
+            reload,
+            after_reload,
+            generation,
+            update,
+            after_update,
+            batch,
+        )
+    });
+    let (
+        via_xquery,
+        via_sql,
+        unknown,
+        reload,
+        after_reload,
+        generation,
+        update,
+        after_update,
+        batch,
+    ) = out;
+
+    assert_eq!(via_xquery.0, "HTTP/1.1 200 OK", "body: {}", via_xquery.1);
+    assert_eq!(via_sql.0, "HTTP/1.1 200 OK", "body: {}", via_sql.1);
+    let mut a = answers_of(&via_xquery.1);
+    let mut b = answers_of(&via_sql.1);
+    assert!(!a.is_empty());
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "the two backends agree on the answer set");
+    let sql_body = Json::parse(&via_sql.1).expect("sql JSON");
+    assert_eq!(sql_body.get("backend").and_then(Json::as_str), Some("sql"));
+    assert!(
+        sql_body
+            .get("xquery")
+            .and_then(Json::as_str)
+            .is_some_and(|t| t.starts_with("SELECT")),
+        "body: {}",
+        via_sql.1
+    );
+    assert_eq!(
+        Json::parse(&via_xquery.1)
+            .expect("xquery JSON")
+            .get("backend")
+            .and_then(Json::as_str),
+        Some("xquery")
+    );
+
+    assert_eq!(unknown.0, "HTTP/1.1 400 Bad Request", "body: {}", unknown.1);
+    assert!(
+        unknown.1.contains("\"code\":\"backend.unknown\""),
+        "body: {}",
+        unknown.1
+    );
+
+    assert_eq!(reload.0, "HTTP/1.1 200 OK", "body: {}", reload.1);
+    assert_eq!(
+        after_reload.0, "HTTP/1.1 200 OK",
+        "body: {}",
+        after_reload.1
+    );
+    let mut c = answers_of(&after_reload.1);
+    c.sort();
+    assert_eq!(
+        c, a,
+        "the SQL backend answers identically after a hot reload"
+    );
+
+    assert_eq!(update.0, "HTTP/1.1 200 OK", "body: {}", update.1);
+    assert_eq!(
+        after_update.0, "HTTP/1.1 200 OK",
+        "body: {}",
+        after_update.1
+    );
+    let after_body = Json::parse(&after_update.1).expect("post-update JSON");
+    assert_eq!(
+        after_body.get("generation").and_then(Json::as_u64),
+        Some(generation + 1),
+        "post-commit SQL queries echo the successor generation"
+    );
+    assert_eq!(
+        answers_of(&after_update.1).len(),
+        a.len() - 1,
+        "the rewritten movie left the SQL backend's result set too"
+    );
+
+    assert_eq!(batch.0, "HTTP/1.1 200 OK", "body: {}", batch.1);
+    let batch_body = Json::parse(&batch.1).expect("batch JSON");
+    assert_eq!(
+        batch_body.get("backend").and_then(Json::as_str),
+        Some("sql")
+    );
+}

@@ -12,6 +12,9 @@
 //!
 //! Commands: `:labels` lists element names, `:xml` dumps the document,
 //! `:metrics` prints the session's pipeline metrics snapshot,
+//! `:backend [xquery|sql]` shows or switches the translation backend
+//! (docs/BACKENDS.md), `:explain <question>` compiles a question and
+//! prints the active backend's query text without evaluating it,
 //! `:update <edit-json>` applies a node-level edit batch (same JSON
 //! shape as `POST /docs/:name/update`, see docs/UPDATES.md) and swaps
 //! in the incrementally patched pipeline, `:quit` exits.
@@ -21,7 +24,8 @@
 //! committed 1 edit(s) as Patch: +2 nodes, -0 nodes, 229 live
 //! ```
 
-use nalix_repro::nalix::{Nalix, Outcome};
+use nalix_repro::nalix::backend::sql;
+use nalix_repro::nalix::{BackendKind, Nalix, Outcome, Translated};
 use nalix_repro::store::load_dataset;
 use nalix_repro::xmldb::{Document, Edit, NewNode};
 use nalix_repro::xquery::pretty::pretty;
@@ -46,7 +50,9 @@ fn main() {
         doc.len(),
         doc.labels().join(", ")
     );
-    println!("Type an English query, or :labels / :xml / :metrics / :update / :quit.\n");
+    println!(
+        "Type an English query, or :labels / :xml / :metrics / :backend / :explain / :update / :quit.\n"
+    );
 
     let mut nalix = Nalix::new(Arc::clone(&doc));
     let stdin = std::io::stdin();
@@ -75,6 +81,42 @@ fn main() {
             }
             _ => {}
         }
+        if let Some(rest) = line.strip_prefix(":backend") {
+            let rest = rest.trim();
+            if rest.is_empty() {
+                println!("active backend: {}", nalix.backend());
+            } else {
+                match BackendKind::parse(rest) {
+                    Some(k) => {
+                        nalix = nalix.with_backend(k);
+                        println!("backend set to {k}");
+                    }
+                    None => println!("unknown backend {rest:?}; expected xquery or sql"),
+                }
+            }
+            println!();
+            continue;
+        }
+        if let Some(q) = line.strip_prefix(":explain") {
+            let q = q.trim();
+            if q.is_empty() {
+                println!("usage: :explain <question>");
+            } else {
+                match nalix.query(q) {
+                    Outcome::Translated(t) => match compiled_text(&nalix, &t) {
+                        Ok((lang, text)) => println!("{lang}:\n{text}"),
+                        Err(e) => println!("sql lowering error: {e}"),
+                    },
+                    Outcome::Rejected(r) => {
+                        for e in &r.errors {
+                            println!("{e}");
+                        }
+                    }
+                }
+            }
+            println!();
+            continue;
+        }
         if let Some(body) = line.strip_prefix(":update") {
             match apply_update(&doc, body.trim()) {
                 Ok((next, stats)) => {
@@ -102,19 +144,23 @@ fn main() {
                 for w in &t.warnings {
                     println!("{w}");
                 }
-                println!("XQuery:\n{}", pretty(&t.translation.query));
-                match nalix.execute(&t) {
-                    Ok(seq) => {
-                        let values = nalix.flatten_values(&seq);
-                        println!("── {} value(s):", values.len());
-                        for v in values.iter().take(50) {
-                            println!("  • {v}");
-                        }
-                        if values.len() > 50 {
-                            println!("  … and {} more", values.len() - 50);
-                        }
+                match compiled_text(&nalix, &t) {
+                    Ok((lang, text)) => println!("{lang}:\n{text}"),
+                    Err(e) => {
+                        println!("sql lowering error: {e}");
+                        println!();
+                        continue;
                     }
-                    Err(e) => println!("evaluation error: {e}"),
+                }
+                match nalix.backend() {
+                    BackendKind::Xquery => match nalix.execute(&t) {
+                        Ok(seq) => print_values(&nalix.flatten_values(&seq)),
+                        Err(e) => println!("evaluation error: {e}"),
+                    },
+                    BackendKind::Sql => match nalix.answer(line) {
+                        Ok(values) => print_values(&values),
+                        Err(e) => println!("evaluation error: {e}"),
+                    },
                 }
             }
             Outcome::Rejected(r) => {
@@ -127,6 +173,29 @@ fn main() {
             }
         }
         println!();
+    }
+}
+
+/// The active backend's compiled query text for a translated question
+/// (what `:explain` prints): the language tag and the pretty-printed
+/// query in that language.
+fn compiled_text(nalix: &Nalix, t: &Translated) -> Result<(&'static str, String), String> {
+    match nalix.backend() {
+        BackendKind::Xquery => Ok(("XQuery", pretty(&t.translation.query))),
+        BackendKind::Sql => match sql::lower(&t.translation) {
+            Ok(q) => Ok(("SQL", nalix_repro::sqlq::pretty(&q))),
+            Err(e) => Err(e.message),
+        },
+    }
+}
+
+fn print_values(values: &[String]) {
+    println!("── {} value(s):", values.len());
+    for v in values.iter().take(50) {
+        println!("  • {v}");
+    }
+    if values.len() > 50 {
+        println!("  … and {} more", values.len() - 50);
     }
 }
 

@@ -7,6 +7,8 @@
 pub use keyword;
 pub use nalix;
 pub use nlparser;
+pub use relstore;
+pub use sqlq;
 pub use store;
 pub use userstudy;
 pub use xmldb;

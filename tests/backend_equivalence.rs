@@ -1,0 +1,97 @@
+//! Dual-backend answer-set equivalence: every user-study phrasing of
+//! every XMP task, asked through both translation backends against the
+//! same corpus, must produce equivalent answer sets (exact sequences
+//! when the question orders its results, multisets otherwise — see
+//! `nalix::AnswerSet::equivalent` and docs/BACKENDS.md).
+//!
+//! Both backends share the planner, so any divergence here is a
+//! lowering or executor bug, never a linguistic one. Rejections must
+//! agree too: a question one backend answers and the other refuses
+//! would make the `backend` knob semantically load-bearing.
+
+use nalix_repro::nalix::{BackendKind, Nalix};
+use nalix_repro::userstudy::phrasings::{nl_pool, PoolKind};
+use nalix_repro::userstudy::tasks::ALL_TASKS;
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+use nalix_repro::xquery::EvalBudget;
+
+#[test]
+fn all_userstudy_phrasings_are_answer_set_equivalent() {
+    let doc = generate(&DblpConfig {
+        books: 40,
+        articles: 80,
+        seed: 7,
+    });
+    let nalix = Nalix::new(doc);
+    let budget = EvalBudget::default();
+    let mut compared = 0usize;
+    let mut rejected = 0usize;
+    let mut failures = Vec::new();
+
+    for task in ALL_TASKS {
+        for phrasing in nl_pool(task) {
+            let q = phrasing.text;
+            let sql = nalix.answer_set(BackendKind::Sql, q, &budget);
+            let xq = nalix.answer_set(BackendKind::Xquery, q, &budget);
+            match (xq, sql) {
+                (Ok(a), Ok(b)) => {
+                    compared += 1;
+                    if !a.equivalent(&b) {
+                        failures.push(format!(
+                            "{}: {q:?}\n  xquery ({}): {:?}\n  sql    ({}): {:?}",
+                            task.label(),
+                            if a.ordered { "ordered" } else { "unordered" },
+                            a.values,
+                            if b.ordered { "ordered" } else { "unordered" },
+                            b.values,
+                        ));
+                    }
+                }
+                (Err(ea), Err(eb)) => {
+                    rejected += 1;
+                    // Same stage-level refusal either way.
+                    if ea.code() != eb.code() {
+                        failures.push(format!(
+                            "{}: {q:?} rejected differently: xquery={} sql={}",
+                            task.label(),
+                            ea.code(),
+                            eb.code()
+                        ));
+                    }
+                }
+                (Ok(a), Err(e)) => failures.push(format!(
+                    "{}: {q:?} answered by xquery ({} values) but refused by sql: {e}",
+                    task.label(),
+                    a.values.len()
+                )),
+                (Err(e), Ok(b)) => failures.push(format!(
+                    "{}: {q:?} answered by sql ({} values) but refused by xquery: {e}",
+                    task.label(),
+                    b.values.len()
+                )),
+            }
+            // Invalid-pool phrasings are rejection fixtures: both
+            // backends must refuse them (checked above via Err/Err).
+            if phrasing.kind == PoolKind::Invalid {
+                assert!(
+                    nalix.answer_set(BackendKind::Sql, q, &budget).is_err(),
+                    "{}: invalid phrasing accepted: {q:?}",
+                    task.label()
+                );
+            }
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "{} of {} phrasings diverged:\n{}",
+        failures.len(),
+        compared + rejected,
+        failures.join("\n\n")
+    );
+    assert!(
+        compared >= ALL_TASKS.len(),
+        "expected at least one answered phrasing per task, compared {compared}"
+    );
+    println!("compared {compared} answered phrasings, {rejected} agreed rejections");
+}

@@ -1,0 +1,12 @@
+-- Q1: Return the year and title of every book published by Addison-Wesley after 1991.
+SELECT concat(strval(v1), strval(v2))
+FROM node AS v1, node AS v2, node AS v3, node AS v4, node AS v5
+WHERE v1.label = 'year'
+  AND v2.label = 'title'
+  AND v3.label = 'book'
+  AND v4.label = 'publisher'
+  AND v5.label = 'year'
+  AND mqf(v1, v2, v3, v4, v5)
+  AND strval(v4) = 'Addison-Wesley'
+  AND strval(v5) > 1991
+

@@ -1,0 +1,14 @@
+-- Q10: Return the title of every book and the lowest year of the title.
+SELECT concat(strval(v1), (
+  SELECT min(strval(v3))
+  FROM node AS v3, node AS v4
+  WHERE v3.label = 'year'
+    AND v4.label = 'title'
+    AND mqf(v3, v4)
+    AND strval(v4) = strval(v1)
+))
+FROM node AS v1, node AS v2
+WHERE v1.label = 'title'
+  AND v2.label = 'book'
+  AND mqf(v1, v2)
+

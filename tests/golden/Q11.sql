@@ -1,0 +1,9 @@
+-- Q11: Return the title and the affiliation of the editor of every book.
+SELECT concat(strval(v1), strval(v2))
+FROM node AS v1, node AS v2, node AS v3, node AS v4
+WHERE v1.label = 'title'
+  AND v2.label = 'affiliation'
+  AND v3.label = 'editor'
+  AND v4.label = 'book'
+  AND mqf(v1, v2, v3, v4)
+

@@ -1,0 +1,8 @@
+-- Q4: Return the author and the titles of all books of the author.
+SELECT concat(strval(v1), strval(v2))
+FROM node AS v1, node AS v2, node AS v3
+WHERE v1.label = 'author'
+  AND v2.label = 'title'
+  AND v3.label = 'book'
+  AND mqf(v1, v2, v3)
+

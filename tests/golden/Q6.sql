@@ -1,0 +1,8 @@
+-- Q6: Return the title and the authors of every book that has an author.
+SELECT concat(strval(v1), strval(v2))
+FROM node AS v1, node AS v2, node AS v3
+WHERE v1.label = 'title'
+  AND v2.label = 'author'
+  AND v3.label = 'book'
+  AND mqf(v1, v2, v3)
+

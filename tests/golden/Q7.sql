@@ -1,0 +1,14 @@
+-- Q7: Return the title and the year of every book published by Addison-Wesley after 1991, sorted by title.
+SELECT concat(strval(v1), strval(v2))
+FROM node AS v1, node AS v2, node AS v3, node AS v4, node AS v5, node AS v6
+WHERE v1.label = 'title'
+  AND v2.label = 'year'
+  AND v3.label = 'book'
+  AND v4.label = 'title'
+  AND v5.label = 'publisher'
+  AND v6.label = 'year'
+  AND mqf(v1, v2, v3, v4, v5, v6)
+  AND strval(v5) = 'Addison-Wesley'
+  AND strval(v6) > 1991
+ORDER BY strval(v4), v1.pre, v2.pre, v3.pre, v4.pre, v5.pre, v6.pre
+

@@ -1,0 +1,9 @@
+-- Q8: Return the titles of books, where the author of the book contains "Suciu".
+SELECT strval(v1)
+FROM node AS v1, node AS v2, node AS v3
+WHERE v1.label = 'title'
+  AND v2.label = 'book'
+  AND v3.label = 'author'
+  AND mqf(v1, v2, v3)
+  AND contains(strval(v3), 'Suciu')
+

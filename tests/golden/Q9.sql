@@ -1,0 +1,6 @@
+-- Q9: Find all titles that contain "XML".
+SELECT strval(v1)
+FROM node AS v1
+WHERE v1.label = 'title'
+  AND contains(strval(v1), 'XML')
+

@@ -1,0 +1,106 @@
+//! Golden-file tests for the SQL backend: the SQL that the second
+//! translation backend compiles for the canonical phrasing of each of
+//! the nine XMP user-study tasks, pretty-printed and snapshotted as
+//! `tests/golden/<label>.sql` (next to the `.xq` snapshots the XQuery
+//! backend pins).
+//!
+//! A lowering change now shows up as a readable diff against the
+//! checked-in query text instead of as a silent behaviour shift.
+//! Regenerate deliberately with:
+//!
+//! ```console
+//! $ UPDATE_GOLDEN=1 cargo test --test golden_sql
+//! ```
+
+use nalix_repro::nalix::backend::sql;
+use nalix_repro::nalix::{BackendKind, Nalix, Outcome};
+use nalix_repro::userstudy::phrasings::{nl_pool, PoolKind};
+use nalix_repro::userstudy::tasks::ALL_TASKS;
+use nalix_repro::xmldb::datasets::dblp::{generate, DblpConfig};
+use nalix_repro::xquery::EvalBudget;
+use std::path::PathBuf;
+
+fn golden_path(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{label}.sql"))
+}
+
+/// Same corpus as `golden_xquery.rs`: the catalog sees the paper-scale
+/// labels at a fraction of the build time.
+fn corpus() -> nalix_repro::xmldb::Document {
+    generate(&DblpConfig {
+        books: 40,
+        articles: 80,
+        seed: 7,
+    })
+}
+
+#[test]
+fn xmp_sql_lowerings_match_golden_files() {
+    let doc = corpus();
+    let nalix = Nalix::new(doc.clone());
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let budget = EvalBudget::default();
+    let mut failures = Vec::new();
+
+    for task in ALL_TASKS {
+        let label = task.label();
+        let question = nl_pool(task)
+            .into_iter()
+            .find(|p| p.kind == PoolKind::Good)
+            .expect("every task has an accepted phrasing")
+            .text;
+        let translated = match nalix.query(question) {
+            Outcome::Translated(t) => t,
+            Outcome::Rejected(r) => panic!(
+                "{label}: canonical phrasing rejected: {question}\n{:?}",
+                r.errors
+            ),
+        };
+        let query = sql::lower(&translated.translation)
+            .unwrap_or_else(|e| panic!("{label}: SQL lowering failed: {}", e.message));
+        // The snapshot leads with the question so diffs are
+        // self-describing (`--` is the SQL comment prefix).
+        let got = format!(
+            "-- {label}: {question}\n{}\n",
+            nalix_repro::sqlq::pretty(&query)
+        );
+
+        // Whatever we snapshot must actually run, and must agree with
+        // the XQuery backend on the answer set.
+        let via_sql = nalix
+            .answer_set(BackendKind::Sql, question, &budget)
+            .unwrap_or_else(|e| panic!("{label}: golden SQL fails to run: {e}"));
+        let via_xq = nalix
+            .answer_set(BackendKind::Xquery, question, &budget)
+            .unwrap_or_else(|e| panic!("{label}: XQuery baseline fails: {e}"));
+        assert!(
+            via_sql.equivalent(&via_xq),
+            "{label}: backends disagree\n  sql: {:?}\n  xq:  {:?}",
+            via_sql.values,
+            via_xq.values
+        );
+
+        let path = golden_path(label);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{label}: missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        if got != want {
+            failures.push(format!(
+                "{label}: SQL lowering drifted from {}\n--- golden\n{want}\n--- current\n{got}",
+                path.display()
+            ));
+        }
+    }
+
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}

@@ -472,3 +472,43 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // -----------------------------------------------------------------
+    // Relational shredding vs. the arena oracle
+    // -----------------------------------------------------------------
+
+    /// The SQL backend's interval tables are a lossless re-encoding of
+    /// the arena: same row count, and for every node the same parent,
+    /// subtree extent (computed here by brute-force walk), label, and
+    /// atomized string value.
+    #[test]
+    fn shredding_matches_the_arena_oracle(spec in tree_strategy()) {
+        let doc = build(&spec);
+        let shred = nalix_repro::relstore::Shredding::build(&doc);
+        prop_assert_eq!(shred.len(), doc.len());
+        for idx in 0..doc.len() {
+            let n = NodeId::from_index(idx);
+            let pre = doc.pre(n);
+            match doc.parent(n) {
+                Some(p) => prop_assert_eq!(shred.parent_pre(pre), doc.pre(p)),
+                None => prop_assert_eq!(shred.parent_pre(pre), nalix_repro::relstore::NIL_PRE),
+            }
+            // Oracle extent: the largest pre rank in the subtree.
+            let mut max_pre = pre;
+            let mut stack: Vec<NodeId> = doc.children(n).collect();
+            while let Some(c) = stack.pop() {
+                max_pre = max_pre.max(doc.pre(c));
+                stack.extend(doc.children(c));
+            }
+            prop_assert_eq!(shred.extent(pre), max_pre);
+            if doc.node(n).is_element() {
+                prop_assert_eq!(shred.label_of(pre), doc.label(n));
+            }
+            // Atomization follows the engine's mixed-content rule
+            // (`Document::atom_value`), not the raw whole-subtree
+            // string value.
+            prop_assert_eq!(shred.atomize(pre), doc.atom_value(n).into_owned());
+        }
+    }
+}
